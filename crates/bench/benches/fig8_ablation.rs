@@ -1,0 +1,41 @@
+//! Figure 8: ablation of the geometry-aware generator (GAG) against the
+//! random-shape-only generator (RSG): unique bugs over time and coverage over
+//! time on the PostGIS-like profile.
+
+use spatter_bench::{default_campaign, run_campaign};
+use spatter_core::generator::GenerationStrategy;
+use spatter_sdb::EngineProfile;
+
+fn main() {
+    println!("== Figure 8: geometry-aware generator (GAG) vs random-shape generator (RSG) ==\n");
+    let seconds = 10;
+    for (label, strategy) in [
+        ("GAG", GenerationStrategy::GeometryAware),
+        ("RSG", GenerationStrategy::RandomShapeOnly),
+    ] {
+        spatter_topo::coverage::reset();
+        let report = run_campaign(default_campaign(
+            EngineProfile::PostgisLike,
+            strategy,
+            seconds,
+            77,
+        ));
+        let (_, _, topo_frac) = spatter_topo::coverage::topo_coverage();
+        let (_, _, sdb_frac) = spatter_sdb::coverage::sdb_coverage();
+        println!(
+            "{label}: iterations {:>4}, findings {:>4}, unique bugs {:>2}, geometry-library coverage {:.1}%, engine coverage {:.1}%",
+            report.iterations_run,
+            report.findings.len(),
+            report.unique_bug_count(),
+            topo_frac * 100.0,
+            sdb_frac * 100.0
+        );
+        println!("  unique-bug timeline (seconds -> count):");
+        for (elapsed, count) in &report.unique_bug_timeline {
+            println!("    {:>6.2}s -> {count}", elapsed.as_secs_f64());
+        }
+        println!();
+    }
+    println!("Paper claim to compare against: within the same time budget GAG finds more");
+    println!("unique bugs and reaches higher coverage than RSG (Figure 8a-8c).");
+}

@@ -1,0 +1,62 @@
+//! Table 3: classification of the confirmed and fixed bugs into logic and
+//! crash bugs per SDBMS, plus the kinds of findings the campaign produced.
+
+use spatter_bench::{default_campaign, run_campaign};
+use spatter_core::campaign::FindingKind;
+use spatter_core::generator::GenerationStrategy;
+use spatter_sdb::faults::FaultySystem;
+use spatter_sdb::{EngineProfile, FaultCatalog, FaultKind, FaultStatus};
+
+fn main() {
+    println!("== Table 3: logic vs crash classification of confirmed/fixed bugs ==\n");
+    let systems = [
+        FaultySystem::Geos,
+        FaultySystem::PostGis,
+        FaultySystem::MySql,
+        FaultySystem::DuckDbSpatial,
+    ];
+    let widths = [16, 12, 16, 12, 16, 5];
+    spatter_bench::print_row(
+        &["SDBMS", "Logic fixed", "Logic confirmed", "Crash fixed", "Crash confirmed", "Sum"]
+            .map(String::from),
+        &widths,
+    );
+    let mut grand = 0usize;
+    for system in systems {
+        let confirmed: Vec<_> = FaultCatalog::for_system(system)
+            .into_iter()
+            .filter(|f| matches!(f.status, FaultStatus::Fixed | FaultStatus::Confirmed))
+            .collect();
+        let count = |kind: FaultKind, status: FaultStatus| {
+            confirmed.iter().filter(|f| f.kind == kind && f.status == status).count()
+        };
+        let sum = confirmed.len();
+        grand += sum;
+        spatter_bench::print_row(
+            &[
+                system.name().to_string(),
+                count(FaultKind::Logic, FaultStatus::Fixed).to_string(),
+                count(FaultKind::Logic, FaultStatus::Confirmed).to_string(),
+                count(FaultKind::Crash, FaultStatus::Fixed).to_string(),
+                count(FaultKind::Crash, FaultStatus::Confirmed).to_string(),
+                sum.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("Total confirmed/fixed: {grand} (paper: 30; 20 logic + 10 crash)\n");
+
+    println!("Campaign findings by kind (scaled-down run on the PostGIS-like profile):");
+    let report = run_campaign(default_campaign(
+        EngineProfile::PostgisLike,
+        GenerationStrategy::GeometryAware,
+        8,
+        23,
+    ));
+    println!(
+        "  logic findings: {}, crash findings: {}, unique seeded faults detected: {}",
+        report.findings_of_kind(FindingKind::Logic),
+        report.findings_of_kind(FindingKind::Crash),
+        report.unique_bug_count()
+    );
+}

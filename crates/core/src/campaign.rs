@@ -1,0 +1,404 @@
+//! The testing-campaign driver (§5.1, §5.4).
+//!
+//! A campaign repeatedly: generates a spatial database with the
+//! geometry-aware generator, constructs its affine-equivalent counterpart,
+//! instantiates random template queries and checks the AEI property on the
+//! engine under test. Discrepancies and crashes are recorded as findings,
+//! each finding is *attributed* to the seeded fault responsible for it by
+//! re-running the scenario with individual faults disabled (the reproduction
+//! of the paper's fix-commit-based deduplication), and timing, coverage and
+//! the unique-bug timeline are tracked for Figures 7 and 8 and Table 5.
+
+use crate::generator::{GeneratorConfig, GeometryGenerator};
+use crate::oracles::{AeiOracle, Oracle, OracleOutcome};
+use crate::queries::{random_queries, QueryInstance};
+use crate::spec::DatabaseSpec;
+use crate::transform::{AffineStrategy, TransformPlan};
+use spatter_sdb::{Engine, EngineProfile, FaultId, FaultSet, SdbError};
+use spatter_topo::coverage;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Configuration of one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The engine profile under test.
+    pub profile: EngineProfile,
+    /// The faults carried by the engine under test; `None` means the
+    /// profile's stock fault set.
+    pub faults: Option<FaultSet>,
+    /// Generator configuration (N, m, strategy).
+    pub generator: GeneratorConfig,
+    /// Number of template queries per iteration (the paper uses 100 per run
+    /// in §5.4).
+    pub queries_per_run: usize,
+    /// The affine matrix family used for the transformation.
+    pub affine: AffineStrategy,
+    /// Number of iterations to run.
+    pub iterations: usize,
+    /// Optional wall-clock budget; the campaign stops at whichever of
+    /// `iterations` / `time_budget` is reached first.
+    pub time_budget: Option<Duration>,
+    /// Whether findings are attributed to seeded faults (disable to measure
+    /// raw throughput, e.g. for Figure 7).
+    pub attribute_findings: bool,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            profile: EngineProfile::PostgisLike,
+            faults: None,
+            generator: GeneratorConfig::default(),
+            queries_per_run: 20,
+            affine: AffineStrategy::GeneralInteger,
+            iterations: 20,
+            time_budget: None,
+            attribute_findings: true,
+            seed: 0,
+        }
+    }
+}
+
+/// The kind of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A count discrepancy between affine-equivalent databases.
+    Logic,
+    /// A simulated engine crash.
+    Crash,
+}
+
+/// One potential bug found during the campaign.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Logic or crash.
+    pub kind: FindingKind,
+    /// Human-readable description from the oracle.
+    pub description: String,
+    /// The iteration in which it was found.
+    pub iteration: usize,
+    /// Elapsed campaign time when it was found.
+    pub elapsed: Duration,
+    /// The seeded faults whose individual removal makes the finding
+    /// disappear (empty when attribution is disabled or inconclusive).
+    pub attributed_faults: Vec<FaultId>,
+}
+
+/// Aggregated results of a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Every potential bug observed (before deduplication).
+    pub findings: Vec<Finding>,
+    /// Unique seeded faults detected, i.e. the campaign's "unique bugs".
+    pub unique_faults: BTreeSet<FaultId>,
+    /// Iterations actually executed.
+    pub iterations_run: usize,
+    /// Total wall-clock time of the campaign.
+    pub total_time: Duration,
+    /// Time spent generating databases and queries (Spatter-side work).
+    pub generation_time: Duration,
+    /// Time spent executing statements inside the engine.
+    pub engine_time: Duration,
+    /// Timeline of (elapsed, unique bug count) pairs, one entry per new
+    /// unique fault (Figure 8a).
+    pub unique_bug_timeline: Vec<(Duration, usize)>,
+    /// Timeline of (elapsed, topo coverage fraction, engine coverage
+    /// fraction) snapshots, one per iteration (Figure 8b/8c).
+    pub coverage_timeline: Vec<(Duration, f64, f64)>,
+}
+
+impl CampaignReport {
+    /// The number of unique (deduplicated) bugs found.
+    pub fn unique_bug_count(&self) -> usize {
+        self.unique_faults.len()
+    }
+
+    /// Findings of a given kind.
+    pub fn findings_of_kind(&self, kind: FindingKind) -> usize {
+        self.findings.iter().filter(|f| f.kind == kind).count()
+    }
+}
+
+/// The campaign driver.
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign from a configuration.
+    pub fn new(config: CampaignConfig) -> Self {
+        Campaign { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs the campaign.
+    pub fn run(&self) -> CampaignReport {
+        let start = Instant::now();
+        let faults = self
+            .config
+            .faults
+            .clone()
+            .unwrap_or_else(|| self.config.profile.default_faults());
+        let mut report = CampaignReport::default();
+
+        for iteration in 0..self.config.iterations {
+            if let Some(budget) = self.config.time_budget {
+                if start.elapsed() >= budget {
+                    break;
+                }
+            }
+            let iteration_seed = self
+                .config
+                .seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add(iteration as u64);
+
+            // --- Generation (Spatter-side time) --------------------------
+            let generation_start = Instant::now();
+            let mut generator =
+                GeometryGenerator::new(self.config.generator.clone(), iteration_seed);
+            let spec = generator.generate_database();
+            let queries = random_queries(
+                &spec,
+                self.config.profile,
+                self.config.queries_per_run,
+                iteration_seed ^ 0x5eed,
+            );
+            let plan = TransformPlan::random(self.config.affine, iteration_seed ^ 0xaff1e);
+            report.generation_time += generation_start.elapsed();
+
+            // --- Execution + validation ----------------------------------
+            let (outcomes, engine_time) =
+                run_aei_iteration(self.config.profile, &faults, &spec, &queries, &plan);
+            report.engine_time += engine_time;
+
+            for (query, outcome) in queries.iter().zip(outcomes.iter()) {
+                let kind = match outcome {
+                    OracleOutcome::LogicBug { .. } => FindingKind::Logic,
+                    OracleOutcome::Crash { .. } => FindingKind::Crash,
+                    _ => continue,
+                };
+                let description = match outcome {
+                    OracleOutcome::LogicBug { description } => description.clone(),
+                    OracleOutcome::Crash { message } => message.clone(),
+                    _ => unreachable!("filtered above"),
+                };
+                let attributed = if self.config.attribute_findings {
+                    attribute(
+                        self.config.profile,
+                        &faults,
+                        &spec,
+                        query,
+                        &plan,
+                        kind,
+                    )
+                } else {
+                    Vec::new()
+                };
+                let elapsed = start.elapsed();
+                for fault in &attributed {
+                    if report.unique_faults.insert(*fault) {
+                        report
+                            .unique_bug_timeline
+                            .push((elapsed, report.unique_faults.len()));
+                    }
+                }
+                report.findings.push(Finding {
+                    kind,
+                    description,
+                    iteration,
+                    elapsed,
+                    attributed_faults: attributed,
+                });
+            }
+
+            let (topo_hit, topo_total, _) = coverage::topo_coverage();
+            let (sdb_hit, sdb_total, _) = spatter_sdb::coverage::sdb_coverage();
+            report.coverage_timeline.push((
+                start.elapsed(),
+                topo_hit as f64 / topo_total as f64,
+                sdb_hit as f64 / sdb_total as f64,
+            ));
+            report.iterations_run = iteration + 1;
+        }
+        report.total_time = start.elapsed();
+        report
+    }
+}
+
+/// Runs the AEI check for one iteration, returning the per-query outcomes and
+/// the time spent inside the engine (loading both databases and running every
+/// query on both).
+pub fn run_aei_iteration(
+    profile: EngineProfile,
+    faults: &FaultSet,
+    spec: &DatabaseSpec,
+    queries: &[QueryInstance],
+    plan: &TransformPlan,
+) -> (Vec<OracleOutcome>, Duration) {
+    let transformed = plan.apply(spec);
+    let mut engine_time = Duration::ZERO;
+
+    let mut load = |statements: &[String]| -> Result<Engine, OracleOutcome> {
+        let mut engine = Engine::with_faults(profile, faults.clone());
+        for statement in statements {
+            match engine.execute(statement) {
+                Ok(_) => {}
+                Err(SdbError::Crash(message)) => {
+                    engine_time += engine.execution_stats().0;
+                    return Err(OracleOutcome::Crash { message });
+                }
+                Err(_) => {
+                    engine_time += engine.execution_stats().0;
+                    return Err(OracleOutcome::Inapplicable);
+                }
+            }
+        }
+        Ok(engine)
+    };
+
+    let engine1 = load(&spec.to_sql());
+    let engine2 = load(&transformed.to_sql());
+    let (mut engine1, mut engine2) = match (engine1, engine2) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(outcome), _) | (_, Err(outcome)) => {
+            return (vec![outcome; queries.len().max(1)], engine_time);
+        }
+    };
+
+    let mut outcomes = Vec::with_capacity(queries.len());
+    for query in queries {
+        let sql = query.to_sql();
+        let run = |engine: &mut Engine| -> Result<Option<i64>, OracleOutcome> {
+            match engine.execute(&sql) {
+                Ok(result) => Ok(result.count()),
+                Err(SdbError::Crash(message)) => Err(OracleOutcome::Crash { message }),
+                Err(_) => Ok(None),
+            }
+        };
+        let outcome = match (run(&mut engine1), run(&mut engine2)) {
+            (Err(crash), _) | (_, Err(crash)) => crash,
+            (Ok(Some(a)), Ok(Some(b))) if a != b => OracleOutcome::LogicBug {
+                description: format!(
+                    "{}: SDB1 returned {a}, affine-equivalent SDB2 returned {b}",
+                    query.predicate.function_name()
+                ),
+            },
+            (Ok(Some(_)), Ok(Some(_))) => OracleOutcome::Pass,
+            _ => OracleOutcome::Inapplicable,
+        };
+        outcomes.push(outcome);
+    }
+    engine_time += engine1.execution_stats().0;
+    engine_time += engine2.execution_stats().0;
+    (outcomes, engine_time)
+}
+
+/// Attributes a finding to the seeded fault(s) whose individual removal makes
+/// it disappear — the campaign's stand-in for the paper's fix-based
+/// deduplication ("we determined whether the bug was fixed by updating
+/// PostGIS and GEOS to their latest versions", §5.4).
+fn attribute(
+    profile: EngineProfile,
+    faults: &FaultSet,
+    spec: &DatabaseSpec,
+    query: &QueryInstance,
+    plan: &TransformPlan,
+    kind: FindingKind,
+) -> Vec<FaultId> {
+    let oracle = AeiOracle::new(plan.clone());
+    let queries = std::slice::from_ref(query);
+    let mut attributed = Vec::new();
+    for fault in faults.iter() {
+        let mut reduced = faults.clone();
+        reduced.disable(fault);
+        let outcomes = oracle.check(profile, &reduced, spec, queries);
+        let still_failing = outcomes.iter().any(|o| match kind {
+            FindingKind::Logic => o.is_logic_bug(),
+            FindingKind::Crash => o.is_crash(),
+        });
+        if !still_failing {
+            attributed.push(fault);
+        }
+    }
+    attributed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GenerationStrategy;
+
+    fn small_config(profile: EngineProfile, faults: Option<FaultSet>) -> CampaignConfig {
+        CampaignConfig {
+            profile,
+            faults,
+            generator: GeneratorConfig {
+                num_geometries: 8,
+                num_tables: 2,
+                strategy: GenerationStrategy::GeometryAware,
+                coordinate_range: 30,
+                random_shape_probability: 0.5,
+            },
+            queries_per_run: 10,
+            affine: AffineStrategy::GeneralInteger,
+            iterations: 6,
+            time_budget: None,
+            attribute_findings: true,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn campaign_on_reference_engine_reports_no_findings() {
+        let config = small_config(EngineProfile::PostgisLike, Some(FaultSet::none()));
+        let report = Campaign::new(config).run();
+        assert_eq!(report.findings.len(), 0, "{:#?}", report.findings);
+        assert_eq!(report.unique_bug_count(), 0);
+        assert_eq!(report.iterations_run, 6);
+        assert!(!report.coverage_timeline.is_empty());
+    }
+
+    #[test]
+    fn campaign_on_stock_engine_finds_and_attributes_bugs() {
+        let mut config = small_config(EngineProfile::PostgisLike, None);
+        config.iterations = 25;
+        config.seed = 3;
+        let report = Campaign::new(config).run();
+        assert!(
+            !report.findings.is_empty(),
+            "the stock PostGIS-like engine should produce findings"
+        );
+        assert!(
+            report.unique_bug_count() >= 1,
+            "at least one finding should be attributed to a seeded fault"
+        );
+        // The timeline grows monotonically.
+        let counts: Vec<usize> = report.unique_bug_timeline.iter().map(|(_, c)| *c).collect();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn time_budget_stops_the_campaign() {
+        let mut config = small_config(EngineProfile::MysqlLike, Some(FaultSet::none()));
+        config.iterations = 10_000;
+        config.time_budget = Some(Duration::from_millis(50));
+        let report = Campaign::new(config).run();
+        assert!(report.iterations_run < 10_000);
+    }
+
+    #[test]
+    fn generation_and_engine_time_are_tracked() {
+        let config = small_config(EngineProfile::DuckdbSpatialLike, Some(FaultSet::none()));
+        let report = Campaign::new(config).run();
+        assert!(report.engine_time > Duration::ZERO);
+        assert!(report.total_time >= report.engine_time);
+    }
+}

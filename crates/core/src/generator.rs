@@ -1,0 +1,414 @@
+//! The geometry-aware generator (Algorithm 1, §4.1).
+//!
+//! Two strategies produce geometries:
+//!
+//! * the **random-shape strategy** picks a random geometry type and fills in
+//!   its syntax with random coordinates — the result is syntactically valid
+//!   but may be semantically invalid (e.g. a bow-tie polygon), which is
+//!   deliberate;
+//! * the **derivative strategy** picks an editing function of Table 1 and
+//!   applies it to geometries already in the database, producing new
+//!   geometries with richer topological relationships to the existing ones.
+//!   A failed derivation yields an EMPTY geometry (Algorithm 1, line 22).
+//!
+//! Coordinates are generated as small integers so that the affine
+//! transformation of the AEI construction never introduces floating-point
+//! error (§4.2); fractional coordinates still appear through derived
+//! geometries (centroids, intersections of derived shapes, …), which is what
+//! exercises the precision-sensitive engine paths.
+
+use crate::spec::DatabaseSpec;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use spatter_geom::{
+    Coord, Geometry, GeometryCollection, GeometryType, LineString, MultiLineString, MultiPoint,
+    MultiPolygon, Point, Polygon,
+};
+use spatter_topo::editing::{self, EditFunction};
+
+/// Which generation strategies are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenerationStrategy {
+    /// Only the random-shape strategy (the paper's RSG baseline, §5.4).
+    RandomShapeOnly,
+    /// Random-shape + derivative strategies (the geometry-aware generator).
+    GeometryAware,
+}
+
+/// Configuration of the generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// `N`: number of geometries per generated database.
+    pub num_geometries: usize,
+    /// `m`: number of tables.
+    pub num_tables: usize,
+    /// Which strategies are enabled.
+    pub strategy: GenerationStrategy,
+    /// Coordinates are drawn from `-coordinate_range..=coordinate_range`.
+    pub coordinate_range: i64,
+    /// Probability of choosing the random-shape strategy for each geometry
+    /// when both strategies are enabled (Algorithm 1, line 6).
+    pub random_shape_probability: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            num_geometries: 10,
+            num_tables: 2,
+            strategy: GenerationStrategy::GeometryAware,
+            coordinate_range: 100,
+            random_shape_probability: 0.5,
+        }
+    }
+}
+
+/// The geometry-aware generator.
+pub struct GeometryGenerator {
+    config: GeneratorConfig,
+    rng: StdRng,
+}
+
+impl GeometryGenerator {
+    /// Creates a generator with a deterministic seed.
+    pub fn new(config: GeneratorConfig, seed: u64) -> Self {
+        GeometryGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates a spatial database spec (Algorithm 1's `Generate`).
+    pub fn generate_database(&mut self) -> DatabaseSpec {
+        let mut spec = DatabaseSpec::with_tables(self.config.num_tables.max(1));
+
+        // The first geometry always comes from the random-shape strategy
+        // because nothing exists to derive from yet (Algorithm 1, line 3).
+        let first = self.random_shape();
+        let table = self.rng.random_range(0..spec.tables.len());
+        spec.tables[table].geometries.push(first);
+
+        for _ in 1..self.config.num_geometries.max(1) {
+            let use_random_shape = match self.config.strategy {
+                GenerationStrategy::RandomShapeOnly => true,
+                GenerationStrategy::GeometryAware => {
+                    self.rng.random_bool(self.config.random_shape_probability)
+                }
+            };
+            let geometry = if use_random_shape {
+                self.random_shape()
+            } else {
+                self.derive(&spec)
+            };
+            let table = self.rng.random_range(0..spec.tables.len());
+            spec.tables[table].geometries.push(geometry);
+        }
+        spec
+    }
+
+    /// The random-shape strategy: a random geometry type filled with random
+    /// integer coordinates.
+    pub fn random_shape(&mut self) -> Geometry {
+        let gtype = *GeometryType::ALL
+            .choose(&mut self.rng)
+            .expect("type list is non-empty");
+        self.random_of_type(gtype, 0)
+    }
+
+    fn random_coord(&mut self) -> Coord {
+        let range = self.config.coordinate_range.max(1);
+        Coord::new(
+            self.rng.random_range(-range..=range) as f64,
+            self.rng.random_range(-range..=range) as f64,
+        )
+    }
+
+    fn random_of_type(&mut self, gtype: GeometryType, depth: usize) -> Geometry {
+        // EMPTY geometries are generated with a small probability at every
+        // level, because EMPTY handling is one of the dominant bug-trigger
+        // patterns (§5.2).
+        if self.rng.random_bool(0.08) {
+            return Geometry::empty_of(gtype);
+        }
+        match gtype {
+            GeometryType::Point => Geometry::Point(Point::from_coord(self.random_coord())),
+            GeometryType::LineString => Geometry::LineString(self.random_linestring()),
+            GeometryType::Polygon => Geometry::Polygon(self.random_polygon()),
+            GeometryType::MultiPoint => {
+                let n = self.rng.random_range(1..=3);
+                Geometry::MultiPoint(MultiPoint::new(
+                    (0..n)
+                        .map(|_| {
+                            if self.rng.random_bool(0.15) {
+                                Point::empty()
+                            } else {
+                                Point::from_coord(self.random_coord())
+                            }
+                        })
+                        .collect(),
+                ))
+            }
+            GeometryType::MultiLineString => {
+                let n = self.rng.random_range(1..=3);
+                Geometry::MultiLineString(MultiLineString::new(
+                    (0..n)
+                        .map(|_| {
+                            if self.rng.random_bool(0.15) {
+                                LineString::empty()
+                            } else {
+                                self.random_linestring()
+                            }
+                        })
+                        .collect(),
+                ))
+            }
+            GeometryType::MultiPolygon => {
+                let n = self.rng.random_range(1..=2);
+                Geometry::MultiPolygon(MultiPolygon::new(
+                    (0..n).map(|_| self.random_polygon()).collect(),
+                ))
+            }
+            GeometryType::GeometryCollection => {
+                if depth >= 2 {
+                    return Geometry::Point(Point::from_coord(self.random_coord()));
+                }
+                let n = self.rng.random_range(1..=3);
+                let members = (0..n)
+                    .map(|_| {
+                        let member_type = *GeometryType::ALL
+                            .choose(&mut self.rng)
+                            .expect("type list is non-empty");
+                        self.random_of_type(member_type, depth + 1)
+                    })
+                    .collect();
+                Geometry::GeometryCollection(GeometryCollection::new(members))
+            }
+        }
+    }
+
+    fn random_linestring(&mut self) -> LineString {
+        let n = self.rng.random_range(2..=5);
+        let mut coords: Vec<Coord> = (0..n).map(|_| self.random_coord()).collect();
+        // Occasionally close the ring or duplicate a vertex: closed rings
+        // feed Polygonize, duplicated vertices feed the canonicalization and
+        // the duplicate-vertex fault triggers.
+        if self.rng.random_bool(0.2) {
+            coords.push(coords[0]);
+        } else if self.rng.random_bool(0.2) && coords.len() >= 2 {
+            let dup = coords[coords.len() / 2];
+            coords.insert(coords.len() / 2, dup);
+        }
+        LineString::new(coords)
+    }
+
+    fn random_polygon(&mut self) -> Polygon {
+        // A rectangle or triangle anchored at a random corner: guaranteed
+        // closed at the syntax level; larger shapes are produced by the
+        // derivative strategy (convex hulls, envelopes, …).
+        let origin = self.random_coord();
+        let w = self.rng.random_range(1..=self.config.coordinate_range.max(2)) as f64;
+        let h = self.rng.random_range(1..=self.config.coordinate_range.max(2)) as f64;
+        let coords = if self.rng.random_bool(0.5) {
+            vec![
+                origin,
+                Coord::new(origin.x + w, origin.y),
+                Coord::new(origin.x + w, origin.y + h),
+                Coord::new(origin.x, origin.y + h),
+                origin,
+            ]
+        } else {
+            vec![
+                origin,
+                Coord::new(origin.x + w, origin.y),
+                Coord::new(origin.x, origin.y + h),
+                origin,
+            ]
+        };
+        let mut polygon = Polygon::from_exterior(LineString::new(coords));
+        // Occasionally generate a self-intersecting (invalid) quad instead,
+        // mirroring the paper's bow-tie example.
+        if self.rng.random_bool(0.1) {
+            let a = self.random_coord();
+            let b = self.random_coord();
+            let c = self.random_coord();
+            let d = self.random_coord();
+            polygon = Polygon::from_exterior(LineString::new(vec![a, b, c, d, a]));
+        }
+        polygon
+    }
+
+    /// The derivative strategy (Algorithm 1, `Derive`).
+    pub fn derive(&mut self, spec: &DatabaseSpec) -> Geometry {
+        let existing: Vec<&Geometry> = spec
+            .tables
+            .iter()
+            .flat_map(|t| t.geometries.iter())
+            .collect();
+        if existing.is_empty() {
+            return self.random_shape();
+        }
+        let edit = *EditFunction::ALL
+            .choose(&mut self.rng)
+            .expect("edit function list is non-empty");
+        let pick = |rng: &mut StdRng| -> Geometry {
+            (*existing
+                .choose(rng)
+                .expect("existing geometries are non-empty"))
+            .clone()
+        };
+        let result = match edit {
+            EditFunction::SetPoint => {
+                let line = pick(&mut self.rng);
+                let point = Geometry::Point(Point::from_coord(self.random_coord()));
+                let index = self.rng.random_range(0..6);
+                editing::set_point(&line, index, &point)
+            }
+            EditFunction::Polygonize => editing::polygonize(&pick(&mut self.rng)),
+            EditFunction::DumpRings => editing::dump_rings(&pick(&mut self.rng)),
+            EditFunction::ForcePolygonCW => editing::force_polygon_cw(&pick(&mut self.rng)),
+            EditFunction::GeometryN => {
+                let g = pick(&mut self.rng);
+                let n = self.rng.random_range(1..=3);
+                editing::geometry_n(&g, n)
+            }
+            EditFunction::CollectionExtract => {
+                let g = pick(&mut self.rng);
+                let target = *[
+                    GeometryType::Point,
+                    GeometryType::LineString,
+                    GeometryType::Polygon,
+                ]
+                .choose(&mut self.rng)
+                .expect("non-empty");
+                editing::collection_extract(&g, target)
+            }
+            EditFunction::Boundary => editing::boundary_of(&pick(&mut self.rng)),
+            EditFunction::ConvexHull => editing::convex_hull_of(&pick(&mut self.rng)),
+            EditFunction::Envelope => editing::envelope_of(&pick(&mut self.rng)),
+            EditFunction::Reverse => editing::reverse(&pick(&mut self.rng)),
+            EditFunction::PointN => {
+                let g = pick(&mut self.rng);
+                let n = self.rng.random_range(1..=4);
+                editing::point_n(&g, n)
+            }
+            EditFunction::Collect => {
+                let a = pick(&mut self.rng);
+                let b = pick(&mut self.rng);
+                editing::collect(&a, &b)
+            }
+        };
+        // Algorithm 1 line 21–22: failed derivations become EMPTY geometries.
+        result.unwrap_or_else(|_| Geometry::empty_of(GeometryType::GeometryCollection))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(strategy: GenerationStrategy, seed: u64) -> GeometryGenerator {
+        GeometryGenerator::new(
+            GeneratorConfig {
+                num_geometries: 20,
+                num_tables: 3,
+                strategy,
+                coordinate_range: 50,
+                random_shape_probability: 0.5,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generator(GenerationStrategy::GeometryAware, 7).generate_database();
+        let b = generator(GenerationStrategy::GeometryAware, 7).generate_database();
+        let c = generator(GenerationStrategy::GeometryAware, 8).generate_database();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generates_requested_number_of_geometries_and_tables() {
+        let spec = generator(GenerationStrategy::GeometryAware, 1).generate_database();
+        assert_eq!(spec.geometry_count(), 20);
+        assert_eq!(spec.tables.len(), 3);
+    }
+
+    #[test]
+    fn random_shapes_parse_back_from_wkt() {
+        use spatter_geom::wkt::{parse_wkt, write_wkt};
+        let mut generator = generator(GenerationStrategy::RandomShapeOnly, 3);
+        for _ in 0..200 {
+            let g = generator.random_shape();
+            let wkt = write_wkt(&g);
+            let parsed = parse_wkt(&wkt).unwrap_or_else(|e| panic!("{wkt}: {e}"));
+            assert_eq!(parsed, g, "round trip of {wkt}");
+        }
+    }
+
+    #[test]
+    fn random_shape_coordinates_are_integers_within_range() {
+        let mut generator = generator(GenerationStrategy::RandomShapeOnly, 11);
+        for _ in 0..100 {
+            let g = generator.random_shape();
+            g.for_each_coord(&mut |c| {
+                assert_eq!(c.x.fract(), 0.0);
+                assert_eq!(c.y.fract(), 0.0);
+                assert!(c.x.abs() <= 100.0 && c.y.abs() <= 100.0);
+            });
+        }
+    }
+
+    #[test]
+    fn geometry_aware_generator_produces_derived_and_empty_geometries() {
+        let mut generator = GeometryGenerator::new(
+            GeneratorConfig {
+                num_geometries: 200,
+                num_tables: 2,
+                strategy: GenerationStrategy::GeometryAware,
+                coordinate_range: 20,
+                random_shape_probability: 0.3,
+            },
+            42,
+        );
+        let spec = generator.generate_database();
+        let all: Vec<&Geometry> = spec.tables.iter().flat_map(|t| t.geometries.iter()).collect();
+        assert_eq!(all.len(), 200);
+        // The derivative strategy produces at least some EMPTY geometries
+        // (failed derivations) and some collections.
+        assert!(all.iter().any(|g| g.is_empty()));
+        assert!(all
+            .iter()
+            .any(|g| matches!(g, Geometry::GeometryCollection(_))));
+    }
+
+    #[test]
+    fn derive_falls_back_to_random_shape_for_empty_database() {
+        let mut generator = generator(GenerationStrategy::GeometryAware, 5);
+        let empty = DatabaseSpec::with_tables(1);
+        let derived = generator.derive(&empty);
+        // No table content to derive from: still produces a geometry.
+        let _ = derived;
+    }
+
+    #[test]
+    fn all_generated_databases_load_into_the_reference_engine() {
+        use spatter_sdb::{Engine, EngineProfile};
+        for seed in 0..5 {
+            let spec = generator(GenerationStrategy::GeometryAware, seed).generate_database();
+            let mut engine = Engine::reference(EngineProfile::PostgisLike);
+            for statement in spec.to_sql() {
+                engine
+                    .execute(&statement)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {statement}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # spatter-core
+//!
+//! The paper's primary contribution: **Spatter**, an automated tester for
+//! spatial database engines built on *Affine Equivalent Inputs* (AEI).
+//!
+//! The pipeline follows Figure 5 of the paper:
+//!
+//! 1. [`generator`] — the *geometry-aware generator* (Algorithm 1) creates a
+//!    spatial database `SDB1` with `N` geometries spread over `m` tables,
+//!    mixing the *random-shape strategy* (syntactically valid random
+//!    geometries) with the *derivative strategy* (new geometries derived from
+//!    existing ones through the editing functions of Table 1).
+//! 2. [`spec`] / [`transform`] — each geometry of `SDB1` is canonicalized
+//!    (§4.3) and transformed by a random integer affine matrix (Algorithm 2),
+//!    producing the affine-equivalent database `SDB2`.
+//! 3. [`queries`] — the query template
+//!    `SELECT COUNT(*) FROM <t1> JOIN <t2> ON <TopoRlt>(t1.g, t2.g)` is
+//!    instantiated with random tables and a random topological relationship
+//!    supported by the engine under test.
+//! 4. [`oracles`] — the **AEI oracle** runs every query against `SDB1` and
+//!    `SDB2` on the same engine and reports any count discrepancy as a
+//!    potential logic bug; the baseline oracles of §5.3 (differential
+//!    testing between profiles, index on/off, TLP) are implemented for the
+//!    Table 4 comparison.
+//! 5. [`campaign`] — the testing-campaign driver: runs iterations, detects
+//!    crashes and logic discrepancies, reduces failing scenarios
+//!    ([`reducer`]), attributes each finding to the seeded fault that causes
+//!    it (the deduplication step of §5.4), and tracks timing and coverage for
+//!    Figures 7 and 8 and Table 5.
+
+pub mod campaign;
+pub mod generator;
+pub mod oracles;
+pub mod queries;
+pub mod reducer;
+pub mod scenarios;
+pub mod spec;
+pub mod transform;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
+pub use oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle};
+pub use queries::QueryInstance;
+pub use spec::{DatabaseSpec, TableSpec};
+pub use transform::{AffineStrategy, TransformPlan};

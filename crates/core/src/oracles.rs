@@ -1,0 +1,517 @@
+//! Test oracles: AEI (the paper's contribution) and the baseline
+//! methodologies it is compared against in §5.3 / Table 4.
+//!
+//! Every oracle consumes a *scenario* — a generated database spec plus a set
+//! of query instances — and reports, per query, whether it observed evidence
+//! of a logic bug, a crash, or nothing. Errors that are not crashes
+//! (semantic validation failures, unsupported functions) are ignored, exactly
+//! as Spatter ignores them (§4.1).
+
+use crate::queries::QueryInstance;
+use crate::spec::DatabaseSpec;
+use crate::transform::TransformPlan;
+use spatter_sdb::{Engine, EngineProfile, FaultSet, SdbError};
+
+/// The verdict of an oracle for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleOutcome {
+    /// The oracle saw nothing suspicious.
+    Pass,
+    /// The oracle observed a logic discrepancy; the payload describes the two
+    /// observations that disagree.
+    LogicBug {
+        /// Human-readable description of the disagreement.
+        description: String,
+    },
+    /// A statement crashed the engine.
+    Crash {
+        /// The crash message.
+        message: String,
+    },
+    /// The oracle could not apply to this query (e.g. the function does not
+    /// exist in the comparison engine, or the statements errored) — not a
+    /// bug, mirroring the expected discrepancies of §1.
+    Inapplicable,
+}
+
+impl OracleOutcome {
+    /// Whether this outcome is a logic-bug report.
+    pub fn is_logic_bug(&self) -> bool {
+        matches!(self, OracleOutcome::LogicBug { .. })
+    }
+
+    /// Whether this outcome is a crash report.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, OracleOutcome::Crash { .. })
+    }
+}
+
+/// A test oracle.
+pub trait Oracle {
+    /// The oracle's display name (used in the Table 4 harness).
+    fn name(&self) -> &'static str;
+
+    /// Checks one scenario; returns one outcome per query.
+    fn check(
+        &self,
+        profile: EngineProfile,
+        faults: &FaultSet,
+        spec: &DatabaseSpec,
+        queries: &[QueryInstance],
+    ) -> Vec<OracleOutcome>;
+}
+
+/// Loads a spec into a fresh engine, returning the engine or a crash outcome.
+fn load_engine(
+    profile: EngineProfile,
+    faults: &FaultSet,
+    statements: &[String],
+) -> Result<Engine, OracleOutcome> {
+    let mut engine = Engine::with_faults(profile, faults.clone());
+    for statement in statements {
+        match engine.execute(statement) {
+            Ok(_) => {}
+            Err(SdbError::Crash(message)) => return Err(OracleOutcome::Crash { message }),
+            // Non-crash errors while loading (e.g. a profile rejecting an
+            // invalid geometry at ingestion) make the scenario inapplicable.
+            Err(_) => return Err(OracleOutcome::Inapplicable),
+        }
+    }
+    Ok(engine)
+}
+
+/// Runs a count query, mapping non-crash errors to `None`.
+fn run_count(engine: &mut Engine, sql: &str) -> Result<Option<i64>, OracleOutcome> {
+    match engine.execute(sql) {
+        Ok(result) => Ok(result.count()),
+        Err(SdbError::Crash(message)) => Err(OracleOutcome::Crash { message }),
+        Err(_) => Ok(None),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AEI
+// ---------------------------------------------------------------------------
+
+/// The Affine Equivalent Inputs oracle (§4.4): the same query must return the
+/// same count on `SDB1` and on its canonicalized + affine-transformed
+/// counterpart `SDB2`.
+pub struct AeiOracle {
+    /// The transformation plan that builds `SDB2` from `SDB1`.
+    pub plan: TransformPlan,
+}
+
+impl AeiOracle {
+    /// Creates the oracle with a given plan.
+    pub fn new(plan: TransformPlan) -> Self {
+        AeiOracle { plan }
+    }
+}
+
+impl Oracle for AeiOracle {
+    fn name(&self) -> &'static str {
+        "AEI"
+    }
+
+    fn check(
+        &self,
+        profile: EngineProfile,
+        faults: &FaultSet,
+        spec: &DatabaseSpec,
+        queries: &[QueryInstance],
+    ) -> Vec<OracleOutcome> {
+        let transformed = self.plan.apply(spec);
+        let engine1 = load_engine(profile, faults, &spec.to_sql());
+        let engine2 = load_engine(profile, faults, &transformed.to_sql());
+        let (mut engine1, mut engine2) = match (engine1, engine2) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(outcome), _) | (_, Err(outcome)) => {
+                return vec![outcome; queries.len().max(1)];
+            }
+        };
+        queries
+            .iter()
+            .map(|query| {
+                let sql = query.to_sql();
+                let count1 = match run_count(&mut engine1, &sql) {
+                    Ok(c) => c,
+                    Err(outcome) => return outcome,
+                };
+                let count2 = match run_count(&mut engine2, &sql) {
+                    Ok(c) => c,
+                    Err(outcome) => return outcome,
+                };
+                match (count1, count2) {
+                    (Some(a), Some(b)) if a != b => OracleOutcome::LogicBug {
+                        description: format!(
+                            "{}: SDB1 returned {a}, affine-equivalent SDB2 returned {b}",
+                            query.predicate.function_name()
+                        ),
+                    },
+                    (Some(_), Some(_)) => OracleOutcome::Pass,
+                    _ => OracleOutcome::Inapplicable,
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential testing
+// ---------------------------------------------------------------------------
+
+/// Differential testing between two engine profiles (P. vs M. and P. vs D. of
+/// Table 4). The same database and queries are loaded into both engines; a
+/// disagreement on a query both engines can evaluate is reported as a bug
+/// candidate.
+pub struct DifferentialOracle {
+    /// The comparison profile (the engine under test comes from `check`'s
+    /// `profile` argument).
+    pub other_profile: EngineProfile,
+    /// Faults active in the comparison engine.
+    pub other_faults: FaultSet,
+}
+
+impl DifferentialOracle {
+    /// Compares against a stock engine of `other_profile` (with that
+    /// profile's default seeded faults, like comparing two released SDBMSs).
+    pub fn against_stock(other_profile: EngineProfile) -> Self {
+        DifferentialOracle {
+            other_faults: other_profile.default_faults(),
+            other_profile,
+        }
+    }
+}
+
+impl Oracle for DifferentialOracle {
+    fn name(&self) -> &'static str {
+        "Differential"
+    }
+
+    fn check(
+        &self,
+        profile: EngineProfile,
+        faults: &FaultSet,
+        spec: &DatabaseSpec,
+        queries: &[QueryInstance],
+    ) -> Vec<OracleOutcome> {
+        let engine1 = load_engine(profile, faults, &spec.to_sql());
+        let engine2 = load_engine(self.other_profile, &self.other_faults, &spec.to_sql());
+        let (mut engine1, mut engine2) = match (engine1, engine2) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(outcome), _) => return vec![outcome; queries.len().max(1)],
+            (_, Err(_)) => return vec![OracleOutcome::Inapplicable; queries.len().max(1)],
+        };
+        queries
+            .iter()
+            .map(|query| {
+                // The predicate must exist in both engines; otherwise the
+                // comparison is impossible (ST_Covers & friends).
+                if !self
+                    .other_profile
+                    .supports_function(query.predicate.function_name())
+                {
+                    return OracleOutcome::Inapplicable;
+                }
+                let sql = query.to_sql();
+                let count1 = match run_count(&mut engine1, &sql) {
+                    Ok(c) => c,
+                    Err(outcome) => return outcome,
+                };
+                let count2 = match run_count(&mut engine2, &sql) {
+                    Ok(c) => c,
+                    // Crashes of the *comparison* engine are not findings
+                    // about the engine under test.
+                    Err(_) => None,
+                };
+                match (count1, count2) {
+                    (Some(a), Some(b)) if a != b => OracleOutcome::LogicBug {
+                        description: format!(
+                            "{}: {} returned {a}, {} returned {b}",
+                            query.predicate.function_name(),
+                            profile.name(),
+                            self.other_profile.name()
+                        ),
+                    },
+                    (Some(_), Some(_)) => OracleOutcome::Pass,
+                    _ => OracleOutcome::Inapplicable,
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Index oracle
+// ---------------------------------------------------------------------------
+
+/// Differential testing with and without a spatial index (the *Index* column
+/// of Table 4): the same engine must return the same counts whether the plan
+/// uses a sequential scan or the GiST-analog index.
+pub struct IndexOracle;
+
+impl Oracle for IndexOracle {
+    fn name(&self) -> &'static str {
+        "Index"
+    }
+
+    fn check(
+        &self,
+        profile: EngineProfile,
+        faults: &FaultSet,
+        spec: &DatabaseSpec,
+        queries: &[QueryInstance],
+    ) -> Vec<OracleOutcome> {
+        let seq = load_engine(profile, faults, &spec.to_sql());
+        let indexed = load_engine(profile, faults, &spec.to_sql_with_indexes());
+        let (mut seq, mut indexed) = match (seq, indexed) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(outcome), _) | (_, Err(outcome)) => {
+                return vec![outcome; queries.len().max(1)];
+            }
+        };
+        if indexed.execute("SET enable_seqscan = false").is_err() {
+            return vec![OracleOutcome::Inapplicable; queries.len().max(1)];
+        }
+        queries
+            .iter()
+            .map(|query| {
+                let sql = query.to_sql();
+                let count_seq = match run_count(&mut seq, &sql) {
+                    Ok(c) => c,
+                    Err(outcome) => return outcome,
+                };
+                let count_idx = match run_count(&mut indexed, &sql) {
+                    Ok(c) => c,
+                    Err(outcome) => return outcome,
+                };
+                match (count_seq, count_idx) {
+                    (Some(a), Some(b)) if a != b => OracleOutcome::LogicBug {
+                        description: format!(
+                            "{}: sequential scan returned {a}, index scan returned {b}",
+                            query.predicate.function_name()
+                        ),
+                    },
+                    (Some(_), Some(_)) => OracleOutcome::Pass,
+                    _ => OracleOutcome::Inapplicable,
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TLP
+// ---------------------------------------------------------------------------
+
+/// Ternary Logic Partitioning adapted to the join-count template: the size of
+/// the cross product must equal the sum of the counts of the predicate and
+/// its negation.
+pub struct TlpOracle;
+
+impl Oracle for TlpOracle {
+    fn name(&self) -> &'static str {
+        "TLP"
+    }
+
+    fn check(
+        &self,
+        profile: EngineProfile,
+        faults: &FaultSet,
+        spec: &DatabaseSpec,
+        queries: &[QueryInstance],
+    ) -> Vec<OracleOutcome> {
+        let engine = load_engine(profile, faults, &spec.to_sql());
+        let mut engine = match engine {
+            Ok(e) => e,
+            Err(outcome) => return vec![outcome; queries.len().max(1)],
+        };
+        queries
+            .iter()
+            .map(|query| {
+                let rows1 = spec
+                    .tables
+                    .iter()
+                    .find(|t| t.name == query.table1)
+                    .map(|t| t.geometries.len())
+                    .unwrap_or(0);
+                let rows2 = spec
+                    .tables
+                    .iter()
+                    .find(|t| t.name == query.table2)
+                    .map(|t| t.geometries.len())
+                    .unwrap_or(0);
+                let expected_total = (rows1 * rows2) as i64;
+                let positive = match run_count(&mut engine, &query.to_sql()) {
+                    Ok(c) => c,
+                    Err(outcome) => return outcome,
+                };
+                let (_, negated_sql) = query.tlp_partition_sql();
+                let negative = match run_count(&mut engine, &negated_sql) {
+                    Ok(c) => c,
+                    Err(outcome) => return outcome,
+                };
+                match (positive, negative) {
+                    (Some(p), Some(n)) if p + n != expected_total => OracleOutcome::LogicBug {
+                        description: format!(
+                            "{}: {p} + NOT {n} != |cross product| {expected_total}",
+                            query.predicate.function_name()
+                        ),
+                    },
+                    (Some(_), Some(_)) => OracleOutcome::Pass,
+                    _ => OracleOutcome::Inapplicable,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::QueryInstance;
+    use crate::transform::{AffineStrategy, TransformPlan};
+    use spatter_geom::wkt::parse_wkt;
+    use spatter_sdb::FaultId;
+    use spatter_topo::predicates::NamedPredicate;
+
+    /// The Listing 1 scenario as a database spec + query.
+    fn listing1_scenario() -> (DatabaseSpec, Vec<QueryInstance>) {
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("LINESTRING(0 1,2 0)").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("POINT(0.2 0.9)").unwrap());
+        let queries = vec![QueryInstance {
+            table1: "t0".into(),
+            table2: "t1".into(),
+            predicate: NamedPredicate::Covers,
+        }];
+        (spec, queries)
+    }
+
+    #[test]
+    fn aei_detects_the_listing1_precision_bug() {
+        // The precision fault only fires for coordinate representations whose
+        // displaced values round; a single random matrix may map the scenario
+        // to another triggering representation, so — exactly like the real
+        // campaign — several affine-equivalent databases are tried and at
+        // least one of them must expose the discrepancy.
+        let (spec, queries) = listing1_scenario();
+        let faults = FaultSet::with([FaultId::GeosCoversPrecisionLoss]);
+        let detected = (0..50).any(|seed| {
+            let oracle =
+                AeiOracle::new(TransformPlan::random(AffineStrategy::GeneralInteger, seed));
+            oracle
+                .check(EngineProfile::PostgisLike, &faults, &spec, &queries)
+                .iter()
+                .any(|o| o.is_logic_bug())
+        });
+        assert!(detected, "no affine-equivalent input exposed the Listing 1 bug");
+    }
+
+    #[test]
+    fn aei_passes_on_the_reference_engine() {
+        let (spec, queries) = listing1_scenario();
+        for seed in 0..5 {
+            let oracle =
+                AeiOracle::new(TransformPlan::random(AffineStrategy::GeneralInteger, seed));
+            let outcomes =
+                oracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &queries);
+            assert_eq!(outcomes[0], OracleOutcome::Pass, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn differential_is_inapplicable_for_postgis_only_functions() {
+        let (spec, queries) = listing1_scenario();
+        let oracle = DifferentialOracle::against_stock(EngineProfile::MysqlLike);
+        let faults = FaultSet::with([FaultId::GeosCoversPrecisionLoss]);
+        let outcomes = oracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        assert_eq!(outcomes[0], OracleOutcome::Inapplicable);
+    }
+
+    #[test]
+    fn differential_detects_bugs_on_shared_functions() {
+        // A scenario triggering the last-one-wins fault through ST_Within,
+        // which both PostGIS-like and MySQL-like support; MySQL answers
+        // correctly, so the comparison reveals the bug (Table 4 row 1).
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(0 0)").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))").unwrap());
+        let queries = vec![QueryInstance {
+            table1: "t0".into(),
+            table2: "t1".into(),
+            predicate: NamedPredicate::Within,
+        }];
+        let oracle = DifferentialOracle {
+            other_profile: EngineProfile::MysqlLike,
+            other_faults: FaultSet::none(),
+        };
+        let faults = FaultSet::with([FaultId::GeosMixedBoundaryLastOneWins]);
+        let outcomes = oracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
+    }
+
+    #[test]
+    fn index_oracle_detects_the_gist_fault() {
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POLYGON((-5 -5,5 -5,5 5,-5 5,-5 -5))").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("POINT(-1 -1)").unwrap());
+        let queries = vec![QueryInstance {
+            table1: "t0".into(),
+            table2: "t1".into(),
+            predicate: NamedPredicate::Intersects,
+        }];
+        let faults = FaultSet::with([FaultId::PostgisGistIndexDropsRows]);
+        let outcomes = IndexOracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
+        // The reference engine agrees between the two plans.
+        let outcomes = IndexOracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &queries);
+        assert_eq!(outcomes[0], OracleOutcome::Pass);
+    }
+
+    #[test]
+    fn tlp_passes_on_reference_and_misses_the_covers_bug() {
+        let (spec, queries) = listing1_scenario();
+        let outcomes = TlpOracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &queries);
+        assert_eq!(outcomes[0], OracleOutcome::Pass);
+        // The covers bug is consistent between the partitions, so TLP cannot
+        // see it — the situation described in §1.
+        let faults = FaultSet::with([FaultId::GeosCoversPrecisionLoss]);
+        let outcomes = TlpOracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        assert!(!outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
+    }
+
+    #[test]
+    fn crash_faults_surface_as_crash_outcomes() {
+        let mut spec = DatabaseSpec::with_tables(1);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POLYGON((0 0,1 1,0 0))").unwrap());
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(0 0)").unwrap());
+        let queries = vec![QueryInstance {
+            table1: "t0".into(),
+            table2: "t0".into(),
+            predicate: NamedPredicate::Intersects,
+        }];
+        // The lax profile is used so the crash path is reached instead of the
+        // strict validation rejecting the degenerate ring first.
+        let faults = FaultSet::with([FaultId::GeosCrashRelateShortRing]);
+        let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
+        let outcomes = oracle.check(EngineProfile::MysqlLike, &faults, &spec, &queries);
+        assert!(outcomes[0].is_crash(), "got {:?}", outcomes[0]);
+    }
+}

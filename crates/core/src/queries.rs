@@ -1,0 +1,157 @@
+//! Query-template instantiation (Figure 5, §4.4).
+//!
+//! The template has three placeholders — two table names and one topological
+//! relationship condition:
+//!
+//! ```sql
+//! SELECT COUNT(*) FROM <table1> JOIN <table2> ON <TopoRlt>
+//! ```
+//!
+//! Tables are picked at random from the generated database and the condition
+//! is a named predicate drawn from the list the engine under test supports
+//! (so `ST_Covers` is only generated for the PostGIS-like and DuckDB-like
+//! profiles, reproducing the situations where differential testing is
+//! inapplicable).
+
+use crate::spec::DatabaseSpec;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use spatter_sdb::EngineProfile;
+use spatter_topo::predicates::NamedPredicate;
+
+/// One instantiated query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryInstance {
+    /// The left table name.
+    pub table1: String,
+    /// The right table name.
+    pub table2: String,
+    /// The topological relationship predicate.
+    pub predicate: NamedPredicate,
+}
+
+impl QueryInstance {
+    /// The SQL text of the count query.
+    pub fn to_sql(&self) -> String {
+        format!(
+            "SELECT COUNT(*) FROM {} a JOIN {} b ON {}(a.g, b.g)",
+            self.table1,
+            self.table2,
+            self.predicate.function_name()
+        )
+    }
+
+    /// The TLP partitioning queries: the unconditioned cross product and the
+    /// negated-predicate query. TLP expects
+    /// `|t1 × t2| = COUNT(P) + COUNT(NOT P)` (NULL partitions cannot arise
+    /// because geometry columns are non-null in the generated databases).
+    pub fn tlp_partition_sql(&self) -> (String, String) {
+        let total = format!(
+            "SELECT COUNT(*) FROM {} a JOIN {} b ON ST_Intersects(a.g, b.g) OR NOT ST_Intersects(a.g, b.g)",
+            self.table1, self.table2
+        );
+        let negated = format!(
+            "SELECT COUNT(*) FROM {} a JOIN {} b ON NOT {}(a.g, b.g)",
+            self.table1,
+            self.table2,
+            self.predicate.function_name()
+        );
+        (total, negated)
+    }
+}
+
+/// The named predicates a profile exposes in its documentation (the
+/// `<TopoRlt>` candidate list of §4.4).
+pub fn supported_predicates(profile: EngineProfile) -> Vec<NamedPredicate> {
+    NamedPredicate::ALL
+        .into_iter()
+        .filter(|p| profile.supports_function(p.function_name()))
+        .collect()
+}
+
+/// Generates `count` random query instances over the tables of `spec`.
+pub fn random_queries(
+    spec: &DatabaseSpec,
+    profile: EngineProfile,
+    count: usize,
+    seed: u64,
+) -> Vec<QueryInstance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tables = spec.table_names();
+    let predicates = supported_predicates(profile);
+    if tables.is_empty() || predicates.is_empty() {
+        return Vec::new();
+    }
+    (0..count)
+        .map(|_| QueryInstance {
+            table1: tables[rng.random_range(0..tables.len())].to_string(),
+            table2: tables[rng.random_range(0..tables.len())].to_string(),
+            predicate: *predicates.choose(&mut rng).expect("non-empty"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_text_matches_template() {
+        let q = QueryInstance {
+            table1: "t0".into(),
+            table2: "t1".into(),
+            predicate: NamedPredicate::Covers,
+        };
+        assert_eq!(
+            q.to_sql(),
+            "SELECT COUNT(*) FROM t0 a JOIN t1 b ON ST_Covers(a.g, b.g)"
+        );
+    }
+
+    #[test]
+    fn tlp_partitions_share_the_table_pair() {
+        let q = QueryInstance {
+            table1: "t0".into(),
+            table2: "t1".into(),
+            predicate: NamedPredicate::Intersects,
+        };
+        let (total, negated) = q.tlp_partition_sql();
+        assert!(total.contains("FROM t0 a JOIN t1 b"));
+        assert!(negated.contains("NOT ST_Intersects"));
+    }
+
+    #[test]
+    fn supported_predicates_differ_per_profile() {
+        let postgis = supported_predicates(EngineProfile::PostgisLike);
+        let mysql = supported_predicates(EngineProfile::MysqlLike);
+        assert!(postgis.contains(&NamedPredicate::Covers));
+        assert!(!mysql.contains(&NamedPredicate::Covers));
+        assert!(mysql.contains(&NamedPredicate::Crosses));
+        assert_eq!(postgis.len(), 10);
+        assert_eq!(mysql.len(), 8);
+    }
+
+    #[test]
+    fn random_queries_only_reference_existing_tables() {
+        let spec = DatabaseSpec::with_tables(3);
+        let queries = random_queries(&spec, EngineProfile::PostgisLike, 50, 1);
+        assert_eq!(queries.len(), 50);
+        for q in &queries {
+            assert!(spec.table_names().contains(&q.table1.as_str()));
+            assert!(spec.table_names().contains(&q.table2.as_str()));
+        }
+        // Deterministic per seed.
+        assert_eq!(queries, random_queries(&spec, EngineProfile::PostgisLike, 50, 1));
+        assert_ne!(queries, random_queries(&spec, EngineProfile::PostgisLike, 50, 2));
+    }
+
+    #[test]
+    fn mysql_queries_never_use_postgis_only_functions() {
+        let spec = DatabaseSpec::with_tables(2);
+        let queries = random_queries(&spec, EngineProfile::MysqlLike, 100, 3);
+        assert!(queries
+            .iter()
+            .all(|q| q.predicate != NamedPredicate::Covers && q.predicate != NamedPredicate::CoveredBy));
+    }
+}

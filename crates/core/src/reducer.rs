@@ -1,0 +1,153 @@
+//! Test-case reduction.
+//!
+//! Before reporting an issue the paper reduces the bug-inducing statement
+//! sequences automatically (delta debugging, Zeller & Hildebrandt) and
+//! manually (§5.1). This module implements the automatic part for Spatter's
+//! scenarios: it removes geometries and tables from a failing scenario as
+//! long as the oracle keeps reporting the discrepancy.
+
+use crate::oracles::{Oracle, OracleOutcome};
+use crate::queries::QueryInstance;
+use crate::spec::DatabaseSpec;
+use spatter_sdb::{EngineProfile, FaultSet};
+
+/// A reduced scenario: the minimal database and single query that still
+/// exhibits the discrepancy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReducedScenario {
+    /// The reduced database.
+    pub spec: DatabaseSpec,
+    /// The single failing query.
+    pub query: QueryInstance,
+    /// The statement count of the reduced scenario's SQL (a proxy for test
+    /// case size in the reports).
+    pub statement_count: usize,
+}
+
+/// Checks whether the scenario still fails (logic bug or crash) under the
+/// oracle.
+fn still_fails(
+    oracle: &dyn Oracle,
+    profile: EngineProfile,
+    faults: &FaultSet,
+    spec: &DatabaseSpec,
+    query: &QueryInstance,
+) -> bool {
+    oracle
+        .check(profile, faults, spec, std::slice::from_ref(query))
+        .iter()
+        .any(|o| matches!(o, OracleOutcome::LogicBug { .. } | OracleOutcome::Crash { .. }))
+}
+
+/// Reduces a failing scenario to (close to) a minimal one.
+///
+/// The strategy is a greedy one-at-a-time removal pass over geometries,
+/// repeated until a fixed point — the classic ddmin specialized to
+/// granularity 1, which is sufficient for the small databases Spatter
+/// generates.
+pub fn reduce(
+    oracle: &dyn Oracle,
+    profile: EngineProfile,
+    faults: &FaultSet,
+    spec: &DatabaseSpec,
+    query: &QueryInstance,
+) -> Option<ReducedScenario> {
+    if !still_fails(oracle, profile, faults, spec, query) {
+        return None;
+    }
+    let mut current = spec.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        'outer: for table_idx in 0..current.tables.len() {
+            for geom_idx in (0..current.tables[table_idx].geometries.len()).rev() {
+                let mut candidate = current.clone();
+                candidate.tables[table_idx].geometries.remove(geom_idx);
+                if still_fails(oracle, profile, faults, &candidate, query) {
+                    current = candidate;
+                    changed = true;
+                    continue 'outer;
+                }
+            }
+        }
+    }
+    let statement_count = current.to_sql().len() + 1;
+    Some(ReducedScenario {
+        spec: current,
+        query: query.clone(),
+        statement_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracles::AeiOracle;
+    use crate::transform::TransformPlan;
+    use spatter_geom::wkt::parse_wkt;
+    use spatter_sdb::FaultId;
+    use spatter_topo::predicates::NamedPredicate;
+
+    #[test]
+    fn reduction_removes_irrelevant_geometries() {
+        // A Listing 6-style canonicalization discrepancy plus noise rows; the
+        // reducer must strip the noise while keeping the failure. The
+        // collection is stored line-first, so element reordering during
+        // canonicalization flips the "last one wins" faulty answer.
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[0].geometries.push(parse_wkt("POINT(0 0)").unwrap());
+        spec.tables[0].geometries.push(parse_wkt("POINT(50 50)").unwrap());
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("LINESTRING(30 30,40 40)").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("GEOMETRYCOLLECTION(LINESTRING(0 0,1 0),POINT(0 0))").unwrap());
+        spec.tables[1].geometries.push(parse_wkt("POINT(60 60)").unwrap());
+        let query = QueryInstance {
+            table1: "t1".into(),
+            table2: "t0".into(),
+            predicate: NamedPredicate::Covers,
+        };
+        let faults = FaultSet::with([FaultId::GeosMixedBoundaryLastOneWins]);
+        let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
+
+        let original_fails = oracle
+            .check(EngineProfile::PostgisLike, &faults, &spec, &[query.clone()])
+            .iter()
+            .any(|o| o.is_logic_bug());
+        assert!(original_fails, "scenario must fail before reduction");
+
+        let reduced = reduce(&oracle, EngineProfile::PostgisLike, &faults, &spec, &query)
+            .expect("reducible scenario");
+        assert!(reduced.spec.geometry_count() < spec.geometry_count());
+        assert!(reduced.spec.geometry_count() >= 1);
+        // The reduced scenario still fails.
+        assert!(still_fails(
+            &oracle,
+            EngineProfile::PostgisLike,
+            &faults,
+            &reduced.spec,
+            &query
+        ));
+    }
+
+    #[test]
+    fn non_failing_scenarios_are_not_reduced() {
+        let spec = DatabaseSpec::with_tables(2);
+        let query = QueryInstance {
+            table1: "t0".into(),
+            table2: "t1".into(),
+            predicate: NamedPredicate::Intersects,
+        };
+        let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
+        assert!(reduce(
+            &oracle,
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &query
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! In-memory description of a generated spatial database and its SQL form.
+
+use spatter_geom::wkt::write_wkt;
+use spatter_geom::Geometry;
+
+/// One generated table: a name and its geometry column contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSpec {
+    /// Table name (`t0`, `t1`, …).
+    pub name: String,
+    /// The geometries stored in the table's `g` column, in insertion order.
+    pub geometries: Vec<Geometry>,
+}
+
+impl TableSpec {
+    /// Creates an empty table spec.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableSpec {
+            name: name.into(),
+            geometries: Vec::new(),
+        }
+    }
+}
+
+/// A generated spatial database (the paper's `SDB1` / `SDB2`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DatabaseSpec {
+    /// The tables in creation order.
+    pub tables: Vec<TableSpec>,
+}
+
+impl DatabaseSpec {
+    /// Creates a spec with `m` empty tables named `t0..t{m-1}`.
+    pub fn with_tables(m: usize) -> Self {
+        DatabaseSpec {
+            tables: (0..m).map(|i| TableSpec::new(format!("t{i}"))).collect(),
+        }
+    }
+
+    /// Total number of geometries across all tables.
+    pub fn geometry_count(&self) -> usize {
+        self.tables.iter().map(|t| t.geometries.len()).sum()
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Applies a per-geometry rewrite, keeping the table structure (used for
+    /// canonicalization and affine transformation: the geometries `g` and
+    /// `g'` are stored in tables of the same name, §4.4).
+    pub fn map_geometries(&self, f: impl Fn(&Geometry) -> Geometry) -> DatabaseSpec {
+        DatabaseSpec {
+            tables: self
+                .tables
+                .iter()
+                .map(|t| TableSpec {
+                    name: t.name.clone(),
+                    geometries: t.geometries.iter().map(&f).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The DDL + DML statements that materialize this database, in the shape
+    /// of the paper's listings (`CREATE TABLE t (g geometry)` plus one
+    /// `INSERT` per geometry).
+    pub fn to_sql(&self) -> Vec<String> {
+        let mut statements = Vec::new();
+        for table in &self.tables {
+            statements.push(format!("CREATE TABLE {} (g geometry)", table.name));
+        }
+        for table in &self.tables {
+            for geometry in &table.geometries {
+                statements.push(format!(
+                    "INSERT INTO {} (g) VALUES ('{}')",
+                    table.name,
+                    write_wkt(geometry)
+                ));
+            }
+        }
+        statements
+    }
+
+    /// Statements that additionally create a GiST index on every table
+    /// (used by the Index oracle).
+    pub fn to_sql_with_indexes(&self) -> Vec<String> {
+        let mut statements = self.to_sql();
+        for (i, table) in self.tables.iter().enumerate() {
+            statements.push(format!(
+                "CREATE INDEX idx_{i}_{} ON {} USING GIST (g)",
+                table.name, table.name
+            ));
+        }
+        statements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatter_geom::wkt::parse_wkt;
+
+    fn spec_with_one_point() -> DatabaseSpec {
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(1 2)").unwrap());
+        spec
+    }
+
+    #[test]
+    fn with_tables_names_sequentially() {
+        let spec = DatabaseSpec::with_tables(3);
+        assert_eq!(spec.table_names(), vec!["t0", "t1", "t2"]);
+        assert_eq!(spec.geometry_count(), 0);
+    }
+
+    #[test]
+    fn to_sql_emits_ddl_then_inserts() {
+        let spec = spec_with_one_point();
+        let sql = spec.to_sql();
+        assert_eq!(sql.len(), 3);
+        assert_eq!(sql[0], "CREATE TABLE t0 (g geometry)");
+        assert_eq!(sql[1], "CREATE TABLE t1 (g geometry)");
+        assert_eq!(sql[2], "INSERT INTO t0 (g) VALUES ('POINT(1 2)')");
+    }
+
+    #[test]
+    fn to_sql_with_indexes_appends_index_ddl() {
+        let spec = spec_with_one_point();
+        let sql = spec.to_sql_with_indexes();
+        assert!(sql.last().unwrap().contains("USING GIST"));
+        assert_eq!(sql.len(), 5);
+    }
+
+    #[test]
+    fn map_geometries_preserves_structure() {
+        let spec = spec_with_one_point();
+        let translated = spec.map_geometries(|g| {
+            let mut out = g.clone();
+            out.map_coords(&mut |c| c.x += 10.0);
+            out
+        });
+        assert_eq!(translated.tables.len(), 2);
+        assert_eq!(
+            write_wkt(&translated.tables[0].geometries[0]),
+            "POINT(11 2)"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Construction of affine-equivalent databases (Algorithm 2 + §4.3).
+//!
+//! A [`TransformPlan`] bundles the two rewrites applied to every geometry of
+//! `SDB1` to obtain `SDB2`:
+//!
+//! 1. canonicalization (the special case of AEI with the identity matrix);
+//! 2. a random **integer** affine transformation, so that the transformation
+//!    itself is exact and any observed discrepancy is attributable to the
+//!    engine (§4.2, "Avoiding precision issues").
+
+use crate::spec::DatabaseSpec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spatter_geom::canonical::canonicalize;
+use spatter_geom::{AffineMatrix, AffineTransform, Geometry};
+
+/// Which family of affine matrices to draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AffineStrategy {
+    /// The identity matrix: `SDB2` differs from `SDB1` only by
+    /// canonicalization (§4.3 treats this as a special case of AEI).
+    CanonicalizationOnly,
+    /// A general random invertible integer matrix plus integer translation
+    /// (rotation/scaling/shearing composed, Figure 4).
+    GeneralInteger,
+    /// A similarity transformation (quarter-turn rotation, uniform integer
+    /// scaling, integer translation). Preserves relative distances, so it is
+    /// the family §7 prescribes for distance-parameterised queries (KNN,
+    /// `ST_DWithin`).
+    SimilarityInteger,
+}
+
+/// A concrete transformation: canonicalization options plus the matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformPlan {
+    /// Whether canonicalization is applied before the affine map.
+    pub canonicalize: bool,
+    /// The affine transformation applied to every vertex.
+    pub transform: AffineTransform,
+    /// The uniform scale factor of the linear part when the matrix is a
+    /// similarity (used to rescale distance literals in range queries).
+    pub uniform_scale: Option<f64>,
+}
+
+impl TransformPlan {
+    /// The identity plan (canonicalization only).
+    pub fn canonicalization_only() -> Self {
+        TransformPlan {
+            canonicalize: true,
+            transform: AffineTransform::identity(),
+            uniform_scale: Some(1.0),
+        }
+    }
+
+    /// Draws a random plan of the given strategy.
+    pub fn random(strategy: AffineStrategy, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match strategy {
+            AffineStrategy::CanonicalizationOnly => TransformPlan::canonicalization_only(),
+            AffineStrategy::GeneralInteger => {
+                let matrix = random_invertible_integer_matrix(&mut rng);
+                TransformPlan {
+                    canonicalize: true,
+                    transform: AffineTransform::new(matrix)
+                        .expect("matrix is invertible by construction"),
+                    uniform_scale: None,
+                }
+            }
+            AffineStrategy::SimilarityInteger => {
+                let scale = rng.random_range(1..=5) as f64;
+                let quarter_turns = rng.random_range(0..4);
+                let tx = rng.random_range(-50..=50) as f64;
+                let ty = rng.random_range(-50..=50) as f64;
+                let matrix = AffineMatrix::translation(tx, ty)
+                    .compose(&AffineMatrix::scaling(scale, scale))
+                    .compose(&AffineMatrix::rotation_quarter(quarter_turns));
+                TransformPlan {
+                    canonicalize: true,
+                    transform: AffineTransform::new(matrix)
+                        .expect("similarity matrices are invertible"),
+                    uniform_scale: Some(scale),
+                }
+            }
+        }
+    }
+
+    /// Applies the plan to one geometry.
+    pub fn apply_geometry(&self, geometry: &Geometry) -> Geometry {
+        let canonical = if self.canonicalize {
+            canonicalize(geometry)
+        } else {
+            geometry.clone()
+        };
+        self.transform.apply(&canonical)
+    }
+
+    /// Applies the plan to a whole database spec, producing `SDB2`.
+    pub fn apply(&self, spec: &DatabaseSpec) -> DatabaseSpec {
+        spec.map_geometries(|g| self.apply_geometry(g))
+    }
+
+    /// Rescales a distance literal so range predicates remain equivalent
+    /// under a similarity transformation; `None` when the plan does not
+    /// preserve relative distances.
+    pub fn scale_distance(&self, d: f64) -> Option<f64> {
+        self.uniform_scale.map(|s| d * s)
+    }
+}
+
+/// Generates a random invertible integer matrix with an integer translation
+/// vector (Algorithm 2, `GenerateMappingMatrix`).
+fn random_invertible_integer_matrix(rng: &mut StdRng) -> AffineMatrix {
+    loop {
+        let a = rng.random_range(-3..=3) as f64;
+        let b = rng.random_range(-3..=3) as f64;
+        let c = rng.random_range(-3..=3) as f64;
+        let d = rng.random_range(-3..=3) as f64;
+        let tx = rng.random_range(-100..=100) as f64;
+        let ty = rng.random_range(-100..=100) as f64;
+        let matrix = AffineMatrix::new(a, b, c, d, tx, ty);
+        if matrix.is_invertible() {
+            return matrix;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatter_geom::wkt::{parse_wkt, write_wkt};
+    use spatter_topo::predicates::NamedPredicate;
+
+    #[test]
+    fn canonicalization_only_plan_reproduces_figure6() {
+        let plan = TransformPlan::canonicalization_only();
+        let g = parse_wkt("MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)").unwrap();
+        assert_eq!(write_wkt(&plan.apply_geometry(&g)), "LINESTRING(0 2,1 0,3 1,5 0)");
+        assert_eq!(plan.scale_distance(7.0), Some(7.0));
+    }
+
+    #[test]
+    fn random_general_plans_use_integer_invertible_matrices() {
+        for seed in 0..50 {
+            let plan = TransformPlan::random(AffineStrategy::GeneralInteger, seed);
+            let matrix = *plan.transform.matrix();
+            assert!(matrix.is_integer(), "seed {seed}");
+            assert!(matrix.is_invertible(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn similarity_plans_preserve_relative_distance() {
+        for seed in 0..20 {
+            let plan = TransformPlan::random(AffineStrategy::SimilarityInteger, seed);
+            assert!(plan.transform.matrix().preserves_relative_distance(), "seed {seed}");
+            assert!(plan.uniform_scale.is_some());
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let a = TransformPlan::random(AffineStrategy::GeneralInteger, 9);
+        let b = TransformPlan::random(AffineStrategy::GeneralInteger, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn topological_relationships_are_preserved_by_random_plans() {
+        // Proposition 3.3, checked empirically on the reference library: for
+        // a fixed pair of geometries, every named predicate returns the same
+        // value before and after the transformation.
+        let pairs = [
+            ("LINESTRING(0 1,2 0)", "POINT(1 0.5)"),
+            ("POLYGON((0 0,4 0,4 4,0 4,0 0))", "LINESTRING(-1 2,5 2)"),
+            ("POLYGON((0 0,4 0,4 4,0 4,0 0))", "POLYGON((2 2,6 2,6 6,2 6,2 2))"),
+            ("MULTIPOINT((1 1),(5 5))", "POLYGON((0 0,4 0,4 4,0 4,0 0))"),
+        ];
+        for seed in 0..10u64 {
+            let plan = TransformPlan::random(AffineStrategy::GeneralInteger, seed);
+            for (wa, wb) in pairs {
+                let a = parse_wkt(wa).unwrap();
+                let b = parse_wkt(wb).unwrap();
+                let ta = plan.apply_geometry(&a);
+                let tb = plan.apply_geometry(&b);
+                for predicate in NamedPredicate::ALL {
+                    assert_eq!(
+                        predicate.evaluate(&a, &b),
+                        predicate.evaluate(&ta, &tb),
+                        "{} changed under seed {seed} for {wa} / {wb}",
+                        predicate.function_name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_preserves_table_structure() {
+        use crate::spec::DatabaseSpec;
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[1].geometries.push(parse_wkt("POINT(1 1)").unwrap());
+        let plan = TransformPlan::random(AffineStrategy::GeneralInteger, 3);
+        let transformed = plan.apply(&spec);
+        assert_eq!(transformed.tables.len(), 2);
+        assert_eq!(transformed.tables[1].geometries.len(), 1);
+        assert_eq!(transformed.tables[0].geometries.len(), 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Affine transformations (§2.3 and §4.2, Algorithm 2 of the paper).
+//!
+//! An affine transformation `A(p) = A·p + b` is represented as the augmented
+//! homogeneous matrix `M = [[A, b], [0, 1]]` of Equation 4. The paper's key
+//! implementation decision — reproduced here — is that the random matrices
+//! used to build Affine Equivalent Inputs are generated from **integers**, so
+//! that the transformation itself never introduces floating-point error and
+//! any discrepancy the oracle observes is attributable to the engine under
+//! test (§4.2, "Avoiding precision issues").
+
+use crate::coord::Coord;
+use crate::error::{GeomError, GeomResult};
+use crate::geometry::Geometry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 2D affine transformation stored as the six coefficients of
+/// `x' = a·x + b·y + tx`, `y' = c·x + d·y + ty`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AffineMatrix {
+    /// Coefficient of `x` in `x'`.
+    pub a: f64,
+    /// Coefficient of `y` in `x'`.
+    pub b: f64,
+    /// Coefficient of `x` in `y'`.
+    pub c: f64,
+    /// Coefficient of `y` in `y'`.
+    pub d: f64,
+    /// Translation in `x`.
+    pub tx: f64,
+    /// Translation in `y`.
+    pub ty: f64,
+}
+
+impl AffineMatrix {
+    /// The identity transformation `E` (used by canonicalization, §4.3).
+    pub fn identity() -> Self {
+        AffineMatrix {
+            a: 1.0,
+            b: 0.0,
+            c: 0.0,
+            d: 1.0,
+            tx: 0.0,
+            ty: 0.0,
+        }
+    }
+
+    /// Builds a matrix from the linear part and translation vector.
+    pub fn new(a: f64, b: f64, c: f64, d: f64, tx: f64, ty: f64) -> Self {
+        AffineMatrix { a, b, c, d, tx, ty }
+    }
+
+    /// A pure translation by `(tx, ty)`.
+    pub fn translation(tx: f64, ty: f64) -> Self {
+        AffineMatrix {
+            a: 1.0,
+            b: 0.0,
+            c: 0.0,
+            d: 1.0,
+            tx,
+            ty,
+        }
+    }
+
+    /// A scaling by `(sx, sy)` about the origin.
+    pub fn scaling(sx: f64, sy: f64) -> Self {
+        AffineMatrix {
+            a: sx,
+            b: 0.0,
+            c: 0.0,
+            d: sy,
+            tx: 0.0,
+            ty: 0.0,
+        }
+    }
+
+    /// A rotation by `theta` radians about the origin.
+    pub fn rotation(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        AffineMatrix {
+            a: c,
+            b: -s,
+            c: s,
+            d: c,
+            tx: 0.0,
+            ty: 0.0,
+        }
+    }
+
+    /// A rotation by a multiple of 90 degrees, expressed exactly in integers
+    /// (no trigonometry), which the AEI construction prefers to avoid
+    /// rounding. `quarter_turns` is taken modulo 4.
+    pub fn rotation_quarter(quarter_turns: i32) -> Self {
+        match quarter_turns.rem_euclid(4) {
+            0 => AffineMatrix::identity(),
+            1 => AffineMatrix::new(0.0, -1.0, 1.0, 0.0, 0.0, 0.0),
+            2 => AffineMatrix::new(-1.0, 0.0, 0.0, -1.0, 0.0, 0.0),
+            _ => AffineMatrix::new(0.0, 1.0, -1.0, 0.0, 0.0, 0.0),
+        }
+    }
+
+    /// A shear with factors `(shx, shy)` (Figure 4's fourth example).
+    pub fn shearing(shx: f64, shy: f64) -> Self {
+        AffineMatrix {
+            a: 1.0,
+            b: shx,
+            c: shy,
+            d: 1.0,
+            tx: 0.0,
+            ty: 0.0,
+        }
+    }
+
+    /// Swaps the X and Y axes (the transformation of Listing 4's
+    /// `ST_SwapXY`). It is affine with determinant -1.
+    pub fn swap_xy() -> Self {
+        AffineMatrix::new(0.0, 1.0, 1.0, 0.0, 0.0, 0.0)
+    }
+
+    /// The determinant of the linear part; the transformation is invertible
+    /// iff this is non-zero (the paper requires invertibility, Definition 3.1).
+    pub fn determinant(&self) -> f64 {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Whether the matrix is invertible.
+    pub fn is_invertible(&self) -> bool {
+        let det = self.determinant();
+        det != 0.0 && det.is_finite()
+    }
+
+    /// Whether the transformation preserves relative distances up to a common
+    /// factor (rotation/translation/uniform scale but no shear), which is the
+    /// condition §7 derives for applying AEI to KNN queries.
+    pub fn preserves_relative_distance(&self) -> bool {
+        // The linear part must be a scalar multiple of an orthogonal matrix:
+        // columns orthogonal and of equal norm.
+        let col1 = (self.a, self.c);
+        let col2 = (self.b, self.d);
+        let dot = col1.0 * col2.0 + col1.1 * col2.1;
+        let n1 = col1.0 * col1.0 + col1.1 * col1.1;
+        let n2 = col2.0 * col2.0 + col2.1 * col2.1;
+        dot.abs() < 1e-12 && (n1 - n2).abs() < 1e-9 * n1.abs().max(1.0)
+    }
+
+    /// The inverse transformation.
+    pub fn inverse(&self) -> GeomResult<AffineMatrix> {
+        let det = self.determinant();
+        if det == 0.0 || !det.is_finite() {
+            return Err(GeomError::SingularMatrix);
+        }
+        let inv_a = self.d / det;
+        let inv_b = -self.b / det;
+        let inv_c = -self.c / det;
+        let inv_d = self.a / det;
+        Ok(AffineMatrix {
+            a: inv_a,
+            b: inv_b,
+            c: inv_c,
+            d: inv_d,
+            tx: -(inv_a * self.tx + inv_b * self.ty),
+            ty: -(inv_c * self.tx + inv_d * self.ty),
+        })
+    }
+
+    /// Composition: `self.compose(other)` applies `other` first, then `self`.
+    pub fn compose(&self, other: &AffineMatrix) -> AffineMatrix {
+        AffineMatrix {
+            a: self.a * other.a + self.b * other.c,
+            b: self.a * other.b + self.b * other.d,
+            c: self.c * other.a + self.d * other.c,
+            d: self.c * other.b + self.d * other.d,
+            tx: self.a * other.tx + self.b * other.ty + self.tx,
+            ty: self.c * other.tx + self.d * other.ty + self.ty,
+        }
+    }
+
+    /// Applies the transformation to a single coordinate (the `Affine`
+    /// function of Algorithm 2: homogenize, left-multiply, dehomogenize).
+    pub fn apply(&self, p: Coord) -> Coord {
+        Coord::new(
+            self.a * p.x + self.b * p.y + self.tx,
+            self.c * p.x + self.d * p.y + self.ty,
+        )
+    }
+
+    /// Whether all six coefficients are integers (the paper generates integer
+    /// matrices to avoid precision false alarms).
+    pub fn is_integer(&self) -> bool {
+        [self.a, self.b, self.c, self.d, self.tx, self.ty]
+            .iter()
+            .all(|v| v.fract() == 0.0 && v.is_finite())
+    }
+}
+
+impl fmt::Display for AffineMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[[{} {} {}], [{} {} {}], [0 0 1]]",
+            self.a, self.b, self.tx, self.c, self.d, self.ty
+        )
+    }
+}
+
+/// An affine transformation that can be applied to whole geometries
+/// (Algorithm 2's `Construct`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AffineTransform {
+    matrix: AffineMatrix,
+}
+
+impl AffineTransform {
+    /// Wraps a matrix, requiring it to be invertible: affine equivalence is
+    /// only defined for invertible transformations (Definition 3.1/3.2).
+    pub fn new(matrix: AffineMatrix) -> GeomResult<Self> {
+        if !matrix.is_invertible() {
+            return Err(GeomError::SingularMatrix);
+        }
+        Ok(AffineTransform { matrix })
+    }
+
+    /// The identity transformation.
+    pub fn identity() -> Self {
+        AffineTransform {
+            matrix: AffineMatrix::identity(),
+        }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &AffineMatrix {
+        &self.matrix
+    }
+
+    /// The inverse transformation (always exists by construction).
+    pub fn inverse(&self) -> AffineTransform {
+        AffineTransform {
+            matrix: self
+                .matrix
+                .inverse()
+                .expect("invertibility checked at construction"),
+        }
+    }
+
+    /// Applies the transformation to a coordinate.
+    pub fn apply_coord(&self, c: Coord) -> Coord {
+        self.matrix.apply(c)
+    }
+
+    /// Returns a transformed copy of the geometry (every vertex mapped, the
+    /// structure untouched) — Algorithm 2 lines 3–6.
+    pub fn apply(&self, geometry: &Geometry) -> Geometry {
+        let mut out = geometry.clone();
+        out.map_coords(&mut |c| *c = self.matrix.apply(*c));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{LineString, Point};
+    use crate::wkt::parse_wkt;
+
+    #[test]
+    fn identity_maps_points_to_themselves() {
+        let t = AffineTransform::identity();
+        let p = Coord::new(3.0, -4.0);
+        assert_eq!(t.apply_coord(p), p);
+    }
+
+    #[test]
+    fn translation_and_scaling() {
+        let t = AffineMatrix::translation(10.0, -5.0);
+        assert_eq!(t.apply(Coord::new(1.0, 2.0)), Coord::new(11.0, -3.0));
+        let s = AffineMatrix::scaling(2.0, 3.0);
+        assert_eq!(s.apply(Coord::new(1.0, 2.0)), Coord::new(2.0, 6.0));
+    }
+
+    #[test]
+    fn quarter_rotations_are_exact() {
+        let r = AffineMatrix::rotation_quarter(1);
+        assert_eq!(r.apply(Coord::new(1.0, 0.0)), Coord::new(0.0, 1.0));
+        let r2 = AffineMatrix::rotation_quarter(2);
+        assert_eq!(r2.apply(Coord::new(1.0, 2.0)), Coord::new(-1.0, -2.0));
+        assert_eq!(AffineMatrix::rotation_quarter(4), AffineMatrix::identity());
+        assert_eq!(AffineMatrix::rotation_quarter(-1), AffineMatrix::rotation_quarter(3));
+    }
+
+    #[test]
+    fn swap_xy_matches_listing4() {
+        let t = AffineMatrix::swap_xy();
+        assert_eq!(t.apply(Coord::new(614.0, 445.0)), Coord::new(445.0, 614.0));
+        assert_eq!(t.determinant(), -1.0);
+        assert!(t.is_invertible());
+    }
+
+    #[test]
+    fn determinant_and_invertibility() {
+        let singular = AffineMatrix::new(1.0, 2.0, 2.0, 4.0, 0.0, 0.0);
+        assert_eq!(singular.determinant(), 0.0);
+        assert!(!singular.is_invertible());
+        assert!(AffineTransform::new(singular).is_err());
+        assert!(matches!(singular.inverse(), Err(GeomError::SingularMatrix)));
+    }
+
+    #[test]
+    fn inverse_round_trips_coordinates() {
+        let m = AffineMatrix::new(2.0, 1.0, 0.0, 1.0, 5.0, -3.0);
+        let t = AffineTransform::new(m).unwrap();
+        let inv = t.inverse();
+        let p = Coord::new(7.0, 11.0);
+        let q = t.apply_coord(p);
+        let back = inv.apply_coord(q);
+        assert!((back.x - p.x).abs() < 1e-12);
+        assert!((back.y - p.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_applies_right_then_left() {
+        let scale = AffineMatrix::scaling(2.0, 2.0);
+        let translate = AffineMatrix::translation(1.0, 0.0);
+        // translate then scale
+        let m = scale.compose(&translate);
+        assert_eq!(m.apply(Coord::new(0.0, 0.0)), Coord::new(2.0, 0.0));
+        // scale then translate
+        let m2 = translate.compose(&scale);
+        assert_eq!(m2.apply(Coord::new(0.0, 0.0)), Coord::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn apply_to_geometry_preserves_structure() {
+        let g = parse_wkt("GEOMETRYCOLLECTION(POINT(1 1),LINESTRING(0 0,1 0),POLYGON((0 0,2 0,2 2,0 0)))")
+            .unwrap();
+        let t = AffineTransform::new(AffineMatrix::translation(100.0, 200.0)).unwrap();
+        let out = t.apply(&g);
+        assert_eq!(out.geometry_type(), g.geometry_type());
+        assert_eq!(out.num_coords(), g.num_coords());
+        assert_eq!(
+            out.geometry_n(1),
+            Some(Geometry::Point(Point::new(101.0, 201.0)))
+        );
+    }
+
+    #[test]
+    fn empty_geometries_stay_empty_under_transform() {
+        let g = parse_wkt("MULTIPOINT((-2 0),EMPTY)").unwrap();
+        let t = AffineTransform::new(AffineMatrix::scaling(3.0, 3.0)).unwrap();
+        let out = t.apply(&g);
+        match out {
+            Geometry::MultiPoint(mp) => {
+                assert_eq!(mp.points[0], Point::new(-6.0, 0.0));
+                assert!(mp.points[1].is_empty());
+            }
+            _ => panic!("type changed"),
+        }
+    }
+
+    #[test]
+    fn integer_matrix_detection() {
+        assert!(AffineMatrix::new(2.0, -1.0, 3.0, 4.0, 10.0, -7.0).is_integer());
+        assert!(!AffineMatrix::new(0.5, 0.0, 0.0, 1.0, 0.0, 0.0).is_integer());
+    }
+
+    #[test]
+    fn relative_distance_preservation_classification() {
+        assert!(AffineMatrix::rotation_quarter(1).preserves_relative_distance());
+        assert!(AffineMatrix::scaling(3.0, 3.0).preserves_relative_distance());
+        assert!(AffineMatrix::translation(5.0, 6.0).preserves_relative_distance());
+        assert!(!AffineMatrix::shearing(0.5, 0.0).preserves_relative_distance());
+        assert!(!AffineMatrix::scaling(1.0, 2.0).preserves_relative_distance());
+    }
+
+    #[test]
+    fn rotation_by_radians_is_close_to_exact() {
+        let r = AffineMatrix::rotation(std::f64::consts::FRAC_PI_2);
+        let p = r.apply(Coord::new(1.0, 0.0));
+        assert!((p.x - 0.0).abs() < 1e-12);
+        assert!((p.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shear_preserves_line_membership() {
+        // Affine transforms preserve collinearity: the midpoint of a segment
+        // maps to the midpoint of the mapped segment.
+        let m = AffineMatrix::shearing(1.0, 0.0);
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(2.0, 2.0);
+        let mid = a.midpoint(&b);
+        let (ma, mb, mmid) = (m.apply(a), m.apply(b), m.apply(mid));
+        assert_eq!(ma.midpoint(&mb), mmid);
+        let _ = LineString::new(vec![ma, mb]);
+    }
+}

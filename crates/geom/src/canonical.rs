@@ -1,0 +1,488 @@
+//! Canonicalization (§4.3 of the paper, Figure 6).
+//!
+//! Canonicalization rewrites a geometry's *representation* without changing
+//! the point set it denotes. The paper treats it as the special case of AEI
+//! construction with the identity matrix `E`: passing the original and the
+//! canonicalized databases to the same query must return identical results.
+//!
+//! Two levels are implemented, matching §4.3:
+//!
+//! * **element level** (MULTI and MIXED geometries only): EMPTY removal,
+//!   homogenization (a single-element MULTI becomes its basic type, nested
+//!   collections are flattened), duplicate-element removal, and reordering by
+//!   dimension;
+//! * **value level** (each basic element): consecutive-duplicate vertex
+//!   removal and direction reordering (linestrings get a canonical direction,
+//!   polygon loops are forced clockwise).
+
+use crate::coord::Coord;
+use crate::geometry::{Geometry, GeometryType};
+use crate::orientation::{ring_orientation, RingOrientation};
+use crate::types::{
+    GeometryCollection, LineString, MultiLineString, MultiPoint, MultiPolygon, Polygon,
+};
+use crate::wkt::write_wkt;
+
+/// Which canonicalization steps to apply. The default applies all of them,
+/// matching the paper's pipeline; individual steps can be disabled for the
+/// ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanonicalizeOptions {
+    /// Element level: drop EMPTY elements of MULTI/MIXED geometries.
+    pub empty_removal: bool,
+    /// Element level: collapse single-element MULTIs and flatten nested
+    /// collections.
+    pub homogenization: bool,
+    /// Element level: remove duplicate elements (same shape).
+    pub duplicate_removal: bool,
+    /// Element level: reorder elements by dimension.
+    pub reordering: bool,
+    /// Value level: drop consecutive duplicate vertices.
+    pub consecutive_duplicate_removal: bool,
+    /// Value level: canonical direction for linestrings and clockwise loops
+    /// for polygons.
+    pub direction_reordering: bool,
+}
+
+impl Default for CanonicalizeOptions {
+    fn default() -> Self {
+        CanonicalizeOptions {
+            empty_removal: true,
+            homogenization: true,
+            duplicate_removal: true,
+            reordering: true,
+            consecutive_duplicate_removal: true,
+            direction_reordering: true,
+        }
+    }
+}
+
+impl CanonicalizeOptions {
+    /// All steps enabled (the paper's configuration).
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Only the value-level steps.
+    pub fn value_level_only() -> Self {
+        CanonicalizeOptions {
+            empty_removal: false,
+            homogenization: false,
+            duplicate_removal: false,
+            reordering: false,
+            consecutive_duplicate_removal: true,
+            direction_reordering: true,
+        }
+    }
+
+    /// Only the element-level steps.
+    pub fn element_level_only() -> Self {
+        CanonicalizeOptions {
+            empty_removal: true,
+            homogenization: true,
+            duplicate_removal: true,
+            reordering: true,
+            consecutive_duplicate_removal: false,
+            direction_reordering: false,
+        }
+    }
+}
+
+/// Canonicalizes a geometry with all steps enabled.
+pub fn canonicalize(geometry: &Geometry) -> Geometry {
+    canonicalize_with(geometry, CanonicalizeOptions::all())
+}
+
+/// Canonicalizes a geometry with a specific set of steps.
+pub fn canonicalize_with(geometry: &Geometry, options: CanonicalizeOptions) -> Geometry {
+    let element = element_level(geometry, options);
+    value_level(&element, options)
+}
+
+// ---------------------------------------------------------------------------
+// Element level
+// ---------------------------------------------------------------------------
+
+fn element_level(geometry: &Geometry, options: CanonicalizeOptions) -> Geometry {
+    match geometry {
+        Geometry::MultiPoint(_)
+        | Geometry::MultiLineString(_)
+        | Geometry::MultiPolygon(_)
+        | Geometry::GeometryCollection(_) => {
+            // Work on the flattened element list so nested collections are
+            // homogenized into a uniform structure.
+            let mut elements: Vec<Geometry> = if options.homogenization {
+                geometry.flatten()
+            } else {
+                top_level_elements(geometry)
+            };
+
+            if options.empty_removal {
+                elements.retain(|g| !g.is_empty());
+            }
+
+            if options.duplicate_removal {
+                elements = dedup_by_shape(elements);
+            }
+
+            if options.reordering {
+                // Stable sort by dimension so that equal-dimension elements
+                // keep their relative order (the paper reorders "according to
+                // their dimensions").
+                elements.sort_by_key(|g| g.dimension());
+            }
+
+            rebuild_collection(geometry.geometry_type(), elements, options)
+        }
+        basic => basic.clone(),
+    }
+}
+
+fn top_level_elements(geometry: &Geometry) -> Vec<Geometry> {
+    match geometry {
+        Geometry::MultiPoint(m) => m.points.iter().cloned().map(Geometry::Point).collect(),
+        Geometry::MultiLineString(m) => {
+            m.lines.iter().cloned().map(Geometry::LineString).collect()
+        }
+        Geometry::MultiPolygon(m) => m.polygons.iter().cloned().map(Geometry::Polygon).collect(),
+        Geometry::GeometryCollection(c) => c.geometries.clone(),
+        basic => vec![basic.clone()],
+    }
+}
+
+fn dedup_by_shape(elements: Vec<Geometry>) -> Vec<Geometry> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(elements.len());
+    for g in elements {
+        // Duplicates are identified by their shape (§4.3): compare the
+        // value-level canonical WKT so that direction/duplicate-vertex
+        // differences do not defeat the deduplication.
+        let key = write_wkt(&value_level(&g, CanonicalizeOptions::all()));
+        if seen.insert(key) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+fn rebuild_collection(
+    original_type: GeometryType,
+    elements: Vec<Geometry>,
+    options: CanonicalizeOptions,
+) -> Geometry {
+    if elements.is_empty() {
+        // All elements were EMPTY (or the collection was empty): the
+        // canonical form is the EMPTY geometry of the original type.
+        return Geometry::empty_of(original_type);
+    }
+
+    if options.homogenization && elements.len() == 1 {
+        // Homogenization: a MULTI geometry with a single element becomes the
+        // basic-type geometry (Figure 6's second step).
+        return elements.into_iter().next().expect("len checked");
+    }
+
+    // If every element is of the same basic type, the result is the
+    // corresponding MULTI type; otherwise it is a GEOMETRYCOLLECTION.
+    let first_type = elements[0].geometry_type();
+    let uniform = elements.iter().all(|g| g.geometry_type() == first_type);
+    if options.homogenization && uniform {
+        match first_type {
+            GeometryType::Point => {
+                return Geometry::MultiPoint(MultiPoint::new(
+                    elements
+                        .into_iter()
+                        .map(|g| match g {
+                            Geometry::Point(p) => p,
+                            _ => unreachable!("uniform point elements"),
+                        })
+                        .collect(),
+                ))
+            }
+            GeometryType::LineString => {
+                return Geometry::MultiLineString(MultiLineString::new(
+                    elements
+                        .into_iter()
+                        .map(|g| match g {
+                            Geometry::LineString(l) => l,
+                            _ => unreachable!("uniform linestring elements"),
+                        })
+                        .collect(),
+                ))
+            }
+            GeometryType::Polygon => {
+                return Geometry::MultiPolygon(MultiPolygon::new(
+                    elements
+                        .into_iter()
+                        .map(|g| match g {
+                            Geometry::Polygon(p) => p,
+                            _ => unreachable!("uniform polygon elements"),
+                        })
+                        .collect(),
+                ))
+            }
+            _ => {}
+        }
+    }
+
+    match original_type {
+        GeometryType::MultiPoint => Geometry::MultiPoint(MultiPoint::new(
+            elements
+                .into_iter()
+                .filter_map(|g| match g {
+                    Geometry::Point(p) => Some(p),
+                    _ => None,
+                })
+                .collect(),
+        )),
+        GeometryType::MultiLineString => Geometry::MultiLineString(MultiLineString::new(
+            elements
+                .into_iter()
+                .filter_map(|g| match g {
+                    Geometry::LineString(l) => Some(l),
+                    _ => None,
+                })
+                .collect(),
+        )),
+        GeometryType::MultiPolygon => Geometry::MultiPolygon(MultiPolygon::new(
+            elements
+                .into_iter()
+                .filter_map(|g| match g {
+                    Geometry::Polygon(p) => Some(p),
+                    _ => None,
+                })
+                .collect(),
+        )),
+        _ => Geometry::GeometryCollection(GeometryCollection::new(elements)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value level
+// ---------------------------------------------------------------------------
+
+fn value_level(geometry: &Geometry, options: CanonicalizeOptions) -> Geometry {
+    match geometry {
+        Geometry::Point(p) => Geometry::Point(p.clone()),
+        Geometry::LineString(l) => Geometry::LineString(canonical_linestring(l, options)),
+        Geometry::Polygon(p) => Geometry::Polygon(canonical_polygon(p, options)),
+        Geometry::MultiPoint(m) => Geometry::MultiPoint(m.clone()),
+        Geometry::MultiLineString(m) => Geometry::MultiLineString(MultiLineString::new(
+            m.lines
+                .iter()
+                .map(|l| canonical_linestring(l, options))
+                .collect(),
+        )),
+        Geometry::MultiPolygon(m) => Geometry::MultiPolygon(MultiPolygon::new(
+            m.polygons
+                .iter()
+                .map(|p| canonical_polygon(p, options))
+                .collect(),
+        )),
+        Geometry::GeometryCollection(c) => Geometry::GeometryCollection(GeometryCollection::new(
+            c.geometries
+                .iter()
+                .map(|g| value_level(g, options))
+                .collect(),
+        )),
+    }
+}
+
+fn remove_consecutive_duplicates(coords: &[Coord]) -> Vec<Coord> {
+    let mut out: Vec<Coord> = Vec::with_capacity(coords.len());
+    for c in coords {
+        if out.last().map(|last| last.approx_eq(c)).unwrap_or(false) {
+            continue;
+        }
+        out.push(*c);
+    }
+    out
+}
+
+fn canonical_linestring(line: &LineString, options: CanonicalizeOptions) -> LineString {
+    let mut coords = if options.consecutive_duplicate_removal {
+        remove_consecutive_duplicates(&line.coords)
+    } else {
+        line.coords.clone()
+    };
+
+    if options.direction_reordering && coords.len() >= 2 {
+        let first = coords[0];
+        let last = coords[coords.len() - 1];
+        // Reverse when the endpoints are out of order (x-axis first, then
+        // y-axis, §4.3). Closed rings compare equal and stay as-is.
+        if first.lex_cmp(&last) == std::cmp::Ordering::Greater {
+            coords.reverse();
+        }
+    }
+
+    LineString::new(coords)
+}
+
+fn canonical_polygon(polygon: &Polygon, options: CanonicalizeOptions) -> Polygon {
+    let rings = polygon
+        .rings
+        .iter()
+        .map(|ring| {
+            let mut coords = if options.consecutive_duplicate_removal {
+                let mut deduped = remove_consecutive_duplicates(&ring.coords);
+                // Re-close the ring if deduplication removed the closing
+                // vertex duplicate of an already-closed ring.
+                if let (Some(first), Some(last)) = (deduped.first().copied(), deduped.last()) {
+                    if !first.approx_eq(last) && ring.is_closed() {
+                        deduped.push(first);
+                    }
+                }
+                deduped
+            } else {
+                ring.coords.clone()
+            };
+
+            if options.direction_reordering {
+                let candidate = LineString::new(coords.clone());
+                if ring_orientation(&candidate) == RingOrientation::CounterClockwise {
+                    coords.reverse();
+                }
+            }
+            LineString::new(coords)
+        })
+        .collect();
+    Polygon::new(rings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wkt::parse_wkt;
+
+    fn canon(wkt: &str) -> String {
+        write_wkt(&canonicalize(&parse_wkt(wkt).unwrap()))
+    }
+
+    #[test]
+    fn figure6_element_and_value_level_pipeline() {
+        // The worked example of Figure 6: EMPTY removal, homogenization,
+        // then consecutive-duplicate removal; reordering leaves it unchanged.
+        assert_eq!(
+            canon("MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)"),
+            "LINESTRING(0 2,1 0,3 1,5 0)"
+        );
+    }
+
+    #[test]
+    fn empty_removal_of_all_elements_yields_empty_geometry() {
+        assert_eq!(canon("MULTIPOINT(EMPTY,EMPTY)"), "MULTIPOINT EMPTY");
+        assert_eq!(canon("GEOMETRYCOLLECTION(POINT EMPTY)"), "GEOMETRYCOLLECTION EMPTY");
+    }
+
+    #[test]
+    fn homogenization_collapses_single_element_multi() {
+        assert_eq!(canon("MULTIPOINT((3 4))"), "POINT(3 4)");
+        assert_eq!(canon("MULTIPOLYGON(((0 0,0 1,1 0,0 0)))"), "POLYGON((0 0,0 1,1 0,0 0))");
+    }
+
+    #[test]
+    fn homogenization_flattens_nested_collections() {
+        assert_eq!(
+            canon("GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))"),
+            "MULTIPOINT((0 0),(3 1))"
+        );
+        assert_eq!(
+            canon("GEOMETRYCOLLECTION(GEOMETRYCOLLECTION(POINT(1 1)),POINT(2 2))"),
+            "MULTIPOINT((1 1),(2 2))"
+        );
+    }
+
+    #[test]
+    fn duplicate_elements_are_removed_by_shape() {
+        assert_eq!(canon("MULTIPOINT((1 1),(1 1),(2 2))"), "MULTIPOINT((1 1),(2 2))");
+        // Same shape expressed with opposite direction still counts as a
+        // duplicate because comparison happens on the canonical value form.
+        assert_eq!(
+            canon("MULTILINESTRING((0 0,1 1),(1 1,0 0))"),
+            "LINESTRING(0 0,1 1)"
+        );
+    }
+
+    #[test]
+    fn elements_are_reordered_by_dimension() {
+        // The polygon ring is also rewritten to clockwise orientation by the
+        // value-level step, hence the reversed ring in the expectation.
+        assert_eq!(
+            canon("GEOMETRYCOLLECTION(POLYGON((0 0,1 0,1 1,0 0)),POINT(5 5))"),
+            "GEOMETRYCOLLECTION(POINT(5 5),POLYGON((0 0,1 1,1 0,0 0)))"
+        );
+    }
+
+    #[test]
+    fn consecutive_duplicate_vertices_are_removed() {
+        assert_eq!(canon("LINESTRING(0 2,1 0,3 1,3 1,5 0)"), "LINESTRING(0 2,1 0,3 1,5 0)");
+    }
+
+    #[test]
+    fn linestring_direction_is_canonical() {
+        // Endpoints out of lexicographic order get reversed...
+        assert_eq!(canon("LINESTRING(5 0,3 1,0 2)"), "LINESTRING(0 2,3 1,5 0)");
+        // ...and an already-ordered linestring is untouched.
+        assert_eq!(canon("LINESTRING(0 2,3 1,5 0)"), "LINESTRING(0 2,3 1,5 0)");
+        // Ties on x fall back to y.
+        assert_eq!(canon("LINESTRING(0 5,0 1)"), "LINESTRING(0 1,0 5)");
+    }
+
+    #[test]
+    fn polygon_loops_become_clockwise() {
+        // CCW square gets reversed to CW.
+        assert_eq!(
+            canon("POLYGON((0 0,1 0,1 1,0 1,0 0))"),
+            "POLYGON((0 0,0 1,1 1,1 0,0 0))"
+        );
+        // Already CW stays.
+        assert_eq!(
+            canon("POLYGON((0 0,0 1,1 1,1 0,0 0))"),
+            "POLYGON((0 0,0 1,1 1,1 0,0 0))"
+        );
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        for wkt in [
+            "MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)",
+            "GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)),POLYGON((0 0,5 0,0 5,0 0)))",
+            "MULTIPOINT((1 1),(1 1))",
+            "POINT EMPTY",
+        ] {
+            let once = canonicalize(&parse_wkt(wkt).unwrap());
+            let twice = canonicalize(&once);
+            assert_eq!(once, twice, "idempotence for {wkt}");
+        }
+    }
+
+    #[test]
+    fn value_level_only_options_leave_elements_alone() {
+        let g = parse_wkt("MULTIPOINT((1 1),(1 1),EMPTY)").unwrap();
+        let out = canonicalize_with(&g, CanonicalizeOptions::value_level_only());
+        assert_eq!(out.num_geometries(), 3);
+    }
+
+    #[test]
+    fn element_level_only_options_leave_vertices_alone() {
+        let g = parse_wkt("MULTILINESTRING((0 0,1 1,1 1,2 2))").unwrap();
+        let out = canonicalize_with(&g, CanonicalizeOptions::element_level_only());
+        // Homogenized to a LINESTRING but duplicate vertex kept.
+        assert_eq!(write_wkt(&out), "LINESTRING(0 0,1 1,1 1,2 2)");
+    }
+
+    #[test]
+    fn mixed_collection_of_uniform_types_becomes_multi() {
+        assert_eq!(
+            canon("GEOMETRYCOLLECTION(LINESTRING(0 0,1 1),LINESTRING(2 2,3 3))"),
+            "MULTILINESTRING((0 0,1 1),(2 2,3 3))"
+        );
+    }
+
+    #[test]
+    fn basic_geometries_pass_through_element_level() {
+        assert_eq!(canon("POINT(1 2)"), "POINT(1 2)");
+        assert_eq!(canon("POINT EMPTY"), "POINT EMPTY");
+    }
+}

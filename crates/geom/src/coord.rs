@@ -1,0 +1,196 @@
+//! 2D coordinates.
+//!
+//! The paper evaluates topological relationship queries in Euclidean space
+//! R² (§2.3, Equation 2); Z coordinates are only used by the affine layer for
+//! the R³ matrices of Equation 3 and are not part of the relate engine, so the
+//! core coordinate type is two dimensional.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 2D coordinate with `f64` components.
+///
+/// `Coord` deliberately does not implement `Eq`/`Hash` on raw floats; exact
+/// equality is provided by [`Coord::approx_eq`] (bitwise on finite values) and
+/// by [`Coord::key`] which produces a hashable bit-pattern key used by the
+/// noding and canonicalization code.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coord {
+    /// X (easting / longitude-like) component.
+    pub x: f64,
+    /// Y (northing / latitude-like) component.
+    pub y: f64,
+}
+
+impl Coord {
+    /// Creates a new coordinate.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Coord { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const fn zero() -> Self {
+        Coord { x: 0.0, y: 0.0 }
+    }
+
+    /// Exact component-wise equality (the representation the engine stores is
+    /// compared bit-for-bit after normalising `-0.0` to `0.0`).
+    pub fn approx_eq(&self, other: &Coord) -> bool {
+        normalize_zero(self.x) == normalize_zero(other.x)
+            && normalize_zero(self.y) == normalize_zero(other.y)
+    }
+
+    /// A hashable key made of the two components' bit patterns, used to
+    /// deduplicate vertices during noding and canonicalization.
+    pub fn key(&self) -> (u64, u64) {
+        (
+            normalize_zero(self.x).to_bits(),
+            normalize_zero(self.y).to_bits(),
+        )
+    }
+
+    /// Euclidean distance to another coordinate.
+    pub fn distance(&self, other: &Coord) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only comparing).
+    pub fn distance_sq(&self, other: &Coord) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(&self, other: &Coord) -> Coord {
+        Coord::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Returns `true` when both components are finite.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Lexicographic comparison (x first, then y), used when canonicalizing
+    /// LINESTRING direction (§4.3 value level: "comparing the values of the
+    /// endpoints in the order of the x-axis, y-axis").
+    pub fn lex_cmp(&self, other: &Coord) -> std::cmp::Ordering {
+        self.x
+            .partial_cmp(&other.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                self.y
+                    .partial_cmp(&other.y)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    }
+}
+
+fn normalize_zero(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", fmt_f64(self.x), fmt_f64(self.y))
+    }
+}
+
+impl From<(f64, f64)> for Coord {
+    fn from(value: (f64, f64)) -> Self {
+        Coord::new(value.0, value.1)
+    }
+}
+
+impl From<[f64; 2]> for Coord {
+    fn from(value: [f64; 2]) -> Self {
+        Coord::new(value[0], value[1])
+    }
+}
+
+/// Formats a float the way WKT output expects: integers without a trailing
+/// `.0`, everything else with the shortest round-trippable representation.
+pub fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = Coord::new(1.5, -2.0);
+        assert_eq!(c.x, 1.5);
+        assert_eq!(c.y, -2.0);
+        assert!(c.is_finite());
+    }
+
+    #[test]
+    fn zero_is_origin() {
+        assert_eq!(Coord::zero(), Coord::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_handles_negative_zero() {
+        assert!(Coord::new(0.0, 1.0).approx_eq(&Coord::new(-0.0, 1.0)));
+        assert!(!Coord::new(0.0, 1.0).approx_eq(&Coord::new(0.0, 1.1)));
+    }
+
+    #[test]
+    fn key_dedups_negative_zero() {
+        assert_eq!(Coord::new(-0.0, 2.0).key(), Coord::new(0.0, 2.0).key());
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn midpoint_is_average() {
+        let m = Coord::new(0.0, 0.0).midpoint(&Coord::new(2.0, 4.0));
+        assert_eq!(m, Coord::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn lex_cmp_orders_by_x_then_y() {
+        use std::cmp::Ordering;
+        assert_eq!(
+            Coord::new(0.0, 5.0).lex_cmp(&Coord::new(1.0, 0.0)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Coord::new(1.0, 0.0).lex_cmp(&Coord::new(1.0, 3.0)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Coord::new(1.0, 3.0).lex_cmp(&Coord::new(1.0, 3.0)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn display_formats_integers_without_decimal() {
+        assert_eq!(Coord::new(1.0, 2.5).to_string(), "1 2.5");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Coord::from((1.0, 2.0)), Coord::new(1.0, 2.0));
+        assert_eq!(Coord::from([3.0, 4.0]), Coord::new(3.0, 4.0));
+    }
+}

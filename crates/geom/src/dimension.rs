@@ -1,0 +1,126 @@
+//! Geometric dimension model used by DE-9IM (§2.2 of the paper).
+//!
+//! The DE-9IM dimension calculator `D` returns `F` when an intersection is
+//! empty and otherwise the topological dimension of the intersection
+//! (0 = points, 1 = curves, 2 = areas). [`Dimension`] models exactly this
+//! four-valued domain with the ordering `Empty < Zero < One < Two`, so that
+//! "take the maximum dimension observed" (how the relate engine accumulates
+//! matrix entries) is simply `max`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The value domain of a DE-9IM matrix entry: `F`, `0`, `1`, or `2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dimension {
+    /// The intersection is empty (`F` in DE-9IM notation).
+    Empty,
+    /// The intersection contains only points (dimension 0).
+    Zero,
+    /// The intersection contains curves (dimension 1).
+    One,
+    /// The intersection contains areas (dimension 2).
+    Two,
+}
+
+impl Dimension {
+    /// The DE-9IM character for this dimension: `F`, `0`, `1` or `2`.
+    pub fn to_char(self) -> char {
+        match self {
+            Dimension::Empty => 'F',
+            Dimension::Zero => '0',
+            Dimension::One => '1',
+            Dimension::Two => '2',
+        }
+    }
+
+    /// Parses a DE-9IM matrix character. `T` and `*` are pattern characters,
+    /// not dimensions, and are rejected here.
+    pub fn from_char(c: char) -> Option<Dimension> {
+        match c {
+            'F' | 'f' => Some(Dimension::Empty),
+            '0' => Some(Dimension::Zero),
+            '1' => Some(Dimension::One),
+            '2' => Some(Dimension::Two),
+            _ => None,
+        }
+    }
+
+    /// Whether the intersection this entry describes is non-empty.
+    pub fn is_non_empty(self) -> bool {
+        self != Dimension::Empty
+    }
+
+    /// Numeric dimension, with `None` for the empty set.
+    pub fn value(self) -> Option<u8> {
+        match self {
+            Dimension::Empty => None,
+            Dimension::Zero => Some(0),
+            Dimension::One => Some(1),
+            Dimension::Two => Some(2),
+        }
+    }
+
+    /// Constructs a dimension from a numeric value (0, 1 or 2).
+    pub fn from_value(v: u8) -> Option<Dimension> {
+        match v {
+            0 => Some(Dimension::Zero),
+            1 => Some(Dimension::One),
+            2 => Some(Dimension::Two),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Dimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_allows_max_accumulation() {
+        assert!(Dimension::Empty < Dimension::Zero);
+        assert!(Dimension::Zero < Dimension::One);
+        assert!(Dimension::One < Dimension::Two);
+        assert_eq!(Dimension::Zero.max(Dimension::Two), Dimension::Two);
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for d in [
+            Dimension::Empty,
+            Dimension::Zero,
+            Dimension::One,
+            Dimension::Two,
+        ] {
+            assert_eq!(Dimension::from_char(d.to_char()), Some(d));
+        }
+        assert_eq!(Dimension::from_char('T'), None);
+        assert_eq!(Dimension::from_char('*'), None);
+    }
+
+    #[test]
+    fn value_round_trip() {
+        assert_eq!(Dimension::Empty.value(), None);
+        assert_eq!(Dimension::One.value(), Some(1));
+        assert_eq!(Dimension::from_value(2), Some(Dimension::Two));
+        assert_eq!(Dimension::from_value(3), None);
+    }
+
+    #[test]
+    fn non_empty_check() {
+        assert!(!Dimension::Empty.is_non_empty());
+        assert!(Dimension::Zero.is_non_empty());
+    }
+
+    #[test]
+    fn display_matches_de9im_notation() {
+        assert_eq!(Dimension::Empty.to_string(), "F");
+        assert_eq!(Dimension::Two.to_string(), "2");
+    }
+}

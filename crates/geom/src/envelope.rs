@@ -1,0 +1,307 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Envelopes are what the GiST-analog R-tree index (`spatter-index`) stores
+//! and what the engine's index scans filter on; the `~=` / bounding-box
+//! operators of Listing 8 are evaluated on envelopes.
+
+use crate::coord::Coord;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle, possibly empty.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+    empty: bool,
+}
+
+impl Default for Envelope {
+    fn default() -> Self {
+        Envelope::empty()
+    }
+}
+
+impl Envelope {
+    /// The empty envelope (bounding box of an EMPTY geometry).
+    pub fn empty() -> Self {
+        Envelope {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+            empty: true,
+        }
+    }
+
+    /// Envelope of a single coordinate (a degenerate rectangle).
+    pub fn from_coord(c: Coord) -> Self {
+        Envelope {
+            min_x: c.x,
+            min_y: c.y,
+            max_x: c.x,
+            max_y: c.y,
+            empty: false,
+        }
+    }
+
+    /// Envelope covering all of the given coordinates.
+    pub fn from_coords(coords: impl IntoIterator<Item = Coord>) -> Self {
+        let mut env = Envelope::empty();
+        for c in coords {
+            env.expand_coord(c);
+        }
+        env
+    }
+
+    /// Builds an envelope from explicit bounds. `min` components must not
+    /// exceed `max` components.
+    pub fn from_bounds(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(min_x <= max_x && min_y <= max_y);
+        Envelope {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+            empty: false,
+        }
+    }
+
+    /// Whether this envelope is the empty envelope.
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// Minimum X, meaningful only when non-empty.
+    pub fn min_x(&self) -> f64 {
+        self.min_x
+    }
+
+    /// Minimum Y, meaningful only when non-empty.
+    pub fn min_y(&self) -> f64 {
+        self.min_y
+    }
+
+    /// Maximum X, meaningful only when non-empty.
+    pub fn max_x(&self) -> f64 {
+        self.max_x
+    }
+
+    /// Maximum Y, meaningful only when non-empty.
+    pub fn max_y(&self) -> f64 {
+        self.max_y
+    }
+
+    /// Width (0 for empty envelopes).
+    pub fn width(&self) -> f64 {
+        if self.empty {
+            0.0
+        } else {
+            self.max_x - self.min_x
+        }
+    }
+
+    /// Height (0 for empty envelopes).
+    pub fn height(&self) -> f64 {
+        if self.empty {
+            0.0
+        } else {
+            self.max_y - self.min_y
+        }
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half perimeter, the R*-tree "margin" metric.
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Grows the envelope to include a coordinate.
+    pub fn expand_coord(&mut self, c: Coord) {
+        if self.empty {
+            *self = Envelope::from_coord(c);
+        } else {
+            self.min_x = self.min_x.min(c.x);
+            self.min_y = self.min_y.min(c.y);
+            self.max_x = self.max_x.max(c.x);
+            self.max_y = self.max_y.max(c.y);
+        }
+    }
+
+    /// Grows the envelope to include another envelope.
+    pub fn expand_envelope(&mut self, other: &Envelope) {
+        if other.empty {
+            return;
+        }
+        if self.empty {
+            *self = *other;
+        } else {
+            self.min_x = self.min_x.min(other.min_x);
+            self.min_y = self.min_y.min(other.min_y);
+            self.max_x = self.max_x.max(other.max_x);
+            self.max_y = self.max_y.max(other.max_y);
+        }
+    }
+
+    /// The union of two envelopes.
+    pub fn union(&self, other: &Envelope) -> Envelope {
+        let mut env = *self;
+        env.expand_envelope(other);
+        env
+    }
+
+    /// Whether the two envelopes intersect (empty envelopes intersect nothing).
+    pub fn intersects(&self, other: &Envelope) -> bool {
+        if self.empty || other.empty {
+            return false;
+        }
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Whether this envelope fully contains the other (empty envelopes
+    /// contain nothing and are contained by nothing).
+    pub fn contains_envelope(&self, other: &Envelope) -> bool {
+        if self.empty || other.empty {
+            return false;
+        }
+        self.min_x <= other.min_x
+            && self.min_y <= other.min_y
+            && self.max_x >= other.max_x
+            && self.max_y >= other.max_y
+    }
+
+    /// Whether this envelope contains a coordinate (boundary inclusive).
+    pub fn contains_coord(&self, c: Coord) -> bool {
+        !self.empty && c.x >= self.min_x && c.x <= self.max_x && c.y >= self.min_y && c.y <= self.max_y
+    }
+
+    /// Whether the two envelopes are identical. Two empty envelopes are equal.
+    pub fn same_box(&self, other: &Envelope) -> bool {
+        if self.empty && other.empty {
+            return true;
+        }
+        if self.empty != other.empty {
+            return false;
+        }
+        self.min_x == other.min_x
+            && self.min_y == other.min_y
+            && self.max_x == other.max_x
+            && self.max_y == other.max_y
+    }
+
+    /// Area of the overlap between the two envelopes.
+    pub fn intersection_area(&self, other: &Envelope) -> f64 {
+        if !self.intersects(other) {
+            return 0.0;
+        }
+        let w = (self.max_x.min(other.max_x) - self.min_x.max(other.min_x)).max(0.0);
+        let h = (self.max_y.min(other.max_y) - self.min_y.max(other.min_y)).max(0.0);
+        w * h
+    }
+
+    /// Minimum distance between the two rectangles (0 when they intersect).
+    pub fn distance(&self, other: &Envelope) -> f64 {
+        if self.empty || other.empty {
+            return f64::INFINITY;
+        }
+        let dx = (other.min_x - self.max_x).max(self.min_x - other.max_x).max(0.0);
+        let dy = (other.min_y - self.max_y).max(self.min_y - other.max_y).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The center of the rectangle.
+    pub fn center(&self) -> Option<Coord> {
+        if self.empty {
+            None
+        } else {
+            Some(Coord::new(
+                (self.min_x + self.max_x) / 2.0,
+                (self.min_y + self.max_y) / 2.0,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_envelope_properties() {
+        let e = Envelope::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.width(), 0.0);
+        assert_eq!(e.area(), 0.0);
+        assert!(e.center().is_none());
+        assert!(!e.intersects(&Envelope::from_coord(Coord::zero())));
+    }
+
+    #[test]
+    fn expansion() {
+        let mut e = Envelope::empty();
+        e.expand_coord(Coord::new(1.0, 2.0));
+        e.expand_coord(Coord::new(-1.0, 5.0));
+        assert_eq!(e.min_x(), -1.0);
+        assert_eq!(e.max_x(), 1.0);
+        assert_eq!(e.min_y(), 2.0);
+        assert_eq!(e.max_y(), 5.0);
+        assert_eq!(e.width(), 2.0);
+        assert_eq!(e.height(), 3.0);
+        assert_eq!(e.area(), 6.0);
+        assert_eq!(e.margin(), 5.0);
+    }
+
+    #[test]
+    fn intersects_and_contains() {
+        let a = Envelope::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let b = Envelope::from_bounds(5.0, 5.0, 15.0, 15.0);
+        let c = Envelope::from_bounds(11.0, 11.0, 12.0, 12.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.contains_envelope(&Envelope::from_bounds(1.0, 1.0, 2.0, 2.0)));
+        assert!(!a.contains_envelope(&b));
+        assert!(a.contains_coord(Coord::new(10.0, 10.0)));
+        assert!(!a.contains_coord(Coord::new(10.1, 10.0)));
+    }
+
+    #[test]
+    fn union_and_intersection_area() {
+        let a = Envelope::from_bounds(0.0, 0.0, 4.0, 4.0);
+        let b = Envelope::from_bounds(2.0, 2.0, 6.0, 6.0);
+        let u = a.union(&b);
+        assert_eq!(u.min_x(), 0.0);
+        assert_eq!(u.max_x(), 6.0);
+        assert_eq!(a.intersection_area(&b), 4.0);
+        assert_eq!(a.intersection_area(&Envelope::from_bounds(10.0, 10.0, 11.0, 11.0)), 0.0);
+    }
+
+    #[test]
+    fn distance_between_boxes() {
+        let a = Envelope::from_bounds(0.0, 0.0, 1.0, 1.0);
+        let b = Envelope::from_bounds(4.0, 5.0, 6.0, 7.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn same_box_semantics() {
+        let a = Envelope::from_bounds(0.0, 0.0, 1.0, 1.0);
+        assert!(a.same_box(&a));
+        assert!(Envelope::empty().same_box(&Envelope::empty()));
+        assert!(!a.same_box(&Envelope::empty()));
+    }
+
+    #[test]
+    fn center_of_box() {
+        let a = Envelope::from_bounds(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(a.center(), Some(Coord::new(2.0, 1.0)));
+    }
+}

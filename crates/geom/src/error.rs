@@ -1,0 +1,83 @@
+//! Error types for geometry construction, parsing and transformation.
+
+use std::fmt;
+
+/// Errors produced by the geometry layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// The WKT input could not be tokenized or parsed.
+    WktParse {
+        /// Human readable description of the failure.
+        message: String,
+        /// Byte offset in the input at which the failure was observed.
+        position: usize,
+    },
+    /// A geometry violates a structural constraint (e.g. a ring with fewer
+    /// than four points, or an unclosed ring).
+    InvalidGeometry(String),
+    /// An affine matrix is singular and therefore not a valid affine
+    /// transformation (the paper requires invertible matrices, §2.3).
+    SingularMatrix,
+    /// An operation received a geometry type it does not support.
+    UnsupportedType {
+        /// Name of the operation.
+        operation: &'static str,
+        /// Name of the offending geometry type.
+        geometry_type: &'static str,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::WktParse { message, position } => {
+                write!(f, "WKT parse error at byte {position}: {message}")
+            }
+            GeomError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            GeomError::SingularMatrix => write!(f, "affine matrix is singular"),
+            GeomError::UnsupportedType {
+                operation,
+                geometry_type,
+            } => write!(f, "{operation} does not support {geometry_type}"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+/// Convenience alias used throughout the geometry crates.
+pub type GeomResult<T> = Result<T, GeomError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_wkt_parse() {
+        let err = GeomError::WktParse {
+            message: "expected number".into(),
+            position: 7,
+        };
+        assert_eq!(err.to_string(), "WKT parse error at byte 7: expected number");
+    }
+
+    #[test]
+    fn display_singular() {
+        assert_eq!(GeomError::SingularMatrix.to_string(), "affine matrix is singular");
+    }
+
+    #[test]
+    fn display_unsupported() {
+        let err = GeomError::UnsupportedType {
+            operation: "DumpRings",
+            geometry_type: "POINT",
+        };
+        assert_eq!(err.to_string(), "DumpRings does not support POINT");
+    }
+
+    #[test]
+    fn display_invalid() {
+        let err = GeomError::InvalidGeometry("ring not closed".into());
+        assert_eq!(err.to_string(), "invalid geometry: ring not closed");
+    }
+}

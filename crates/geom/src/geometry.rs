@@ -1,0 +1,498 @@
+//! The [`Geometry`] enum: the common currency of the whole workspace.
+
+use crate::coord::Coord;
+use crate::dimension::Dimension;
+use crate::envelope::Envelope;
+use crate::types::{
+    GeometryCollection, LineString, MultiLineString, MultiPoint, MultiPolygon, Point, Polygon,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The OGC geometry type tags (Figure 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GeometryType {
+    /// POINT
+    Point,
+    /// LINESTRING
+    LineString,
+    /// POLYGON
+    Polygon,
+    /// MULTIPOINT
+    MultiPoint,
+    /// MULTILINESTRING
+    MultiLineString,
+    /// MULTIPOLYGON
+    MultiPolygon,
+    /// GEOMETRYCOLLECTION — the paper's "MIXED geometry"
+    GeometryCollection,
+}
+
+impl GeometryType {
+    /// All seven geometry types, in the order of the paper's Figure 2.
+    pub const ALL: [GeometryType; 7] = [
+        GeometryType::Point,
+        GeometryType::LineString,
+        GeometryType::Polygon,
+        GeometryType::MultiPoint,
+        GeometryType::MultiLineString,
+        GeometryType::MultiPolygon,
+        GeometryType::GeometryCollection,
+    ];
+
+    /// The WKT keyword for the type.
+    pub fn wkt_name(&self) -> &'static str {
+        match self {
+            GeometryType::Point => "POINT",
+            GeometryType::LineString => "LINESTRING",
+            GeometryType::Polygon => "POLYGON",
+            GeometryType::MultiPoint => "MULTIPOINT",
+            GeometryType::MultiLineString => "MULTILINESTRING",
+            GeometryType::MultiPolygon => "MULTIPOLYGON",
+            GeometryType::GeometryCollection => "GEOMETRYCOLLECTION",
+        }
+    }
+
+    /// Whether this is one of the MULTI types (not including collections).
+    pub fn is_multi(&self) -> bool {
+        matches!(
+            self,
+            GeometryType::MultiPoint | GeometryType::MultiLineString | GeometryType::MultiPolygon
+        )
+    }
+
+    /// Whether this is the MIXED type (GEOMETRYCOLLECTION).
+    pub fn is_mixed(&self) -> bool {
+        matches!(self, GeometryType::GeometryCollection)
+    }
+
+    /// The basic (non-multi) type whose elements a MULTI type holds.
+    pub fn element_type(&self) -> Option<GeometryType> {
+        match self {
+            GeometryType::MultiPoint => Some(GeometryType::Point),
+            GeometryType::MultiLineString => Some(GeometryType::LineString),
+            GeometryType::MultiPolygon => Some(GeometryType::Polygon),
+            _ => None,
+        }
+    }
+
+    /// The intrinsic topological dimension of a non-empty geometry of this
+    /// type (0 for points, 1 for lines, 2 for polygons); `None` for
+    /// collections whose dimension depends on their members.
+    pub fn static_dimension(&self) -> Option<Dimension> {
+        match self {
+            GeometryType::Point | GeometryType::MultiPoint => Some(Dimension::Zero),
+            GeometryType::LineString | GeometryType::MultiLineString => Some(Dimension::One),
+            GeometryType::Polygon | GeometryType::MultiPolygon => Some(Dimension::Two),
+            GeometryType::GeometryCollection => None,
+        }
+    }
+}
+
+impl fmt::Display for GeometryType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wkt_name())
+    }
+}
+
+/// A 2D geometry of any of the seven OGC types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Geometry {
+    /// POINT
+    Point(Point),
+    /// LINESTRING
+    LineString(LineString),
+    /// POLYGON
+    Polygon(Polygon),
+    /// MULTIPOINT
+    MultiPoint(MultiPoint),
+    /// MULTILINESTRING
+    MultiLineString(MultiLineString),
+    /// MULTIPOLYGON
+    MultiPolygon(MultiPolygon),
+    /// GEOMETRYCOLLECTION
+    GeometryCollection(GeometryCollection),
+}
+
+impl Geometry {
+    /// The type tag of this geometry.
+    pub fn geometry_type(&self) -> GeometryType {
+        match self {
+            Geometry::Point(_) => GeometryType::Point,
+            Geometry::LineString(_) => GeometryType::LineString,
+            Geometry::Polygon(_) => GeometryType::Polygon,
+            Geometry::MultiPoint(_) => GeometryType::MultiPoint,
+            Geometry::MultiLineString(_) => GeometryType::MultiLineString,
+            Geometry::MultiPolygon(_) => GeometryType::MultiPolygon,
+            Geometry::GeometryCollection(_) => GeometryType::GeometryCollection,
+        }
+    }
+
+    /// An EMPTY geometry of the given type.
+    pub fn empty_of(gtype: GeometryType) -> Geometry {
+        match gtype {
+            GeometryType::Point => Geometry::Point(Point::empty()),
+            GeometryType::LineString => Geometry::LineString(LineString::empty()),
+            GeometryType::Polygon => Geometry::Polygon(Polygon::empty()),
+            GeometryType::MultiPoint => Geometry::MultiPoint(MultiPoint::empty()),
+            GeometryType::MultiLineString => Geometry::MultiLineString(MultiLineString::empty()),
+            GeometryType::MultiPolygon => Geometry::MultiPolygon(MultiPolygon::empty()),
+            GeometryType::GeometryCollection => {
+                Geometry::GeometryCollection(GeometryCollection::empty())
+            }
+        }
+    }
+
+    /// Whether the geometry is EMPTY (has no non-EMPTY content).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Geometry::Point(g) => g.is_empty(),
+            Geometry::LineString(g) => g.is_empty(),
+            Geometry::Polygon(g) => g.is_empty(),
+            Geometry::MultiPoint(g) => g.is_empty(),
+            Geometry::MultiLineString(g) => g.is_empty(),
+            Geometry::MultiPolygon(g) => g.is_empty(),
+            Geometry::GeometryCollection(g) => g.is_empty(),
+        }
+    }
+
+    /// The topological dimension of the geometry: the maximum dimension of
+    /// any non-EMPTY part, or [`Dimension::Empty`] for EMPTY geometries.
+    pub fn dimension(&self) -> Dimension {
+        match self {
+            Geometry::Point(p) => {
+                if p.is_empty() {
+                    Dimension::Empty
+                } else {
+                    Dimension::Zero
+                }
+            }
+            Geometry::LineString(l) => {
+                if l.is_empty() {
+                    Dimension::Empty
+                } else {
+                    Dimension::One
+                }
+            }
+            Geometry::Polygon(p) => {
+                if p.is_empty() {
+                    Dimension::Empty
+                } else {
+                    Dimension::Two
+                }
+            }
+            Geometry::MultiPoint(m) => {
+                if m.is_empty() {
+                    Dimension::Empty
+                } else {
+                    Dimension::Zero
+                }
+            }
+            Geometry::MultiLineString(m) => {
+                if m.is_empty() {
+                    Dimension::Empty
+                } else {
+                    Dimension::One
+                }
+            }
+            Geometry::MultiPolygon(m) => {
+                if m.is_empty() {
+                    Dimension::Empty
+                } else {
+                    Dimension::Two
+                }
+            }
+            Geometry::GeometryCollection(c) => c
+                .geometries
+                .iter()
+                .map(|g| g.dimension())
+                .max()
+                .unwrap_or(Dimension::Empty),
+        }
+    }
+
+    /// Envelope of the geometry (the empty envelope for EMPTY geometries).
+    pub fn envelope(&self) -> Envelope {
+        match self {
+            Geometry::Point(g) => g.envelope(),
+            Geometry::LineString(g) => g.envelope(),
+            Geometry::Polygon(g) => g.envelope(),
+            Geometry::MultiPoint(g) => g.envelope(),
+            Geometry::MultiLineString(g) => g.envelope(),
+            Geometry::MultiPolygon(g) => g.envelope(),
+            Geometry::GeometryCollection(g) => g.envelope(),
+        }
+    }
+
+    /// Total number of vertices in the geometry (EMPTY parts contribute 0).
+    pub fn num_coords(&self) -> usize {
+        let mut n = 0;
+        self.for_each_coord(&mut |_| n += 1);
+        n
+    }
+
+    /// Visits every coordinate in the geometry, in storage order.
+    pub fn for_each_coord(&self, f: &mut dyn FnMut(&Coord)) {
+        match self {
+            Geometry::Point(p) => {
+                if let Some(c) = &p.coord {
+                    f(c);
+                }
+            }
+            Geometry::LineString(l) => l.coords.iter().for_each(f),
+            Geometry::Polygon(p) => p.rings.iter().for_each(|r| r.coords.iter().for_each(&mut *f)),
+            Geometry::MultiPoint(m) => m.points.iter().for_each(|p| {
+                if let Some(c) = &p.coord {
+                    f(c);
+                }
+            }),
+            Geometry::MultiLineString(m) => m
+                .lines
+                .iter()
+                .for_each(|l| l.coords.iter().for_each(&mut *f)),
+            Geometry::MultiPolygon(m) => m.polygons.iter().for_each(|p| {
+                p.rings
+                    .iter()
+                    .for_each(|r| r.coords.iter().for_each(&mut *f))
+            }),
+            Geometry::GeometryCollection(c) => {
+                c.geometries.iter().for_each(|g| g.for_each_coord(f))
+            }
+        }
+    }
+
+    /// Applies a function to every coordinate in place.
+    pub fn map_coords(&mut self, f: &mut dyn FnMut(&mut Coord)) {
+        match self {
+            Geometry::Point(p) => {
+                if let Some(c) = &mut p.coord {
+                    f(c);
+                }
+            }
+            Geometry::LineString(l) => l.coords.iter_mut().for_each(f),
+            Geometry::Polygon(p) => p
+                .rings
+                .iter_mut()
+                .for_each(|r| r.coords.iter_mut().for_each(&mut *f)),
+            Geometry::MultiPoint(m) => m.points.iter_mut().for_each(|p| {
+                if let Some(c) = &mut p.coord {
+                    f(c);
+                }
+            }),
+            Geometry::MultiLineString(m) => m
+                .lines
+                .iter_mut()
+                .for_each(|l| l.coords.iter_mut().for_each(&mut *f)),
+            Geometry::MultiPolygon(m) => m.polygons.iter_mut().for_each(|p| {
+                p.rings
+                    .iter_mut()
+                    .for_each(|r| r.coords.iter_mut().for_each(&mut *f))
+            }),
+            Geometry::GeometryCollection(c) => {
+                c.geometries.iter_mut().for_each(|g| g.map_coords(f))
+            }
+        }
+    }
+
+    /// Number of top-level elements: 1 for basic types, the element count for
+    /// MULTI and MIXED types (matching `ST_NumGeometries`).
+    pub fn num_geometries(&self) -> usize {
+        match self {
+            Geometry::MultiPoint(m) => m.points.len(),
+            Geometry::MultiLineString(m) => m.lines.len(),
+            Geometry::MultiPolygon(m) => m.polygons.len(),
+            Geometry::GeometryCollection(c) => c.geometries.len(),
+            _ => 1,
+        }
+    }
+
+    /// The `n`-th element (1-based, matching `ST_GeometryN`).
+    pub fn geometry_n(&self, n: usize) -> Option<Geometry> {
+        if n == 0 {
+            return None;
+        }
+        let idx = n - 1;
+        match self {
+            Geometry::MultiPoint(m) => m.points.get(idx).cloned().map(Geometry::Point),
+            Geometry::MultiLineString(m) => m.lines.get(idx).cloned().map(Geometry::LineString),
+            Geometry::MultiPolygon(m) => m.polygons.get(idx).cloned().map(Geometry::Polygon),
+            Geometry::GeometryCollection(c) => c.geometries.get(idx).cloned(),
+            other => {
+                if idx == 0 {
+                    Some(other.clone())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Flattens the geometry into its basic-type parts (recursively for
+    /// collections). EMPTY parts are included.
+    pub fn flatten(&self) -> Vec<Geometry> {
+        let mut out = Vec::new();
+        self.flatten_into(&mut out);
+        out
+    }
+
+    fn flatten_into(&self, out: &mut Vec<Geometry>) {
+        match self {
+            Geometry::MultiPoint(m) => out.extend(m.points.iter().cloned().map(Geometry::Point)),
+            Geometry::MultiLineString(m) => {
+                out.extend(m.lines.iter().cloned().map(Geometry::LineString))
+            }
+            Geometry::MultiPolygon(m) => {
+                out.extend(m.polygons.iter().cloned().map(Geometry::Polygon))
+            }
+            Geometry::GeometryCollection(c) => {
+                for g in &c.geometries {
+                    g.flatten_into(out);
+                }
+            }
+            basic => out.push(basic.clone()),
+        }
+    }
+}
+
+impl From<Point> for Geometry {
+    fn from(value: Point) -> Self {
+        Geometry::Point(value)
+    }
+}
+impl From<LineString> for Geometry {
+    fn from(value: LineString) -> Self {
+        Geometry::LineString(value)
+    }
+}
+impl From<Polygon> for Geometry {
+    fn from(value: Polygon) -> Self {
+        Geometry::Polygon(value)
+    }
+}
+impl From<MultiPoint> for Geometry {
+    fn from(value: MultiPoint) -> Self {
+        Geometry::MultiPoint(value)
+    }
+}
+impl From<MultiLineString> for Geometry {
+    fn from(value: MultiLineString) -> Self {
+        Geometry::MultiLineString(value)
+    }
+}
+impl From<MultiPolygon> for Geometry {
+    fn from(value: MultiPolygon) -> Self {
+        Geometry::MultiPolygon(value)
+    }
+}
+impl From<GeometryCollection> for Geometry {
+    fn from(value: GeometryCollection) -> Self {
+        Geometry::GeometryCollection(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(coords: &[(f64, f64)]) -> LineString {
+        LineString::new(coords.iter().map(|&(x, y)| Coord::new(x, y)).collect())
+    }
+
+    #[test]
+    fn type_tags_and_names() {
+        assert_eq!(GeometryType::Point.wkt_name(), "POINT");
+        assert_eq!(GeometryType::GeometryCollection.to_string(), "GEOMETRYCOLLECTION");
+        assert!(GeometryType::MultiPolygon.is_multi());
+        assert!(!GeometryType::Polygon.is_multi());
+        assert!(GeometryType::GeometryCollection.is_mixed());
+        assert_eq!(
+            GeometryType::MultiLineString.element_type(),
+            Some(GeometryType::LineString)
+        );
+        assert_eq!(GeometryType::ALL.len(), 7);
+    }
+
+    #[test]
+    fn dimension_of_basic_types() {
+        assert_eq!(Geometry::Point(Point::new(0.0, 0.0)).dimension(), Dimension::Zero);
+        assert_eq!(
+            Geometry::LineString(ls(&[(0.0, 0.0), (1.0, 1.0)])).dimension(),
+            Dimension::One
+        );
+        assert_eq!(Geometry::Point(Point::empty()).dimension(), Dimension::Empty);
+    }
+
+    #[test]
+    fn dimension_of_collection_is_max_of_members() {
+        let gc = Geometry::GeometryCollection(GeometryCollection::new(vec![
+            Geometry::Point(Point::new(0.0, 0.0)),
+            Geometry::LineString(ls(&[(0.0, 0.0), (1.0, 1.0)])),
+        ]));
+        assert_eq!(gc.dimension(), Dimension::One);
+        assert_eq!(
+            Geometry::GeometryCollection(GeometryCollection::empty()).dimension(),
+            Dimension::Empty
+        );
+    }
+
+    #[test]
+    fn num_coords_counts_all_vertices() {
+        let poly = Polygon::from_exterior(ls(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (1.0, 1.0),
+            (0.0, 0.0),
+        ]));
+        assert_eq!(Geometry::Polygon(poly).num_coords(), 4);
+        assert_eq!(Geometry::Point(Point::empty()).num_coords(), 0);
+    }
+
+    #[test]
+    fn geometry_n_is_one_based() {
+        let mp = Geometry::MultiPoint(MultiPoint::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+        ]));
+        assert_eq!(mp.geometry_n(1), Some(Geometry::Point(Point::new(0.0, 0.0))));
+        assert_eq!(mp.geometry_n(2), Some(Geometry::Point(Point::new(1.0, 1.0))));
+        assert_eq!(mp.geometry_n(0), None);
+        assert_eq!(mp.geometry_n(3), None);
+        let p = Geometry::Point(Point::new(5.0, 5.0));
+        assert_eq!(p.geometry_n(1), Some(p.clone()));
+    }
+
+    #[test]
+    fn flatten_recurses_into_collections() {
+        let nested = Geometry::GeometryCollection(GeometryCollection::new(vec![
+            Geometry::MultiPoint(MultiPoint::new(vec![Point::new(0.0, 0.0), Point::empty()])),
+            Geometry::GeometryCollection(GeometryCollection::new(vec![Geometry::LineString(ls(&[
+                (0.0, 0.0),
+                (1.0, 0.0),
+            ]))])),
+        ]));
+        let flat = nested.flatten();
+        assert_eq!(flat.len(), 3);
+        assert_eq!(flat[0].geometry_type(), GeometryType::Point);
+        assert_eq!(flat[2].geometry_type(), GeometryType::LineString);
+    }
+
+    #[test]
+    fn map_coords_translates() {
+        let mut g = Geometry::LineString(ls(&[(0.0, 0.0), (1.0, 1.0)]));
+        g.map_coords(&mut |c| {
+            c.x += 10.0;
+            c.y += 20.0;
+        });
+        assert_eq!(
+            g,
+            Geometry::LineString(ls(&[(10.0, 20.0), (11.0, 21.0)]))
+        );
+    }
+
+    #[test]
+    fn empty_of_every_type_is_empty() {
+        for t in GeometryType::ALL {
+            assert!(Geometry::empty_of(t).is_empty(), "{t} should be empty");
+        }
+    }
+}

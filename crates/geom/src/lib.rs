@@ -1,0 +1,45 @@
+//! # spatter-geom
+//!
+//! Geometry model for the Spatter / Affine Equivalent Inputs reproduction.
+//!
+//! This crate plays the role of the data-model half of the shared geometry
+//! library (the "GEOS analog") that the spatial SQL engine and the tester both
+//! build on. It provides:
+//!
+//! * the seven OGC 2D geometry types of the paper's §2.1 (Figure 2), including
+//!   EMPTY geometries at every level ([`Geometry`], [`Point`], [`LineString`],
+//!   [`Polygon`], [`MultiPoint`], [`MultiLineString`], [`MultiPolygon`],
+//!   [`GeometryCollection`]);
+//! * Well-Known Text parsing and writing ([`wkt`]);
+//! * affine transformations in homogeneous coordinates (§2.3, Algorithm 2)
+//!   including the integer-matrix generation strategy the paper uses to avoid
+//!   precision false alarms ([`affine`]);
+//! * canonicalization at the element and value level (§4.3, Figure 6)
+//!   ([`canonical`]);
+//! * envelopes, dimension computation, ring orientation and validity checks.
+//!
+//! The topological relate engine (DE-9IM) lives in the sibling crate
+//! `spatter-topo`.
+
+pub mod affine;
+pub mod canonical;
+pub mod coord;
+pub mod dimension;
+pub mod envelope;
+pub mod error;
+pub mod geometry;
+pub mod orientation;
+pub mod types;
+pub mod validity;
+pub mod wkt;
+
+pub use affine::{AffineMatrix, AffineTransform};
+pub use coord::Coord;
+pub use dimension::Dimension;
+pub use envelope::Envelope;
+pub use error::GeomError;
+pub use geometry::{Geometry, GeometryType};
+pub use orientation::{ring_orientation, signed_area, RingOrientation};
+pub use types::{
+    GeometryCollection, LineString, MultiLineString, MultiPoint, MultiPolygon, Point, Polygon,
+};

@@ -1,0 +1,163 @@
+//! Ring orientation and robust orientation predicates.
+//!
+//! Value-level canonicalization (§4.3) converts polygon loops to clockwise
+//! orientation, and the relate engine needs to know on which side of a ring
+//! segment a polygon's interior lies, so orientation is computed here once
+//! and shared.
+
+use crate::coord::Coord;
+use crate::types::LineString;
+
+/// Winding direction of a ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingOrientation {
+    /// Counter-clockwise (positive signed area).
+    CounterClockwise,
+    /// Clockwise (negative signed area).
+    Clockwise,
+    /// Degenerate ring with zero area.
+    Degenerate,
+}
+
+/// The orientation of the ordered triple `(a, b, c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// `c` lies to the left of the directed line `a -> b`.
+    CounterClockwise,
+    /// `c` lies to the right of the directed line `a -> b`.
+    Clockwise,
+    /// The three points are collinear.
+    Collinear,
+}
+
+/// Twice the signed area of the triangle `(a, b, c)`; positive when the
+/// triple turns counter-clockwise.
+///
+/// Computed with a translation to `a` which keeps intermediate magnitudes
+/// small; for the integer coordinates Spatter generates this is exact.
+pub fn cross(a: Coord, b: Coord, c: Coord) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Orientation predicate for the ordered triple `(a, b, c)`.
+pub fn orientation(a: Coord, b: Coord, c: Coord) -> Orientation {
+    let v = cross(a, b, c);
+    if v > 0.0 {
+        Orientation::CounterClockwise
+    } else if v < 0.0 {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// Signed area of a closed ring (positive for counter-clockwise rings) using
+/// the shoelace formula. The ring is expected to repeat its first vertex at
+/// the end; a missing closing vertex is tolerated.
+pub fn signed_area(ring: &LineString) -> f64 {
+    let coords = &ring.coords;
+    if coords.len() < 3 {
+        return 0.0;
+    }
+    let n = if coords[0].approx_eq(&coords[coords.len() - 1]) {
+        coords.len() - 1
+    } else {
+        coords.len()
+    };
+    if n < 3 {
+        return 0.0;
+    }
+    let origin = coords[0];
+    let mut area2 = 0.0;
+    for i in 0..n {
+        let p = coords[i];
+        let q = coords[(i + 1) % n];
+        area2 += (p.x - origin.x) * (q.y - origin.y) - (q.x - origin.x) * (p.y - origin.y);
+    }
+    area2 / 2.0
+}
+
+/// The winding direction of a ring.
+pub fn ring_orientation(ring: &LineString) -> RingOrientation {
+    let a = signed_area(ring);
+    if a > 0.0 {
+        RingOrientation::CounterClockwise
+    } else if a < 0.0 {
+        RingOrientation::Clockwise
+    } else {
+        RingOrientation::Degenerate
+    }
+}
+
+/// Whether point `p` lies on the closed segment `a-b`.
+pub fn point_on_segment(p: Coord, a: Coord, b: Coord) -> bool {
+    if orientation(a, b, p) != Orientation::Collinear {
+        return false;
+    }
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+/// Whether point `p` lies strictly inside the open segment `a-b` (collinear,
+/// between the endpoints, and not equal to either endpoint).
+pub fn point_in_segment_interior(p: Coord, a: Coord, b: Coord) -> bool {
+    point_on_segment(p, a, b) && !p.approx_eq(&a) && !p.approx_eq(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(coords: &[(f64, f64)]) -> LineString {
+        LineString::new(coords.iter().map(|&(x, y)| Coord::new(x, y)).collect())
+    }
+
+    #[test]
+    fn orientation_predicate() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(1.0, 0.0);
+        assert_eq!(orientation(a, b, Coord::new(0.0, 1.0)), Orientation::CounterClockwise);
+        assert_eq!(orientation(a, b, Coord::new(0.0, -1.0)), Orientation::Clockwise);
+        assert_eq!(orientation(a, b, Coord::new(2.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn signed_area_of_unit_square() {
+        let ccw = ring(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.0, 0.0)]);
+        assert_eq!(signed_area(&ccw), 1.0);
+        let cw = ccw.reversed();
+        assert_eq!(signed_area(&cw), -1.0);
+    }
+
+    #[test]
+    fn signed_area_tolerates_unclosed_ring() {
+        let open = ring(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]);
+        assert_eq!(signed_area(&open), 4.0);
+    }
+
+    #[test]
+    fn ring_orientation_detection() {
+        let ccw = ring(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0), (0.0, 0.0)]);
+        assert_eq!(ring_orientation(&ccw), RingOrientation::CounterClockwise);
+        assert_eq!(ring_orientation(&ccw.reversed()), RingOrientation::Clockwise);
+        let degenerate = ring(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (0.0, 0.0)]);
+        assert_eq!(ring_orientation(&degenerate), RingOrientation::Degenerate);
+    }
+
+    #[test]
+    fn point_on_segment_checks() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(4.0, 4.0);
+        assert!(point_on_segment(Coord::new(2.0, 2.0), a, b));
+        assert!(point_on_segment(a, a, b));
+        assert!(!point_on_segment(Coord::new(2.0, 2.1), a, b));
+        assert!(!point_on_segment(Coord::new(5.0, 5.0), a, b));
+        assert!(point_in_segment_interior(Coord::new(1.0, 1.0), a, b));
+        assert!(!point_in_segment_interior(a, a, b));
+    }
+
+    #[test]
+    fn degenerate_rings_have_zero_area() {
+        assert_eq!(signed_area(&ring(&[(0.0, 0.0), (1.0, 1.0)])), 0.0);
+        assert_eq!(signed_area(&ring(&[])), 0.0);
+    }
+}

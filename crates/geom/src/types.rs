@@ -1,0 +1,386 @@
+//! The seven OGC geometry types of the paper's Figure 2.
+//!
+//! Each type supports an EMPTY representation, because a large share of the
+//! bugs the paper reports (6 of 20 logic bugs, §5.2) are triggered by EMPTY
+//! elements or EMPTY geometries, so the whole stack must be able to represent
+//! and propagate them faithfully.
+
+use crate::coord::Coord;
+use crate::envelope::Envelope;
+use crate::geometry::Geometry;
+use serde::{Deserialize, Serialize};
+
+/// A POINT: either a single coordinate or EMPTY.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Point {
+    /// The coordinate, or `None` for `POINT EMPTY`.
+    pub coord: Option<Coord>,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point {
+            coord: Some(Coord::new(x, y)),
+        }
+    }
+
+    /// Creates a point from a coordinate.
+    pub fn from_coord(c: Coord) -> Self {
+        Point { coord: Some(c) }
+    }
+
+    /// Creates `POINT EMPTY`.
+    pub fn empty() -> Self {
+        Point { coord: None }
+    }
+
+    /// Whether this is `POINT EMPTY`.
+    pub fn is_empty(&self) -> bool {
+        self.coord.is_none()
+    }
+
+    /// Envelope of the point (empty for `POINT EMPTY`).
+    pub fn envelope(&self) -> Envelope {
+        match self.coord {
+            Some(c) => Envelope::from_coord(c),
+            None => Envelope::empty(),
+        }
+    }
+}
+
+/// A LINESTRING: an ordered list of vertices, or EMPTY when the list is empty.
+///
+/// A linestring with exactly one point is structurally invalid; validity is
+/// checked separately (see [`crate::validity`]) because the random-shape
+/// strategy of the paper deliberately produces syntactically valid but
+/// semantically invalid geometries (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct LineString {
+    /// The vertices in order.
+    pub coords: Vec<Coord>,
+}
+
+impl LineString {
+    /// Creates a linestring from vertices.
+    pub fn new(coords: Vec<Coord>) -> Self {
+        LineString { coords }
+    }
+
+    /// Creates `LINESTRING EMPTY`.
+    pub fn empty() -> Self {
+        LineString { coords: Vec::new() }
+    }
+
+    /// Whether this is `LINESTRING EMPTY`.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Whether the first and last vertices coincide (and there are at least
+    /// four vertices), i.e. the linestring forms a ring.
+    pub fn is_closed(&self) -> bool {
+        self.coords.len() >= 4
+            && self
+                .coords
+                .first()
+                .zip(self.coords.last())
+                .map(|(a, b)| a.approx_eq(b))
+                .unwrap_or(false)
+    }
+
+    /// Number of vertices.
+    pub fn num_points(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The consecutive segments of the linestring.
+    pub fn segments(&self) -> impl Iterator<Item = (Coord, Coord)> + '_ {
+        self.coords.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Total length of the linestring.
+    pub fn length(&self) -> f64 {
+        self.segments().map(|(a, b)| a.distance(&b)).sum()
+    }
+
+    /// Envelope of all vertices.
+    pub fn envelope(&self) -> Envelope {
+        Envelope::from_coords(self.coords.iter().copied())
+    }
+
+    /// Returns a reversed copy.
+    pub fn reversed(&self) -> LineString {
+        let mut coords = self.coords.clone();
+        coords.reverse();
+        LineString { coords }
+    }
+}
+
+/// A POLYGON: an exterior ring plus zero or more interior rings (holes), or
+/// EMPTY when there are no rings.
+///
+/// Rings are stored as closed [`LineString`]s (first vertex repeated at the
+/// end). Ring index 0 is the exterior ring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Polygon {
+    /// The rings; `rings[0]` is the exterior ring, the rest are holes.
+    pub rings: Vec<LineString>,
+}
+
+impl Polygon {
+    /// Creates a polygon from rings (the first being the exterior ring).
+    pub fn new(rings: Vec<LineString>) -> Self {
+        Polygon { rings }
+    }
+
+    /// Creates a polygon with only an exterior ring.
+    pub fn from_exterior(ring: LineString) -> Self {
+        Polygon { rings: vec![ring] }
+    }
+
+    /// Creates `POLYGON EMPTY`.
+    pub fn empty() -> Self {
+        Polygon { rings: Vec::new() }
+    }
+
+    /// Whether this is `POLYGON EMPTY`.
+    pub fn is_empty(&self) -> bool {
+        self.rings.is_empty() || self.rings.iter().all(|r| r.is_empty())
+    }
+
+    /// The exterior ring, if any.
+    pub fn exterior(&self) -> Option<&LineString> {
+        self.rings.first()
+    }
+
+    /// The interior rings (holes).
+    pub fn interiors(&self) -> &[LineString] {
+        if self.rings.is_empty() {
+            &[]
+        } else {
+            &self.rings[1..]
+        }
+    }
+
+    /// Envelope over all rings.
+    pub fn envelope(&self) -> Envelope {
+        let mut env = Envelope::empty();
+        for ring in &self.rings {
+            env.expand_envelope(&ring.envelope());
+        }
+        env
+    }
+}
+
+/// A MULTIPOINT: a collection of points (possibly containing EMPTY elements).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MultiPoint {
+    /// The point elements.
+    pub points: Vec<Point>,
+}
+
+impl MultiPoint {
+    /// Creates a multipoint from elements.
+    pub fn new(points: Vec<Point>) -> Self {
+        MultiPoint { points }
+    }
+
+    /// Creates `MULTIPOINT EMPTY`.
+    pub fn empty() -> Self {
+        MultiPoint { points: Vec::new() }
+    }
+
+    /// Whether the multipoint has no non-EMPTY elements.
+    pub fn is_empty(&self) -> bool {
+        self.points.iter().all(|p| p.is_empty())
+    }
+
+    /// Envelope over all non-EMPTY elements.
+    pub fn envelope(&self) -> Envelope {
+        let mut env = Envelope::empty();
+        for p in &self.points {
+            env.expand_envelope(&p.envelope());
+        }
+        env
+    }
+}
+
+/// A MULTILINESTRING: a collection of linestrings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MultiLineString {
+    /// The linestring elements.
+    pub lines: Vec<LineString>,
+}
+
+impl MultiLineString {
+    /// Creates a multilinestring from elements.
+    pub fn new(lines: Vec<LineString>) -> Self {
+        MultiLineString { lines }
+    }
+
+    /// Creates `MULTILINESTRING EMPTY`.
+    pub fn empty() -> Self {
+        MultiLineString { lines: Vec::new() }
+    }
+
+    /// Whether the multilinestring has no non-EMPTY elements.
+    pub fn is_empty(&self) -> bool {
+        self.lines.iter().all(|l| l.is_empty())
+    }
+
+    /// Envelope over all elements.
+    pub fn envelope(&self) -> Envelope {
+        let mut env = Envelope::empty();
+        for l in &self.lines {
+            env.expand_envelope(&l.envelope());
+        }
+        env
+    }
+}
+
+/// A MULTIPOLYGON: a collection of polygons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MultiPolygon {
+    /// The polygon elements.
+    pub polygons: Vec<Polygon>,
+}
+
+impl MultiPolygon {
+    /// Creates a multipolygon from elements.
+    pub fn new(polygons: Vec<Polygon>) -> Self {
+        MultiPolygon { polygons }
+    }
+
+    /// Creates `MULTIPOLYGON EMPTY`.
+    pub fn empty() -> Self {
+        MultiPolygon {
+            polygons: Vec::new(),
+        }
+    }
+
+    /// Whether the multipolygon has no non-EMPTY elements.
+    pub fn is_empty(&self) -> bool {
+        self.polygons.iter().all(|p| p.is_empty())
+    }
+
+    /// Envelope over all elements.
+    pub fn envelope(&self) -> Envelope {
+        let mut env = Envelope::empty();
+        for p in &self.polygons {
+            env.expand_envelope(&p.envelope());
+        }
+        env
+    }
+}
+
+/// A GEOMETRYCOLLECTION: elements of mixed geometry type (the paper's "MIXED
+/// geometry"), the single largest source of logic bugs in the evaluation
+/// (13 of 20 logic bugs, §5.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct GeometryCollection {
+    /// The member geometries.
+    pub geometries: Vec<Geometry>,
+}
+
+impl GeometryCollection {
+    /// Creates a collection from elements.
+    pub fn new(geometries: Vec<Geometry>) -> Self {
+        GeometryCollection { geometries }
+    }
+
+    /// Creates `GEOMETRYCOLLECTION EMPTY`.
+    pub fn empty() -> Self {
+        GeometryCollection {
+            geometries: Vec::new(),
+        }
+    }
+
+    /// Whether the collection has no non-EMPTY elements.
+    pub fn is_empty(&self) -> bool {
+        self.geometries.iter().all(|g| g.is_empty())
+    }
+
+    /// Envelope over all elements.
+    pub fn envelope(&self) -> Envelope {
+        let mut env = Envelope::empty();
+        for g in &self.geometries {
+            env.expand_envelope(&g.envelope());
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(coords: &[(f64, f64)]) -> LineString {
+        LineString::new(coords.iter().map(|&(x, y)| Coord::new(x, y)).collect())
+    }
+
+    #[test]
+    fn point_empty_and_filled() {
+        assert!(Point::empty().is_empty());
+        assert!(!Point::new(1.0, 2.0).is_empty());
+        assert_eq!(Point::new(1.0, 2.0).coord, Some(Coord::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn linestring_closed_detection() {
+        let open = ls(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert!(!open.is_closed());
+        let closed = ls(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 0.0)]);
+        assert!(closed.is_closed());
+        // Three points back to start is not a ring (needs >= 4 vertices).
+        let degenerate = ls(&[(0.0, 0.0), (1.0, 0.0), (0.0, 0.0)]);
+        assert!(!degenerate.is_closed());
+    }
+
+    #[test]
+    fn linestring_length_and_segments() {
+        let l = ls(&[(0.0, 0.0), (3.0, 0.0), (3.0, 4.0)]);
+        assert_eq!(l.length(), 7.0);
+        assert_eq!(l.segments().count(), 2);
+    }
+
+    #[test]
+    fn polygon_exterior_and_holes() {
+        let outer = ls(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0), (0.0, 0.0)]);
+        let hole = ls(&[(2.0, 2.0), (4.0, 2.0), (4.0, 4.0), (2.0, 4.0), (2.0, 2.0)]);
+        let p = Polygon::new(vec![outer.clone(), hole.clone()]);
+        assert_eq!(p.exterior(), Some(&outer));
+        assert_eq!(p.interiors(), &[hole]);
+        assert!(!p.is_empty());
+        assert!(Polygon::empty().is_empty());
+    }
+
+    #[test]
+    fn multi_types_emptiness_ignores_empty_elements() {
+        let mp = MultiPoint::new(vec![Point::empty(), Point::empty()]);
+        assert!(mp.is_empty());
+        let mp2 = MultiPoint::new(vec![Point::empty(), Point::new(1.0, 1.0)]);
+        assert!(!mp2.is_empty());
+        assert!(MultiLineString::empty().is_empty());
+        assert!(MultiPolygon::empty().is_empty());
+        assert!(GeometryCollection::empty().is_empty());
+    }
+
+    #[test]
+    fn envelopes_cover_all_parts() {
+        let l = ls(&[(0.0, 0.0), (2.0, 3.0)]);
+        let env = l.envelope();
+        assert_eq!(env.min_x(), 0.0);
+        assert_eq!(env.max_y(), 3.0);
+        assert!(Point::empty().envelope().is_empty());
+    }
+
+    #[test]
+    fn reversed_linestring() {
+        let l = ls(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(
+            l.reversed().coords,
+            vec![Coord::new(2.0, 0.0), Coord::new(1.0, 0.0), Coord::new(0.0, 0.0)]
+        );
+    }
+}

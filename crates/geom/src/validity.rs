@@ -1,0 +1,281 @@
+//! Semantic validity checks (OGC simple-feature validity, simplified).
+//!
+//! The random-shape strategy produces geometries that are "valid at the
+//! syntax level, but not necessarily at the semantic level" (§4.1); engines
+//! reject the semantically invalid ones with an error, which Spatter ignores.
+//! The engine profiles differ in how strict they are (PostGIS/DuckDB reject
+//! self-intersecting collection members in Listing 4 while MySQL accepts
+//! them), so validity is a first-class, engine-configurable check.
+
+use crate::coord::Coord;
+use crate::geometry::Geometry;
+use crate::orientation::{orientation, point_on_segment, Orientation};
+use crate::types::{LineString, Polygon};
+
+/// The outcome of a validity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Validity {
+    /// The geometry satisfies the checks.
+    Valid,
+    /// The geometry is invalid, with a reason string in the spirit of
+    /// `ST_IsValidReason`.
+    Invalid(String),
+}
+
+impl Validity {
+    /// Whether the geometry was found valid.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Validity::Valid)
+    }
+
+    /// The reason, if invalid.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            Validity::Valid => None,
+            Validity::Invalid(r) => Some(r),
+        }
+    }
+}
+
+/// Checks structural and semantic validity of a geometry.
+///
+/// The implemented rules are the ones the paper's bug discussion relies on:
+/// linestrings need at least two distinct points, polygon rings must be
+/// closed with at least four vertices and must not self-intersect, and
+/// polygon rings must not cross each other.
+pub fn check_validity(geometry: &Geometry) -> Validity {
+    match geometry {
+        Geometry::Point(_) => Validity::Valid,
+        Geometry::MultiPoint(_) => Validity::Valid,
+        Geometry::LineString(l) => check_linestring(l),
+        Geometry::MultiLineString(m) => {
+            for l in &m.lines {
+                if let v @ Validity::Invalid(_) = check_linestring(l) {
+                    return v;
+                }
+            }
+            Validity::Valid
+        }
+        Geometry::Polygon(p) => check_polygon(p),
+        Geometry::MultiPolygon(m) => {
+            for p in &m.polygons {
+                if let v @ Validity::Invalid(_) = check_polygon(p) {
+                    return v;
+                }
+            }
+            Validity::Valid
+        }
+        Geometry::GeometryCollection(c) => {
+            for g in &c.geometries {
+                if let v @ Validity::Invalid(_) = check_validity(g) {
+                    return v;
+                }
+            }
+            Validity::Valid
+        }
+    }
+}
+
+/// Convenience wrapper returning a boolean (`ST_IsValid`).
+pub fn is_valid(geometry: &Geometry) -> bool {
+    check_validity(geometry).is_valid()
+}
+
+fn check_linestring(line: &LineString) -> Validity {
+    if line.is_empty() {
+        return Validity::Valid;
+    }
+    if line.coords.len() < 2 {
+        return Validity::Invalid("linestring has fewer than 2 points".into());
+    }
+    if line
+        .coords
+        .windows(2)
+        .all(|w| w[0].approx_eq(&w[1]))
+    {
+        return Validity::Invalid("linestring has no extent (all points identical)".into());
+    }
+    Validity::Valid
+}
+
+fn check_polygon(polygon: &Polygon) -> Validity {
+    if polygon.is_empty() {
+        return Validity::Valid;
+    }
+    for (idx, ring) in polygon.rings.iter().enumerate() {
+        if ring.is_empty() {
+            return Validity::Invalid(format!("ring {idx} is empty"));
+        }
+        if ring.coords.len() < 4 {
+            return Validity::Invalid(format!("ring {idx} has fewer than 4 points"));
+        }
+        if !ring.coords[0].approx_eq(&ring.coords[ring.coords.len() - 1]) {
+            return Validity::Invalid(format!("ring {idx} is not closed"));
+        }
+        if ring_self_intersects(ring) {
+            return Validity::Invalid(format!("ring {idx} self-intersects"));
+        }
+    }
+    // Ring-ring crossings (a hole crossing the shell) also make the polygon
+    // invalid; shared isolated points are allowed.
+    for i in 0..polygon.rings.len() {
+        for j in (i + 1)..polygon.rings.len() {
+            if rings_cross(&polygon.rings[i], &polygon.rings[j]) {
+                return Validity::Invalid(format!("rings {i} and {j} cross"));
+            }
+        }
+    }
+    Validity::Valid
+}
+
+/// Whether two closed segments properly intersect (cross at a single interior
+/// point of both).
+fn segments_properly_intersect(p1: Coord, p2: Coord, q1: Coord, q2: Coord) -> bool {
+    let o1 = orientation(p1, p2, q1);
+    let o2 = orientation(p1, p2, q2);
+    let o3 = orientation(q1, q2, p1);
+    let o4 = orientation(q1, q2, p2);
+    o1 != o2
+        && o3 != o4
+        && o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
+}
+
+/// Whether two closed segments overlap collinearly over more than a point.
+fn segments_overlap_collinear(p1: Coord, p2: Coord, q1: Coord, q2: Coord) -> bool {
+    if orientation(p1, p2, q1) != Orientation::Collinear
+        || orientation(p1, p2, q2) != Orientation::Collinear
+    {
+        return false;
+    }
+    // Project on the dominant axis and test interval overlap length > 0.
+    let use_x = (p2.x - p1.x).abs() >= (p2.y - p1.y).abs();
+    let (a1, a2, b1, b2) = if use_x {
+        (p1.x, p2.x, q1.x, q2.x)
+    } else {
+        (p1.y, p2.y, q1.y, q2.y)
+    };
+    let (amin, amax) = (a1.min(a2), a1.max(a2));
+    let (bmin, bmax) = (b1.min(b2), b1.max(b2));
+    amax.min(bmax) - amin.max(bmin) > 0.0
+}
+
+fn ring_self_intersects(ring: &LineString) -> bool {
+    let coords = &ring.coords;
+    let n = coords.len();
+    if n < 4 {
+        return false;
+    }
+    // Segments are [i, i+1); the last vertex repeats the first.
+    let seg_count = n - 1;
+    for i in 0..seg_count {
+        for j in (i + 1)..seg_count {
+            let (p1, p2) = (coords[i], coords[i + 1]);
+            let (q1, q2) = (coords[j], coords[j + 1]);
+            if segments_properly_intersect(p1, p2, q1, q2) {
+                return true;
+            }
+            if segments_overlap_collinear(p1, p2, q1, q2) {
+                return true;
+            }
+            // Non-adjacent segments must not even touch at a point (other
+            // than the ring's closing vertex).
+            let adjacent = j == i + 1 || (i == 0 && j == seg_count - 1);
+            if !adjacent {
+                for (a, b, c) in [(q1, p1, p2), (q2, p1, p2), (p1, q1, q2), (p2, q1, q2)] {
+                    if point_on_segment(a, b, c) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+fn rings_cross(a: &LineString, b: &LineString) -> bool {
+    for sa in a.coords.windows(2) {
+        for sb in b.coords.windows(2) {
+            if segments_properly_intersect(sa[0], sa[1], sb[0], sb[1]) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wkt::parse_wkt;
+
+    fn validity(wkt: &str) -> Validity {
+        check_validity(&parse_wkt(wkt).unwrap())
+    }
+
+    #[test]
+    fn points_are_always_valid() {
+        assert!(validity("POINT(1 2)").is_valid());
+        assert!(validity("POINT EMPTY").is_valid());
+        assert!(validity("MULTIPOINT((1 1),EMPTY)").is_valid());
+    }
+
+    #[test]
+    fn linestring_needs_two_distinct_points() {
+        assert!(validity("LINESTRING(0 0,1 1)").is_valid());
+        assert!(!validity("LINESTRING(1 1,1 1)").is_valid());
+        assert!(validity("LINESTRING EMPTY").is_valid());
+    }
+
+    #[test]
+    fn bowtie_polygon_is_invalid() {
+        // The example from §4.1: self-intersecting boundary.
+        let v = validity("POLYGON((0 0,1 1,0 1,1 0,0 0))");
+        assert!(!v.is_valid());
+        assert!(v.reason().unwrap().contains("self-intersects"));
+    }
+
+    #[test]
+    fn simple_polygons_are_valid() {
+        assert!(validity("POLYGON((0 0,10 0,10 10,0 10,0 0))").is_valid());
+        assert!(validity("POLYGON((0 0,0 1,1 1,1 0,0 0))").is_valid());
+        assert!(validity("POLYGON EMPTY").is_valid());
+    }
+
+    #[test]
+    fn unclosed_or_short_rings_are_invalid() {
+        assert!(!validity("POLYGON((0 0,1 0,1 1,0 1))").is_valid());
+        assert!(!validity("POLYGON((0 0,1 0,0 0))").is_valid());
+    }
+
+    #[test]
+    fn polygon_with_proper_hole_is_valid() {
+        assert!(validity("POLYGON((0 0,10 0,10 10,0 10,0 0),(2 2,4 2,4 4,2 4,2 2))").is_valid());
+    }
+
+    #[test]
+    fn polygon_with_crossing_hole_is_invalid() {
+        assert!(!validity("POLYGON((0 0,10 0,10 10,0 10,0 0),(5 5,15 5,15 7,5 7,5 5))").is_valid());
+    }
+
+    #[test]
+    fn collection_validity_recurses() {
+        assert!(validity("GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))").is_valid());
+        assert!(!validity("GEOMETRYCOLLECTION(POLYGON((0 0,1 1,0 1,1 0,0 0)))").is_valid());
+    }
+
+    #[test]
+    fn multipolygon_checks_each_member() {
+        assert!(validity("MULTIPOLYGON(((0 0,5 0,0 5,0 0)))").is_valid());
+        assert!(!validity("MULTIPOLYGON(((0 0,5 0,0 5,0 0)),((0 0,1 1,0 1,1 0,0 0)))").is_valid());
+    }
+
+    #[test]
+    fn triangle_with_collinear_duplicate_edges_is_invalid() {
+        // Degenerate "spike" ring: goes out and comes back along the same
+        // segment.
+        assert!(!validity("POLYGON((0 0,4 0,2 0,0 0))").is_valid());
+    }
+}

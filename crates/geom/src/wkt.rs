@@ -1,0 +1,600 @@
+//! Well-Known Text reading and writing.
+//!
+//! The paper's generator and the SQL engine exchange geometries exclusively
+//! as WKT literals (`'LINESTRING(0 1,2 0)'`, Listings 1–9), so the parser
+//! accepts the full 2D OGC grammar including EMPTY at every nesting level and
+//! both the `MULTIPOINT(0 0, 1 1)` and `MULTIPOINT((0 0),(1 1))` spellings.
+
+use crate::coord::{fmt_f64, Coord};
+use crate::error::{GeomError, GeomResult};
+use crate::geometry::Geometry;
+use crate::types::{
+    GeometryCollection, LineString, MultiLineString, MultiPoint, MultiPolygon, Point, Polygon,
+};
+
+/// Parses a WKT string into a [`Geometry`].
+pub fn parse_wkt(input: &str) -> GeomResult<Geometry> {
+    let mut parser = Parser::new(input);
+    let geom = parser.parse_geometry()?;
+    parser.skip_ws();
+    if parser.pos < parser.bytes.len() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    Ok(geom)
+}
+
+/// Serializes a [`Geometry`] to WKT.
+pub fn write_wkt(geometry: &Geometry) -> String {
+    let mut out = String::new();
+    write_geometry(geometry, &mut out);
+    out
+}
+
+fn write_geometry(geometry: &Geometry, out: &mut String) {
+    match geometry {
+        Geometry::Point(p) => {
+            out.push_str("POINT");
+            match &p.coord {
+                None => out.push_str(" EMPTY"),
+                Some(c) => {
+                    out.push('(');
+                    write_coord(c, out);
+                    out.push(')');
+                }
+            }
+        }
+        Geometry::LineString(l) => {
+            out.push_str("LINESTRING");
+            write_coord_seq(&l.coords, out);
+        }
+        Geometry::Polygon(p) => {
+            out.push_str("POLYGON");
+            write_rings(&p.rings, out);
+        }
+        Geometry::MultiPoint(m) => {
+            out.push_str("MULTIPOINT");
+            if m.points.is_empty() {
+                out.push_str(" EMPTY");
+            } else {
+                out.push('(');
+                for (i, p) in m.points.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    match &p.coord {
+                        None => out.push_str("EMPTY"),
+                        Some(c) => {
+                            out.push('(');
+                            write_coord(c, out);
+                            out.push(')');
+                        }
+                    }
+                }
+                out.push(')');
+            }
+        }
+        Geometry::MultiLineString(m) => {
+            out.push_str("MULTILINESTRING");
+            if m.lines.is_empty() {
+                out.push_str(" EMPTY");
+            } else {
+                out.push('(');
+                for (i, l) in m.lines.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if l.is_empty() {
+                        out.push_str("EMPTY");
+                    } else {
+                        write_coord_seq(&l.coords, out);
+                    }
+                }
+                out.push(')');
+            }
+        }
+        Geometry::MultiPolygon(m) => {
+            out.push_str("MULTIPOLYGON");
+            if m.polygons.is_empty() {
+                out.push_str(" EMPTY");
+            } else {
+                out.push('(');
+                for (i, p) in m.polygons.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if p.rings.is_empty() {
+                        out.push_str("EMPTY");
+                    } else {
+                        write_rings(&p.rings, out);
+                    }
+                }
+                out.push(')');
+            }
+        }
+        Geometry::GeometryCollection(c) => {
+            out.push_str("GEOMETRYCOLLECTION");
+            if c.geometries.is_empty() {
+                out.push_str(" EMPTY");
+            } else {
+                out.push('(');
+                for (i, g) in c.geometries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_geometry(g, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn write_coord(c: &Coord, out: &mut String) {
+    out.push_str(&fmt_f64(c.x));
+    out.push(' ');
+    out.push_str(&fmt_f64(c.y));
+}
+
+fn write_coord_seq(coords: &[Coord], out: &mut String) {
+    if coords.is_empty() {
+        out.push_str(" EMPTY");
+        return;
+    }
+    out.push('(');
+    for (i, c) in coords.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_coord(c, out);
+    }
+    out.push(')');
+}
+
+fn write_rings(rings: &[LineString], out: &mut String) {
+    if rings.is_empty() {
+        out.push_str(" EMPTY");
+        return;
+    }
+    out.push('(');
+    for (i, r) in rings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_coord_seq(&r.coords, out);
+    }
+    out.push(')');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> GeomError {
+        GeomError::WktParse {
+            message: message.to_string(),
+            position: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> GeomResult<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn consume_if(&mut self, byte: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn read_word(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).to_uppercase()
+    }
+
+    fn peek_word(&mut self) -> String {
+        let saved = self.pos;
+        let word = self.read_word();
+        self.pos = saved;
+        word
+    }
+
+    fn read_number(&mut self) -> GeomResult<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_digit()
+                || b == b'-'
+                || b == b'+'
+                || b == b'.'
+                || b == b'e'
+                || b == b'E'
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| self.error("invalid number"))
+    }
+
+    /// Consumes an optional dimensionality qualifier (`Z`, `M`, `ZM`); only
+    /// 2D coordinates are supported, so `Z`/`M` values are rejected later by
+    /// coordinate arity checks. The qualifier itself is tolerated because
+    /// real engines print it.
+    fn skip_dim_qualifier(&mut self) {
+        let word = self.peek_word();
+        if word == "Z" || word == "M" || word == "ZM" {
+            self.read_word();
+        }
+    }
+
+    fn parse_geometry(&mut self) -> GeomResult<Geometry> {
+        let tag = self.read_word();
+        if tag.is_empty() {
+            return Err(self.error("expected geometry type keyword"));
+        }
+        self.skip_dim_qualifier();
+        match tag.as_str() {
+            "POINT" => self.parse_point().map(Geometry::Point),
+            "LINESTRING" => self.parse_linestring().map(Geometry::LineString),
+            "POLYGON" => self.parse_polygon().map(Geometry::Polygon),
+            "MULTIPOINT" => self.parse_multipoint().map(Geometry::MultiPoint),
+            "MULTILINESTRING" => self.parse_multilinestring().map(Geometry::MultiLineString),
+            "MULTIPOLYGON" => self.parse_multipolygon().map(Geometry::MultiPolygon),
+            "GEOMETRYCOLLECTION" => self.parse_collection().map(Geometry::GeometryCollection),
+            other => Err(self.error(&format!("unknown geometry type '{other}'"))),
+        }
+    }
+
+    fn try_empty(&mut self) -> bool {
+        if self.peek_word() == "EMPTY" {
+            self.read_word();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_coord(&mut self) -> GeomResult<Coord> {
+        let x = self.read_number()?;
+        let y = self.read_number()?;
+        // Reject a third ordinate explicitly so a Z value is a parse error
+        // rather than being silently mis-read as the next coordinate.
+        self.skip_ws();
+        if let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || *b == b'-' || *b == b'+' || *b == b'.' {
+                return Err(self.error("only 2D coordinates are supported"));
+            }
+        }
+        Ok(Coord::new(x, y))
+    }
+
+    fn parse_coord_seq(&mut self) -> GeomResult<Vec<Coord>> {
+        self.expect(b'(')?;
+        let mut coords = Vec::new();
+        loop {
+            coords.push(self.parse_coord()?);
+            if !self.consume_if(b',') {
+                break;
+            }
+        }
+        self.expect(b')')?;
+        Ok(coords)
+    }
+
+    fn parse_point(&mut self) -> GeomResult<Point> {
+        if self.try_empty() {
+            return Ok(Point::empty());
+        }
+        self.expect(b'(')?;
+        let c = self.parse_coord()?;
+        self.expect(b')')?;
+        Ok(Point::from_coord(c))
+    }
+
+    fn parse_linestring(&mut self) -> GeomResult<LineString> {
+        if self.try_empty() {
+            return Ok(LineString::empty());
+        }
+        Ok(LineString::new(self.parse_coord_seq()?))
+    }
+
+    fn parse_polygon(&mut self) -> GeomResult<Polygon> {
+        if self.try_empty() {
+            return Ok(Polygon::empty());
+        }
+        self.expect(b'(')?;
+        let mut rings = Vec::new();
+        loop {
+            if self.try_empty() {
+                rings.push(LineString::empty());
+            } else {
+                rings.push(LineString::new(self.parse_coord_seq()?));
+            }
+            if !self.consume_if(b',') {
+                break;
+            }
+        }
+        self.expect(b')')?;
+        Ok(Polygon::new(rings))
+    }
+
+    fn parse_multipoint(&mut self) -> GeomResult<MultiPoint> {
+        if self.try_empty() {
+            return Ok(MultiPoint::empty());
+        }
+        self.expect(b'(')?;
+        let mut points = Vec::new();
+        loop {
+            if self.try_empty() {
+                points.push(Point::empty());
+            } else if self.peek() == Some(b'(') {
+                self.expect(b'(')?;
+                let c = self.parse_coord()?;
+                self.expect(b')')?;
+                points.push(Point::from_coord(c));
+            } else {
+                points.push(Point::from_coord(self.parse_coord()?));
+            }
+            if !self.consume_if(b',') {
+                break;
+            }
+        }
+        self.expect(b')')?;
+        Ok(MultiPoint::new(points))
+    }
+
+    fn parse_multilinestring(&mut self) -> GeomResult<MultiLineString> {
+        if self.try_empty() {
+            return Ok(MultiLineString::empty());
+        }
+        self.expect(b'(')?;
+        let mut lines = Vec::new();
+        loop {
+            if self.try_empty() {
+                lines.push(LineString::empty());
+            } else {
+                lines.push(LineString::new(self.parse_coord_seq()?));
+            }
+            if !self.consume_if(b',') {
+                break;
+            }
+        }
+        self.expect(b')')?;
+        Ok(MultiLineString::new(lines))
+    }
+
+    fn parse_multipolygon(&mut self) -> GeomResult<MultiPolygon> {
+        if self.try_empty() {
+            return Ok(MultiPolygon::empty());
+        }
+        self.expect(b'(')?;
+        let mut polygons = Vec::new();
+        loop {
+            if self.try_empty() {
+                polygons.push(Polygon::empty());
+            } else {
+                self.expect(b'(')?;
+                let mut rings = Vec::new();
+                loop {
+                    rings.push(LineString::new(self.parse_coord_seq()?));
+                    if !self.consume_if(b',') {
+                        break;
+                    }
+                }
+                self.expect(b')')?;
+                polygons.push(Polygon::new(rings));
+            }
+            if !self.consume_if(b',') {
+                break;
+            }
+        }
+        self.expect(b')')?;
+        Ok(MultiPolygon::new(polygons))
+    }
+
+    fn parse_collection(&mut self) -> GeomResult<GeometryCollection> {
+        if self.try_empty() {
+            return Ok(GeometryCollection::empty());
+        }
+        self.expect(b'(')?;
+        let mut geometries = Vec::new();
+        loop {
+            geometries.push(self.parse_geometry()?);
+            if !self.consume_if(b',') {
+                break;
+            }
+        }
+        self.expect(b')')?;
+        Ok(GeometryCollection::new(geometries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::GeometryType;
+
+    fn round_trip(wkt: &str) -> String {
+        write_wkt(&parse_wkt(wkt).expect("parse"))
+    }
+
+    #[test]
+    fn parse_point() {
+        let g = parse_wkt("POINT(0.2 0.9)").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(0.2, 0.9)));
+        assert_eq!(round_trip("POINT(0.2 0.9)"), "POINT(0.2 0.9)");
+    }
+
+    #[test]
+    fn parse_point_empty() {
+        assert_eq!(parse_wkt("POINT EMPTY").unwrap(), Geometry::Point(Point::empty()));
+        assert_eq!(round_trip("POINT EMPTY"), "POINT EMPTY");
+    }
+
+    #[test]
+    fn parse_linestring_listing1() {
+        let g = parse_wkt("LINESTRING(0 1,2 0)").unwrap();
+        assert_eq!(g.num_coords(), 2);
+        assert_eq!(round_trip("LINESTRING(0 1,2 0)"), "LINESTRING(0 1,2 0)");
+    }
+
+    #[test]
+    fn parse_polygon_with_hole() {
+        let g = parse_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0),(2 2,4 2,4 4,2 4,2 2))").unwrap();
+        match &g {
+            Geometry::Polygon(p) => {
+                assert_eq!(p.rings.len(), 2);
+                assert_eq!(p.interiors().len(), 1);
+            }
+            _ => panic!("expected polygon"),
+        }
+    }
+
+    #[test]
+    fn parse_multipoint_both_spellings() {
+        let a = parse_wkt("MULTIPOINT((1 0),(0 0))").unwrap();
+        let b = parse_wkt("MULTIPOINT(1 0,0 0)").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(write_wkt(&a), "MULTIPOINT((1 0),(0 0))");
+    }
+
+    #[test]
+    fn parse_multipoint_with_empty_element_listing5() {
+        let g = parse_wkt("MULTIPOINT((-2 0),EMPTY)").unwrap();
+        match &g {
+            Geometry::MultiPoint(mp) => {
+                assert_eq!(mp.points.len(), 2);
+                assert!(mp.points[1].is_empty());
+            }
+            _ => panic!("expected multipoint"),
+        }
+        assert_eq!(round_trip("MULTIPOINT((-2 0),EMPTY)"), "MULTIPOINT((-2 0),EMPTY)");
+    }
+
+    #[test]
+    fn parse_multilinestring_with_empty_fig6() {
+        let g = parse_wkt("MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)").unwrap();
+        match &g {
+            Geometry::MultiLineString(ml) => {
+                assert_eq!(ml.lines.len(), 2);
+                assert!(ml.lines[1].is_empty());
+                assert_eq!(ml.lines[0].coords.len(), 5);
+            }
+            _ => panic!("expected multilinestring"),
+        }
+    }
+
+    #[test]
+    fn parse_geometrycollection_listing6() {
+        let g = parse_wkt("GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))").unwrap();
+        assert_eq!(g.geometry_type(), GeometryType::GeometryCollection);
+        assert_eq!(g.num_geometries(), 2);
+        assert_eq!(
+            round_trip("GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))"),
+            "GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))"
+        );
+    }
+
+    #[test]
+    fn parse_nested_collection() {
+        let g = parse_wkt("GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))").unwrap();
+        assert_eq!(g.num_geometries(), 1);
+        assert_eq!(g.flatten().len(), 2);
+    }
+
+    #[test]
+    fn parse_multipolygon() {
+        let g = parse_wkt("MULTIPOLYGON(((0 0,5 0,0 5,0 0)))").unwrap();
+        match &g {
+            Geometry::MultiPolygon(mp) => assert_eq!(mp.polygons.len(), 1),
+            _ => panic!("expected multipolygon"),
+        }
+        assert_eq!(
+            round_trip("MULTIPOLYGON(((0 0,5 0,0 5,0 0)))"),
+            "MULTIPOLYGON(((0 0,5 0,0 5,0 0)))"
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_wkt("").is_err());
+        assert!(parse_wkt("CIRCLE(0 0, 5)").is_err());
+        assert!(parse_wkt("POINT(1)").is_err());
+        assert!(parse_wkt("POINT(1 2 3)").is_err());
+        assert!(parse_wkt("LINESTRING(0 0,1 1) garbage").is_err());
+        assert!(parse_wkt("POLYGON((0 0,1 1,").is_err());
+        assert!(parse_wkt("POINT(a b)").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_and_whitespace_tolerant() {
+        let g = parse_wkt("  point ( 1   2 ) ").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(1.0, 2.0)));
+        let g = parse_wkt("LineString ( 0 0 , 1 1 )").unwrap();
+        assert_eq!(g.num_coords(), 2);
+    }
+
+    #[test]
+    fn scientific_notation_and_negatives() {
+        let g = parse_wkt("POINT(-1.5e2 +0.25)").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(-150.0, 0.25)));
+    }
+
+    #[test]
+    fn empty_collections_round_trip() {
+        for wkt in [
+            "MULTIPOINT EMPTY",
+            "MULTILINESTRING EMPTY",
+            "MULTIPOLYGON EMPTY",
+            "GEOMETRYCOLLECTION EMPTY",
+            "LINESTRING EMPTY",
+            "POLYGON EMPTY",
+        ] {
+            assert_eq!(round_trip(wkt), wkt, "round trip of {wkt}");
+            assert!(parse_wkt(wkt).unwrap().is_empty());
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # spatter-index
+//!
+//! An R-tree spatial index over envelopes, playing the role of the GiST index
+//! the paper's engines use for indexed spatial joins (Listing 8 creates such
+//! an index and toggles `enable_seqscan`). The tester's *Index* oracle
+//! (Table 4) compares results computed with and without it.
+//!
+//! The tree is a quadratic-split R-tree storing `(Envelope, payload)` pairs;
+//! queries return every payload whose envelope intersects the probe envelope.
+//! Because envelopes of EMPTY geometries are empty rectangles that intersect
+//! nothing, the index by construction never returns EMPTY geometries — the
+//! engine layer is responsible for handling them (this is exactly the class
+//! of discrepancy behind Listing 8's bug, seeded as a fault there).
+
+pub mod rtree;
+
+pub use rtree::RTree;

@@ -1,0 +1,427 @@
+//! A quadratic-split R-tree over [`Envelope`]s.
+
+use spatter_geom::Envelope;
+
+/// Maximum number of entries per node before a split.
+const MAX_ENTRIES: usize = 8;
+/// Minimum number of entries in a node after a split.
+const MIN_ENTRIES: usize = 3;
+
+/// An R-tree mapping envelopes to payload values.
+///
+/// Entries with empty envelopes (e.g. EMPTY geometries) are accepted but are
+/// never returned by window queries, mirroring how GiST indexes key geometries
+/// by their (possibly empty) bounding boxes.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Node<T>,
+    len: usize,
+    empty_entries: Vec<T>,
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf {
+        entries: Vec<(Envelope, T)>,
+    },
+    Internal {
+        children: Vec<(Envelope, Node<T>)>,
+    },
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RTree {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            len: 0,
+            empty_entries: Vec::new(),
+        }
+    }
+
+    /// Builds a tree from an iterator of entries.
+    pub fn bulk_load(items: impl IntoIterator<Item = (Envelope, T)>) -> Self {
+        let mut tree = RTree::new();
+        for (env, value) in items {
+            tree.insert(env, value);
+        }
+        tree
+    }
+
+    /// Number of indexed entries (including entries with empty envelopes).
+    pub fn len(&self) -> usize {
+        self.len + self.empty_entries.len()
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, envelope: Envelope, value: T) {
+        if envelope.is_empty() {
+            self.empty_entries.push(value);
+            return;
+        }
+        self.len += 1;
+        if let Some((left, right)) = insert_recursive(&mut self.root, envelope, value) {
+            // Root split: grow the tree by one level.
+            let left_env = node_envelope(&left);
+            let right_env = node_envelope(&right);
+            self.root = Node::Internal {
+                children: vec![(left_env, left), (right_env, right)],
+            };
+        }
+    }
+
+    /// Returns every payload whose envelope intersects `query`, in insertion-
+    /// independent (tree) order.
+    pub fn query_intersects(&self, query: &Envelope) -> Vec<&T> {
+        let mut out = Vec::new();
+        if query.is_empty() {
+            return out;
+        }
+        collect_intersecting(&self.root, query, &mut out);
+        out
+    }
+
+    /// Returns payloads whose envelope equals `query` exactly (the `~=`
+    /// same-bounding-box operator of Listing 8).
+    pub fn query_same_box(&self, query: &Envelope) -> Vec<&T> {
+        let mut out = Vec::new();
+        if query.is_empty() {
+            return out;
+        }
+        collect_same_box(&self.root, query, &mut out);
+        out
+    }
+
+    /// Payloads of entries that were indexed with an empty envelope.
+    pub fn empty_envelope_entries(&self) -> &[T] {
+        &self.empty_entries
+    }
+
+    /// Depth of the tree (1 for a single leaf), exposed for testing and
+    /// diagnostics.
+    pub fn depth(&self) -> usize {
+        fn depth_of<T>(node: &Node<T>) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Internal { children } => {
+                    1 + children.iter().map(|(_, c)| depth_of(c)).max().unwrap_or(0)
+                }
+            }
+        }
+        depth_of(&self.root)
+    }
+}
+
+fn node_envelope<T>(node: &Node<T>) -> Envelope {
+    match node {
+        Node::Leaf { entries } => {
+            let mut env = Envelope::empty();
+            for (e, _) in entries {
+                env.expand_envelope(e);
+            }
+            env
+        }
+        Node::Internal { children } => {
+            let mut env = Envelope::empty();
+            for (e, _) in children {
+                env.expand_envelope(e);
+            }
+            env
+        }
+    }
+}
+
+/// Inserts into the subtree; returns `Some((left, right))` when the node had
+/// to split.
+fn insert_recursive<T>(
+    node: &mut Node<T>,
+    envelope: Envelope,
+    value: T,
+) -> Option<(Node<T>, Node<T>)> {
+    match node {
+        Node::Leaf { entries } => {
+            entries.push((envelope, value));
+            if entries.len() > MAX_ENTRIES {
+                let (a, b) = quadratic_split(std::mem::take(entries));
+                Some((Node::Leaf { entries: a }, Node::Leaf { entries: b }))
+            } else {
+                None
+            }
+        }
+        Node::Internal { children } => {
+            // Choose the child whose envelope needs the least enlargement.
+            let mut best_idx = 0;
+            let mut best_enlargement = f64::INFINITY;
+            let mut best_area = f64::INFINITY;
+            for (idx, (child_env, _)) in children.iter().enumerate() {
+                let enlarged = child_env.union(&envelope);
+                let enlargement = enlarged.area() - child_env.area();
+                let area = child_env.area();
+                if enlargement < best_enlargement
+                    || (enlargement == best_enlargement && area < best_area)
+                {
+                    best_enlargement = enlargement;
+                    best_area = area;
+                    best_idx = idx;
+                }
+            }
+            let (child_env, child) = &mut children[best_idx];
+            *child_env = child_env.union(&envelope);
+            if let Some((left, right)) = insert_recursive(child, envelope, value) {
+                let left_env = node_envelope(&left);
+                let right_env = node_envelope(&right);
+                children[best_idx] = (left_env, left);
+                children.push((right_env, right));
+                if children.len() > MAX_ENTRIES {
+                    let (a, b) = quadratic_split(std::mem::take(children));
+                    return Some((Node::Internal { children: a }, Node::Internal { children: b }));
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Guttman's quadratic split over a list of enveloped items.
+fn quadratic_split<E>(items: Vec<(Envelope, E)>) -> (Vec<(Envelope, E)>, Vec<(Envelope, E)>) {
+    debug_assert!(items.len() >= 2);
+    // Pick the pair of seeds that wastes the most area when combined.
+    let mut seed_a = 0;
+    let mut seed_b = 1;
+    let mut worst_waste = f64::NEG_INFINITY;
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let combined = items[i].0.union(&items[j].0);
+            let waste = combined.area() - items[i].0.area() - items[j].0.area();
+            if waste > worst_waste {
+                worst_waste = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut group_a: Vec<(Envelope, E)> = Vec::new();
+    let mut group_b: Vec<(Envelope, E)> = Vec::new();
+    let mut env_a = items[seed_a].0;
+    let mut env_b = items[seed_b].0;
+
+    let mut remaining: Vec<(Envelope, E)> = Vec::new();
+    for (idx, item) in items.into_iter().enumerate() {
+        if idx == seed_a {
+            group_a.push(item);
+        } else if idx == seed_b {
+            group_b.push(item);
+        } else {
+            remaining.push(item);
+        }
+    }
+
+    let total = remaining.len() + 2;
+    for item in remaining {
+        // If one group must take all remaining entries to reach MIN_ENTRIES,
+        // assign directly.
+        if group_a.len() + (total - group_a.len() - group_b.len()) <= MIN_ENTRIES {
+            env_a = env_a.union(&item.0);
+            group_a.push(item);
+            continue;
+        }
+        if group_b.len() + (total - group_a.len() - group_b.len()) <= MIN_ENTRIES {
+            env_b = env_b.union(&item.0);
+            group_b.push(item);
+            continue;
+        }
+        let grow_a = env_a.union(&item.0).area() - env_a.area();
+        let grow_b = env_b.union(&item.0).area() - env_b.area();
+        if grow_a < grow_b || (grow_a == grow_b && group_a.len() <= group_b.len()) {
+            env_a = env_a.union(&item.0);
+            group_a.push(item);
+        } else {
+            env_b = env_b.union(&item.0);
+            group_b.push(item);
+        }
+    }
+    (group_a, group_b)
+}
+
+fn collect_intersecting<'a, T>(node: &'a Node<T>, query: &Envelope, out: &mut Vec<&'a T>) {
+    match node {
+        Node::Leaf { entries } => {
+            for (env, value) in entries {
+                if env.intersects(query) {
+                    out.push(value);
+                }
+            }
+        }
+        Node::Internal { children } => {
+            for (env, child) in children {
+                if env.intersects(query) {
+                    collect_intersecting(child, query, out);
+                }
+            }
+        }
+    }
+}
+
+fn collect_same_box<'a, T>(node: &'a Node<T>, query: &Envelope, out: &mut Vec<&'a T>) {
+    match node {
+        Node::Leaf { entries } => {
+            for (env, value) in entries {
+                if env.same_box(query) {
+                    out.push(value);
+                }
+            }
+        }
+        Node::Internal { children } => {
+            for (env, child) in children {
+                if env.contains_envelope(query) || env.same_box(query) {
+                    collect_same_box(child, query, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatter_geom::Coord;
+
+    fn boxed(x0: f64, y0: f64, x1: f64, y1: f64) -> Envelope {
+        Envelope::from_bounds(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn empty_tree_queries_nothing() {
+        let tree: RTree<usize> = RTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert!(tree.query_intersects(&boxed(0.0, 0.0, 10.0, 10.0)).is_empty());
+    }
+
+    #[test]
+    fn insert_and_query_small() {
+        let mut tree = RTree::new();
+        tree.insert(boxed(0.0, 0.0, 1.0, 1.0), "a");
+        tree.insert(boxed(5.0, 5.0, 6.0, 6.0), "b");
+        tree.insert(boxed(0.5, 0.5, 5.5, 5.5), "c");
+        assert_eq!(tree.len(), 3);
+        let hits = tree.query_intersects(&boxed(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&&"a") && hits.contains(&&"c"));
+        let hits = tree.query_intersects(&boxed(10.0, 10.0, 11.0, 11.0));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn split_preserves_all_entries() {
+        let mut tree = RTree::new();
+        let n = 200;
+        for i in 0..n {
+            let x = (i % 20) as f64;
+            let y = (i / 20) as f64;
+            tree.insert(boxed(x, y, x + 0.5, y + 0.5), i);
+        }
+        assert_eq!(tree.len(), n);
+        assert!(tree.depth() > 1, "tree should have split");
+        // A query covering everything returns every entry exactly once.
+        let all = tree.query_intersects(&boxed(-1.0, -1.0, 30.0, 30.0));
+        assert_eq!(all.len(), n);
+        let mut seen: Vec<usize> = all.into_iter().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), n);
+    }
+
+    #[test]
+    fn window_query_matches_linear_scan() {
+        let mut tree = RTree::new();
+        let mut entries = Vec::new();
+        // Deterministic pseudo-random layout.
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64 / 10.0
+        };
+        for i in 0..150usize {
+            let x = next();
+            let y = next();
+            let w = next() / 10.0;
+            let h = next() / 10.0;
+            let env = boxed(x, y, x + w, y + h);
+            entries.push((env, i));
+            tree.insert(env, i);
+        }
+        let query = boxed(20.0, 20.0, 60.0, 60.0);
+        let mut expected: Vec<usize> = entries
+            .iter()
+            .filter(|(e, _)| e.intersects(&query))
+            .map(|(_, i)| *i)
+            .collect();
+        let mut got: Vec<usize> = tree.query_intersects(&query).into_iter().copied().collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn same_box_query() {
+        let mut tree = RTree::new();
+        tree.insert(boxed(0.0, 0.0, 1.0, 1.0), 1);
+        tree.insert(boxed(0.0, 0.0, 1.0, 1.0), 2);
+        tree.insert(boxed(0.0, 0.0, 2.0, 2.0), 3);
+        let hits = tree.query_same_box(&boxed(0.0, 0.0, 1.0, 1.0));
+        let mut ids: Vec<i32> = hits.into_iter().copied().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_envelopes_are_kept_aside() {
+        let mut tree = RTree::new();
+        tree.insert(Envelope::empty(), "empty-geom");
+        tree.insert(Envelope::from_coord(Coord::new(1.0, 1.0)), "point");
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.empty_envelope_entries(), &["empty-geom"]);
+        // The empty-envelope entry is never returned by window queries: this
+        // is the behaviour the engine must compensate for (Listing 8).
+        let hits = tree.query_intersects(&boxed(0.0, 0.0, 5.0, 5.0));
+        assert_eq!(hits, vec![&"point"]);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_inserts() {
+        let items: Vec<(Envelope, usize)> = (0..50)
+            .map(|i| (boxed(i as f64, 0.0, i as f64 + 1.0, 1.0), i))
+            .collect();
+        let tree = RTree::bulk_load(items.clone());
+        assert_eq!(tree.len(), 50);
+        let hits = tree.query_intersects(&boxed(10.0, 0.0, 12.0, 1.0));
+        assert_eq!(hits.len(), 4); // boxes 9..=12 touch the window
+    }
+
+    #[test]
+    fn degenerate_point_envelopes_are_searchable() {
+        let mut tree = RTree::new();
+        for i in 0..20 {
+            tree.insert(Envelope::from_coord(Coord::new(i as f64, i as f64)), i);
+        }
+        let hits = tree.query_intersects(&boxed(5.0, 5.0, 7.0, 7.0));
+        let mut ids: Vec<i32> = hits.into_iter().copied().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![5, 6, 7]);
+    }
+}

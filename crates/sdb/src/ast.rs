@@ -1,0 +1,194 @@
+//! Abstract syntax tree of the supported SQL subset.
+//!
+//! The grammar covers exactly the statement shapes the paper's listings and
+//! Spatter's query template (Figure 5) use; it is not a general SQL parser.
+
+use crate::value::Value;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions: `(name, type)`.
+        columns: Vec<(String, ColumnType)>,
+    },
+    /// `DROP TABLE name`
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `CREATE INDEX idx ON table USING GIST (column)`
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table name.
+        table: String,
+        /// Indexed column.
+        column: String,
+    },
+    /// `INSERT INTO table (cols) VALUES (...), (...)`
+    Insert {
+        /// Table name.
+        table: String,
+        /// Column names (empty means all columns in definition order).
+        columns: Vec<String>,
+        /// One expression list per row.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `SET name = expr` / `SET @var = expr` (session settings and MySQL-style
+    /// user variables, as in Listings 3, 4 and 8).
+    Set {
+        /// Setting or variable name (including a leading `@` for variables).
+        name: String,
+        /// The assigned expression.
+        value: Expr,
+    },
+    /// `SELECT ...`
+    Select(SelectStatement),
+}
+
+/// Column types of `CREATE TABLE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// `int` / `integer`
+    Integer,
+    /// `double` / `float`
+    Double,
+    /// `text` / `varchar`
+    Text,
+    /// `geometry`
+    Geometry,
+    /// `bool` / `boolean`
+    Boolean,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// The projected items.
+    pub items: Vec<SelectItem>,
+    /// The FROM sources (empty for scalar selects such as Listing 5).
+    pub from: Vec<TableRef>,
+    /// An explicit `JOIN ... ON ...` condition, if the query used JOIN syntax.
+    pub join_on: Option<Expr>,
+    /// The `WHERE` condition, if any.
+    pub where_clause: Option<Expr>,
+}
+
+/// A projected item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `COUNT(*)`
+    CountStar,
+    /// An arbitrary expression (optionally aliased; the alias is ignored).
+    Expr(Expr),
+}
+
+/// A table reference with an optional alias (`t AS a1` of Listing 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// The underlying table name.
+    pub table: String,
+    /// The alias used to qualify columns (defaults to the table name).
+    pub alias: String,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `~=` — the PostGIS same-bounding-box operator of Listing 8.
+    SameBox,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference, optionally qualified (`t1.g`).
+    Column {
+        /// Table or alias qualifier, if present.
+        table: Option<String>,
+        /// Column name.
+        column: String,
+    },
+    /// A user variable reference (`@g1`).
+    Variable(String),
+    /// A function call (`ST_Covers(a, b)`).
+    Function {
+        /// Function name as written.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// A cast (`'...'::geometry`).
+    Cast {
+        /// The expression being cast.
+        expr: Box<Expr>,
+        /// Target type name (lowercased).
+        target: String,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `NOT expr`
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for string literals.
+    pub fn text(s: impl Into<String>) -> Expr {
+        Expr::Literal(Value::Text(s.into()))
+    }
+
+    /// Convenience constructor for integer literals.
+    pub fn int(i: i64) -> Expr {
+        Expr::Literal(Value::Int(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_constructors() {
+        assert_eq!(Expr::int(7), Expr::Literal(Value::Int(7)));
+        assert_eq!(Expr::text("hi"), Expr::Literal(Value::Text("hi".into())));
+    }
+
+    #[test]
+    fn ast_nodes_are_comparable() {
+        let a = Expr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(Expr::int(1)),
+            right: Box::new(Expr::int(2)),
+        };
+        assert_eq!(a.clone(), a);
+    }
+}

@@ -1,0 +1,71 @@
+//! Coverage probes for the engine layer (the "PostGIS module" analog of
+//! Table 5). See `spatter_topo::coverage` for the mechanism; this module only
+//! contributes the engine-side probe list and convenience helpers.
+
+use spatter_topo::coverage as topo_coverage;
+
+/// The probes of the SQL-engine layer.
+pub const SDB_PROBES: &[&str] = &[
+    "sdb.parse.create_table",
+    "sdb.parse.create_index",
+    "sdb.parse.insert",
+    "sdb.parse.select",
+    "sdb.parse.set",
+    "sdb.exec.create_table",
+    "sdb.exec.drop_table",
+    "sdb.exec.create_index",
+    "sdb.exec.insert",
+    "sdb.exec.set_variable",
+    "sdb.exec.set_setting",
+    "sdb.exec.scalar_select",
+    "sdb.exec.filter_scan",
+    "sdb.exec.join_nested_loop",
+    "sdb.exec.join_index_scan",
+    "sdb.exec.join_prepared",
+    "sdb.exec.count_star",
+    "sdb.exec.projection",
+    "sdb.expr.column",
+    "sdb.expr.variable",
+    "sdb.expr.cast_geometry",
+    "sdb.expr.function_predicate",
+    "sdb.expr.function_editing",
+    "sdb.expr.function_measure",
+    "sdb.expr.function_accessor",
+    "sdb.expr.comparison",
+    "sdb.expr.samebox",
+    "sdb.expr.logical",
+    "sdb.validate.geometry",
+    "sdb.fault.logic_path",
+    "sdb.fault.crash_path",
+];
+
+/// Records an engine-layer probe hit.
+pub fn hit(name: &'static str) {
+    topo_coverage::hit(name);
+}
+
+/// Coverage summary of the engine probes: `(hit, total, fraction)`.
+pub fn sdb_coverage() -> (usize, usize, f64) {
+    let hit = topo_coverage::hit_count_in(SDB_PROBES);
+    let total = SDB_PROBES.len();
+    (hit, total, hit as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_are_unique_and_counted_separately_from_topo() {
+        let set: std::collections::HashSet<_> = SDB_PROBES.iter().collect();
+        assert_eq!(set.len(), SDB_PROBES.len());
+        topo_coverage::reset();
+        hit("sdb.exec.insert");
+        hit("topo.predicate.intersects");
+        let (sdb_hit, sdb_total, _) = sdb_coverage();
+        assert_eq!(sdb_hit, 1);
+        assert_eq!(sdb_total, SDB_PROBES.len());
+        let (topo_hit, _, _) = topo_coverage::topo_coverage();
+        assert_eq!(topo_hit, 1);
+    }
+}

@@ -1,0 +1,1169 @@
+//! The execution engine: statement execution, joins, index scans and the
+//! prepared-geometry path, with engine-level seeded faults.
+
+use crate::ast::{BinaryOp, ColumnType, Expr, SelectItem, SelectStatement, Statement, TableRef};
+use crate::catalog::{Database, SpatialIndex, Table};
+use crate::coverage;
+use crate::error::{SdbError, SdbResult};
+use crate::faults::{FaultId, FaultSet};
+use crate::functions::{self, FunctionContext};
+use crate::parser::{parse_script, parse_statement};
+use crate::profile::EngineProfile;
+use crate::value::Value;
+use spatter_geom::{Envelope, Geometry};
+use spatter_index::RTree;
+use spatter_topo::predicates::NamedPredicate;
+use spatter_topo::prepared::PreparedGeometry;
+use std::time::{Duration, Instant};
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Column labels (empty for DDL/DML).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// An empty result (DDL/DML/SET statements).
+    pub fn none() -> Self {
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The single scalar value of a one-row, one-column result.
+    pub fn single_value(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// The COUNT(*) value of a count query.
+    pub fn count(&self) -> Option<i64> {
+        self.single_value().and_then(|v| v.as_int())
+    }
+
+    /// Number of result rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A spatial SQL engine instance: one profile, one fault set, one database.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    profile: EngineProfile,
+    faults: FaultSet,
+    database: Database,
+    enable_seqscan: bool,
+    enable_prepared: bool,
+    engine_time: Duration,
+    statements_executed: usize,
+}
+
+impl Engine {
+    /// A stock engine of the given profile, carrying that profile's default
+    /// seeded faults (the "released version" the paper tested).
+    pub fn new(profile: EngineProfile) -> Self {
+        Engine::with_faults(profile, profile.default_faults())
+    }
+
+    /// A reference engine with no faults (the "fully patched" build used to
+    /// validate oracle findings).
+    pub fn reference(profile: EngineProfile) -> Self {
+        Engine::with_faults(profile, FaultSet::none())
+    }
+
+    /// An engine with an explicit fault set.
+    pub fn with_faults(profile: EngineProfile, faults: FaultSet) -> Self {
+        Engine {
+            profile,
+            faults,
+            database: Database::new(),
+            enable_seqscan: true,
+            enable_prepared: true,
+            engine_time: Duration::ZERO,
+            statements_executed: 0,
+        }
+    }
+
+    /// The engine's profile.
+    pub fn profile(&self) -> EngineProfile {
+        self.profile
+    }
+
+    /// The enabled faults.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Mutable access to the fault set (used by the campaign harness to
+    /// "apply fixes").
+    pub fn faults_mut(&mut self) -> &mut FaultSet {
+        &mut self.faults
+    }
+
+    /// The underlying database (for introspection in tests and examples).
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// Whether sequential scans are enabled (`SET enable_seqscan = ...`).
+    pub fn seqscan_enabled(&self) -> bool {
+        self.enable_seqscan
+    }
+
+    /// Whether the prepared-geometry join path is enabled
+    /// (`SET enable_prepared = ...`).
+    pub fn prepared_enabled(&self) -> bool {
+        self.enable_prepared
+    }
+
+    /// Cumulative wall-clock time spent executing statements, and the number
+    /// of statements executed (the Figure 7 measurement).
+    pub fn execution_stats(&self) -> (Duration, usize) {
+        (self.engine_time, self.statements_executed)
+    }
+
+    /// Resets the execution statistics.
+    pub fn reset_stats(&mut self) {
+        self.engine_time = Duration::ZERO;
+        self.statements_executed = 0;
+    }
+
+    /// Executes one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> SdbResult<QueryResult> {
+        let statement = parse_statement(sql)?;
+        self.execute_parsed(&statement)
+    }
+
+    /// Executes a semicolon-separated script, returning one result per
+    /// statement. Execution stops at the first error.
+    pub fn execute_script(&mut self, sql: &str) -> SdbResult<Vec<QueryResult>> {
+        let statements = parse_script(sql)?;
+        let mut results = Vec::with_capacity(statements.len());
+        for statement in &statements {
+            results.push(self.execute_parsed(statement)?);
+        }
+        Ok(results)
+    }
+
+    /// Executes an already-parsed statement.
+    pub fn execute_parsed(&mut self, statement: &Statement) -> SdbResult<QueryResult> {
+        let start = Instant::now();
+        let result = self.dispatch(statement);
+        self.engine_time += start.elapsed();
+        self.statements_executed += 1;
+        result
+    }
+
+    fn dispatch(&mut self, statement: &Statement) -> SdbResult<QueryResult> {
+        match statement {
+            Statement::CreateTable { name, columns } => {
+                coverage::hit("sdb.exec.create_table");
+                self.database.create_table(name, columns.clone())?;
+                Ok(QueryResult::none())
+            }
+            Statement::DropTable { name } => {
+                coverage::hit("sdb.exec.drop_table");
+                self.database.drop_table(name)?;
+                Ok(QueryResult::none())
+            }
+            Statement::CreateIndex { name, table, column } => {
+                coverage::hit("sdb.exec.create_index");
+                self.create_index(name, table, column)
+            }
+            Statement::Insert { table, columns, rows } => {
+                coverage::hit("sdb.exec.insert");
+                self.insert(table, columns, rows)
+            }
+            Statement::Set { name, value } => self.set(name, value),
+            Statement::Select(select) => self.select(select),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DDL / DML
+    // ------------------------------------------------------------------
+
+    fn create_index(&mut self, name: &str, table: &str, column: &str) -> SdbResult<QueryResult> {
+        let table_data = self.database.table(table)?.clone();
+        let col_idx = table_data
+            .column_index(column)
+            .ok_or_else(|| SdbError::Semantic(format!("column {column} does not exist")))?;
+        if self.faults.is_active(FaultId::PostgisCrashIndexAllEmpty) {
+            let geometries: Vec<&Geometry> = table_data
+                .rows
+                .iter()
+                .filter_map(|row| row[col_idx].as_geometry())
+                .collect();
+            if !geometries.is_empty() && geometries.iter().all(|g| g.is_empty()) {
+                coverage::hit("sdb.fault.crash_path");
+                return Err(SdbError::Crash(
+                    "GiST index build over a column of only EMPTY geometries".into(),
+                ));
+            }
+        }
+        let tree = build_rtree(&table_data, column);
+        self.database.create_index(
+            name,
+            SpatialIndex {
+                table: table.to_string(),
+                column: column.to_string(),
+                tree,
+            },
+        )?;
+        Ok(QueryResult::none())
+    }
+
+    fn insert(&mut self, table: &str, columns: &[String], rows: &[Vec<Expr>]) -> SdbResult<QueryResult> {
+        let ctx = FunctionContext {
+            profile: self.profile,
+            faults: &self.faults.clone(),
+        };
+        let schema = self.database.table(table)?.columns.clone();
+        let column_order: Vec<usize> = if columns.is_empty() {
+            (0..schema.len()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| {
+                    schema
+                        .iter()
+                        .position(|(name, _)| name.eq_ignore_ascii_case(c))
+                        .ok_or_else(|| SdbError::Semantic(format!("column {c} does not exist")))
+                })
+                .collect::<SdbResult<Vec<usize>>>()?
+        };
+
+        let mut materialized_rows = Vec::with_capacity(rows.len());
+        for row_exprs in rows {
+            if row_exprs.len() != column_order.len() {
+                return Err(SdbError::Semantic(
+                    "INSERT value count does not match column count".into(),
+                ));
+            }
+            let mut row = vec![Value::Null; schema.len()];
+            for (expr, &target) in row_exprs.iter().zip(column_order.iter()) {
+                let value = evaluate_expr(expr, None, &self.database, &ctx)?;
+                let value = coerce_for_column(value, schema[target].1, &ctx)?;
+                row[target] = value;
+            }
+            materialized_rows.push(row);
+        }
+
+        let table_ref = self.database.table_mut(table)?;
+        table_ref.rows.extend(materialized_rows);
+        self.database
+            .refresh_indexes_for(table, |t, col| build_rtree(t, col));
+        Ok(QueryResult::none())
+    }
+
+    fn set(&mut self, name: &str, value_expr: &Expr) -> SdbResult<QueryResult> {
+        let ctx = FunctionContext {
+            profile: self.profile,
+            faults: &self.faults.clone(),
+        };
+        let value = evaluate_expr(value_expr, None, &self.database, &ctx)?;
+        if let Some(variable) = name.strip_prefix('@') {
+            coverage::hit("sdb.exec.set_variable");
+            self.database.set_variable(&format!("@{variable}"), value);
+            return Ok(QueryResult::none());
+        }
+        coverage::hit("sdb.exec.set_setting");
+        match name.to_ascii_lowercase().as_str() {
+            "enable_seqscan" => self.enable_seqscan = value.is_truthy(),
+            "enable_prepared" => self.enable_prepared = value.is_truthy(),
+            other => {
+                return Err(SdbError::Semantic(format!("unknown setting {other}")));
+            }
+        }
+        Ok(QueryResult::none())
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    fn select(&mut self, select: &SelectStatement) -> SdbResult<QueryResult> {
+        let faults = self.faults.clone();
+        let ctx = FunctionContext {
+            profile: self.profile,
+            faults: &faults,
+        };
+        match select.from.len() {
+            0 => {
+                coverage::hit("sdb.exec.scalar_select");
+                let mut row = Vec::new();
+                let mut columns = Vec::new();
+                for (idx, item) in select.items.iter().enumerate() {
+                    match item {
+                        SelectItem::CountStar => {
+                            row.push(Value::Int(1));
+                            columns.push("count".to_string());
+                        }
+                        SelectItem::Expr(expr) => {
+                            row.push(evaluate_expr(expr, None, &self.database, &ctx)?);
+                            columns.push(format!("col{idx}"));
+                        }
+                    }
+                }
+                Ok(QueryResult {
+                    columns,
+                    rows: vec![row],
+                })
+            }
+            1 => self.select_single_table(select, &ctx),
+            2 => self.select_join(select, &ctx),
+            n => Err(SdbError::Semantic(format!(
+                "queries over {n} tables are not supported"
+            ))),
+        }
+    }
+
+    fn select_single_table(
+        &self,
+        select: &SelectStatement,
+        ctx: &FunctionContext,
+    ) -> SdbResult<QueryResult> {
+        coverage::hit("sdb.exec.filter_scan");
+        let table_ref = &select.from[0];
+        let table = self.database.table(&table_ref.table)?;
+        let condition = combine_conditions(&select.join_on, &select.where_clause);
+
+        // Try an index scan for `col ~= <geometry>` filters when sequential
+        // scans are disabled (Listing 8's scenario).
+        let candidate_rows: Vec<usize> = if let Some(rows) =
+            self.try_index_filter(table_ref, table, condition.as_ref(), ctx)?
+        {
+            rows
+        } else {
+            (0..table.rows.len()).collect()
+        };
+
+        let mut matching = Vec::new();
+        for row_idx in candidate_rows {
+            let row = &table.rows[row_idx];
+            let keep = match &condition {
+                None => true,
+                Some(expr) => {
+                    let binding = RowBinding::single(table_ref, table, row);
+                    evaluate_expr(expr, Some(&binding), &self.database, ctx)?.is_truthy()
+                }
+            };
+            if keep {
+                matching.push(row.clone());
+            }
+        }
+        project(select, table_ref, table, &matching, &self.database, ctx)
+    }
+
+    /// Index-accelerated filtering for a single-table query. Returns `None`
+    /// when the index cannot be used (no index, seqscan enabled, or an
+    /// unsupported filter shape).
+    fn try_index_filter(
+        &self,
+        table_ref: &TableRef,
+        table: &Table,
+        condition: Option<&Expr>,
+        ctx: &FunctionContext,
+    ) -> SdbResult<Option<Vec<usize>>> {
+        if self.enable_seqscan {
+            return Ok(None);
+        }
+        let Some(Expr::Binary {
+            op: BinaryOp::SameBox,
+            left,
+            right,
+        }) = condition
+        else {
+            return Ok(None);
+        };
+        let Expr::Column { column, .. } = left.as_ref() else {
+            return Ok(None);
+        };
+        let Some(index) = self.database.index_on(&table_ref.table, column) else {
+            return Ok(None);
+        };
+        let probe = evaluate_expr(right, None, &self.database, ctx)?;
+        let Some(probe_geom) = probe.as_geometry() else {
+            return Ok(None);
+        };
+        coverage::hit("sdb.exec.join_index_scan");
+        let probe_env = probe_geom.envelope();
+        let mut rows: Vec<usize> = index
+            .tree
+            .query_same_box(&probe_env)
+            .into_iter()
+            .copied()
+            .collect();
+        if probe_env.is_empty() {
+            // Correct behaviour: EMPTY geometries all share the empty
+            // bounding box, so they match an EMPTY probe. The seeded GiST
+            // fault omits this compensation (Listing 8: count 0 instead of 1).
+            if !self.faults.is_active(FaultId::PostgisGistIndexDropsRows) {
+                rows.extend(index.tree.empty_envelope_entries().iter().copied());
+            } else {
+                coverage::hit("sdb.fault.logic_path");
+            }
+        }
+        if self.faults.is_active(FaultId::PostgisGistIndexDropsRows) {
+            // The faulty scan also drops geometries lying in the negative
+            // quadrant (a key-quantization bug).
+            rows.retain(|&row_idx| {
+                table.rows[row_idx]
+                    .iter()
+                    .filter_map(|v| v.as_geometry())
+                    .all(|g| g.envelope().is_empty() || g.envelope().min_x() >= 0.0)
+            });
+        }
+        rows.sort_unstable();
+        Ok(Some(rows))
+    }
+
+    fn select_join(&self, select: &SelectStatement, ctx: &FunctionContext) -> SdbResult<QueryResult> {
+        let left_ref = &select.from[0];
+        let right_ref = &select.from[1];
+        let left_table = self.database.table(&left_ref.table)?;
+        let right_table = self.database.table(&right_ref.table)?;
+        let condition = combine_conditions(&select.join_on, &select.where_clause);
+
+        // Identify the "predicate join" shape used by Spatter's query
+        // template: a single named predicate over the two geometry columns.
+        let predicate_join = condition.as_ref().and_then(|expr| {
+            predicate_join_shape(expr, left_ref, right_ref, left_table, right_table)
+        });
+
+        let mut matching: Vec<(usize, usize)> = Vec::new();
+        if let Some(join) = &predicate_join {
+            if !self.enable_seqscan {
+                if let Some(index) = self.database.index_on(&right_ref.table, &join.right_column) {
+                    coverage::hit("sdb.exec.join_index_scan");
+                    matching = self.index_join(join, left_table, right_table, index, ctx)?;
+                    return build_join_result(
+                        select,
+                        left_ref,
+                        right_ref,
+                        left_table,
+                        right_table,
+                        &matching,
+                        &self.database,
+                        ctx,
+                    );
+                }
+            }
+            if self.enable_prepared {
+                coverage::hit("sdb.exec.join_prepared");
+                matching = self.prepared_join(join, left_table, right_table, ctx)?;
+                return build_join_result(
+                    select,
+                    left_ref,
+                    right_ref,
+                    left_table,
+                    right_table,
+                    &matching,
+                    &self.database,
+                    ctx,
+                );
+            }
+        }
+
+        // General nested-loop join.
+        coverage::hit("sdb.exec.join_nested_loop");
+        for (li, lrow) in left_table.rows.iter().enumerate() {
+            for (ri, rrow) in right_table.rows.iter().enumerate() {
+                let keep = match &condition {
+                    None => true,
+                    Some(expr) => {
+                        let binding =
+                            RowBinding::pair(left_ref, left_table, lrow, right_ref, right_table, rrow);
+                        evaluate_expr(expr, Some(&binding), &self.database, ctx)?.is_truthy()
+                    }
+                };
+                if keep {
+                    matching.push((li, ri));
+                }
+            }
+        }
+        build_join_result(
+            select,
+            left_ref,
+            right_ref,
+            left_table,
+            right_table,
+            &matching,
+            &self.database,
+            ctx,
+        )
+    }
+
+    /// Index nested-loop join: probe the inner index with each outer
+    /// geometry's envelope, then verify the predicate on the candidates.
+    fn index_join(
+        &self,
+        join: &PredicateJoin,
+        left_table: &Table,
+        right_table: &Table,
+        index: &SpatialIndex,
+        ctx: &FunctionContext,
+    ) -> SdbResult<Vec<(usize, usize)>> {
+        let gist_fault = self.faults.is_active(FaultId::PostgisGistIndexDropsRows);
+        let mut matching = Vec::new();
+        for (li, lrow) in left_table.rows.iter().enumerate() {
+            let Some(left_geom) = lrow[join.left_column_idx].as_geometry() else {
+                continue;
+            };
+            let probe = left_geom.envelope();
+            let mut candidates: Vec<usize> = index.tree.query_intersects(&probe).into_iter().copied().collect();
+            // EMPTY geometries never appear in envelope queries; the correct
+            // engine still has to consider them for predicates that can hold
+            // on EMPTY operands (none of the supported ones can, so nothing
+            // is added), but the faulty engine additionally drops
+            // negative-quadrant rows it should have returned.
+            if gist_fault {
+                coverage::hit("sdb.fault.logic_path");
+                candidates.retain(|&ri| {
+                    right_table.rows[ri][join.right_column_idx]
+                        .as_geometry()
+                        .map(|g| g.envelope().is_empty() || g.envelope().min_x() >= 0.0)
+                        .unwrap_or(true)
+                });
+            }
+            candidates.sort_unstable();
+            for ri in candidates {
+                let Some(right_geom) = right_table.rows[ri][join.right_column_idx].as_geometry()
+                else {
+                    continue;
+                };
+                if functions::evaluate_predicate(join.predicate, left_geom, right_geom, ctx)? {
+                    matching.push((li, ri));
+                }
+            }
+        }
+        Ok(matching)
+    }
+
+    /// Prepared-geometry join: the outer geometry is prepared once and reused
+    /// for every inner row (the component of Listing 7's bug).
+    fn prepared_join(
+        &self,
+        join: &PredicateJoin,
+        left_table: &Table,
+        right_table: &Table,
+        ctx: &FunctionContext,
+    ) -> SdbResult<Vec<(usize, usize)>> {
+        let duplicate_fault = self.faults.is_active(FaultId::GeosPreparedDuplicateDropped);
+        let mut matching = Vec::new();
+        for (li, lrow) in left_table.rows.iter().enumerate() {
+            let Some(left_geom) = lrow[join.left_column_idx].as_geometry() else {
+                continue;
+            };
+            // The prepare step itself; the predicate verdicts below go through
+            // the shared library so that its seeded faults (and crashes)
+            // surface on this path too, keeping the reference engine's
+            // prepared/non-prepared equivalence.
+            let _prepared = PreparedGeometry::new(left_geom.clone());
+            let mut matched_shapes: Vec<String> = Vec::new();
+            for (ri, rrow) in right_table.rows.iter().enumerate() {
+                let Some(right_geom) = rrow[join.right_column_idx].as_geometry() else {
+                    continue;
+                };
+                let right_wkt = spatter_geom::wkt::write_wkt(right_geom);
+                if duplicate_fault
+                    && matched_shapes.contains(&right_wkt)
+                    && spatter_geom::wkt::write_wkt(left_geom) != right_wkt
+                {
+                    // The faulty prepared cache treats a repeated inner
+                    // geometry as already processed and skips it.
+                    coverage::hit("sdb.fault.logic_path");
+                    continue;
+                }
+                let held =
+                    functions::evaluate_predicate(join.predicate, left_geom, right_geom, ctx)?;
+                if held {
+                    matched_shapes.push(right_wkt);
+                    matching.push((li, ri));
+                }
+            }
+        }
+        Ok(matching)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+/// Bindings from table aliases to the current row.
+struct RowBinding<'a> {
+    entries: Vec<(String, &'a Table, &'a [Value])>,
+}
+
+impl<'a> RowBinding<'a> {
+    fn single(table_ref: &TableRef, table: &'a Table, row: &'a [Value]) -> Self {
+        RowBinding {
+            entries: vec![(table_ref.alias.clone(), table, row)],
+        }
+    }
+
+    fn pair(
+        left_ref: &TableRef,
+        left: &'a Table,
+        left_row: &'a [Value],
+        right_ref: &TableRef,
+        right: &'a Table,
+        right_row: &'a [Value],
+    ) -> Self {
+        RowBinding {
+            entries: vec![
+                (left_ref.alias.clone(), left, left_row),
+                (right_ref.alias.clone(), right, right_row),
+            ],
+        }
+    }
+
+    fn lookup(&self, table: Option<&str>, column: &str) -> Option<Value> {
+        for (alias, table_data, row) in &self.entries {
+            if let Some(qualifier) = table {
+                if !alias.eq_ignore_ascii_case(qualifier) {
+                    continue;
+                }
+            }
+            if let Some(idx) = table_data.column_index(column) {
+                return Some(row[idx].clone());
+            }
+            if table.is_some() {
+                return None;
+            }
+        }
+        None
+    }
+}
+
+fn evaluate_expr(
+    expr: &Expr,
+    binding: Option<&RowBinding<'_>>,
+    database: &Database,
+    ctx: &FunctionContext,
+) -> SdbResult<Value> {
+    match expr {
+        Expr::Literal(value) => Ok(value.clone()),
+        Expr::Variable(name) => {
+            coverage::hit("sdb.expr.variable");
+            database
+                .variable(&format!("@{name}"))
+                .cloned()
+                .ok_or_else(|| SdbError::Semantic(format!("unknown variable @{name}")))
+        }
+        Expr::Column { table, column } => {
+            coverage::hit("sdb.expr.column");
+            binding
+                .and_then(|b| b.lookup(table.as_deref(), column))
+                .ok_or_else(|| {
+                    SdbError::Semantic(format!(
+                        "unknown column {}{column}",
+                        table.as_ref().map(|t| format!("{t}.")).unwrap_or_default()
+                    ))
+                })
+        }
+        Expr::Cast { expr, target } => {
+            let inner = evaluate_expr(expr, binding, database, ctx)?;
+            match target.as_str() {
+                "geometry" => match inner {
+                    Value::Geometry(g) => Ok(Value::Geometry(g)),
+                    Value::Text(text) => Ok(Value::Geometry(functions::parse_geometry_text(&text, ctx)?)),
+                    other => Err(SdbError::Execution(format!(
+                        "cannot cast {} to geometry",
+                        other.type_name()
+                    ))),
+                },
+                "int" | "integer" | "bigint" => inner
+                    .as_int()
+                    .map(Value::Int)
+                    .ok_or_else(|| SdbError::Execution("cannot cast to integer".into())),
+                "double" | "float" => inner
+                    .as_double()
+                    .map(Value::Double)
+                    .ok_or_else(|| SdbError::Execution("cannot cast to double".into())),
+                "text" | "varchar" => Ok(Value::Text(inner.to_string())),
+                other => Err(SdbError::Execution(format!("unsupported cast target {other}"))),
+            }
+        }
+        Expr::Function { name, args } => {
+            let mut evaluated = Vec::with_capacity(args.len());
+            for arg in args {
+                evaluated.push(evaluate_expr(arg, binding, database, ctx)?);
+            }
+            functions::evaluate(name, &evaluated, ctx)
+        }
+        Expr::Not(inner) => {
+            coverage::hit("sdb.expr.logical");
+            let value = evaluate_expr(inner, binding, database, ctx)?;
+            Ok(Value::Bool(!value.is_truthy()))
+        }
+        Expr::Binary { op, left, right } => {
+            let lhs = evaluate_expr(left, binding, database, ctx)?;
+            let rhs = evaluate_expr(right, binding, database, ctx)?;
+            evaluate_binary(*op, lhs, rhs, ctx)
+        }
+    }
+}
+
+fn evaluate_binary(op: BinaryOp, lhs: Value, rhs: Value, ctx: &FunctionContext) -> SdbResult<Value> {
+    match op {
+        BinaryOp::And => {
+            coverage::hit("sdb.expr.logical");
+            Ok(Value::Bool(lhs.is_truthy() && rhs.is_truthy()))
+        }
+        BinaryOp::Or => {
+            coverage::hit("sdb.expr.logical");
+            Ok(Value::Bool(lhs.is_truthy() || rhs.is_truthy()))
+        }
+        BinaryOp::SameBox => {
+            coverage::hit("sdb.expr.samebox");
+            let a = coerce_geometry(lhs, ctx)?;
+            let b = coerce_geometry(rhs, ctx)?;
+            Ok(Value::Bool(a.envelope().same_box(&b.envelope())))
+        }
+        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+            coverage::hit("sdb.expr.comparison");
+            let ordering = compare_values(&lhs, &rhs)?;
+            let result = match op {
+                BinaryOp::Eq => ordering == std::cmp::Ordering::Equal,
+                BinaryOp::NotEq => ordering != std::cmp::Ordering::Equal,
+                BinaryOp::Lt => ordering == std::cmp::Ordering::Less,
+                BinaryOp::LtEq => ordering != std::cmp::Ordering::Greater,
+                BinaryOp::Gt => ordering == std::cmp::Ordering::Greater,
+                BinaryOp::GtEq => ordering != std::cmp::Ordering::Less,
+                _ => unreachable!("comparison operators only"),
+            };
+            Ok(Value::Bool(result))
+        }
+    }
+}
+
+fn compare_values(lhs: &Value, rhs: &Value) -> SdbResult<std::cmp::Ordering> {
+    if let (Some(a), Some(b)) = (lhs.as_double(), rhs.as_double()) {
+        return a
+            .partial_cmp(&b)
+            .ok_or_else(|| SdbError::Execution("cannot compare NaN".into()));
+    }
+    if let (Value::Text(a), Value::Text(b)) = (lhs, rhs) {
+        return Ok(a.cmp(b));
+    }
+    Err(SdbError::Execution(format!(
+        "cannot compare {} with {}",
+        lhs.type_name(),
+        rhs.type_name()
+    )))
+}
+
+fn coerce_geometry(value: Value, ctx: &FunctionContext) -> SdbResult<Geometry> {
+    match value {
+        Value::Geometry(g) => Ok(g),
+        Value::Text(text) => functions::parse_geometry_text(&text, ctx),
+        other => Err(SdbError::Execution(format!(
+            "expected a geometry, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn coerce_for_column(value: Value, column_type: ColumnType, ctx: &FunctionContext) -> SdbResult<Value> {
+    match column_type {
+        ColumnType::Geometry => match value {
+            Value::Null => Ok(Value::Null),
+            other => Ok(Value::Geometry(coerce_geometry(other, ctx)?)),
+        },
+        ColumnType::Integer => Ok(value
+            .as_int()
+            .map(Value::Int)
+            .unwrap_or(Value::Null)),
+        ColumnType::Double => Ok(value
+            .as_double()
+            .map(Value::Double)
+            .unwrap_or(Value::Null)),
+        ColumnType::Boolean => Ok(Value::Bool(value.is_truthy())),
+        ColumnType::Text => Ok(Value::Text(value.to_string())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join helpers
+// ---------------------------------------------------------------------------
+
+/// The canonical "predicate join" shape of Spatter's query template:
+/// `<Predicate>(left.geom, right.geom)`.
+struct PredicateJoin {
+    predicate: NamedPredicate,
+    left_column_idx: usize,
+    right_column_idx: usize,
+    right_column: String,
+}
+
+fn predicate_join_shape(
+    expr: &Expr,
+    left_ref: &TableRef,
+    right_ref: &TableRef,
+    left_table: &Table,
+    right_table: &Table,
+) -> Option<PredicateJoin> {
+    let Expr::Function { name, args } = expr else {
+        return None;
+    };
+    let predicate = NamedPredicate::from_function_name(name)?;
+    if args.len() != 2 {
+        return None;
+    }
+    let (Expr::Column { table: lt, column: lc }, Expr::Column { table: rt, column: rc }) =
+        (&args[0], &args[1])
+    else {
+        return None;
+    };
+    let lt = lt.as_deref()?;
+    let rt = rt.as_deref()?;
+    if !lt.eq_ignore_ascii_case(&left_ref.alias) || !rt.eq_ignore_ascii_case(&right_ref.alias) {
+        return None;
+    }
+    Some(PredicateJoin {
+        predicate,
+        left_column_idx: left_table.column_index(lc)?,
+        right_column_idx: right_table.column_index(rc)?,
+        right_column: rc.clone(),
+    })
+}
+
+fn combine_conditions(join_on: &Option<Expr>, where_clause: &Option<Expr>) -> Option<Expr> {
+    match (join_on, where_clause) {
+        (None, None) => None,
+        (Some(a), None) => Some(a.clone()),
+        (None, Some(b)) => Some(b.clone()),
+        (Some(a), Some(b)) => Some(Expr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(a.clone()),
+            right: Box::new(b.clone()),
+        }),
+    }
+}
+
+fn project(
+    select: &SelectStatement,
+    table_ref: &TableRef,
+    table: &Table,
+    rows: &[Vec<Value>],
+    database: &Database,
+    ctx: &FunctionContext,
+) -> SdbResult<QueryResult> {
+    if select.items.len() == 1 && select.items[0] == SelectItem::CountStar {
+        coverage::hit("sdb.exec.count_star");
+        return Ok(QueryResult {
+            columns: vec!["count".into()],
+            rows: vec![vec![Value::Int(rows.len() as i64)]],
+        });
+    }
+    coverage::hit("sdb.exec.projection");
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for row in rows {
+        let binding = RowBinding::single(table_ref, table, row);
+        let mut out = Vec::with_capacity(select.items.len());
+        for item in &select.items {
+            match item {
+                SelectItem::CountStar => out.push(Value::Int(rows.len() as i64)),
+                SelectItem::Expr(expr) => {
+                    out.push(evaluate_expr(expr, Some(&binding), database, ctx)?)
+                }
+            }
+        }
+        out_rows.push(out);
+    }
+    Ok(QueryResult {
+        columns: (0..select.items.len()).map(|i| format!("col{i}")).collect(),
+        rows: out_rows,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_join_result(
+    select: &SelectStatement,
+    left_ref: &TableRef,
+    right_ref: &TableRef,
+    left_table: &Table,
+    right_table: &Table,
+    matching: &[(usize, usize)],
+    database: &Database,
+    ctx: &FunctionContext,
+) -> SdbResult<QueryResult> {
+    if select.items.len() == 1 && select.items[0] == SelectItem::CountStar {
+        coverage::hit("sdb.exec.count_star");
+        return Ok(QueryResult {
+            columns: vec!["count".into()],
+            rows: vec![vec![Value::Int(matching.len() as i64)]],
+        });
+    }
+    coverage::hit("sdb.exec.projection");
+    let mut out_rows = Vec::with_capacity(matching.len());
+    for &(li, ri) in matching {
+        let binding = RowBinding::pair(
+            left_ref,
+            left_table,
+            &left_table.rows[li],
+            right_ref,
+            right_table,
+            &right_table.rows[ri],
+        );
+        let mut out = Vec::with_capacity(select.items.len());
+        for item in &select.items {
+            match item {
+                SelectItem::CountStar => out.push(Value::Int(matching.len() as i64)),
+                SelectItem::Expr(expr) => {
+                    out.push(evaluate_expr(expr, Some(&binding), database, ctx)?)
+                }
+            }
+        }
+        out_rows.push(out);
+    }
+    Ok(QueryResult {
+        columns: (0..select.items.len()).map(|i| format!("col{i}")).collect(),
+        rows: out_rows,
+    })
+}
+
+fn build_rtree(table: &Table, column: &str) -> RTree<usize> {
+    let Some(col_idx) = table.column_index(column) else {
+        return RTree::new();
+    };
+    let mut tree = RTree::new();
+    for (row_idx, row) in table.rows.iter().enumerate() {
+        let envelope = row
+            .get(col_idx)
+            .map(Database::value_envelope)
+            .unwrap_or_else(Envelope::empty);
+        tree.insert(envelope, row_idx);
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(engine: &mut Engine, sql: &str) -> i64 {
+        engine.execute(sql).unwrap().count().unwrap()
+    }
+
+    #[test]
+    fn listing1_join_count_with_and_without_fault() {
+        let setup = "CREATE TABLE t1 (g geometry);
+            CREATE TABLE t2 (g geometry);
+            INSERT INTO t1 (g) VALUES ('LINESTRING(0 1,2 0)');
+            INSERT INTO t2 (g) VALUES ('POINT(0.2 0.9)');";
+        let query = "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g);";
+
+        let mut faulty = Engine::new(EngineProfile::PostgisLike);
+        faulty.execute_script(setup).unwrap();
+        assert_eq!(count(&mut faulty, query), 0, "the stock engine exhibits the Listing 1 bug");
+
+        let mut fixed = Engine::reference(EngineProfile::PostgisLike);
+        fixed.execute_script(setup).unwrap();
+        assert_eq!(count(&mut fixed, query), 1, "the patched engine returns the correct count");
+    }
+
+    #[test]
+    fn listing2_affine_pair_is_correct_even_on_the_faulty_engine() {
+        let setup = "CREATE TABLE t1 (g geometry);
+            CREATE TABLE t2 (g geometry);
+            INSERT INTO t1 (g) VALUES ('LINESTRING(1 1,0 0)');
+            INSERT INTO t2 (g) VALUES ('POINT(0.9 0.9)');";
+        let query = "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g);";
+        let mut faulty = Engine::new(EngineProfile::PostgisLike);
+        faulty.execute_script(setup).unwrap();
+        assert_eq!(count(&mut faulty, query), 1);
+    }
+
+    #[test]
+    fn listing7_prepared_join_misses_a_pair() {
+        let setup = "CREATE TABLE t (id int, geom geometry);
+            INSERT INTO t (id, geom) VALUES
+            (1,'GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))'::geometry),
+            (2,'GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))'::geometry),
+            (3,'MULTIPOLYGON(((0 0,5 0,0 5,0 0)))'::geometry);";
+        let query = "SELECT a1.id, a2.id FROM t As a1, t As a2 WHERE ST_Contains(a1.geom, a2.geom);";
+
+        let mut fixed = Engine::reference(EngineProfile::PostgisLike);
+        fixed.execute_script(setup).unwrap();
+        let correct = fixed.execute(query).unwrap();
+        let correct_pairs: Vec<(i64, i64)> = correct
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(
+            correct_pairs,
+            vec![(1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (3, 2), (3, 3)]
+        );
+
+        let mut faulty = Engine::with_faults(
+            EngineProfile::PostgisLike,
+            FaultSet::with([FaultId::GeosPreparedDuplicateDropped]),
+        );
+        faulty.execute_script(setup).unwrap();
+        let buggy = faulty.execute(query).unwrap();
+        let buggy_pairs: Vec<(i64, i64)> = buggy
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(
+            buggy_pairs,
+            vec![(1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (3, 3)],
+            "the (3,2) pair is dropped by the prepared-geometry fault"
+        );
+    }
+
+    #[test]
+    fn listing8_index_scan_drops_empty_geometry() {
+        let setup = "CREATE TABLE t (id int, geom geometry);
+            INSERT INTO t (id, geom) VALUES (1, 'POINT EMPTY');
+            CREATE INDEX idx ON t USING GIST (geom);
+            SET enable_seqscan = false;";
+        let query = "SELECT COUNT(*) FROM t WHERE geom ~= 'POINT EMPTY'::geometry;";
+
+        let mut faulty = Engine::with_faults(
+            EngineProfile::PostgisLike,
+            FaultSet::with([FaultId::PostgisGistIndexDropsRows]),
+        );
+        faulty.execute_script(setup).unwrap();
+        assert_eq!(count(&mut faulty, query), 0, "the faulty index scan misses the row");
+
+        let mut fixed = Engine::reference(EngineProfile::PostgisLike);
+        fixed.execute_script(setup).unwrap();
+        assert_eq!(count(&mut fixed, query), 1);
+
+        // With sequential scans the faulty engine is also correct: this is
+        // exactly what the Index oracle compares.
+        let mut faulty_seq = Engine::with_faults(
+            EngineProfile::PostgisLike,
+            FaultSet::with([FaultId::PostgisGistIndexDropsRows]),
+        );
+        faulty_seq.execute_script(
+            "CREATE TABLE t (id int, geom geometry);
+             INSERT INTO t (id, geom) VALUES (1, 'POINT EMPTY');
+             CREATE INDEX idx ON t USING GIST (geom);",
+        )
+        .unwrap();
+        assert_eq!(count(&mut faulty_seq, query), 1);
+    }
+
+    #[test]
+    fn listings3_and_4_run_through_session_variables() {
+        let mut mysql = Engine::new(EngineProfile::MysqlLike);
+        mysql
+            .execute("SET @g1='MULTILINESTRING((990 280,100 20))';")
+            .unwrap();
+        mysql.execute("SET @g2='GEOMETRYCOLLECTION(MULTILINESTRING((990 280, 100 20)),POLYGON((360 60,850 620,850 420,360 60)))';").unwrap();
+        let result = mysql
+            .execute("SELECT ST_Crosses(ST_GeomFromText(@g1), ST_GeomFromText(@g2));")
+            .unwrap();
+        assert_eq!(result.single_value(), Some(&Value::Bool(true)), "the stock MySQL-like engine shows the Listing 3 bug");
+
+        let mut fixed = Engine::reference(EngineProfile::MysqlLike);
+        fixed
+            .execute("SET @g1='MULTILINESTRING((990 280,100 20))';")
+            .unwrap();
+        fixed.execute("SET @g2='GEOMETRYCOLLECTION(MULTILINESTRING((990 280, 100 20)),POLYGON((360 60,850 620,850 420,360 60)))';").unwrap();
+        let result = fixed
+            .execute("SELECT ST_Crosses(ST_GeomFromText(@g1), ST_GeomFromText(@g2));")
+            .unwrap();
+        assert_eq!(result.single_value(), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn join_count_matches_between_seqscan_index_and_prepared_on_reference_engine() {
+        let setup = "CREATE TABLE a (g geometry);
+            CREATE TABLE b (g geometry);
+            INSERT INTO a (g) VALUES ('POLYGON((0 0,4 0,4 4,0 4,0 0))'), ('POINT(10 10)'), ('LINESTRING(-3 -3,-1 -1)');
+            INSERT INTO b (g) VALUES ('POINT(2 2)'), ('POINT(-2 -2)'), ('POLYGON((3 3,6 3,6 6,3 6,3 3))'), ('POINT EMPTY');
+            CREATE INDEX idx_b ON b USING GIST (g);";
+        let query = "SELECT COUNT(*) FROM a JOIN b ON ST_Intersects(a.g, b.g);";
+
+        let mut reference = Engine::reference(EngineProfile::PostgisLike);
+        reference.execute_script(setup).unwrap();
+        let with_prepared = count(&mut reference, query);
+
+        reference.execute("SET enable_prepared = false;").unwrap();
+        let nested_loop = count(&mut reference, query);
+
+        reference.execute("SET enable_seqscan = false;").unwrap();
+        let with_index = count(&mut reference, query);
+
+        assert_eq!(with_prepared, nested_loop);
+        assert_eq!(nested_loop, with_index);
+        // Three intersecting pairs: polygon/point(2 2), polygon/polygon, and
+        // the line through (-2 -2) with that point.
+        assert_eq!(nested_loop, 3);
+    }
+
+    #[test]
+    fn unknown_settings_and_variables_error() {
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        assert!(engine.execute("SET bogus_setting = true;").is_err());
+        assert!(engine.execute("SELECT ST_AsText(@missing);").is_err());
+    }
+
+    #[test]
+    fn insert_validates_column_counts_and_types() {
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        engine.execute("CREATE TABLE t (id int, g geometry);").unwrap();
+        assert!(engine
+            .execute("INSERT INTO t (id, g) VALUES (1);")
+            .is_err());
+        assert!(engine
+            .execute("INSERT INTO t (id, missing) VALUES (1, 'POINT(0 0)');")
+            .is_err());
+        engine
+            .execute("INSERT INTO t (id, g) VALUES (1, 'POINT(0 0)');")
+            .unwrap();
+        assert_eq!(engine.database().table("t").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn execution_stats_accumulate() {
+        let mut engine = Engine::reference(EngineProfile::DuckdbSpatialLike);
+        engine.execute("CREATE TABLE t (g geometry);").unwrap();
+        engine.execute("INSERT INTO t (g) VALUES ('POINT(1 1)');").unwrap();
+        let (time, statements) = engine.execution_stats();
+        assert_eq!(statements, 2);
+        assert!(time >= Duration::ZERO);
+        engine.reset_stats();
+        assert_eq!(engine.execution_stats().1, 0);
+    }
+
+    #[test]
+    fn crash_fault_at_create_index_time() {
+        let mut faulty = Engine::with_faults(
+            EngineProfile::PostgisLike,
+            FaultSet::with([FaultId::PostgisCrashIndexAllEmpty]),
+        );
+        faulty
+            .execute_script(
+                "CREATE TABLE t (g geometry); INSERT INTO t (g) VALUES ('POINT EMPTY');",
+            )
+            .unwrap();
+        let err = faulty.execute("CREATE INDEX idx ON t USING GIST (g);").unwrap_err();
+        assert!(err.is_crash());
+    }
+
+    #[test]
+    fn scalar_select_without_tables() {
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        let result = engine
+            .execute("SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry, 'POINT(-2 0)'::geometry);")
+            .unwrap();
+        assert_eq!(result.single_value(), Some(&Value::Double(2.0)));
+    }
+}

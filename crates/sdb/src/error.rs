@@ -1,0 +1,81 @@
+//! Engine error model.
+//!
+//! The paper distinguishes *logic bugs* (silent wrong results) from *crash
+//! bugs* (the process aborts). The engine models a crash as the dedicated
+//! [`SdbError::Crash`] variant so the tester can classify findings the same
+//! way (Table 3) without actually aborting the test process.
+
+use std::fmt;
+
+/// Errors returned by the spatial SQL engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SdbError {
+    /// SQL could not be tokenized or parsed.
+    Parse(String),
+    /// A referenced table, column or variable does not exist, or a statement
+    /// is semantically malformed.
+    Semantic(String),
+    /// A geometry literal was rejected (syntax or, depending on the profile,
+    /// semantic validity).
+    InvalidGeometry(String),
+    /// The function is not supported by the active engine profile (the source
+    /// of expected discrepancies between SDBMSs, §1).
+    UnsupportedFunction(String),
+    /// A runtime evaluation error (type mismatch, out-of-range argument, …).
+    Execution(String),
+    /// A simulated crash: the paths guarded by seeded crash faults return
+    /// this instead of aborting the process.
+    Crash(String),
+}
+
+impl SdbError {
+    /// Whether this error models a crash bug.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, SdbError::Crash(_))
+    }
+}
+
+impl fmt::Display for SdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdbError::Parse(m) => write!(f, "parse error: {m}"),
+            SdbError::Semantic(m) => write!(f, "semantic error: {m}"),
+            SdbError::InvalidGeometry(m) => write!(f, "invalid geometry: {m}"),
+            SdbError::UnsupportedFunction(m) => write!(f, "unsupported function: {m}"),
+            SdbError::Execution(m) => write!(f, "execution error: {m}"),
+            SdbError::Crash(m) => write!(f, "engine crash: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SdbError {}
+
+/// Convenience alias.
+pub type SdbResult<T> = Result<T, SdbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_classification() {
+        assert!(SdbError::Crash("segfault in GEOS".into()).is_crash());
+        assert!(!SdbError::Execution("bad arg".into()).is_crash());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            SdbError::Parse("unexpected token".into()).to_string(),
+            "parse error: unexpected token"
+        );
+        assert_eq!(
+            SdbError::UnsupportedFunction("ST_Covers".into()).to_string(),
+            "unsupported function: ST_Covers"
+        );
+        assert_eq!(
+            SdbError::Crash("boom".into()).to_string(),
+            "engine crash: boom"
+        );
+    }
+}

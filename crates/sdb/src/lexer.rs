@@ -1,0 +1,261 @@
+//! SQL tokenizer.
+
+use crate::error::{SdbError, SdbResult};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched case-insensitively).
+    Ident(String),
+    /// A user variable such as `@g1`.
+    Variable(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    String(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `::`
+    DoubleColon,
+    /// `~=`
+    SameBox,
+}
+
+/// Tokenizes a SQL string.
+pub fn tokenize(input: &str) -> SdbResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b'.' if !bytes
+                .get(i + 1)
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            b'~' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::SameBox);
+                i += 2;
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b':' if bytes.get(i + 1) == Some(&b':') => {
+                tokens.push(Token::DoubleColon);
+                i += 2;
+            }
+            b'\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SdbError::Parse("unterminated string literal".into()))
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&c) => {
+                            s.push(c as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::String(s));
+            }
+            b'@' => {
+                let start = i + 1;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(SdbError::Parse("empty variable name after '@'".into()));
+                }
+                tokens.push(Token::Variable(
+                    String::from_utf8_lossy(&bytes[start..i]).to_string(),
+                ));
+            }
+            c if c.is_ascii_digit()
+                || (c == b'-' && bytes.get(i + 1).map(|n| n.is_ascii_digit()).unwrap_or(false))
+                || (c == b'.' && bytes.get(i + 1).map(|n| n.is_ascii_digit()).unwrap_or(false)) =>
+            {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'-' || bytes[i] == b'+')
+                            && matches!(bytes[i - 1], b'e' | b'E')))
+                {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..i])
+                    .map_err(|_| SdbError::Parse("invalid number".into()))?;
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| SdbError::Parse(format!("invalid number literal '{text}'")))?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(
+                    String::from_utf8_lossy(&bytes[start..i]).to_string(),
+                ));
+            }
+            other => {
+                return Err(SdbError::Parse(format!(
+                    "unexpected character '{}' at byte {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_listing1_statements() {
+        let tokens = tokenize("INSERT INTO t1 (g) VALUES ('LINESTRING(0 1,2 0)');").unwrap();
+        assert!(tokens.contains(&Token::Ident("INSERT".into())));
+        assert!(tokens.contains(&Token::String("LINESTRING(0 1,2 0)".into())));
+        assert_eq!(tokens.last(), Some(&Token::Semicolon));
+    }
+
+    #[test]
+    fn tokenize_operators() {
+        let tokens = tokenize("a ~= b AND c <> d OR e >= -1.5").unwrap();
+        assert!(tokens.contains(&Token::SameBox));
+        assert!(tokens.contains(&Token::NotEq));
+        assert!(tokens.contains(&Token::GtEq));
+        assert!(tokens.contains(&Token::Number(-1.5)));
+    }
+
+    #[test]
+    fn tokenize_cast_and_variable() {
+        let tokens = tokenize("SET @g1 = 'POINT(1 2)'::geometry").unwrap();
+        assert!(tokens.contains(&Token::Variable("g1".into())));
+        assert!(tokens.contains(&Token::DoubleColon));
+    }
+
+    #[test]
+    fn tokenize_comments_and_escapes() {
+        let tokens = tokenize("SELECT 'it''s' -- trailing comment\n, 2").unwrap();
+        assert!(tokens.contains(&Token::String("it's".into())));
+        assert!(tokens.contains(&Token::Number(2.0)));
+    }
+
+    #[test]
+    fn tokenize_errors() {
+        assert!(tokenize("SELECT 'unterminated").is_err());
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("SELECT @ x").is_err());
+    }
+
+    #[test]
+    fn qualified_column_uses_dot() {
+        let tokens = tokenize("t1.g").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("t1".into()),
+                Token::Dot,
+                Token::Ident("g".into())
+            ]
+        );
+    }
+}

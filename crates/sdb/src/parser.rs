@@ -1,0 +1,673 @@
+//! Recursive-descent parser for the supported SQL subset.
+
+use crate::ast::{
+    BinaryOp, ColumnType, Expr, SelectItem, SelectStatement, Statement, TableRef,
+};
+use crate::error::{SdbError, SdbResult};
+use crate::lexer::{tokenize, Token};
+use crate::value::Value;
+
+/// Parses a single SQL statement (an optional trailing semicolon is allowed).
+pub fn parse_statement(sql: &str) -> SdbResult<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let stmt = parser.parse_statement()?;
+    parser.consume_if(&Token::Semicolon);
+    if !parser.at_end() {
+        return Err(SdbError::Parse(format!(
+            "unexpected trailing tokens starting at {:?}",
+            parser.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+/// Parses a script of semicolon-separated statements.
+pub fn parse_script(sql: &str) -> SdbResult<Vec<Statement>> {
+    let mut statements = Vec::new();
+    for piece in split_statements(sql) {
+        let trimmed = piece.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        statements.push(parse_statement(trimmed)?);
+    }
+    Ok(statements)
+}
+
+/// Splits on semicolons that are not inside string literals.
+fn split_statements(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    for c in sql.chars() {
+        match c {
+            '\'' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            ';' if !in_string => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn consume_if(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> SdbResult<()> {
+        if self.consume_if(token) {
+            Ok(())
+        } else {
+            Err(SdbError::Parse(format!(
+                "expected {token:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// Consumes the next token if it is the given keyword (case-insensitive).
+    fn consume_keyword(&mut self, keyword: &str) -> bool {
+        if let Some(Token::Ident(word)) = self.peek() {
+            if word.eq_ignore_ascii_case(keyword) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> SdbResult<()> {
+        if self.consume_keyword(keyword) {
+            Ok(())
+        } else {
+            Err(SdbError::Parse(format!(
+                "expected keyword {keyword}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn peek_keyword(&self, keyword: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(keyword))
+    }
+
+    fn expect_identifier(&mut self) -> SdbResult<String> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(SdbError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_statement(&mut self) -> SdbResult<Statement> {
+        if self.consume_keyword("CREATE") {
+            if self.consume_keyword("TABLE") {
+                return self.parse_create_table();
+            }
+            if self.consume_keyword("INDEX") {
+                return self.parse_create_index();
+            }
+            return Err(SdbError::Parse("expected TABLE or INDEX after CREATE".into()));
+        }
+        if self.consume_keyword("DROP") {
+            self.expect_keyword("TABLE")?;
+            let name = self.expect_identifier()?;
+            return Ok(Statement::DropTable { name });
+        }
+        if self.consume_keyword("INSERT") {
+            return self.parse_insert();
+        }
+        if self.consume_keyword("SET") {
+            return self.parse_set();
+        }
+        if self.consume_keyword("SELECT") {
+            return Ok(Statement::Select(self.parse_select()?));
+        }
+        Err(SdbError::Parse(format!(
+            "unsupported statement starting with {:?}",
+            self.peek()
+        )))
+    }
+
+    fn parse_create_table(&mut self) -> SdbResult<Statement> {
+        let name = self.expect_identifier()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.expect_identifier()?;
+            let type_name = self.expect_identifier()?;
+            let column_type = parse_column_type(&type_name)?;
+            columns.push((col, column_type));
+            if !self.consume_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn parse_create_index(&mut self) -> SdbResult<Statement> {
+        let name = self.expect_identifier()?;
+        self.expect_keyword("ON")?;
+        let table = self.expect_identifier()?;
+        // `USING GIST` is optional but recommended by the listings.
+        if self.consume_keyword("USING") {
+            let method = self.expect_identifier()?;
+            if !method.eq_ignore_ascii_case("GIST") {
+                return Err(SdbError::Semantic(format!(
+                    "unsupported index method {method}"
+                )));
+            }
+        }
+        self.expect(&Token::LParen)?;
+        let column = self.expect_identifier()?;
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateIndex { name, table, column })
+    }
+
+    fn parse_insert(&mut self) -> SdbResult<Statement> {
+        self.expect_keyword("INTO")?;
+        let table = self.expect_identifier()?;
+        let mut columns = Vec::new();
+        if self.consume_if(&Token::LParen) {
+            loop {
+                columns.push(self.expect_identifier()?);
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_expr()?);
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.consume_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn parse_set(&mut self) -> SdbResult<Statement> {
+        let name = match self.next() {
+            Some(Token::Variable(v)) => format!("@{v}"),
+            Some(Token::Ident(name)) => name,
+            other => {
+                return Err(SdbError::Parse(format!(
+                    "expected setting or variable name, found {other:?}"
+                )))
+            }
+        };
+        self.expect(&Token::Eq)?;
+        let value = self.parse_expr()?;
+        Ok(Statement::Set { name, value })
+    }
+
+    fn parse_select(&mut self) -> SdbResult<SelectStatement> {
+        let mut items = Vec::new();
+        loop {
+            if self.peek_keyword("COUNT") {
+                // Look ahead for COUNT(*).
+                let saved = self.pos;
+                self.pos += 1;
+                if self.consume_if(&Token::LParen)
+                    && self.consume_if(&Token::Star)
+                    && self.consume_if(&Token::RParen)
+                {
+                    items.push(SelectItem::CountStar);
+                } else {
+                    self.pos = saved;
+                    items.push(SelectItem::Expr(self.parse_expr()?));
+                }
+            } else {
+                items.push(SelectItem::Expr(self.parse_expr()?));
+            }
+            // Optional alias: `expr AS name` or bare trailing identifier that
+            // is not a clause keyword.
+            if self.consume_keyword("AS") {
+                self.expect_identifier()?;
+            }
+            if !self.consume_if(&Token::Comma) {
+                break;
+            }
+        }
+
+        let mut from = Vec::new();
+        let mut join_on = None;
+        if self.consume_keyword("FROM") {
+            from.push(self.parse_table_ref()?);
+            loop {
+                if self.consume_if(&Token::Comma) {
+                    from.push(self.parse_table_ref()?);
+                } else if self.consume_keyword("JOIN") {
+                    from.push(self.parse_table_ref()?);
+                    self.expect_keyword("ON")?;
+                    join_on = Some(self.parse_expr()?);
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let where_clause = if self.consume_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        Ok(SelectStatement {
+            items,
+            from,
+            join_on,
+            where_clause,
+        })
+    }
+
+    fn parse_table_ref(&mut self) -> SdbResult<TableRef> {
+        let table = self.expect_identifier()?;
+        // Optional alias with or without AS (Listing 7: `t As a1`).
+        let alias = if self.consume_keyword("AS") {
+            self.expect_identifier()?
+        } else if let Some(Token::Ident(word)) = self.peek() {
+            let upper = word.to_ascii_uppercase();
+            // A bare identifier that is not a clause keyword is an alias.
+            if ["JOIN", "ON", "WHERE", "AS", "FROM"].contains(&upper.as_str()) {
+                table.clone()
+            } else {
+                self.expect_identifier()?
+            }
+        } else {
+            table.clone()
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    fn parse_expr(&mut self) -> SdbResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> SdbResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.consume_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> SdbResult<Expr> {
+        let mut left = self.parse_not()?;
+        while self.consume_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> SdbResult<Expr> {
+        if self.consume_keyword("NOT") {
+            return Ok(Expr::Not(Box::new(self.parse_not()?)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> SdbResult<Expr> {
+        let left = self.parse_primary()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::NotEq) => Some(BinaryOp::NotEq),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::LtEq) => Some(BinaryOp::LtEq),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::GtEq) => Some(BinaryOp::GtEq),
+            Some(Token::SameBox) => Some(BinaryOp::SameBox),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_primary()?;
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn parse_primary(&mut self) -> SdbResult<Expr> {
+        let expr = match self.next() {
+            Some(Token::Number(n)) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e18 {
+                    Expr::Literal(Value::Int(n as i64))
+                } else {
+                    Expr::Literal(Value::Double(n))
+                }
+            }
+            Some(Token::String(s)) => Expr::Literal(Value::Text(s)),
+            Some(Token::Variable(v)) => Expr::Variable(v),
+            Some(Token::LParen) => {
+                let inner = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                inner
+            }
+            Some(Token::Ident(name)) => {
+                let upper = name.to_ascii_uppercase();
+                if upper == "TRUE" {
+                    Expr::Literal(Value::Bool(true))
+                } else if upper == "FALSE" {
+                    Expr::Literal(Value::Bool(false))
+                } else if upper == "NULL" {
+                    Expr::Literal(Value::Null)
+                } else if self.consume_if(&Token::LParen) {
+                    // Function call.
+                    let mut args = Vec::new();
+                    if !self.consume_if(&Token::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.consume_if(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                    }
+                    Expr::Function { name, args }
+                } else if self.consume_if(&Token::Dot) {
+                    let column = self.expect_identifier()?;
+                    Expr::Column {
+                        table: Some(name),
+                        column,
+                    }
+                } else {
+                    Expr::Column {
+                        table: None,
+                        column: name,
+                    }
+                }
+            }
+            other => return Err(SdbError::Parse(format!("unexpected token {other:?}"))),
+        };
+
+        // Optional `::type` casts (possibly chained).
+        let mut expr = expr;
+        while self.consume_if(&Token::DoubleColon) {
+            let target = self.expect_identifier()?.to_lowercase();
+            expr = Expr::Cast {
+                expr: Box::new(expr),
+                target,
+            };
+        }
+        Ok(expr)
+    }
+}
+
+fn parse_column_type(name: &str) -> SdbResult<ColumnType> {
+    match name.to_ascii_lowercase().as_str() {
+        "int" | "integer" | "bigint" => Ok(ColumnType::Integer),
+        "double" | "float" | "real" => Ok(ColumnType::Double),
+        "text" | "varchar" | "string" => Ok(ColumnType::Text),
+        "geometry" => Ok(ColumnType::Geometry),
+        "bool" | "boolean" => Ok(ColumnType::Boolean),
+        other => Err(SdbError::Parse(format!("unsupported column type {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table_listing1() {
+        let stmt = parse_statement("CREATE TABLE t1 (g geometry);").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateTable {
+                name: "t1".into(),
+                columns: vec![("g".into(), ColumnType::Geometry)],
+            }
+        );
+    }
+
+    #[test]
+    fn parse_insert_listing1() {
+        let stmt =
+            parse_statement("INSERT INTO t1 (g) VALUES ('LINESTRING(0 1,2 0)');").unwrap();
+        match stmt {
+            Statement::Insert { table, columns, rows } => {
+                assert_eq!(table, "t1");
+                assert_eq!(columns, vec!["g".to_string()]);
+                assert_eq!(rows.len(), 1);
+                assert_eq!(rows[0][0], Expr::text("LINESTRING(0 1,2 0)"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_multiple_rows_listing7() {
+        let stmt = parse_statement(
+            "INSERT INTO t (id, geom) VALUES (1,'GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))'::geometry),(2,'POINT(0 0)'::geometry)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert!(matches!(rows[0][1], Expr::Cast { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_join_count_query_listing1() {
+        let stmt = parse_statement(
+            "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g);",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(select) => {
+                assert_eq!(select.items, vec![SelectItem::CountStar]);
+                assert_eq!(select.from.len(), 2);
+                assert_eq!(select.from[0].table, "t1");
+                match select.join_on {
+                    Some(Expr::Function { name, args }) => {
+                        assert_eq!(name, "ST_Covers");
+                        assert_eq!(args.len(), 2);
+                    }
+                    other => panic!("unexpected join condition {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_comma_join_with_aliases_listing7() {
+        let stmt = parse_statement(
+            "SELECT a1.id, a2.id FROM t As a1, t As a2 WHERE ST_Contains(a1.geom, a2.geom);",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(select) => {
+                assert_eq!(select.items.len(), 2);
+                assert_eq!(select.from.len(), 2);
+                assert_eq!(select.from[0].alias, "a1");
+                assert_eq!(select.from[1].alias, "a2");
+                assert!(select.where_clause.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_set_variable_listing3() {
+        let stmt = parse_statement("SET @g1='MULTILINESTRING((990 280,100 20))';").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Set {
+                name: "@g1".into(),
+                value: Expr::text("MULTILINESTRING((990 280,100 20))"),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_set_session_setting_listing8() {
+        let stmt = parse_statement("SET enable_seqscan = false;").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Set {
+                name: "enable_seqscan".into(),
+                value: Expr::Literal(Value::Bool(false)),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_scalar_select_with_cast_listing5() {
+        let stmt = parse_statement(
+            "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry, 'MULTIPOINT((-2 0),EMPTY)'::geometry);",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(select) => {
+                assert!(select.from.is_empty());
+                assert_eq!(select.items.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_where_with_samebox_listing8() {
+        let stmt = parse_statement(
+            "SELECT COUNT(*) FROM t WHERE geom ~= 'POINT EMPTY'::geometry;",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(select) => {
+                assert_eq!(select.items, vec![SelectItem::CountStar]);
+                match select.where_clause {
+                    Some(Expr::Binary { op, .. }) => assert_eq!(op, BinaryOp::SameBox),
+                    other => panic!("unexpected where {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_create_index_listing8() {
+        let stmt = parse_statement("CREATE INDEX idx ON t USING GIST (geom);").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateIndex {
+                name: "idx".into(),
+                table: "t".into(),
+                column: "geom".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_nested_function_calls_listing4() {
+        let stmt = parse_statement("SELECT ST_Overlaps(ST_SwapXY(@g2), ST_SwapXY(@g1));").unwrap();
+        match stmt {
+            Statement::Select(select) => match &select.items[0] {
+                SelectItem::Expr(Expr::Function { name, args }) => {
+                    assert_eq!(name, "ST_Overlaps");
+                    assert!(matches!(&args[0], Expr::Function { name, .. } if name == "ST_SwapXY"));
+                }
+                other => panic!("unexpected item {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_script_splits_statements() {
+        let script = "CREATE TABLE t1 (g geometry); INSERT INTO t1 (g) VALUES ('POINT(1 1)'); SELECT COUNT(*) FROM t1 JOIN t1 ON ST_Intersects(t1.g, t1.g)";
+        let stmts = parse_script(script).unwrap();
+        assert_eq!(stmts.len(), 3);
+        // Semicolons inside string literals do not split.
+        let stmts = parse_script("SELECT 'a;b'; SELECT 2").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_statement("SELEKT 1").is_err());
+        assert!(parse_statement("CREATE TABLE t (g geometry) garbage").is_err());
+        assert!(parse_statement("CREATE TABLE t (g unknowntype)").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES").is_err());
+        assert!(parse_statement("SELECT COUNT(*) FROM t JOIN").is_err());
+    }
+
+    #[test]
+    fn parse_select_from_subselect_style_alias() {
+        // Listing 6 uses `FROM (SELECT ...)` which is out of scope; the
+        // equivalent scalar form must parse instead.
+        let stmt = parse_statement(
+            "SELECT ST_Within('POINT(0 0)'::geometry, 'GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))'::geometry)",
+        );
+        assert!(stmt.is_ok());
+    }
+}

@@ -1,0 +1,202 @@
+//! The Dimensionally Extended 9-Intersection Model matrix (§2.2,
+//! Definition 2.3, Figure 3).
+
+use spatter_geom::Dimension;
+use std::fmt;
+
+/// Row/column index of the matrix: interior, boundary, exterior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Position {
+    /// The geometry's interior.
+    Interior,
+    /// The geometry's boundary.
+    Boundary,
+    /// The geometry's exterior.
+    Exterior,
+}
+
+impl Position {
+    /// All three positions in matrix order.
+    pub const ALL: [Position; 3] = [Position::Interior, Position::Boundary, Position::Exterior];
+
+    fn index(self) -> usize {
+        match self {
+            Position::Interior => 0,
+            Position::Boundary => 1,
+            Position::Exterior => 2,
+        }
+    }
+}
+
+/// A 3×3 DE-9IM matrix of intersection dimensions.
+///
+/// Entry `(row, col)` is the dimension of the intersection of the first
+/// geometry's `row` part with the second geometry's `col` part. The string
+/// form reads the matrix row-major, e.g. `FF21F1102` for Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntersectionMatrix {
+    entries: [[Dimension; 3]; 3],
+}
+
+impl Default for IntersectionMatrix {
+    fn default() -> Self {
+        IntersectionMatrix::empty()
+    }
+}
+
+impl IntersectionMatrix {
+    /// A matrix with every entry `F`.
+    pub fn empty() -> Self {
+        IntersectionMatrix {
+            entries: [[Dimension::Empty; 3]; 3],
+        }
+    }
+
+    /// Parses a matrix from its 9-character string form (`F`, `0`, `1`, `2`).
+    pub fn from_string(s: &str) -> Option<IntersectionMatrix> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() != 9 {
+            return None;
+        }
+        let mut m = IntersectionMatrix::empty();
+        for (i, c) in chars.iter().enumerate() {
+            let dim = Dimension::from_char(*c)?;
+            m.entries[i / 3][i % 3] = dim;
+        }
+        Some(m)
+    }
+
+    /// Reads an entry.
+    pub fn get(&self, row: Position, col: Position) -> Dimension {
+        self.entries[row.index()][col.index()]
+    }
+
+    /// Sets an entry.
+    pub fn set(&mut self, row: Position, col: Position, dim: Dimension) {
+        self.entries[row.index()][col.index()] = dim;
+    }
+
+    /// Raises an entry to at least `dim` (entries accumulate as the maximum
+    /// dimension observed, per Definition 2.3's dimension calculator).
+    pub fn set_at_least(&mut self, row: Position, col: Position, dim: Dimension) {
+        let e = &mut self.entries[row.index()][col.index()];
+        if dim > *e {
+            *e = dim;
+        }
+    }
+
+    /// The transposed matrix, i.e. the matrix of the arguments swapped.
+    pub fn transposed(&self) -> IntersectionMatrix {
+        let mut t = IntersectionMatrix::empty();
+        for r in Position::ALL {
+            for c in Position::ALL {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// The 9-character string form (`ST_Relate` output).
+    pub fn to_relate_string(&self) -> String {
+        let mut s = String::with_capacity(9);
+        for row in &self.entries {
+            for d in row {
+                s.push(d.to_char());
+            }
+        }
+        s
+    }
+
+    /// Whether the matrix satisfies a DE-9IM pattern.
+    ///
+    /// Pattern characters: `T` (non-empty), `F` (empty), `*` (anything),
+    /// `0`/`1`/`2` (exact dimension). Returns `None` for malformed patterns.
+    pub fn matches(&self, pattern: &str) -> Option<bool> {
+        let chars: Vec<char> = pattern.chars().collect();
+        if chars.len() != 9 {
+            return None;
+        }
+        for (i, pc) in chars.iter().enumerate() {
+            let entry = self.entries[i / 3][i % 3];
+            let ok = match pc {
+                '*' => true,
+                'T' | 't' => entry.is_non_empty(),
+                'F' | 'f' => entry == Dimension::Empty,
+                '0' => entry == Dimension::Zero,
+                '1' => entry == Dimension::One,
+                '2' => entry == Dimension::Two,
+                _ => return None,
+            };
+            if !ok {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+}
+
+impl fmt::Display for IntersectionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_relate_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_is_all_f() {
+        assert_eq!(IntersectionMatrix::empty().to_relate_string(), "FFFFFFFFF");
+    }
+
+    #[test]
+    fn figure3_matrix_round_trips() {
+        let m = IntersectionMatrix::from_string("FF21F1102").unwrap();
+        assert_eq!(m.to_relate_string(), "FF21F1102");
+        assert_eq!(m.get(Position::Interior, Position::Exterior), Dimension::Two);
+        assert_eq!(m.get(Position::Boundary, Position::Interior), Dimension::One);
+        assert_eq!(m.get(Position::Exterior, Position::Exterior), Dimension::Two);
+    }
+
+    #[test]
+    fn from_string_rejects_bad_input() {
+        assert!(IntersectionMatrix::from_string("FF21F110").is_none());
+        assert!(IntersectionMatrix::from_string("FF21F110X").is_none());
+    }
+
+    #[test]
+    fn set_at_least_keeps_maximum() {
+        let mut m = IntersectionMatrix::empty();
+        m.set_at_least(Position::Interior, Position::Interior, Dimension::One);
+        m.set_at_least(Position::Interior, Position::Interior, Dimension::Zero);
+        assert_eq!(m.get(Position::Interior, Position::Interior), Dimension::One);
+        m.set_at_least(Position::Interior, Position::Interior, Dimension::Two);
+        assert_eq!(m.get(Position::Interior, Position::Interior), Dimension::Two);
+    }
+
+    #[test]
+    fn transpose_swaps_roles() {
+        let m = IntersectionMatrix::from_string("FF21F1102").unwrap();
+        let t = m.transposed();
+        assert_eq!(t.get(Position::Exterior, Position::Interior), Dimension::Two);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn pattern_matching() {
+        let m = IntersectionMatrix::from_string("FF21F1102").unwrap();
+        assert_eq!(m.matches("FF*******"), Some(true));
+        assert_eq!(m.matches("T********"), Some(false));
+        assert_eq!(m.matches("FF2TF11*2"), Some(true));
+        assert_eq!(m.matches("*********"), Some(true));
+        assert_eq!(m.matches("********"), None);
+        assert_eq!(m.matches("????????X"), None);
+    }
+
+    #[test]
+    fn display_is_relate_string() {
+        let m = IntersectionMatrix::from_string("0FFFFF102").unwrap();
+        assert_eq!(m.to_string(), "0FFFFF102");
+    }
+}

@@ -1,0 +1,51 @@
+//! A miniature Spatter testing campaign against the stock PostGIS-like
+//! engine: generate databases with the geometry-aware generator, build their
+//! affine-equivalent counterparts, compare query counts, and attribute every
+//! discrepancy to the seeded fault that causes it.
+//!
+//! Run with: `cargo run --example bug_hunt_campaign --release`
+
+use spatter_repro::core::campaign::{Campaign, CampaignConfig};
+use spatter_repro::core::generator::{GenerationStrategy, GeneratorConfig};
+use spatter_repro::core::transform::AffineStrategy;
+use spatter_repro::sdb::{EngineProfile, FaultCatalog};
+use std::time::Duration;
+
+fn main() {
+    let config = CampaignConfig {
+        profile: EngineProfile::PostgisLike,
+        faults: None, // the stock engine with all of the profile's seeded bugs
+        generator: GeneratorConfig {
+            num_geometries: 10,
+            num_tables: 2,
+            strategy: GenerationStrategy::GeometryAware,
+            coordinate_range: 50,
+            random_shape_probability: 0.5,
+        },
+        queries_per_run: 25,
+        affine: AffineStrategy::GeneralInteger,
+        iterations: usize::MAX / 2,
+        time_budget: Some(Duration::from_secs(10)),
+        attribute_findings: true,
+        seed: 42,
+    };
+    println!("Running a 10 second Spatter campaign against {} ...", config.profile.name());
+    let report = Campaign::new(config).run();
+
+    println!(
+        "iterations: {}, findings: {}, unique seeded bugs detected: {}",
+        report.iterations_run,
+        report.findings.len(),
+        report.unique_bug_count()
+    );
+    println!(
+        "time split: generation {:.1} ms, engine execution {:.1} ms",
+        report.generation_time.as_secs_f64() * 1000.0,
+        report.engine_time.as_secs_f64() * 1000.0
+    );
+    println!("\nDetected bugs (deduplicated by root cause):");
+    for fault in &report.unique_faults {
+        let info = FaultCatalog::info(*fault);
+        println!("  - [{}] {}", info.system.name(), info.description);
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: load a spatial database into the PostGIS-like engine, run the
+//! paper's Listing 1 scenario, and let the AEI oracle expose the seeded
+//! precision bug that the stock engine carries.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use spatter_repro::core::oracles::{AeiOracle, Oracle};
+use spatter_repro::core::queries::QueryInstance;
+use spatter_repro::core::spec::DatabaseSpec;
+use spatter_repro::core::transform::{AffineStrategy, TransformPlan};
+use spatter_repro::geom::wkt::parse_wkt;
+use spatter_repro::sdb::{Engine, EngineProfile, FaultSet};
+use spatter_repro::topo::predicates::NamedPredicate;
+
+fn main() {
+    // 1. Drive the engine directly with SQL, exactly like Listing 1.
+    let mut engine = Engine::new(EngineProfile::PostgisLike);
+    engine
+        .execute_script(
+            "CREATE TABLE t1 (g geometry);
+             CREATE TABLE t2 (g geometry);
+             INSERT INTO t1 (g) VALUES ('LINESTRING(0 1,2 0)');
+             INSERT INTO t2 (g) VALUES ('POINT(0.2 0.9)');",
+        )
+        .expect("loading Listing 1");
+    let count = engine
+        .execute("SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g);")
+        .expect("count query")
+        .count()
+        .expect("count value");
+    println!("Listing 1 on the stock PostGIS-like engine returns {count} (correct answer: 1)");
+
+    // 2. The same scenario through Spatter's AEI oracle: the affine-equivalent
+    //    database disagrees, exposing the bug without knowing the ground truth.
+    let mut spec = DatabaseSpec::with_tables(2);
+    spec.tables[0].geometries.push(parse_wkt("LINESTRING(0 1,2 0)").unwrap());
+    spec.tables[1].geometries.push(parse_wkt("POINT(0.2 0.9)").unwrap());
+    let query = QueryInstance {
+        table1: "t0".into(),
+        table2: "t1".into(),
+        predicate: NamedPredicate::Covers,
+    };
+    let stock_faults = EngineProfile::PostgisLike.default_faults();
+    for seed in 0..50u64 {
+        let oracle = AeiOracle::new(TransformPlan::random(AffineStrategy::GeneralInteger, seed));
+        let outcomes = oracle.check(EngineProfile::PostgisLike, &stock_faults, &spec, &[query.clone()]);
+        if let Some(outcome) = outcomes.iter().find(|o| o.is_logic_bug()) {
+            println!("AEI found a discrepancy with transformation seed {seed}: {outcome:?}");
+            break;
+        }
+    }
+
+    // 3. The patched (reference) engine answers correctly and AEI stays quiet.
+    let mut fixed = Engine::reference(EngineProfile::PostgisLike);
+    fixed
+        .execute_script(
+            "CREATE TABLE t1 (g geometry);
+             CREATE TABLE t2 (g geometry);
+             INSERT INTO t1 (g) VALUES ('LINESTRING(0 1,2 0)');
+             INSERT INTO t2 (g) VALUES ('POINT(0.2 0.9)');",
+        )
+        .expect("loading Listing 1");
+    let count = fixed
+        .execute("SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g);")
+        .unwrap()
+        .count()
+        .unwrap();
+    println!("The patched engine returns {count}");
+    let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
+    let outcomes = oracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &[query]);
+    println!("AEI outcome on the patched engine: {:?}", outcomes[0]);
+}

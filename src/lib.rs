@@ -1,0 +1,17 @@
+//! Umbrella crate for the Spatter / Affine Equivalent Inputs reproduction.
+//!
+//! This crate only re-exports the workspace members so that the workspace-level
+//! integration tests (`tests/`) and examples (`examples/`) have a single,
+//! convenient dependency. The actual functionality lives in:
+//!
+//! * [`spatter_geom`] — geometry model, WKT, affine transforms, canonicalization
+//! * [`spatter_topo`] — DE-9IM relate engine, named predicates, editing functions
+//! * [`spatter_index`] — R-tree spatial index (GiST analog)
+//! * [`spatter_sdb`] — the spatial SQL engine and its four engine profiles
+//! * [`spatter_core`] — the Spatter tester: generator, AEI, oracles, campaign
+
+pub use spatter_core as core;
+pub use spatter_geom as geom;
+pub use spatter_index as index;
+pub use spatter_sdb as sdb;
+pub use spatter_topo as topo;

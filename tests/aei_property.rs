@@ -1,0 +1,81 @@
+//! Cross-crate property tests of the AEI methodology itself
+//! (Proposition 3.3): on the reference engine, the counts of the template
+//! queries are identical between a generated database and any of its
+//! canonicalized, affine-transformed counterparts.
+
+use proptest::prelude::*;
+use spatter_repro::core::campaign::run_aei_iteration;
+use spatter_repro::core::generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
+use spatter_repro::core::oracles::OracleOutcome;
+use spatter_repro::core::queries::random_queries;
+use spatter_repro::core::transform::{AffineStrategy, TransformPlan};
+use spatter_repro::sdb::{EngineProfile, FaultSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The AEI oracle never reports a discrepancy against the fault-free
+    /// reference engine, for random databases, random queries and random
+    /// integer affine transformations.
+    #[test]
+    fn reference_engine_satisfies_the_aei_property(seed in 0u64..5000, plan_seed in 0u64..5000) {
+        let mut generator = GeometryGenerator::new(
+            GeneratorConfig {
+                num_geometries: 8,
+                num_tables: 2,
+                strategy: GenerationStrategy::GeometryAware,
+                coordinate_range: 30,
+                random_shape_probability: 0.5,
+            },
+            seed,
+        );
+        let spec = generator.generate_database();
+        let queries = random_queries(&spec, EngineProfile::PostgisLike, 10, seed ^ 0xbeef);
+        let plan = TransformPlan::random(AffineStrategy::GeneralInteger, plan_seed);
+        let (outcomes, _) = run_aei_iteration(
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+            &plan,
+        );
+        for outcome in outcomes {
+            let flagged = matches!(
+                outcome,
+                OracleOutcome::LogicBug { .. } | OracleOutcome::Crash { .. }
+            );
+            prop_assert!(
+                !flagged,
+                "reference engine flagged: {:?} (generator seed {}, plan seed {})",
+                outcome, seed, plan_seed
+            );
+        }
+    }
+
+    /// Canonicalization alone also preserves every count on the reference
+    /// engine (the identity-matrix special case of §4.3).
+    #[test]
+    fn canonicalization_preserves_counts(seed in 0u64..5000) {
+        let mut generator = GeometryGenerator::new(GeneratorConfig {
+            num_geometries: 6,
+            num_tables: 2,
+            strategy: GenerationStrategy::GeometryAware,
+            coordinate_range: 20,
+            random_shape_probability: 0.4,
+        }, seed);
+        let spec = generator.generate_database();
+        let queries = random_queries(&spec, EngineProfile::MysqlLike, 8, seed);
+        let plan = TransformPlan::canonicalization_only();
+        let (outcomes, _) = run_aei_iteration(
+            EngineProfile::MysqlLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+            &plan,
+        );
+        for outcome in outcomes {
+            let flagged = matches!(outcome, OracleOutcome::LogicBug { .. });
+            prop_assert!(!flagged, "canonicalization changed a count (seed {})", seed);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end reproduction of the paper's listings: each test runs the
+//! listing's statements against the stock (faulty) engine profile and against
+//! the patched reference engine, asserting the buggy and the correct result
+//! respectively.
+
+use spatter_repro::sdb::{Engine, EngineProfile, SdbError, Value};
+
+fn stock(profile: EngineProfile) -> Engine {
+    Engine::new(profile)
+}
+
+fn patched(profile: EngineProfile) -> Engine {
+    Engine::reference(profile)
+}
+
+#[test]
+fn listing1_and_2_covers_precision_bug() {
+    let setup = "CREATE TABLE t1 (g geometry);
+        CREATE TABLE t2 (g geometry);
+        INSERT INTO t1 (g) VALUES ('LINESTRING(0 1,2 0)');
+        INSERT INTO t2 (g) VALUES ('POINT(0.2 0.9)');";
+    let query = "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g);";
+
+    let mut engine = stock(EngineProfile::PostgisLike);
+    engine.execute_script(setup).unwrap();
+    assert_eq!(engine.execute(query).unwrap().count(), Some(0), "Listing 1: buggy result");
+
+    let mut engine = patched(EngineProfile::PostgisLike);
+    engine.execute_script(setup).unwrap();
+    assert_eq!(engine.execute(query).unwrap().count(), Some(1), "Listing 1: correct result");
+
+    // Listing 2 (the affine-equivalent pair) is correct even on the stock engine.
+    let setup2 = "CREATE TABLE t1 (g geometry);
+        CREATE TABLE t2 (g geometry);
+        INSERT INTO t1 (g) VALUES ('LINESTRING(1 1,0 0)');
+        INSERT INTO t2 (g) VALUES ('POINT(0.9 0.9)');";
+    let mut engine = stock(EngineProfile::PostgisLike);
+    engine.execute_script(setup2).unwrap();
+    assert_eq!(engine.execute(query).unwrap().count(), Some(1), "Listing 2");
+}
+
+#[test]
+fn listing3_crosses_after_scaling() {
+    let statements = "SET @g1='MULTILINESTRING((990 280,100 20))';
+        SET @g2='GEOMETRYCOLLECTION(MULTILINESTRING((990 280, 100 20)),POLYGON((360 60,850 620,850 420,360 60)))';";
+    let query = "SELECT ST_Crosses(ST_GeomFromText(@g1), ST_GeomFromText(@g2));";
+
+    let mut engine = stock(EngineProfile::MysqlLike);
+    engine.execute_script(statements).unwrap();
+    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(true)), "buggy");
+
+    let mut engine = patched(EngineProfile::MysqlLike);
+    engine.execute_script(statements).unwrap();
+    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(false)), "correct");
+}
+
+#[test]
+fn listing4_overlaps_after_swapping_axes() {
+    let statements = "SET @g1 = ST_GeomFromText('POLYGON((614 445,30 26,80 30,614 445))');
+        SET @g2 = ST_GeomFromText('GEOMETRYCOLLECTION(POLYGON((614 445,30 26,80 30,614 445)),POLYGON((190 1010,40 90,90 40,190 1010)))');";
+    let mut engine = stock(EngineProfile::MysqlLike);
+    engine.execute_script(statements).unwrap();
+    assert_eq!(
+        engine.execute("SELECT ST_Overlaps(@g2, @g1);").unwrap().single_value(),
+        Some(&Value::Bool(false)),
+        "un-swapped result is correct"
+    );
+    assert_eq!(
+        engine
+            .execute("SELECT ST_Overlaps(ST_SwapXY(@g2), ST_SwapXY(@g1));")
+            .unwrap()
+            .single_value(),
+        Some(&Value::Bool(true)),
+        "swapping the axes triggers the bug"
+    );
+    // The strict PostGIS-like profile rejects g2 instead (the expected
+    // discrepancy that breaks differential testing for this bug).
+    let mut engine = stock(EngineProfile::PostgisLike);
+    engine.execute("SET @g2 = ST_GeomFromText('GEOMETRYCOLLECTION(POLYGON((614 445,30 26,80 30,614 445)),POLYGON((190 1010,40 90,90 40,190 1010)))');").unwrap();
+    engine.execute("SET @g1 = ST_GeomFromText('POLYGON((614 445,30 26,80 30,614 445))');").unwrap();
+    let err = engine.execute("SELECT ST_Overlaps(@g2, @g1);").unwrap_err();
+    assert!(matches!(err, SdbError::InvalidGeometry(_)));
+}
+
+#[test]
+fn listing5_distance_with_empty_element() {
+    let query = "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry, 'MULTIPOINT((-2 0),EMPTY)'::geometry);";
+    let mut engine = stock(EngineProfile::PostgisLike);
+    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Double(3.0)), "buggy");
+    let mut engine = patched(EngineProfile::PostgisLike);
+    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Double(2.0)), "correct");
+    // Without the EMPTY element both agree.
+    let query = "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry, 'POINT(-2 0)'::geometry);";
+    let mut engine = stock(EngineProfile::PostgisLike);
+    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Double(2.0)));
+}
+
+#[test]
+fn listing6_within_collection() {
+    let query = "SELECT ST_Within('POINT(0 0)'::geometry, 'GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))'::geometry);";
+    let mut engine = stock(EngineProfile::PostgisLike);
+    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(false)), "buggy");
+    let mut engine = patched(EngineProfile::PostgisLike);
+    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(true)), "correct");
+}
+
+#[test]
+fn listing7_prepared_geometry_misses_a_pair() {
+    let setup = "CREATE TABLE t (id int, geom geometry);
+        INSERT INTO t (id, geom) VALUES
+        (1,'GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))'::geometry),
+        (2,'GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))'::geometry),
+        (3,'MULTIPOLYGON(((0 0,5 0,0 5,0 0)))'::geometry);";
+    let query = "SELECT a1.id, a2.id FROM t As a1, t As a2 WHERE ST_Contains(a1.geom, a2.geom);";
+    let pairs = |engine: &mut Engine| -> Vec<(i64, i64)> {
+        engine
+            .execute(query)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect()
+    };
+    let mut engine = stock(EngineProfile::PostgisLike);
+    engine.execute_script(setup).unwrap();
+    assert_eq!(pairs(&mut engine), vec![(1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (3, 3)], "buggy");
+    let mut engine = patched(EngineProfile::PostgisLike);
+    engine.execute_script(setup).unwrap();
+    assert_eq!(
+        pairs(&mut engine),
+        vec![(1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (3, 2), (3, 3)],
+        "correct"
+    );
+}
+
+#[test]
+fn listing8_gist_index_and_empty_geometry() {
+    let setup = "CREATE TABLE t (id int, geom geometry);
+        INSERT INTO t (id, geom) VALUES (1, 'POINT EMPTY');
+        CREATE INDEX idx ON t USING GIST (geom);
+        SET enable_seqscan = false;";
+    let query = "SELECT COUNT(*) FROM t WHERE geom ~= 'POINT EMPTY'::geometry;";
+    // The stock profile also carries a crash fault on index builds over
+    // all-EMPTY columns, so the logic bug is isolated here the way the paper
+    // reports it (one bug per report).
+    let mut engine = spatter_repro::sdb::Engine::with_faults(
+        EngineProfile::PostgisLike,
+        spatter_repro::sdb::FaultSet::with([spatter_repro::sdb::FaultId::PostgisGistIndexDropsRows]),
+    );
+    engine.execute_script(setup).unwrap();
+    assert_eq!(engine.execute(query).unwrap().count(), Some(0), "buggy");
+    let mut engine = patched(EngineProfile::PostgisLike);
+    engine.execute_script(setup).unwrap();
+    assert_eq!(engine.execute(query).unwrap().count(), Some(1), "correct");
+}
+
+#[test]
+fn listing9_dfullywithin() {
+    let query = "SELECT ST_DFullyWithin('LINESTRING(0 0,0 1,1 0,0 0)'::geometry,'POLYGON((0 0,0 1,1 0,0 0))'::geometry,100);";
+    let mut engine = stock(EngineProfile::PostgisLike);
+    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(false)), "buggy");
+    let mut engine = patched(EngineProfile::PostgisLike);
+    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(true)), "correct");
+}
