@@ -1,54 +1,80 @@
-//! Criterion micro-benchmarks of the hot paths: DE-9IM relate, the
-//! geometry-aware generator and AEI database construction.
+//! Micro-benchmarks of the hot paths: DE-9IM relate, the geometry-aware
+//! generator and AEI database construction.
+//!
+//! Hermetic build environments have no crates.io mirror, so instead of
+//! criterion this uses a small manual harness: warm up, then report the mean
+//! over a fixed number of timed batches.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use spatter_core::generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
 use spatter_core::transform::{AffineStrategy, TransformPlan};
 use spatter_geom::wkt::parse_wkt;
 use spatter_topo::predicates::NamedPredicate;
 use spatter_topo::relate::relate;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_relate(c: &mut Criterion) {
+/// Times `f` over `batch` calls, repeated `repeats` times; prints the mean
+/// per-call latency of the fastest batch (criterion-style minimum-noise
+/// estimate).
+fn bench<T>(name: &str, batch: u32, repeats: u32, mut f: impl FnMut() -> T) {
+    // Warm-up.
+    for _ in 0..batch {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let per_call = start.elapsed().as_secs_f64() / batch as f64;
+        best = best.min(per_call);
+    }
+    println!("{name:<32} {:>12.3} µs/iter", best * 1e6);
+}
+
+fn bench_relate() {
     let polygon = parse_wkt("POLYGON((0 0,10 0,10 10,0 10,0 0),(4 4,6 4,6 6,4 6,4 4))").unwrap();
     let line = parse_wkt("LINESTRING(-5 5,15 5,15 20)").unwrap();
     let other = parse_wkt("POLYGON((5 5,15 5,15 15,5 15,5 5))").unwrap();
-    c.bench_function("relate_polygon_line", |b| {
-        b.iter(|| black_box(relate(black_box(&polygon), black_box(&line))))
+    bench("relate_polygon_line", 200, 20, || {
+        relate(black_box(&polygon), black_box(&line))
     });
-    c.bench_function("relate_polygon_polygon", |b| {
-        b.iter(|| black_box(relate(black_box(&polygon), black_box(&other))))
+    bench("relate_polygon_polygon", 200, 20, || {
+        relate(black_box(&polygon), black_box(&other))
     });
-    c.bench_function("predicate_intersects", |b| {
-        b.iter(|| black_box(NamedPredicate::Intersects.evaluate(black_box(&polygon), black_box(&other))))
-    });
-}
-
-fn bench_generator(c: &mut Criterion) {
-    c.bench_function("geometry_aware_generate_n50", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut generator = GeometryGenerator::new(
-                GeneratorConfig {
-                    num_geometries: 50,
-                    num_tables: 2,
-                    strategy: GenerationStrategy::GeometryAware,
-                    coordinate_range: 50,
-                    random_shape_probability: 0.5,
-                },
-                seed,
-            );
-            black_box(generator.generate_database())
-        })
-    });
-    c.bench_function("aei_transform_n50", |b| {
-        let mut generator = GeometryGenerator::new(GeneratorConfig::default(), 9);
-        let spec = generator.generate_database();
-        let plan = TransformPlan::random(AffineStrategy::GeneralInteger, 4);
-        b.iter(|| black_box(plan.apply(black_box(&spec))))
+    bench("predicate_intersects", 200, 20, || {
+        NamedPredicate::Intersects.evaluate(black_box(&polygon), black_box(&other))
     });
 }
 
-criterion_group!(benches, bench_relate, bench_generator);
-criterion_main!(benches);
+fn bench_generator() {
+    let mut seed = 0u64;
+    bench("geometry_aware_generate_n50", 50, 10, || {
+        seed += 1;
+        let mut generator = GeometryGenerator::new(
+            GeneratorConfig {
+                num_geometries: 50,
+                num_tables: 2,
+                strategy: GenerationStrategy::GeometryAware,
+                coordinate_range: 50,
+                random_shape_probability: 0.5,
+            },
+            seed,
+        );
+        generator.generate_database()
+    });
+
+    let mut generator = GeometryGenerator::new(GeneratorConfig::default(), 9);
+    let spec = generator.generate_database();
+    let plan = TransformPlan::random(AffineStrategy::GeneralInteger, 4);
+    bench("aei_transform_n50", 200, 20, || {
+        plan.apply(black_box(&spec))
+    });
+}
+
+fn main() {
+    println!("== Micro-benchmarks ==\n");
+    bench_relate();
+    bench_generator();
+}

@@ -1,0 +1,115 @@
+//! Scaling benchmark of the sharded campaign runner: iterations per second
+//! at 1/2/4/8 workers on the default campaign configuration, with findings
+//! determinism cross-checked between the single- and multi-worker runs.
+//!
+//! Emits `BENCH_parallel_campaign.json` in the workspace root so the perf
+//! trajectory of the runner is recorded per PR.
+
+use spatter_core::campaign::CampaignConfig;
+use spatter_core::runner::CampaignRunner;
+use std::time::Instant;
+
+struct Sample {
+    workers: usize,
+    iterations: usize,
+    seconds: f64,
+    iters_per_sec: f64,
+    findings: usize,
+    unique_bugs: usize,
+}
+
+fn bench_workers(workers: usize, iterations: usize) -> Sample {
+    let config = CampaignConfig {
+        iterations,
+        ..CampaignConfig::default()
+    };
+    let start = Instant::now();
+    let report = CampaignRunner::new(config).with_workers(workers).run();
+    let seconds = start.elapsed().as_secs_f64();
+    Sample {
+        workers,
+        iterations: report.iterations_run,
+        seconds,
+        iters_per_sec: report.iterations_run as f64 / seconds.max(f64::EPSILON),
+        findings: report.findings.len(),
+        unique_bugs: report.unique_bug_count(),
+    }
+}
+
+fn main() {
+    println!("== Parallel campaign scaling (default campaign config) ==\n");
+    let iterations = 64;
+    let widths = [8, 12, 10, 12, 10, 12];
+    spatter_bench::print_row(
+        &[
+            "workers",
+            "iterations",
+            "time (s)",
+            "iters/sec",
+            "findings",
+            "speedup",
+        ]
+        .map(String::from),
+        &widths,
+    );
+
+    let samples: Vec<Sample> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&w| bench_workers(w, iterations))
+        .collect();
+    let base = samples[0].iters_per_sec;
+
+    for sample in &samples {
+        spatter_bench::print_row(
+            &[
+                sample.workers.to_string(),
+                sample.iterations.to_string(),
+                format!("{:.3}", sample.seconds),
+                format!("{:.2}", sample.iters_per_sec),
+                sample.findings.to_string(),
+                format!("{:.2}x", sample.iters_per_sec / base.max(f64::EPSILON)),
+            ],
+            &widths,
+        );
+    }
+
+    // Determinism spot check: every worker count found exactly the same bugs.
+    let first = &samples[0];
+    for sample in &samples[1..] {
+        assert_eq!(
+            (sample.findings, sample.unique_bugs),
+            (first.findings, first.unique_bugs),
+            "findings diverged between 1 and {} workers",
+            sample.workers
+        );
+    }
+
+    let entries: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"workers\": {}, \"iterations\": {}, \"seconds\": {:.4}, \"iters_per_sec\": {:.3}, \"speedup\": {:.3}, \"findings\": {}, \"unique_bugs\": {}}}",
+                s.workers,
+                s.iterations,
+                s.seconds,
+                s.iters_per_sec,
+                s.iters_per_sec / base.max(f64::EPSILON),
+                s.findings,
+                s.unique_bugs
+            )
+        })
+        .collect();
+    // Speedup is bounded by the host: a 1-core CI container reports ~1.0x at
+    // every worker count even though the runner itself is contention-free.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_campaign\",\n  \"config\": \"CampaignConfig::default() x{iterations} iterations\",\n  \"host_available_parallelism\": {cores},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_parallel_campaign.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_parallel_campaign.json");
+    println!("\nwrote {path}");
+}

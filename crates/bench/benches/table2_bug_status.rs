@@ -20,7 +20,12 @@ fn main() {
         (EngineProfile::DuckdbSpatialLike, 4),
         (EngineProfile::SqlServerLike, 2),
     ] {
-        let report = run_campaign(default_campaign(profile, GenerationStrategy::GeometryAware, seconds, 11));
+        let report = run_campaign(default_campaign(
+            profile,
+            GenerationStrategy::GeometryAware,
+            seconds,
+            11,
+        ));
         detected.extend(report.unique_faults.iter().copied());
     }
     detected.sort();
@@ -35,8 +40,16 @@ fn main() {
     ];
     let widths = [16, 6, 10, 12, 10, 5, 19];
     spatter_bench::print_row(
-        &["SDBMS", "Fixed", "Confirmed", "Unconfirmed", "Duplicate", "Sum", "Detected by Spatter"]
-            .map(String::from),
+        &[
+            "SDBMS",
+            "Fixed",
+            "Confirmed",
+            "Unconfirmed",
+            "Duplicate",
+            "Sum",
+            "Detected by Spatter",
+        ]
+        .map(String::from),
         &widths,
     );
     let mut totals = [0usize; 5];
@@ -82,5 +95,7 @@ fn main() {
         ],
         &widths,
     );
-    println!("\nPaper reference row sums: Fixed 18, Confirmed 12, Unconfirmed 4, Duplicate 1, Sum 35.");
+    println!(
+        "\nPaper reference row sums: Fixed 18, Confirmed 12, Unconfirmed 4, Duplicate 1, Sum 35."
+    );
 }

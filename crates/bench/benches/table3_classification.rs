@@ -17,8 +17,15 @@ fn main() {
     ];
     let widths = [16, 12, 16, 12, 16, 5];
     spatter_bench::print_row(
-        &["SDBMS", "Logic fixed", "Logic confirmed", "Crash fixed", "Crash confirmed", "Sum"]
-            .map(String::from),
+        &[
+            "SDBMS",
+            "Logic fixed",
+            "Logic confirmed",
+            "Crash fixed",
+            "Crash confirmed",
+            "Sum",
+        ]
+        .map(String::from),
         &widths,
     );
     let mut grand = 0usize;
@@ -28,7 +35,10 @@ fn main() {
             .filter(|f| matches!(f.status, FaultStatus::Fixed | FaultStatus::Confirmed))
             .collect();
         let count = |kind: FaultKind, status: FaultStatus| {
-            confirmed.iter().filter(|f| f.kind == kind && f.status == status).count()
+            confirmed
+                .iter()
+                .filter(|f| f.kind == kind && f.status == status)
+                .count()
         };
         let sum = confirmed.len();
         grand += sum;

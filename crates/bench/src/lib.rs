@@ -193,20 +193,36 @@ pub fn baseline_detects(scenario: &TriggerScenario, oracle_name: &str) -> bool {
     let outcomes = match oracle_name {
         "pg_vs_mysql" => {
             if profile == EngineProfile::MysqlLike {
-                DifferentialOracle::against_stock(EngineProfile::PostgisLike)
-                    .check(profile, &faults, &scenario.spec, queries)
+                DifferentialOracle::against_stock(EngineProfile::PostgisLike).check(
+                    profile,
+                    &faults,
+                    &scenario.spec,
+                    queries,
+                )
             } else {
-                DifferentialOracle::against_stock(EngineProfile::MysqlLike)
-                    .check(profile, &faults, &scenario.spec, queries)
+                DifferentialOracle::against_stock(EngineProfile::MysqlLike).check(
+                    profile,
+                    &faults,
+                    &scenario.spec,
+                    queries,
+                )
             }
         }
         "pg_vs_duckdb" => {
             if profile == EngineProfile::DuckdbSpatialLike {
-                DifferentialOracle::against_stock(EngineProfile::PostgisLike)
-                    .check(profile, &faults, &scenario.spec, queries)
+                DifferentialOracle::against_stock(EngineProfile::PostgisLike).check(
+                    profile,
+                    &faults,
+                    &scenario.spec,
+                    queries,
+                )
             } else {
-                DifferentialOracle::against_stock(EngineProfile::DuckdbSpatialLike)
-                    .check(profile, &faults, &scenario.spec, queries)
+                DifferentialOracle::against_stock(EngineProfile::DuckdbSpatialLike).check(
+                    profile,
+                    &faults,
+                    &scenario.spec,
+                    queries,
+                )
             }
         }
         "index" => IndexOracle.check(profile, &faults, &scenario.spec, queries),
@@ -302,7 +318,11 @@ mod tests {
                     | FaultId::GeosPreparedDuplicateDropped
                     | FaultId::MysqlCrossesLargeCoordinates
             ) {
-                assert!(aei_detects(&scenario), "AEI must detect {:?}", scenario.fault);
+                assert!(
+                    aei_detects(&scenario),
+                    "AEI must detect {:?}",
+                    scenario.fault
+                );
             }
         }
     }

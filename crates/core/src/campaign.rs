@@ -9,15 +9,14 @@
 //! of the paper's fix-commit-based deduplication), and timing, coverage and
 //! the unique-bug timeline are tracked for Figures 7 and 8 and Table 5.
 
-use crate::generator::{GeneratorConfig, GeometryGenerator};
-use crate::oracles::{AeiOracle, Oracle, OracleOutcome};
-use crate::queries::{random_queries, QueryInstance};
+use crate::generator::GeneratorConfig;
+use crate::oracles::OracleOutcome;
+use crate::queries::QueryInstance;
 use crate::spec::DatabaseSpec;
 use crate::transform::{AffineStrategy, TransformPlan};
 use spatter_sdb::{Engine, EngineProfile, FaultId, FaultSet, SdbError};
-use spatter_topo::coverage;
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of one campaign run.
 #[derive(Debug, Clone)]
@@ -123,6 +122,12 @@ impl CampaignReport {
 }
 
 /// The campaign driver.
+///
+/// Since the introduction of the sharded [`crate::runner::CampaignRunner`]
+/// this type is a thin single-worker facade over it: `Campaign::new(c).run()`
+/// is exactly `CampaignRunner::new(c).run()` with `n_workers = 1`. All
+/// existing call sites and benches keep working; callers that want
+/// parallelism construct the runner directly.
 pub struct Campaign {
     config: CampaignConfig,
 }
@@ -138,98 +143,9 @@ impl Campaign {
         &self.config
     }
 
-    /// Runs the campaign.
+    /// Runs the campaign sequentially on the calling thread.
     pub fn run(&self) -> CampaignReport {
-        let start = Instant::now();
-        let faults = self
-            .config
-            .faults
-            .clone()
-            .unwrap_or_else(|| self.config.profile.default_faults());
-        let mut report = CampaignReport::default();
-
-        for iteration in 0..self.config.iterations {
-            if let Some(budget) = self.config.time_budget {
-                if start.elapsed() >= budget {
-                    break;
-                }
-            }
-            let iteration_seed = self
-                .config
-                .seed
-                .wrapping_mul(1_000_003)
-                .wrapping_add(iteration as u64);
-
-            // --- Generation (Spatter-side time) --------------------------
-            let generation_start = Instant::now();
-            let mut generator =
-                GeometryGenerator::new(self.config.generator.clone(), iteration_seed);
-            let spec = generator.generate_database();
-            let queries = random_queries(
-                &spec,
-                self.config.profile,
-                self.config.queries_per_run,
-                iteration_seed ^ 0x5eed,
-            );
-            let plan = TransformPlan::random(self.config.affine, iteration_seed ^ 0xaff1e);
-            report.generation_time += generation_start.elapsed();
-
-            // --- Execution + validation ----------------------------------
-            let (outcomes, engine_time) =
-                run_aei_iteration(self.config.profile, &faults, &spec, &queries, &plan);
-            report.engine_time += engine_time;
-
-            for (query, outcome) in queries.iter().zip(outcomes.iter()) {
-                let kind = match outcome {
-                    OracleOutcome::LogicBug { .. } => FindingKind::Logic,
-                    OracleOutcome::Crash { .. } => FindingKind::Crash,
-                    _ => continue,
-                };
-                let description = match outcome {
-                    OracleOutcome::LogicBug { description } => description.clone(),
-                    OracleOutcome::Crash { message } => message.clone(),
-                    _ => unreachable!("filtered above"),
-                };
-                let attributed = if self.config.attribute_findings {
-                    attribute(
-                        self.config.profile,
-                        &faults,
-                        &spec,
-                        query,
-                        &plan,
-                        kind,
-                    )
-                } else {
-                    Vec::new()
-                };
-                let elapsed = start.elapsed();
-                for fault in &attributed {
-                    if report.unique_faults.insert(*fault) {
-                        report
-                            .unique_bug_timeline
-                            .push((elapsed, report.unique_faults.len()));
-                    }
-                }
-                report.findings.push(Finding {
-                    kind,
-                    description,
-                    iteration,
-                    elapsed,
-                    attributed_faults: attributed,
-                });
-            }
-
-            let (topo_hit, topo_total, _) = coverage::topo_coverage();
-            let (sdb_hit, sdb_total, _) = spatter_sdb::coverage::sdb_coverage();
-            report.coverage_timeline.push((
-                start.elapsed(),
-                topo_hit as f64 / topo_total as f64,
-                sdb_hit as f64 / sdb_total as f64,
-            ));
-            report.iterations_run = iteration + 1;
-        }
-        report.total_time = start.elapsed();
-        report
+        crate::runner::CampaignRunner::new(self.config.clone()).run()
     }
 }
 
@@ -299,36 +215,6 @@ pub fn run_aei_iteration(
     engine_time += engine1.execution_stats().0;
     engine_time += engine2.execution_stats().0;
     (outcomes, engine_time)
-}
-
-/// Attributes a finding to the seeded fault(s) whose individual removal makes
-/// it disappear — the campaign's stand-in for the paper's fix-based
-/// deduplication ("we determined whether the bug was fixed by updating
-/// PostGIS and GEOS to their latest versions", §5.4).
-fn attribute(
-    profile: EngineProfile,
-    faults: &FaultSet,
-    spec: &DatabaseSpec,
-    query: &QueryInstance,
-    plan: &TransformPlan,
-    kind: FindingKind,
-) -> Vec<FaultId> {
-    let oracle = AeiOracle::new(plan.clone());
-    let queries = std::slice::from_ref(query);
-    let mut attributed = Vec::new();
-    for fault in faults.iter() {
-        let mut reduced = faults.clone();
-        reduced.disable(fault);
-        let outcomes = oracle.check(profile, &reduced, spec, queries);
-        let still_failing = outcomes.iter().any(|o| match kind {
-            FindingKind::Logic => o.is_logic_bug(),
-            FindingKind::Crash => o.is_crash(),
-        });
-        if !still_failing {
-            attributed.push(fault);
-        }
-    }
-    attributed
 }
 
 #[cfg(test)]

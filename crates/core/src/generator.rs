@@ -17,10 +17,10 @@
 //! geometries (centroids, intersections of derived shapes, …), which is what
 //! exercises the precision-sensitive engine paths.
 
+use crate::rng::seq::IndexedRandom;
+use crate::rng::StdRng;
+use crate::rng::{RngExt, SeedableRng};
 use crate::spec::DatabaseSpec;
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::{RngExt, SeedableRng};
 use spatter_geom::{
     Coord, Geometry, GeometryCollection, GeometryType, LineString, MultiLineString, MultiPoint,
     MultiPolygon, Point, Polygon,
@@ -212,8 +212,12 @@ impl GeometryGenerator {
         // closed at the syntax level; larger shapes are produced by the
         // derivative strategy (convex hulls, envelopes, …).
         let origin = self.random_coord();
-        let w = self.rng.random_range(1..=self.config.coordinate_range.max(2)) as f64;
-        let h = self.rng.random_range(1..=self.config.coordinate_range.max(2)) as f64;
+        let w = self
+            .rng
+            .random_range(1..=self.config.coordinate_range.max(2)) as f64;
+        let h = self
+            .rng
+            .random_range(1..=self.config.coordinate_range.max(2)) as f64;
         let coords = if self.rng.random_bool(0.5) {
             vec![
                 origin,
@@ -379,7 +383,11 @@ mod tests {
             42,
         );
         let spec = generator.generate_database();
-        let all: Vec<&Geometry> = spec.tables.iter().flat_map(|t| t.geometries.iter()).collect();
+        let all: Vec<&Geometry> = spec
+            .tables
+            .iter()
+            .flat_map(|t| t.geometries.iter())
+            .collect();
         assert_eq!(all.len(), 200);
         // The derivative strategy produces at least some EMPTY geometries
         // (failed derivations) and some collections.

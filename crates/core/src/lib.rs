@@ -33,13 +33,16 @@ pub mod generator;
 pub mod oracles;
 pub mod queries;
 pub mod reducer;
+pub mod rng;
+pub mod runner;
 pub mod scenarios;
 pub mod spec;
 pub mod transform;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, Finding, FindingKind};
 pub use generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
 pub use oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle};
 pub use queries::QueryInstance;
+pub use runner::{CampaignRunner, OracleKind, ShardReport};
 pub use spec::{DatabaseSpec, TableSpec};
 pub use transform::{AffineStrategy, TransformPlan};

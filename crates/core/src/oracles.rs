@@ -47,7 +47,10 @@ impl OracleOutcome {
 }
 
 /// A test oracle.
-pub trait Oracle {
+///
+/// Object-safe, and bounded `Send + Sync` so a boxed oracle suite can be
+/// instantiated and run on any worker shard of the parallel campaign runner.
+pub trait Oracle: Send + Sync {
     /// The oracle's display name (used in the Table 4 harness).
     fn name(&self) -> &'static str;
 
@@ -218,12 +221,9 @@ impl Oracle for DifferentialOracle {
                     Ok(c) => c,
                     Err(outcome) => return outcome,
                 };
-                let count2 = match run_count(&mut engine2, &sql) {
-                    Ok(c) => c,
-                    // Crashes of the *comparison* engine are not findings
-                    // about the engine under test.
-                    Err(_) => None,
-                };
+                // Crashes of the *comparison* engine are not findings about
+                // the engine under test.
+                let count2 = run_count(&mut engine2, &sql).unwrap_or_default();
                 match (count1, count2) {
                     (Some(a), Some(b)) if a != b => OracleOutcome::LogicBug {
                         description: format!(
@@ -409,7 +409,10 @@ mod tests {
                 .iter()
                 .any(|o| o.is_logic_bug())
         });
-        assert!(detected, "no affine-equivalent input exposed the Listing 1 bug");
+        assert!(
+            detected,
+            "no affine-equivalent input exposed the Listing 1 bug"
+        );
     }
 
     #[test]
@@ -418,8 +421,12 @@ mod tests {
         for seed in 0..5 {
             let oracle =
                 AeiOracle::new(TransformPlan::random(AffineStrategy::GeneralInteger, seed));
-            let outcomes =
-                oracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &queries);
+            let outcomes = oracle.check(
+                EngineProfile::PostgisLike,
+                &FaultSet::none(),
+                &spec,
+                &queries,
+            );
             assert_eq!(outcomes[0], OracleOutcome::Pass, "seed {seed}");
         }
     }
@@ -477,14 +484,24 @@ mod tests {
         let outcomes = IndexOracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
         assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
         // The reference engine agrees between the two plans.
-        let outcomes = IndexOracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &queries);
+        let outcomes = IndexOracle.check(
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+        );
         assert_eq!(outcomes[0], OracleOutcome::Pass);
     }
 
     #[test]
     fn tlp_passes_on_reference_and_misses_the_covers_bug() {
         let (spec, queries) = listing1_scenario();
-        let outcomes = TlpOracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &queries);
+        let outcomes = TlpOracle.check(
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+        );
         assert_eq!(outcomes[0], OracleOutcome::Pass);
         // The covers bug is consistent between the partitions, so TLP cannot
         // see it — the situation described in §1.

@@ -13,10 +13,10 @@
 //! profiles, reproducing the situations where differential testing is
 //! inapplicable).
 
+use crate::rng::seq::IndexedRandom;
+use crate::rng::StdRng;
+use crate::rng::{RngExt, SeedableRng};
 use crate::spec::DatabaseSpec;
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::{RngExt, SeedableRng};
 use spatter_sdb::EngineProfile;
 use spatter_topo::predicates::NamedPredicate;
 
@@ -142,8 +142,14 @@ mod tests {
             assert!(spec.table_names().contains(&q.table2.as_str()));
         }
         // Deterministic per seed.
-        assert_eq!(queries, random_queries(&spec, EngineProfile::PostgisLike, 50, 1));
-        assert_ne!(queries, random_queries(&spec, EngineProfile::PostgisLike, 50, 2));
+        assert_eq!(
+            queries,
+            random_queries(&spec, EngineProfile::PostgisLike, 50, 1)
+        );
+        assert_ne!(
+            queries,
+            random_queries(&spec, EngineProfile::PostgisLike, 50, 2)
+        );
     }
 
     #[test]
@@ -152,6 +158,7 @@ mod tests {
         let queries = random_queries(&spec, EngineProfile::MysqlLike, 100, 3);
         assert!(queries
             .iter()
-            .all(|q| q.predicate != NamedPredicate::Covers && q.predicate != NamedPredicate::CoveredBy));
+            .all(|q| q.predicate != NamedPredicate::Covers
+                && q.predicate != NamedPredicate::CoveredBy));
     }
 }

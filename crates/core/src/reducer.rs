@@ -36,7 +36,12 @@ fn still_fails(
     oracle
         .check(profile, faults, spec, std::slice::from_ref(query))
         .iter()
-        .any(|o| matches!(o, OracleOutcome::LogicBug { .. } | OracleOutcome::Crash { .. }))
+        .any(|o| {
+            matches!(
+                o,
+                OracleOutcome::LogicBug { .. } | OracleOutcome::Crash { .. }
+            )
+        })
 }
 
 /// Reduces a failing scenario to (close to) a minimal one.
@@ -95,15 +100,21 @@ mod tests {
         // collection is stored line-first, so element reordering during
         // canonicalization flips the "last one wins" faulty answer.
         let mut spec = DatabaseSpec::with_tables(2);
-        spec.tables[0].geometries.push(parse_wkt("POINT(0 0)").unwrap());
-        spec.tables[0].geometries.push(parse_wkt("POINT(50 50)").unwrap());
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(0 0)").unwrap());
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(50 50)").unwrap());
         spec.tables[0]
             .geometries
             .push(parse_wkt("LINESTRING(30 30,40 40)").unwrap());
         spec.tables[1]
             .geometries
             .push(parse_wkt("GEOMETRYCOLLECTION(LINESTRING(0 0,1 0),POINT(0 0))").unwrap());
-        spec.tables[1].geometries.push(parse_wkt("POINT(60 60)").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("POINT(60 60)").unwrap());
         let query = QueryInstance {
             table1: "t1".into(),
             table2: "t0".into(),
@@ -113,7 +124,12 @@ mod tests {
         let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
 
         let original_fails = oracle
-            .check(EngineProfile::PostgisLike, &faults, &spec, &[query.clone()])
+            .check(
+                EngineProfile::PostgisLike,
+                &faults,
+                &spec,
+                std::slice::from_ref(&query),
+            )
             .iter()
             .any(|o| o.is_logic_bug());
         assert!(original_fails, "scenario must fail before reduction");

@@ -1,0 +1,191 @@
+//! A small, self-contained deterministic PRNG.
+//!
+//! The workspace builds in hermetic environments without a crates.io mirror,
+//! so the tester cannot depend on the `rand` crate. This module provides the
+//! subset of its API that the generator, query instantiation and transform
+//! sampling use — [`StdRng`], [`SeedableRng`], [`RngExt::random_range`],
+//! [`RngExt::random_bool`] and slice [`seq::IndexedRandom::choose`] — backed
+//! by SplitMix64. Determinism per seed is a hard requirement (sub-seeds
+//! derived per campaign iteration must replay identically on any worker of
+//! the sharded runner), and SplitMix64 is stable across platforms.
+
+/// The default pseudo-random generator: SplitMix64.
+///
+/// Not cryptographically secure; statistically solid for test-case
+/// generation (passes BigCrush) and two words of state.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+/// Seeding, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// Derives an independent sub-seed from a base seed and a stream index.
+///
+/// Used by the campaign runner to give every iteration its own generator
+/// stream: the result depends only on `(seed, stream)`, never on which
+/// worker thread executes the iteration.
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    // Two SplitMix64 steps over the combined words; the golden-ratio odd
+    // constant decorrelates consecutive stream indices.
+    let mut rng = StdRng::seed_from_u64(seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    rng.next_u64() ^ rng.next_u64().rotate_left(17)
+}
+
+/// Sampling helpers, mirroring the subset of `rand::Rng` the tester uses.
+pub trait RngExt {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open or inclusive integer range).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl RngExt for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A range that can be sampled uniformly, producing values of type `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample<R: RngExt>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngExt>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngExt>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i32, i64, u32, u64, usize);
+
+/// Slice sampling, mirroring `rand::seq::IndexedRandom`.
+pub mod seq {
+    use super::{RngExt, StdRng};
+
+    /// Random element selection from slices.
+    pub trait IndexedRandom<T> {
+        /// A uniformly chosen element, or `None` for an empty slice.
+        fn choose(&self, rng: &mut StdRng) -> Option<&T>;
+    }
+
+    impl<T> IndexedRandom<T> for [T] {
+        fn choose(&self, rng: &mut StdRng) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.next_u64() as usize % self.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::IndexedRandom;
+    use super::*;
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.random_range(-3..=3);
+            assert!((-3..=3).contains(&v));
+            let u: usize = rng.random_range(0..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn all_range_values_are_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v: i64 = rng.random_range(-3..=3);
+            seen[(v + 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_covers_the_slice_and_handles_empty() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*items.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn split_seed_depends_on_both_inputs() {
+        assert_eq!(split_seed(1, 2), split_seed(1, 2));
+        assert_ne!(split_seed(1, 2), split_seed(1, 3));
+        assert_ne!(split_seed(1, 2), split_seed(2, 2));
+    }
+}

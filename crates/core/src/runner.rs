@@ -1,0 +1,528 @@
+//! The sharded, multi-worker campaign runner.
+//!
+//! The paper's testing campaigns are throughput-bound (§5.1, Figure 7):
+//! Spatter finds bugs by running as many AEI iterations as the wall clock
+//! allows. Iterations are mutually independent — each one generates its own
+//! database, queries and transformation plan from a per-iteration sub-seed —
+//! so the runner partitions them across `n_workers` OS threads, each worker
+//! owning its own [`spatter_sdb::Engine`] instances, and merges the
+//! per-worker [`ShardReport`]s into one [`CampaignReport`] afterwards.
+//!
+//! # Determinism
+//!
+//! Every iteration derives its generator, query and transform seeds from
+//! [`crate::rng::split_seed`]`(config.seed, iteration)` — a pure function of
+//! the campaign seed and the iteration index. Which worker executes an
+//! iteration therefore never affects what that iteration does, and the merge
+//! step orders iteration records by index, so the findings, their
+//! attribution and the unique-fault set of a report are identical for any
+//! worker count (asserted by `identical_findings_for_any_worker_count`
+//! below). Only wall-clock fields (`elapsed`, timelines, timing totals)
+//! depend on scheduling.
+
+use crate::campaign::{run_aei_iteration, CampaignConfig, CampaignReport, Finding, FindingKind};
+use crate::generator::GeometryGenerator;
+use crate::oracles::{
+    AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle,
+};
+use crate::queries::{random_queries, QueryInstance};
+use crate::rng::split_seed;
+use crate::spec::DatabaseSpec;
+use crate::transform::TransformPlan;
+use spatter_sdb::{EngineProfile, FaultId, FaultSet};
+use spatter_topo::coverage;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// The oracles a campaign can run per iteration, in addition to — or instead
+/// of — the paper's AEI oracle (Table 4's compared methodologies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Affine Equivalent Inputs (the paper's contribution; the default).
+    Aei,
+    /// Differential testing against a stock engine of another profile.
+    Differential(EngineProfile),
+    /// Sequential scan vs index scan on the same engine.
+    Index,
+    /// Ternary Logic Partitioning over the join-count template.
+    Tlp,
+}
+
+impl OracleKind {
+    /// Display name used when labelling findings of non-AEI oracles.
+    fn name(&self) -> &'static str {
+        match self {
+            OracleKind::Aei => "AEI",
+            OracleKind::Differential(_) => "Differential",
+            OracleKind::Index => "Index",
+            OracleKind::Tlp => "TLP",
+        }
+    }
+}
+
+/// Everything one iteration produced. Wall-clock fields are measured on the
+/// executing worker; all other fields are pure functions of the sub-seed.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// The iteration index within the campaign.
+    pub iteration: usize,
+    /// Findings of this iteration, in oracle-suite then query order.
+    pub findings: Vec<Finding>,
+    /// Time spent generating the database, queries and plan.
+    pub generation_time: Duration,
+    /// Time spent executing statements inside engines.
+    pub engine_time: Duration,
+    /// `(elapsed, topo fraction, engine fraction)` coverage snapshot taken
+    /// when the iteration finished.
+    pub coverage: (Duration, f64, f64),
+}
+
+/// The mergeable per-worker slice of a campaign: the iteration records one
+/// worker executed, in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Records of the iterations this shard ran.
+    pub records: Vec<IterationRecord>,
+}
+
+impl ShardReport {
+    /// Merges shard reports into an aggregate report. Records are ordered by
+    /// iteration index first, so the merged findings and unique-fault
+    /// attribution are independent of how iterations were scheduled. The two
+    /// timelines are then re-sorted along their wall-clock axis: with
+    /// multiple workers, iteration order and completion-time order diverge
+    /// (worker A can finish iteration 10 before worker B finishes iteration
+    /// 2), and a bugs-over-time curve must not run backwards in time.
+    pub fn merge(shards: Vec<ShardReport>, total_time: Duration) -> CampaignReport {
+        let mut records: Vec<IterationRecord> =
+            shards.into_iter().flat_map(|s| s.records).collect();
+        records.sort_by_key(|r| r.iteration);
+
+        let mut report = CampaignReport {
+            total_time,
+            ..CampaignReport::default()
+        };
+        let mut new_fault_times = Vec::new();
+        for record in records {
+            report.generation_time += record.generation_time;
+            report.engine_time += record.engine_time;
+            for finding in record.findings {
+                for fault in &finding.attributed_faults {
+                    if report.unique_faults.insert(*fault) {
+                        new_fault_times.push(finding.elapsed);
+                    }
+                }
+                report.findings.push(finding);
+            }
+            report.coverage_timeline.push(record.coverage);
+            report.iterations_run += 1;
+        }
+        new_fault_times.sort_unstable();
+        report.unique_bug_timeline = new_fault_times
+            .into_iter()
+            .enumerate()
+            .map(|(i, elapsed)| (elapsed, i + 1))
+            .collect();
+        report
+            .coverage_timeline
+            .sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        report
+    }
+}
+
+/// The sharded campaign runner. [`crate::campaign::Campaign`] is the
+/// single-worker facade over this type.
+pub struct CampaignRunner {
+    config: CampaignConfig,
+    n_workers: usize,
+    oracles: Vec<OracleKind>,
+}
+
+impl CampaignRunner {
+    /// Creates a runner with one worker and the AEI oracle suite.
+    pub fn new(config: CampaignConfig) -> Self {
+        CampaignRunner {
+            config,
+            n_workers: 1,
+            oracles: vec![OracleKind::Aei],
+        }
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).
+    pub fn with_workers(mut self, n_workers: usize) -> Self {
+        self.n_workers = n_workers.max(1);
+        self
+    }
+
+    /// Replaces the oracle suite run on every iteration.
+    pub fn with_oracles(mut self, oracles: Vec<OracleKind>) -> Self {
+        assert!(!oracles.is_empty(), "oracle suite cannot be empty");
+        self.oracles = oracles;
+        self
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The configured worker count.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Runs the campaign and merges the shards into an aggregate report.
+    pub fn run(&self) -> CampaignReport {
+        let start = Instant::now();
+        let shards = self.run_sharded(start);
+        ShardReport::merge(shards, start.elapsed())
+    }
+
+    /// Runs the campaign, returning the raw per-worker shard reports.
+    fn run_sharded(&self, start: Instant) -> Vec<ShardReport> {
+        let faults = self
+            .config
+            .faults
+            .clone()
+            .unwrap_or_else(|| self.config.profile.default_faults());
+        let next_iteration = AtomicUsize::new(0);
+
+        if self.n_workers == 1 {
+            return vec![self.worker(start, &faults, &next_iteration)];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.n_workers)
+                .map(|_| scope.spawn(|| self.worker(start, &faults, &next_iteration)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        })
+    }
+
+    /// One worker: claims iteration indices from the shared counter until
+    /// the campaign is exhausted or the time budget is spent.
+    fn worker(
+        &self,
+        start: Instant,
+        faults: &FaultSet,
+        next_iteration: &AtomicUsize,
+    ) -> ShardReport {
+        let mut shard = ShardReport::default();
+        loop {
+            if let Some(budget) = self.config.time_budget {
+                if start.elapsed() >= budget {
+                    break;
+                }
+            }
+            let iteration = next_iteration.fetch_add(1, Ordering::Relaxed);
+            if iteration >= self.config.iterations {
+                break;
+            }
+            shard
+                .records
+                .push(self.run_iteration(iteration, start, faults));
+        }
+        shard
+    }
+
+    /// Executes one iteration end to end: generation, the oracle suite, and
+    /// attribution of every flagged query.
+    fn run_iteration(
+        &self,
+        iteration: usize,
+        start: Instant,
+        faults: &FaultSet,
+    ) -> IterationRecord {
+        let sub_seed = split_seed(self.config.seed, iteration as u64);
+
+        // --- Generation (Spatter-side time) ------------------------------
+        let generation_start = Instant::now();
+        let mut generator = GeometryGenerator::new(self.config.generator.clone(), sub_seed);
+        let spec = generator.generate_database();
+        let queries = random_queries(
+            &spec,
+            self.config.profile,
+            self.config.queries_per_run,
+            sub_seed ^ 0x5eed,
+        );
+        let plan = TransformPlan::random(self.config.affine, sub_seed ^ 0xaff1e);
+        let generation_time = generation_start.elapsed();
+
+        // --- Execution + validation --------------------------------------
+        let mut engine_time = Duration::ZERO;
+        let mut findings = Vec::new();
+        for kind in &self.oracles {
+            let (outcomes, oracle_time) = self.run_oracle(*kind, faults, &spec, &queries, &plan);
+            engine_time += oracle_time;
+            for (query, outcome) in queries.iter().zip(outcomes.iter()) {
+                let finding_kind = match outcome {
+                    OracleOutcome::LogicBug { .. } => FindingKind::Logic,
+                    OracleOutcome::Crash { .. } => FindingKind::Crash,
+                    _ => continue,
+                };
+                let description = match outcome {
+                    OracleOutcome::LogicBug { description } => description.clone(),
+                    OracleOutcome::Crash { message } => message.clone(),
+                    _ => unreachable!("filtered above"),
+                };
+                // AEI findings keep their historical unprefixed descriptions;
+                // suite findings say which oracle produced them.
+                let description = match kind {
+                    OracleKind::Aei => description,
+                    other => format!("[{}] {description}", other.name()),
+                };
+                let attributed = if self.config.attribute_findings {
+                    attribute(
+                        *kind,
+                        self.config.profile,
+                        faults,
+                        &spec,
+                        query,
+                        &plan,
+                        finding_kind,
+                    )
+                } else {
+                    Vec::new()
+                };
+                findings.push(Finding {
+                    kind: finding_kind,
+                    description,
+                    iteration,
+                    elapsed: start.elapsed(),
+                    attributed_faults: attributed,
+                });
+            }
+        }
+
+        let (topo_hit, topo_total, _) = coverage::topo_coverage();
+        let (sdb_hit, sdb_total, _) = spatter_sdb::coverage::sdb_coverage();
+        IterationRecord {
+            iteration,
+            findings,
+            generation_time,
+            engine_time,
+            coverage: (
+                start.elapsed(),
+                topo_hit as f64 / topo_total as f64,
+                sdb_hit as f64 / sdb_total as f64,
+            ),
+        }
+    }
+
+    /// Runs one oracle of the suite over the scenario, returning outcomes
+    /// plus the time spent in engines. The AEI path reports exact in-engine
+    /// time; the baseline oracles report the wall time of their check.
+    fn run_oracle(
+        &self,
+        kind: OracleKind,
+        faults: &FaultSet,
+        spec: &DatabaseSpec,
+        queries: &[QueryInstance],
+        plan: &TransformPlan,
+    ) -> (Vec<OracleOutcome>, Duration) {
+        match kind {
+            OracleKind::Aei => run_aei_iteration(self.config.profile, faults, spec, queries, plan),
+            other => {
+                let oracle = build_oracle(other, plan);
+                let check_start = Instant::now();
+                let outcomes = oracle.check(self.config.profile, faults, spec, queries);
+                (outcomes, check_start.elapsed())
+            }
+        }
+    }
+}
+
+/// Instantiates the oracle for a suite entry. The AEI oracle is bound to the
+/// iteration's transformation plan; the baselines are stateless.
+fn build_oracle(kind: OracleKind, plan: &TransformPlan) -> Box<dyn Oracle> {
+    match kind {
+        OracleKind::Aei => Box::new(AeiOracle::new(plan.clone())),
+        OracleKind::Differential(profile) => Box::new(DifferentialOracle::against_stock(profile)),
+        OracleKind::Index => Box::new(IndexOracle),
+        OracleKind::Tlp => Box::new(TlpOracle),
+    }
+}
+
+/// Attributes a finding to the seeded fault(s) whose individual removal makes
+/// it disappear — the campaign's stand-in for the paper's fix-based
+/// deduplication ("we determined whether the bug was fixed by updating
+/// PostGIS and GEOS to their latest versions", §5.4). The finding is
+/// re-checked with the oracle that produced it.
+#[allow(clippy::too_many_arguments)]
+fn attribute(
+    oracle_kind: OracleKind,
+    profile: EngineProfile,
+    faults: &FaultSet,
+    spec: &DatabaseSpec,
+    query: &QueryInstance,
+    plan: &TransformPlan,
+    kind: FindingKind,
+) -> Vec<FaultId> {
+    let oracle = build_oracle(oracle_kind, plan);
+    let queries = std::slice::from_ref(query);
+    let mut attributed = Vec::new();
+    for fault in faults.iter() {
+        let mut reduced = faults.clone();
+        reduced.disable(fault);
+        let outcomes = oracle.check(profile, &reduced, spec, queries);
+        let still_failing = outcomes.iter().any(|o| match kind {
+            FindingKind::Logic => o.is_logic_bug(),
+            FindingKind::Crash => o.is_crash(),
+        });
+        if !still_failing {
+            attributed.push(fault);
+        }
+    }
+    attributed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GenerationStrategy, GeneratorConfig};
+    use crate::transform::AffineStrategy;
+
+    fn config(seed: u64, iterations: usize) -> CampaignConfig {
+        CampaignConfig {
+            profile: EngineProfile::PostgisLike,
+            faults: None,
+            generator: GeneratorConfig {
+                num_geometries: 8,
+                num_tables: 2,
+                strategy: GenerationStrategy::GeometryAware,
+                coordinate_range: 30,
+                random_shape_probability: 0.5,
+            },
+            queries_per_run: 10,
+            affine: AffineStrategy::GeneralInteger,
+            iterations,
+            time_budget: None,
+            attribute_findings: true,
+            seed,
+        }
+    }
+
+    /// The seed-independent projection of a report that must be identical
+    /// across worker counts.
+    fn fingerprint(report: &CampaignReport) -> Vec<(FindingKind, String, usize, Vec<FaultId>)> {
+        report
+            .findings
+            .iter()
+            .map(|f| {
+                (
+                    f.kind,
+                    f.description.clone(),
+                    f.iteration,
+                    f.attributed_faults.clone(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_findings_for_any_worker_count() {
+        let baseline = CampaignRunner::new(config(3, 12)).run();
+        assert!(
+            !baseline.findings.is_empty(),
+            "seed 3 should produce findings on the stock engine"
+        );
+        for n_workers in [2, 4] {
+            let parallel = CampaignRunner::new(config(3, 12))
+                .with_workers(n_workers)
+                .run();
+            assert_eq!(parallel.iterations_run, baseline.iterations_run);
+            assert_eq!(
+                fingerprint(&parallel),
+                fingerprint(&baseline),
+                "{n_workers} workers"
+            );
+            assert_eq!(
+                parallel.unique_faults, baseline.unique_faults,
+                "{n_workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn facade_and_runner_agree() {
+        let via_campaign = crate::campaign::Campaign::new(config(7, 6)).run();
+        let via_runner = CampaignRunner::new(config(7, 6)).run();
+        assert_eq!(fingerprint(&via_campaign), fingerprint(&via_runner));
+    }
+
+    #[test]
+    fn merge_orders_records_by_iteration() {
+        let record = |iteration: usize| IterationRecord {
+            iteration,
+            findings: Vec::new(),
+            generation_time: Duration::from_millis(1),
+            engine_time: Duration::from_millis(2),
+            coverage: (Duration::ZERO, 0.0, 0.0),
+        };
+        let shards = vec![
+            ShardReport {
+                records: vec![record(3), record(0)],
+            },
+            ShardReport {
+                records: vec![record(2), record(1)],
+            },
+        ];
+        let report = ShardReport::merge(shards, Duration::from_secs(1));
+        assert_eq!(report.iterations_run, 4);
+        assert_eq!(report.generation_time, Duration::from_millis(4));
+        assert_eq!(report.engine_time, Duration::from_millis(8));
+        assert_eq!(report.coverage_timeline.len(), 4);
+    }
+
+    #[test]
+    fn oracle_suite_runs_baselines_per_shard() {
+        let mut cfg = config(11, 4);
+        cfg.attribute_findings = false;
+        let report = CampaignRunner::new(cfg)
+            .with_workers(2)
+            .with_oracles(vec![
+                OracleKind::Aei,
+                OracleKind::Index,
+                OracleKind::Tlp,
+                OracleKind::Differential(EngineProfile::MysqlLike),
+            ])
+            .run();
+        assert_eq!(report.iterations_run, 4);
+    }
+
+    #[test]
+    fn oracle_trait_objects_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn Oracle>();
+        assert_send_sync::<spatter_sdb::Engine>();
+        assert_send_sync::<spatter_index::RTree<usize>>();
+    }
+
+    #[test]
+    fn merged_timelines_are_monotonic_under_parallelism() {
+        let report = CampaignRunner::new(config(3, 12)).with_workers(4).run();
+        assert!(!report.unique_bug_timeline.is_empty());
+        let counts: Vec<usize> = report.unique_bug_timeline.iter().map(|(_, c)| *c).collect();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        let times: Vec<Duration> = report.unique_bug_timeline.iter().map(|(t, _)| *t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let coverage_times: Vec<Duration> = report
+            .coverage_timeline
+            .iter()
+            .map(|(t, _, _)| *t)
+            .collect();
+        assert!(coverage_times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn time_budget_is_honoured_across_workers() {
+        let mut cfg = config(1, usize::MAX / 2);
+        cfg.time_budget = Some(Duration::from_millis(60));
+        cfg.attribute_findings = false;
+        let report = CampaignRunner::new(cfg).with_workers(4).run();
+        assert!(report.iterations_run > 0);
+        assert!(report.iterations_run < usize::MAX / 2);
+    }
+}

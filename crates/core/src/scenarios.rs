@@ -210,7 +210,9 @@ pub fn confirmed_logic_scenarios() -> Vec<TriggerScenario> {
 
 /// The scenario for a specific fault, if one exists in the library.
 pub fn scenario_for(fault: FaultId) -> Option<TriggerScenario> {
-    confirmed_logic_scenarios().into_iter().find(|s| s.fault == fault)
+    confirmed_logic_scenarios()
+        .into_iter()
+        .find(|s| s.fault == fault)
 }
 
 #[cfg(test)]

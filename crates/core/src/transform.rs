@@ -8,9 +8,9 @@
 //!    itself is exact and any observed discrepancy is attributable to the
 //!    engine (§4.2, "Avoiding precision issues").
 
+use crate::rng::StdRng;
+use crate::rng::{RngExt, SeedableRng};
 use crate::spec::DatabaseSpec;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use spatter_geom::canonical::canonicalize;
 use spatter_geom::{AffineMatrix, AffineTransform, Geometry};
 
@@ -134,7 +134,10 @@ mod tests {
     fn canonicalization_only_plan_reproduces_figure6() {
         let plan = TransformPlan::canonicalization_only();
         let g = parse_wkt("MULTILINESTRING((0 2,1 0,3 1,3 1,5 0),EMPTY)").unwrap();
-        assert_eq!(write_wkt(&plan.apply_geometry(&g)), "LINESTRING(0 2,1 0,3 1,5 0)");
+        assert_eq!(
+            write_wkt(&plan.apply_geometry(&g)),
+            "LINESTRING(0 2,1 0,3 1,5 0)"
+        );
         assert_eq!(plan.scale_distance(7.0), Some(7.0));
     }
 
@@ -152,7 +155,10 @@ mod tests {
     fn similarity_plans_preserve_relative_distance() {
         for seed in 0..20 {
             let plan = TransformPlan::random(AffineStrategy::SimilarityInteger, seed);
-            assert!(plan.transform.matrix().preserves_relative_distance(), "seed {seed}");
+            assert!(
+                plan.transform.matrix().preserves_relative_distance(),
+                "seed {seed}"
+            );
             assert!(plan.uniform_scale.is_some());
         }
     }
@@ -172,7 +178,10 @@ mod tests {
         let pairs = [
             ("LINESTRING(0 1,2 0)", "POINT(1 0.5)"),
             ("POLYGON((0 0,4 0,4 4,0 4,0 0))", "LINESTRING(-1 2,5 2)"),
-            ("POLYGON((0 0,4 0,4 4,0 4,0 0))", "POLYGON((2 2,6 2,6 6,2 6,2 2))"),
+            (
+                "POLYGON((0 0,4 0,4 4,0 4,0 0))",
+                "POLYGON((2 2,6 2,6 6,2 6,2 2))",
+            ),
             ("MULTIPOINT((1 1),(5 5))", "POLYGON((0 0,4 0,4 4,0 4,0 0))"),
         ];
         for seed in 0..10u64 {
@@ -198,7 +207,9 @@ mod tests {
     fn apply_preserves_table_structure() {
         use crate::spec::DatabaseSpec;
         let mut spec = DatabaseSpec::with_tables(2);
-        spec.tables[1].geometries.push(parse_wkt("POINT(1 1)").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("POINT(1 1)").unwrap());
         let plan = TransformPlan::random(AffineStrategy::GeneralInteger, 3);
         let transformed = plan.apply(&spec);
         assert_eq!(transformed.tables.len(), 2);

@@ -11,12 +11,11 @@
 use crate::coord::Coord;
 use crate::error::{GeomError, GeomResult};
 use crate::geometry::Geometry;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 2D affine transformation stored as the six coefficients of
 /// `x' = a·x + b·y + tx`, `y' = c·x + d·y + ty`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AffineMatrix {
     /// Coefficient of `x` in `x'`.
     pub a: f64,
@@ -205,7 +204,7 @@ impl fmt::Display for AffineMatrix {
 
 /// An affine transformation that can be applied to whole geometries
 /// (Algorithm 2's `Construct`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AffineTransform {
     matrix: AffineMatrix,
 }
@@ -284,7 +283,10 @@ mod tests {
         let r2 = AffineMatrix::rotation_quarter(2);
         assert_eq!(r2.apply(Coord::new(1.0, 2.0)), Coord::new(-1.0, -2.0));
         assert_eq!(AffineMatrix::rotation_quarter(4), AffineMatrix::identity());
-        assert_eq!(AffineMatrix::rotation_quarter(-1), AffineMatrix::rotation_quarter(3));
+        assert_eq!(
+            AffineMatrix::rotation_quarter(-1),
+            AffineMatrix::rotation_quarter(3)
+        );
     }
 
     #[test]
@@ -330,8 +332,10 @@ mod tests {
 
     #[test]
     fn apply_to_geometry_preserves_structure() {
-        let g = parse_wkt("GEOMETRYCOLLECTION(POINT(1 1),LINESTRING(0 0,1 0),POLYGON((0 0,2 0,2 2,0 0)))")
-            .unwrap();
+        let g = parse_wkt(
+            "GEOMETRYCOLLECTION(POINT(1 1),LINESTRING(0 0,1 0),POLYGON((0 0,2 0,2 2,0 0)))",
+        )
+        .unwrap();
         let t = AffineTransform::new(AffineMatrix::translation(100.0, 200.0)).unwrap();
         let out = t.apply(&g);
         assert_eq!(out.geometry_type(), g.geometry_type());

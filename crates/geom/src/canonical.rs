@@ -141,9 +141,7 @@ fn element_level(geometry: &Geometry, options: CanonicalizeOptions) -> Geometry 
 fn top_level_elements(geometry: &Geometry) -> Vec<Geometry> {
     match geometry {
         Geometry::MultiPoint(m) => m.points.iter().cloned().map(Geometry::Point).collect(),
-        Geometry::MultiLineString(m) => {
-            m.lines.iter().cloned().map(Geometry::LineString).collect()
-        }
+        Geometry::MultiLineString(m) => m.lines.iter().cloned().map(Geometry::LineString).collect(),
         Geometry::MultiPolygon(m) => m.polygons.iter().cloned().map(Geometry::Polygon).collect(),
         Geometry::GeometryCollection(c) => c.geometries.clone(),
         basic => vec![basic.clone()],
@@ -372,13 +370,19 @@ mod tests {
     #[test]
     fn empty_removal_of_all_elements_yields_empty_geometry() {
         assert_eq!(canon("MULTIPOINT(EMPTY,EMPTY)"), "MULTIPOINT EMPTY");
-        assert_eq!(canon("GEOMETRYCOLLECTION(POINT EMPTY)"), "GEOMETRYCOLLECTION EMPTY");
+        assert_eq!(
+            canon("GEOMETRYCOLLECTION(POINT EMPTY)"),
+            "GEOMETRYCOLLECTION EMPTY"
+        );
     }
 
     #[test]
     fn homogenization_collapses_single_element_multi() {
         assert_eq!(canon("MULTIPOINT((3 4))"), "POINT(3 4)");
-        assert_eq!(canon("MULTIPOLYGON(((0 0,0 1,1 0,0 0)))"), "POLYGON((0 0,0 1,1 0,0 0))");
+        assert_eq!(
+            canon("MULTIPOLYGON(((0 0,0 1,1 0,0 0)))"),
+            "POLYGON((0 0,0 1,1 0,0 0))"
+        );
     }
 
     #[test]
@@ -395,7 +399,10 @@ mod tests {
 
     #[test]
     fn duplicate_elements_are_removed_by_shape() {
-        assert_eq!(canon("MULTIPOINT((1 1),(1 1),(2 2))"), "MULTIPOINT((1 1),(2 2))");
+        assert_eq!(
+            canon("MULTIPOINT((1 1),(1 1),(2 2))"),
+            "MULTIPOINT((1 1),(2 2))"
+        );
         // Same shape expressed with opposite direction still counts as a
         // duplicate because comparison happens on the canonical value form.
         assert_eq!(
@@ -416,7 +423,10 @@ mod tests {
 
     #[test]
     fn consecutive_duplicate_vertices_are_removed() {
-        assert_eq!(canon("LINESTRING(0 2,1 0,3 1,3 1,5 0)"), "LINESTRING(0 2,1 0,3 1,5 0)");
+        assert_eq!(
+            canon("LINESTRING(0 2,1 0,3 1,3 1,5 0)"),
+            "LINESTRING(0 2,1 0,3 1,5 0)"
+        );
     }
 
     #[test]

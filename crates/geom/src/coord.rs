@@ -5,7 +5,6 @@
 //! the R³ matrices of Equation 3 and are not part of the relate engine, so the
 //! core coordinate type is two dimensional.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 2D coordinate with `f64` components.
@@ -14,7 +13,7 @@ use std::fmt;
 /// equality is provided by [`Coord::approx_eq`] (bitwise on finite values) and
 /// by [`Coord::key`] which produces a hashable bit-pattern key used by the
 /// noding and canonicalization code.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Coord {
     /// X (easting / longitude-like) component.
     pub x: f64,

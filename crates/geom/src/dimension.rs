@@ -7,11 +7,10 @@
 //! "take the maximum dimension observed" (how the relate engine accumulates
 //! matrix entries) is simply `max`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The value domain of a DE-9IM matrix entry: `F`, `0`, `1`, or `2`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Dimension {
     /// The intersection is empty (`F` in DE-9IM notation).
     Empty,

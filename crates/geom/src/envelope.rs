@@ -5,10 +5,9 @@
 //! operators of Listing 8 are evaluated on envelopes.
 
 use crate::coord::Coord;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle, possibly empty.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Envelope {
     min_x: f64,
     min_y: f64,
@@ -180,7 +179,11 @@ impl Envelope {
 
     /// Whether this envelope contains a coordinate (boundary inclusive).
     pub fn contains_coord(&self, c: Coord) -> bool {
-        !self.empty && c.x >= self.min_x && c.x <= self.max_x && c.y >= self.min_y && c.y <= self.max_y
+        !self.empty
+            && c.x >= self.min_x
+            && c.x <= self.max_x
+            && c.y >= self.min_y
+            && c.y <= self.max_y
     }
 
     /// Whether the two envelopes are identical. Two empty envelopes are equal.
@@ -212,8 +215,12 @@ impl Envelope {
         if self.empty || other.empty {
             return f64::INFINITY;
         }
-        let dx = (other.min_x - self.max_x).max(self.min_x - other.max_x).max(0.0);
-        let dy = (other.min_y - self.max_y).max(self.min_y - other.max_y).max(0.0);
+        let dx = (other.min_x - self.max_x)
+            .max(self.min_x - other.max_x)
+            .max(0.0);
+        let dy = (other.min_y - self.max_y)
+            .max(self.min_y - other.max_y)
+            .max(0.0);
         (dx * dx + dy * dy).sqrt()
     }
 
@@ -280,7 +287,10 @@ mod tests {
         assert_eq!(u.min_x(), 0.0);
         assert_eq!(u.max_x(), 6.0);
         assert_eq!(a.intersection_area(&b), 4.0);
-        assert_eq!(a.intersection_area(&Envelope::from_bounds(10.0, 10.0, 11.0, 11.0)), 0.0);
+        assert_eq!(
+            a.intersection_area(&Envelope::from_bounds(10.0, 10.0, 11.0, 11.0)),
+            0.0
+        );
     }
 
     #[test]

@@ -58,12 +58,18 @@ mod tests {
             message: "expected number".into(),
             position: 7,
         };
-        assert_eq!(err.to_string(), "WKT parse error at byte 7: expected number");
+        assert_eq!(
+            err.to_string(),
+            "WKT parse error at byte 7: expected number"
+        );
     }
 
     #[test]
     fn display_singular() {
-        assert_eq!(GeomError::SingularMatrix.to_string(), "affine matrix is singular");
+        assert_eq!(
+            GeomError::SingularMatrix.to_string(),
+            "affine matrix is singular"
+        );
     }
 
     #[test]

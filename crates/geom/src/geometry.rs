@@ -6,11 +6,10 @@ use crate::envelope::Envelope;
 use crate::types::{
     GeometryCollection, LineString, MultiLineString, MultiPoint, MultiPolygon, Point, Polygon,
 };
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The OGC geometry type tags (Figure 2 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GeometryType {
     /// POINT
     Point,
@@ -96,7 +95,7 @@ impl fmt::Display for GeometryType {
 }
 
 /// A 2D geometry of any of the seven OGC types.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Geometry {
     /// POINT
     Point(Point),
@@ -240,7 +239,10 @@ impl Geometry {
                 }
             }
             Geometry::LineString(l) => l.coords.iter().for_each(f),
-            Geometry::Polygon(p) => p.rings.iter().for_each(|r| r.coords.iter().for_each(&mut *f)),
+            Geometry::Polygon(p) => p
+                .rings
+                .iter()
+                .for_each(|r| r.coords.iter().for_each(&mut *f)),
             Geometry::MultiPoint(m) => m.points.iter().for_each(|p| {
                 if let Some(c) = &p.coord {
                     f(c);
@@ -401,7 +403,10 @@ mod tests {
     #[test]
     fn type_tags_and_names() {
         assert_eq!(GeometryType::Point.wkt_name(), "POINT");
-        assert_eq!(GeometryType::GeometryCollection.to_string(), "GEOMETRYCOLLECTION");
+        assert_eq!(
+            GeometryType::GeometryCollection.to_string(),
+            "GEOMETRYCOLLECTION"
+        );
         assert!(GeometryType::MultiPolygon.is_multi());
         assert!(!GeometryType::Polygon.is_multi());
         assert!(GeometryType::GeometryCollection.is_mixed());
@@ -414,12 +419,18 @@ mod tests {
 
     #[test]
     fn dimension_of_basic_types() {
-        assert_eq!(Geometry::Point(Point::new(0.0, 0.0)).dimension(), Dimension::Zero);
+        assert_eq!(
+            Geometry::Point(Point::new(0.0, 0.0)).dimension(),
+            Dimension::Zero
+        );
         assert_eq!(
             Geometry::LineString(ls(&[(0.0, 0.0), (1.0, 1.0)])).dimension(),
             Dimension::One
         );
-        assert_eq!(Geometry::Point(Point::empty()).dimension(), Dimension::Empty);
+        assert_eq!(
+            Geometry::Point(Point::empty()).dimension(),
+            Dimension::Empty
+        );
     }
 
     #[test]
@@ -437,12 +448,7 @@ mod tests {
 
     #[test]
     fn num_coords_counts_all_vertices() {
-        let poly = Polygon::from_exterior(ls(&[
-            (0.0, 0.0),
-            (1.0, 0.0),
-            (1.0, 1.0),
-            (0.0, 0.0),
-        ]));
+        let poly = Polygon::from_exterior(ls(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 0.0)]));
         assert_eq!(Geometry::Polygon(poly).num_coords(), 4);
         assert_eq!(Geometry::Point(Point::empty()).num_coords(), 0);
     }
@@ -453,8 +459,14 @@ mod tests {
             Point::new(0.0, 0.0),
             Point::new(1.0, 1.0),
         ]));
-        assert_eq!(mp.geometry_n(1), Some(Geometry::Point(Point::new(0.0, 0.0))));
-        assert_eq!(mp.geometry_n(2), Some(Geometry::Point(Point::new(1.0, 1.0))));
+        assert_eq!(
+            mp.geometry_n(1),
+            Some(Geometry::Point(Point::new(0.0, 0.0)))
+        );
+        assert_eq!(
+            mp.geometry_n(2),
+            Some(Geometry::Point(Point::new(1.0, 1.0)))
+        );
         assert_eq!(mp.geometry_n(0), None);
         assert_eq!(mp.geometry_n(3), None);
         let p = Geometry::Point(Point::new(5.0, 5.0));
@@ -465,10 +477,9 @@ mod tests {
     fn flatten_recurses_into_collections() {
         let nested = Geometry::GeometryCollection(GeometryCollection::new(vec![
             Geometry::MultiPoint(MultiPoint::new(vec![Point::new(0.0, 0.0), Point::empty()])),
-            Geometry::GeometryCollection(GeometryCollection::new(vec![Geometry::LineString(ls(&[
-                (0.0, 0.0),
-                (1.0, 0.0),
-            ]))])),
+            Geometry::GeometryCollection(GeometryCollection::new(vec![Geometry::LineString(ls(
+                &[(0.0, 0.0), (1.0, 0.0)],
+            ))])),
         ]));
         let flat = nested.flatten();
         assert_eq!(flat.len(), 3);
@@ -483,10 +494,7 @@ mod tests {
             c.x += 10.0;
             c.y += 20.0;
         });
-        assert_eq!(
-            g,
-            Geometry::LineString(ls(&[(10.0, 20.0), (11.0, 21.0)]))
-        );
+        assert_eq!(g, Geometry::LineString(ls(&[(10.0, 20.0), (11.0, 21.0)])));
     }
 
     #[test]

@@ -115,9 +115,18 @@ mod tests {
     fn orientation_predicate() {
         let a = Coord::new(0.0, 0.0);
         let b = Coord::new(1.0, 0.0);
-        assert_eq!(orientation(a, b, Coord::new(0.0, 1.0)), Orientation::CounterClockwise);
-        assert_eq!(orientation(a, b, Coord::new(0.0, -1.0)), Orientation::Clockwise);
-        assert_eq!(orientation(a, b, Coord::new(2.0, 0.0)), Orientation::Collinear);
+        assert_eq!(
+            orientation(a, b, Coord::new(0.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orientation(a, b, Coord::new(0.0, -1.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orientation(a, b, Coord::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
     }
 
     #[test]
@@ -138,7 +147,10 @@ mod tests {
     fn ring_orientation_detection() {
         let ccw = ring(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0), (0.0, 0.0)]);
         assert_eq!(ring_orientation(&ccw), RingOrientation::CounterClockwise);
-        assert_eq!(ring_orientation(&ccw.reversed()), RingOrientation::Clockwise);
+        assert_eq!(
+            ring_orientation(&ccw.reversed()),
+            RingOrientation::Clockwise
+        );
         let degenerate = ring(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (0.0, 0.0)]);
         assert_eq!(ring_orientation(&degenerate), RingOrientation::Degenerate);
     }

@@ -8,10 +8,9 @@
 use crate::coord::Coord;
 use crate::envelope::Envelope;
 use crate::geometry::Geometry;
-use serde::{Deserialize, Serialize};
 
 /// A POINT: either a single coordinate or EMPTY.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Point {
     /// The coordinate, or `None` for `POINT EMPTY`.
     pub coord: Option<Coord>,
@@ -55,7 +54,7 @@ impl Point {
 /// checked separately (see [`crate::validity`]) because the random-shape
 /// strategy of the paper deliberately produces syntactically valid but
 /// semantically invalid geometries (§4.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LineString {
     /// The vertices in order.
     pub coords: Vec<Coord>,
@@ -122,7 +121,7 @@ impl LineString {
 ///
 /// Rings are stored as closed [`LineString`]s (first vertex repeated at the
 /// end). Ring index 0 is the exterior ring.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Polygon {
     /// The rings; `rings[0]` is the exterior ring, the rest are holes.
     pub rings: Vec<LineString>,
@@ -174,7 +173,7 @@ impl Polygon {
 }
 
 /// A MULTIPOINT: a collection of points (possibly containing EMPTY elements).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MultiPoint {
     /// The point elements.
     pub points: Vec<Point>,
@@ -207,7 +206,7 @@ impl MultiPoint {
 }
 
 /// A MULTILINESTRING: a collection of linestrings.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MultiLineString {
     /// The linestring elements.
     pub lines: Vec<LineString>,
@@ -240,7 +239,7 @@ impl MultiLineString {
 }
 
 /// A MULTIPOLYGON: a collection of polygons.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MultiPolygon {
     /// The polygon elements.
     pub polygons: Vec<Polygon>,
@@ -277,7 +276,7 @@ impl MultiPolygon {
 /// A GEOMETRYCOLLECTION: elements of mixed geometry type (the paper's "MIXED
 /// geometry"), the single largest source of logic bugs in the evaluation
 /// (13 of 20 logic bugs, §5.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct GeometryCollection {
     /// The member geometries.
     pub geometries: Vec<Geometry>,
@@ -346,7 +345,13 @@ mod tests {
 
     #[test]
     fn polygon_exterior_and_holes() {
-        let outer = ls(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0), (0.0, 0.0)]);
+        let outer = ls(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 10.0),
+            (0.0, 10.0),
+            (0.0, 0.0),
+        ]);
         let hole = ls(&[(2.0, 2.0), (4.0, 2.0), (4.0, 4.0), (2.0, 4.0), (2.0, 2.0)]);
         let p = Polygon::new(vec![outer.clone(), hole.clone()]);
         assert_eq!(p.exterior(), Some(&outer));
@@ -380,7 +385,11 @@ mod tests {
         let l = ls(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
         assert_eq!(
             l.reversed().coords,
-            vec![Coord::new(2.0, 0.0), Coord::new(1.0, 0.0), Coord::new(0.0, 0.0)]
+            vec![
+                Coord::new(2.0, 0.0),
+                Coord::new(1.0, 0.0),
+                Coord::new(0.0, 0.0)
+            ]
         );
     }
 }

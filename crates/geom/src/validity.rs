@@ -88,11 +88,7 @@ fn check_linestring(line: &LineString) -> Validity {
     if line.coords.len() < 2 {
         return Validity::Invalid("linestring has fewer than 2 points".into());
     }
-    if line
-        .coords
-        .windows(2)
-        .all(|w| w[0].approx_eq(&w[1]))
-    {
+    if line.coords.windows(2).all(|w| w[0].approx_eq(&w[1])) {
         return Validity::Invalid("linestring has no extent (all points identical)".into());
     }
     Validity::Valid

@@ -237,13 +237,7 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
-            if b.is_ascii_digit()
-                || b == b'-'
-                || b == b'+'
-                || b == b'.'
-                || b == b'e'
-                || b == b'E'
-            {
+            if b.is_ascii_digit() || b == b'-' || b == b'+' || b == b'.' || b == b'e' || b == b'E' {
                 self.pos += 1;
             } else {
                 break;
@@ -470,7 +464,10 @@ mod tests {
 
     #[test]
     fn parse_point_empty() {
-        assert_eq!(parse_wkt("POINT EMPTY").unwrap(), Geometry::Point(Point::empty()));
+        assert_eq!(
+            parse_wkt("POINT EMPTY").unwrap(),
+            Geometry::Point(Point::empty())
+        );
         assert_eq!(round_trip("POINT EMPTY"), "POINT EMPTY");
     }
 
@@ -511,7 +508,10 @@ mod tests {
             }
             _ => panic!("expected multipoint"),
         }
-        assert_eq!(round_trip("MULTIPOINT((-2 0),EMPTY)"), "MULTIPOINT((-2 0),EMPTY)");
+        assert_eq!(
+            round_trip("MULTIPOINT((-2 0),EMPTY)"),
+            "MULTIPOINT((-2 0),EMPTY)"
+        );
     }
 
     #[test]

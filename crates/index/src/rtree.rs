@@ -21,12 +21,8 @@ pub struct RTree<T> {
 
 #[derive(Debug, Clone)]
 enum Node<T> {
-    Leaf {
-        entries: Vec<(Envelope, T)>,
-    },
-    Internal {
-        children: Vec<(Envelope, Node<T>)>,
-    },
+    Leaf { entries: Vec<(Envelope, T)> },
+    Internal { children: Vec<(Envelope, Node<T>)> },
 }
 
 impl<T> Default for RTree<T> {
@@ -187,7 +183,10 @@ fn insert_recursive<T>(
                 children.push((right_env, right));
                 if children.len() > MAX_ENTRIES {
                     let (a, b) = quadratic_split(std::mem::take(children));
-                    return Some((Node::Internal { children: a }, Node::Internal { children: b }));
+                    return Some((
+                        Node::Internal { children: a },
+                        Node::Internal { children: b },
+                    ));
                 }
             }
             None
@@ -195,8 +194,11 @@ fn insert_recursive<T>(
     }
 }
 
+/// A list of enveloped items (entries or child nodes) being partitioned.
+type EnvelopedItems<E> = Vec<(Envelope, E)>;
+
 /// Guttman's quadratic split over a list of enveloped items.
-fn quadratic_split<E>(items: Vec<(Envelope, E)>) -> (Vec<(Envelope, E)>, Vec<(Envelope, E)>) {
+fn quadratic_split<E>(items: EnvelopedItems<E>) -> (EnvelopedItems<E>, EnvelopedItems<E>) {
     debug_assert!(items.len() >= 2);
     // Pick the pair of seeds that wastes the most area when combined.
     let mut seed_a = 0;
@@ -309,7 +311,9 @@ mod tests {
         let tree: RTree<usize> = RTree::new();
         assert!(tree.is_empty());
         assert_eq!(tree.len(), 0);
-        assert!(tree.query_intersects(&boxed(0.0, 0.0, 10.0, 10.0)).is_empty());
+        assert!(tree
+            .query_intersects(&boxed(0.0, 0.0, 10.0, 10.0))
+            .is_empty());
     }
 
     #[test]
@@ -353,7 +357,9 @@ mod tests {
         // Deterministic pseudo-random layout.
         let mut state = 42u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as f64 / 10.0
         };
         for i in 0..150usize {

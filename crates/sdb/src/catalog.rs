@@ -64,7 +64,11 @@ impl Database {
     }
 
     /// Creates a table, failing if one with the same name exists.
-    pub fn create_table(&mut self, name: &str, columns: Vec<(String, ColumnType)>) -> SdbResult<()> {
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        columns: Vec<(String, ColumnType)>,
+    ) -> SdbResult<()> {
         let key = name.to_lowercase();
         if self.tables.contains_key(&key) {
             return Err(SdbError::Semantic(format!("table {name} already exists")));
@@ -79,7 +83,8 @@ impl Database {
         if self.tables.remove(&key).is_none() {
             return Err(SdbError::Semantic(format!("table {name} does not exist")));
         }
-        self.indexes.retain(|_, idx| !idx.table.eq_ignore_ascii_case(name));
+        self.indexes
+            .retain(|_, idx| !idx.table.eq_ignore_ascii_case(name));
         Ok(())
     }
 
@@ -126,7 +131,11 @@ impl Database {
     }
 
     /// Rebuilds every index on a table (after inserts).
-    pub fn refresh_indexes_for(&mut self, table: &str, build: impl Fn(&Table, &str) -> RTree<usize>) {
+    pub fn refresh_indexes_for(
+        &mut self,
+        table: &str,
+        build: impl Fn(&Table, &str) -> RTree<usize>,
+    ) {
         let Some(table_data) = self.tables.get(&table.to_lowercase()).cloned() else {
             return;
         };
@@ -169,8 +178,12 @@ mod tests {
     #[test]
     fn create_and_drop_tables() {
         let mut db = Database::new();
-        db.create_table("t1", vec![("g".into(), ColumnType::Geometry)]).unwrap();
-        assert!(db.create_table("T1", vec![]).is_err(), "names are case-insensitive");
+        db.create_table("t1", vec![("g".into(), ColumnType::Geometry)])
+            .unwrap();
+        assert!(
+            db.create_table("T1", vec![]).is_err(),
+            "names are case-insensitive"
+        );
         assert_eq!(db.table_names(), vec!["t1".to_string()]);
         assert!(db.table("t1").is_ok());
         assert!(db.table("missing").is_err());
@@ -183,11 +196,16 @@ mod tests {
         let mut db = Database::new();
         db.create_table(
             "t",
-            vec![("id".into(), ColumnType::Integer), ("geom".into(), ColumnType::Geometry)],
+            vec![
+                ("id".into(), ColumnType::Integer),
+                ("geom".into(), ColumnType::Geometry),
+            ],
         )
         .unwrap();
         let table = db.table_mut("t").unwrap();
-        table.rows.push(vec![Value::Int(1), geometry_value("POINT(1 1)")]);
+        table
+            .rows
+            .push(vec![Value::Int(1), geometry_value("POINT(1 1)")]);
         assert_eq!(table.row_count(), 1);
         assert_eq!(table.column_index("GEOM"), Some(1));
         assert_eq!(table.column_index("missing"), None);
@@ -204,7 +222,8 @@ mod tests {
     #[test]
     fn index_registration_and_lookup() {
         let mut db = Database::new();
-        db.create_table("t", vec![("geom".into(), ColumnType::Geometry)]).unwrap();
+        db.create_table("t", vec![("geom".into(), ColumnType::Geometry)])
+            .unwrap();
         let index = SpatialIndex {
             table: "t".into(),
             column: "geom".into(),

@@ -59,13 +59,19 @@ mod tests {
     fn probes_are_unique_and_counted_separately_from_topo() {
         let set: std::collections::HashSet<_> = SDB_PROBES.iter().collect();
         assert_eq!(set.len(), SDB_PROBES.len());
-        topo_coverage::reset();
+        // Other tests of this binary execute engine code concurrently, so
+        // only lower bounds on the shared global registry are stable here.
         hit("sdb.exec.insert");
         hit("topo.predicate.intersects");
         let (sdb_hit, sdb_total, _) = sdb_coverage();
-        assert_eq!(sdb_hit, 1);
+        assert!(sdb_hit >= 1);
         assert_eq!(sdb_total, SDB_PROBES.len());
+        assert!(topo_coverage::hit_count("sdb.exec.insert") >= 1);
         let (topo_hit, _, _) = topo_coverage::topo_coverage();
-        assert_eq!(topo_hit, 1);
+        assert!(topo_hit >= 1);
+        // An sdb probe never counts towards the topo denominator.
+        assert!(!SDB_PROBES
+            .iter()
+            .any(|p| topo_coverage::TOPO_PROBES.contains(p)));
     }
 }

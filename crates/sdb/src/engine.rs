@@ -174,11 +174,19 @@ impl Engine {
                 self.database.drop_table(name)?;
                 Ok(QueryResult::none())
             }
-            Statement::CreateIndex { name, table, column } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
                 coverage::hit("sdb.exec.create_index");
                 self.create_index(name, table, column)
             }
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 coverage::hit("sdb.exec.insert");
                 self.insert(table, columns, rows)
             }
@@ -221,7 +229,12 @@ impl Engine {
         Ok(QueryResult::none())
     }
 
-    fn insert(&mut self, table: &str, columns: &[String], rows: &[Vec<Expr>]) -> SdbResult<QueryResult> {
+    fn insert(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        rows: &[Vec<Expr>],
+    ) -> SdbResult<QueryResult> {
         let ctx = FunctionContext {
             profile: self.profile,
             faults: &self.faults.clone(),
@@ -259,8 +272,7 @@ impl Engine {
 
         let table_ref = self.database.table_mut(table)?;
         table_ref.rows.extend(materialized_rows);
-        self.database
-            .refresh_indexes_for(table, |t, col| build_rtree(t, col));
+        self.database.refresh_indexes_for(table, build_rtree);
         Ok(QueryResult::none())
     }
 
@@ -338,13 +350,12 @@ impl Engine {
 
         // Try an index scan for `col ~= <geometry>` filters when sequential
         // scans are disabled (Listing 8's scenario).
-        let candidate_rows: Vec<usize> = if let Some(rows) =
-            self.try_index_filter(table_ref, table, condition.as_ref(), ctx)?
-        {
-            rows
-        } else {
-            (0..table.rows.len()).collect()
-        };
+        let candidate_rows: Vec<usize> =
+            if let Some(rows) = self.try_index_filter(table_ref, table, condition.as_ref(), ctx)? {
+                rows
+            } else {
+                (0..table.rows.len()).collect()
+            };
 
         let mut matching = Vec::new();
         for row_idx in candidate_rows {
@@ -426,7 +437,11 @@ impl Engine {
         Ok(Some(rows))
     }
 
-    fn select_join(&self, select: &SelectStatement, ctx: &FunctionContext) -> SdbResult<QueryResult> {
+    fn select_join(
+        &self,
+        select: &SelectStatement,
+        ctx: &FunctionContext,
+    ) -> SdbResult<QueryResult> {
         let left_ref = &select.from[0];
         let right_ref = &select.from[1];
         let left_table = self.database.table(&left_ref.table)?;
@@ -441,7 +456,12 @@ impl Engine {
 
         let mut matching: Vec<(usize, usize)> = Vec::new();
         if let Some(join) = &predicate_join {
-            if !self.enable_seqscan {
+            // The envelope-intersection index probe is only a sound prefilter
+            // for predicates that imply envelope interaction; ST_Disjoint
+            // holds exactly on the pairs the probe prunes, so it falls
+            // through to the nested loop even with seqscan disabled (real
+            // engines give it no index operator support either).
+            if !self.enable_seqscan && join.predicate.has_index_support() {
                 if let Some(index) = self.database.index_on(&right_ref.table, &join.right_column) {
                     coverage::hit("sdb.exec.join_index_scan");
                     matching = self.index_join(join, left_table, right_table, index, ctx)?;
@@ -480,8 +500,14 @@ impl Engine {
                 let keep = match &condition {
                     None => true,
                     Some(expr) => {
-                        let binding =
-                            RowBinding::pair(left_ref, left_table, lrow, right_ref, right_table, rrow);
+                        let binding = RowBinding::pair(
+                            left_ref,
+                            left_table,
+                            lrow,
+                            right_ref,
+                            right_table,
+                            rrow,
+                        );
                         evaluate_expr(expr, Some(&binding), &self.database, ctx)?.is_truthy()
                     }
                 };
@@ -519,7 +545,12 @@ impl Engine {
                 continue;
             };
             let probe = left_geom.envelope();
-            let mut candidates: Vec<usize> = index.tree.query_intersects(&probe).into_iter().copied().collect();
+            let mut candidates: Vec<usize> = index
+                .tree
+                .query_intersects(&probe)
+                .into_iter()
+                .copied()
+                .collect();
             // EMPTY geometries never appear in envelope queries; the correct
             // engine still has to consider them for predicates that can hold
             // on EMPTY operands (none of the supported ones can, so nothing
@@ -676,7 +707,9 @@ fn evaluate_expr(
             match target.as_str() {
                 "geometry" => match inner {
                     Value::Geometry(g) => Ok(Value::Geometry(g)),
-                    Value::Text(text) => Ok(Value::Geometry(functions::parse_geometry_text(&text, ctx)?)),
+                    Value::Text(text) => {
+                        Ok(Value::Geometry(functions::parse_geometry_text(&text, ctx)?))
+                    }
                     other => Err(SdbError::Execution(format!(
                         "cannot cast {} to geometry",
                         other.type_name()
@@ -691,7 +724,9 @@ fn evaluate_expr(
                     .map(Value::Double)
                     .ok_or_else(|| SdbError::Execution("cannot cast to double".into())),
                 "text" | "varchar" => Ok(Value::Text(inner.to_string())),
-                other => Err(SdbError::Execution(format!("unsupported cast target {other}"))),
+                other => Err(SdbError::Execution(format!(
+                    "unsupported cast target {other}"
+                ))),
             }
         }
         Expr::Function { name, args } => {
@@ -714,7 +749,12 @@ fn evaluate_expr(
     }
 }
 
-fn evaluate_binary(op: BinaryOp, lhs: Value, rhs: Value, ctx: &FunctionContext) -> SdbResult<Value> {
+fn evaluate_binary(
+    op: BinaryOp,
+    lhs: Value,
+    rhs: Value,
+    ctx: &FunctionContext,
+) -> SdbResult<Value> {
     match op {
         BinaryOp::And => {
             coverage::hit("sdb.expr.logical");
@@ -730,7 +770,12 @@ fn evaluate_binary(op: BinaryOp, lhs: Value, rhs: Value, ctx: &FunctionContext) 
             let b = coerce_geometry(rhs, ctx)?;
             Ok(Value::Bool(a.envelope().same_box(&b.envelope())))
         }
-        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::LtEq
+        | BinaryOp::Gt
+        | BinaryOp::GtEq => {
             coverage::hit("sdb.expr.comparison");
             let ordering = compare_values(&lhs, &rhs)?;
             let result = match op {
@@ -774,20 +819,18 @@ fn coerce_geometry(value: Value, ctx: &FunctionContext) -> SdbResult<Geometry> {
     }
 }
 
-fn coerce_for_column(value: Value, column_type: ColumnType, ctx: &FunctionContext) -> SdbResult<Value> {
+fn coerce_for_column(
+    value: Value,
+    column_type: ColumnType,
+    ctx: &FunctionContext,
+) -> SdbResult<Value> {
     match column_type {
         ColumnType::Geometry => match value {
             Value::Null => Ok(Value::Null),
             other => Ok(Value::Geometry(coerce_geometry(other, ctx)?)),
         },
-        ColumnType::Integer => Ok(value
-            .as_int()
-            .map(Value::Int)
-            .unwrap_or(Value::Null)),
-        ColumnType::Double => Ok(value
-            .as_double()
-            .map(Value::Double)
-            .unwrap_or(Value::Null)),
+        ColumnType::Integer => Ok(value.as_int().map(Value::Int).unwrap_or(Value::Null)),
+        ColumnType::Double => Ok(value.as_double().map(Value::Double).unwrap_or(Value::Null)),
         ColumnType::Boolean => Ok(Value::Bool(value.is_truthy())),
         ColumnType::Text => Ok(Value::Text(value.to_string())),
     }
@@ -820,8 +863,16 @@ fn predicate_join_shape(
     if args.len() != 2 {
         return None;
     }
-    let (Expr::Column { table: lt, column: lc }, Expr::Column { table: rt, column: rc }) =
-        (&args[0], &args[1])
+    let (
+        Expr::Column {
+            table: lt,
+            column: lc,
+        },
+        Expr::Column {
+            table: rt,
+            column: rc,
+        },
+    ) = (&args[0], &args[1])
     else {
         return None;
     };
@@ -966,11 +1017,19 @@ mod tests {
 
         let mut faulty = Engine::new(EngineProfile::PostgisLike);
         faulty.execute_script(setup).unwrap();
-        assert_eq!(count(&mut faulty, query), 0, "the stock engine exhibits the Listing 1 bug");
+        assert_eq!(
+            count(&mut faulty, query),
+            0,
+            "the stock engine exhibits the Listing 1 bug"
+        );
 
         let mut fixed = Engine::reference(EngineProfile::PostgisLike);
         fixed.execute_script(setup).unwrap();
-        assert_eq!(count(&mut fixed, query), 1, "the patched engine returns the correct count");
+        assert_eq!(
+            count(&mut fixed, query),
+            1,
+            "the patched engine returns the correct count"
+        );
     }
 
     #[test]
@@ -992,7 +1051,8 @@ mod tests {
             (1,'GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))'::geometry),
             (2,'GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))'::geometry),
             (3,'MULTIPOLYGON(((0 0,5 0,0 5,0 0)))'::geometry);";
-        let query = "SELECT a1.id, a2.id FROM t As a1, t As a2 WHERE ST_Contains(a1.geom, a2.geom);";
+        let query =
+            "SELECT a1.id, a2.id FROM t As a1, t As a2 WHERE ST_Contains(a1.geom, a2.geom);";
 
         let mut fixed = Engine::reference(EngineProfile::PostgisLike);
         fixed.execute_script(setup).unwrap();
@@ -1038,7 +1098,11 @@ mod tests {
             FaultSet::with([FaultId::PostgisGistIndexDropsRows]),
         );
         faulty.execute_script(setup).unwrap();
-        assert_eq!(count(&mut faulty, query), 0, "the faulty index scan misses the row");
+        assert_eq!(
+            count(&mut faulty, query),
+            0,
+            "the faulty index scan misses the row"
+        );
 
         let mut fixed = Engine::reference(EngineProfile::PostgisLike);
         fixed.execute_script(setup).unwrap();
@@ -1050,12 +1114,13 @@ mod tests {
             EngineProfile::PostgisLike,
             FaultSet::with([FaultId::PostgisGistIndexDropsRows]),
         );
-        faulty_seq.execute_script(
-            "CREATE TABLE t (id int, geom geometry);
+        faulty_seq
+            .execute_script(
+                "CREATE TABLE t (id int, geom geometry);
              INSERT INTO t (id, geom) VALUES (1, 'POINT EMPTY');
              CREATE INDEX idx ON t USING GIST (geom);",
-        )
-        .unwrap();
+            )
+            .unwrap();
         assert_eq!(count(&mut faulty_seq, query), 1);
     }
 
@@ -1069,7 +1134,11 @@ mod tests {
         let result = mysql
             .execute("SELECT ST_Crosses(ST_GeomFromText(@g1), ST_GeomFromText(@g2));")
             .unwrap();
-        assert_eq!(result.single_value(), Some(&Value::Bool(true)), "the stock MySQL-like engine shows the Listing 3 bug");
+        assert_eq!(
+            result.single_value(),
+            Some(&Value::Bool(true)),
+            "the stock MySQL-like engine shows the Listing 3 bug"
+        );
 
         let mut fixed = Engine::reference(EngineProfile::MysqlLike);
         fixed
@@ -1118,10 +1187,10 @@ mod tests {
     #[test]
     fn insert_validates_column_counts_and_types() {
         let mut engine = Engine::reference(EngineProfile::PostgisLike);
-        engine.execute("CREATE TABLE t (id int, g geometry);").unwrap();
-        assert!(engine
-            .execute("INSERT INTO t (id, g) VALUES (1);")
-            .is_err());
+        engine
+            .execute("CREATE TABLE t (id int, g geometry);")
+            .unwrap();
+        assert!(engine.execute("INSERT INTO t (id, g) VALUES (1);").is_err());
         assert!(engine
             .execute("INSERT INTO t (id, missing) VALUES (1, 'POINT(0 0)');")
             .is_err());
@@ -1135,7 +1204,9 @@ mod tests {
     fn execution_stats_accumulate() {
         let mut engine = Engine::reference(EngineProfile::DuckdbSpatialLike);
         engine.execute("CREATE TABLE t (g geometry);").unwrap();
-        engine.execute("INSERT INTO t (g) VALUES ('POINT(1 1)');").unwrap();
+        engine
+            .execute("INSERT INTO t (g) VALUES ('POINT(1 1)');")
+            .unwrap();
         let (time, statements) = engine.execution_stats();
         assert_eq!(statements, 2);
         assert!(time >= Duration::ZERO);
@@ -1154,7 +1225,9 @@ mod tests {
                 "CREATE TABLE t (g geometry); INSERT INTO t (g) VALUES ('POINT EMPTY');",
             )
             .unwrap();
-        let err = faulty.execute("CREATE INDEX idx ON t USING GIST (g);").unwrap_err();
+        let err = faulty
+            .execute("CREATE INDEX idx ON t USING GIST (g);")
+            .unwrap_err();
         assert!(err.is_crash());
     }
 
@@ -1162,7 +1235,9 @@ mod tests {
     fn scalar_select_without_tables() {
         let mut engine = Engine::reference(EngineProfile::PostgisLike);
         let result = engine
-            .execute("SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry, 'POINT(-2 0)'::geometry);")
+            .execute(
+                "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry, 'POINT(-2 0)'::geometry);",
+            )
             .unwrap();
         assert_eq!(result.single_value(), Some(&Value::Double(2.0)));
     }

@@ -12,12 +12,11 @@
 //! the compared methodologies can detect it (the ground truth behind
 //! Table 4, which the paper established by manual analysis).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// The systems of the paper's evaluation (Table 2 rows). `Geos` is the shared
 /// third-party library used by the PostGIS-like and DuckDB-like profiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultySystem {
     /// The shared geometry library (GEOS analog).
     Geos,
@@ -45,7 +44,7 @@ impl FaultySystem {
 }
 
 /// Logic bug (silent wrong result) vs crash bug (§1, Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// Produces an incorrect result silently.
     Logic,
@@ -54,7 +53,7 @@ pub enum FaultKind {
 }
 
 /// Report status (Table 2 columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultStatus {
     /// Confirmed and fixed by the developers.
     Fixed,
@@ -68,7 +67,7 @@ pub enum FaultStatus {
 
 /// Root-cause / trigger-pattern classes of §5.2 ("Patterns of inducing
 /// cases").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TriggerClass {
     /// EMPTY geometries or EMPTY elements.
     Empty,
@@ -88,7 +87,7 @@ pub enum TriggerClass {
 
 /// Which testing methodologies can detect a (logic) fault — the Table 4
 /// ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Detectability {
     /// Affine Equivalent Inputs (the paper's approach).
     pub aei: bool,
@@ -105,7 +104,7 @@ pub struct Detectability {
 /// Identifiers of every seeded fault. The prefix encodes the system:
 /// `G*` = GEOS analog, `P*` = PostGIS-like, `M*` = MySQL-like,
 /// `D*` = DuckDB-Spatial-like, `S*` = SQL-Server-like; `*C*` = crash.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum FaultId {
     // --- GEOS-analog logic faults (9) -----------------------------------
@@ -155,7 +154,7 @@ pub enum FaultId {
 }
 
 /// Metadata describing one seeded fault / bug report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultInfo {
     /// The fault identifier.
     pub id: FaultId,
@@ -625,12 +624,18 @@ impl FaultCatalog {
 
     /// The reports filed against a given system (Table 2 rows).
     pub fn for_system(system: FaultySystem) -> Vec<FaultInfo> {
-        Self::all().into_iter().filter(|f| f.system == system).collect()
+        Self::all()
+            .into_iter()
+            .filter(|f| f.system == system)
+            .collect()
     }
 
     /// The 20 confirmed or fixed logic faults analysed by Table 4.
     pub fn confirmed_logic() -> Vec<FaultInfo> {
-        Self::all().into_iter().filter(|f| f.is_confirmed_logic()).collect()
+        Self::all()
+            .into_iter()
+            .filter(|f| f.is_confirmed_logic())
+            .collect()
     }
 }
 
@@ -642,7 +647,10 @@ mod tests {
     fn registry_reproduces_table2_totals() {
         let all = FaultCatalog::all();
         assert_eq!(all.len(), 35, "35 reports in total");
-        let unique: Vec<_> = all.iter().filter(|f| f.status != FaultStatus::Duplicate).collect();
+        let unique: Vec<_> = all
+            .iter()
+            .filter(|f| f.status != FaultStatus::Duplicate)
+            .collect();
         assert_eq!(unique.len(), 34, "34 unique bugs");
         let count = |s: FaultySystem| FaultCatalog::for_system(s).len();
         assert_eq!(count(FaultySystem::Geos), 12);
@@ -650,10 +658,22 @@ mod tests {
         assert_eq!(count(FaultySystem::DuckDbSpatial), 6);
         assert_eq!(count(FaultySystem::MySql), 4);
         assert_eq!(count(FaultySystem::SqlServer), 2);
-        let fixed = all.iter().filter(|f| f.status == FaultStatus::Fixed).count();
-        let confirmed = all.iter().filter(|f| f.status == FaultStatus::Confirmed).count();
-        let unconfirmed = all.iter().filter(|f| f.status == FaultStatus::Unconfirmed).count();
-        let duplicate = all.iter().filter(|f| f.status == FaultStatus::Duplicate).count();
+        let fixed = all
+            .iter()
+            .filter(|f| f.status == FaultStatus::Fixed)
+            .count();
+        let confirmed = all
+            .iter()
+            .filter(|f| f.status == FaultStatus::Confirmed)
+            .count();
+        let unconfirmed = all
+            .iter()
+            .filter(|f| f.status == FaultStatus::Unconfirmed)
+            .count();
+        let duplicate = all
+            .iter()
+            .filter(|f| f.status == FaultStatus::Duplicate)
+            .count();
         assert_eq!((fixed, confirmed, unconfirmed, duplicate), (18, 12, 4, 1));
     }
 
@@ -665,8 +685,14 @@ mod tests {
             .filter(|f| matches!(f.status, FaultStatus::Fixed | FaultStatus::Confirmed))
             .collect();
         assert_eq!(confirmed.len(), 30);
-        let logic = confirmed.iter().filter(|f| f.kind == FaultKind::Logic).count();
-        let crash = confirmed.iter().filter(|f| f.kind == FaultKind::Crash).count();
+        let logic = confirmed
+            .iter()
+            .filter(|f| f.kind == FaultKind::Logic)
+            .count();
+        let crash = confirmed
+            .iter()
+            .filter(|f| f.kind == FaultKind::Crash)
+            .count();
         assert_eq!(logic, 20);
         assert_eq!(crash, 10);
         // Per-system crash counts of Table 3.
@@ -686,9 +712,18 @@ mod tests {
     fn registry_reproduces_table4_ground_truth() {
         let logic = FaultCatalog::confirmed_logic();
         assert_eq!(logic.len(), 20);
-        assert!(logic.iter().all(|f| f.detectable_by.aei), "AEI detects all 20");
-        let pm = logic.iter().filter(|f| f.detectable_by.diff_postgis_mysql).count();
-        let pd = logic.iter().filter(|f| f.detectable_by.diff_postgis_duckdb).count();
+        assert!(
+            logic.iter().all(|f| f.detectable_by.aei),
+            "AEI detects all 20"
+        );
+        let pm = logic
+            .iter()
+            .filter(|f| f.detectable_by.diff_postgis_mysql)
+            .count();
+        let pd = logic
+            .iter()
+            .filter(|f| f.detectable_by.diff_postgis_duckdb)
+            .count();
         let idx = logic.iter().filter(|f| f.detectable_by.index).count();
         let tlp = logic.iter().filter(|f| f.detectable_by.tlp).count();
         assert_eq!(pm, 4, "PostGIS vs MySQL detects 4");
@@ -710,7 +745,10 @@ mod tests {
     #[test]
     fn trigger_pattern_counts_match_section_5_2() {
         let logic = FaultCatalog::confirmed_logic();
-        let empty = logic.iter().filter(|f| f.trigger == TriggerClass::Empty).count();
+        let empty = logic
+            .iter()
+            .filter(|f| f.trigger == TriggerClass::Empty)
+            .count();
         // "Among all 20 logic bugs, 6 can be triggered by test cases containing
         // EMPTY elements or geometries."
         assert_eq!(empty, 6);
@@ -726,14 +764,26 @@ mod tests {
         assert!(set.is_active(FaultId::GeosCoversPrecisionLoss));
         set.disable(FaultId::GeosCoversPrecisionLoss);
         assert!(!set.is_active(FaultId::GeosCoversPrecisionLoss));
-        let set = FaultSet::with([FaultId::MysqlOverlapsAxisOrder, FaultId::MysqlTouchesEmptyElement]);
+        let set = FaultSet::with([
+            FaultId::MysqlOverlapsAxisOrder,
+            FaultId::MysqlTouchesEmptyElement,
+        ]);
         assert_eq!(set.iter().count(), 2);
     }
 
     #[test]
     fn info_lookup_matches_listings() {
-        assert_eq!(FaultCatalog::info(FaultId::GeosCoversPrecisionLoss).listing, Some(1));
-        assert_eq!(FaultCatalog::info(FaultId::MysqlCrossesLargeCoordinates).listing, Some(3));
-        assert_eq!(FaultCatalog::info(FaultId::PostgisGistIndexDropsRows).listing, Some(8));
+        assert_eq!(
+            FaultCatalog::info(FaultId::GeosCoversPrecisionLoss).listing,
+            Some(1)
+        );
+        assert_eq!(
+            FaultCatalog::info(FaultId::MysqlCrossesLargeCoordinates).listing,
+            Some(3)
+        );
+        assert_eq!(
+            FaultCatalog::info(FaultId::PostgisGistIndexDropsRows).listing,
+            Some(8)
+        );
     }
 }

@@ -127,7 +127,9 @@ pub fn evaluate(name: &str, args: &[Value], ctx: &FunctionContext) -> SdbResult<
                     .map(Value::Double)
                     .unwrap_or(Value::Null));
             }
-            Ok(distance::distance(&a, &b).map(Value::Double).unwrap_or(Value::Null))
+            Ok(distance::distance(&a, &b)
+                .map(Value::Double)
+                .unwrap_or(Value::Null))
         }
         "ST_DWITHIN" => {
             coverage::hit("sdb.expr.function_measure");
@@ -166,7 +168,9 @@ pub fn evaluate(name: &str, args: &[Value], ctx: &FunctionContext) -> SdbResult<
                 coverage::hit("sdb.fault.logic_path");
                 return Ok(Value::Geometry(Geometry::Point(Point::new(0.0, 0.0))));
             }
-            Ok(Value::Geometry(editing::envelope_of(&g).map_err(execution)?))
+            Ok(Value::Geometry(
+                editing::envelope_of(&g).map_err(execution)?,
+            ))
         }
         "ST_CONVEXHULL" => {
             coverage::hit("sdb.expr.function_editing");
@@ -242,9 +246,13 @@ pub fn evaluate(name: &str, args: &[Value], ctx: &FunctionContext) -> SdbResult<
                 && a.geometry_type() != b.geometry_type()
             {
                 coverage::hit("sdb.fault.crash_path");
-                return Err(SdbError::Crash("ST_Collect of mixed EMPTY arguments".into()));
+                return Err(SdbError::Crash(
+                    "ST_Collect of mixed EMPTY arguments".into(),
+                ));
             }
-            Ok(Value::Geometry(editing::collect(&a, &b).map_err(execution)?))
+            Ok(Value::Geometry(
+                editing::collect(&a, &b).map_err(execution)?,
+            ))
         }
         "ST_REVERSE" => {
             coverage::hit("sdb.expr.function_editing");
@@ -287,7 +295,9 @@ pub fn evaluate(name: &str, args: &[Value], ctx: &FunctionContext) -> SdbResult<
                 coverage::hit("sdb.fault.crash_path");
                 return Err(SdbError::Crash("ST_DumpRings of MULTIPOLYGON EMPTY".into()));
             }
-            Ok(editing::dump_rings(&g).map(Value::Geometry).unwrap_or(Value::Null))
+            Ok(editing::dump_rings(&g)
+                .map(Value::Geometry)
+                .unwrap_or(Value::Null))
         }
         "ST_COLLECTIONEXTRACT" => {
             coverage::hit("sdb.expr.function_editing");
@@ -297,7 +307,11 @@ pub fn evaluate(name: &str, args: &[Value], ctx: &FunctionContext) -> SdbResult<
                 1 => GeometryType::Point,
                 2 => GeometryType::LineString,
                 3 => GeometryType::Polygon,
-                _ => return Err(SdbError::Execution("ST_CollectionExtract type must be 1, 2 or 3".into())),
+                _ => {
+                    return Err(SdbError::Execution(
+                        "ST_CollectionExtract type must be 1, 2 or 3".into(),
+                    ))
+                }
             };
             let extracted = editing::collection_extract(&g, target).map_err(execution)?;
             if ctx.fault(FaultId::DuckdbCrashCollectionExtractMismatch) && extracted.is_empty() {
@@ -311,13 +325,16 @@ pub fn evaluate(name: &str, args: &[Value], ctx: &FunctionContext) -> SdbResult<
         "ST_POLYGONIZE" => {
             coverage::hit("sdb.expr.function_editing");
             let g = geometry_arg(args, 0, ctx)?;
-            if ctx.fault(FaultId::GeosCrashPolygonizeDuplicatePoints) && has_duplicate_vertices(&g) {
+            if ctx.fault(FaultId::GeosCrashPolygonizeDuplicatePoints) && has_duplicate_vertices(&g)
+            {
                 coverage::hit("sdb.fault.crash_path");
                 return Err(SdbError::Crash(
                     "polygonize of linework with duplicate consecutive points".into(),
                 ));
             }
-            Ok(editing::polygonize(&g).map(Value::Geometry).unwrap_or(Value::Null))
+            Ok(editing::polygonize(&g)
+                .map(Value::Geometry)
+                .unwrap_or(Value::Null))
         }
         other => Err(SdbError::UnsupportedFunction(other.to_string())),
     }
@@ -539,7 +556,9 @@ fn faulty_predicate_result(
 fn guard_crash_relate(a: &Geometry, b: &Geometry, ctx: &FunctionContext) -> SdbResult<()> {
     if ctx.fault(FaultId::GeosCrashRelateShortRing) && (has_short_ring(a) || has_short_ring(b)) {
         coverage::hit("sdb.fault.crash_path");
-        return Err(SdbError::Crash("relate on polygon ring with fewer than 4 points".into()));
+        return Err(SdbError::Crash(
+            "relate on polygon ring with fewer than 4 points".into(),
+        ));
     }
     Ok(())
 }
@@ -554,18 +573,19 @@ pub fn parse_geometry_text(text: &str, ctx: &FunctionContext) -> SdbResult<Geome
             .contains("GEOMETRYCOLLECTION(GEOMETRYCOLLECTION EMPTY")
     {
         coverage::hit("sdb.fault.crash_path");
-        return Err(SdbError::Crash("nested EMPTY collection in WKT reader".into()));
+        return Err(SdbError::Crash(
+            "nested EMPTY collection in WKT reader".into(),
+        ));
     }
     if ctx.fault(FaultId::SqlServerUnconfirmedCrashEmptyMultipoint)
         && text.to_ascii_uppercase().starts_with("MULTIPOINT")
         && text.to_ascii_uppercase().contains("EMPTY")
-        && text.trim().to_ascii_uppercase() != "MULTIPOINT EMPTY"
+        && !text.trim().eq_ignore_ascii_case("MULTIPOINT EMPTY")
     {
         coverage::hit("sdb.fault.crash_path");
         return Err(SdbError::Crash("MULTIPOINT with EMPTY element".into()));
     }
-    let geometry =
-        parse_wkt(text).map_err(|e| SdbError::InvalidGeometry(e.to_string()))?;
+    let geometry = parse_wkt(text).map_err(|e| SdbError::InvalidGeometry(e.to_string()))?;
     if ctx.fault(FaultId::DuckdbUnconfirmedEmptyPolygonWkt)
         && text.trim().eq_ignore_ascii_case("POLYGON(EMPTY)")
     {
@@ -636,7 +656,9 @@ fn collect_segments(geometry: &Geometry, out: &mut Vec<(Coord, Coord)>) {
     match geometry {
         Geometry::LineString(l) => out.extend(l.segments()),
         Geometry::MultiLineString(m) => m.lines.iter().for_each(|l| out.extend(l.segments())),
-        Geometry::GeometryCollection(c) => c.geometries.iter().for_each(|g| collect_segments(g, out)),
+        Geometry::GeometryCollection(c) => {
+            c.geometries.iter().for_each(|g| collect_segments(g, out))
+        }
         _ => {}
     }
 }
@@ -723,7 +745,9 @@ fn collection_has_multi_element(geometry: &Geometry) -> bool {
 
 fn is_collection_with_empty_first(geometry: &Geometry) -> bool {
     match geometry {
-        Geometry::GeometryCollection(c) => c.geometries.first().map(|g| g.is_empty()).unwrap_or(false),
+        Geometry::GeometryCollection(c) => {
+            c.geometries.first().map(|g| g.is_empty()).unwrap_or(false)
+        }
         _ => false,
     }
 }
@@ -732,7 +756,10 @@ fn first_element_is_empty(geometry: &Geometry) -> bool {
     if geometry.num_geometries() < 2 {
         return false;
     }
-    geometry.geometry_n(1).map(|g| g.is_empty()).unwrap_or(false)
+    geometry
+        .geometry_n(1)
+        .map(|g| g.is_empty())
+        .unwrap_or(false)
 }
 
 /// Whether a MULTI or MIXED geometry carries an EMPTY element (the geometry
@@ -841,7 +868,9 @@ fn geometry_arg(args: &[Value], index: usize, ctx: &FunctionContext) -> SdbResul
             "argument {index} must be a geometry, got {}",
             other.type_name()
         ))),
-        None => Err(SdbError::Execution(format!("missing geometry argument {index}"))),
+        None => Err(SdbError::Execution(format!(
+            "missing geometry argument {index}"
+        ))),
     }
 }
 
@@ -882,13 +911,22 @@ mod tests {
         let fixed = ctx_with(&fixed_set, EngineProfile::PostgisLike);
 
         let args = [geometry("LINESTRING(0 1,2 0)"), geometry("POINT(0.2 0.9)")];
-        assert_eq!(evaluate("ST_Covers", &args, &faulty).unwrap(), Value::Bool(false));
-        assert_eq!(evaluate("ST_Covers", &args, &fixed).unwrap(), Value::Bool(true));
+        assert_eq!(
+            evaluate("ST_Covers", &args, &faulty).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            evaluate("ST_Covers", &args, &fixed).unwrap(),
+            Value::Bool(true)
+        );
 
         // The affine-equivalent pair of Listing 2 is answered correctly even
         // by the faulty engine — exactly the discrepancy AEI exploits.
         let args2 = [geometry("LINESTRING(1 1,0 0)"), geometry("POINT(0.9 0.9)")];
-        assert_eq!(evaluate("ST_Covers", &args2, &faulty).unwrap(), Value::Bool(true));
+        assert_eq!(
+            evaluate("ST_Covers", &args2, &faulty).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -901,11 +939,20 @@ mod tests {
             geometry("MULTIPOINT((1 0),(0 0))"),
             geometry("MULTIPOINT((-2 0),EMPTY)"),
         ];
-        assert_eq!(evaluate("ST_Distance", &args, &faulty).unwrap(), Value::Double(3.0));
-        assert_eq!(evaluate("ST_Distance", &args, &fixed).unwrap(), Value::Double(2.0));
+        assert_eq!(
+            evaluate("ST_Distance", &args, &faulty).unwrap(),
+            Value::Double(3.0)
+        );
+        assert_eq!(
+            evaluate("ST_Distance", &args, &fixed).unwrap(),
+            Value::Double(2.0)
+        );
         // Without the EMPTY element the faulty engine is right too.
         let args = [geometry("MULTIPOINT((1 0),(0 0))"), geometry("POINT(-2 0)")];
-        assert_eq!(evaluate("ST_Distance", &args, &faulty).unwrap(), Value::Double(2.0));
+        assert_eq!(
+            evaluate("ST_Distance", &args, &faulty).unwrap(),
+            Value::Double(2.0)
+        );
     }
 
     #[test]
@@ -918,15 +965,24 @@ mod tests {
             geometry("POINT(0 0)"),
             geometry("GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))"),
         ];
-        assert_eq!(evaluate("ST_Within", &args, &faulty).unwrap(), Value::Bool(false));
-        assert_eq!(evaluate("ST_Within", &args, &fixed).unwrap(), Value::Bool(true));
+        assert_eq!(
+            evaluate("ST_Within", &args, &faulty).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            evaluate("ST_Within", &args, &fixed).unwrap(),
+            Value::Bool(true)
+        );
         // With the members reordered (as canonicalization does), the POINT is
         // the last member and the faulty engine answers correctly.
         let args = [
             geometry("POINT(0 0)"),
             geometry("GEOMETRYCOLLECTION(LINESTRING(0 0,1 0),POINT(0 0))"),
         ];
-        assert_eq!(evaluate("ST_Within", &args, &faulty).unwrap(), Value::Bool(true));
+        assert_eq!(
+            evaluate("ST_Within", &args, &faulty).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -940,8 +996,14 @@ mod tests {
             geometry("POLYGON((0 0,0 1,1 0,0 0))"),
             Value::Int(100),
         ];
-        assert_eq!(evaluate("ST_DFullyWithin", &args, &faulty).unwrap(), Value::Bool(false));
-        assert_eq!(evaluate("ST_DFullyWithin", &args, &fixed).unwrap(), Value::Bool(true));
+        assert_eq!(
+            evaluate("ST_DFullyWithin", &args, &faulty).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            evaluate("ST_DFullyWithin", &args, &fixed).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -954,15 +1016,24 @@ mod tests {
             geometry("MULTILINESTRING((990 280,100 20))"),
             geometry("GEOMETRYCOLLECTION(MULTILINESTRING((990 280,100 20)),POLYGON((360 60,850 620,850 420,360 60)))"),
         ];
-        assert_eq!(evaluate("ST_Crosses", &args, &faulty).unwrap(), Value::Bool(true));
-        assert_eq!(evaluate("ST_Crosses", &args, &fixed).unwrap(), Value::Bool(false));
+        assert_eq!(
+            evaluate("ST_Crosses", &args, &faulty).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            evaluate("ST_Crosses", &args, &fixed).unwrap(),
+            Value::Bool(false)
+        );
         // Scaling the coordinates down by 10 (the affine-equivalent input)
         // avoids the faulty path.
         let args = [
             geometry("MULTILINESTRING((99 28,10 2))"),
             geometry("GEOMETRYCOLLECTION(MULTILINESTRING((99 28,10 2)),POLYGON((36 6,85 62,85 42,36 6)))"),
         ];
-        assert_eq!(evaluate("ST_Crosses", &args, &faulty).unwrap(), Value::Bool(false));
+        assert_eq!(
+            evaluate("ST_Crosses", &args, &faulty).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -973,7 +1044,10 @@ mod tests {
         let g2 = "GEOMETRYCOLLECTION(POLYGON((614 445,30 26,80 30,614 445)),POLYGON((190 1010,40 90,90 40,190 1010)))";
         // Original orientation: correct result (0 / false).
         let args = [geometry(g2), geometry(g1)];
-        assert_eq!(evaluate("ST_Overlaps", &args, &faulty).unwrap(), Value::Bool(false));
+        assert_eq!(
+            evaluate("ST_Overlaps", &args, &faulty).unwrap(),
+            Value::Bool(false)
+        );
         // After swapping the axes, the faulty path fires and reports true.
         let swapped_g1 = evaluate("ST_SwapXY", &[geometry(g1)], &faulty).unwrap();
         let swapped_g2 = evaluate("ST_SwapXY", &[geometry(g2)], &faulty).unwrap();
@@ -1020,13 +1094,22 @@ mod tests {
         ]);
         let ctx = ctx_with(&faults, EngineProfile::DuckdbSpatialLike);
         let short_ring = geometry("POLYGON((0 0,1 1,0 0))");
-        let err = evaluate("ST_Intersects", &[short_ring, geometry("POINT(0 0)")], &ctx).unwrap_err();
+        let err =
+            evaluate("ST_Intersects", &[short_ring, geometry("POINT(0 0)")], &ctx).unwrap_err();
         assert!(err.is_crash());
-        let err = evaluate("ST_GeometryN", &[geometry("MULTIPOINT((1 1))"), Value::Int(0)], &ctx)
-            .unwrap_err();
+        let err = evaluate(
+            "ST_GeometryN",
+            &[geometry("MULTIPOINT((1 1))"), Value::Int(0)],
+            &ctx,
+        )
+        .unwrap_err();
         assert!(err.is_crash());
-        let err = evaluate("ST_ConvexHull", &[geometry("GEOMETRYCOLLECTION(POINT EMPTY)")], &ctx)
-            .unwrap_err();
+        let err = evaluate(
+            "ST_ConvexHull",
+            &[geometry("GEOMETRYCOLLECTION(POINT EMPTY)")],
+            &ctx,
+        )
+        .unwrap_err();
         assert!(err.is_crash());
     }
 
@@ -1035,7 +1118,12 @@ mod tests {
         let none = FaultSet::none();
         let ctx = ctx_with(&none, EngineProfile::PostgisLike);
         assert_eq!(
-            evaluate("ST_Area", &[geometry("POLYGON((0 0,4 0,4 4,0 4,0 0))")], &ctx).unwrap(),
+            evaluate(
+                "ST_Area",
+                &[geometry("POLYGON((0 0,4 0,4 4,0 4,0 0))")],
+                &ctx
+            )
+            .unwrap(),
             Value::Double(16.0)
         );
         assert_eq!(
@@ -1043,7 +1131,12 @@ mod tests {
             Value::Double(5.0)
         );
         assert_eq!(
-            evaluate("ST_NumGeometries", &[geometry("MULTIPOINT((1 1),(2 2))")], &ctx).unwrap(),
+            evaluate(
+                "ST_NumGeometries",
+                &[geometry("MULTIPOINT((1 1),(2 2))")],
+                &ctx
+            )
+            .unwrap(),
             Value::Int(2)
         );
         assert_eq!(
@@ -1081,8 +1174,14 @@ mod tests {
     fn text_arguments_are_coerced_to_geometry() {
         let none = FaultSet::none();
         let ctx = ctx_with(&none, EngineProfile::PostgisLike);
-        let args = [Value::Text("POINT(1 1)".into()), Value::Text("POINT(1 1)".into())];
-        assert_eq!(evaluate("ST_Equals", &args, &ctx).unwrap(), Value::Bool(true));
+        let args = [
+            Value::Text("POINT(1 1)".into()),
+            Value::Text("POINT(1 1)".into()),
+        ];
+        assert_eq!(
+            evaluate("ST_Equals", &args, &ctx).unwrap(),
+            Value::Bool(true)
+        );
         assert!(matches!(
             evaluate("ST_Equals", &[Value::Int(1), Value::Int(2)], &ctx),
             Err(SdbError::Execution(_))
@@ -1095,9 +1194,15 @@ mod tests {
         let faulty = ctx_with(&faults, EngineProfile::PostgisLike);
         let args = [geometry("POINT(0.4 0)"), geometry("POINT(0 0)")];
         // Snapping makes the two distinct points "equal".
-        assert_eq!(evaluate("ST_Equals", &args, &faulty).unwrap(), Value::Bool(true));
+        assert_eq!(
+            evaluate("ST_Equals", &args, &faulty).unwrap(),
+            Value::Bool(true)
+        );
         // Integer coordinates avoid the faulty path.
         let args = [geometry("POINT(4 0)"), geometry("POINT(0 0)")];
-        assert_eq!(evaluate("ST_Equals", &args, &faulty).unwrap(), Value::Bool(false));
+        assert_eq!(
+            evaluate("ST_Equals", &args, &faulty).unwrap(),
+            Value::Bool(false)
+        );
     }
 }

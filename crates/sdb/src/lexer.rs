@@ -128,9 +128,7 @@ pub fn tokenize(input: &str) -> SdbResult<Vec<Token>> {
                 i += 1;
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(SdbError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(SdbError::Parse("unterminated string literal".into())),
                         Some(b'\'') => {
                             if bytes.get(i + 1) == Some(&b'\'') {
                                 s.push('\'');
@@ -162,8 +160,16 @@ pub fn tokenize(input: &str) -> SdbResult<Vec<Token>> {
                 ));
             }
             c if c.is_ascii_digit()
-                || (c == b'-' && bytes.get(i + 1).map(|n| n.is_ascii_digit()).unwrap_or(false))
-                || (c == b'.' && bytes.get(i + 1).map(|n| n.is_ascii_digit()).unwrap_or(false)) =>
+                || (c == b'-'
+                    && bytes
+                        .get(i + 1)
+                        .map(|n| n.is_ascii_digit())
+                        .unwrap_or(false))
+                || (c == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .map(|n| n.is_ascii_digit())
+                        .unwrap_or(false)) =>
             {
                 let start = i;
                 i += 1;

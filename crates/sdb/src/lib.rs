@@ -33,6 +33,8 @@ pub mod value;
 
 pub use engine::{Engine, QueryResult};
 pub use error::{SdbError, SdbResult};
-pub use faults::{FaultCatalog, FaultId, FaultInfo, FaultKind, FaultSet, FaultStatus, TriggerClass};
+pub use faults::{
+    FaultCatalog, FaultId, FaultInfo, FaultKind, FaultSet, FaultStatus, TriggerClass,
+};
 pub use profile::EngineProfile;
 pub use value::Value;

@@ -1,8 +1,6 @@
 //! Recursive-descent parser for the supported SQL subset.
 
-use crate::ast::{
-    BinaryOp, ColumnType, Expr, SelectItem, SelectStatement, Statement, TableRef,
-};
+use crate::ast::{BinaryOp, ColumnType, Expr, SelectItem, SelectStatement, Statement, TableRef};
 use crate::error::{SdbError, SdbResult};
 use crate::lexer::{tokenize, Token};
 use crate::value::Value;
@@ -129,7 +127,9 @@ impl Parser {
     fn expect_identifier(&mut self) -> SdbResult<String> {
         match self.next() {
             Some(Token::Ident(name)) => Ok(name),
-            other => Err(SdbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SdbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -141,7 +141,9 @@ impl Parser {
             if self.consume_keyword("INDEX") {
                 return self.parse_create_index();
             }
-            return Err(SdbError::Parse("expected TABLE or INDEX after CREATE".into()));
+            return Err(SdbError::Parse(
+                "expected TABLE or INDEX after CREATE".into(),
+            ));
         }
         if self.consume_keyword("DROP") {
             self.expect_keyword("TABLE")?;
@@ -196,7 +198,11 @@ impl Parser {
         self.expect(&Token::LParen)?;
         let column = self.expect_identifier()?;
         self.expect(&Token::RParen)?;
-        Ok(Statement::CreateIndex { name, table, column })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+        })
     }
 
     fn parse_insert(&mut self) -> SdbResult<Statement> {
@@ -488,10 +494,13 @@ mod tests {
 
     #[test]
     fn parse_insert_listing1() {
-        let stmt =
-            parse_statement("INSERT INTO t1 (g) VALUES ('LINESTRING(0 1,2 0)');").unwrap();
+        let stmt = parse_statement("INSERT INTO t1 (g) VALUES ('LINESTRING(0 1,2 0)');").unwrap();
         match stmt {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "t1");
                 assert_eq!(columns, vec!["g".to_string()]);
                 assert_eq!(rows.len(), 1);
@@ -518,10 +527,8 @@ mod tests {
 
     #[test]
     fn parse_join_count_query_listing1() {
-        let stmt = parse_statement(
-            "SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g);",
-        )
-        .unwrap();
+        let stmt =
+            parse_statement("SELECT COUNT(*) FROM t1 JOIN t2 ON ST_Covers(t1.g,t2.g);").unwrap();
         match stmt {
             Statement::Select(select) => {
                 assert_eq!(select.items, vec![SelectItem::CountStar]);
@@ -598,10 +605,8 @@ mod tests {
 
     #[test]
     fn parse_where_with_samebox_listing8() {
-        let stmt = parse_statement(
-            "SELECT COUNT(*) FROM t WHERE geom ~= 'POINT EMPTY'::geometry;",
-        )
-        .unwrap();
+        let stmt = parse_statement("SELECT COUNT(*) FROM t WHERE geom ~= 'POINT EMPTY'::geometry;")
+            .unwrap();
         match stmt {
             Statement::Select(select) => {
                 assert_eq!(select.items, vec![SelectItem::CountStar]);

@@ -6,10 +6,9 @@
 //! the stock engine of that profile carries.
 
 use crate::faults::{FaultCatalog, FaultId, FaultKind, FaultSet, FaultStatus, FaultySystem};
-use serde::{Deserialize, Serialize};
 
 /// The four engine profiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineProfile {
     /// Models PostGIS (built on the shared GEOS-analog library).
     PostgisLike,
@@ -95,8 +94,12 @@ impl EngineProfile {
             // PostGIS / DuckDB Spatial extensions (shared GEOS heritage).
             "ST_COVERS" | "ST_COVEREDBY" => self.uses_shared_library(),
             // PostGIS-only extensions.
-            "ST_DFULLYWITHIN" | "ST_DUMPRINGS" | "ST_SETPOINT" | "ST_FORCEPOLYGONCW"
-            | "ST_COLLECTIONEXTRACT" | "ST_POLYGONIZE" => {
+            "ST_DFULLYWITHIN"
+            | "ST_DUMPRINGS"
+            | "ST_SETPOINT"
+            | "ST_FORCEPOLYGONCW"
+            | "ST_COLLECTIONEXTRACT"
+            | "ST_POLYGONIZE" => {
                 matches!(self, EngineProfile::PostgisLike)
             }
             _ => false,
@@ -166,9 +169,21 @@ mod tests {
     #[test]
     fn core_functions_are_universal() {
         for profile in EngineProfile::ALL {
-            assert!(profile.supports_function("ST_Intersects"), "{}", profile.name());
-            assert!(profile.supports_function("ST_Crosses"), "{}", profile.name());
-            assert!(!profile.supports_function("ST_Buffer"), "{}", profile.name());
+            assert!(
+                profile.supports_function("ST_Intersects"),
+                "{}",
+                profile.name()
+            );
+            assert!(
+                profile.supports_function("ST_Crosses"),
+                "{}",
+                profile.name()
+            );
+            assert!(
+                !profile.supports_function("ST_Buffer"),
+                "{}",
+                profile.name()
+            );
         }
     }
 

@@ -134,6 +134,9 @@ mod tests {
     #[test]
     fn type_names() {
         assert_eq!(Value::Int(1).type_name(), "INTEGER");
-        assert_eq!(Value::Geometry(parse_wkt("POINT EMPTY").unwrap()).type_name(), "GEOMETRY");
+        assert_eq!(
+            Value::Geometry(parse_wkt("POINT EMPTY").unwrap()).type_name(),
+            "GEOMETRY"
+        );
     }
 }

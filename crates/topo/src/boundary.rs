@@ -31,7 +31,8 @@ pub fn boundary(geometry: &Geometry) -> Geometry {
         }
         Geometry::Polygon(p) => {
             coverage::hit("topo.boundary.polygon");
-            let rings: Vec<LineString> = p.rings.iter().filter(|r| !r.is_empty()).cloned().collect();
+            let rings: Vec<LineString> =
+                p.rings.iter().filter(|r| !r.is_empty()).cloned().collect();
             rings_as_lines(rings)
         }
         Geometry::MultiPolygon(m) => {
@@ -108,27 +109,25 @@ fn boundary_of_collection(members: &[Geometry]) -> Geometry {
                     .filter(|r| !r.is_empty())
                     .cloned(),
             ),
-            Geometry::GeometryCollection(c) => {
-                match boundary_of_collection(&c.geometries) {
-                    Geometry::GeometryCollection(inner) => {
-                        for g in inner.geometries {
-                            match g {
-                                Geometry::LineString(l) => lines.push(l),
-                                Geometry::MultiLineString(m) => lines.extend(m.lines),
-                                Geometry::Point(p) => {
-                                    if let Some(c) = p.coord {
-                                        lines.push(LineString::new(vec![c, c]));
-                                    }
+            Geometry::GeometryCollection(c) => match boundary_of_collection(&c.geometries) {
+                Geometry::GeometryCollection(inner) => {
+                    for g in inner.geometries {
+                        match g {
+                            Geometry::LineString(l) => lines.push(l),
+                            Geometry::MultiLineString(m) => lines.extend(m.lines),
+                            Geometry::Point(p) => {
+                                if let Some(c) = p.coord {
+                                    lines.push(LineString::new(vec![c, c]));
                                 }
-                                _ => {}
                             }
+                            _ => {}
                         }
                     }
-                    Geometry::LineString(l) => lines.push(l),
-                    Geometry::MultiLineString(m) => lines.extend(m.lines),
-                    _ => {}
                 }
-            }
+                Geometry::LineString(l) => lines.push(l),
+                Geometry::MultiLineString(m) => lines.extend(m.lines),
+                _ => {}
+            },
             // Points contribute nothing to the boundary.
             Geometry::Point(_) | Geometry::MultiPoint(_) => {}
         }

@@ -73,7 +73,11 @@ impl Accumulator {
                 continue;
             }
             let signed = signed_area(ring);
-            let weight = if idx == 0 { signed.abs() } else { -signed.abs() };
+            let weight = if idx == 0 {
+                signed.abs()
+            } else {
+                -signed.abs()
+            };
             if let Some(c) = ring_centroid(ring) {
                 self.area_sum += weight;
                 self.area_cx += c.x * weight;
@@ -90,7 +94,10 @@ impl Accumulator {
             ));
         }
         if self.len_sum > 0.0 {
-            return Some(Coord::new(self.len_cx / self.len_sum, self.len_cy / self.len_sum));
+            return Some(Coord::new(
+                self.len_cx / self.len_sum,
+                self.len_cy / self.len_sum,
+            ));
         }
         if self.pt_count > 0 {
             return Some(Coord::new(
@@ -146,7 +153,10 @@ mod tests {
 
     #[test]
     fn centroid_of_multipoint_is_average() {
-        assert_eq!(c("MULTIPOINT((0 0),(4 0),(4 4),(0 4))"), Some(Coord::new(2.0, 2.0)));
+        assert_eq!(
+            c("MULTIPOINT((0 0),(4 0),(4 4),(0 4))"),
+            Some(Coord::new(2.0, 2.0))
+        );
     }
 
     #[test]
@@ -156,7 +166,10 @@ mod tests {
 
     #[test]
     fn centroid_of_square_is_center() {
-        assert_eq!(c("POLYGON((0 0,4 0,4 4,0 4,0 0))"), Some(Coord::new(2.0, 2.0)));
+        assert_eq!(
+            c("POLYGON((0 0,4 0,4 4,0 4,0 0))"),
+            Some(Coord::new(2.0, 2.0))
+        );
     }
 
     #[test]

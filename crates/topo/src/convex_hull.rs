@@ -46,9 +46,7 @@ fn monotone_chain(sorted: &[Coord]) -> Vec<Coord> {
 
     // Lower hull.
     for &p in sorted {
-        while hull.len() >= 2
-            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
-        {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
             hull.pop();
         }
         hull.push(p);
@@ -56,8 +54,7 @@ fn monotone_chain(sorted: &[Coord]) -> Vec<Coord> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for &p in sorted.iter().rev().skip(1) {
-        while hull.len() >= lower_len
-            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }
@@ -95,7 +92,10 @@ mod tests {
 
     #[test]
     fn hull_of_collinear_points_is_segment() {
-        assert_eq!(hull("MULTIPOINT((0 0),(1 1),(2 2),(3 3))"), "LINESTRING(0 0,3 3)");
+        assert_eq!(
+            hull("MULTIPOINT((0 0),(1 1),(2 2),(3 3))"),
+            "LINESTRING(0 0,3 3)"
+        );
     }
 
     #[test]

@@ -8,9 +8,21 @@
 //! [`hit`] when it executes. Coverage is the fraction of registered probes
 //! hit since the last [`reset`]. The measurement intent (which components a
 //! test campaign exercises) is identical; only the unit differs.
+//!
+//! # Concurrency
+//!
+//! Probes sit on the hottest paths of the engine (every relate call, every
+//! expression evaluation), and the sharded campaign runner executes
+//! iterations on many worker threads at once. The registry is therefore a
+//! fixed-capacity, open-addressed hash table of per-probe atomic counters:
+//! recording a hit after the first registration of a name is one relaxed
+//! load plus one relaxed `fetch_add` on that probe's own counter — no lock,
+//! no shared cache line between distinct probes. The previous implementation
+//! (a global `Mutex<HashSet>`) serialized every probe hit across all workers.
 
-use parking_lot::Mutex;
 use std::collections::HashSet;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 /// The complete list of probes in the `spatter-topo` crate ("GEOS analog"
 /// component). Keeping the list static gives a stable denominator.
@@ -78,23 +90,112 @@ pub const TOPO_PROBES: &[&str] = &[
     "topo.segment.intersection_endpoint",
 ];
 
-static HITS: Mutex<Option<HashSet<&'static str>>> = Mutex::new(None);
+/// One registered probe: its name and its hit counter. Entries are leaked on
+/// first registration and live for the process lifetime, so `&'static`
+/// references to them can be handed out freely.
+struct ProbeEntry {
+    name: &'static str,
+    count: AtomicU64,
+}
+
+/// Slot count of the open-addressed table. Power of two, comfortably above
+/// the ~100 static probes of the workspace plus test-only names; the table
+/// panics rather than silently dropping probes if it ever fills up.
+const TABLE_SLOTS: usize = 1024;
+
+/// The global probe table. A null slot is empty; a non-null slot points at a
+/// leaked [`ProbeEntry`] and is never unlinked (resets only zero counters),
+/// so readers never observe a dangling pointer.
+static TABLE: [AtomicPtr<ProbeEntry>; TABLE_SLOTS] =
+    [const { AtomicPtr::new(ptr::null_mut()) }; TABLE_SLOTS];
+
+fn hash(name: &str) -> usize {
+    // FNV-1a; cheap and good enough for short dotted probe names.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h as usize & (TABLE_SLOTS - 1)
+}
+
+/// Finds the entry for `name`, registering it when `insert` is true.
+fn lookup(name: &'static str, insert: bool) -> Option<&'static ProbeEntry> {
+    let mut slot = hash(name);
+    for _ in 0..TABLE_SLOTS {
+        let current = TABLE[slot].load(Ordering::Acquire);
+        if current.is_null() {
+            if !insert {
+                return None;
+            }
+            let entry = Box::into_raw(Box::new(ProbeEntry {
+                name,
+                count: AtomicU64::new(0),
+            }));
+            match TABLE[slot].compare_exchange(
+                ptr::null_mut(),
+                entry,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                // Safety: the entry was just leaked and is never freed.
+                Ok(_) => return Some(unsafe { &*entry }),
+                Err(_) => {
+                    // Lost the race; free our candidate and re-examine the
+                    // slot (the winner may have registered this very name).
+                    drop(unsafe { Box::from_raw(entry) });
+                    continue;
+                }
+            }
+        }
+        // Safety: non-null slots point at leaked, immortal entries.
+        let existing = unsafe { &*current };
+        if existing.name == name {
+            return Some(existing);
+        }
+        slot = (slot + 1) & (TABLE_SLOTS - 1);
+    }
+    panic!("coverage probe table is full ({TABLE_SLOTS} slots)");
+}
 
 /// Records that the probe `name` executed. Unknown probe names are recorded
 /// too (they simply do not count towards the static denominator).
 pub fn hit(name: &'static str) {
-    let mut guard = HITS.lock();
-    guard.get_or_insert_with(HashSet::new).insert(name);
+    if let Some(entry) = lookup(name, true) {
+        entry.count.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
-/// Clears all recorded probe hits.
+/// How often `name` was hit since the last [`reset`].
+pub fn hit_count(name: &'static str) -> u64 {
+    lookup(name, false).map_or(0, |e| e.count.load(Ordering::Relaxed))
+}
+
+/// Clears all recorded probe hits (names stay registered; counters go to 0).
 pub fn reset() {
-    *HITS.lock() = Some(HashSet::new());
+    for slot in &TABLE {
+        let current = slot.load(Ordering::Acquire);
+        if !current.is_null() {
+            // Safety: non-null slots point at leaked, immortal entries.
+            unsafe { &*current }.count.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Returns the set of probes hit since the last reset.
 pub fn hits() -> HashSet<&'static str> {
-    HITS.lock().clone().unwrap_or_default()
+    let mut set = HashSet::new();
+    for slot in &TABLE {
+        let current = slot.load(Ordering::Acquire);
+        if !current.is_null() {
+            // Safety: non-null slots point at leaked, immortal entries.
+            let entry = unsafe { &*current };
+            if entry.count.load(Ordering::Relaxed) > 0 {
+                set.insert(entry.name);
+            }
+        }
+    }
+    set
 }
 
 /// Number of probes hit that belong to a given probe list.
@@ -113,33 +214,75 @@ pub fn topo_coverage() -> (usize, usize, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Tests below mutate the process-global registry; serialize them so the
+    /// default multi-threaded test harness cannot interleave their resets.
+    static EXCLUSIVE: Mutex<()> = Mutex::new(());
 
     #[test]
     fn hits_accumulate_and_reset() {
+        let _guard = EXCLUSIVE.lock().unwrap();
+        // Unique names so concurrently-running relate/predicate tests (which
+        // legitimately hit the real probes) cannot perturb the counts.
         reset();
-        assert_eq!(topo_coverage().0, 0);
+        hit("cov.unit.a");
+        hit("cov.unit.a");
+        hit("cov.unit.b");
+        assert_eq!(hit_count("cov.unit.a"), 2);
+        assert_eq!(hit_count("cov.unit.b"), 1);
         hit("topo.predicate.intersects");
-        hit("topo.predicate.intersects");
-        hit("topo.predicate.disjoint");
         let (h, total, frac) = topo_coverage();
-        assert!(h >= 2);
+        assert!(h >= 1);
         assert_eq!(total, TOPO_PROBES.len());
-        assert!(frac > 0.0 && frac < 1.0);
+        assert!(frac > 0.0 && frac <= 1.0);
         reset();
-        assert_eq!(topo_coverage().0, 0);
+        assert_eq!(hit_count("cov.unit.a"), 0);
+        assert_eq!(hit_count("cov.unit.b"), 0);
     }
 
     #[test]
     fn unknown_probes_do_not_inflate_coverage() {
-        reset();
+        let _guard = EXCLUSIVE.lock().unwrap();
         hit("not.a.real.probe");
-        assert_eq!(topo_coverage().0, 0);
         assert!(hits().contains("not.a.real.probe"));
+        // Unknown names are recorded but can never count towards the static
+        // denominator, which only ever tallies the TOPO_PROBES list.
+        assert!(!TOPO_PROBES.contains(&"not.a.real.probe"));
+        assert_eq!(hit_count_in(&["not.a.real.probe", "also.not.real"]), 1);
     }
 
     #[test]
     fn probe_names_are_unique() {
         let set: HashSet<_> = TOPO_PROBES.iter().collect();
         assert_eq!(set.len(), TOPO_PROBES.len());
+    }
+
+    #[test]
+    fn concurrent_hits_are_all_counted() {
+        // Contention-free counting: every worker hammers its own probe plus
+        // one shared probe; the totals must be exact, not approximate.
+        let _guard = EXCLUSIVE.lock().unwrap();
+        reset();
+        let names: &[&'static str] = &[
+            "cov.test.worker0",
+            "cov.test.worker1",
+            "cov.test.worker2",
+            "cov.test.worker3",
+        ];
+        std::thread::scope(|scope| {
+            for name in names {
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        hit(name);
+                        hit("cov.test.shared");
+                    }
+                });
+            }
+        });
+        for name in names {
+            assert_eq!(hit_count(name), 10_000);
+        }
+        assert_eq!(hit_count("cov.test.shared"), 40_000);
     }
 }

@@ -154,9 +154,18 @@ mod tests {
     fn figure3_matrix_round_trips() {
         let m = IntersectionMatrix::from_string("FF21F1102").unwrap();
         assert_eq!(m.to_relate_string(), "FF21F1102");
-        assert_eq!(m.get(Position::Interior, Position::Exterior), Dimension::Two);
-        assert_eq!(m.get(Position::Boundary, Position::Interior), Dimension::One);
-        assert_eq!(m.get(Position::Exterior, Position::Exterior), Dimension::Two);
+        assert_eq!(
+            m.get(Position::Interior, Position::Exterior),
+            Dimension::Two
+        );
+        assert_eq!(
+            m.get(Position::Boundary, Position::Interior),
+            Dimension::One
+        );
+        assert_eq!(
+            m.get(Position::Exterior, Position::Exterior),
+            Dimension::Two
+        );
     }
 
     #[test]
@@ -170,16 +179,25 @@ mod tests {
         let mut m = IntersectionMatrix::empty();
         m.set_at_least(Position::Interior, Position::Interior, Dimension::One);
         m.set_at_least(Position::Interior, Position::Interior, Dimension::Zero);
-        assert_eq!(m.get(Position::Interior, Position::Interior), Dimension::One);
+        assert_eq!(
+            m.get(Position::Interior, Position::Interior),
+            Dimension::One
+        );
         m.set_at_least(Position::Interior, Position::Interior, Dimension::Two);
-        assert_eq!(m.get(Position::Interior, Position::Interior), Dimension::Two);
+        assert_eq!(
+            m.get(Position::Interior, Position::Interior),
+            Dimension::Two
+        );
     }
 
     #[test]
     fn transpose_swaps_roles() {
         let m = IntersectionMatrix::from_string("FF21F1102").unwrap();
         let t = m.transposed();
-        assert_eq!(t.get(Position::Exterior, Position::Interior), Dimension::Two);
+        assert_eq!(
+            t.get(Position::Exterior, Position::Interior),
+            Dimension::Two
+        );
         assert_eq!(t.transposed(), m);
     }
 

@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn point_to_line_distance() {
-        assert_eq!(distance(&g("POINT(2 3)"), &g("LINESTRING(0 0,4 0)")), Some(3.0));
+        assert_eq!(
+            distance(&g("POINT(2 3)"), &g("LINESTRING(0 0,4 0)")),
+            Some(3.0)
+        );
     }
 
     #[test]
@@ -229,7 +232,10 @@ mod tests {
         // ST_Distance('MULTIPOINT((1 0),(0 0))', 'MULTIPOINT((-2 0),EMPTY)')
         // must be 2 (the EMPTY element is skipped), not 3.
         assert_eq!(
-            distance(&g("MULTIPOINT((1 0),(0 0))"), &g("MULTIPOINT((-2 0),EMPTY)")),
+            distance(
+                &g("MULTIPOINT((1 0),(0 0))"),
+                &g("MULTIPOINT((-2 0),EMPTY)")
+            ),
             Some(2.0)
         );
         assert_eq!(

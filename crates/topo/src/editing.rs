@@ -119,7 +119,9 @@ pub fn set_point(line: &Geometry, index: usize, point: &Geometry) -> GeomResult<
         });
     };
     let Some(coord) = p.coord else {
-        return Err(GeomError::InvalidGeometry("cannot set an EMPTY point".into()));
+        return Err(GeomError::InvalidGeometry(
+            "cannot set an EMPTY point".into(),
+        ));
     };
     if index >= l.coords.len() {
         return Err(GeomError::InvalidGeometry(format!(
@@ -306,9 +308,9 @@ pub fn reverse(geometry: &Geometry) -> GeomResult<Geometry> {
     fn rev(geometry: &Geometry) -> Geometry {
         match geometry {
             Geometry::LineString(l) => Geometry::LineString(l.reversed()),
-            Geometry::Polygon(p) => Geometry::Polygon(Polygon::new(
-                p.rings.iter().map(|r| r.reversed()).collect(),
-            )),
+            Geometry::Polygon(p) => {
+                Geometry::Polygon(Polygon::new(p.rings.iter().map(|r| r.reversed()).collect()))
+            }
             Geometry::MultiLineString(m) => Geometry::MultiLineString(MultiLineString::new(
                 m.lines.iter().map(|l| l.reversed()).collect(),
             )),
@@ -351,15 +353,24 @@ pub fn point_n(geometry: &Geometry, n: usize) -> GeomResult<Geometry> {
 pub fn collect(a: &Geometry, b: &Geometry) -> GeomResult<Geometry> {
     coverage::hit("topo.editing.collect");
     match (a, b) {
-        (Geometry::Point(pa), Geometry::Point(pb)) => Ok(Geometry::MultiPoint(MultiPoint::new(
-            vec![pa.clone(), pb.clone()],
-        ))),
-        (Geometry::LineString(la), Geometry::LineString(lb)) => Ok(Geometry::MultiLineString(
-            MultiLineString::new(vec![la.clone(), lb.clone()]),
-        )),
-        (Geometry::Polygon(pa), Geometry::Polygon(pb)) => Ok(Geometry::MultiPolygon(
-            MultiPolygon::new(vec![pa.clone(), pb.clone()]),
-        )),
+        (Geometry::Point(pa), Geometry::Point(pb)) => {
+            Ok(Geometry::MultiPoint(MultiPoint::new(vec![
+                pa.clone(),
+                pb.clone(),
+            ])))
+        }
+        (Geometry::LineString(la), Geometry::LineString(lb)) => {
+            Ok(Geometry::MultiLineString(MultiLineString::new(vec![
+                la.clone(),
+                lb.clone(),
+            ])))
+        }
+        (Geometry::Polygon(pa), Geometry::Polygon(pb)) => {
+            Ok(Geometry::MultiPolygon(MultiPolygon::new(vec![
+                pa.clone(),
+                pb.clone(),
+            ])))
+        }
         _ => Ok(Geometry::GeometryCollection(GeometryCollection::new(vec![
             a.clone(),
             b.clone(),
@@ -388,7 +399,10 @@ mod tests {
     #[test]
     fn polygonize_closed_lines() {
         let out = polygonize(&g("LINESTRING(0 0,4 0,4 4,0 0)")).unwrap();
-        assert_eq!(write_wkt(&out), "GEOMETRYCOLLECTION(POLYGON((0 0,4 0,4 4,0 0)))");
+        assert_eq!(
+            write_wkt(&out),
+            "GEOMETRYCOLLECTION(POLYGON((0 0,4 0,4 4,0 0)))"
+        );
         // An open line produces an empty collection.
         let out = polygonize(&g("LINESTRING(0 0,4 0)")).unwrap();
         assert_eq!(write_wkt(&out), "GEOMETRYCOLLECTION EMPTY");
@@ -396,7 +410,10 @@ mod tests {
 
     #[test]
     fn dump_rings_extracts_holes_too() {
-        let out = dump_rings(&g("POLYGON((0 0,10 0,10 10,0 10,0 0),(2 2,4 2,4 4,2 4,2 2))")).unwrap();
+        let out = dump_rings(&g(
+            "POLYGON((0 0,10 0,10 10,0 10,0 0),(2 2,4 2,4 4,2 4,2 2))",
+        ))
+        .unwrap();
         assert_eq!(out.num_geometries(), 2);
         assert!(dump_rings(&g("LINESTRING(0 0,1 1)")).is_err());
     }
@@ -414,7 +431,7 @@ mod tests {
     #[test]
     fn force_polygon_cw_makes_holes_ccw() {
         let out = force_polygon_cw(&g(
-            "POLYGON((0 0,0 10,10 10,10 0,0 0),(2 2,2 4,4 4,4 2,2 2))"
+            "POLYGON((0 0,0 10,10 10,10 0,0 0),(2 2,2 4,4 4,4 2,2 2))",
         ))
         .unwrap();
         match out {
@@ -461,12 +478,18 @@ mod tests {
             write_wkt(&envelope_of(&g("LINESTRING(1 1,3 4)")).unwrap()),
             "POLYGON((1 1,3 1,3 4,1 4,1 1))"
         );
-        assert_eq!(write_wkt(&envelope_of(&g("POINT(2 2)")).unwrap()), "POINT(2 2)");
+        assert_eq!(
+            write_wkt(&envelope_of(&g("POINT(2 2)")).unwrap()),
+            "POINT(2 2)"
+        );
         assert_eq!(
             write_wkt(&envelope_of(&g("LINESTRING(0 0,5 0)")).unwrap()),
             "LINESTRING(0 0,5 0)"
         );
-        assert_eq!(write_wkt(&envelope_of(&g("POLYGON EMPTY")).unwrap()), "POLYGON EMPTY");
+        assert_eq!(
+            write_wkt(&envelope_of(&g("POLYGON EMPTY")).unwrap()),
+            "POLYGON EMPTY"
+        );
     }
 
     #[test]

@@ -34,15 +34,14 @@ use spatter_geom::{Coord, Geometry, LineString, Polygon};
 /// relative tolerance of the segment; the seeded "precision loss" fault in
 /// the engine crate reverts to the exact test to reproduce the bug.
 pub(crate) fn on_segment_tolerant(p: Coord, a: Coord, b: Coord) -> bool {
-    let scale = p
-        .x
-        .abs()
-        .max(p.y.abs())
-        .max(a.x.abs())
-        .max(a.y.abs())
-        .max(b.x.abs())
-        .max(b.y.abs())
-        .max(1.0);
+    let scale =
+        p.x.abs()
+            .max(p.y.abs())
+            .max(a.x.abs())
+            .max(a.y.abs())
+            .max(b.x.abs())
+            .max(b.y.abs())
+            .max(1.0);
     point_segment_distance(p, a, b) <= 1e-9 * scale
 }
 
@@ -180,7 +179,12 @@ enum LineLocation {
 
 fn locate_on_linestring(point: Coord, line: &LineString) -> LineLocation {
     if line.coords.len() < 2 {
-        if line.coords.first().map(|c| c.approx_eq(&point)).unwrap_or(false) {
+        if line
+            .coords
+            .first()
+            .map(|c| c.approx_eq(&point))
+            .unwrap_or(false)
+        {
             return LineLocation::Interior;
         }
         return LineLocation::Off;

@@ -75,7 +75,9 @@ mod tests {
     #[test]
     fn area_subtracts_holes() {
         assert_eq!(
-            area(&g("POLYGON((0 0,10 0,10 10,0 10,0 0),(2 2,4 2,4 4,2 4,2 2))")),
+            area(&g(
+                "POLYGON((0 0,10 0,10 10,0 10,0 0),(2 2,4 2,4 4,2 4,2 2))"
+            )),
             96.0
         );
     }

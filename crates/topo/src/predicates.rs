@@ -75,6 +75,16 @@ impl NamedPredicate {
             .find(|p| p.function_name().to_ascii_uppercase() == upper)
     }
 
+    /// Whether an envelope-intersection index probe (R-tree / GiST `&&`
+    /// strategy) can serve as a prefilter for this predicate: a pair can
+    /// only satisfy it when the two envelopes interact. `ST_Disjoint` is the
+    /// one supported predicate without index support — it holds precisely on
+    /// pairs the index would prune, which is why real engines never plan an
+    /// index scan for it.
+    pub fn has_index_support(&self) -> bool {
+        !matches!(self, NamedPredicate::Disjoint)
+    }
+
     /// Evaluates the predicate on a pair of geometries.
     pub fn evaluate(&self, a: &Geometry, b: &Geometry) -> bool {
         match self {
@@ -277,9 +287,15 @@ mod tests {
 
     #[test]
     fn crosses_lines_at_point() {
-        assert!(crosses(&g("LINESTRING(0 0,4 4)"), &g("LINESTRING(0 4,4 0)")));
+        assert!(crosses(
+            &g("LINESTRING(0 0,4 4)"),
+            &g("LINESTRING(0 4,4 0)")
+        ));
         // Collinear overlap is not a crossing.
-        assert!(!crosses(&g("LINESTRING(0 0,3 0)"), &g("LINESTRING(1 0,5 0)")));
+        assert!(!crosses(
+            &g("LINESTRING(0 0,3 0)"),
+            &g("LINESTRING(1 0,5 0)")
+        ));
     }
 
     #[test]
@@ -337,7 +353,10 @@ mod tests {
             &g("POLYGON((0 0,4 0,4 4,0 4,0 0))"),
             &g("POLYGON((4 4,0 4,0 0,4 0,4 4))")
         ));
-        assert!(!equals(&g("LINESTRING(0 0,4 0)"), &g("LINESTRING(0 0,3 0)")));
+        assert!(!equals(
+            &g("LINESTRING(0 0,4 0)"),
+            &g("LINESTRING(0 0,3 0)")
+        ));
     }
 
     #[test]

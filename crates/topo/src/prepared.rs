@@ -97,8 +97,14 @@ mod tests {
             ("POLYGON((0 0,4 0,4 4,0 4,0 0))", "POINT(2 2)"),
             ("POLYGON((0 0,4 0,4 4,0 4,0 0))", "POINT(9 9)"),
             ("LINESTRING(0 0,4 4)", "LINESTRING(0 4,4 0)"),
-            ("MULTIPOLYGON(((0 0,5 0,0 5,0 0)))", "GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))"),
-            ("POLYGON((0 0,4 0,4 4,0 4,0 0))", "POLYGON((4 0,8 0,8 4,4 4,4 0))"),
+            (
+                "MULTIPOLYGON(((0 0,5 0,0 5,0 0)))",
+                "GEOMETRYCOLLECTION(MULTIPOINT((0 0),(3 1)))",
+            ),
+            (
+                "POLYGON((0 0,4 0,4 4,0 4,0 0))",
+                "POLYGON((4 0,8 0,8 4,4 4,4 0))",
+            ),
         ];
         for (a, b) in cases {
             let ga = g(a);
@@ -132,7 +138,10 @@ mod tests {
         // Far away: decided by envelopes alone.
         assert!(!prepared.evaluate(NamedPredicate::Intersects, &g("POINT(100 100)")));
         assert!(prepared.evaluate(NamedPredicate::Disjoint, &g("POINT(100 100)")));
-        assert!(!prepared.evaluate(NamedPredicate::Contains, &g("POLYGON((0 0,9 0,9 9,0 9,0 0))")));
+        assert!(!prepared.evaluate(
+            NamedPredicate::Contains,
+            &g("POLYGON((0 0,9 0,9 9,0 9,0 0))")
+        ));
     }
 
     #[test]

@@ -25,7 +25,9 @@ use crate::coverage;
 use crate::de9im::{IntersectionMatrix, Position};
 use crate::locate::{locate, locate_in_polygon, Location};
 use crate::segment::{segment_intersection, SegmentIntersection};
-use spatter_geom::orientation::{orientation, point_on_segment, ring_orientation, Orientation, RingOrientation};
+use spatter_geom::orientation::{
+    orientation, point_on_segment, ring_orientation, Orientation, RingOrientation,
+};
 use spatter_geom::{Coord, Dimension, Geometry, LineString, Polygon};
 
 /// Computes the DE-9IM intersection matrix of `a` against `b`.
@@ -42,12 +44,28 @@ pub fn relate(a: &Geometry, b: &Geometry) -> IntersectionMatrix {
     if a_empty || b_empty {
         coverage::hit("topo.relate.empty_case");
         if !b_empty {
-            im.set(Position::Exterior, Position::Interior, interior_dimension(b));
-            im.set(Position::Exterior, Position::Boundary, boundary_dimension(b));
+            im.set(
+                Position::Exterior,
+                Position::Interior,
+                interior_dimension(b),
+            );
+            im.set(
+                Position::Exterior,
+                Position::Boundary,
+                boundary_dimension(b),
+            );
         }
         if !a_empty {
-            im.set(Position::Interior, Position::Exterior, interior_dimension(a));
-            im.set(Position::Boundary, Position::Exterior, boundary_dimension(a));
+            im.set(
+                Position::Interior,
+                Position::Exterior,
+                interior_dimension(a),
+            );
+            im.set(
+                Position::Boundary,
+                Position::Exterior,
+                boundary_dimension(a),
+            );
         }
         return im;
     }
@@ -324,9 +342,7 @@ fn node_segments(own: &Decomposed, other: &Decomposed) -> Vec<SubEdge> {
             if std::ptr::eq(other_seg, seg) {
                 continue;
             }
-            if other_seg.p0.approx_eq(&seg.p0)
-                && other_seg.p1.approx_eq(&seg.p1)
-            {
+            if other_seg.p0.approx_eq(&seg.p0) && other_seg.p1.approx_eq(&seg.p1) {
                 continue;
             }
             match segment_intersection(seg.p0, seg.p1, other_seg.p0, other_seg.p1) {
@@ -372,15 +388,14 @@ fn node_segments(own: &Decomposed, other: &Decomposed) -> Vec<SubEdge> {
 /// with the segments that produced them; a tolerant distance check is used so
 /// noding still splits segments at such points.
 fn param_on_segment(c: Coord, a: Coord, b: Coord) -> Option<f64> {
-    let scale = c
-        .x
-        .abs()
-        .max(c.y.abs())
-        .max(a.x.abs())
-        .max(a.y.abs())
-        .max(b.x.abs())
-        .max(b.y.abs())
-        .max(1.0);
+    let scale =
+        c.x.abs()
+            .max(c.y.abs())
+            .max(a.x.abs())
+            .max(a.y.abs())
+            .max(b.x.abs())
+            .max(b.y.abs())
+            .max(1.0);
     if crate::segment::point_segment_distance(c, a, b) > 1e-9 * scale {
         return None;
     }
@@ -474,11 +489,13 @@ fn area_analysis(
                         continue;
                     }
                     if orientation(other_seg.p0, other_seg.p1, edge.p0) != Orientation::Collinear
-                        || orientation(other_seg.p0, other_seg.p1, edge.p1) != Orientation::Collinear
+                        || orientation(other_seg.p0, other_seg.p1, edge.p1)
+                            != Orientation::Collinear
                     {
                         continue;
                     }
-                    let same_direction = (edge.p1.x - edge.p0.x) * (other_seg.p1.x - other_seg.p0.x)
+                    let same_direction = (edge.p1.x - edge.p0.x)
+                        * (other_seg.p1.x - other_seg.p0.x)
                         + (edge.p1.y - edge.p0.y) * (other_seg.p1.y - other_seg.p0.y)
                         > 0.0;
                     let other_left_relative_to_edge = if same_direction {
@@ -560,9 +577,15 @@ mod tests {
 
     #[test]
     fn identical_lines() {
-        assert_eq!(rel("LINESTRING(0 0,4 0)", "LINESTRING(0 0,4 0)"), "1FFF0FFF2");
+        assert_eq!(
+            rel("LINESTRING(0 0,4 0)", "LINESTRING(0 0,4 0)"),
+            "1FFF0FFF2"
+        );
         // Opposite direction is still the same point set.
-        assert_eq!(rel("LINESTRING(0 0,4 0)", "LINESTRING(4 0,0 0)"), "1FFF0FFF2");
+        assert_eq!(
+            rel("LINESTRING(0 0,4 0)", "LINESTRING(4 0,0 0)"),
+            "1FFF0FFF2"
+        );
     }
 
     #[test]
@@ -632,12 +655,18 @@ mod tests {
     #[test]
     fn identical_polygons() {
         assert_eq!(
-            rel("POLYGON((0 0,4 0,4 4,0 4,0 0))", "POLYGON((0 0,4 0,4 4,0 4,0 0))"),
+            rel(
+                "POLYGON((0 0,4 0,4 4,0 4,0 0))",
+                "POLYGON((0 0,4 0,4 4,0 4,0 0))"
+            ),
             "2FFF1FFF2"
         );
         // Same polygon written with the ring in the opposite direction.
         assert_eq!(
-            rel("POLYGON((0 0,4 0,4 4,0 4,0 0))", "POLYGON((0 0,0 4,4 4,4 0,0 0))"),
+            rel(
+                "POLYGON((0 0,4 0,4 4,0 4,0 0))",
+                "POLYGON((0 0,0 4,4 4,4 0,0 0))"
+            ),
             "2FFF1FFF2"
         );
     }
@@ -744,10 +773,7 @@ mod tests {
     #[test]
     fn multipoint_against_polygon() {
         assert_eq!(
-            rel(
-                "MULTIPOINT((1 1),(5 5))",
-                "POLYGON((0 0,4 0,4 4,0 4,0 0))"
-            ),
+            rel("MULTIPOINT((1 1),(5 5))", "POLYGON((0 0,4 0,4 4,0 4,0 0))"),
             "0F0FFF212"
         );
     }
@@ -757,7 +783,10 @@ mod tests {
         assert_eq!(rel("POINT EMPTY", "POINT(1 1)"), "FFFFFF0F2");
         assert_eq!(rel("POINT EMPTY", "POINT EMPTY"), "FFFFFFFF2");
         assert_eq!(rel("POINT(1 1)", "POINT EMPTY"), "FF0FFFFF2");
-        assert_eq!(rel("POINT EMPTY", "POLYGON((0 0,4 0,4 4,0 4,0 0))"), "FFFFFF212");
+        assert_eq!(
+            rel("POINT EMPTY", "POLYGON((0 0,4 0,4 4,0 4,0 0))"),
+            "FFFFFF212"
+        );
         assert_eq!(rel("LINESTRING(0 0,1 1)", "LINESTRING EMPTY"), "FF1FF0FF2");
     }
 
@@ -773,8 +802,14 @@ mod tests {
             m.get(Position::Interior, Position::Interior),
             Dimension::Zero
         );
-        assert_eq!(m.get(Position::Interior, Position::Exterior), Dimension::Empty);
-        assert_eq!(m.get(Position::Boundary, Position::Exterior), Dimension::Empty);
+        assert_eq!(
+            m.get(Position::Interior, Position::Exterior),
+            Dimension::Empty
+        );
+        assert_eq!(
+            m.get(Position::Boundary, Position::Exterior),
+            Dimension::Empty
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ pub fn segment_intersection(a0: Coord, a1: Coord, b0: Coord, b1: Coord) -> Segme
 /// segments.
 fn line_intersection_point(a0: Coord, a1: Coord, b0: Coord, b1: Coord) -> Coord {
     // Solve a0 + t * (a1 - a0) = b0 + s * (b1 - b0) for t.
-    let denom = cross(Coord::zero(), Coord::new(a1.x - a0.x, a1.y - a0.y), Coord::new(b1.x - b0.x, b1.y - b0.y));
+    let denom = cross(
+        Coord::zero(),
+        Coord::new(a1.x - a0.x, a1.y - a0.y),
+        Coord::new(b1.x - b0.x, b1.y - b0.y),
+    );
     // denom = (a1-a0) x (b1-b0); non-zero for a proper crossing.
     let t = cross(
         Coord::zero(),
@@ -196,11 +200,23 @@ mod tests {
 
     #[test]
     fn point_segment_distance_cases() {
-        assert_eq!(point_segment_distance(c(0.0, 3.0), c(0.0, 0.0), c(4.0, 0.0)), 3.0);
-        assert_eq!(point_segment_distance(c(-3.0, 4.0), c(0.0, 0.0), c(4.0, 0.0)), 5.0);
-        assert_eq!(point_segment_distance(c(2.0, 0.0), c(0.0, 0.0), c(4.0, 0.0)), 0.0);
+        assert_eq!(
+            point_segment_distance(c(0.0, 3.0), c(0.0, 0.0), c(4.0, 0.0)),
+            3.0
+        );
+        assert_eq!(
+            point_segment_distance(c(-3.0, 4.0), c(0.0, 0.0), c(4.0, 0.0)),
+            5.0
+        );
+        assert_eq!(
+            point_segment_distance(c(2.0, 0.0), c(0.0, 0.0), c(4.0, 0.0)),
+            0.0
+        );
         // Degenerate segment.
-        assert_eq!(point_segment_distance(c(3.0, 4.0), c(0.0, 0.0), c(0.0, 0.0)), 5.0);
+        assert_eq!(
+            point_segment_distance(c(3.0, 4.0), c(0.0, 0.0), c(0.0, 0.0)),
+            5.0
+        );
     }
 
     #[test]

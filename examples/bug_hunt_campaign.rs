@@ -29,7 +29,10 @@ fn main() {
         attribute_findings: true,
         seed: 42,
     };
-    println!("Running a 10 second Spatter campaign against {} ...", config.profile.name());
+    println!(
+        "Running a 10 second Spatter campaign against {} ...",
+        config.profile.name()
+    );
     let report = Campaign::new(config).run();
 
     println!(

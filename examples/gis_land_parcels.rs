@@ -37,16 +37,33 @@ fn main() {
         "LINESTRING(40 -10,40 70)",
         "LINESTRING(0 60,80 60)",
     ];
-    let markers = ["POINT(20 15)", "POINT(40 30)", "POINT(75 29)", "POINT(100 100)"];
+    let markers = [
+        "POINT(20 15)",
+        "POINT(40 30)",
+        "POINT(75 29)",
+        "POINT(100 100)",
+    ];
 
     let mut engine = Engine::reference(EngineProfile::PostgisLike);
     load(&mut engine, &parcels, &roads, &markers);
 
     let queries = [
-        ("parcels crossed by a road", "SELECT COUNT(*) FROM parcels p JOIN roads r ON ST_Crosses(r.g, p.g)"),
-        ("markers inside a parcel", "SELECT COUNT(*) FROM parcels p JOIN markers m ON ST_Contains(p.g, m.g)"),
-        ("parcels touching each other", "SELECT COUNT(*) FROM parcels a JOIN parcels b ON ST_Touches(a.g, b.g)"),
-        ("markers covered by a road", "SELECT COUNT(*) FROM roads r JOIN markers m ON ST_Covers(r.g, m.g)"),
+        (
+            "parcels crossed by a road",
+            "SELECT COUNT(*) FROM parcels p JOIN roads r ON ST_Crosses(r.g, p.g)",
+        ),
+        (
+            "markers inside a parcel",
+            "SELECT COUNT(*) FROM parcels p JOIN markers m ON ST_Contains(p.g, m.g)",
+        ),
+        (
+            "parcels touching each other",
+            "SELECT COUNT(*) FROM parcels a JOIN parcels b ON ST_Touches(a.g, b.g)",
+        ),
+        (
+            "markers covered by a road",
+            "SELECT COUNT(*) FROM roads r JOIN markers m ON ST_Covers(r.g, m.g)",
+        ),
     ];
     println!("Original survey frame:");
     let mut original_counts = Vec::new();
@@ -75,7 +92,11 @@ fn main() {
     println!("\nAffine-equivalent survey frame:");
     for ((label, sql), original) in queries.iter().zip(original_counts) {
         let count = reprojected.execute(sql).expect("query").count().unwrap();
-        let status = if count == original { "consistent" } else { "DISCREPANCY" };
+        let status = if count == original {
+            "consistent"
+        } else {
+            "DISCREPANCY"
+        };
         println!("  {label:<28} {count}  [{status}]");
     }
 }

@@ -18,11 +18,12 @@ fn main() {
         let faults = FaultSet::with([scenario.fault]);
         let queries = std::slice::from_ref(&scenario.query);
 
-        let differential = DifferentialOracle::against_stock(if profile == EngineProfile::MysqlLike {
-            EngineProfile::PostgisLike
-        } else {
-            EngineProfile::MysqlLike
-        });
+        let differential =
+            DifferentialOracle::against_stock(if profile == EngineProfile::MysqlLike {
+                EngineProfile::PostgisLike
+            } else {
+                EngineProfile::MysqlLike
+            });
         let diff_hit = differential
             .check(profile, &faults, &scenario.spec, queries)
             .iter()

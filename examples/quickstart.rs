@@ -33,8 +33,12 @@ fn main() {
     // 2. The same scenario through Spatter's AEI oracle: the affine-equivalent
     //    database disagrees, exposing the bug without knowing the ground truth.
     let mut spec = DatabaseSpec::with_tables(2);
-    spec.tables[0].geometries.push(parse_wkt("LINESTRING(0 1,2 0)").unwrap());
-    spec.tables[1].geometries.push(parse_wkt("POINT(0.2 0.9)").unwrap());
+    spec.tables[0]
+        .geometries
+        .push(parse_wkt("LINESTRING(0 1,2 0)").unwrap());
+    spec.tables[1]
+        .geometries
+        .push(parse_wkt("POINT(0.2 0.9)").unwrap());
     let query = QueryInstance {
         table1: "t0".into(),
         table2: "t1".into(),
@@ -43,7 +47,12 @@ fn main() {
     let stock_faults = EngineProfile::PostgisLike.default_faults();
     for seed in 0..50u64 {
         let oracle = AeiOracle::new(TransformPlan::random(AffineStrategy::GeneralInteger, seed));
-        let outcomes = oracle.check(EngineProfile::PostgisLike, &stock_faults, &spec, &[query.clone()]);
+        let outcomes = oracle.check(
+            EngineProfile::PostgisLike,
+            &stock_faults,
+            &spec,
+            std::slice::from_ref(&query),
+        );
         if let Some(outcome) = outcomes.iter().find(|o| o.is_logic_bug()) {
             println!("AEI found a discrepancy with transformation seed {seed}: {outcome:?}");
             break;
@@ -67,6 +76,11 @@ fn main() {
         .unwrap();
     println!("The patched engine returns {count}");
     let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
-    let outcomes = oracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &[query]);
+    let outcomes = oracle.check(
+        EngineProfile::PostgisLike,
+        &FaultSet::none(),
+        &spec,
+        &[query],
+    );
     println!("AEI outcome on the patched engine: {:?}", outcomes[0]);
 }

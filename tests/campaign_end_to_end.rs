@@ -56,5 +56,8 @@ fn postgis_campaign_detects_multiple_unique_bugs() {
     );
     // Coverage was exercised.
     let last = report.coverage_timeline.last().unwrap();
-    assert!(last.1 > 0.2, "geometry-library coverage should be non-trivial");
+    assert!(
+        last.1 > 0.2,
+        "geometry-library coverage should be non-trivial"
+    );
 }

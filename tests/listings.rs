@@ -23,11 +23,19 @@ fn listing1_and_2_covers_precision_bug() {
 
     let mut engine = stock(EngineProfile::PostgisLike);
     engine.execute_script(setup).unwrap();
-    assert_eq!(engine.execute(query).unwrap().count(), Some(0), "Listing 1: buggy result");
+    assert_eq!(
+        engine.execute(query).unwrap().count(),
+        Some(0),
+        "Listing 1: buggy result"
+    );
 
     let mut engine = patched(EngineProfile::PostgisLike);
     engine.execute_script(setup).unwrap();
-    assert_eq!(engine.execute(query).unwrap().count(), Some(1), "Listing 1: correct result");
+    assert_eq!(
+        engine.execute(query).unwrap().count(),
+        Some(1),
+        "Listing 1: correct result"
+    );
 
     // Listing 2 (the affine-equivalent pair) is correct even on the stock engine.
     let setup2 = "CREATE TABLE t1 (g geometry);
@@ -47,11 +55,19 @@ fn listing3_crosses_after_scaling() {
 
     let mut engine = stock(EngineProfile::MysqlLike);
     engine.execute_script(statements).unwrap();
-    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(true)), "buggy");
+    assert_eq!(
+        engine.execute(query).unwrap().single_value(),
+        Some(&Value::Bool(true)),
+        "buggy"
+    );
 
     let mut engine = patched(EngineProfile::MysqlLike);
     engine.execute_script(statements).unwrap();
-    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(false)), "correct");
+    assert_eq!(
+        engine.execute(query).unwrap().single_value(),
+        Some(&Value::Bool(false)),
+        "correct"
+    );
 }
 
 #[test]
@@ -61,7 +77,10 @@ fn listing4_overlaps_after_swapping_axes() {
     let mut engine = stock(EngineProfile::MysqlLike);
     engine.execute_script(statements).unwrap();
     assert_eq!(
-        engine.execute("SELECT ST_Overlaps(@g2, @g1);").unwrap().single_value(),
+        engine
+            .execute("SELECT ST_Overlaps(@g2, @g1);")
+            .unwrap()
+            .single_value(),
         Some(&Value::Bool(false)),
         "un-swapped result is correct"
     );
@@ -77,7 +96,9 @@ fn listing4_overlaps_after_swapping_axes() {
     // discrepancy that breaks differential testing for this bug).
     let mut engine = stock(EngineProfile::PostgisLike);
     engine.execute("SET @g2 = ST_GeomFromText('GEOMETRYCOLLECTION(POLYGON((614 445,30 26,80 30,614 445)),POLYGON((190 1010,40 90,90 40,190 1010)))');").unwrap();
-    engine.execute("SET @g1 = ST_GeomFromText('POLYGON((614 445,30 26,80 30,614 445))');").unwrap();
+    engine
+        .execute("SET @g1 = ST_GeomFromText('POLYGON((614 445,30 26,80 30,614 445))');")
+        .unwrap();
     let err = engine.execute("SELECT ST_Overlaps(@g2, @g1);").unwrap_err();
     assert!(matches!(err, SdbError::InvalidGeometry(_)));
 }
@@ -86,22 +107,41 @@ fn listing4_overlaps_after_swapping_axes() {
 fn listing5_distance_with_empty_element() {
     let query = "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry, 'MULTIPOINT((-2 0),EMPTY)'::geometry);";
     let mut engine = stock(EngineProfile::PostgisLike);
-    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Double(3.0)), "buggy");
+    assert_eq!(
+        engine.execute(query).unwrap().single_value(),
+        Some(&Value::Double(3.0)),
+        "buggy"
+    );
     let mut engine = patched(EngineProfile::PostgisLike);
-    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Double(2.0)), "correct");
+    assert_eq!(
+        engine.execute(query).unwrap().single_value(),
+        Some(&Value::Double(2.0)),
+        "correct"
+    );
     // Without the EMPTY element both agree.
     let query = "SELECT ST_Distance('MULTIPOINT((1 0),(0 0))'::geometry, 'POINT(-2 0)'::geometry);";
     let mut engine = stock(EngineProfile::PostgisLike);
-    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Double(2.0)));
+    assert_eq!(
+        engine.execute(query).unwrap().single_value(),
+        Some(&Value::Double(2.0))
+    );
 }
 
 #[test]
 fn listing6_within_collection() {
     let query = "SELECT ST_Within('POINT(0 0)'::geometry, 'GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))'::geometry);";
     let mut engine = stock(EngineProfile::PostgisLike);
-    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(false)), "buggy");
+    assert_eq!(
+        engine.execute(query).unwrap().single_value(),
+        Some(&Value::Bool(false)),
+        "buggy"
+    );
     let mut engine = patched(EngineProfile::PostgisLike);
-    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(true)), "correct");
+    assert_eq!(
+        engine.execute(query).unwrap().single_value(),
+        Some(&Value::Bool(true)),
+        "correct"
+    );
 }
 
 #[test]
@@ -123,7 +163,11 @@ fn listing7_prepared_geometry_misses_a_pair() {
     };
     let mut engine = stock(EngineProfile::PostgisLike);
     engine.execute_script(setup).unwrap();
-    assert_eq!(pairs(&mut engine), vec![(1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (3, 3)], "buggy");
+    assert_eq!(
+        pairs(&mut engine),
+        vec![(1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (3, 3)],
+        "buggy"
+    );
     let mut engine = patched(EngineProfile::PostgisLike);
     engine.execute_script(setup).unwrap();
     assert_eq!(
@@ -145,7 +189,9 @@ fn listing8_gist_index_and_empty_geometry() {
     // reports it (one bug per report).
     let mut engine = spatter_repro::sdb::Engine::with_faults(
         EngineProfile::PostgisLike,
-        spatter_repro::sdb::FaultSet::with([spatter_repro::sdb::FaultId::PostgisGistIndexDropsRows]),
+        spatter_repro::sdb::FaultSet::with([
+            spatter_repro::sdb::FaultId::PostgisGistIndexDropsRows,
+        ]),
     );
     engine.execute_script(setup).unwrap();
     assert_eq!(engine.execute(query).unwrap().count(), Some(0), "buggy");
@@ -158,7 +204,15 @@ fn listing8_gist_index_and_empty_geometry() {
 fn listing9_dfullywithin() {
     let query = "SELECT ST_DFullyWithin('LINESTRING(0 0,0 1,1 0,0 0)'::geometry,'POLYGON((0 0,0 1,1 0,0 0))'::geometry,100);";
     let mut engine = stock(EngineProfile::PostgisLike);
-    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(false)), "buggy");
+    assert_eq!(
+        engine.execute(query).unwrap().single_value(),
+        Some(&Value::Bool(false)),
+        "buggy"
+    );
     let mut engine = patched(EngineProfile::PostgisLike);
-    assert_eq!(engine.execute(query).unwrap().single_value(), Some(&Value::Bool(true)), "correct");
+    assert_eq!(
+        engine.execute(query).unwrap().single_value(),
+        Some(&Value::Bool(true)),
+        "correct"
+    );
 }
