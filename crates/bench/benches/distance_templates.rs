@@ -1,0 +1,144 @@
+//! Throughput benchmark of the §7 distance-parameterised query templates:
+//! range joins (`ST_DWithin` counts through the nested-loop join) versus KNN
+//! queries, the latter both as a sequential `ORDER BY ST_Distance` sort and
+//! through the index-accelerated nearest-neighbour path.
+//!
+//! Emits `BENCH_distance_templates.json` in the workspace root so the perf
+//! trajectory of the new workload class is recorded per PR.
+
+use spatter_core::rng::{RngExt, SeedableRng, StdRng};
+use spatter_sdb::{Engine, EngineProfile};
+use std::time::Instant;
+
+const ROWS: usize = 64;
+const QUERIES: usize = 400;
+
+fn load_points(engine: &mut Engine) {
+    engine.execute("CREATE TABLE t (g geometry)").unwrap();
+    // Deterministic pseudo-random integer layout.
+    let mut rng = StdRng::seed_from_u64(1234);
+    for _ in 0..ROWS {
+        let (x, y) = (
+            rng.random_range(-100..=100i64),
+            rng.random_range(-100..=100i64),
+        );
+        engine
+            .execute(&format!("INSERT INTO t (g) VALUES ('POINT({x} {y})')"))
+            .unwrap();
+    }
+}
+
+struct Sample {
+    name: &'static str,
+    queries: usize,
+    seconds: f64,
+    queries_per_sec: f64,
+}
+
+fn bench<F: FnMut(usize)>(name: &'static str, mut run: F) -> Sample {
+    let start = Instant::now();
+    for i in 0..QUERIES {
+        run(i);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    Sample {
+        name,
+        queries: QUERIES,
+        seconds,
+        queries_per_sec: QUERIES as f64 / seconds.max(f64::EPSILON),
+    }
+}
+
+fn main() {
+    println!("== Distance-template throughput (range join vs KNN, {ROWS} rows) ==\n");
+
+    let mut range_engine = Engine::reference(EngineProfile::PostgisLike);
+    load_points(&mut range_engine);
+
+    let mut knn_seq = Engine::reference(EngineProfile::PostgisLike);
+    load_points(&mut knn_seq);
+
+    let mut knn_indexed = Engine::reference(EngineProfile::PostgisLike);
+    load_points(&mut knn_indexed);
+    knn_indexed
+        .execute("CREATE INDEX idx ON t USING GIST (g)")
+        .unwrap();
+    knn_indexed.execute("SET enable_seqscan = false").unwrap();
+
+    let knn_sql = |i: usize| {
+        let origin = (i as i64 % 201) - 100;
+        format!(
+            "SELECT ST_AsText(a.g) FROM t a ORDER BY ST_Distance(a.g, 'POINT({origin} 0)'::geometry) LIMIT 4"
+        )
+    };
+
+    let samples = [
+        bench("range_join_dwithin", |i| {
+            let d = (i % 40) + 1;
+            let count = range_engine
+                .execute(&format!(
+                    "SELECT COUNT(*) FROM t a JOIN t b ON ST_DWithin(a.g, b.g, {d})"
+                ))
+                .unwrap()
+                .count()
+                .unwrap();
+            assert!(count >= ROWS as i64, "every row is within any d of itself");
+        }),
+        bench("knn_order_by_seqscan", |i| {
+            let rows = knn_seq.execute(&knn_sql(i)).unwrap().row_count();
+            assert_eq!(rows, 4);
+        }),
+        bench("knn_index_nearest_neighbour", |i| {
+            let rows = knn_indexed.execute(&knn_sql(i)).unwrap().row_count();
+            assert_eq!(rows, 4);
+        }),
+    ];
+
+    let widths = [30, 10, 12, 14];
+    spatter_bench::print_row(
+        &["workload", "queries", "time (s)", "queries/sec"].map(String::from),
+        &widths,
+    );
+    for sample in &samples {
+        spatter_bench::print_row(
+            &[
+                sample.name.to_string(),
+                sample.queries.to_string(),
+                format!("{:.3}", sample.seconds),
+                format!("{:.1}", sample.queries_per_sec),
+            ],
+            &widths,
+        );
+    }
+
+    // Sanity: the two KNN plans agree on every probe (the Index-oracle
+    // property the campaign relies on).
+    for i in 0..40 {
+        let sql = knn_sql(i);
+        assert_eq!(
+            knn_seq.execute(&sql).unwrap().rows,
+            knn_indexed.execute(&sql).unwrap().rows,
+            "KNN plans diverged on probe {i}"
+        );
+    }
+
+    let entries: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"workload\": \"{}\", \"queries\": {}, \"seconds\": {:.4}, \"queries_per_sec\": {:.2}}}",
+                s.name, s.queries, s.seconds, s.queries_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"distance_templates\",\n  \"config\": \"{ROWS} rows x {QUERIES} queries per workload\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_distance_templates.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_distance_templates.json");
+    println!("\nwrote {path}");
+}

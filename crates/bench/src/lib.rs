@@ -102,13 +102,13 @@ pub fn aei_detects(scenario: &TriggerScenario) -> bool {
     if fault == FaultId::PostgisGistIndexDropsRows {
         return aei_detects_with_indexes(scenario, profile, &faults);
     }
-    // RANGE-function faults: AEI over the scalar range query with the
-    // distance rescaled by the similarity factor (§7).
+    // RANGE-function faults: AEI over the §7 distance-parameterised
+    // templates (range joins / KNN) under similarity transformations.
     if matches!(
         fault,
         FaultId::PostgisDFullyWithinSmallCoords | FaultId::GeosEmptyDistanceRecursion
     ) {
-        return aei_detects_range_function(scenario, profile, &faults, fault);
+        return aei_detects_distance_template(profile, &faults, fault);
     }
     false
 }
@@ -139,49 +139,32 @@ fn aei_detects_with_indexes(
     }
 }
 
-fn aei_detects_range_function(
-    scenario: &TriggerScenario,
+fn aei_detects_distance_template(
     profile: EngineProfile,
     faults: &FaultSet,
     fault: FaultId,
 ) -> bool {
-    use spatter_geom::wkt::write_wkt;
+    let Some(scenario) = spatter_core::scenarios::distance_template_scenarios()
+        .into_iter()
+        .find(|s| s.fault == fault)
+    else {
+        return false;
+    };
     let scale = 20.0;
     let plan = TransformPlan {
         canonicalize: true,
         transform: AffineTransform::new(AffineMatrix::scaling(scale, scale)).expect("invertible"),
         uniform_scale: Some(scale),
     };
-    let g1 = &scenario.spec.tables[0].geometries[0];
-    let g2 = &scenario.spec.tables[1].geometries[0];
-    let (function, distance) = match fault {
-        FaultId::PostgisDFullyWithinSmallCoords => ("ST_DFullyWithin", 100.0),
-        _ => ("ST_DWithin", 2.5),
-    };
-    let sql1 = format!(
-        "SELECT {function}('{}'::geometry, '{}'::geometry, {distance})",
-        write_wkt(g1),
-        write_wkt(g2)
-    );
-    let sql2 = format!(
-        "SELECT {function}('{}'::geometry, '{}'::geometry, {})",
-        write_wkt(&plan.apply_geometry(g1)),
-        write_wkt(&plan.apply_geometry(g2)),
-        plan.scale_distance(distance).expect("similarity plan")
-    );
-    let mut engine = Engine::with_faults(profile, faults.clone());
-    let v1 = engine
-        .execute(&sql1)
-        .ok()
-        .and_then(|r| r.single_value().cloned());
-    let v2 = engine
-        .execute(&sql2)
-        .ok()
-        .and_then(|r| r.single_value().cloned());
-    match (v1, v2) {
-        (Some(a), Some(b)) => a != b,
-        _ => false,
-    }
+    AeiOracle::new(plan)
+        .check(
+            profile,
+            faults,
+            &scenario.spec,
+            std::slice::from_ref(&scenario.query),
+        )
+        .iter()
+        .any(|o| o.is_logic_bug())
 }
 
 /// Whether a baseline oracle detects a fault on its trigger scenario.
@@ -262,6 +245,11 @@ pub fn run_unit_test_corpus() {
         "SELECT ST_AsText(ST_Reverse('LINESTRING(0 0,1 1,2 2)'::geometry))",
         "SELECT ST_DWithin('POINT(0 0)'::geometry, 'POINT(3 4)'::geometry, 5)",
         "SELECT ST_AsText(ST_PointN('LINESTRING(0 0,1 1,2 2)'::geometry, 2))",
+        // The §7 distance-parameterised templates: range joins and KNN.
+        "CREATE TABLE k (g geometry);
+         INSERT INTO k (g) VALUES ('POINT(1 1)'), ('POINT(5 5)'), ('POINT EMPTY');
+         SELECT COUNT(*) FROM k a JOIN k b ON ST_DWithin(a.g, b.g, 10);
+         SELECT ST_AsText(a.g) FROM k a ORDER BY ST_Distance(a.g, 'POINT(0 0)'::geometry) LIMIT 2",
     ];
     for script in scripts {
         let _ = engine.execute_script(script);
@@ -306,6 +294,17 @@ mod tests {
     #[test]
     fn unit_test_corpus_runs_cleanly() {
         run_unit_test_corpus();
+    }
+
+    #[test]
+    fn aei_detects_the_distance_template_faults() {
+        for scenario in spatter_core::scenarios::distance_template_scenarios() {
+            assert!(
+                aei_detects(&spatter_core::scenarios::scenario_for(scenario.fault).unwrap()),
+                "AEI must detect {:?} via its distance template",
+                scenario.fault
+            );
+        }
     }
 
     #[test]

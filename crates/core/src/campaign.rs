@@ -107,6 +107,10 @@ pub struct CampaignReport {
     /// Timeline of (elapsed, topo coverage fraction, engine coverage
     /// fraction) snapshots, one per iteration (Figure 8b/8c).
     pub coverage_timeline: Vec<(Duration, f64, f64)>,
+    /// Number of query checks skipped because a distance-parameterised
+    /// template met a non-similarity transformation (§7): skipping is the
+    /// sound behaviour, and the count makes it auditable.
+    pub skipped_queries: usize,
 }
 
 impl CampaignReport {
@@ -191,26 +195,13 @@ pub fn run_aei_iteration(
 
     let mut outcomes = Vec::with_capacity(queries.len());
     for query in queries {
-        let sql = query.to_sql();
-        let run = |engine: &mut Engine| -> Result<Option<i64>, OracleOutcome> {
-            match engine.execute(&sql) {
-                Ok(result) => Ok(result.count()),
-                Err(SdbError::Crash(message)) => Err(OracleOutcome::Crash { message }),
-                Err(_) => Ok(None),
-            }
-        };
-        let outcome = match (run(&mut engine1), run(&mut engine2)) {
-            (Err(crash), _) | (_, Err(crash)) => crash,
-            (Ok(Some(a)), Ok(Some(b))) if a != b => OracleOutcome::LogicBug {
-                description: format!(
-                    "{}: SDB1 returned {a}, affine-equivalent SDB2 returned {b}",
-                    query.predicate.function_name()
-                ),
-            },
-            (Ok(Some(_)), Ok(Some(_))) => OracleOutcome::Pass,
-            _ => OracleOutcome::Inapplicable,
-        };
-        outcomes.push(outcome);
+        outcomes.push(crate::oracles::check_aei_query(
+            &mut engine1,
+            &mut engine2,
+            spec,
+            query,
+            plan,
+        ));
     }
     engine_time += engine1.execution_stats().0;
     engine_time += engine2.execution_stats().0;

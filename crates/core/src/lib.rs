@@ -13,10 +13,13 @@
 //! 2. [`spec`] / [`transform`] — each geometry of `SDB1` is canonicalized
 //!    (§4.3) and transformed by a random integer affine matrix (Algorithm 2),
 //!    producing the affine-equivalent database `SDB2`.
-//! 3. [`queries`] — the query template
-//!    `SELECT COUNT(*) FROM <t1> JOIN <t2> ON <TopoRlt>(t1.g, t2.g)` is
-//!    instantiated with random tables and a random topological relationship
-//!    supported by the engine under test.
+//! 3. [`queries`] — three template families are instantiated with random
+//!    tables: the Figure 5 join-count template over a topological
+//!    relationship, and the §7 distance-parameterised family — `ST_DWithin`
+//!    / `ST_DFullyWithin` range joins (distance rewritten to `s·d` under a
+//!    similarity transformation) and KNN queries
+//!    (`ORDER BY ST_Distance(g, origin) LIMIT k`, compared as result sets
+//!    with ties at the cutoff excluded).
 //! 4. [`oracles`] — the **AEI oracle** runs every query against `SDB1` and
 //!    `SDB2` on the same engine and reports any count discrepancy as a
 //!    potential logic bug; the baseline oracles of §5.3 (differential
@@ -42,7 +45,7 @@ pub mod transform;
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, Finding, FindingKind};
 pub use generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
 pub use oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle};
-pub use queries::QueryInstance;
+pub use queries::{QueryInstance, QueryTemplate, RangeFunction};
 pub use runner::{CampaignRunner, OracleKind, ShardReport};
 pub use spec::{DatabaseSpec, TableSpec};
 pub use transform::{AffineStrategy, TransformPlan};

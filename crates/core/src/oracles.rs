@@ -7,10 +7,12 @@
 //! (semantic validation failures, unsupported functions) are ignored, exactly
 //! as Spatter ignores them (§4.1).
 
-use crate::queries::QueryInstance;
+use crate::queries::{QueryInstance, QueryTemplate, RangeFunction};
 use crate::spec::DatabaseSpec;
 use crate::transform::TransformPlan;
+use spatter_geom::wkt::{parse_wkt, write_wkt};
 use spatter_sdb::{Engine, EngineProfile, FaultSet, SdbError};
+use spatter_topo::distance as topo_distance;
 
 /// The verdict of an oracle for one query.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +34,10 @@ pub enum OracleOutcome {
     /// exist in the comparison engine, or the statements errored) — not a
     /// bug, mirroring the expected discrepancies of §1.
     Inapplicable,
+    /// A distance-parameterised template met a non-similarity transformation:
+    /// the AEI property does not hold for it (§7), so checking is skipped and
+    /// the campaign records the skip instead of a spurious finding.
+    Skipped,
 }
 
 impl OracleOutcome {
@@ -43,6 +49,11 @@ impl OracleOutcome {
     /// Whether this outcome is a crash report.
     pub fn is_crash(&self) -> bool {
         matches!(self, OracleOutcome::Crash { .. })
+    }
+
+    /// Whether the template was skipped for lacking a similarity transform.
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, OracleOutcome::Skipped)
     }
 }
 
@@ -92,6 +103,181 @@ fn run_count(engine: &mut Engine, sql: &str) -> Result<Option<i64>, OracleOutcom
     }
 }
 
+/// What an oracle observed for one query: a scalar count (join templates) or
+/// a sorted result set (KNN templates, compared as sets per §7).
+#[derive(Debug, Clone, PartialEq)]
+enum Observed {
+    /// The `COUNT(*)` value.
+    Count(i64),
+    /// The returned rows' first column, sorted for set comparison.
+    Rows(Vec<String>),
+}
+
+impl Observed {
+    fn describe(&self) -> String {
+        match self {
+            Observed::Count(n) => n.to_string(),
+            Observed::Rows(rows) => format!("{{{}}}", rows.join(", ")),
+        }
+    }
+}
+
+/// Runs a query and extracts the template-appropriate observation, mapping
+/// non-crash errors to `None`.
+fn run_observed(
+    engine: &mut Engine,
+    query: &QueryInstance,
+    sql: &str,
+) -> Result<Option<Observed>, OracleOutcome> {
+    match engine.execute(sql) {
+        Ok(result) => {
+            if query.template.is_count() {
+                Ok(result.count().map(Observed::Count))
+            } else {
+                let mut rows: Vec<String> = result
+                    .rows
+                    .iter()
+                    .filter_map(|row| row.first())
+                    .map(|value| value.to_string())
+                    .collect();
+                rows.sort();
+                Ok(Some(Observed::Rows(rows)))
+            }
+        }
+        Err(SdbError::Crash(message)) => Err(OracleOutcome::Crash { message }),
+        Err(_) => Ok(None),
+    }
+}
+
+/// §7's floating-point well-definedness exclusion for range joins, computed
+/// on the reference geometry library (it concerns the *input*, not the
+/// engine): a range join is only robust under rescaling when no pair sits
+/// within the floating-point margin of the distance boundary. The check is
+/// O(|t1|·|t2|) reference distance computations, so the AEI oracle only
+/// evaluates it *after* observing a mismatch — on agreeing results it cannot
+/// change the verdict.
+fn range_boundary_ill_defined(spec: &DatabaseSpec, query: &QueryInstance) -> bool {
+    match &query.template {
+        QueryTemplate::TopoJoin { .. } | QueryTemplate::Knn { .. } => false,
+        QueryTemplate::RangeJoin { function, distance } => {
+            let Some(left) = spec.tables.iter().find(|t| t.name == query.table1) else {
+                return false;
+            };
+            let Some(right) = spec.tables.iter().find(|t| t.name == query.table2) else {
+                return false;
+            };
+            left.geometries.iter().any(|a| {
+                right.geometries.iter().any(|b| {
+                    let value = match function {
+                        RangeFunction::DWithin => topo_distance::distance(a, b),
+                        RangeFunction::DFullyWithin => topo_distance::max_distance(a, b),
+                    };
+                    value
+                        .map(|v| topo_distance::range_boundary_ambiguous(v, *distance))
+                        .unwrap_or(false)
+                })
+            })
+        }
+    }
+}
+
+/// §7's equal-distance caveat for KNN, checked eagerly (one O(n) pass over
+/// the candidate table): a tie at the k-th distance makes the result set
+/// ill-defined regardless of what the engines answer.
+fn knn_ill_defined(spec: &DatabaseSpec, query: &QueryInstance) -> bool {
+    let QueryTemplate::Knn { origin, k } = &query.template else {
+        return false;
+    };
+    spec.tables
+        .iter()
+        .find(|t| t.name == query.table1)
+        .map(|t| topo_distance::knn_tie_at_cutoff(origin, &t.geometries, *k))
+        .unwrap_or(false)
+}
+
+/// Maps an SDB1 observation into SDB2's coordinate frame: KNN result rows
+/// (WKTs of stored geometries) are pushed through the transformation plan so
+/// they can be compared against SDB2's rows; counts are frame-independent.
+fn map_observed_through_plan(observed: Observed, plan: &TransformPlan) -> Observed {
+    match observed {
+        Observed::Count(n) => Observed::Count(n),
+        Observed::Rows(rows) => {
+            let mut mapped: Vec<String> = rows
+                .into_iter()
+                .map(|wkt| match parse_wkt(&wkt) {
+                    Ok(geometry) => write_wkt(&plan.apply_geometry(&geometry)),
+                    Err(_) => wkt,
+                })
+                .collect();
+            mapped.sort();
+            Observed::Rows(mapped)
+        }
+    }
+}
+
+/// Checks the AEI property for one query on an already-loaded engine pair
+/// (`engine1` holds `SDB1`, `engine2` its affine-equivalent `SDB2`). Shared
+/// between [`AeiOracle`] and [`crate::campaign::run_aei_iteration`].
+pub(crate) fn check_aei_query(
+    engine1: &mut Engine,
+    engine2: &mut Engine,
+    spec: &DatabaseSpec,
+    query: &QueryInstance,
+    plan: &TransformPlan,
+) -> OracleOutcome {
+    let Some(sql2) = query.to_sql_transformed(plan) else {
+        return OracleOutcome::Skipped;
+    };
+    // §7's equal-distance caveat, checked up front: a KNN tie at the cutoff
+    // makes the result set ill-defined even when both engines happen to
+    // agree. (The range-join boundary exclusion is deferred until a mismatch
+    // is observed — see `range_boundary_ill_defined`.)
+    if knn_ill_defined(spec, query) {
+        return OracleOutcome::Inapplicable;
+    }
+    let observed1 = match run_observed(engine1, query, &query.to_sql()) {
+        Ok(observed) => observed,
+        Err(outcome) => return outcome,
+    };
+    let observed2 = match run_observed(engine2, query, &sql2) {
+        Ok(observed) => observed,
+        Err(outcome) => return outcome,
+    };
+    match (observed1, observed2) {
+        (Some(a), Some(b)) => {
+            let mapped = map_observed_through_plan(a.clone(), plan);
+            if mapped == b {
+                OracleOutcome::Pass
+            } else if range_boundary_ill_defined(spec, query) {
+                // The disagreement sits on the floating-point boundary of
+                // the rescaled comparison: not attributable to the engine.
+                OracleOutcome::Inapplicable
+            } else {
+                // Describe SDB1's answer in its own frame (those WKTs exist
+                // in SDB1); for row sets, also report the frame-mapped form
+                // that the comparison actually used.
+                let description = match &a {
+                    Observed::Rows(_) => format!(
+                        "{}: SDB1 returned {} (SDB2 frame: {}), affine-equivalent SDB2 returned {}",
+                        query.template.function_name(),
+                        a.describe(),
+                        mapped.describe(),
+                        b.describe()
+                    ),
+                    Observed::Count(_) => format!(
+                        "{}: SDB1 returned {}, affine-equivalent SDB2 returned {}",
+                        query.template.function_name(),
+                        a.describe(),
+                        b.describe()
+                    ),
+                };
+                OracleOutcome::LogicBug { description }
+            }
+        }
+        _ => OracleOutcome::Inapplicable,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // AEI
 // ---------------------------------------------------------------------------
@@ -134,27 +320,7 @@ impl Oracle for AeiOracle {
         };
         queries
             .iter()
-            .map(|query| {
-                let sql = query.to_sql();
-                let count1 = match run_count(&mut engine1, &sql) {
-                    Ok(c) => c,
-                    Err(outcome) => return outcome,
-                };
-                let count2 = match run_count(&mut engine2, &sql) {
-                    Ok(c) => c,
-                    Err(outcome) => return outcome,
-                };
-                match (count1, count2) {
-                    (Some(a), Some(b)) if a != b => OracleOutcome::LogicBug {
-                        description: format!(
-                            "{}: SDB1 returned {a}, affine-equivalent SDB2 returned {b}",
-                            query.predicate.function_name()
-                        ),
-                    },
-                    (Some(_), Some(_)) => OracleOutcome::Pass,
-                    _ => OracleOutcome::Inapplicable,
-                }
-            })
+            .map(|query| check_aei_query(&mut engine1, &mut engine2, spec, query, &self.plan))
             .collect()
     }
 }
@@ -208,29 +374,31 @@ impl Oracle for DifferentialOracle {
         queries
             .iter()
             .map(|query| {
-                // The predicate must exist in both engines; otherwise the
-                // comparison is impossible (ST_Covers & friends).
+                // The queried function must exist in both engines; otherwise
+                // the comparison is impossible (ST_Covers & friends).
                 if !self
                     .other_profile
-                    .supports_function(query.predicate.function_name())
+                    .supports_function(query.template.function_name())
                 {
                     return OracleOutcome::Inapplicable;
                 }
                 let sql = query.to_sql();
-                let count1 = match run_count(&mut engine1, &sql) {
-                    Ok(c) => c,
+                let observed1 = match run_observed(&mut engine1, query, &sql) {
+                    Ok(observed) => observed,
                     Err(outcome) => return outcome,
                 };
                 // Crashes of the *comparison* engine are not findings about
                 // the engine under test.
-                let count2 = run_count(&mut engine2, &sql).unwrap_or_default();
-                match (count1, count2) {
+                let observed2 = run_observed(&mut engine2, query, &sql).unwrap_or_default();
+                match (observed1, observed2) {
                     (Some(a), Some(b)) if a != b => OracleOutcome::LogicBug {
                         description: format!(
-                            "{}: {} returned {a}, {} returned {b}",
-                            query.predicate.function_name(),
+                            "{}: {} returned {}, {} returned {}",
+                            query.template.function_name(),
                             profile.name(),
-                            self.other_profile.name()
+                            a.describe(),
+                            self.other_profile.name(),
+                            b.describe()
                         ),
                     },
                     (Some(_), Some(_)) => OracleOutcome::Pass,
@@ -277,19 +445,21 @@ impl Oracle for IndexOracle {
             .iter()
             .map(|query| {
                 let sql = query.to_sql();
-                let count_seq = match run_count(&mut seq, &sql) {
-                    Ok(c) => c,
+                let observed_seq = match run_observed(&mut seq, query, &sql) {
+                    Ok(observed) => observed,
                     Err(outcome) => return outcome,
                 };
-                let count_idx = match run_count(&mut indexed, &sql) {
-                    Ok(c) => c,
+                let observed_idx = match run_observed(&mut indexed, query, &sql) {
+                    Ok(observed) => observed,
                     Err(outcome) => return outcome,
                 };
-                match (count_seq, count_idx) {
+                match (observed_seq, observed_idx) {
                     (Some(a), Some(b)) if a != b => OracleOutcome::LogicBug {
                         description: format!(
-                            "{}: sequential scan returned {a}, index scan returned {b}",
-                            query.predicate.function_name()
+                            "{}: sequential scan returned {}, index scan returned {}",
+                            query.template.function_name(),
+                            a.describe(),
+                            b.describe()
                         ),
                     },
                     (Some(_), Some(_)) => OracleOutcome::Pass,
@@ -329,6 +499,10 @@ impl Oracle for TlpOracle {
         queries
             .iter()
             .map(|query| {
+                // KNN queries have no boolean condition to partition.
+                let Some((_, negated_sql)) = query.tlp_partition_sql() else {
+                    return OracleOutcome::Inapplicable;
+                };
                 let rows1 = spec
                     .tables
                     .iter()
@@ -346,7 +520,6 @@ impl Oracle for TlpOracle {
                     Ok(c) => c,
                     Err(outcome) => return outcome,
                 };
-                let (_, negated_sql) = query.tlp_partition_sql();
                 let negative = match run_count(&mut engine, &negated_sql) {
                     Ok(c) => c,
                     Err(outcome) => return outcome,
@@ -355,7 +528,7 @@ impl Oracle for TlpOracle {
                     (Some(p), Some(n)) if p + n != expected_total => OracleOutcome::LogicBug {
                         description: format!(
                             "{}: {p} + NOT {n} != |cross product| {expected_total}",
-                            query.predicate.function_name()
+                            query.template.function_name()
                         ),
                     },
                     (Some(_), Some(_)) => OracleOutcome::Pass,
@@ -384,11 +557,7 @@ mod tests {
         spec.tables[1]
             .geometries
             .push(parse_wkt("POINT(0.2 0.9)").unwrap());
-        let queries = vec![QueryInstance {
-            table1: "t0".into(),
-            table2: "t1".into(),
-            predicate: NamedPredicate::Covers,
-        }];
+        let queries = vec![QueryInstance::topo("t0", "t1", NamedPredicate::Covers)];
         (spec, queries)
     }
 
@@ -452,11 +621,7 @@ mod tests {
         spec.tables[1]
             .geometries
             .push(parse_wkt("GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))").unwrap());
-        let queries = vec![QueryInstance {
-            table1: "t0".into(),
-            table2: "t1".into(),
-            predicate: NamedPredicate::Within,
-        }];
+        let queries = vec![QueryInstance::topo("t0", "t1", NamedPredicate::Within)];
         let oracle = DifferentialOracle {
             other_profile: EngineProfile::MysqlLike,
             other_faults: FaultSet::none(),
@@ -475,11 +640,7 @@ mod tests {
         spec.tables[1]
             .geometries
             .push(parse_wkt("POINT(-1 -1)").unwrap());
-        let queries = vec![QueryInstance {
-            table1: "t0".into(),
-            table2: "t1".into(),
-            predicate: NamedPredicate::Intersects,
-        }];
+        let queries = vec![QueryInstance::topo("t0", "t1", NamedPredicate::Intersects)];
         let faults = FaultSet::with([FaultId::PostgisGistIndexDropsRows]);
         let outcomes = IndexOracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
         assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
@@ -511,6 +672,261 @@ mod tests {
     }
 
     #[test]
+    fn aei_range_join_detects_the_dfullywithin_fault_under_similarity() {
+        // Listing 9's fault fires only for small-magnitude geometries; a
+        // similarity transform moves the coordinates out of the trigger range
+        // while rescaling the distance, so SDB2 answers correctly and the
+        // counts disagree.
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("LINESTRING(0 0,0 1,1 0,0 0)").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("POLYGON((0 0,0 1,1 0,0 0))").unwrap());
+        let queries = vec![QueryInstance::range(
+            "t0",
+            "t1",
+            crate::queries::RangeFunction::DFullyWithin,
+            100.0,
+        )];
+        let faults = FaultSet::with([FaultId::PostgisDFullyWithinSmallCoords]);
+        let detected = (0..20).any(|seed| {
+            let oracle = AeiOracle::new(TransformPlan::random(
+                AffineStrategy::SimilarityInteger,
+                seed,
+            ));
+            oracle
+                .check(EngineProfile::PostgisLike, &faults, &spec, &queries)
+                .iter()
+                .any(|o| o.is_logic_bug())
+        });
+        assert!(detected, "no similarity plan exposed the Listing 9 fault");
+        // The reference engine passes under the same plans.
+        for seed in 0..10 {
+            let oracle = AeiOracle::new(TransformPlan::random(
+                AffineStrategy::SimilarityInteger,
+                seed,
+            ));
+            let outcomes = oracle.check(
+                EngineProfile::PostgisLike,
+                &FaultSet::none(),
+                &spec,
+                &queries,
+            );
+            assert!(!outcomes[0].is_logic_bug(), "seed {seed}: {outcomes:?}");
+        }
+    }
+
+    #[test]
+    fn aei_knn_detects_the_empty_distance_fault() {
+        // Canonicalization strips the EMPTY element from SDB2, so the faulty
+        // distance recursion only derails SDB1's ordering: the KNN result
+        // sets disagree.
+        let mut spec = DatabaseSpec::with_tables(1);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("MULTIPOINT((5 0),EMPTY,(0 0))").unwrap());
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(1 0)").unwrap());
+        let queries = vec![QueryInstance::knn(
+            "t0",
+            parse_wkt("POINT(0 0)").unwrap(),
+            1,
+        )];
+        let faults = FaultSet::with([FaultId::GeosEmptyDistanceRecursion]);
+        let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
+        let outcomes = oracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
+        // The reference engine agrees between the frames.
+        let outcomes = oracle.check(
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+        );
+        assert_eq!(outcomes[0], OracleOutcome::Pass);
+    }
+
+    #[test]
+    fn aei_skips_distance_templates_under_shear() {
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(0 0)").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("POINT(3 4)").unwrap());
+        let queries = vec![
+            QueryInstance::range("t0", "t1", crate::queries::RangeFunction::DWithin, 5.0),
+            QueryInstance::knn("t0", parse_wkt("POINT(1 1)").unwrap(), 1),
+            QueryInstance::topo("t0", "t1", NamedPredicate::Intersects),
+        ];
+        // A general integer plan never exposes a uniform scale.
+        let plan = TransformPlan::random(AffineStrategy::GeneralInteger, 4);
+        assert_eq!(plan.uniform_scale, None);
+        let oracle = AeiOracle::new(plan);
+        let outcomes = oracle.check(
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+        );
+        assert!(outcomes[0].is_skipped());
+        assert!(outcomes[1].is_skipped());
+        assert_eq!(outcomes[2], OracleOutcome::Pass);
+    }
+
+    #[test]
+    fn aei_knn_tie_at_cutoff_is_inapplicable_not_a_bug() {
+        // Two candidates at exactly the same distance with k = 1: any subset
+        // is correct, so the oracle must refuse to compare (§7's caveat).
+        let mut spec = DatabaseSpec::with_tables(1);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(5 0)").unwrap());
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(0 5)").unwrap());
+        let queries = vec![QueryInstance::knn(
+            "t0",
+            parse_wkt("POINT(0 0)").unwrap(),
+            1,
+        )];
+        let oracle = AeiOracle::new(TransformPlan::random(AffineStrategy::SimilarityInteger, 2));
+        let outcomes = oracle.check(
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+        );
+        assert_eq!(outcomes[0], OracleOutcome::Inapplicable);
+    }
+
+    #[test]
+    fn aei_range_boundary_mismatch_is_inapplicable_not_a_bug() {
+        // The pair sits exactly on the distance boundary (max distance 5,
+        // d = 5), and the seeded fault makes the two frames disagree: the
+        // boundary exclusion fires on the mismatch and refuses to attribute
+        // a comparison this close to the rescaled threshold to the engine.
+        use spatter_geom::{AffineMatrix, AffineTransform};
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("LINESTRING(0 0,0 3)").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("POINT(4 0)").unwrap());
+        let queries = vec![QueryInstance::range(
+            "t0",
+            "t1",
+            crate::queries::RangeFunction::DFullyWithin,
+            5.0,
+        )];
+        let plan = TransformPlan {
+            canonicalize: true,
+            transform: AffineTransform::new(AffineMatrix::scaling(20.0, 20.0)).unwrap(),
+            uniform_scale: Some(20.0),
+        };
+        // The fault flips SDB1 (small coordinates) but not the scaled SDB2:
+        // a genuine mismatch, suppressed because the input is boundary-tight.
+        let faults = FaultSet::with([FaultId::PostgisDFullyWithinSmallCoords]);
+        let outcomes = AeiOracle::new(plan.clone()).check(
+            EngineProfile::PostgisLike,
+            &faults,
+            &spec,
+            &queries,
+        );
+        assert_eq!(outcomes[0], OracleOutcome::Inapplicable);
+        // On the reference engine the frames agree and the (lazy) boundary
+        // check never runs: the outcome is a plain Pass.
+        let outcomes = AeiOracle::new(plan).check(
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+        );
+        assert_eq!(outcomes[0], OracleOutcome::Pass);
+    }
+
+    #[test]
+    fn differential_is_inapplicable_for_postgis_only_range_functions() {
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(0 0)").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("POINT(1 1)").unwrap());
+        let queries = vec![QueryInstance::range(
+            "t0",
+            "t1",
+            crate::queries::RangeFunction::DFullyWithin,
+            10.0,
+        )];
+        let oracle = DifferentialOracle::against_stock(EngineProfile::MysqlLike);
+        let faults = FaultSet::with([FaultId::PostgisDFullyWithinSmallCoords]);
+        let outcomes = oracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        assert_eq!(outcomes[0], OracleOutcome::Inapplicable);
+    }
+
+    #[test]
+    fn index_oracle_compares_knn_paths() {
+        let mut spec = DatabaseSpec::with_tables(1);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(-2 -2)").unwrap());
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(5 5)").unwrap());
+        let queries = vec![QueryInstance::knn(
+            "t0",
+            parse_wkt("POINT(0 0)").unwrap(),
+            1,
+        )];
+        // The faulty GiST scan drops the negative-quadrant nearest neighbour.
+        let faults = FaultSet::with([FaultId::PostgisGistIndexDropsRows]);
+        let outcomes = IndexOracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
+        // The reference engine's two plans agree.
+        let outcomes = IndexOracle.check(
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+        );
+        assert_eq!(outcomes[0], OracleOutcome::Pass);
+    }
+
+    #[test]
+    fn tlp_partitions_range_joins_and_skips_knn() {
+        let mut spec = DatabaseSpec::with_tables(1);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(0 0)").unwrap());
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(10 10)").unwrap());
+        let range = vec![QueryInstance::range(
+            "t0",
+            "t0",
+            crate::queries::RangeFunction::DWithin,
+            3.0,
+        )];
+        let outcomes =
+            TlpOracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &range);
+        assert_eq!(outcomes[0], OracleOutcome::Pass);
+        let knn = vec![QueryInstance::knn(
+            "t0",
+            parse_wkt("POINT(0 0)").unwrap(),
+            1,
+        )];
+        let outcomes = TlpOracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &knn);
+        assert_eq!(outcomes[0], OracleOutcome::Inapplicable);
+    }
+
+    #[test]
     fn crash_faults_surface_as_crash_outcomes() {
         let mut spec = DatabaseSpec::with_tables(1);
         spec.tables[0]
@@ -519,11 +935,7 @@ mod tests {
         spec.tables[0]
             .geometries
             .push(parse_wkt("POINT(0 0)").unwrap());
-        let queries = vec![QueryInstance {
-            table1: "t0".into(),
-            table2: "t0".into(),
-            predicate: NamedPredicate::Intersects,
-        }];
+        let queries = vec![QueryInstance::topo("t0", "t0", NamedPredicate::Intersects)];
         // The lax profile is used so the crash path is reached instead of the
         // strict validation rejecting the degenerate ring first.
         let faults = FaultSet::with([FaultId::GeosCrashRelateShortRing]);

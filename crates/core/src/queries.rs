@@ -1,63 +1,249 @@
-//! Query-template instantiation (Figure 5, §4.4).
+//! Query-template instantiation (Figure 5, §4.4 and the §7 extension).
 //!
-//! The template has three placeholders — two table names and one topological
-//! relationship condition:
+//! The original template has three placeholders — two table names and one
+//! topological relationship condition:
 //!
 //! ```sql
 //! SELECT COUNT(*) FROM <table1> JOIN <table2> ON <TopoRlt>
 //! ```
 //!
-//! Tables are picked at random from the generated database and the condition
-//! is a named predicate drawn from the list the engine under test supports
-//! (so `ST_Covers` is only generated for the PostGIS-like and DuckDB-like
-//! profiles, reproducing the situations where differential testing is
+//! §7 extends AEI to *distance-parameterised* queries, which are only
+//! equivalent under **similarity** transformations (rotation, translation,
+//! uniform scaling — [`crate::transform::TransformPlan::scale_distance`]):
+//!
+//! * **range joins** — `ST_DWithin(a.g, b.g, d)` (and the PostGIS-only
+//!   `ST_DFullyWithin`) keep their count when the distance literal is
+//!   rewritten to `s·d`;
+//! * **KNN queries** — `SELECT ... ORDER BY ST_Distance(a.g, origin) LIMIT k`
+//!   keeps its result *set* when the origin is mapped through the same
+//!   transformation, provided no two candidates tie at the k-th distance
+//!   (§7's equal-distance caveat).
+//!
+//! Tables are picked at random from the generated database and conditions are
+//! drawn from the function list the engine under test supports (so
+//! `ST_Covers` and `ST_DFullyWithin` are only generated for the profiles that
+//! document them, reproducing the situations where differential testing is
 //! inapplicable).
 
 use crate::rng::seq::IndexedRandom;
 use crate::rng::StdRng;
 use crate::rng::{RngExt, SeedableRng};
 use crate::spec::DatabaseSpec;
+use crate::transform::TransformPlan;
+use spatter_geom::wkt::write_wkt;
+use spatter_geom::{Geometry, Point};
 use spatter_sdb::EngineProfile;
 use spatter_topo::predicates::NamedPredicate;
+
+/// The distance-parameterised range-join functions of §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeFunction {
+    /// `ST_DWithin`: minimum distance does not exceed `d` (OGC core).
+    DWithin,
+    /// `ST_DFullyWithin`: maximum distance does not exceed `d`
+    /// (PostGIS-only).
+    DFullyWithin,
+}
+
+impl RangeFunction {
+    /// The SQL function name.
+    pub fn function_name(&self) -> &'static str {
+        match self {
+            RangeFunction::DWithin => "ST_DWithin",
+            RangeFunction::DFullyWithin => "ST_DFullyWithin",
+        }
+    }
+}
+
+/// One of the template families a [`QueryInstance`] can instantiate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryTemplate {
+    /// The Figure 5 join-count template over a named topological predicate.
+    TopoJoin {
+        /// The topological relationship predicate.
+        predicate: NamedPredicate,
+    },
+    /// A distance range join: `COUNT(*) ... ON <fn>(a.g, b.g, d)`.
+    RangeJoin {
+        /// Which range function conditions the join.
+        function: RangeFunction,
+        /// The distance literal `d`.
+        distance: f64,
+    },
+    /// A k-nearest-neighbour query over `table1`:
+    /// `SELECT ST_AsText(a.g) FROM t a ORDER BY ST_Distance(a.g, origin)
+    /// LIMIT k`.
+    Knn {
+        /// The query origin geometry.
+        origin: Geometry,
+        /// The result-set size `k`.
+        k: usize,
+    },
+}
+
+impl QueryTemplate {
+    /// The `ST_*` function the template revolves around (used for profile
+    /// support checks and finding descriptions).
+    pub fn function_name(&self) -> &'static str {
+        match self {
+            QueryTemplate::TopoJoin { predicate } => predicate.function_name(),
+            QueryTemplate::RangeJoin { function, .. } => function.function_name(),
+            QueryTemplate::Knn { .. } => "ST_Distance",
+        }
+    }
+
+    /// Whether the template carries a distance parameter and is therefore
+    /// only AEI-checkable under similarity transformations (§7).
+    pub fn requires_similarity(&self) -> bool {
+        !matches!(self, QueryTemplate::TopoJoin { .. })
+    }
+
+    /// Whether the query returns a single `COUNT(*)` value (`false` for KNN,
+    /// which returns a row set).
+    pub fn is_count(&self) -> bool {
+        !matches!(self, QueryTemplate::Knn { .. })
+    }
+}
 
 /// One instantiated query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryInstance {
-    /// The left table name.
+    /// The left table name (the only table for KNN).
     pub table1: String,
-    /// The right table name.
+    /// The right table name (equal to `table1` for KNN).
     pub table2: String,
-    /// The topological relationship predicate.
-    pub predicate: NamedPredicate,
+    /// The instantiated template.
+    pub template: QueryTemplate,
 }
 
 impl QueryInstance {
-    /// The SQL text of the count query.
-    pub fn to_sql(&self) -> String {
+    /// A join-count query over a topological predicate.
+    pub fn topo(
+        table1: impl Into<String>,
+        table2: impl Into<String>,
+        predicate: NamedPredicate,
+    ) -> Self {
+        QueryInstance {
+            table1: table1.into(),
+            table2: table2.into(),
+            template: QueryTemplate::TopoJoin { predicate },
+        }
+    }
+
+    /// A distance range join.
+    pub fn range(
+        table1: impl Into<String>,
+        table2: impl Into<String>,
+        function: RangeFunction,
+        distance: f64,
+    ) -> Self {
+        QueryInstance {
+            table1: table1.into(),
+            table2: table2.into(),
+            template: QueryTemplate::RangeJoin { function, distance },
+        }
+    }
+
+    /// A KNN query over a single table.
+    pub fn knn(table: impl Into<String>, origin: Geometry, k: usize) -> Self {
+        let table = table.into();
+        QueryInstance {
+            table2: table.clone(),
+            table1: table,
+            template: QueryTemplate::Knn { origin, k },
+        }
+    }
+
+    /// The topological predicate, when the template is a topo join.
+    pub fn predicate(&self) -> Option<NamedPredicate> {
+        match &self.template {
+            QueryTemplate::TopoJoin { predicate } => Some(*predicate),
+            _ => None,
+        }
+    }
+
+    /// The range-join SQL with an explicit distance literal (shared by the
+    /// `SDB1` text and the rescaled `SDB2` text so the two can never drift).
+    fn range_sql(&self, function: RangeFunction, distance: f64) -> String {
         format!(
-            "SELECT COUNT(*) FROM {} a JOIN {} b ON {}(a.g, b.g)",
+            "SELECT COUNT(*) FROM {} a JOIN {} b ON {}(a.g, b.g, {})",
             self.table1,
             self.table2,
-            self.predicate.function_name()
+            function.function_name(),
+            distance
         )
     }
 
+    /// The KNN SQL with an explicit origin (shared by the `SDB1` text and
+    /// the origin-mapped `SDB2` text).
+    fn knn_sql(&self, origin: &Geometry, k: usize) -> String {
+        format!(
+            "SELECT ST_AsText(a.g) FROM {} a ORDER BY ST_Distance(a.g, '{}'::geometry) LIMIT {}",
+            self.table1,
+            write_wkt(origin),
+            k
+        )
+    }
+
+    /// The SQL text of the query against the original database `SDB1`.
+    pub fn to_sql(&self) -> String {
+        match &self.template {
+            QueryTemplate::TopoJoin { predicate } => format!(
+                "SELECT COUNT(*) FROM {} a JOIN {} b ON {}(a.g, b.g)",
+                self.table1,
+                self.table2,
+                predicate.function_name()
+            ),
+            QueryTemplate::RangeJoin { function, distance } => self.range_sql(*function, *distance),
+            QueryTemplate::Knn { origin, k } => self.knn_sql(origin, *k),
+        }
+    }
+
+    /// The SQL text of the equivalent query against the transformed database
+    /// `SDB2`: topological joins are transformation-independent, range joins
+    /// rewrite the distance to `s·d`, and KNN queries map the origin through
+    /// the plan. Returns `None` when the template is distance-parameterised
+    /// and the plan is not a similarity (`scale_distance` is `None`), in
+    /// which case the AEI property does not hold and the template must be
+    /// skipped (§7).
+    pub fn to_sql_transformed(&self, plan: &TransformPlan) -> Option<String> {
+        match &self.template {
+            QueryTemplate::TopoJoin { .. } => Some(self.to_sql()),
+            QueryTemplate::RangeJoin { function, distance } => {
+                let scaled = plan.scale_distance(*distance)?;
+                Some(self.range_sql(*function, scaled))
+            }
+            QueryTemplate::Knn { origin, k } => {
+                plan.scale_distance(1.0)?;
+                Some(self.knn_sql(&plan.apply_geometry(origin), *k))
+            }
+        }
+    }
+
     /// The TLP partitioning queries: the unconditioned cross product and the
-    /// negated-predicate query. TLP expects
+    /// negated-condition query. TLP expects
     /// `|t1 × t2| = COUNT(P) + COUNT(NOT P)` (NULL partitions cannot arise
     /// because geometry columns are non-null in the generated databases).
-    pub fn tlp_partition_sql(&self) -> (String, String) {
+    /// `None` for KNN queries, which have no boolean condition to partition.
+    pub fn tlp_partition_sql(&self) -> Option<(String, String)> {
+        let condition = match &self.template {
+            QueryTemplate::TopoJoin { predicate } => {
+                format!("{}(a.g, b.g)", predicate.function_name())
+            }
+            QueryTemplate::RangeJoin { function, distance } => {
+                format!("{}(a.g, b.g, {})", function.function_name(), distance)
+            }
+            QueryTemplate::Knn { .. } => return None,
+        };
         let total = format!(
             "SELECT COUNT(*) FROM {} a JOIN {} b ON ST_Intersects(a.g, b.g) OR NOT ST_Intersects(a.g, b.g)",
             self.table1, self.table2
         );
         let negated = format!(
-            "SELECT COUNT(*) FROM {} a JOIN {} b ON NOT {}(a.g, b.g)",
-            self.table1,
-            self.table2,
-            self.predicate.function_name()
+            "SELECT COUNT(*) FROM {} a JOIN {} b ON NOT {}",
+            self.table1, self.table2, condition
         );
-        (total, negated)
+        Some((total, negated))
     }
 }
 
@@ -70,7 +256,10 @@ pub fn supported_predicates(profile: EngineProfile) -> Vec<NamedPredicate> {
         .collect()
 }
 
-/// Generates `count` random query instances over the tables of `spec`.
+/// Generates `count` random query instances over the tables of `spec`,
+/// biased across the three template families: topological joins stay the
+/// bulk of the workload, with range joins and KNN queries drawn often enough
+/// that every campaign exercises the §7 distance family.
 pub fn random_queries(
     spec: &DatabaseSpec,
     profile: EngineProfile,
@@ -83,11 +272,45 @@ pub fn random_queries(
     if tables.is_empty() || predicates.is_empty() {
         return Vec::new();
     }
+    let dfully_supported = profile.supports_function("ST_DFullyWithin");
     (0..count)
-        .map(|_| QueryInstance {
-            table1: tables[rng.random_range(0..tables.len())].to_string(),
-            table2: tables[rng.random_range(0..tables.len())].to_string(),
-            predicate: *predicates.choose(&mut rng).expect("non-empty"),
+        .map(|_| {
+            let table1 = tables[rng.random_range(0..tables.len())].to_string();
+            let table2 = tables[rng.random_range(0..tables.len())].to_string();
+            match rng.random_range(0..10u32) {
+                // 60%: the Figure 5 topological join-count template.
+                0..=5 => QueryInstance {
+                    table1,
+                    table2,
+                    template: QueryTemplate::TopoJoin {
+                        predicate: *predicates.choose(&mut rng).expect("non-empty"),
+                    },
+                },
+                // 20%: distance range joins.
+                6..=7 => {
+                    let function = if dfully_supported && rng.random_bool(0.5) {
+                        RangeFunction::DFullyWithin
+                    } else {
+                        RangeFunction::DWithin
+                    };
+                    QueryInstance {
+                        table1,
+                        table2,
+                        template: QueryTemplate::RangeJoin {
+                            function,
+                            distance: rng.random_range(1..=40i64) as f64,
+                        },
+                    }
+                }
+                // 20%: KNN queries with an integer origin (exact under the
+                // integer similarity matrices of Algorithm 2).
+                _ => {
+                    let x = rng.random_range(-50..=50i64) as f64;
+                    let y = rng.random_range(-50..=50i64) as f64;
+                    let k = rng.random_range(1..=4i64) as usize;
+                    QueryInstance::knn(table1, Geometry::Point(Point::new(x, y)), k)
+                }
+            }
         })
         .collect()
 }
@@ -95,30 +318,99 @@ pub fn random_queries(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transform::AffineStrategy;
+    use spatter_geom::wkt::parse_wkt;
 
     #[test]
-    fn sql_text_matches_template() {
-        let q = QueryInstance {
-            table1: "t0".into(),
-            table2: "t1".into(),
-            predicate: NamedPredicate::Covers,
-        };
+    fn sql_text_matches_topo_template() {
+        let q = QueryInstance::topo("t0", "t1", NamedPredicate::Covers);
         assert_eq!(
             q.to_sql(),
             "SELECT COUNT(*) FROM t0 a JOIN t1 b ON ST_Covers(a.g, b.g)"
         );
+        assert_eq!(q.predicate(), Some(NamedPredicate::Covers));
+        assert!(!q.template.requires_similarity());
+        assert!(q.template.is_count());
+    }
+
+    #[test]
+    fn sql_text_matches_range_template() {
+        let q = QueryInstance::range("t0", "t1", RangeFunction::DWithin, 7.0);
+        assert_eq!(
+            q.to_sql(),
+            "SELECT COUNT(*) FROM t0 a JOIN t1 b ON ST_DWithin(a.g, b.g, 7)"
+        );
+        assert!(q.template.requires_similarity());
+        assert!(q.template.is_count());
+        assert_eq!(q.predicate(), None);
+        let q = QueryInstance::range("t0", "t0", RangeFunction::DFullyWithin, 2.5);
+        assert_eq!(
+            q.to_sql(),
+            "SELECT COUNT(*) FROM t0 a JOIN t0 b ON ST_DFullyWithin(a.g, b.g, 2.5)"
+        );
+    }
+
+    #[test]
+    fn sql_text_matches_knn_template() {
+        let q = QueryInstance::knn("t1", parse_wkt("POINT(3 4)").unwrap(), 2);
+        assert_eq!(
+            q.to_sql(),
+            "SELECT ST_AsText(a.g) FROM t1 a ORDER BY ST_Distance(a.g, 'POINT(3 4)'::geometry) LIMIT 2"
+        );
+        assert_eq!(q.table2, "t1");
+        assert!(q.template.requires_similarity());
+        assert!(!q.template.is_count());
+        assert_eq!(q.template.function_name(), "ST_Distance");
+    }
+
+    #[test]
+    fn transformed_sql_rewrites_distance_under_similarity() {
+        let plan = TransformPlan::random(AffineStrategy::SimilarityInteger, 1);
+        let scale = plan.uniform_scale.unwrap();
+        let q = QueryInstance::range("t0", "t1", RangeFunction::DWithin, 10.0);
+        let sql = q.to_sql_transformed(&plan).unwrap();
+        assert!(sql.contains(&format!("ST_DWithin(a.g, b.g, {})", 10.0 * scale)));
+        // Topological joins are transformation-independent.
+        let q = QueryInstance::topo("t0", "t1", NamedPredicate::Within);
+        assert_eq!(q.to_sql_transformed(&plan), Some(q.to_sql()));
+    }
+
+    #[test]
+    fn transformed_sql_maps_the_knn_origin() {
+        let plan = TransformPlan::random(AffineStrategy::SimilarityInteger, 5);
+        let origin = parse_wkt("POINT(1 2)").unwrap();
+        let q = QueryInstance::knn("t0", origin.clone(), 3);
+        let sql = q.to_sql_transformed(&plan).unwrap();
+        let mapped = write_wkt(&plan.apply_geometry(&origin));
+        assert!(sql.contains(&mapped), "{sql} should contain {mapped}");
+        assert!(sql.ends_with("LIMIT 3"));
+    }
+
+    #[test]
+    fn distance_templates_are_skipped_under_non_similarity_plans() {
+        let plan = TransformPlan::random(AffineStrategy::GeneralInteger, 0);
+        assert_eq!(plan.uniform_scale, None);
+        let range = QueryInstance::range("t0", "t1", RangeFunction::DWithin, 10.0);
+        assert_eq!(range.to_sql_transformed(&plan), None);
+        let knn = QueryInstance::knn("t0", parse_wkt("POINT(0 0)").unwrap(), 1);
+        assert_eq!(knn.to_sql_transformed(&plan), None);
+        // Topological joins still check.
+        let topo = QueryInstance::topo("t0", "t1", NamedPredicate::Touches);
+        assert!(topo.to_sql_transformed(&plan).is_some());
     }
 
     #[test]
     fn tlp_partitions_share_the_table_pair() {
-        let q = QueryInstance {
-            table1: "t0".into(),
-            table2: "t1".into(),
-            predicate: NamedPredicate::Intersects,
-        };
-        let (total, negated) = q.tlp_partition_sql();
+        let q = QueryInstance::topo("t0", "t1", NamedPredicate::Intersects);
+        let (total, negated) = q.tlp_partition_sql().unwrap();
         assert!(total.contains("FROM t0 a JOIN t1 b"));
         assert!(negated.contains("NOT ST_Intersects"));
+        let q = QueryInstance::range("t0", "t1", RangeFunction::DWithin, 4.0);
+        let (_, negated) = q.tlp_partition_sql().unwrap();
+        assert!(negated.contains("NOT ST_DWithin(a.g, b.g, 4)"));
+        // KNN has no boolean condition to partition.
+        let q = QueryInstance::knn("t0", parse_wkt("POINT(0 0)").unwrap(), 1);
+        assert!(q.tlp_partition_sql().is_none());
     }
 
     #[test]
@@ -153,12 +445,58 @@ mod tests {
     }
 
     #[test]
-    fn mysql_queries_never_use_postgis_only_functions() {
+    fn random_queries_draw_every_template_family() {
         let spec = DatabaseSpec::with_tables(2);
-        let queries = random_queries(&spec, EngineProfile::MysqlLike, 100, 3);
-        assert!(queries
+        let queries = random_queries(&spec, EngineProfile::PostgisLike, 200, 9);
+        let topo = queries
             .iter()
-            .all(|q| q.predicate != NamedPredicate::Covers
-                && q.predicate != NamedPredicate::CoveredBy));
+            .filter(|q| matches!(q.template, QueryTemplate::TopoJoin { .. }))
+            .count();
+        let range = queries
+            .iter()
+            .filter(|q| matches!(q.template, QueryTemplate::RangeJoin { .. }))
+            .count();
+        let knn = queries
+            .iter()
+            .filter(|q| matches!(q.template, QueryTemplate::Knn { .. }))
+            .count();
+        assert!(topo > range && topo > knn, "{topo}/{range}/{knn}");
+        assert!(range > 10, "{range} range joins in 200 queries");
+        assert!(knn > 10, "{knn} KNN queries in 200 queries");
+        // The PostGIS-only range function appears for the PostGIS profile.
+        assert!(queries.iter().any(|q| matches!(
+            q.template,
+            QueryTemplate::RangeJoin {
+                function: RangeFunction::DFullyWithin,
+                ..
+            }
+        )));
+        // KNN origins are integer points and k stays small.
+        for q in &queries {
+            if let QueryTemplate::Knn { origin, k } = &q.template {
+                assert!((1..=4).contains(k));
+                assert!(matches!(origin, Geometry::Point(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn profile_limited_functions_are_never_generated_for_other_profiles() {
+        let spec = DatabaseSpec::with_tables(2);
+        for profile in [
+            EngineProfile::MysqlLike,
+            EngineProfile::DuckdbSpatialLike,
+            EngineProfile::SqlServerLike,
+        ] {
+            let queries = random_queries(&spec, profile, 200, 3);
+            for q in &queries {
+                assert!(
+                    profile.supports_function(q.template.function_name()),
+                    "{} generated for {}",
+                    q.template.function_name(),
+                    profile.name()
+                );
+            }
+        }
     }
 }

@@ -115,11 +115,7 @@ mod tests {
         spec.tables[1]
             .geometries
             .push(parse_wkt("POINT(60 60)").unwrap());
-        let query = QueryInstance {
-            table1: "t1".into(),
-            table2: "t0".into(),
-            predicate: NamedPredicate::Covers,
-        };
+        let query = QueryInstance::topo("t1", "t0", NamedPredicate::Covers);
         let faults = FaultSet::with([FaultId::GeosMixedBoundaryLastOneWins]);
         let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
 
@@ -151,11 +147,7 @@ mod tests {
     #[test]
     fn non_failing_scenarios_are_not_reduced() {
         let spec = DatabaseSpec::with_tables(2);
-        let query = QueryInstance {
-            table1: "t0".into(),
-            table2: "t1".into(),
-            predicate: NamedPredicate::Intersects,
-        };
+        let query = QueryInstance::topo("t0", "t1", NamedPredicate::Intersects);
         let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
         assert!(reduce(
             &oracle,

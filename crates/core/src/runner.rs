@@ -75,6 +75,9 @@ pub struct IterationRecord {
     /// `(elapsed, topo fraction, engine fraction)` coverage snapshot taken
     /// when the iteration finished.
     pub coverage: (Duration, f64, f64),
+    /// Query checks skipped because a distance-parameterised template met a
+    /// non-similarity transformation (§7).
+    pub skipped: usize,
 }
 
 /// The mergeable per-worker slice of a campaign: the iteration records one
@@ -106,6 +109,7 @@ impl ShardReport {
         for record in records {
             report.generation_time += record.generation_time;
             report.engine_time += record.engine_time;
+            report.skipped_queries += record.skipped;
             for finding in record.findings {
                 for fault in &finding.attributed_faults {
                     if report.unique_faults.insert(*fault) {
@@ -253,6 +257,7 @@ impl CampaignRunner {
         // --- Execution + validation --------------------------------------
         let mut engine_time = Duration::ZERO;
         let mut findings = Vec::new();
+        let mut skipped = 0;
         for kind in &self.oracles {
             let (outcomes, oracle_time) = self.run_oracle(*kind, faults, &spec, &queries, &plan);
             engine_time += oracle_time;
@@ -260,6 +265,10 @@ impl CampaignRunner {
                 let finding_kind = match outcome {
                     OracleOutcome::LogicBug { .. } => FindingKind::Logic,
                     OracleOutcome::Crash { .. } => FindingKind::Crash,
+                    OracleOutcome::Skipped => {
+                        skipped += 1;
+                        continue;
+                    }
                     _ => continue,
                 };
                 let description = match outcome {
@@ -308,6 +317,7 @@ impl CampaignRunner {
                 topo_hit as f64 / topo_total as f64,
                 sdb_hit as f64 / sdb_total as f64,
             ),
+            skipped,
         }
     }
 
@@ -460,6 +470,7 @@ mod tests {
             generation_time: Duration::from_millis(1),
             engine_time: Duration::from_millis(2),
             coverage: (Duration::ZERO, 0.0, 0.0),
+            skipped: 1,
         };
         let shards = vec![
             ShardReport {
@@ -474,6 +485,7 @@ mod tests {
         assert_eq!(report.generation_time, Duration::from_millis(4));
         assert_eq!(report.engine_time, Duration::from_millis(8));
         assert_eq!(report.coverage_timeline.len(), 4);
+        assert_eq!(report.skipped_queries, 4);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! in the spirit of the paper's reduced listings. The Table 4 benchmark runs
 //! every oracle over these scenarios to regenerate the comparison.
 
-use crate::queries::QueryInstance;
+use crate::queries::{QueryInstance, RangeFunction};
 use crate::spec::DatabaseSpec;
 use spatter_geom::wkt::parse_wkt;
 use spatter_geom::Geometry;
@@ -32,23 +32,23 @@ fn geometry(wkt: &str) -> Geometry {
     parse_wkt(wkt).unwrap_or_else(|e| panic!("scenario WKT {wkt}: {e}"))
 }
 
+fn two_table_spec(table0: &[&str], table1: &[&str]) -> DatabaseSpec {
+    let mut spec = DatabaseSpec::with_tables(2);
+    spec.tables[0].geometries = table0.iter().map(|w| geometry(w)).collect();
+    spec.tables[1].geometries = table1.iter().map(|w| geometry(w)).collect();
+    spec
+}
+
 fn scenario(
     fault: FaultId,
     table0: &[&str],
     table1: &[&str],
     predicate: NamedPredicate,
 ) -> TriggerScenario {
-    let mut spec = DatabaseSpec::with_tables(2);
-    spec.tables[0].geometries = table0.iter().map(|w| geometry(w)).collect();
-    spec.tables[1].geometries = table1.iter().map(|w| geometry(w)).collect();
     TriggerScenario {
         fault,
-        spec,
-        query: QueryInstance {
-            table1: "t0".into(),
-            table2: "t1".into(),
-            predicate,
-        },
+        spec: two_table_spec(table0, table1),
+        query: QueryInstance::topo("t0", "t1", predicate),
     }
 }
 
@@ -215,6 +215,34 @@ pub fn scenario_for(fault: FaultId) -> Option<TriggerScenario> {
         .find(|s| s.fault == fault)
 }
 
+/// Trigger scenarios that surface the distance-sensitive faults through the
+/// §7 distance-parameterised templates (range joins and KNN) rather than the
+/// topological-join proxies of [`confirmed_logic_scenarios`]. Checked with a
+/// *similarity* transformation plan: the DFullyWithin fault needs the
+/// transformed side to leave the small-coordinate trigger range, and the
+/// distance-recursion fault needs canonicalization to strip the EMPTY
+/// element from the KNN candidate.
+pub fn distance_template_scenarios() -> Vec<TriggerScenario> {
+    vec![
+        // Listing 9 through an actual ST_DFullyWithin range join.
+        TriggerScenario {
+            fault: FaultId::PostgisDFullyWithinSmallCoords,
+            spec: two_table_spec(
+                &["LINESTRING(0 0,0 1,1 0,0 0)"],
+                &["POLYGON((0 0,0 1,1 0,0 0))"],
+            ),
+            query: QueryInstance::range("t0", "t1", RangeFunction::DFullyWithin, 100.0),
+        },
+        // Listing 5 through a KNN query: the faulty recursion ranks the
+        // EMPTY-carrying candidate behind the farther point.
+        TriggerScenario {
+            fault: FaultId::GeosEmptyDistanceRecursion,
+            spec: two_table_spec(&["MULTIPOINT((5 0),EMPTY,(0 0))", "POINT(1 0)"], &[]),
+            query: QueryInstance::knn("t0", geometry("POINT(0 0)"), 1),
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,5 +282,30 @@ mod tests {
     fn scenario_lookup_by_fault() {
         assert!(scenario_for(FaultId::GeosCoversPrecisionLoss).is_some());
         assert!(scenario_for(FaultId::GeosCrashRelateShortRing).is_none());
+    }
+
+    #[test]
+    fn distance_template_scenarios_use_distance_templates() {
+        use crate::queries::QueryTemplate;
+        let scenarios = distance_template_scenarios();
+        assert_eq!(scenarios.len(), 2);
+        for s in &scenarios {
+            assert!(
+                s.query.template.requires_similarity(),
+                "{:?} should use a distance template",
+                s.fault
+            );
+            let names = s.spec.table_names();
+            assert!(names.contains(&s.query.table1.as_str()), "{:?}", s.fault);
+            assert!(names.contains(&s.query.table2.as_str()), "{:?}", s.fault);
+        }
+        assert!(matches!(
+            scenarios[0].query.template,
+            QueryTemplate::RangeJoin { .. }
+        ));
+        assert!(matches!(
+            scenarios[1].query.template,
+            QueryTemplate::Knn { .. }
+        ));
     }
 }

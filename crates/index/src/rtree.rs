@@ -1,6 +1,9 @@
-//! A quadratic-split R-tree over [`Envelope`]s.
+//! A quadratic-split R-tree over [`Envelope`]s, with window queries and a
+//! branch-and-bound nearest-neighbour search (the GiST `<->` analog used by
+//! the engine's index-accelerated KNN path).
 
 use spatter_geom::Envelope;
+use std::collections::BinaryHeap;
 
 /// Maximum number of entries per node before a split.
 const MAX_ENTRIES: usize = 8;
@@ -106,6 +109,84 @@ impl<T> RTree<T> {
         &self.empty_entries
     }
 
+    /// Best-first nearest-neighbour search (Hjaltason & Samet): returns the
+    /// entries closest to `probe` in ascending distance order, where the real
+    /// distance of an entry is supplied by `exact_distance` (the envelope
+    /// stored in the tree only provides the lower bound used for pruning, so
+    /// `exact_distance(t)` must be `>=` the envelope distance). Entries for
+    /// which the closure returns `None` are excluded.
+    ///
+    /// The result contains at least `k` entries when that many are reachable,
+    /// **plus every entry tied with the k-th distance** — callers that need
+    /// exactly `k` apply their own deterministic tie-break, which is what
+    /// keeps an index KNN scan consistent with a stable `ORDER BY` sort.
+    pub fn nearest_with<F>(
+        &self,
+        probe: &Envelope,
+        k: usize,
+        mut exact_distance: F,
+    ) -> Vec<(f64, &T)>
+    where
+        F: FnMut(&T) -> Option<f64>,
+    {
+        let mut results: Vec<(f64, &T)> = Vec::new();
+        if k == 0 || probe.is_empty() {
+            return results;
+        }
+        let mut heap: BinaryHeap<NearestItem<'_, T>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        heap.push(NearestItem {
+            priority: node_envelope(&self.root).distance(probe),
+            seq,
+            kind: NearestKind::Node(&self.root),
+        });
+        let mut cutoff = f64::INFINITY;
+        while let Some(item) = heap.pop() {
+            if results.len() >= k && item.priority > cutoff {
+                break;
+            }
+            match item.kind {
+                NearestKind::Node(Node::Leaf { entries }) => {
+                    for (env, value) in entries {
+                        let lower = env.distance(probe);
+                        if results.len() >= k && lower > cutoff {
+                            continue;
+                        }
+                        if let Some(distance) = exact_distance(value) {
+                            seq += 1;
+                            heap.push(NearestItem {
+                                priority: distance,
+                                seq,
+                                kind: NearestKind::Entry(value),
+                            });
+                        }
+                    }
+                }
+                NearestKind::Node(Node::Internal { children }) => {
+                    for (env, child) in children {
+                        let lower = env.distance(probe);
+                        if results.len() >= k && lower > cutoff {
+                            continue;
+                        }
+                        seq += 1;
+                        heap.push(NearestItem {
+                            priority: lower,
+                            seq,
+                            kind: NearestKind::Node(child),
+                        });
+                    }
+                }
+                NearestKind::Entry(value) => {
+                    results.push((item.priority, value));
+                    if results.len() == k {
+                        cutoff = item.priority;
+                    }
+                }
+            }
+        }
+        results
+    }
+
     /// Depth of the tree (1 for a single leaf), exposed for testing and
     /// diagnostics.
     pub fn depth(&self) -> usize {
@@ -118,6 +199,45 @@ impl<T> RTree<T> {
             }
         }
         depth_of(&self.root)
+    }
+}
+
+/// One item of the best-first nearest-neighbour queue: either a subtree
+/// (priority = envelope lower bound) or a concrete entry (priority = exact
+/// distance). Ordered as a min-heap with insertion order as tie-break so the
+/// traversal is deterministic.
+struct NearestItem<'a, T> {
+    priority: f64,
+    seq: u64,
+    kind: NearestKind<'a, T>,
+}
+
+enum NearestKind<'a, T> {
+    Node(&'a Node<T>),
+    Entry(&'a T),
+}
+
+impl<T> PartialEq for NearestItem<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for NearestItem<'_, T> {}
+
+impl<T> PartialOrd for NearestItem<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for NearestItem<'_, T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, the search needs a min-heap.
+        other
+            .priority
+            .total_cmp(&self.priority)
+            .then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -350,18 +470,24 @@ mod tests {
         assert_eq!(seen.len(), n);
     }
 
+    /// Deterministic pseudo-random stream for test layouts (this crate sits
+    /// below `spatter-core`, so its rng is not available here).
+    fn lcg(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        }
+    }
+
     #[test]
     fn window_query_matches_linear_scan() {
         let mut tree = RTree::new();
         let mut entries = Vec::new();
-        // Deterministic pseudo-random layout.
-        let mut state = 42u64;
-        let mut next = || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((state >> 33) % 1000) as f64 / 10.0
-        };
+        let mut raw = lcg(42);
+        let mut next = move || (raw() % 1000) as f64 / 10.0;
         for i in 0..150usize {
             let x = next();
             let y = next();
@@ -417,6 +543,103 @@ mod tests {
         assert_eq!(tree.len(), 50);
         let hits = tree.query_intersects(&boxed(10.0, 0.0, 12.0, 1.0));
         assert_eq!(hits.len(), 4); // boxes 9..=12 touch the window
+    }
+
+    #[test]
+    fn nearest_with_matches_brute_force() {
+        let mut tree = RTree::new();
+        let mut entries: Vec<(Envelope, usize)> = Vec::new();
+        let mut raw = lcg(7);
+        let mut next = move || (raw() % 200) as f64 - 100.0;
+        for i in 0..120usize {
+            let x = next();
+            let y = next();
+            let env = boxed(x, y, x + 2.0, y + 2.0);
+            entries.push((env, i));
+            tree.insert(env, i);
+        }
+        let probe = Envelope::from_coord(Coord::new(3.0, -7.0));
+        for k in [1usize, 3, 10, 120, 500] {
+            let mut got: Vec<(f64, usize)> = tree
+                .nearest_with(&probe, k, |&i| Some(entries[i].0.distance(&probe)))
+                .into_iter()
+                .map(|(d, &i)| (d, i))
+                .collect();
+            got.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut expected: Vec<(f64, usize)> = entries
+                .iter()
+                .map(|(e, i)| (e.distance(&probe), *i))
+                .collect();
+            expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            // At least k results (ties may add more); the first k distances
+            // agree with the brute-force ranking.
+            assert!(got.len() >= k.min(entries.len()), "k={k}");
+            for (g, e) in got.iter().zip(expected.iter()).take(k.min(entries.len())) {
+                assert_eq!(g.0, e.0, "k={k}");
+            }
+            // Every returned entry is within the k-th brute-force distance.
+            let cutoff = expected[k.min(entries.len()) - 1].0;
+            assert!(got.iter().all(|(d, _)| *d <= cutoff), "k={k}");
+            // And every entry at or under the cutoff is present (ties kept).
+            let expected_ids: Vec<usize> = expected
+                .iter()
+                .filter(|(d, _)| *d <= cutoff)
+                .map(|(_, i)| *i)
+                .collect();
+            let got_ids: Vec<usize> = got.iter().map(|(_, i)| *i).collect();
+            assert_eq!(got_ids.len(), expected_ids.len(), "k={k}");
+            assert!(expected_ids.iter().all(|i| got_ids.contains(i)), "k={k}");
+        }
+    }
+
+    #[test]
+    fn nearest_with_respects_exact_distance_filter() {
+        let mut tree = RTree::new();
+        for i in 0..10 {
+            tree.insert(Envelope::from_coord(Coord::new(i as f64, 0.0)), i);
+        }
+        let probe = Envelope::from_coord(Coord::new(0.0, 0.0));
+        // Excluding even payloads: the nearest surviving entries are 1, 3.
+        let got: Vec<i32> = tree
+            .nearest_with(
+                &probe,
+                2,
+                |&i| {
+                    if i % 2 == 0 {
+                        None
+                    } else {
+                        Some(i as f64)
+                    }
+                },
+            )
+            .into_iter()
+            .map(|(_, &i)| i)
+            .collect();
+        assert_eq!(got, vec![1, 3]);
+        // k = 0 and empty probes return nothing.
+        assert!(tree.nearest_with(&probe, 0, |&i| Some(i as f64)).is_empty());
+        assert!(tree
+            .nearest_with(&Envelope::empty(), 3, |&i| Some(i as f64))
+            .is_empty());
+    }
+
+    #[test]
+    fn nearest_with_returns_boundary_ties() {
+        let mut tree = RTree::new();
+        // Two entries at distance 5, one at distance 0.
+        tree.insert(Envelope::from_coord(Coord::new(5.0, 0.0)), 0);
+        tree.insert(Envelope::from_coord(Coord::new(0.0, 5.0)), 1);
+        tree.insert(Envelope::from_coord(Coord::new(0.0, 0.0)), 2);
+        let probe = Envelope::from_coord(Coord::new(0.0, 0.0));
+        let got = tree.nearest_with(&probe, 2, |&i| {
+            Some(match i {
+                0 | 1 => 5.0,
+                _ => 0.0,
+            })
+        });
+        // k = 2 but both distance-5 entries are returned (tie at the cutoff).
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, 0.0);
     }
 
     #[test]

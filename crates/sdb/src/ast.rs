@@ -76,6 +76,22 @@ pub struct SelectStatement {
     pub join_on: Option<Expr>,
     /// The `WHERE` condition, if any.
     pub where_clause: Option<Expr>,
+    /// The `ORDER BY` key, if any (single key, as in the KNN template
+    /// `ORDER BY ST_Distance(a.g, <origin>)`).
+    pub order_by: Option<OrderByClause>,
+    /// The `LIMIT` row count, if any.
+    pub limit: Option<usize>,
+}
+
+/// An `ORDER BY` clause: one sort key with a direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByClause {
+    /// The sort-key expression (must evaluate to a numeric value or NULL;
+    /// NULL keys sort last, as a GiST `<->` scan would place unindexable
+    /// EMPTY geometries).
+    pub expr: Expr,
+    /// `true` for `DESC`, `false` for `ASC` (the default).
+    pub descending: bool,
 }
 
 /// A projected item.

@@ -22,6 +22,9 @@ pub const SDB_PROBES: &[&str] = &[
     "sdb.exec.join_nested_loop",
     "sdb.exec.join_index_scan",
     "sdb.exec.join_prepared",
+    "sdb.exec.order_by",
+    "sdb.exec.limit",
+    "sdb.exec.knn_index_scan",
     "sdb.exec.count_star",
     "sdb.exec.projection",
     "sdb.expr.column",

@@ -303,6 +303,19 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn select(&mut self, select: &SelectStatement) -> SdbResult<QueryResult> {
+        let mut result = self.select_inner(select)?;
+        // LIMIT caps *result* rows. The non-aggregate paths already
+        // truncated their row sets before projection (so this is a no-op
+        // there); aggregate and scalar selects produce their single row
+        // first and are capped here, matching PostgreSQL's
+        // `SELECT COUNT(*) ... LIMIT 0` returning zero rows.
+        if let Some(limit) = select.limit {
+            result.rows.truncate(limit);
+        }
+        Ok(result)
+    }
+
+    fn select_inner(&mut self, select: &SelectStatement) -> SdbResult<QueryResult> {
         let faults = self.faults.clone();
         let ctx = FunctionContext {
             profile: self.profile,
@@ -347,6 +360,16 @@ impl Engine {
         let table_ref = &select.from[0];
         let table = self.database.table(&table_ref.table)?;
         let condition = combine_conditions(&select.join_on, &select.where_clause);
+        let pure_count = is_pure_count(select);
+
+        // KNN fast path: `ORDER BY ST_Distance(col, <origin>) LIMIT k` with
+        // sequential scans disabled runs a best-first nearest-neighbour
+        // search over the GiST-analog index instead of sorting a full scan.
+        if !pure_count {
+            if let Some(rows) = self.try_index_knn(select, table_ref, table, &condition, ctx)? {
+                return project(select, table_ref, table, &rows, &self.database, ctx);
+            }
+        }
 
         // Try an index scan for `col ~= <geometry>` filters when sequential
         // scans are disabled (Listing 8's scenario).
@@ -371,7 +394,132 @@ impl Engine {
                 matching.push(row.clone());
             }
         }
+        if !pure_count {
+            matching = order_and_limit(select, matching, |expr, row| {
+                let binding = RowBinding::single(table_ref, table, row);
+                order_key(expr, &binding, &self.database, ctx)
+            })?;
+        }
         project(select, table_ref, table, &matching, &self.database, ctx)
+    }
+
+    /// The index-accelerated nearest-neighbour path. Returns `None` when the
+    /// query does not have the KNN shape (`SELECT ... FROM t ORDER BY
+    /// ST_Distance(t.col, <row-independent origin>) LIMIT k` with no filter),
+    /// sequential scans are enabled, or the column carries no spatial index.
+    fn try_index_knn(
+        &self,
+        select: &SelectStatement,
+        table_ref: &TableRef,
+        table: &Table,
+        condition: &Option<Expr>,
+        ctx: &FunctionContext,
+    ) -> SdbResult<Option<Vec<Vec<Value>>>> {
+        if self.enable_seqscan || condition.is_some() {
+            return Ok(None);
+        }
+        let Some(order) = &select.order_by else {
+            return Ok(None);
+        };
+        let Some(k) = select.limit else {
+            return Ok(None);
+        };
+        if order.descending {
+            return Ok(None);
+        }
+        let Expr::Function { name, args } = &order.expr else {
+            return Ok(None);
+        };
+        if !name.eq_ignore_ascii_case("ST_DISTANCE") || args.len() != 2 {
+            return Ok(None);
+        }
+        let Expr::Column {
+            table: qualifier,
+            column,
+        } = &args[0]
+        else {
+            return Ok(None);
+        };
+        if let Some(qualifier) = qualifier {
+            if !qualifier.eq_ignore_ascii_case(&table_ref.alias) {
+                return Ok(None);
+            }
+        }
+        if table.column_index(column).is_none() {
+            return Ok(None);
+        }
+        let Some(index) = self.database.index_on(&table_ref.table, column) else {
+            return Ok(None);
+        };
+        // The origin must be evaluable without a row binding; anything else
+        // (another column, an unknown variable) falls back to the sort path.
+        let Ok(origin) = evaluate_expr(&args[1], None, &self.database, ctx) else {
+            return Ok(None);
+        };
+        let Some(origin_geom) = origin.as_geometry() else {
+            return Ok(None);
+        };
+        let origin_env = origin_geom.envelope();
+        if origin_env.is_empty() {
+            return Ok(None);
+        }
+        coverage::hit("sdb.exec.knn_index_scan");
+        let gist_fault = self.faults.is_active(FaultId::PostgisGistIndexDropsRows);
+        let dropped_by_fault =
+            |row_idx: usize| -> bool { gist_fault && gist_fault_drops_row(&table.rows[row_idx]) };
+        let mut eval_error = None;
+        let neighbours = index.tree.nearest_with(&origin_env, k, |&row_idx| {
+            if dropped_by_fault(row_idx) {
+                coverage::hit("sdb.fault.logic_path");
+                return None;
+            }
+            let row = &table.rows[row_idx];
+            let binding = RowBinding::single(table_ref, table, row);
+            match evaluate_expr(&order.expr, Some(&binding), &self.database, ctx) {
+                Ok(value) => value.as_double(),
+                Err(error) => {
+                    eval_error = Some(error);
+                    None
+                }
+            }
+        });
+        if let Some(error) = eval_error {
+            return Err(error);
+        }
+        // The tree returns boundary ties beyond `k`; re-apply the sequential
+        // path's deterministic order (distance, then row position) and cut.
+        let mut picked: Vec<(f64, usize)> = neighbours
+            .into_iter()
+            .map(|(distance, &row_idx)| (distance, row_idx))
+            .collect();
+        picked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        picked.truncate(k);
+        let mut row_indices: Vec<usize> = picked.into_iter().map(|(_, idx)| idx).collect();
+        // Rows whose sort key is NULL (EMPTY geometries, faulty NULL
+        // distances) sort after every defined key in the sequential path;
+        // pad with them in row order when the limit is not yet reached.
+        if row_indices.len() < k {
+            for row_idx in 0..table.rows.len() {
+                if row_indices.len() == k {
+                    break;
+                }
+                if row_indices.contains(&row_idx) || dropped_by_fault(row_idx) {
+                    continue;
+                }
+                let binding = RowBinding::single(table_ref, table, &table.rows[row_idx]);
+                let key =
+                    evaluate_expr(&order.expr, Some(&binding), &self.database, ctx)?.as_double();
+                if key.is_none() {
+                    row_indices.push(row_idx);
+                }
+            }
+        }
+        Ok(Some(
+            row_indices
+                .into_iter()
+                .map(|row_idx| table.rows[row_idx].clone())
+                .collect(),
+        ))
     }
 
     /// Index-accelerated filtering for a single-table query. Returns `None`
@@ -426,12 +574,7 @@ impl Engine {
         if self.faults.is_active(FaultId::PostgisGistIndexDropsRows) {
             // The faulty scan also drops geometries lying in the negative
             // quadrant (a key-quantization bug).
-            rows.retain(|&row_idx| {
-                table.rows[row_idx]
-                    .iter()
-                    .filter_map(|v| v.as_geometry())
-                    .all(|g| g.envelope().is_empty() || g.envelope().min_x() >= 0.0)
-            });
+            rows.retain(|&row_idx| !gist_fault_drops_row(&table.rows[row_idx]));
         }
         rows.sort_unstable();
         Ok(Some(rows))
@@ -454,7 +597,7 @@ impl Engine {
             predicate_join_shape(expr, left_ref, right_ref, left_table, right_table)
         });
 
-        let mut matching: Vec<(usize, usize)> = Vec::new();
+        let mut matching: Option<Vec<(usize, usize)>> = None;
         if let Some(join) = &predicate_join {
             // The envelope-intersection index probe is only a sound prefilter
             // for predicates that imply envelope interaction; ST_Disjoint
@@ -464,57 +607,59 @@ impl Engine {
             if !self.enable_seqscan && join.predicate.has_index_support() {
                 if let Some(index) = self.database.index_on(&right_ref.table, &join.right_column) {
                     coverage::hit("sdb.exec.join_index_scan");
-                    matching = self.index_join(join, left_table, right_table, index, ctx)?;
-                    return build_join_result(
-                        select,
-                        left_ref,
-                        right_ref,
-                        left_table,
-                        right_table,
-                        &matching,
-                        &self.database,
-                        ctx,
-                    );
+                    matching = Some(self.index_join(join, left_table, right_table, index, ctx)?);
                 }
             }
-            if self.enable_prepared {
+            if matching.is_none() && self.enable_prepared {
                 coverage::hit("sdb.exec.join_prepared");
-                matching = self.prepared_join(join, left_table, right_table, ctx)?;
-                return build_join_result(
-                    select,
-                    left_ref,
-                    right_ref,
-                    left_table,
-                    right_table,
-                    &matching,
-                    &self.database,
-                    ctx,
-                );
+                matching = Some(self.prepared_join(join, left_table, right_table, ctx)?);
             }
         }
 
-        // General nested-loop join.
-        coverage::hit("sdb.exec.join_nested_loop");
-        for (li, lrow) in left_table.rows.iter().enumerate() {
-            for (ri, rrow) in right_table.rows.iter().enumerate() {
-                let keep = match &condition {
-                    None => true,
-                    Some(expr) => {
-                        let binding = RowBinding::pair(
-                            left_ref,
-                            left_table,
-                            lrow,
-                            right_ref,
-                            right_table,
-                            rrow,
-                        );
-                        evaluate_expr(expr, Some(&binding), &self.database, ctx)?.is_truthy()
+        let mut matching = match matching {
+            Some(pairs) => pairs,
+            None => {
+                // General nested-loop join.
+                coverage::hit("sdb.exec.join_nested_loop");
+                let mut pairs = Vec::new();
+                for (li, lrow) in left_table.rows.iter().enumerate() {
+                    for (ri, rrow) in right_table.rows.iter().enumerate() {
+                        let keep = match &condition {
+                            None => true,
+                            Some(expr) => {
+                                let binding = RowBinding::pair(
+                                    left_ref,
+                                    left_table,
+                                    lrow,
+                                    right_ref,
+                                    right_table,
+                                    rrow,
+                                );
+                                evaluate_expr(expr, Some(&binding), &self.database, ctx)?
+                                    .is_truthy()
+                            }
+                        };
+                        if keep {
+                            pairs.push((li, ri));
+                        }
                     }
-                };
-                if keep {
-                    matching.push((li, ri));
                 }
+                pairs
             }
+        };
+
+        if !is_pure_count(select) {
+            matching = order_and_limit(select, matching, |expr, &(li, ri)| {
+                let binding = RowBinding::pair(
+                    left_ref,
+                    left_table,
+                    &left_table.rows[li],
+                    right_ref,
+                    right_table,
+                    &right_table.rows[ri],
+                );
+                order_key(expr, &binding, &self.database, ctx)
+            })?;
         }
         build_join_result(
             select,
@@ -558,12 +703,7 @@ impl Engine {
             // negative-quadrant rows it should have returned.
             if gist_fault {
                 coverage::hit("sdb.fault.logic_path");
-                candidates.retain(|&ri| {
-                    right_table.rows[ri][join.right_column_idx]
-                        .as_geometry()
-                        .map(|g| g.envelope().is_empty() || g.envelope().min_x() >= 0.0)
-                        .unwrap_or(true)
-                });
+                candidates.retain(|&ri| !gist_fault_drops_row(&right_table.rows[ri]));
             }
             candidates.sort_unstable();
             for ri in candidates {
@@ -887,6 +1027,93 @@ fn predicate_join_shape(
         right_column_idx: right_table.column_index(rc)?,
         right_column: rc.clone(),
     })
+}
+
+/// Whether the select is a bare aggregate (`SELECT COUNT(*)`): ordering is
+/// meaningless and `LIMIT` must not shrink the counted set — it caps the
+/// single result row instead (applied centrally in `select`).
+fn is_pure_count(select: &SelectStatement) -> bool {
+    select.items.len() == 1 && select.items[0] == SelectItem::CountStar
+}
+
+/// The `PostgisGistIndexDropsRows` drop criterion, shared by every index
+/// path (window filter, predicate join, KNN scan) so the three scans
+/// simulate one fault: the faulty index loses rows whose non-EMPTY
+/// geometries reach into the negative-x half-plane.
+fn gist_fault_drops_row(row: &[Value]) -> bool {
+    !row.iter()
+        .filter_map(|v| v.as_geometry())
+        .all(|g| g.envelope().is_empty() || g.envelope().min_x() >= 0.0)
+}
+
+/// Applies the select's `ORDER BY` (stable sort, NULL keys last) and then
+/// `LIMIT` to a list of matched items; `key_of` evaluates the sort key of
+/// one item against the given key expression. Shared by the single-table
+/// and join paths so their ordering semantics can never diverge.
+fn order_and_limit<T>(
+    select: &SelectStatement,
+    mut items: Vec<T>,
+    mut key_of: impl FnMut(&Expr, &T) -> SdbResult<Option<f64>>,
+) -> SdbResult<Vec<T>> {
+    if let Some(order) = &select.order_by {
+        coverage::hit("sdb.exec.order_by");
+        let mut keyed = Vec::with_capacity(items.len());
+        for (pos, item) in items.into_iter().enumerate() {
+            let key = key_of(&order.expr, &item)?;
+            keyed.push((key, pos, item));
+        }
+        keyed.sort_by(|a, b| compare_order_keys(&a.0, a.1, &b.0, b.1, order.descending));
+        items = keyed.into_iter().map(|(_, _, item)| item).collect();
+    }
+    if let Some(limit) = select.limit {
+        coverage::hit("sdb.exec.limit");
+        items.truncate(limit);
+    }
+    Ok(items)
+}
+
+/// Evaluates an `ORDER BY` key for one row binding. Keys must be numeric or
+/// NULL — the KNN template's `ST_Distance` key is the motivating case.
+fn order_key(
+    expr: &Expr,
+    binding: &RowBinding<'_>,
+    database: &Database,
+    ctx: &FunctionContext,
+) -> SdbResult<Option<f64>> {
+    match evaluate_expr(expr, Some(binding), database, ctx)? {
+        Value::Null => Ok(None),
+        value => value.as_double().map(Some).ok_or_else(|| {
+            SdbError::Execution(format!(
+                "ORDER BY key must be numeric, got {}",
+                value.type_name()
+            ))
+        }),
+    }
+}
+
+/// Sort comparator for `ORDER BY`: NULL keys last (in input order), defined
+/// keys by value with the input position as the stability tie-break.
+fn compare_order_keys(
+    a: &Option<f64>,
+    a_pos: usize,
+    b: &Option<f64>,
+    b_pos: usize,
+    descending: bool,
+) -> std::cmp::Ordering {
+    let by_key = match (a, b) {
+        (Some(x), Some(y)) => {
+            let ordering = x.total_cmp(y);
+            if descending {
+                ordering.reverse()
+            } else {
+                ordering
+            }
+        }
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => std::cmp::Ordering::Equal,
+    };
+    by_key.then(a_pos.cmp(&b_pos))
 }
 
 fn combine_conditions(join_on: &Option<Expr>, where_clause: &Option<Expr>) -> Option<Expr> {
@@ -1229,6 +1456,203 @@ mod tests {
             .execute("CREATE INDEX idx ON t USING GIST (g);")
             .unwrap_err();
         assert!(err.is_crash());
+    }
+
+    fn knn_setup(engine: &mut Engine) {
+        engine
+            .execute_script(
+                "CREATE TABLE t (id int, g geometry);
+                 INSERT INTO t (id, g) VALUES
+                 (1, 'POINT(10 0)'),
+                 (2, 'POINT(1 1)'),
+                 (3, 'POINT(-3 0)'),
+                 (4, 'POINT EMPTY'),
+                 (5, 'POINT(0 2)');",
+            )
+            .unwrap();
+    }
+
+    fn knn_ids(engine: &mut Engine, k: usize) -> Vec<i64> {
+        let sql = format!(
+            "SELECT a.id FROM t a ORDER BY ST_Distance(a.g, 'POINT(0 0)'::geometry) LIMIT {k}"
+        );
+        engine
+            .execute(&sql)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn order_by_limit_sorts_ascending_with_nulls_last() {
+        for profile in EngineProfile::ALL {
+            let mut engine = Engine::reference(profile);
+            knn_setup(&mut engine);
+            assert_eq!(knn_ids(&mut engine, 3), vec![2, 5, 3], "{}", profile.name());
+            // The EMPTY geometry (NULL distance) sorts after every defined
+            // key, in row order.
+            assert_eq!(
+                knn_ids(&mut engine, 5),
+                vec![2, 5, 3, 1, 4],
+                "{}",
+                profile.name()
+            );
+        }
+    }
+
+    #[test]
+    fn order_by_desc_reverses_defined_keys() {
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        knn_setup(&mut engine);
+        let result = engine
+            .execute(
+                "SELECT a.id FROM t a ORDER BY ST_Distance(a.g, 'POINT(0 0)'::geometry) DESC LIMIT 2",
+            )
+            .unwrap();
+        let ids: Vec<i64> = result.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn limit_without_order_truncates_in_row_order() {
+        let mut engine = Engine::reference(EngineProfile::MysqlLike);
+        knn_setup(&mut engine);
+        let result = engine.execute("SELECT a.id FROM t a LIMIT 2").unwrap();
+        let ids: Vec<i64> = result.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![1, 2]);
+        // LIMIT does not cap an aggregate's input set...
+        let count = engine
+            .execute("SELECT COUNT(*) FROM t LIMIT 1")
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(count, 5);
+        // ...but it does cap the aggregate's *result* rows (PostgreSQL
+        // returns zero rows for `SELECT COUNT(*) ... LIMIT 0`).
+        let result = engine.execute("SELECT COUNT(*) FROM t LIMIT 0").unwrap();
+        assert_eq!(result.row_count(), 0);
+    }
+
+    #[test]
+    fn knn_index_scan_matches_sequential_order_by() {
+        let mut seq = Engine::reference(EngineProfile::PostgisLike);
+        knn_setup(&mut seq);
+
+        let mut indexed = Engine::reference(EngineProfile::PostgisLike);
+        knn_setup(&mut indexed);
+        indexed
+            .execute("CREATE INDEX idx ON t USING GIST (g);")
+            .unwrap();
+        indexed.execute("SET enable_seqscan = false;").unwrap();
+
+        for k in 1..=5 {
+            assert_eq!(knn_ids(&mut seq, k), knn_ids(&mut indexed, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn knn_index_scan_breaks_distance_ties_like_the_stable_sort() {
+        let setup = "CREATE TABLE t (id int, g geometry);
+            INSERT INTO t (id, g) VALUES
+            (1, 'POINT(0 5)'), (2, 'POINT(5 0)'), (3, 'POINT(-5 0)'), (4, 'POINT(1 0)');";
+        let mut seq = Engine::reference(EngineProfile::PostgisLike);
+        seq.execute_script(setup).unwrap();
+        let mut indexed = Engine::reference(EngineProfile::PostgisLike);
+        indexed.execute_script(setup).unwrap();
+        indexed
+            .execute("CREATE INDEX idx ON t USING GIST (g);")
+            .unwrap();
+        indexed.execute("SET enable_seqscan = false;").unwrap();
+        // Three rows tie at distance 5; the limit cuts inside the tie and
+        // both paths must pick the same (earliest-row) subset.
+        for k in 1..=4 {
+            assert_eq!(knn_ids(&mut seq, k), knn_ids(&mut indexed, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn knn_index_scan_exhibits_the_gist_fault() {
+        let mut faulty = Engine::with_faults(
+            EngineProfile::PostgisLike,
+            FaultSet::with([FaultId::PostgisGistIndexDropsRows]),
+        );
+        knn_setup(&mut faulty);
+        faulty
+            .execute("CREATE INDEX idx ON t USING GIST (g);")
+            .unwrap();
+        faulty.execute("SET enable_seqscan = false;").unwrap();
+        // The negative-quadrant row (id 3) is dropped by the faulty scan.
+        assert_eq!(knn_ids(&mut faulty, 3), vec![2, 5, 1]);
+    }
+
+    #[test]
+    fn order_by_rejects_non_numeric_keys() {
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        knn_setup(&mut engine);
+        assert!(engine
+            .execute("SELECT a.id FROM t a ORDER BY ST_AsText(a.g) LIMIT 2")
+            .is_err());
+    }
+
+    #[test]
+    fn order_by_limit_applies_to_joins() {
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        engine
+            .execute_script(
+                "CREATE TABLE a (id int, g geometry);
+                 CREATE TABLE b (id int, g geometry);
+                 INSERT INTO a (id, g) VALUES (1, 'POINT(0 0)'), (2, 'POINT(10 0)');
+                 INSERT INTO b (id, g) VALUES (1, 'POINT(0 1)'), (2, 'POINT(10 2)');",
+            )
+            .unwrap();
+        let result = engine
+            .execute(
+                "SELECT a.id, b.id FROM a JOIN b ON ST_DWithin(a.g, b.g, 100) \
+                 ORDER BY ST_Distance(a.g, b.g) LIMIT 2",
+            )
+            .unwrap();
+        let pairs: Vec<(i64, i64)> = result
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(pairs, vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn range_join_counts_execute_through_the_general_path() {
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        engine
+            .execute_script(
+                "CREATE TABLE a (g geometry);
+                 CREATE TABLE b (g geometry);
+                 INSERT INTO a (g) VALUES ('POINT(0 0)'), ('POINT(100 100)');
+                 INSERT INTO b (g) VALUES ('POINT(3 4)');",
+            )
+            .unwrap();
+        assert_eq!(
+            count(
+                &mut engine,
+                "SELECT COUNT(*) FROM a JOIN b ON ST_DWithin(a.g, b.g, 5)"
+            ),
+            1
+        );
+        assert_eq!(
+            count(
+                &mut engine,
+                "SELECT COUNT(*) FROM a JOIN b ON NOT ST_DWithin(a.g, b.g, 5)"
+            ),
+            1
+        );
+        assert_eq!(
+            count(
+                &mut engine,
+                "SELECT COUNT(*) FROM a JOIN b ON ST_DFullyWithin(a.g, b.g, 200)"
+            ),
+            2
+        );
     }
 
     #[test]

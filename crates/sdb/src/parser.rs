@@ -1,6 +1,8 @@
 //! Recursive-descent parser for the supported SQL subset.
 
-use crate::ast::{BinaryOp, ColumnType, Expr, SelectItem, SelectStatement, Statement, TableRef};
+use crate::ast::{
+    BinaryOp, ColumnType, Expr, OrderByClause, SelectItem, SelectStatement, Statement, TableRef,
+};
 use crate::error::{SdbError, SdbResult};
 use crate::lexer::{tokenize, Token};
 use crate::value::Value;
@@ -309,11 +311,42 @@ impl Parser {
             None
         };
 
+        let order_by = if self.consume_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let expr = self.parse_expr()?;
+            let descending = if self.consume_keyword("DESC") {
+                true
+            } else {
+                self.consume_keyword("ASC");
+                false
+            };
+            Some(OrderByClause { expr, descending })
+        } else {
+            None
+        };
+
+        let limit = if self.consume_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 && n < 9.0e15 => {
+                    Some(n as usize)
+                }
+                other => {
+                    return Err(SdbError::Parse(format!(
+                        "LIMIT expects a non-negative integer, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+
         Ok(SelectStatement {
             items,
             from,
             join_on,
             where_clause,
+            order_by,
+            limit,
         })
     }
 
@@ -325,7 +358,7 @@ impl Parser {
         } else if let Some(Token::Ident(word)) = self.peek() {
             let upper = word.to_ascii_uppercase();
             // A bare identifier that is not a clause keyword is an alias.
-            if ["JOIN", "ON", "WHERE", "AS", "FROM"].contains(&upper.as_str()) {
+            if ["JOIN", "ON", "WHERE", "AS", "FROM", "ORDER", "LIMIT"].contains(&upper.as_str()) {
                 table.clone()
             } else {
                 self.expect_identifier()?
@@ -655,6 +688,78 @@ mod tests {
         // Semicolons inside string literals do not split.
         let stmts = parse_script("SELECT 'a;b'; SELECT 2").unwrap();
         assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn parse_order_by_limit_knn_template() {
+        let stmt = parse_statement(
+            "SELECT ST_AsText(a.g) FROM t0 a ORDER BY ST_Distance(a.g, 'POINT(3 4)'::geometry) LIMIT 2;",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(select) => {
+                assert_eq!(select.from.len(), 1);
+                assert_eq!(select.from[0].alias, "a");
+                assert_eq!(select.limit, Some(2));
+                let order = select.order_by.expect("order by");
+                assert!(!order.descending);
+                match order.expr {
+                    Expr::Function { name, args } => {
+                        assert_eq!(name, "ST_Distance");
+                        assert_eq!(args.len(), 2);
+                    }
+                    other => panic!("unexpected order key {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_order_by_directions_and_bare_limit() {
+        let stmt = parse_statement("SELECT id FROM t ORDER BY id DESC").unwrap();
+        match stmt {
+            Statement::Select(select) => {
+                assert!(select.order_by.unwrap().descending);
+                assert_eq!(select.limit, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stmt = parse_statement("SELECT id FROM t ORDER BY id ASC LIMIT 0").unwrap();
+        match stmt {
+            Statement::Select(select) => {
+                assert!(!select.order_by.unwrap().descending);
+                assert_eq!(select.limit, Some(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stmt = parse_statement("SELECT COUNT(*) FROM t LIMIT 5").unwrap();
+        match stmt {
+            Statement::Select(select) => {
+                assert!(select.order_by.is_none());
+                assert_eq!(select.limit, Some(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_and_limit_are_not_table_aliases() {
+        // `FROM t ORDER BY ...` must not read ORDER as the table alias.
+        let stmt = parse_statement("SELECT g FROM t ORDER BY g LIMIT 1").unwrap();
+        match stmt {
+            Statement::Select(select) => assert_eq!(select.from[0].alias, "t"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_order_and_limit_clauses_error() {
+        assert!(parse_statement("SELECT g FROM t ORDER g").is_err());
+        assert!(parse_statement("SELECT g FROM t LIMIT").is_err());
+        assert!(parse_statement("SELECT g FROM t LIMIT -1").is_err());
+        assert!(parse_statement("SELECT g FROM t LIMIT 1.5").is_err());
+        assert!(parse_statement("SELECT g FROM t LIMIT two").is_err());
     }
 
     #[test]

@@ -67,6 +67,8 @@ pub const TOPO_PROBES: &[&str] = &[
     "topo.distance.multi_recursion",
     "topo.distance.dwithin",
     "topo.distance.dfullywithin",
+    "topo.distance.knn_tie_check",
+    "topo.distance.range_margin_check",
     "topo.convex_hull",
     "topo.centroid",
     "topo.measures.area",

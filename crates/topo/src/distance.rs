@@ -97,6 +97,48 @@ pub fn dfully_within(a: &Geometry, b: &Geometry, d: f64) -> bool {
     }
 }
 
+/// Relative floating-point margin used by the well-definedness checks below.
+const DISTANCE_MARGIN: f64 = 1e-9;
+
+/// Whether two distance values are too close to order reliably once an exact
+/// integer similarity transformation (and the engine's own floating-point
+/// distance pipeline) is applied to both sides.
+fn ambiguously_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= DISTANCE_MARGIN * a.abs().max(b.abs()).max(1.0)
+}
+
+/// §7's equal-distance caveat: a KNN query `ORDER BY distance(c, origin)
+/// LIMIT k` only has a well-defined *result set* when the k-th and (k+1)-th
+/// nearest candidates are at distinct distances — with a tie at the cutoff,
+/// any subset of the tied candidates is a correct answer and no metamorphic
+/// comparison is meaningful. Candidates with undefined distance (fully EMPTY
+/// geometries) sort after every defined one and never create a tie.
+pub fn knn_tie_at_cutoff(origin: &Geometry, candidates: &[Geometry], k: usize) -> bool {
+    coverage::hit("topo.distance.knn_tie_check");
+    if k == 0 {
+        return false;
+    }
+    let mut distances: Vec<f64> = candidates
+        .iter()
+        .filter_map(|c| distance(origin, c))
+        .collect();
+    if distances.len() <= k {
+        return false;
+    }
+    distances.sort_by(f64::total_cmp);
+    ambiguously_close(distances[k - 1], distances[k])
+}
+
+/// Whether a range predicate `distance <= d` sits too close to its boundary
+/// to survive an exact similarity rescaling: rescaling multiplies both sides
+/// by the same factor in exact arithmetic, but the engine evaluates the
+/// transformed side through floating point, so comparisons within the margin
+/// are excluded from metamorphic checks rather than reported as findings.
+pub fn range_boundary_ambiguous(value: f64, threshold: f64) -> bool {
+    coverage::hit("topo.distance.range_margin_check");
+    ambiguously_close(value, threshold)
+}
+
 fn point_to_primitives(p: Coord, prims: &Primitives) -> f64 {
     let mut best = f64::INFINITY;
     for &q in &prims.points {
@@ -301,6 +343,30 @@ mod tests {
         let b = g("LINESTRING(0 5,10 5)");
         assert_eq!(max_distance(&a, &b), max_distance(&b, &a));
         assert_eq!(max_distance(&a, &b), Some(5.0));
+    }
+
+    #[test]
+    fn knn_tie_detection_flags_equal_cutoff_distances() {
+        let origin = g("POINT(0 0)");
+        // Distances 1, 2, 2: the cutoff between rank 2 and rank 3 is tied,
+        // the cutoff between rank 1 and rank 2 is not.
+        let candidates = [g("POINT(1 0)"), g("POINT(2 0)"), g("POINT(0 2)")];
+        assert!(knn_tie_at_cutoff(&origin, &candidates, 2));
+        assert!(!knn_tie_at_cutoff(&origin, &candidates, 1));
+        // k covering every candidate can never be cut off mid-tie.
+        assert!(!knn_tie_at_cutoff(&origin, &candidates, 3));
+        assert!(!knn_tie_at_cutoff(&origin, &candidates, 0));
+        // EMPTY candidates have no distance and never participate in ties.
+        let with_empty = [g("POINT(1 0)"), g("POINT EMPTY"), g("POINT(0 1)")];
+        assert!(knn_tie_at_cutoff(&origin, &with_empty, 1));
+    }
+
+    #[test]
+    fn range_boundary_margin() {
+        assert!(range_boundary_ambiguous(5.0, 5.0));
+        assert!(range_boundary_ambiguous(5.0 + 1e-12, 5.0));
+        assert!(!range_boundary_ambiguous(5.0, 5.1));
+        assert!(!range_boundary_ambiguous(0.0, 1.0));
     }
 
     #[test]

@@ -79,8 +79,26 @@ fn line_intersection_point(a0: Coord, a1: Coord, b0: Coord, b1: Coord) -> Coord 
 }
 
 fn collinear_overlap(a0: Coord, a1: Coord, b0: Coord, b1: Coord) -> SegmentIntersection {
-    // Project onto the dominant axis of segment a to order points.
-    let use_x = (a1.x - a0.x).abs() >= (a1.y - a0.y).abs();
+    // Degenerate segments (duplicate consecutive vertices produce them) are
+    // trivially "collinear" with anything, so they reach this branch even
+    // when the supporting line is defined by the other segment alone; two
+    // degenerate segments have no supporting line at all. Both cases must be
+    // resolved by point identity, not by axis projection.
+    if a0 == a1 && b0 == b1 {
+        return if a0 == b0 {
+            SegmentIntersection::Point(a0)
+        } else {
+            SegmentIntersection::None
+        };
+    }
+    // Project onto the dominant axis of the combined direction to order the
+    // points: with at least one non-degenerate segment this axis is
+    // monotonic along the shared supporting line (projecting onto the
+    // dominant axis of a possibly-degenerate `a` is not — it collapsed every
+    // point to one parameter and reported phantom intersections).
+    let dx = (a1.x - a0.x).abs().max((b1.x - b0.x).abs());
+    let dy = (a1.y - a0.y).abs().max((b1.y - b0.y).abs());
+    let use_x = dx >= dy;
     let param = |c: Coord| if use_x { c.x } else { c.y };
 
     let (amin, amax) = minmax(param(a0), param(a1));
@@ -196,6 +214,43 @@ mod tests {
     fn vertical_collinear_overlap() {
         let r = segment_intersection(c(0.0, 0.0), c(0.0, 4.0), c(0.0, 2.0), c(0.0, 6.0));
         assert_eq!(r, SegmentIntersection::Overlap(c(0.0, 2.0), c(0.0, 4.0)));
+    }
+
+    #[test]
+    fn degenerate_segments_do_not_report_phantom_intersections() {
+        // A zero-length segment collinear with (but disjoint from) a vertical
+        // segment: the old dominant-axis-of-a projection collapsed every
+        // point to x = 11 and reported a phantom intersection point.
+        let r = segment_intersection(c(11.0, -4.0), c(11.0, -4.0), c(11.0, 25.0), c(11.0, 50.0));
+        assert_eq!(r, SegmentIntersection::None);
+        assert_eq!(
+            segment_segment_distance(c(11.0, -4.0), c(11.0, -4.0), c(11.0, 25.0), c(11.0, 50.0)),
+            29.0
+        );
+        // A degenerate segment on the other segment is a real touch.
+        let r = segment_intersection(c(11.0, 30.0), c(11.0, 30.0), c(11.0, 25.0), c(11.0, 50.0));
+        assert_eq!(r, SegmentIntersection::Point(c(11.0, 30.0)));
+        // Argument order does not matter.
+        let r = segment_intersection(c(11.0, 25.0), c(11.0, 50.0), c(11.0, -4.0), c(11.0, -4.0));
+        assert_eq!(r, SegmentIntersection::None);
+        // Two degenerate segments: identical points touch, distinct do not —
+        // even when they share an axis value.
+        let r = segment_intersection(c(0.0, 0.0), c(0.0, 0.0), c(0.0, 5.0), c(0.0, 5.0));
+        assert_eq!(r, SegmentIntersection::None);
+        let r = segment_intersection(c(2.0, 3.0), c(2.0, 3.0), c(2.0, 3.0), c(2.0, 3.0));
+        assert_eq!(r, SegmentIntersection::Point(c(2.0, 3.0)));
+    }
+
+    #[test]
+    fn segment_distance_is_symmetric_with_degenerate_operands() {
+        let d1 =
+            segment_segment_distance(c(-3.0, 2.0), c(11.0, -4.0), c(11.0, 25.0), c(11.0, 50.0));
+        let d2 =
+            segment_segment_distance(c(11.0, 25.0), c(11.0, 50.0), c(-3.0, 2.0), c(11.0, -4.0));
+        assert_eq!(d1, d2);
+        // The closest pair is (11, 25) against the interior of the first
+        // segment, not an endpoint pair.
+        assert!((d1 - 26.65520587052368).abs() < 1e-12, "{d1}");
     }
 
     #[test]

@@ -39,11 +39,7 @@ fn main() {
     spec.tables[1]
         .geometries
         .push(parse_wkt("POINT(0.2 0.9)").unwrap());
-    let query = QueryInstance {
-        table1: "t0".into(),
-        table2: "t1".into(),
-        predicate: NamedPredicate::Covers,
-    };
+    let query = QueryInstance::topo("t0", "t1", NamedPredicate::Covers);
     let stock_faults = EngineProfile::PostgisLike.default_faults();
     for seed in 0..50u64 {
         let oracle = AeiOracle::new(TransformPlan::random(AffineStrategy::GeneralInteger, seed));

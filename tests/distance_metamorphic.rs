@@ -1,0 +1,384 @@
+//! Metamorphic property suite for the §7 distance-parameterised query
+//! templates (range joins and KNN) under similarity transformations.
+//!
+//! The equivalence laws pinned down here, as deterministic seed sweeps:
+//!
+//! * `ST_DWithin(a, b, d)` ⇔ `ST_DWithin(T(a), T(b), s·d)` for a similarity
+//!   `T` with uniform scale `s` — range-join counts are invariant;
+//! * KNN result *sets* are invariant under isometries (and similarities),
+//!   with §7's equal-distance caveat: ties at the k-th distance make the
+//!   result set ill-defined and must be excluded, not reported;
+//! * under a non-similarity (shearing) transform no distance law holds:
+//!   `TransformPlan::scale_distance` returns `None` and the campaign runner
+//!   records the template as skipped instead of raising a spurious finding.
+
+use spatter_repro::core::campaign::{CampaignConfig, CampaignReport};
+use spatter_repro::core::generator::{GenerationStrategy, GeneratorConfig};
+use spatter_repro::core::oracles::{AeiOracle, Oracle, OracleOutcome};
+use spatter_repro::core::queries::{QueryInstance, RangeFunction};
+use spatter_repro::core::runner::CampaignRunner;
+use spatter_repro::core::spec::DatabaseSpec;
+use spatter_repro::core::transform::{AffineStrategy, TransformPlan};
+use spatter_repro::core::GeometryGenerator;
+use spatter_repro::geom::wkt::parse_wkt;
+use spatter_repro::geom::{AffineMatrix, AffineTransform};
+use spatter_repro::sdb::{EngineProfile, FaultId, FaultSet};
+
+fn generated_spec(seed: u64, coordinate_range: i64) -> DatabaseSpec {
+    let config = GeneratorConfig {
+        num_geometries: 8,
+        num_tables: 2,
+        strategy: GenerationStrategy::GeometryAware,
+        coordinate_range,
+        random_shape_probability: 0.5,
+    };
+    GeometryGenerator::new(config, seed).generate_database()
+}
+
+/// An exact integer isometry: quarter-turn rotation plus translation
+/// (uniform scale 1), the strictest family of §7.
+fn isometry_plan(quarter_turns: i32, tx: f64, ty: f64) -> TransformPlan {
+    let matrix =
+        AffineMatrix::translation(tx, ty).compose(&AffineMatrix::rotation_quarter(quarter_turns));
+    TransformPlan {
+        canonicalize: true,
+        transform: AffineTransform::new(matrix).expect("isometries are invertible"),
+        uniform_scale: Some(1.0),
+    }
+}
+
+#[test]
+fn range_join_counts_invariant_under_similarity_sweep() {
+    for seed in 0..12u64 {
+        let spec = generated_spec(seed, 30);
+        let plan = TransformPlan::random(AffineStrategy::SimilarityInteger, seed ^ 0xd15);
+        let queries: Vec<QueryInstance> = (1..=5)
+            .flat_map(|i| {
+                let d = (i * 7) as f64;
+                [
+                    QueryInstance::range("t0", "t1", RangeFunction::DWithin, d),
+                    QueryInstance::range("t0", "t1", RangeFunction::DFullyWithin, d),
+                    QueryInstance::range("t1", "t1", RangeFunction::DWithin, d),
+                ]
+            })
+            .collect();
+        let outcomes = AeiOracle::new(plan).check(
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+        );
+        for (query, outcome) in queries.iter().zip(outcomes.iter()) {
+            assert!(
+                matches!(outcome, OracleOutcome::Pass | OracleOutcome::Inapplicable),
+                "seed {seed}, query {}: {outcome:?}",
+                query.to_sql()
+            );
+        }
+    }
+}
+
+#[test]
+fn knn_result_sets_invariant_under_isometry_sweep() {
+    let plans = [
+        isometry_plan(0, 13.0, -8.0),
+        isometry_plan(1, 0.0, 0.0),
+        isometry_plan(2, -40.0, 17.0),
+        isometry_plan(3, 5.0, 5.0),
+    ];
+    for seed in 0..12u64 {
+        let spec = generated_spec(seed, 30);
+        let queries: Vec<QueryInstance> = (0..4i64)
+            .map(|i| {
+                let origin = parse_wkt(&format!("POINT({} {})", i * 11 - 20, 9 - i * 6)).unwrap();
+                QueryInstance::knn("t0", origin, (i % 3 + 1) as usize)
+            })
+            .collect();
+        for (p, plan) in plans.iter().enumerate() {
+            let outcomes = AeiOracle::new(plan.clone()).check(
+                EngineProfile::PostgisLike,
+                &FaultSet::none(),
+                &spec,
+                &queries,
+            );
+            for (query, outcome) in queries.iter().zip(outcomes.iter()) {
+                assert!(
+                    matches!(outcome, OracleOutcome::Pass | OracleOutcome::Inapplicable),
+                    "seed {seed}, plan {p}, query {}: {outcome:?}",
+                    query.to_sql()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_result_sets_invariant_under_similarity_sweep() {
+    for seed in 0..12u64 {
+        let spec = generated_spec(seed, 30);
+        let plan = TransformPlan::random(AffineStrategy::SimilarityInteger, seed ^ 0x21a);
+        let queries = vec![
+            QueryInstance::knn("t0", parse_wkt("POINT(3 -4)").unwrap(), 2),
+            QueryInstance::knn("t1", parse_wkt("POINT(-17 25)").unwrap(), 3),
+        ];
+        let outcomes = AeiOracle::new(plan).check(
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+        );
+        for (query, outcome) in queries.iter().zip(outcomes.iter()) {
+            assert!(
+                matches!(outcome, OracleOutcome::Pass | OracleOutcome::Inapplicable),
+                "seed {seed}, query {}: {outcome:?}",
+                query.to_sql()
+            );
+        }
+    }
+}
+
+#[test]
+fn knn_tie_at_cutoff_is_excluded_not_reported() {
+    // Two rows at exactly the same distance from the origin with k = 1: §7's
+    // equal-distance caveat — any subset is a valid answer, so the oracle
+    // must exclude the query instead of comparing arbitrary choices.
+    let mut spec = DatabaseSpec::with_tables(1);
+    spec.tables[0]
+        .geometries
+        .push(parse_wkt("POINT(7 0)").unwrap());
+    spec.tables[0]
+        .geometries
+        .push(parse_wkt("POINT(0 -7)").unwrap());
+    let queries = vec![QueryInstance::knn(
+        "t0",
+        parse_wkt("POINT(0 0)").unwrap(),
+        1,
+    )];
+    for seed in 0..10u64 {
+        let plan = TransformPlan::random(AffineStrategy::SimilarityInteger, seed);
+        let outcomes = AeiOracle::new(plan).check(
+            EngineProfile::PostgisLike,
+            &FaultSet::none(),
+            &spec,
+            &queries,
+        );
+        assert_eq!(outcomes[0], OracleOutcome::Inapplicable, "seed {seed}");
+    }
+}
+
+fn reference_campaign(affine: AffineStrategy, seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        profile: EngineProfile::PostgisLike,
+        faults: Some(FaultSet::none()),
+        generator: GeneratorConfig {
+            num_geometries: 8,
+            num_tables: 2,
+            strategy: GenerationStrategy::GeometryAware,
+            coordinate_range: 30,
+            random_shape_probability: 0.5,
+        },
+        queries_per_run: 15,
+        affine,
+        iterations: 12,
+        time_budget: None,
+        attribute_findings: true,
+        seed,
+    }
+}
+
+/// The scheduling-independent projection of a report.
+fn fingerprint(report: &CampaignReport) -> (Vec<(String, usize)>, usize) {
+    (
+        report
+            .findings
+            .iter()
+            .map(|f| (f.description.clone(), f.iteration))
+            .collect(),
+        report.skipped_queries,
+    )
+}
+
+#[test]
+fn shear_transforms_skip_distance_templates_instead_of_reporting() {
+    // General integer matrices do not preserve relative distances, so the
+    // runner must record the drawn distance templates as skipped — and a
+    // fault-free engine must produce zero findings.
+    let baseline = CampaignRunner::new(reference_campaign(AffineStrategy::GeneralInteger, 5)).run();
+    assert_eq!(
+        baseline.findings.len(),
+        0,
+        "spurious findings: {:#?}",
+        baseline.findings
+    );
+    assert!(
+        baseline.skipped_queries > 0,
+        "the biased generator should have drawn distance templates"
+    );
+    for n_workers in [2, 4] {
+        let parallel = CampaignRunner::new(reference_campaign(AffineStrategy::GeneralInteger, 5))
+            .with_workers(n_workers)
+            .run();
+        assert_eq!(
+            fingerprint(&parallel),
+            fingerprint(&baseline),
+            "{n_workers} workers"
+        );
+    }
+}
+
+#[test]
+fn similarity_campaign_on_reference_engine_is_quiet_at_any_worker_count() {
+    let baseline =
+        CampaignRunner::new(reference_campaign(AffineStrategy::SimilarityInteger, 7)).run();
+    assert_eq!(
+        baseline.findings.len(),
+        0,
+        "spurious findings: {:#?}",
+        baseline.findings
+    );
+    // Similarity plans never skip: every drawn template is checkable.
+    assert_eq!(baseline.skipped_queries, 0);
+    for n_workers in [2, 4] {
+        let parallel =
+            CampaignRunner::new(reference_campaign(AffineStrategy::SimilarityInteger, 7))
+                .with_workers(n_workers)
+                .run();
+        assert_eq!(
+            fingerprint(&parallel),
+            fingerprint(&baseline),
+            "{n_workers} workers"
+        );
+    }
+}
+
+#[test]
+fn campaign_detects_dfullywithin_fault_via_range_template_at_any_worker_count() {
+    // The acceptance scenario: a deterministic campaign seeded with only the
+    // ST_DFullyWithin definition fault. Small generator coordinates keep
+    // SDB1 inside the fault's trigger range; the sampled similarity
+    // transforms move SDB2 out of it, so an AEI range-join template exposes
+    // the discrepancy — identically at every worker count.
+    let config = || CampaignConfig {
+        profile: EngineProfile::PostgisLike,
+        faults: Some(FaultSet::with([FaultId::PostgisDFullyWithinSmallCoords])),
+        generator: GeneratorConfig {
+            num_geometries: 8,
+            num_tables: 2,
+            strategy: GenerationStrategy::GeometryAware,
+            coordinate_range: 8,
+            random_shape_probability: 0.5,
+        },
+        queries_per_run: 20,
+        affine: AffineStrategy::SimilarityInteger,
+        iterations: 20,
+        time_budget: None,
+        attribute_findings: true,
+        seed: 11,
+    };
+    let baseline = CampaignRunner::new(config()).run();
+    assert!(
+        baseline
+            .unique_faults
+            .contains(&FaultId::PostgisDFullyWithinSmallCoords),
+        "the campaign must attribute a finding to the DFullyWithin fault; findings: {:#?}",
+        baseline.findings
+    );
+    assert!(
+        baseline
+            .findings
+            .iter()
+            .any(|f| f.description.contains("ST_DFullyWithin")),
+        "the fault must surface through a distance template: {:#?}",
+        baseline.findings
+    );
+    for n_workers in [2, 4] {
+        let parallel = CampaignRunner::new(config()).with_workers(n_workers).run();
+        assert_eq!(
+            fingerprint(&parallel),
+            fingerprint(&baseline),
+            "{n_workers} workers"
+        );
+        assert_eq!(parallel.unique_faults, baseline.unique_faults);
+    }
+}
+
+#[test]
+fn knn_template_detects_the_empty_distance_fault_deterministically() {
+    // Listing 5's fault through the KNN template: canonicalization strips
+    // the EMPTY element from SDB2, so only SDB1's ordering derails.
+    let mut spec = DatabaseSpec::with_tables(1);
+    spec.tables[0]
+        .geometries
+        .push(parse_wkt("MULTIPOINT((5 0),EMPTY,(0 0))").unwrap());
+    spec.tables[0]
+        .geometries
+        .push(parse_wkt("POINT(1 0)").unwrap());
+    let queries = vec![QueryInstance::knn(
+        "t0",
+        parse_wkt("POINT(0 0)").unwrap(),
+        1,
+    )];
+    let faults = FaultSet::with([FaultId::GeosEmptyDistanceRecursion]);
+    for quarter_turns in 0..4 {
+        let plan = isometry_plan(quarter_turns, 20.0, -30.0);
+        let outcomes =
+            AeiOracle::new(plan).check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        assert!(
+            outcomes[0].is_logic_bug(),
+            "rotation {quarter_turns}: {:?}",
+            outcomes[0]
+        );
+    }
+}
+
+#[test]
+fn order_by_limit_conformance_across_profiles() {
+    use spatter_repro::sdb::Engine;
+    // The KNN template's SQL shape must behave identically on every profile's
+    // reference engine: ascending distance, NULL keys (EMPTY geometry) last,
+    // LIMIT truncation.
+    for profile in EngineProfile::ALL {
+        let mut engine = Engine::reference(profile);
+        engine
+            .execute_script(
+                "CREATE TABLE t (id int, g geometry);
+                 INSERT INTO t (id, g) VALUES
+                 (1, 'POINT(9 0)'), (2, 'POINT EMPTY'), (3, 'POINT(0 1)'), (4, 'POINT(2 2)');",
+            )
+            .unwrap();
+        let ids = |engine: &mut Engine, k: usize| -> Vec<i64> {
+            engine
+                .execute(&format!(
+                    "SELECT a.id FROM t a ORDER BY ST_Distance(a.g, 'POINT(0 0)'::geometry) LIMIT {k}"
+                ))
+                .unwrap()
+                .rows
+                .iter()
+                .map(|r| r[0].as_int().unwrap())
+                .collect()
+        };
+        assert_eq!(ids(&mut engine, 2), vec![3, 4], "{}", profile.name());
+        assert_eq!(ids(&mut engine, 4), vec![3, 4, 1, 2], "{}", profile.name());
+    }
+    // On the PostGIS-like profile the same query must agree between the
+    // sequential sort and the index nearest-neighbour scan.
+    let setup = "CREATE TABLE t (id int, g geometry);
+        INSERT INTO t (id, g) VALUES
+        (1, 'POINT(9 0)'), (2, 'POINT EMPTY'), (3, 'POINT(0 1)'), (4, 'POINT(2 2)');
+        CREATE INDEX idx ON t USING GIST (g);";
+    let mut seq = Engine::reference(EngineProfile::PostgisLike);
+    seq.execute_script(setup).unwrap();
+    let mut indexed = Engine::reference(EngineProfile::PostgisLike);
+    indexed.execute_script(setup).unwrap();
+    indexed.execute("SET enable_seqscan = false").unwrap();
+    for k in 1..=4 {
+        let sql = format!(
+            "SELECT a.id FROM t a ORDER BY ST_Distance(a.g, 'POINT(0 0)'::geometry) LIMIT {k}"
+        );
+        assert_eq!(
+            seq.execute(&sql).unwrap().rows,
+            indexed.execute(&sql).unwrap().rows,
+            "k = {k}"
+        );
+    }
+}
