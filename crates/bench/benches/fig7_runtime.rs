@@ -27,8 +27,6 @@ fn main() {
             let mut engine = Duration::ZERO;
             for repeat in 0..repeats {
                 let config = CampaignConfig {
-                    profile,
-                    faults: None,
                     generator: GeneratorConfig {
                         num_geometries: n,
                         num_tables: 2,
@@ -42,6 +40,7 @@ fn main() {
                     time_budget: None,
                     attribute_findings: false,
                     seed: 100 + repeat as u64,
+                    ..CampaignConfig::stock(profile)
                 };
                 let report = Campaign::new(config).run();
                 generation += report.generation_time;

@@ -5,6 +5,7 @@
 //! evaluation section; see DESIGN.md for the experiment index and
 //! EXPERIMENTS.md for recorded paper-vs-measured results.
 
+use spatter_core::backend::{EngineBackend, InProcessBackend};
 use spatter_core::campaign::{Campaign, CampaignConfig};
 use spatter_core::generator::{GenerationStrategy, GeneratorConfig};
 use spatter_core::oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, TlpOracle};
@@ -35,8 +36,6 @@ pub fn default_campaign(
     seed: u64,
 ) -> CampaignConfig {
     CampaignConfig {
-        profile,
-        faults: None,
         generator: GeneratorConfig {
             num_geometries: 10,
             num_tables: 2,
@@ -50,6 +49,7 @@ pub fn default_campaign(
         time_budget: Some(Duration::from_secs(seconds)),
         attribute_findings: true,
         seed,
+        ..CampaignConfig::stock(profile)
     }
 }
 
@@ -68,6 +68,7 @@ pub fn aei_detects(scenario: &TriggerScenario) -> bool {
     let profile = profile_for_fault(fault);
     let faults = FaultSet::with([fault]);
 
+    let backend = InProcessBackend::new(profile, faults.clone());
     let mut plans = vec![TransformPlan::canonicalization_only()];
     for seed in 0..30u64 {
         plans.push(TransformPlan::random(AffineStrategy::GeneralInteger, seed));
@@ -88,7 +89,7 @@ pub fn aei_detects(scenario: &TriggerScenario) -> bool {
     for plan in &plans {
         let oracle = AeiOracle::new(plan.clone());
         if oracle
-            .check(profile, &faults, &scenario.spec, queries)
+            .check(&backend, &scenario.spec, queries)
             .iter()
             .any(|o| o.is_logic_bug())
         {
@@ -108,7 +109,7 @@ pub fn aei_detects(scenario: &TriggerScenario) -> bool {
         fault,
         FaultId::PostgisDFullyWithinSmallCoords | FaultId::GeosEmptyDistanceRecursion
     ) {
-        return aei_detects_distance_template(profile, &faults, fault);
+        return aei_detects_distance_template(&backend, fault);
     }
     false
 }
@@ -139,11 +140,7 @@ fn aei_detects_with_indexes(
     }
 }
 
-fn aei_detects_distance_template(
-    profile: EngineProfile,
-    faults: &FaultSet,
-    fault: FaultId,
-) -> bool {
+fn aei_detects_distance_template(backend: &dyn EngineBackend, fault: FaultId) -> bool {
     let Some(scenario) = spatter_core::scenarios::distance_template_scenarios()
         .into_iter()
         .find(|s| s.fault == fault)
@@ -158,8 +155,7 @@ fn aei_detects_distance_template(
     };
     AeiOracle::new(plan)
         .check(
-            profile,
-            faults,
+            backend,
             &scenario.spec,
             std::slice::from_ref(&scenario.query),
         )
@@ -171,45 +167,27 @@ fn aei_detects_distance_template(
 pub fn baseline_detects(scenario: &TriggerScenario, oracle_name: &str) -> bool {
     let fault = scenario.fault;
     let profile = profile_for_fault(fault);
-    let faults = FaultSet::with([fault]);
+    let backend = InProcessBackend::new(profile, FaultSet::with([fault]));
     let queries = std::slice::from_ref(&scenario.query);
     let outcomes = match oracle_name {
         "pg_vs_mysql" => {
-            if profile == EngineProfile::MysqlLike {
-                DifferentialOracle::against_stock(EngineProfile::PostgisLike).check(
-                    profile,
-                    &faults,
-                    &scenario.spec,
-                    queries,
-                )
+            let other = if profile == EngineProfile::MysqlLike {
+                EngineProfile::PostgisLike
             } else {
-                DifferentialOracle::against_stock(EngineProfile::MysqlLike).check(
-                    profile,
-                    &faults,
-                    &scenario.spec,
-                    queries,
-                )
-            }
+                EngineProfile::MysqlLike
+            };
+            DifferentialOracle::against_stock(other).check(&backend, &scenario.spec, queries)
         }
         "pg_vs_duckdb" => {
-            if profile == EngineProfile::DuckdbSpatialLike {
-                DifferentialOracle::against_stock(EngineProfile::PostgisLike).check(
-                    profile,
-                    &faults,
-                    &scenario.spec,
-                    queries,
-                )
+            let other = if profile == EngineProfile::DuckdbSpatialLike {
+                EngineProfile::PostgisLike
             } else {
-                DifferentialOracle::against_stock(EngineProfile::DuckdbSpatialLike).check(
-                    profile,
-                    &faults,
-                    &scenario.spec,
-                    queries,
-                )
-            }
+                EngineProfile::DuckdbSpatialLike
+            };
+            DifferentialOracle::against_stock(other).check(&backend, &scenario.spec, queries)
         }
-        "index" => IndexOracle.check(profile, &faults, &scenario.spec, queries),
-        "tlp" => TlpOracle.check(profile, &faults, &scenario.spec, queries),
+        "index" => IndexOracle.check(&backend, &scenario.spec, queries),
+        "tlp" => TlpOracle.check(&backend, &scenario.spec, queries),
         other => panic!("unknown oracle {other}"),
     };
     outcomes.iter().any(|o| o.is_logic_bug())

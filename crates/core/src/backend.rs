@@ -1,0 +1,686 @@
+//! The engine-execution abstraction the oracles run through.
+//!
+//! The paper's evaluation (§5) points the same oracles at several real
+//! engines (PostGIS, MySQL GIS, DuckDB Spatial, SQL Server). Mirroring that,
+//! every oracle and the campaign runner drive an [`EngineBackend`] — a
+//! factory of [`EngineSession`]s — instead of constructing
+//! [`spatter_sdb::Engine`] values directly. A session is opened once per
+//! scenario and reused across the whole per-iteration query batch, so
+//! parsing and catalog setup are amortized instead of re-created per query
+//! (engine execution dominates campaign wall time, Figure 7).
+//!
+//! Two backends ship:
+//!
+//! * [`InProcessBackend`] wraps the in-process engine and is behaviour- and
+//!   determinism-identical to calling it directly (findings, skip counts and
+//!   attribution are byte-equal at any worker count). It also carries a
+//!   bounded statement parse cache shared between its sessions, so the
+//!   identical setup statements that every oracle (and every attribution
+//!   re-run) loads are lexed and parsed once per scenario instead of once
+//!   per engine instance.
+//! * [`StdioBackend`] drives the `spatter-sdb-server` binary over
+//!   line-delimited SQL, proving the trait supports engines that live in
+//!   another process. When the server process dies mid-session (a *real*
+//!   crash, not the simulated `ERR crash` reply), the session reports a
+//!   [`BackendError::Transport`] failure for that query and transparently
+//!   respawns the server — replaying its setup statements — before the next
+//!   one, so a campaign shard survives an engine crash instead of losing the
+//!   shard.
+//!
+//! Errors carry a three-way taxonomy ([`BackendError`]) that
+//! [`crate::oracles::OracleOutcome`] maps from in exactly one place (its
+//! `From<BackendError>` impl): crashes and transport failures are findings,
+//! semantic errors make a query inapplicable.
+
+use spatter_sdb::ast::Statement;
+use spatter_sdb::parser::parse_statement;
+use spatter_sdb::server::{read_ready, sanitize_line, Response};
+use spatter_sdb::{Engine, EngineProfile, FaultId, FaultSet, SdbError};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a backend operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The engine crashed (a simulated crash fault, or — for out-of-process
+    /// backends — an abnormal reply tagged as a crash).
+    Crash(String),
+    /// The engine rejected the statement (parse/semantic/validation/
+    /// unsupported-function errors). Never a finding: these are the expected
+    /// discrepancies of §1.
+    Semantic(String),
+    /// The transport to the engine broke (the server process died, the pipe
+    /// closed, a protocol frame was malformed). Treated like a crash by the
+    /// oracles, since the engine stopped answering mid-query.
+    Transport(String),
+}
+
+impl BackendError {
+    /// Whether the error must abort the scenario for this query (crash or
+    /// transport) rather than merely making the query inapplicable.
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, BackendError::Semantic(_))
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        match self {
+            BackendError::Crash(m) | BackendError::Semantic(m) | BackendError::Transport(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Crash(m) => write!(f, "engine crash: {m}"),
+            BackendError::Semantic(m) => write!(f, "semantic error: {m}"),
+            BackendError::Transport(m) => write!(f, "transport failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// One open engine session: a private database that lives for one scenario.
+///
+/// Object-safe so oracles can hold heterogeneous sessions (`Box<dyn
+/// EngineSession>`) without knowing which backend produced them.
+pub trait EngineSession {
+    /// Loads a batch of setup statements (DDL/DML/SET), stopping at the
+    /// first error.
+    fn load(&mut self, statements: &[String]) -> Result<(), BackendError>;
+
+    /// Runs a query expected to produce a single scalar count; `Ok(None)`
+    /// when the query executed but did not produce one.
+    fn run_count(&mut self, sql: &str) -> Result<Option<i64>, BackendError>;
+
+    /// Runs a query and returns the first-column values of its result set,
+    /// in engine row order.
+    fn run_rows(&mut self, sql: &str) -> Result<Vec<String>, BackendError>;
+
+    /// Cumulative time spent executing statements in the engine (the
+    /// Figure 7 measurement). For out-of-process backends this is the
+    /// request round-trip time.
+    fn engine_time(&self) -> Duration;
+}
+
+/// A factory of engine sessions: one engine configuration (which system,
+/// which seeded faults) that oracles can open scenario-scoped sessions
+/// against.
+pub trait EngineBackend: fmt::Debug + Send + Sync {
+    /// The engine profile this backend models. Drives query generation (the
+    /// documented `ST_*` surface) and display names; a real-engine adapter
+    /// picks the profile that documents its surface.
+    fn profile(&self) -> EngineProfile;
+
+    /// Opens a fresh session with an empty database.
+    fn open_session(&self) -> Result<Box<dyn EngineSession>, BackendError>;
+
+    /// The seeded faults this backend carries — the candidate set the
+    /// campaign's attribution step iterates over. Empty for engines whose
+    /// faults are unknown (e.g. a real SDBMS), which disables attribution.
+    fn fault_ids(&self) -> Vec<FaultId>;
+
+    /// A variant of this backend with one fault disabled ("the fix
+    /// applied"), used by attribution to find the fault responsible for a
+    /// finding.
+    fn without_fault(&self, fault: FaultId) -> Box<dyn EngineBackend>;
+
+    /// Display name used in finding descriptions.
+    fn name(&self) -> String {
+        self.profile().name().to_string()
+    }
+
+    /// Whether the engine documents a given `ST_*` function.
+    fn supports_function(&self, function: &str) -> bool {
+        self.profile().supports_function(function)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process backend
+// ---------------------------------------------------------------------------
+
+/// Entries kept in the shared parse cache before it is reset; bounds memory
+/// over long campaigns (each iteration's INSERTs are unique statements) while
+/// still amortizing every within-scenario reload.
+const PARSE_CACHE_CAPACITY: usize = 4096;
+
+type ParseCache = Arc<Mutex<HashMap<String, Arc<Statement>>>>;
+
+/// The default backend: [`spatter_sdb::Engine`] in this process.
+#[derive(Debug, Clone)]
+pub struct InProcessBackend {
+    profile: EngineProfile,
+    faults: FaultSet,
+    /// Shared across this backend's sessions (and its `without_fault`
+    /// attribution variants — parse results are fault-independent).
+    parse_cache: ParseCache,
+}
+
+impl InProcessBackend {
+    /// A backend with an explicit fault set.
+    pub fn new(profile: EngineProfile, faults: FaultSet) -> Self {
+        InProcessBackend {
+            profile,
+            faults,
+            parse_cache: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The stock engine of a profile (its default seeded faults — the
+    /// "released version" the paper tested).
+    pub fn stock(profile: EngineProfile) -> Self {
+        InProcessBackend::new(profile, profile.default_faults())
+    }
+
+    /// The fault-free reference engine ("fully patched").
+    pub fn reference(profile: EngineProfile) -> Self {
+        InProcessBackend::new(profile, FaultSet::none())
+    }
+
+    /// The enabled faults.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Number of statements currently held by the shared parse cache
+    /// (observable so tests can assert the load path parses once).
+    pub fn cached_statements(&self) -> usize {
+        self.parse_cache.lock().expect("parse cache poisoned").len()
+    }
+}
+
+impl EngineBackend for InProcessBackend {
+    fn profile(&self) -> EngineProfile {
+        self.profile
+    }
+
+    fn open_session(&self) -> Result<Box<dyn EngineSession>, BackendError> {
+        Ok(Box::new(InProcessSession {
+            engine: Engine::with_faults(self.profile, self.faults.clone()),
+            parse_cache: Arc::clone(&self.parse_cache),
+        }))
+    }
+
+    fn fault_ids(&self) -> Vec<FaultId> {
+        self.faults.iter().collect()
+    }
+
+    fn without_fault(&self, fault: FaultId) -> Box<dyn EngineBackend> {
+        let mut reduced = self.clone();
+        reduced.faults.disable(fault);
+        Box::new(reduced)
+    }
+}
+
+struct InProcessSession {
+    engine: Engine,
+    parse_cache: ParseCache,
+}
+
+impl InProcessSession {
+    /// Executes one statement, parsing it at most once per cache lifetime:
+    /// every oracle of a suite (and every attribution re-run) loads the same
+    /// scenario SQL, so the lexer/parser work is shared instead of repeated
+    /// per engine instance. The backend (and thus the cache) is shared by
+    /// every worker shard, so the critical section is kept to a hash lookup
+    /// plus an `Arc` bump — statements are never cloned or executed under
+    /// the lock.
+    fn execute_cached(&mut self, sql: &str) -> Result<spatter_sdb::QueryResult, BackendError> {
+        let cached = {
+            let cache = self.parse_cache.lock().expect("parse cache poisoned");
+            cache.get(sql).cloned()
+        };
+        let statement = match cached {
+            Some(statement) => statement,
+            None => {
+                let statement = Arc::new(parse_statement(sql).map_err(map_sdb_error)?);
+                let mut cache = self.parse_cache.lock().expect("parse cache poisoned");
+                if cache.len() >= PARSE_CACHE_CAPACITY {
+                    cache.clear();
+                }
+                cache.insert(sql.to_string(), Arc::clone(&statement));
+                statement
+            }
+        };
+        self.engine
+            .execute_parsed(&statement)
+            .map_err(map_sdb_error)
+    }
+}
+
+impl EngineSession for InProcessSession {
+    fn load(&mut self, statements: &[String]) -> Result<(), BackendError> {
+        for statement in statements {
+            self.execute_cached(statement)?;
+        }
+        Ok(())
+    }
+
+    fn run_count(&mut self, sql: &str) -> Result<Option<i64>, BackendError> {
+        Ok(self.execute_cached(sql)?.count())
+    }
+
+    fn run_rows(&mut self, sql: &str) -> Result<Vec<String>, BackendError> {
+        Ok(self
+            .execute_cached(sql)?
+            .rows
+            .iter()
+            .filter_map(|row| row.first())
+            .map(|value| value.to_string())
+            .collect())
+    }
+
+    fn engine_time(&self) -> Duration {
+        self.engine.execution_stats().0
+    }
+}
+
+fn map_sdb_error(error: SdbError) -> BackendError {
+    match error {
+        SdbError::Crash(message) => BackendError::Crash(message),
+        other => BackendError::Semantic(other.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stdio backend
+// ---------------------------------------------------------------------------
+
+/// A backend that drives a `spatter-sdb-server` process over stdio.
+#[derive(Debug, Clone)]
+pub struct StdioBackend {
+    command: PathBuf,
+    profile: EngineProfile,
+    faults: FaultSet,
+    hard_crash: bool,
+}
+
+impl StdioBackend {
+    /// A backend spawning `command` with an explicit fault set.
+    pub fn new(command: impl Into<PathBuf>, profile: EngineProfile, faults: FaultSet) -> Self {
+        StdioBackend {
+            command: command.into(),
+            profile,
+            faults,
+            hard_crash: false,
+        }
+    }
+
+    /// The stock engine of a profile.
+    pub fn stock(command: impl Into<PathBuf>, profile: EngineProfile) -> Self {
+        StdioBackend::new(command, profile, profile.default_faults())
+    }
+
+    /// Launches the server with `--hard-crash`: simulated crashes terminate
+    /// the server process instead of replying, exercising the
+    /// transport-failure recovery path.
+    pub fn with_hard_crash(mut self, hard_crash: bool) -> Self {
+        self.hard_crash = hard_crash;
+        self
+    }
+
+    /// The server binary this backend spawns.
+    pub fn command(&self) -> &Path {
+        &self.command
+    }
+
+    fn spawn(&self) -> Result<ServerHandle, BackendError> {
+        let mut command = Command::new(&self.command);
+        command
+            .arg("--profile")
+            .arg(self.profile.name())
+            .arg("--faults")
+            .arg(if self.faults.is_empty() {
+                "none".to_string()
+            } else {
+                self.faults.to_names()
+            })
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if self.hard_crash {
+            command.arg("--hard-crash");
+        }
+        // A binary that does not exist or cannot be executed is a harness
+        // misconfiguration (wrong path, unbuilt server), not evidence about
+        // the engine under test: surfacing it as a `Transport` error would
+        // flood a campaign report with bogus crash findings, so it aborts
+        // loudly. Any other failure here — a transient spawn error (EAGAIN,
+        // fd exhaustion under process churn) or a server dying before its
+        // READY handshake (OOM-killed, signalled) — goes through the
+        // *canonical* transport error so finding descriptions stay
+        // byte-identical across worker counts and reruns, and the respawn
+        // path gets to retry.
+        let mut child = match command.spawn() {
+            Ok(child) => child,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::NotFound | std::io::ErrorKind::PermissionDenied
+                ) =>
+            {
+                panic!(
+                    "cannot spawn engine server {}: {e} — StdioBackend misconfigured \
+                     (build the spatter-sdb-server binary and check the path)",
+                    self.command.display()
+                )
+            }
+            Err(_) => return Err(transport_lost()),
+        };
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        let mut handle = ServerHandle {
+            child,
+            stdin,
+            stdout,
+        };
+        if read_ready(&mut handle.stdout).is_err() {
+            handle.shutdown();
+            return Err(transport_lost());
+        }
+        Ok(handle)
+    }
+}
+
+impl EngineBackend for StdioBackend {
+    fn profile(&self) -> EngineProfile {
+        self.profile
+    }
+
+    fn open_session(&self) -> Result<Box<dyn EngineSession>, BackendError> {
+        let handle = self.spawn()?;
+        Ok(Box::new(StdioSession {
+            backend: self.clone(),
+            handle: Some(handle),
+            setup: Vec::new(),
+            engine_time: Duration::ZERO,
+        }))
+    }
+
+    fn fault_ids(&self) -> Vec<FaultId> {
+        self.faults.iter().collect()
+    }
+
+    fn without_fault(&self, fault: FaultId) -> Box<dyn EngineBackend> {
+        let mut reduced = self.clone();
+        reduced.faults.disable(fault);
+        Box::new(reduced)
+    }
+}
+
+struct ServerHandle {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl ServerHandle {
+    /// One request/response round trip; any I/O or framing failure is a
+    /// transport error (the caller discards the handle). The statement is
+    /// flattened onto one wire frame first — newlines are legal whitespace
+    /// for the in-process parser, but an unflattened multi-line statement
+    /// would desynchronize the protocol and misattribute every subsequent
+    /// response.
+    fn request(&mut self, sql: &str) -> Result<Response, BackendError> {
+        let line = sanitize_line(sql);
+        if line.trim().is_empty() {
+            // The server skips blank input lines without replying, so
+            // sending one and blocking for a response would hang forever.
+            // Answer with the error reply locally — the in-process engine
+            // rejects an empty statement as a parse error too.
+            return Ok(Response::Error {
+                crash: false,
+                message: "parse error: empty statement".into(),
+            });
+        }
+        let send = writeln!(self.stdin, "{line}").and_then(|()| self.stdin.flush());
+        send.map_err(|_| transport_lost())?;
+        Response::read_from(&mut self.stdout).map_err(|_| transport_lost())
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The canonical transport-failure error. The message is deliberately
+/// constant: it feeds finding descriptions, which must be byte-identical
+/// across worker counts regardless of whether the failure surfaced as a
+/// broken pipe, an EOF, or a half-written frame.
+fn transport_lost() -> BackendError {
+    BackendError::Transport("engine process terminated".into())
+}
+
+/// A session over one server process. Remembers its setup script so that
+/// when the process dies the next request can respawn the server and replay
+/// the setup — the query that hit the dead process still reports its
+/// transport failure, but the shard keeps its session instead of losing
+/// every remaining query.
+struct StdioSession {
+    backend: StdioBackend,
+    handle: Option<ServerHandle>,
+    setup: Vec<String>,
+    engine_time: Duration,
+}
+
+impl StdioSession {
+    /// Sends one statement, lazily respawning (and replaying the setup
+    /// script on) a dead server first.
+    fn request(&mut self, sql: &str) -> Result<Response, BackendError> {
+        let started = Instant::now();
+        let result = self.request_inner(sql);
+        self.engine_time += started.elapsed();
+        result
+    }
+
+    fn request_inner(&mut self, sql: &str) -> Result<Response, BackendError> {
+        if self.handle.is_none() {
+            let mut handle = self.backend.spawn()?;
+            // Error *replies* during replay are ignored (the session's load
+            // already reported them); only a broken transport aborts.
+            for statement in &self.setup {
+                handle.request(statement)?;
+            }
+            self.handle = Some(handle);
+        }
+        let handle = self.handle.as_mut().expect("respawned above");
+        match handle.request(sql) {
+            Ok(response) => Ok(response),
+            Err(error) => {
+                // The process is gone; reap it now, respawn on demand later.
+                if let Some(mut dead) = self.handle.take() {
+                    dead.shutdown();
+                }
+                Err(error)
+            }
+        }
+    }
+
+    /// Maps an error reply to the backend taxonomy.
+    fn check(response: Response) -> Result<Response, BackendError> {
+        match response {
+            Response::Error {
+                crash: true,
+                message,
+            } => Err(BackendError::Crash(message)),
+            Response::Error {
+                crash: false,
+                message,
+            } => Err(BackendError::Semantic(message)),
+            other => Ok(other),
+        }
+    }
+}
+
+impl EngineSession for StdioSession {
+    fn load(&mut self, statements: &[String]) -> Result<(), BackendError> {
+        // Each statement joins the replay script just before it is sent, and
+        // recording stops at the first failure: a respawned server replays
+        // exactly what this server was asked to execute (including a
+        // statement whose deterministic crash must resurface), never the
+        // unsent tail — so pre- and post-crash state cannot diverge.
+        for statement in statements {
+            self.setup.push(statement.clone());
+            Self::check(self.request(statement)?)?;
+        }
+        Ok(())
+    }
+
+    fn run_count(&mut self, sql: &str) -> Result<Option<i64>, BackendError> {
+        // The count is evaluated server-side with `QueryResult::count`, so
+        // the in-process and stdio backends agree on count semantics by
+        // construction.
+        match Self::check(self.request(sql)?)? {
+            Response::Rows { count, .. } => Ok(count),
+            _ => Ok(None),
+        }
+    }
+
+    fn run_rows(&mut self, sql: &str) -> Result<Vec<String>, BackendError> {
+        match Self::check(self.request(sql)?)? {
+            Response::Rows { rows, .. } => Ok(rows),
+            Response::None => Ok(Vec::new()),
+            Response::Error { .. } => unreachable!("check() filtered errors"),
+        }
+    }
+
+    fn engine_time(&self) -> Duration {
+        self.engine_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded_session(backend: &dyn EngineBackend) -> Box<dyn EngineSession> {
+        let mut session = backend.open_session().expect("open");
+        session
+            .load(&[
+                "CREATE TABLE t (g geometry)".to_string(),
+                "INSERT INTO t (g) VALUES ('POINT(0 0)'), ('POINT(3 4)')".to_string(),
+            ])
+            .expect("load");
+        session
+    }
+
+    #[test]
+    fn in_process_sessions_run_counts_and_rows() {
+        let backend = InProcessBackend::reference(EngineProfile::PostgisLike);
+        let mut session = loaded_session(&backend);
+        assert_eq!(
+            session.run_count("SELECT COUNT(*) FROM t a JOIN t b ON ST_DWithin(a.g, b.g, 5)"),
+            Ok(Some(4))
+        );
+        assert_eq!(
+            session.run_rows(
+                "SELECT ST_AsText(a.g) FROM t a \
+                 ORDER BY ST_Distance(a.g, 'POINT(0 0)'::geometry) LIMIT 1"
+            ),
+            Ok(vec!["POINT(0 0)".to_string()])
+        );
+        // A non-count result observed through run_count is None, not an error.
+        assert_eq!(
+            session.run_count("SELECT ST_AsText(a.g) FROM t a"),
+            Ok(None)
+        );
+        assert!(session.engine_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn in_process_errors_follow_the_taxonomy() {
+        let backend = InProcessBackend::reference(EngineProfile::PostgisLike);
+        let mut session = backend.open_session().unwrap();
+        let semantic = session
+            .run_count("SELECT COUNT(*) FROM missing a JOIN missing b ON ST_Intersects(a.g, b.g)")
+            .unwrap_err();
+        assert!(matches!(semantic, BackendError::Semantic(_)));
+        assert!(!semantic.is_fatal());
+
+        let backend = InProcessBackend::new(
+            EngineProfile::MysqlLike,
+            FaultSet::with([FaultId::GeosCrashRelateShortRing]),
+        );
+        let mut session = backend.open_session().unwrap();
+        session
+            .load(&[
+                "CREATE TABLE t (g geometry)".to_string(),
+                "INSERT INTO t (g) VALUES ('POLYGON((0 0,1 1,0 0))'), ('POINT(0 0)')".to_string(),
+            ])
+            .unwrap();
+        let crash = session
+            .run_count("SELECT COUNT(*) FROM t a JOIN t b ON ST_Intersects(a.g, b.g)")
+            .unwrap_err();
+        assert!(matches!(crash, BackendError::Crash(_)));
+        assert!(crash.is_fatal());
+    }
+
+    #[test]
+    fn parse_cache_is_shared_across_sessions_and_fault_variants() {
+        let backend = InProcessBackend::stock(EngineProfile::PostgisLike);
+        let statements = vec![
+            "CREATE TABLE t (g geometry)".to_string(),
+            "INSERT INTO t (g) VALUES ('POINT(1 2)')".to_string(),
+        ];
+        let mut first = backend.open_session().unwrap();
+        first.load(&statements).unwrap();
+        assert_eq!(backend.cached_statements(), 2);
+
+        // A second session and an attribution variant replay the same SQL
+        // without growing the cache: each statement was parsed exactly once.
+        let mut second = backend.open_session().unwrap();
+        second.load(&statements).unwrap();
+        let reduced = backend.without_fault(FaultId::GeosCoversPrecisionLoss);
+        let mut third = reduced.open_session().unwrap();
+        third.load(&statements).unwrap();
+        assert_eq!(backend.cached_statements(), 2);
+    }
+
+    #[test]
+    fn without_fault_disables_exactly_one_fault() {
+        let backend = InProcessBackend::stock(EngineProfile::PostgisLike);
+        let all = backend.fault_ids();
+        let reduced = backend.without_fault(all[0]);
+        let reduced_ids = reduced.fault_ids();
+        assert_eq!(reduced_ids.len(), all.len() - 1);
+        assert!(!reduced_ids.contains(&all[0]));
+        // The original is untouched.
+        assert_eq!(backend.fault_ids(), all);
+    }
+
+    #[test]
+    fn backend_trait_objects_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn EngineBackend>();
+        assert_send_sync::<InProcessBackend>();
+        assert_send_sync::<StdioBackend>();
+    }
+
+    #[test]
+    #[should_panic(expected = "StdioBackend misconfigured")]
+    fn stdio_backend_panics_on_a_missing_server_binary() {
+        // A server that cannot be spawned at all is harness misconfiguration,
+        // not an engine crash: it must abort instead of flooding a campaign
+        // report with bogus per-scenario crash findings.
+        let backend = StdioBackend::stock(
+            "/nonexistent/spatter-sdb-server",
+            EngineProfile::PostgisLike,
+        );
+        let _ = backend.open_session();
+    }
+}

@@ -9,23 +9,23 @@
 //! of the paper's fix-commit-based deduplication), and timing, coverage and
 //! the unique-bug timeline are tracked for Figures 7 and 8 and Table 5.
 
+use crate::backend::{EngineBackend, InProcessBackend};
 use crate::generator::GeneratorConfig;
 use crate::oracles::OracleOutcome;
 use crate::queries::QueryInstance;
 use crate::spec::DatabaseSpec;
 use crate::transform::{AffineStrategy, TransformPlan};
-use spatter_sdb::{Engine, EngineProfile, FaultId, FaultSet, SdbError};
+use spatter_sdb::{EngineProfile, FaultId, FaultSet};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of one campaign run.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
-    /// The engine profile under test.
-    pub profile: EngineProfile,
-    /// The faults carried by the engine under test; `None` means the
-    /// profile's stock fault set.
-    pub faults: Option<FaultSet>,
+    /// The engine backend under test. Shared by every worker shard: backends
+    /// are factories, each scenario opens its own sessions.
+    pub backend: Arc<dyn EngineBackend>,
     /// Generator configuration (N, m, strategy).
     pub generator: GeneratorConfig,
     /// Number of template queries per iteration (the paper uses 100 per run
@@ -45,11 +45,36 @@ pub struct CampaignConfig {
     pub seed: u64,
 }
 
+impl CampaignConfig {
+    /// A configuration testing the stock in-process engine of a profile
+    /// (the "released version"): the most common campaign setup.
+    pub fn stock(profile: EngineProfile) -> Self {
+        CampaignConfig {
+            backend: Arc::new(InProcessBackend::stock(profile)),
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// A configuration testing an in-process engine with an explicit fault
+    /// set (`FaultSet::none()` for the fully patched reference engine).
+    pub fn in_process(profile: EngineProfile, faults: FaultSet) -> Self {
+        CampaignConfig {
+            backend: Arc::new(InProcessBackend::new(profile, faults)),
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// Replaces the backend under test.
+    pub fn with_backend(mut self, backend: Arc<dyn EngineBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
 impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
-            profile: EngineProfile::PostgisLike,
-            faults: None,
+            backend: Arc::new(InProcessBackend::stock(EngineProfile::PostgisLike)),
             generator: GeneratorConfig::default(),
             queries_per_run: 20,
             affine: AffineStrategy::GeneralInteger,
@@ -153,12 +178,13 @@ impl Campaign {
     }
 }
 
-/// Runs the AEI check for one iteration, returning the per-query outcomes and
-/// the time spent inside the engine (loading both databases and running every
-/// query on both).
+/// Runs the AEI check for one iteration against an engine backend, returning
+/// the per-query outcomes and the time spent inside the engine (loading both
+/// databases and running every query on both). Both sessions are opened once
+/// and reused across the whole query batch, amortizing parsing and catalog
+/// setup (Figure 7: engine execution dominates campaign wall time).
 pub fn run_aei_iteration(
-    profile: EngineProfile,
-    faults: &FaultSet,
+    backend: &dyn EngineBackend,
     spec: &DatabaseSpec,
     queries: &[QueryInstance],
     plan: &TransformPlan,
@@ -166,45 +192,27 @@ pub fn run_aei_iteration(
     let transformed = plan.apply(spec);
     let mut engine_time = Duration::ZERO;
 
-    let mut load = |statements: &[String]| -> Result<Engine, OracleOutcome> {
-        let mut engine = Engine::with_faults(profile, faults.clone());
-        for statement in statements {
-            match engine.execute(statement) {
-                Ok(_) => {}
-                Err(SdbError::Crash(message)) => {
-                    engine_time += engine.execution_stats().0;
-                    return Err(OracleOutcome::Crash { message });
-                }
-                Err(_) => {
-                    engine_time += engine.execution_stats().0;
-                    return Err(OracleOutcome::Inapplicable);
-                }
-            }
-        }
-        Ok(engine)
+    let mut session1 = match crate::oracles::open_loaded(backend, &spec.to_sql()) {
+        Ok(session) => session,
+        Err((outcome, spent)) => return (vec![outcome; queries.len().max(1)], engine_time + spent),
     };
-
-    let engine1 = load(&spec.to_sql());
-    let engine2 = load(&transformed.to_sql());
-    let (mut engine1, mut engine2) = match (engine1, engine2) {
-        (Ok(a), Ok(b)) => (a, b),
-        (Err(outcome), _) | (_, Err(outcome)) => {
-            return (vec![outcome; queries.len().max(1)], engine_time);
-        }
+    let mut session2 = match crate::oracles::open_loaded(backend, &transformed.to_sql()) {
+        Ok(session) => session,
+        Err((outcome, spent)) => return (vec![outcome; queries.len().max(1)], engine_time + spent),
     };
 
     let mut outcomes = Vec::with_capacity(queries.len());
     for query in queries {
         outcomes.push(crate::oracles::check_aei_query(
-            &mut engine1,
-            &mut engine2,
+            session1.as_mut(),
+            session2.as_mut(),
             spec,
             query,
             plan,
         ));
     }
-    engine_time += engine1.execution_stats().0;
-    engine_time += engine2.execution_stats().0;
+    engine_time += session1.engine_time();
+    engine_time += session2.engine_time();
     (outcomes, engine_time)
 }
 
@@ -214,9 +222,11 @@ mod tests {
     use crate::generator::GenerationStrategy;
 
     fn small_config(profile: EngineProfile, faults: Option<FaultSet>) -> CampaignConfig {
+        let base = match faults {
+            Some(faults) => CampaignConfig::in_process(profile, faults),
+            None => CampaignConfig::stock(profile),
+        };
         CampaignConfig {
-            profile,
-            faults,
             generator: GeneratorConfig {
                 num_geometries: 8,
                 num_tables: 2,
@@ -230,6 +240,7 @@ mod tests {
             time_budget: None,
             attribute_findings: true,
             seed: 1,
+            ..base
         }
     }
 

@@ -24,13 +24,18 @@
 //!    `SDB2` on the same engine and reports any count discrepancy as a
 //!    potential logic bug; the baseline oracles of §5.3 (differential
 //!    testing between profiles, index on/off, TLP) are implemented for the
-//!    Table 4 comparison.
+//!    Table 4 comparison. All oracles execute through the [`backend`]
+//!    abstraction (`EngineBackend`/`EngineSession`), which decouples them
+//!    from the in-process engine: the same code drives the
+//!    `spatter-sdb-server` subprocess over line-delimited SQL, with
+//!    per-scenario sessions batching the whole query set.
 //! 5. [`campaign`] — the testing-campaign driver: runs iterations, detects
 //!    crashes and logic discrepancies, reduces failing scenarios
 //!    ([`reducer`]), attributes each finding to the seeded fault that causes
 //!    it (the deduplication step of §5.4), and tracks timing and coverage for
 //!    Figures 7 and 8 and Table 5.
 
+pub mod backend;
 pub mod campaign;
 pub mod generator;
 pub mod oracles;
@@ -42,6 +47,7 @@ pub mod scenarios;
 pub mod spec;
 pub mod transform;
 
+pub use backend::{BackendError, EngineBackend, EngineSession, InProcessBackend, StdioBackend};
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, Finding, FindingKind};
 pub use generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
 pub use oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle};

@@ -6,12 +6,20 @@
 //! of a logic bug, a crash, or nothing. Errors that are not crashes
 //! (semantic validation failures, unsupported functions) are ignored, exactly
 //! as Spatter ignores them (§4.1).
+//!
+//! Oracles are engine-agnostic: they execute through
+//! [`crate::backend::EngineBackend`] sessions, so the same oracle code tests
+//! the in-process engine, the `spatter-sdb-server` subprocess, or any future
+//! real-engine adapter. Backend errors reach [`OracleOutcome`] through its
+//! `From<BackendError>` impl — the single place the error taxonomy is
+//! interpreted.
 
+use crate::backend::{BackendError, EngineBackend, EngineSession, InProcessBackend};
 use crate::queries::{QueryInstance, QueryTemplate, RangeFunction};
 use crate::spec::DatabaseSpec;
 use crate::transform::TransformPlan;
 use spatter_geom::wkt::{parse_wkt, write_wkt};
-use spatter_sdb::{Engine, EngineProfile, FaultSet, SdbError};
+use spatter_sdb::EngineProfile;
 use spatter_topo::distance as topo_distance;
 
 /// The verdict of an oracle for one query.
@@ -57,6 +65,22 @@ impl OracleOutcome {
     }
 }
 
+/// The one place the [`BackendError`] taxonomy becomes an oracle verdict:
+/// crashes are crash findings, transport failures (the engine process died
+/// mid-query) are treated exactly like crashes, and semantic errors make the
+/// query inapplicable — never a bug, mirroring §4.1.
+impl From<BackendError> for OracleOutcome {
+    fn from(error: BackendError) -> OracleOutcome {
+        match error {
+            BackendError::Crash(message) => OracleOutcome::Crash { message },
+            BackendError::Transport(message) => OracleOutcome::Crash {
+                message: format!("backend transport failure: {message}"),
+            },
+            BackendError::Semantic(_) => OracleOutcome::Inapplicable,
+        }
+    }
+}
+
 /// A test oracle.
 ///
 /// Object-safe, and bounded `Send + Sync` so a boxed oracle suite can be
@@ -65,40 +89,43 @@ pub trait Oracle: Send + Sync {
     /// The oracle's display name (used in the Table 4 harness).
     fn name(&self) -> &'static str;
 
-    /// Checks one scenario; returns one outcome per query.
+    /// Checks one scenario against an engine backend; returns one outcome
+    /// per query. Sessions are opened once per scenario and reused for the
+    /// whole query batch.
     fn check(
         &self,
-        profile: EngineProfile,
-        faults: &FaultSet,
+        backend: &dyn EngineBackend,
         spec: &DatabaseSpec,
         queries: &[QueryInstance],
     ) -> Vec<OracleOutcome>;
 }
 
-/// Loads a spec into a fresh engine, returning the engine or a crash outcome.
-fn load_engine(
-    profile: EngineProfile,
-    faults: &FaultSet,
+/// Opens a session and loads a statement batch into it, mapping failures to
+/// the scenario-wide outcome (crash, or inapplicable for semantic errors).
+/// The error carries the engine time the failed load consumed, so callers
+/// that track the Figure 7 split ([`crate::campaign::run_aei_iteration`])
+/// can account for it; oracles that don't just discard it. Shared so the
+/// campaign path and the standalone oracles can never diverge on load-error
+/// classification.
+pub(crate) fn open_loaded(
+    backend: &dyn EngineBackend,
     statements: &[String],
-) -> Result<Engine, OracleOutcome> {
-    let mut engine = Engine::with_faults(profile, faults.clone());
-    for statement in statements {
-        match engine.execute(statement) {
-            Ok(_) => {}
-            Err(SdbError::Crash(message)) => return Err(OracleOutcome::Crash { message }),
-            // Non-crash errors while loading (e.g. a profile rejecting an
-            // invalid geometry at ingestion) make the scenario inapplicable.
-            Err(_) => return Err(OracleOutcome::Inapplicable),
-        }
+) -> Result<Box<dyn EngineSession>, (OracleOutcome, std::time::Duration)> {
+    let mut session = backend
+        .open_session()
+        .map_err(|error| (OracleOutcome::from(error), std::time::Duration::ZERO))?;
+    if let Err(error) = session.load(statements) {
+        let spent = session.engine_time();
+        return Err((error.into(), spent));
     }
-    Ok(engine)
+    Ok(session)
 }
 
-/// Runs a count query, mapping non-crash errors to `None`.
-fn run_count(engine: &mut Engine, sql: &str) -> Result<Option<i64>, OracleOutcome> {
-    match engine.execute(sql) {
-        Ok(result) => Ok(result.count()),
-        Err(SdbError::Crash(message)) => Err(OracleOutcome::Crash { message }),
+/// Runs a count query, mapping non-fatal (semantic) errors to `None`.
+fn run_count(session: &mut dyn EngineSession, sql: &str) -> Result<Option<i64>, OracleOutcome> {
+    match session.run_count(sql) {
+        Ok(count) => Ok(count),
+        Err(error) if error.is_fatal() => Err(error.into()),
         Err(_) => Ok(None),
     }
 }
@@ -123,29 +150,23 @@ impl Observed {
 }
 
 /// Runs a query and extracts the template-appropriate observation, mapping
-/// non-crash errors to `None`.
+/// non-fatal (semantic) errors to `None`.
 fn run_observed(
-    engine: &mut Engine,
+    session: &mut dyn EngineSession,
     query: &QueryInstance,
     sql: &str,
 ) -> Result<Option<Observed>, OracleOutcome> {
-    match engine.execute(sql) {
-        Ok(result) => {
-            if query.template.is_count() {
-                Ok(result.count().map(Observed::Count))
-            } else {
-                let mut rows: Vec<String> = result
-                    .rows
-                    .iter()
-                    .filter_map(|row| row.first())
-                    .map(|value| value.to_string())
-                    .collect();
+    if query.template.is_count() {
+        run_count(session, sql).map(|count| count.map(Observed::Count))
+    } else {
+        match session.run_rows(sql) {
+            Ok(mut rows) => {
                 rows.sort();
                 Ok(Some(Observed::Rows(rows)))
             }
+            Err(error) if error.is_fatal() => Err(error.into()),
+            Err(_) => Ok(None),
         }
-        Err(SdbError::Crash(message)) => Err(OracleOutcome::Crash { message }),
-        Err(_) => Ok(None),
     }
 }
 
@@ -215,12 +236,12 @@ fn map_observed_through_plan(observed: Observed, plan: &TransformPlan) -> Observ
     }
 }
 
-/// Checks the AEI property for one query on an already-loaded engine pair
-/// (`engine1` holds `SDB1`, `engine2` its affine-equivalent `SDB2`). Shared
-/// between [`AeiOracle`] and [`crate::campaign::run_aei_iteration`].
+/// Checks the AEI property for one query on an already-loaded session pair
+/// (`session1` holds `SDB1`, `session2` its affine-equivalent `SDB2`).
+/// Shared between [`AeiOracle`] and [`crate::campaign::run_aei_iteration`].
 pub(crate) fn check_aei_query(
-    engine1: &mut Engine,
-    engine2: &mut Engine,
+    session1: &mut dyn EngineSession,
+    session2: &mut dyn EngineSession,
     spec: &DatabaseSpec,
     query: &QueryInstance,
     plan: &TransformPlan,
@@ -235,11 +256,11 @@ pub(crate) fn check_aei_query(
     if knn_ill_defined(spec, query) {
         return OracleOutcome::Inapplicable;
     }
-    let observed1 = match run_observed(engine1, query, &query.to_sql()) {
+    let observed1 = match run_observed(session1, query, &query.to_sql()) {
         Ok(observed) => observed,
         Err(outcome) => return outcome,
     };
-    let observed2 = match run_observed(engine2, query, &sql2) {
+    let observed2 = match run_observed(session2, query, &sql2) {
         Ok(observed) => observed,
         Err(outcome) => return outcome,
     };
@@ -304,23 +325,30 @@ impl Oracle for AeiOracle {
 
     fn check(
         &self,
-        profile: EngineProfile,
-        faults: &FaultSet,
+        backend: &dyn EngineBackend,
         spec: &DatabaseSpec,
         queries: &[QueryInstance],
     ) -> Vec<OracleOutcome> {
         let transformed = self.plan.apply(spec);
-        let engine1 = load_engine(profile, faults, &spec.to_sql());
-        let engine2 = load_engine(profile, faults, &transformed.to_sql());
-        let (mut engine1, mut engine2) = match (engine1, engine2) {
-            (Ok(a), Ok(b)) => (a, b),
-            (Err(outcome), _) | (_, Err(outcome)) => {
-                return vec![outcome; queries.len().max(1)];
-            }
+        let mut session1 = match open_loaded(backend, &spec.to_sql()) {
+            Ok(session) => session,
+            Err((outcome, _)) => return vec![outcome; queries.len().max(1)],
+        };
+        let mut session2 = match open_loaded(backend, &transformed.to_sql()) {
+            Ok(session) => session,
+            Err((outcome, _)) => return vec![outcome; queries.len().max(1)],
         };
         queries
             .iter()
-            .map(|query| check_aei_query(&mut engine1, &mut engine2, spec, query, &self.plan))
+            .map(|query| {
+                check_aei_query(
+                    session1.as_mut(),
+                    session2.as_mut(),
+                    spec,
+                    query,
+                    &self.plan,
+                )
+            })
             .collect()
     }
 }
@@ -329,26 +357,30 @@ impl Oracle for AeiOracle {
 // Differential testing
 // ---------------------------------------------------------------------------
 
-/// Differential testing between two engine profiles (P. vs M. and P. vs D. of
+/// Differential testing between two engines (P. vs M. and P. vs D. of
 /// Table 4). The same database and queries are loaded into both engines; a
 /// disagreement on a query both engines can evaluate is reported as a bug
 /// candidate.
 pub struct DifferentialOracle {
-    /// The comparison profile (the engine under test comes from `check`'s
-    /// `profile` argument).
-    pub other_profile: EngineProfile,
-    /// Faults active in the comparison engine.
-    pub other_faults: FaultSet,
+    /// The comparison engine (the engine under test comes from `check`'s
+    /// backend argument).
+    pub other: Box<dyn EngineBackend>,
 }
 
 impl DifferentialOracle {
-    /// Compares against a stock engine of `other_profile` (with that
-    /// profile's default seeded faults, like comparing two released SDBMSs).
+    /// Compares against a stock in-process engine of `other_profile` (with
+    /// that profile's default seeded faults, like comparing two released
+    /// SDBMSs).
     pub fn against_stock(other_profile: EngineProfile) -> Self {
         DifferentialOracle {
-            other_faults: other_profile.default_faults(),
-            other_profile,
+            other: Box::new(InProcessBackend::stock(other_profile)),
         }
+    }
+
+    /// Compares against an arbitrary engine backend (e.g. a stdio-driven
+    /// out-of-process engine).
+    pub fn against(other: Box<dyn EngineBackend>) -> Self {
+        DifferentialOracle { other }
     }
 }
 
@@ -359,45 +391,42 @@ impl Oracle for DifferentialOracle {
 
     fn check(
         &self,
-        profile: EngineProfile,
-        faults: &FaultSet,
+        backend: &dyn EngineBackend,
         spec: &DatabaseSpec,
         queries: &[QueryInstance],
     ) -> Vec<OracleOutcome> {
-        let engine1 = load_engine(profile, faults, &spec.to_sql());
-        let engine2 = load_engine(self.other_profile, &self.other_faults, &spec.to_sql());
-        let (mut engine1, mut engine2) = match (engine1, engine2) {
-            (Ok(a), Ok(b)) => (a, b),
-            (Err(outcome), _) => return vec![outcome; queries.len().max(1)],
-            (_, Err(_)) => return vec![OracleOutcome::Inapplicable; queries.len().max(1)],
+        let mut session1 = match open_loaded(backend, &spec.to_sql()) {
+            Ok(session) => session,
+            Err((outcome, _)) => return vec![outcome; queries.len().max(1)],
+        };
+        // Failures of the *comparison* engine are not findings about the
+        // engine under test.
+        let mut session2 = match open_loaded(self.other.as_ref(), &spec.to_sql()) {
+            Ok(session) => session,
+            Err(_) => return vec![OracleOutcome::Inapplicable; queries.len().max(1)],
         };
         queries
             .iter()
             .map(|query| {
                 // The queried function must exist in both engines; otherwise
                 // the comparison is impossible (ST_Covers & friends).
-                if !self
-                    .other_profile
-                    .supports_function(query.template.function_name())
-                {
+                if !self.other.supports_function(query.template.function_name()) {
                     return OracleOutcome::Inapplicable;
                 }
                 let sql = query.to_sql();
-                let observed1 = match run_observed(&mut engine1, query, &sql) {
+                let observed1 = match run_observed(session1.as_mut(), query, &sql) {
                     Ok(observed) => observed,
                     Err(outcome) => return outcome,
                 };
-                // Crashes of the *comparison* engine are not findings about
-                // the engine under test.
-                let observed2 = run_observed(&mut engine2, query, &sql).unwrap_or_default();
+                let observed2 = run_observed(session2.as_mut(), query, &sql).unwrap_or_default();
                 match (observed1, observed2) {
                     (Some(a), Some(b)) if a != b => OracleOutcome::LogicBug {
                         description: format!(
                             "{}: {} returned {}, {} returned {}",
                             query.template.function_name(),
-                            profile.name(),
+                            backend.name(),
                             a.describe(),
-                            self.other_profile.name(),
+                            self.other.name(),
                             b.describe()
                         ),
                     },
@@ -425,31 +454,33 @@ impl Oracle for IndexOracle {
 
     fn check(
         &self,
-        profile: EngineProfile,
-        faults: &FaultSet,
+        backend: &dyn EngineBackend,
         spec: &DatabaseSpec,
         queries: &[QueryInstance],
     ) -> Vec<OracleOutcome> {
-        let seq = load_engine(profile, faults, &spec.to_sql());
-        let indexed = load_engine(profile, faults, &spec.to_sql_with_indexes());
-        let (mut seq, mut indexed) = match (seq, indexed) {
-            (Ok(a), Ok(b)) => (a, b),
-            (Err(outcome), _) | (_, Err(outcome)) => {
-                return vec![outcome; queries.len().max(1)];
-            }
+        let mut seq = match open_loaded(backend, &spec.to_sql()) {
+            Ok(session) => session,
+            Err((outcome, _)) => return vec![outcome; queries.len().max(1)],
         };
-        if indexed.execute("SET enable_seqscan = false").is_err() {
+        let mut indexed = match open_loaded(backend, &spec.to_sql_with_indexes()) {
+            Ok(session) => session,
+            Err((outcome, _)) => return vec![outcome; queries.len().max(1)],
+        };
+        if indexed
+            .load(&["SET enable_seqscan = false".to_string()])
+            .is_err()
+        {
             return vec![OracleOutcome::Inapplicable; queries.len().max(1)];
         }
         queries
             .iter()
             .map(|query| {
                 let sql = query.to_sql();
-                let observed_seq = match run_observed(&mut seq, query, &sql) {
+                let observed_seq = match run_observed(seq.as_mut(), query, &sql) {
                     Ok(observed) => observed,
                     Err(outcome) => return outcome,
                 };
-                let observed_idx = match run_observed(&mut indexed, query, &sql) {
+                let observed_idx = match run_observed(indexed.as_mut(), query, &sql) {
                     Ok(observed) => observed,
                     Err(outcome) => return outcome,
                 };
@@ -486,15 +517,13 @@ impl Oracle for TlpOracle {
 
     fn check(
         &self,
-        profile: EngineProfile,
-        faults: &FaultSet,
+        backend: &dyn EngineBackend,
         spec: &DatabaseSpec,
         queries: &[QueryInstance],
     ) -> Vec<OracleOutcome> {
-        let engine = load_engine(profile, faults, &spec.to_sql());
-        let mut engine = match engine {
-            Ok(e) => e,
-            Err(outcome) => return vec![outcome; queries.len().max(1)],
+        let mut session = match open_loaded(backend, &spec.to_sql()) {
+            Ok(session) => session,
+            Err((outcome, _)) => return vec![outcome; queries.len().max(1)],
         };
         queries
             .iter()
@@ -516,11 +545,11 @@ impl Oracle for TlpOracle {
                     .map(|t| t.geometries.len())
                     .unwrap_or(0);
                 let expected_total = (rows1 * rows2) as i64;
-                let positive = match run_count(&mut engine, &query.to_sql()) {
+                let positive = match run_count(session.as_mut(), &query.to_sql()) {
                     Ok(c) => c,
                     Err(outcome) => return outcome,
                 };
-                let negative = match run_count(&mut engine, &negated_sql) {
+                let negative = match run_count(session.as_mut(), &negated_sql) {
                     Ok(c) => c,
                     Err(outcome) => return outcome,
                 };
@@ -545,8 +574,18 @@ mod tests {
     use crate::queries::QueryInstance;
     use crate::transform::{AffineStrategy, TransformPlan};
     use spatter_geom::wkt::parse_wkt;
-    use spatter_sdb::FaultId;
+    use spatter_sdb::{FaultId, FaultSet};
     use spatter_topo::predicates::NamedPredicate;
+
+    /// An in-process backend with an explicit fault set.
+    fn backend(profile: EngineProfile, faults: &FaultSet) -> InProcessBackend {
+        InProcessBackend::new(profile, faults.clone())
+    }
+
+    /// The fault-free reference backend.
+    fn reference(profile: EngineProfile) -> InProcessBackend {
+        InProcessBackend::reference(profile)
+    }
 
     /// The Listing 1 scenario as a database spec + query.
     fn listing1_scenario() -> (DatabaseSpec, Vec<QueryInstance>) {
@@ -574,7 +613,11 @@ mod tests {
             let oracle =
                 AeiOracle::new(TransformPlan::random(AffineStrategy::GeneralInteger, seed));
             oracle
-                .check(EngineProfile::PostgisLike, &faults, &spec, &queries)
+                .check(
+                    &backend(EngineProfile::PostgisLike, &faults),
+                    &spec,
+                    &queries,
+                )
                 .iter()
                 .any(|o| o.is_logic_bug())
         });
@@ -590,12 +633,7 @@ mod tests {
         for seed in 0..5 {
             let oracle =
                 AeiOracle::new(TransformPlan::random(AffineStrategy::GeneralInteger, seed));
-            let outcomes = oracle.check(
-                EngineProfile::PostgisLike,
-                &FaultSet::none(),
-                &spec,
-                &queries,
-            );
+            let outcomes = oracle.check(&reference(EngineProfile::PostgisLike), &spec, &queries);
             assert_eq!(outcomes[0], OracleOutcome::Pass, "seed {seed}");
         }
     }
@@ -605,7 +643,11 @@ mod tests {
         let (spec, queries) = listing1_scenario();
         let oracle = DifferentialOracle::against_stock(EngineProfile::MysqlLike);
         let faults = FaultSet::with([FaultId::GeosCoversPrecisionLoss]);
-        let outcomes = oracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        let outcomes = oracle.check(
+            &backend(EngineProfile::PostgisLike, &faults),
+            &spec,
+            &queries,
+        );
         assert_eq!(outcomes[0], OracleOutcome::Inapplicable);
     }
 
@@ -622,12 +664,13 @@ mod tests {
             .geometries
             .push(parse_wkt("GEOMETRYCOLLECTION(POINT(0 0),LINESTRING(0 0,1 0))").unwrap());
         let queries = vec![QueryInstance::topo("t0", "t1", NamedPredicate::Within)];
-        let oracle = DifferentialOracle {
-            other_profile: EngineProfile::MysqlLike,
-            other_faults: FaultSet::none(),
-        };
+        let oracle = DifferentialOracle::against(Box::new(reference(EngineProfile::MysqlLike)));
         let faults = FaultSet::with([FaultId::GeosMixedBoundaryLastOneWins]);
-        let outcomes = oracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        let outcomes = oracle.check(
+            &backend(EngineProfile::PostgisLike, &faults),
+            &spec,
+            &queries,
+        );
         assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
     }
 
@@ -642,32 +685,30 @@ mod tests {
             .push(parse_wkt("POINT(-1 -1)").unwrap());
         let queries = vec![QueryInstance::topo("t0", "t1", NamedPredicate::Intersects)];
         let faults = FaultSet::with([FaultId::PostgisGistIndexDropsRows]);
-        let outcomes = IndexOracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
-        assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
-        // The reference engine agrees between the two plans.
         let outcomes = IndexOracle.check(
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
+            &backend(EngineProfile::PostgisLike, &faults),
             &spec,
             &queries,
         );
+        assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
+        // The reference engine agrees between the two plans.
+        let outcomes = IndexOracle.check(&reference(EngineProfile::PostgisLike), &spec, &queries);
         assert_eq!(outcomes[0], OracleOutcome::Pass);
     }
 
     #[test]
     fn tlp_passes_on_reference_and_misses_the_covers_bug() {
         let (spec, queries) = listing1_scenario();
-        let outcomes = TlpOracle.check(
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
-            &spec,
-            &queries,
-        );
+        let outcomes = TlpOracle.check(&reference(EngineProfile::PostgisLike), &spec, &queries);
         assert_eq!(outcomes[0], OracleOutcome::Pass);
         // The covers bug is consistent between the partitions, so TLP cannot
         // see it — the situation described in §1.
         let faults = FaultSet::with([FaultId::GeosCoversPrecisionLoss]);
-        let outcomes = TlpOracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        let outcomes = TlpOracle.check(
+            &backend(EngineProfile::PostgisLike, &faults),
+            &spec,
+            &queries,
+        );
         assert!(!outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
     }
 
@@ -697,7 +738,11 @@ mod tests {
                 seed,
             ));
             oracle
-                .check(EngineProfile::PostgisLike, &faults, &spec, &queries)
+                .check(
+                    &backend(EngineProfile::PostgisLike, &faults),
+                    &spec,
+                    &queries,
+                )
                 .iter()
                 .any(|o| o.is_logic_bug())
         });
@@ -708,12 +753,7 @@ mod tests {
                 AffineStrategy::SimilarityInteger,
                 seed,
             ));
-            let outcomes = oracle.check(
-                EngineProfile::PostgisLike,
-                &FaultSet::none(),
-                &spec,
-                &queries,
-            );
+            let outcomes = oracle.check(&reference(EngineProfile::PostgisLike), &spec, &queries);
             assert!(!outcomes[0].is_logic_bug(), "seed {seed}: {outcomes:?}");
         }
     }
@@ -737,15 +777,14 @@ mod tests {
         )];
         let faults = FaultSet::with([FaultId::GeosEmptyDistanceRecursion]);
         let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
-        let outcomes = oracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
-        assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
-        // The reference engine agrees between the frames.
         let outcomes = oracle.check(
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
+            &backend(EngineProfile::PostgisLike, &faults),
             &spec,
             &queries,
         );
+        assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
+        // The reference engine agrees between the frames.
+        let outcomes = oracle.check(&reference(EngineProfile::PostgisLike), &spec, &queries);
         assert_eq!(outcomes[0], OracleOutcome::Pass);
     }
 
@@ -767,12 +806,7 @@ mod tests {
         let plan = TransformPlan::random(AffineStrategy::GeneralInteger, 4);
         assert_eq!(plan.uniform_scale, None);
         let oracle = AeiOracle::new(plan);
-        let outcomes = oracle.check(
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
-            &spec,
-            &queries,
-        );
+        let outcomes = oracle.check(&reference(EngineProfile::PostgisLike), &spec, &queries);
         assert!(outcomes[0].is_skipped());
         assert!(outcomes[1].is_skipped());
         assert_eq!(outcomes[2], OracleOutcome::Pass);
@@ -795,12 +829,7 @@ mod tests {
             1,
         )];
         let oracle = AeiOracle::new(TransformPlan::random(AffineStrategy::SimilarityInteger, 2));
-        let outcomes = oracle.check(
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
-            &spec,
-            &queries,
-        );
+        let outcomes = oracle.check(&reference(EngineProfile::PostgisLike), &spec, &queries);
         assert_eq!(outcomes[0], OracleOutcome::Inapplicable);
     }
 
@@ -833,20 +862,15 @@ mod tests {
         // a genuine mismatch, suppressed because the input is boundary-tight.
         let faults = FaultSet::with([FaultId::PostgisDFullyWithinSmallCoords]);
         let outcomes = AeiOracle::new(plan.clone()).check(
-            EngineProfile::PostgisLike,
-            &faults,
+            &backend(EngineProfile::PostgisLike, &faults),
             &spec,
             &queries,
         );
         assert_eq!(outcomes[0], OracleOutcome::Inapplicable);
         // On the reference engine the frames agree and the (lazy) boundary
         // check never runs: the outcome is a plain Pass.
-        let outcomes = AeiOracle::new(plan).check(
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
-            &spec,
-            &queries,
-        );
+        let outcomes =
+            AeiOracle::new(plan).check(&reference(EngineProfile::PostgisLike), &spec, &queries);
         assert_eq!(outcomes[0], OracleOutcome::Pass);
     }
 
@@ -867,7 +891,11 @@ mod tests {
         )];
         let oracle = DifferentialOracle::against_stock(EngineProfile::MysqlLike);
         let faults = FaultSet::with([FaultId::PostgisDFullyWithinSmallCoords]);
-        let outcomes = oracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        let outcomes = oracle.check(
+            &backend(EngineProfile::PostgisLike, &faults),
+            &spec,
+            &queries,
+        );
         assert_eq!(outcomes[0], OracleOutcome::Inapplicable);
     }
 
@@ -887,15 +915,14 @@ mod tests {
         )];
         // The faulty GiST scan drops the negative-quadrant nearest neighbour.
         let faults = FaultSet::with([FaultId::PostgisGistIndexDropsRows]);
-        let outcomes = IndexOracle.check(EngineProfile::PostgisLike, &faults, &spec, &queries);
-        assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
-        // The reference engine's two plans agree.
         let outcomes = IndexOracle.check(
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
+            &backend(EngineProfile::PostgisLike, &faults),
             &spec,
             &queries,
         );
+        assert!(outcomes[0].is_logic_bug(), "got {:?}", outcomes[0]);
+        // The reference engine's two plans agree.
+        let outcomes = IndexOracle.check(&reference(EngineProfile::PostgisLike), &spec, &queries);
         assert_eq!(outcomes[0], OracleOutcome::Pass);
     }
 
@@ -914,15 +941,14 @@ mod tests {
             crate::queries::RangeFunction::DWithin,
             3.0,
         )];
-        let outcomes =
-            TlpOracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &range);
+        let outcomes = TlpOracle.check(&reference(EngineProfile::PostgisLike), &spec, &range);
         assert_eq!(outcomes[0], OracleOutcome::Pass);
         let knn = vec![QueryInstance::knn(
             "t0",
             parse_wkt("POINT(0 0)").unwrap(),
             1,
         )];
-        let outcomes = TlpOracle.check(EngineProfile::PostgisLike, &FaultSet::none(), &spec, &knn);
+        let outcomes = TlpOracle.check(&reference(EngineProfile::PostgisLike), &spec, &knn);
         assert_eq!(outcomes[0], OracleOutcome::Inapplicable);
     }
 
@@ -940,7 +966,7 @@ mod tests {
         // strict validation rejecting the degenerate ring first.
         let faults = FaultSet::with([FaultId::GeosCrashRelateShortRing]);
         let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
-        let outcomes = oracle.check(EngineProfile::MysqlLike, &faults, &spec, &queries);
+        let outcomes = oracle.check(&backend(EngineProfile::MysqlLike, &faults), &spec, &queries);
         assert!(outcomes[0].is_crash(), "got {:?}", outcomes[0]);
     }
 }

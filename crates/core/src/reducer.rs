@@ -6,10 +6,10 @@
 //! scenarios: it removes geometries and tables from a failing scenario as
 //! long as the oracle keeps reporting the discrepancy.
 
+use crate::backend::EngineBackend;
 use crate::oracles::{Oracle, OracleOutcome};
 use crate::queries::QueryInstance;
 use crate::spec::DatabaseSpec;
-use spatter_sdb::{EngineProfile, FaultSet};
 
 /// A reduced scenario: the minimal database and single query that still
 /// exhibits the discrepancy.
@@ -28,13 +28,12 @@ pub struct ReducedScenario {
 /// oracle.
 fn still_fails(
     oracle: &dyn Oracle,
-    profile: EngineProfile,
-    faults: &FaultSet,
+    backend: &dyn EngineBackend,
     spec: &DatabaseSpec,
     query: &QueryInstance,
 ) -> bool {
     oracle
-        .check(profile, faults, spec, std::slice::from_ref(query))
+        .check(backend, spec, std::slice::from_ref(query))
         .iter()
         .any(|o| {
             matches!(
@@ -52,12 +51,11 @@ fn still_fails(
 /// generates.
 pub fn reduce(
     oracle: &dyn Oracle,
-    profile: EngineProfile,
-    faults: &FaultSet,
+    backend: &dyn EngineBackend,
     spec: &DatabaseSpec,
     query: &QueryInstance,
 ) -> Option<ReducedScenario> {
-    if !still_fails(oracle, profile, faults, spec, query) {
+    if !still_fails(oracle, backend, spec, query) {
         return None;
     }
     let mut current = spec.clone();
@@ -68,7 +66,7 @@ pub fn reduce(
             for geom_idx in (0..current.tables[table_idx].geometries.len()).rev() {
                 let mut candidate = current.clone();
                 candidate.tables[table_idx].geometries.remove(geom_idx);
-                if still_fails(oracle, profile, faults, &candidate, query) {
+                if still_fails(oracle, backend, &candidate, query) {
                     current = candidate;
                     changed = true;
                     continue 'outer;
@@ -87,10 +85,11 @@ pub fn reduce(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::InProcessBackend;
     use crate::oracles::AeiOracle;
     use crate::transform::TransformPlan;
     use spatter_geom::wkt::parse_wkt;
-    use spatter_sdb::FaultId;
+    use spatter_sdb::{EngineProfile, FaultId, FaultSet};
     use spatter_topo::predicates::NamedPredicate;
 
     #[test]
@@ -116,32 +115,23 @@ mod tests {
             .geometries
             .push(parse_wkt("POINT(60 60)").unwrap());
         let query = QueryInstance::topo("t1", "t0", NamedPredicate::Covers);
-        let faults = FaultSet::with([FaultId::GeosMixedBoundaryLastOneWins]);
+        let backend = InProcessBackend::new(
+            EngineProfile::PostgisLike,
+            FaultSet::with([FaultId::GeosMixedBoundaryLastOneWins]),
+        );
         let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
 
         let original_fails = oracle
-            .check(
-                EngineProfile::PostgisLike,
-                &faults,
-                &spec,
-                std::slice::from_ref(&query),
-            )
+            .check(&backend, &spec, std::slice::from_ref(&query))
             .iter()
             .any(|o| o.is_logic_bug());
         assert!(original_fails, "scenario must fail before reduction");
 
-        let reduced = reduce(&oracle, EngineProfile::PostgisLike, &faults, &spec, &query)
-            .expect("reducible scenario");
+        let reduced = reduce(&oracle, &backend, &spec, &query).expect("reducible scenario");
         assert!(reduced.spec.geometry_count() < spec.geometry_count());
         assert!(reduced.spec.geometry_count() >= 1);
         // The reduced scenario still fails.
-        assert!(still_fails(
-            &oracle,
-            EngineProfile::PostgisLike,
-            &faults,
-            &reduced.spec,
-            &query
-        ));
+        assert!(still_fails(&oracle, &backend, &reduced.spec, &query));
     }
 
     #[test]
@@ -149,13 +139,7 @@ mod tests {
         let spec = DatabaseSpec::with_tables(2);
         let query = QueryInstance::topo("t0", "t1", NamedPredicate::Intersects);
         let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
-        assert!(reduce(
-            &oracle,
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
-            &spec,
-            &query
-        )
-        .is_none());
+        let backend = InProcessBackend::reference(EngineProfile::PostgisLike);
+        assert!(reduce(&oracle, &backend, &spec, &query).is_none());
     }
 }

@@ -20,6 +20,7 @@
 //! below). Only wall-clock fields (`elapsed`, timelines, timing totals)
 //! depend on scheduling.
 
+use crate::backend::EngineBackend;
 use crate::campaign::{run_aei_iteration, CampaignConfig, CampaignReport, Finding, FindingKind};
 use crate::generator::GeometryGenerator;
 use crate::oracles::{
@@ -29,7 +30,7 @@ use crate::queries::{random_queries, QueryInstance};
 use crate::rng::split_seed;
 use crate::spec::DatabaseSpec;
 use crate::transform::TransformPlan;
-use spatter_sdb::{EngineProfile, FaultId, FaultSet};
+use spatter_sdb::{EngineProfile, FaultId};
 use spatter_topo::coverage;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -184,19 +185,14 @@ impl CampaignRunner {
 
     /// Runs the campaign, returning the raw per-worker shard reports.
     fn run_sharded(&self, start: Instant) -> Vec<ShardReport> {
-        let faults = self
-            .config
-            .faults
-            .clone()
-            .unwrap_or_else(|| self.config.profile.default_faults());
         let next_iteration = AtomicUsize::new(0);
 
         if self.n_workers == 1 {
-            return vec![self.worker(start, &faults, &next_iteration)];
+            return vec![self.worker(start, &next_iteration)];
         }
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.n_workers)
-                .map(|_| scope.spawn(|| self.worker(start, &faults, &next_iteration)))
+                .map(|_| scope.spawn(|| self.worker(start, &next_iteration)))
                 .collect();
             handles
                 .into_iter()
@@ -207,12 +203,7 @@ impl CampaignRunner {
 
     /// One worker: claims iteration indices from the shared counter until
     /// the campaign is exhausted or the time budget is spent.
-    fn worker(
-        &self,
-        start: Instant,
-        faults: &FaultSet,
-        next_iteration: &AtomicUsize,
-    ) -> ShardReport {
+    fn worker(&self, start: Instant, next_iteration: &AtomicUsize) -> ShardReport {
         let mut shard = ShardReport::default();
         loop {
             if let Some(budget) = self.config.time_budget {
@@ -224,22 +215,16 @@ impl CampaignRunner {
             if iteration >= self.config.iterations {
                 break;
             }
-            shard
-                .records
-                .push(self.run_iteration(iteration, start, faults));
+            shard.records.push(self.run_iteration(iteration, start));
         }
         shard
     }
 
     /// Executes one iteration end to end: generation, the oracle suite, and
     /// attribution of every flagged query.
-    fn run_iteration(
-        &self,
-        iteration: usize,
-        start: Instant,
-        faults: &FaultSet,
-    ) -> IterationRecord {
+    fn run_iteration(&self, iteration: usize, start: Instant) -> IterationRecord {
         let sub_seed = split_seed(self.config.seed, iteration as u64);
+        let backend = self.config.backend.as_ref();
 
         // --- Generation (Spatter-side time) ------------------------------
         let generation_start = Instant::now();
@@ -247,7 +232,7 @@ impl CampaignRunner {
         let spec = generator.generate_database();
         let queries = random_queries(
             &spec,
-            self.config.profile,
+            backend.profile(),
             self.config.queries_per_run,
             sub_seed ^ 0x5eed,
         );
@@ -259,7 +244,7 @@ impl CampaignRunner {
         let mut findings = Vec::new();
         let mut skipped = 0;
         for kind in &self.oracles {
-            let (outcomes, oracle_time) = self.run_oracle(*kind, faults, &spec, &queries, &plan);
+            let (outcomes, oracle_time) = self.run_oracle(*kind, &spec, &queries, &plan);
             engine_time += oracle_time;
             for (query, outcome) in queries.iter().zip(outcomes.iter()) {
                 let finding_kind = match outcome {
@@ -283,15 +268,7 @@ impl CampaignRunner {
                     other => format!("[{}] {description}", other.name()),
                 };
                 let attributed = if self.config.attribute_findings {
-                    attribute(
-                        *kind,
-                        self.config.profile,
-                        faults,
-                        &spec,
-                        query,
-                        &plan,
-                        finding_kind,
-                    )
+                    attribute(*kind, backend, &spec, query, &plan, finding_kind)
                 } else {
                     Vec::new()
                 };
@@ -327,17 +304,17 @@ impl CampaignRunner {
     fn run_oracle(
         &self,
         kind: OracleKind,
-        faults: &FaultSet,
         spec: &DatabaseSpec,
         queries: &[QueryInstance],
         plan: &TransformPlan,
     ) -> (Vec<OracleOutcome>, Duration) {
+        let backend = self.config.backend.as_ref();
         match kind {
-            OracleKind::Aei => run_aei_iteration(self.config.profile, faults, spec, queries, plan),
+            OracleKind::Aei => run_aei_iteration(backend, spec, queries, plan),
             other => {
                 let oracle = build_oracle(other, plan);
                 let check_start = Instant::now();
-                let outcomes = oracle.check(self.config.profile, faults, spec, queries);
+                let outcomes = oracle.check(backend, spec, queries);
                 (outcomes, check_start.elapsed())
             }
         }
@@ -359,12 +336,12 @@ fn build_oracle(kind: OracleKind, plan: &TransformPlan) -> Box<dyn Oracle> {
 /// it disappear — the campaign's stand-in for the paper's fix-based
 /// deduplication ("we determined whether the bug was fixed by updating
 /// PostGIS and GEOS to their latest versions", §5.4). The finding is
-/// re-checked with the oracle that produced it.
-#[allow(clippy::too_many_arguments)]
+/// re-checked with the oracle that produced it, against the backend's
+/// `without_fault` variants; backends with no known fault set (e.g. real
+/// engines) report nothing, which leaves the finding unattributed.
 fn attribute(
     oracle_kind: OracleKind,
-    profile: EngineProfile,
-    faults: &FaultSet,
+    backend: &dyn EngineBackend,
     spec: &DatabaseSpec,
     query: &QueryInstance,
     plan: &TransformPlan,
@@ -373,10 +350,9 @@ fn attribute(
     let oracle = build_oracle(oracle_kind, plan);
     let queries = std::slice::from_ref(query);
     let mut attributed = Vec::new();
-    for fault in faults.iter() {
-        let mut reduced = faults.clone();
-        reduced.disable(fault);
-        let outcomes = oracle.check(profile, &reduced, spec, queries);
+    for fault in backend.fault_ids() {
+        let reduced = backend.without_fault(fault);
+        let outcomes = oracle.check(reduced.as_ref(), spec, queries);
         let still_failing = outcomes.iter().any(|o| match kind {
             FindingKind::Logic => o.is_logic_bug(),
             FindingKind::Crash => o.is_crash(),
@@ -396,8 +372,6 @@ mod tests {
 
     fn config(seed: u64, iterations: usize) -> CampaignConfig {
         CampaignConfig {
-            profile: EngineProfile::PostgisLike,
-            faults: None,
             generator: GeneratorConfig {
                 num_geometries: 8,
                 num_tables: 2,
@@ -411,6 +385,7 @@ mod tests {
             time_budget: None,
             attribute_findings: true,
             seed,
+            ..CampaignConfig::stock(EngineProfile::PostgisLike)
         }
     }
 

@@ -39,6 +39,9 @@ pub struct TransformPlan {
     pub transform: AffineTransform,
     /// The uniform scale factor of the linear part when the matrix is a
     /// similarity (used to rescale distance literals in range queries).
+    /// Recovered as `√|det|` for *any* matrix that preserves relative
+    /// distances, including general random draws that happen to be
+    /// similarities (§7 / the ROADMAP similarity-detection follow-on).
     pub uniform_scale: Option<f64>,
 }
 
@@ -52,6 +55,23 @@ impl TransformPlan {
         }
     }
 
+    /// A plan from an explicit matrix, detecting the uniform scale: when the
+    /// linear part preserves relative distances (a similarity — rotation,
+    /// translation, uniform scaling in any combination), the scale factor is
+    /// `√|det|` and distance-parameterised templates stay checkable.
+    pub fn from_matrix(
+        canonicalize: bool,
+        matrix: AffineMatrix,
+    ) -> Result<Self, spatter_geom::GeomError> {
+        Ok(TransformPlan {
+            canonicalize,
+            uniform_scale: matrix
+                .preserves_relative_distance()
+                .then(|| matrix.determinant().abs().sqrt()),
+            transform: AffineTransform::new(matrix)?,
+        })
+    }
+
     /// Draws a random plan of the given strategy.
     pub fn random(strategy: AffineStrategy, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -59,12 +79,12 @@ impl TransformPlan {
             AffineStrategy::CanonicalizationOnly => TransformPlan::canonicalization_only(),
             AffineStrategy::GeneralInteger => {
                 let matrix = random_invertible_integer_matrix(&mut rng);
-                TransformPlan {
-                    canonicalize: true,
-                    transform: AffineTransform::new(matrix)
-                        .expect("matrix is invertible by construction"),
-                    uniform_scale: None,
-                }
+                // Most general draws shear, but the family contains genuine
+                // similarities (e.g. [[2,-1],[1,2]], a rotation times √5);
+                // detecting them keeps their distance templates checkable
+                // instead of skipped.
+                TransformPlan::from_matrix(true, matrix)
+                    .expect("matrix is invertible by construction")
             }
             AffineStrategy::SimilarityInteger => {
                 let scale = rng.random_range(1..=5) as f64;
@@ -149,6 +169,61 @@ mod tests {
             assert!(matrix.is_integer(), "seed {seed}");
             assert!(matrix.is_invertible(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn general_plans_recover_the_scale_of_accidental_similarities() {
+        // Over a seed sweep the general family draws both shears (no scale)
+        // and genuine similarities (scale √|det|); the detection must agree
+        // with the matrix's own classification in every case.
+        let mut similarities = 0;
+        for seed in 0..200 {
+            let plan = TransformPlan::random(AffineStrategy::GeneralInteger, seed);
+            let matrix = plan.transform.matrix();
+            match plan.uniform_scale {
+                Some(scale) => {
+                    similarities += 1;
+                    assert!(matrix.preserves_relative_distance(), "seed {seed}");
+                    let expected = matrix.determinant().abs().sqrt();
+                    assert!((scale - expected).abs() < 1e-12, "seed {seed}");
+                    assert_eq!(plan.scale_distance(2.0), Some(2.0 * scale));
+                }
+                None => {
+                    assert!(!matrix.preserves_relative_distance(), "seed {seed}");
+                    assert_eq!(plan.scale_distance(2.0), None);
+                }
+            }
+        }
+        assert!(
+            similarities > 0,
+            "the sweep should contain at least one accidental similarity"
+        );
+    }
+
+    #[test]
+    fn from_matrix_detects_rotation_times_scale_similarities() {
+        // A rotation composed with a uniform scale expressed as one integer
+        // matrix: [[3,-4],[4,3]] rotates by atan2(4,3) and scales by 5.
+        // `SimilarityInteger` never draws it (it only uses quarter turns),
+        // so only the detection path can classify it.
+        let plan =
+            TransformPlan::from_matrix(true, AffineMatrix::new(3.0, -4.0, 4.0, 3.0, 10.0, -7.0))
+                .unwrap();
+        assert_eq!(plan.uniform_scale, Some(5.0));
+        assert_eq!(plan.scale_distance(2.0), Some(10.0));
+        // An irrational-scale similarity is detected too (det = 5, s = √5).
+        let plan =
+            TransformPlan::from_matrix(true, AffineMatrix::new(2.0, -1.0, 1.0, 2.0, 0.0, 0.0))
+                .unwrap();
+        let scale = plan.uniform_scale.expect("similarity");
+        assert!((scale - 5f64.sqrt()).abs() < 1e-12);
+        // A shear stays unscaled, and a singular matrix is rejected.
+        let plan = TransformPlan::from_matrix(true, AffineMatrix::shearing(1.0, 0.0)).unwrap();
+        assert_eq!(plan.uniform_scale, None);
+        assert!(
+            TransformPlan::from_matrix(true, AffineMatrix::new(1.0, 2.0, 2.0, 4.0, 0.0, 0.0))
+                .is_err()
+        );
     }
 
     #[test]

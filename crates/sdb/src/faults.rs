@@ -153,6 +153,23 @@ pub enum FaultId {
     SqlServerUnconfirmedCrashEmptyMultipoint,
 }
 
+impl FaultId {
+    /// The stable textual name of the fault (the `Debug` rendering), used to
+    /// serialize fault sets across process boundaries — e.g. on the
+    /// `spatter-sdb-server` command line.
+    pub fn name(&self) -> String {
+        format!("{self:?}")
+    }
+
+    /// Parses a fault from its [`FaultId::name`] form.
+    pub fn from_name(name: &str) -> Option<FaultId> {
+        FaultCatalog::all()
+            .into_iter()
+            .map(|info| info.id)
+            .find(|id| id.name() == name)
+    }
+}
+
 /// Metadata describing one seeded fault / bug report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultInfo {
@@ -231,6 +248,27 @@ impl FaultSet {
     /// Iterates over the enabled faults.
     pub fn iter(&self) -> impl Iterator<Item = FaultId> + '_ {
         self.enabled.iter().copied()
+    }
+
+    /// Serializes the set as a comma-separated list of fault names (the
+    /// empty string for the empty set); the inverse of
+    /// [`FaultSet::parse_names`]. Used to hand a fault set to an
+    /// out-of-process engine on its command line.
+    pub fn to_names(&self) -> String {
+        self.iter()
+            .map(|fault| fault.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses a comma-separated list of fault names.
+    pub fn parse_names(spec: &str) -> Result<FaultSet, String> {
+        let mut set = FaultSet::none();
+        for name in spec.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+            let fault = FaultId::from_name(name).ok_or_else(|| format!("unknown fault {name}"))?;
+            set.enable(fault);
+        }
+        Ok(set)
     }
 }
 
@@ -642,6 +680,25 @@ impl FaultCatalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_names_round_trip() {
+        for info in FaultCatalog::all() {
+            assert_eq!(FaultId::from_name(&info.id.name()), Some(info.id));
+        }
+        assert_eq!(FaultId::from_name("NoSuchFault"), None);
+    }
+
+    #[test]
+    fn fault_set_name_lists_round_trip() {
+        let set = FaultSet::with([
+            FaultId::GeosCoversPrecisionLoss,
+            FaultId::PostgisGistIndexDropsRows,
+        ]);
+        assert_eq!(FaultSet::parse_names(&set.to_names()), Ok(set));
+        assert_eq!(FaultSet::parse_names(""), Ok(FaultSet::none()));
+        assert!(FaultSet::parse_names("Bogus").is_err());
+    }
 
     #[test]
     fn registry_reproduces_table2_totals() {

@@ -29,6 +29,7 @@ pub mod functions;
 pub mod lexer;
 pub mod parser;
 pub mod profile;
+pub mod server;
 pub mod value;
 
 pub use engine::{Engine, QueryResult};

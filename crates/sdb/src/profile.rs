@@ -39,6 +39,12 @@ impl EngineProfile {
         }
     }
 
+    /// Parses a profile from its [`EngineProfile::name`] form (used by the
+    /// `spatter-sdb-server` command line).
+    pub fn from_name(name: &str) -> Option<EngineProfile> {
+        EngineProfile::ALL.into_iter().find(|p| p.name() == name)
+    }
+
     /// Whether the profile is built on the shared GEOS-analog library and
     /// therefore inherits its faults (PostGIS and DuckDB Spatial share GEOS
     /// in the paper; MySQL and SQL Server have their own implementations).

@@ -17,9 +17,10 @@ use spatter_repro::sdb::{EngineProfile, FaultCatalog};
 use std::time::Duration;
 
 fn run(affine: AffineStrategy, coordinate_range: i64) -> CampaignReport {
+    // The stock engine with all of the profile's seeded bugs, behind the
+    // in-process backend (swap in a StdioBackend via `.with_backend` to hunt
+    // out of process).
     let config = CampaignConfig {
-        profile: EngineProfile::PostgisLike,
-        faults: None, // the stock engine with all of the profile's seeded bugs
         generator: GeneratorConfig {
             num_geometries: 10,
             num_tables: 2,
@@ -33,10 +34,11 @@ fn run(affine: AffineStrategy, coordinate_range: i64) -> CampaignReport {
         time_budget: Some(Duration::from_secs(5)),
         attribute_findings: true,
         seed: 42,
+        ..CampaignConfig::stock(EngineProfile::PostgisLike)
     };
     println!(
         "Running a 5 second Spatter campaign against {} with {affine:?} transforms ...",
-        config.profile.name()
+        config.backend.name()
     );
     let report = Campaign::new(config).run();
     println!(

@@ -3,6 +3,7 @@
 //!
 //! Run with: `cargo run --example oracle_comparison --release`
 
+use spatter_repro::core::backend::InProcessBackend;
 use spatter_repro::core::oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, TlpOracle};
 use spatter_repro::core::scenarios::{confirmed_logic_scenarios, distance_template_scenarios};
 use spatter_repro::core::transform::{AffineStrategy, TransformPlan};
@@ -16,7 +17,7 @@ fn main() {
             spatter_repro::sdb::faults::FaultySystem::MySql => EngineProfile::MysqlLike,
             _ => EngineProfile::PostgisLike,
         };
-        let faults = FaultSet::with([scenario.fault]);
+        let backend = InProcessBackend::new(profile, FaultSet::with([scenario.fault]));
         let queries = std::slice::from_ref(&scenario.query);
 
         let differential =
@@ -26,15 +27,15 @@ fn main() {
                 EngineProfile::MysqlLike
             });
         let diff_hit = differential
-            .check(profile, &faults, &scenario.spec, queries)
+            .check(&backend, &scenario.spec, queries)
             .iter()
             .any(|o| o.is_logic_bug());
         let index_hit = IndexOracle
-            .check(profile, &faults, &scenario.spec, queries)
+            .check(&backend, &scenario.spec, queries)
             .iter()
             .any(|o| o.is_logic_bug());
         let tlp_hit = TlpOracle
-            .check(profile, &faults, &scenario.spec, queries)
+            .check(&backend, &scenario.spec, queries)
             .iter()
             .any(|o| o.is_logic_bug());
         println!(
@@ -52,21 +53,22 @@ fn main() {
     // sampled similarity transformations.
     println!("\nDistance-template (range join / KNN) AEI detection under similarity transforms:\n");
     for scenario in distance_template_scenarios() {
-        let faults = FaultSet::with([scenario.fault]);
+        let backend =
+            InProcessBackend::new(EngineProfile::PostgisLike, FaultSet::with([scenario.fault]));
         let queries = std::slice::from_ref(&scenario.query);
         let detected = (0..20).any(|seed| {
             AeiOracle::new(TransformPlan::random(
                 AffineStrategy::SimilarityInteger,
                 seed,
             ))
-            .check(EngineProfile::PostgisLike, &faults, &scenario.spec, queries)
+            .check(&backend, &scenario.spec, queries)
             .iter()
             .any(|o| o.is_logic_bug())
         });
         // Under a general (shearing) transform the template is skipped, not
         // falsely reported.
         let skipped = AeiOracle::new(TransformPlan::random(AffineStrategy::GeneralInteger, 0))
-            .check(EngineProfile::PostgisLike, &faults, &scenario.spec, queries)
+            .check(&backend, &scenario.spec, queries)
             .iter()
             .all(|o| o.is_skipped());
         println!(

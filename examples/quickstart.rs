@@ -4,12 +4,13 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use spatter_repro::core::backend::InProcessBackend;
 use spatter_repro::core::oracles::{AeiOracle, Oracle};
 use spatter_repro::core::queries::QueryInstance;
 use spatter_repro::core::spec::DatabaseSpec;
 use spatter_repro::core::transform::{AffineStrategy, TransformPlan};
 use spatter_repro::geom::wkt::parse_wkt;
-use spatter_repro::sdb::{Engine, EngineProfile, FaultSet};
+use spatter_repro::sdb::{Engine, EngineProfile};
 use spatter_repro::topo::predicates::NamedPredicate;
 
 fn main() {
@@ -40,15 +41,13 @@ fn main() {
         .geometries
         .push(parse_wkt("POINT(0.2 0.9)").unwrap());
     let query = QueryInstance::topo("t0", "t1", NamedPredicate::Covers);
-    let stock_faults = EngineProfile::PostgisLike.default_faults();
+    // The oracle runs through an `EngineBackend`: here the stock in-process
+    // engine; a `StdioBackend` pointed at `spatter-sdb-server` would work
+    // identically out of process.
+    let stock = InProcessBackend::stock(EngineProfile::PostgisLike);
     for seed in 0..50u64 {
         let oracle = AeiOracle::new(TransformPlan::random(AffineStrategy::GeneralInteger, seed));
-        let outcomes = oracle.check(
-            EngineProfile::PostgisLike,
-            &stock_faults,
-            &spec,
-            std::slice::from_ref(&query),
-        );
+        let outcomes = oracle.check(&stock, &spec, std::slice::from_ref(&query));
         if let Some(outcome) = outcomes.iter().find(|o| o.is_logic_bug()) {
             println!("AEI found a discrepancy with transformation seed {seed}: {outcome:?}");
             break;
@@ -73,8 +72,7 @@ fn main() {
     println!("The patched engine returns {count}");
     let oracle = AeiOracle::new(TransformPlan::canonicalization_only());
     let outcomes = oracle.check(
-        EngineProfile::PostgisLike,
-        &FaultSet::none(),
+        &InProcessBackend::reference(EngineProfile::PostgisLike),
         &spec,
         &[query],
     );

@@ -1,0 +1,37 @@
+//! `spatter-sdb-server` — the in-process spatial SQL engine exposed as a
+//! standalone process speaking line-delimited SQL over stdio.
+//!
+//! The protocol and serve loop live in [`spatter_repro::sdb::server`]; this
+//! binary only parses the command line and wires up the standard streams.
+//! It is driven by `spatter_core::backend::StdioBackend`, which uses it to
+//! prove the `EngineBackend` trait supports out-of-process engines.
+//!
+//! ```sh
+//! spatter-sdb-server --profile postgis_like --faults stock [--hard-crash]
+//! ```
+
+use spatter_repro::sdb::server::{serve, ServerConfig};
+
+fn main() {
+    let config = match ServerConfig::from_args(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("spatter-sdb-server: {message}");
+            eprintln!(
+                "usage: spatter-sdb-server [--profile <name>] \
+                 [--faults stock|none|<FaultId,...>] [--hard-crash]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout().lock();
+    if let Err(error) = serve(&config, stdin, stdout) {
+        // A broken pipe just means the client went away; anything else is
+        // worth a diagnostic before exiting non-zero.
+        if error.kind() != std::io::ErrorKind::BrokenPipe {
+            eprintln!("spatter-sdb-server: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -7,13 +7,14 @@
 //! hermetic stand-in for proptest, which is unavailable without a crates.io
 //! mirror); every failure message carries the seeds needed to replay it.
 
+use spatter_repro::core::backend::InProcessBackend;
 use spatter_repro::core::campaign::run_aei_iteration;
 use spatter_repro::core::generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
 use spatter_repro::core::oracles::OracleOutcome;
 use spatter_repro::core::queries::random_queries;
 use spatter_repro::core::rng::{split_seed, RngExt, SeedableRng, StdRng};
 use spatter_repro::core::transform::{AffineStrategy, TransformPlan};
-use spatter_repro::sdb::{Engine, EngineProfile, FaultSet};
+use spatter_repro::sdb::{Engine, EngineProfile};
 
 /// The number of random cases per property (mirrors the original
 /// `ProptestConfig::with_cases(24)`).
@@ -47,8 +48,7 @@ fn reference_engine_satisfies_the_aei_property() {
         let queries = random_queries(&spec, EngineProfile::PostgisLike, 10, seed ^ 0xbeef);
         let plan = TransformPlan::random(AffineStrategy::GeneralInteger, plan_seed);
         let (outcomes, _) = run_aei_iteration(
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
+            &InProcessBackend::reference(EngineProfile::PostgisLike),
             &spec,
             &queries,
             &plan,
@@ -86,8 +86,7 @@ fn canonicalization_preserves_counts() {
         let queries = random_queries(&spec, EngineProfile::MysqlLike, 8, seed);
         let plan = TransformPlan::canonicalization_only();
         let (outcomes, _) = run_aei_iteration(
-            EngineProfile::MysqlLike,
-            &FaultSet::none(),
+            &InProcessBackend::reference(EngineProfile::MysqlLike),
             &spec,
             &queries,
             &plan,

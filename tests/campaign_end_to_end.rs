@@ -9,8 +9,6 @@ use spatter_repro::sdb::EngineProfile;
 
 fn config(profile: EngineProfile, seed: u64) -> CampaignConfig {
     CampaignConfig {
-        profile,
-        faults: None,
         generator: GeneratorConfig {
             num_geometries: 8,
             num_tables: 2,
@@ -24,6 +22,7 @@ fn config(profile: EngineProfile, seed: u64) -> CampaignConfig {
         time_budget: None,
         attribute_findings: true,
         seed,
+        ..CampaignConfig::stock(profile)
     }
 }
 

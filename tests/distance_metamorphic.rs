@@ -12,6 +12,7 @@
 //!   `TransformPlan::scale_distance` returns `None` and the campaign runner
 //!   records the template as skipped instead of raising a spurious finding.
 
+use spatter_repro::core::backend::InProcessBackend;
 use spatter_repro::core::campaign::{CampaignConfig, CampaignReport};
 use spatter_repro::core::generator::{GenerationStrategy, GeneratorConfig};
 use spatter_repro::core::oracles::{AeiOracle, Oracle, OracleOutcome};
@@ -63,8 +64,7 @@ fn range_join_counts_invariant_under_similarity_sweep() {
             })
             .collect();
         let outcomes = AeiOracle::new(plan).check(
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
+            &InProcessBackend::reference(EngineProfile::PostgisLike),
             &spec,
             &queries,
         );
@@ -96,8 +96,7 @@ fn knn_result_sets_invariant_under_isometry_sweep() {
             .collect();
         for (p, plan) in plans.iter().enumerate() {
             let outcomes = AeiOracle::new(plan.clone()).check(
-                EngineProfile::PostgisLike,
-                &FaultSet::none(),
+                &InProcessBackend::reference(EngineProfile::PostgisLike),
                 &spec,
                 &queries,
             );
@@ -122,8 +121,7 @@ fn knn_result_sets_invariant_under_similarity_sweep() {
             QueryInstance::knn("t1", parse_wkt("POINT(-17 25)").unwrap(), 3),
         ];
         let outcomes = AeiOracle::new(plan).check(
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
+            &InProcessBackend::reference(EngineProfile::PostgisLike),
             &spec,
             &queries,
         );
@@ -157,8 +155,7 @@ fn knn_tie_at_cutoff_is_excluded_not_reported() {
     for seed in 0..10u64 {
         let plan = TransformPlan::random(AffineStrategy::SimilarityInteger, seed);
         let outcomes = AeiOracle::new(plan).check(
-            EngineProfile::PostgisLike,
-            &FaultSet::none(),
+            &InProcessBackend::reference(EngineProfile::PostgisLike),
             &spec,
             &queries,
         );
@@ -168,8 +165,6 @@ fn knn_tie_at_cutoff_is_excluded_not_reported() {
 
 fn reference_campaign(affine: AffineStrategy, seed: u64) -> CampaignConfig {
     CampaignConfig {
-        profile: EngineProfile::PostgisLike,
-        faults: Some(FaultSet::none()),
         generator: GeneratorConfig {
             num_geometries: 8,
             num_tables: 2,
@@ -183,6 +178,7 @@ fn reference_campaign(affine: AffineStrategy, seed: u64) -> CampaignConfig {
         time_budget: None,
         attribute_findings: true,
         seed,
+        ..CampaignConfig::in_process(EngineProfile::PostgisLike, FaultSet::none())
     }
 }
 
@@ -259,8 +255,6 @@ fn campaign_detects_dfullywithin_fault_via_range_template_at_any_worker_count() 
     // transforms move SDB2 out of it, so an AEI range-join template exposes
     // the discrepancy — identically at every worker count.
     let config = || CampaignConfig {
-        profile: EngineProfile::PostgisLike,
-        faults: Some(FaultSet::with([FaultId::PostgisDFullyWithinSmallCoords])),
         generator: GeneratorConfig {
             num_geometries: 8,
             num_tables: 2,
@@ -274,6 +268,10 @@ fn campaign_detects_dfullywithin_fault_via_range_template_at_any_worker_count() 
         time_budget: None,
         attribute_findings: true,
         seed: 11,
+        ..CampaignConfig::in_process(
+            EngineProfile::PostgisLike,
+            FaultSet::with([FaultId::PostgisDFullyWithinSmallCoords]),
+        )
     };
     let baseline = CampaignRunner::new(config()).run();
     assert!(
@@ -321,8 +319,11 @@ fn knn_template_detects_the_empty_distance_fault_deterministically() {
     let faults = FaultSet::with([FaultId::GeosEmptyDistanceRecursion]);
     for quarter_turns in 0..4 {
         let plan = isometry_plan(quarter_turns, 20.0, -30.0);
-        let outcomes =
-            AeiOracle::new(plan).check(EngineProfile::PostgisLike, &faults, &spec, &queries);
+        let outcomes = AeiOracle::new(plan).check(
+            &InProcessBackend::new(EngineProfile::PostgisLike, faults.clone()),
+            &spec,
+            &queries,
+        );
         assert!(
             outcomes[0].is_logic_bug(),
             "rotation {quarter_turns}: {:?}",
