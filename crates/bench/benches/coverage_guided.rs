@@ -1,0 +1,178 @@
+//! Coverage-guided vs unguided campaign comparison: distinct probes covered
+//! per equal iteration budget, and seeded-fault time-to-detection, with the
+//! worker-count determinism of both modes cross-checked.
+//!
+//! Emits `BENCH_coverage_guided.json` in the workspace root so the guidance
+//! subsystem's value (and its determinism) is recorded per PR.
+
+use spatter_core::campaign::{CampaignConfig, CampaignReport};
+use spatter_core::guidance::GuidanceMode;
+use spatter_core::runner::CampaignRunner;
+use std::time::Instant;
+
+const ITERATIONS: usize = 48;
+const SEED: u64 = 5;
+
+#[derive(Clone, Copy)]
+struct Sample {
+    mode: &'static str,
+    workers: usize,
+    seconds: f64,
+    probes_covered: usize,
+    findings: usize,
+    unique_bugs: usize,
+    /// Earliest iteration index whose finding attributed to a seeded fault
+    /// (the deterministic time-to-detection metric — wall time depends on
+    /// the host, iteration indices do not).
+    first_detection: Option<usize>,
+}
+
+fn mode_name(mode: GuidanceMode) -> &'static str {
+    match mode {
+        GuidanceMode::Off => "unguided",
+        GuidanceMode::ColdProbe => "cold-probe",
+    }
+}
+
+fn first_detection(report: &CampaignReport) -> Option<usize> {
+    report
+        .findings
+        .iter()
+        .filter(|f| !f.attributed_faults.is_empty())
+        .map(|f| f.iteration)
+        .min()
+}
+
+/// The scheduling-independent projection that must match across workers
+/// (shared with `tests/coverage_guided.rs` via the report method).
+fn fingerprint(report: &CampaignReport) -> String {
+    report.determinism_fingerprint()
+}
+
+fn run(mode: GuidanceMode, workers: usize) -> (Sample, String) {
+    let config = CampaignConfig {
+        iterations: ITERATIONS,
+        guidance: mode,
+        seed: SEED,
+        ..CampaignConfig::default()
+    };
+    let start = Instant::now();
+    let report = CampaignRunner::new(config).with_workers(workers).run();
+    let seconds = start.elapsed().as_secs_f64();
+    let sample = Sample {
+        mode: mode_name(mode),
+        workers,
+        seconds,
+        probes_covered: report.probes_covered(),
+        findings: report.findings.len(),
+        unique_bugs: report.unique_bug_count(),
+        first_detection: first_detection(&report),
+    };
+    (sample, fingerprint(&report))
+}
+
+fn main() {
+    println!(
+        "== Coverage-guided vs unguided campaigns ({ITERATIONS} iterations, seed {SEED}) ==\n"
+    );
+    let widths = [12, 8, 10, 8, 10, 12, 16];
+    spatter_bench::print_row(
+        &[
+            "mode",
+            "workers",
+            "time (s)",
+            "probes",
+            "findings",
+            "unique bugs",
+            "first detection",
+        ]
+        .map(String::from),
+        &widths,
+    );
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut per_mode: Vec<(GuidanceMode, Sample)> = Vec::new();
+    for mode in [GuidanceMode::Off, GuidanceMode::ColdProbe] {
+        let mut fingerprints: Vec<String> = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let (sample, fp) = run(mode, workers);
+            spatter_bench::print_row(
+                &[
+                    sample.mode.to_string(),
+                    sample.workers.to_string(),
+                    format!("{:.3}", sample.seconds),
+                    sample.probes_covered.to_string(),
+                    sample.findings.to_string(),
+                    sample.unique_bugs.to_string(),
+                    sample
+                        .first_detection
+                        .map(|i| format!("iter {i}"))
+                        .unwrap_or_else(|| "-".into()),
+                ],
+                &widths,
+            );
+            fingerprints.push(fp);
+            if workers == 1 {
+                per_mode.push((mode, sample));
+            }
+            samples.push(sample);
+        }
+        // Determinism: findings, skips, attribution and probe coverage are
+        // byte-identical at 1/2/4 workers in both modes.
+        assert!(
+            fingerprints.windows(2).all(|w| w[0] == w[1]),
+            "{} campaigns diverged across worker counts",
+            mode_name(mode)
+        );
+    }
+
+    let unguided = &per_mode[0].1;
+    let guided = &per_mode[1].1;
+    // The guidance acceptance bar: per equal iteration budget, guided mode
+    // covers at least the unguided probe count and detects a seeded fault no
+    // later (iteration-index time-to-detection).
+    assert!(
+        guided.probes_covered >= unguided.probes_covered,
+        "guided covered {} probes, unguided {}",
+        guided.probes_covered,
+        unguided.probes_covered
+    );
+    match (guided.first_detection, unguided.first_detection) {
+        (Some(g), Some(u)) => assert!(
+            g <= u,
+            "guided first detection at iteration {g}, unguided at {u}"
+        ),
+        (None, Some(u)) => panic!("guided mode missed the fault unguided found at iteration {u}"),
+        _ => {}
+    }
+
+    let entries: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"mode\": \"{}\", \"workers\": {}, \"seconds\": {:.4}, \"probes_covered\": {}, \"findings\": {}, \"unique_bugs\": {}, \"first_detection_iteration\": {}}}",
+                s.mode,
+                s.workers,
+                s.seconds,
+                s.probes_covered,
+                s.findings,
+                s.unique_bugs,
+                s.first_detection
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "null".into())
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"coverage_guided\",\n  \"config\": \"CampaignConfig::default() x{ITERATIONS} iterations, seed {SEED}\",\n  \"guided_probes\": {},\n  \"unguided_probes\": {},\n  \"determinism_ok\": true,\n  \"samples\": [\n{}\n  ]\n}}\n",
+        guided.probes_covered,
+        unguided.probes_covered,
+        entries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_coverage_guided.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_coverage_guided.json");
+    println!("\nwrote {path}");
+}

@@ -11,6 +11,7 @@
 
 use crate::backend::{EngineBackend, InProcessBackend};
 use crate::generator::GeneratorConfig;
+use crate::guidance::{GuidanceMode, ScenarioKnobs};
 use crate::oracles::OracleOutcome;
 use crate::queries::QueryInstance;
 use crate::spec::DatabaseSpec;
@@ -41,6 +42,10 @@ pub struct CampaignConfig {
     /// Whether findings are attributed to seeded faults (disable to measure
     /// raw throughput, e.g. for Figure 7).
     pub attribute_findings: bool,
+    /// Whether generation is biased by coverage feedback
+    /// ([`GuidanceMode::ColdProbe`]) or stays uniform ([`GuidanceMode::Off`],
+    /// the default — byte-identical to pre-guidance campaigns).
+    pub guidance: GuidanceMode,
     /// Base random seed.
     pub seed: u64,
 }
@@ -81,6 +86,7 @@ impl Default for CampaignConfig {
             iterations: 20,
             time_budget: None,
             attribute_findings: true,
+            guidance: GuidanceMode::Off,
             seed: 0,
         }
     }
@@ -136,6 +142,12 @@ pub struct CampaignReport {
     /// template met a non-similarity transformation (§7): skipping is the
     /// sound behaviour, and the count makes it auditable.
     pub skipped_queries: usize,
+    /// Union of the probes the campaign's iterations hit, measured with the
+    /// thread-local recorder (so concurrent work elsewhere in the process is
+    /// excluded) and merged deterministically across shards. This is the
+    /// "probes covered per iteration budget" number the coverage-guided
+    /// bench compares between guided and unguided campaigns.
+    pub probe_coverage: BTreeSet<&'static str>,
 }
 
 impl CampaignReport {
@@ -147,6 +159,35 @@ impl CampaignReport {
     /// Findings of a given kind.
     pub fn findings_of_kind(&self, kind: FindingKind) -> usize {
         self.findings.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// Number of distinct probes the campaign's own iterations covered.
+    pub fn probes_covered(&self) -> usize {
+        self.probe_coverage.len()
+    }
+
+    /// The scheduling-independent projection of this report — findings
+    /// (kind, description, iteration, attribution), the unique-fault set,
+    /// the skip count and the probe-coverage set — rendered as one string.
+    /// Two runs of the same campaign configuration must produce identical
+    /// fingerprints regardless of worker count or process; wall-clock fields
+    /// are deliberately excluded. Shared by the determinism tests and the
+    /// coverage-guided bench so they can never pin different invariants.
+    pub fn determinism_fingerprint(&self) -> String {
+        let findings: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{:?}|{}|{}|{:?}",
+                    f.kind, f.description, f.iteration, f.attributed_faults
+                )
+            })
+            .collect();
+        format!(
+            "findings={findings:?} unique={:?} skipped={} probes={:?}",
+            self.unique_faults, self.skipped_queries, self.probe_coverage
+        )
     }
 }
 
@@ -189,14 +230,29 @@ pub fn run_aei_iteration(
     queries: &[QueryInstance],
     plan: &TransformPlan,
 ) -> (Vec<OracleOutcome>, Duration) {
+    run_aei_iteration_with_knobs(backend, spec, queries, plan, &ScenarioKnobs::baseline())
+}
+
+/// [`run_aei_iteration`] under explicit [`ScenarioKnobs`]: the knob-derived
+/// setup (indexes, planner settings) is applied identically to `SDB1` and
+/// its affine-equivalent `SDB2`, so knob effects can never masquerade as an
+/// AEI discrepancy. With baseline knobs this is exactly
+/// [`run_aei_iteration`].
+pub fn run_aei_iteration_with_knobs(
+    backend: &dyn EngineBackend,
+    spec: &DatabaseSpec,
+    queries: &[QueryInstance],
+    plan: &TransformPlan,
+    knobs: &ScenarioKnobs,
+) -> (Vec<OracleOutcome>, Duration) {
     let transformed = plan.apply(spec);
     let mut engine_time = Duration::ZERO;
 
-    let mut session1 = match crate::oracles::open_loaded(backend, &spec.to_sql()) {
+    let mut session1 = match crate::oracles::open_loaded(backend, &knobs.setup_sql(spec)) {
         Ok(session) => session,
         Err((outcome, spent)) => return (vec![outcome; queries.len().max(1)], engine_time + spent),
     };
-    let mut session2 = match crate::oracles::open_loaded(backend, &transformed.to_sql()) {
+    let mut session2 = match crate::oracles::open_loaded(backend, &knobs.setup_sql(&transformed)) {
         Ok(session) => session,
         Err((outcome, spent)) => return (vec![outcome; queries.len().max(1)], engine_time + spent),
     };

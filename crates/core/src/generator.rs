@@ -17,6 +17,7 @@
 //! geometries (centroids, intersections of derived shapes, …), which is what
 //! exercises the precision-sensitive engine paths.
 
+use crate::guidance::EditBias;
 use crate::rng::seq::IndexedRandom;
 use crate::rng::StdRng;
 use crate::rng::{RngExt, SeedableRng};
@@ -68,6 +69,10 @@ impl Default for GeneratorConfig {
 pub struct GeometryGenerator {
     config: GeneratorConfig,
     rng: StdRng,
+    /// Optional coverage-guided weighting of the derivative strategy's
+    /// editing-function choice. `None` keeps the historical uniform draw
+    /// (and its exact RNG stream).
+    edit_bias: Option<EditBias>,
 }
 
 impl GeometryGenerator {
@@ -76,7 +81,17 @@ impl GeometryGenerator {
         GeometryGenerator {
             config,
             rng: StdRng::seed_from_u64(seed),
+            edit_bias: None,
         }
+    }
+
+    /// Biases the derivative strategy's editing-function choice (the
+    /// coverage-guided campaign wires the cold-probe weights in here). The
+    /// weighted draw consumes one RNG value, like the uniform draw it
+    /// replaces.
+    pub fn with_edit_bias(mut self, bias: EditBias) -> Self {
+        self.edit_bias = Some(bias);
+        self
     }
 
     /// The configuration in use.
@@ -257,9 +272,12 @@ impl GeometryGenerator {
         if existing.is_empty() {
             return self.random_shape();
         }
-        let edit = *EditFunction::ALL
-            .choose(&mut self.rng)
-            .expect("edit function list is non-empty");
+        let edit = match &self.edit_bias {
+            None => *EditFunction::ALL
+                .choose(&mut self.rng)
+                .expect("edit function list is non-empty"),
+            Some(bias) => bias.choose(&mut self.rng),
+        };
         let pick = |rng: &mut StdRng| -> Geometry {
             (*existing
                 .choose(rng)
@@ -395,6 +413,39 @@ mod tests {
         assert!(all
             .iter()
             .any(|g| matches!(g, Geometry::GeometryCollection(_))));
+    }
+
+    #[test]
+    fn edit_bias_is_deterministic_and_changes_the_stream() {
+        use crate::guidance::Guidance;
+        use spatter_topo::coverage::CoverageSnapshot;
+        // All probes cold: every editing function is boosted equally, but
+        // the weighted draw maps raw RNG values differently from the uniform
+        // `choose`, so the derived stream diverges from the unbiased one
+        // while staying deterministic per seed.
+        let guidance = Guidance::from_snapshot(&CoverageSnapshot::new());
+        let biased = |seed: u64| {
+            GeometryGenerator::new(
+                GeneratorConfig {
+                    random_shape_probability: 0.2,
+                    ..GeneratorConfig::default()
+                },
+                seed,
+            )
+            .with_edit_bias(guidance.edit_bias())
+            .generate_database()
+        };
+        assert_eq!(biased(11), biased(11));
+        let unbiased = GeometryGenerator::new(
+            GeneratorConfig {
+                random_shape_probability: 0.2,
+                ..GeneratorConfig::default()
+            },
+            11,
+        )
+        .generate_database();
+        // Same seed, same shape count; the bias only redirects derivation.
+        assert_eq!(biased(11).geometry_count(), unbiased.geometry_count());
     }
 
     #[test]

@@ -1,0 +1,618 @@
+//! Coverage-guided scenario generation (the ROADMAP's "Coverage-guided
+//! generation" item).
+//!
+//! The lock-free per-probe hit counters make coverage feedback nearly free,
+//! and clause-guided fuzzers (SQLaser) show that steering generation towards
+//! under-exercised code paths finds logic bugs that uniform sampling misses.
+//! This module turns the probe counters into *generation bias* along three
+//! axes:
+//!
+//! 1. **Editing functions** — [`Guidance::edit_bias`] up-weights the
+//!    derivative strategy's [`EditFunction`] choices towards functions whose
+//!    `topo.editing.*` probes are cold;
+//! 2. **Template families** — [`Guidance::template_weights`] shifts
+//!    [`crate::queries::random_queries_weighted`]'s TopoJoin / RangeJoin /
+//!    Knn split towards families whose characteristic engine probes
+//!    (`sdb.exec.*`, `topo.distance.*`) are cold;
+//! 3. **Scenario knobs** — [`Guidance::pick_knobs`] runs a small
+//!    deterministic multi-armed bandit over [`ScenarioKnobs`] presets
+//!    (spatial indexes on/off, planner settings, geometry-kind mix), each
+//!    arm scored by how many of its target probes are cold. The unguided
+//!    AEI path never creates an index, so the index-scan arm is what first
+//!    reaches `sdb.exec.join_index_scan` / `sdb.exec.knn_index_scan` and the
+//!    index-build crash path in a guided campaign.
+//!
+//! # Determinism
+//!
+//! Guided campaigns must produce byte-identical findings, skips and
+//! attribution at any worker count — the same contract the unguided runner
+//! has. Live coverage counters cannot provide that: which probes are hot at
+//! the moment iteration *i* starts depends on which other iterations (and
+//! which unrelated tests in the same process) happened to run first. The
+//! runner therefore freezes the feedback once: a short unguided *warm-up
+//! prefix* runs on the coordinating thread, its per-iteration probe deltas
+//! are measured with the thread-local recorder
+//! ([`spatter_topo::coverage::local`], immune to concurrent pollution) and
+//! merged into one [`CoverageSnapshot`]. Every guided decision afterwards is
+//! a pure function of that frozen snapshot plus the iteration sub-seed —
+//! guidance reads the snapshot, never the live counters. The bandit pays for
+//! this determinism by being *stationary*: arm scores do not update within a
+//! campaign, exploration comes from the per-iteration seeded draw.
+
+use crate::generator::GeneratorConfig;
+use crate::rng::{split_seed, RngExt, SeedableRng, StdRng};
+use crate::spec::DatabaseSpec;
+use spatter_sdb::coverage::SDB_PROBES;
+use spatter_topo::coverage::{ColdProbeMap, CoverageSnapshot, TOPO_PROBES};
+use spatter_topo::editing::EditFunction;
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// Whether (and how) a campaign biases generation with coverage feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuidanceMode {
+    /// No guidance: byte-identical to the historical uniform campaign.
+    #[default]
+    Off,
+    /// Cold-probe guidance: bias generation towards probes the campaign's
+    /// warm-up prefix did not reach.
+    ///
+    /// Designed for the in-process backend, where every probe fires on the
+    /// campaign's own threads. With an out-of-process backend (e.g.
+    /// `StdioBackend`) the `sdb.*` probes fire inside the server process,
+    /// invisible to the thread-local recorder: guidance then sees only the
+    /// client-side `topo.*` probes, permanently classifies the engine
+    /// probes as cold (the knob bandit keeps favouring engine-side arms),
+    /// and `CampaignReport::probe_coverage` underreports engine coverage.
+    /// Determinism and finding validity are unaffected — only the steering
+    /// signal and the coverage report are weaker.
+    ColdProbe,
+}
+
+/// Sub-seed stream index for the knob bandit (decorrelates the bandit draw
+/// from the generator / query / transform streams of the same iteration).
+const KNOB_STREAM: u64 = 0x6b6e_6f62; // "knob"
+
+/// Extra weight an [`EditFunction`] gains when its probe is cold.
+const COLD_EDIT_BOOST: u64 = 3;
+
+/// Extra weight a template family gains per cold target probe.
+const COLD_FAMILY_BOOST: u64 = 2;
+
+/// Extra weight a knob arm gains per cold target probe.
+const COLD_ARM_BOOST: u64 = 2;
+
+/// The probe universe guidance steers over: both instrumented layers.
+pub fn probe_universe() -> Vec<&'static str> {
+    TOPO_PROBES
+        .iter()
+        .chain(SDB_PROBES.iter())
+        .copied()
+        .collect()
+}
+
+/// Membership test against the probe universe (used to restrict recorded
+/// per-iteration deltas to known probes).
+pub fn is_universe_probe(name: &str) -> bool {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| probe_universe().into_iter().collect())
+        .contains(name)
+}
+
+/// The frozen guidance context of one campaign: the cold-probe
+/// classification of the warm-up snapshot. Immutable by construction —
+/// every derived bias is a pure function of this map (plus a sub-seed).
+#[derive(Debug, Clone)]
+pub struct Guidance {
+    cold: ColdProbeMap,
+}
+
+impl Guidance {
+    /// Builds guidance from a frozen coverage snapshot.
+    pub fn from_snapshot(snapshot: &CoverageSnapshot) -> Self {
+        Guidance {
+            cold: ColdProbeMap::from_snapshot(snapshot, &probe_universe()),
+        }
+    }
+
+    /// The cold-probe classification.
+    pub fn cold(&self) -> &ColdProbeMap {
+        &self.cold
+    }
+
+    /// Editing-function weights for the derivative strategy: every function
+    /// keeps a base weight of 1 (nothing is starved), cold-probe functions
+    /// gain [`COLD_EDIT_BOOST`].
+    pub fn edit_bias(&self) -> EditBias {
+        EditBias {
+            weights: EditFunction::ALL
+                .iter()
+                .map(|&edit| {
+                    let boost = if self.cold.is_cold(edit.probe_name()) {
+                        COLD_EDIT_BOOST
+                    } else {
+                        0
+                    };
+                    (edit, 1 + boost)
+                })
+                .collect(),
+        }
+    }
+
+    /// Template-family weights: the unguided 60/20/20 split (doubled for
+    /// integer resolution), plus [`COLD_FAMILY_BOOST`] per cold probe among
+    /// each family's characteristic probes.
+    pub fn template_weights(&self) -> TemplateWeights {
+        let boost = |targets: &[&str]| COLD_FAMILY_BOOST * self.cold.cold_count_in(targets) as u64;
+        TemplateWeights {
+            topo: 12 + boost(TOPO_FAMILY_PROBES),
+            range: 4 + boost(RANGE_FAMILY_PROBES),
+            knn: 4 + boost(KNN_FAMILY_PROBES),
+        }
+    }
+
+    /// The knob bandit: one deterministic weighted draw over the
+    /// [`knob_arms`] presets, keyed off the iteration sub-seed. Arms whose
+    /// target probes are cold get proportionally more weight; the baseline
+    /// arm keeps a constant weight so guided campaigns never stop exploring
+    /// the default configuration.
+    pub fn pick_knobs(&self, sub_seed: u64) -> ScenarioKnobs {
+        let mut rng = StdRng::seed_from_u64(split_seed(sub_seed, KNOB_STREAM));
+        let arms = knob_arms();
+        let weights: Vec<u64> = arms
+            .iter()
+            .map(|arm| {
+                arm.base_weight + COLD_ARM_BOOST * self.cold.cold_count_in(arm.targets) as u64
+            })
+            .collect();
+        let total: u64 = weights.iter().sum();
+        let mut draw = rng.random_range(0..total);
+        for (arm, weight) in arms.iter().zip(weights.iter()) {
+            if draw < *weight {
+                return arm.knobs.clone();
+            }
+            draw -= weight;
+        }
+        unreachable!("weighted draw is bounded by the weight total")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Editing-function bias
+// ---------------------------------------------------------------------------
+
+/// Per-[`EditFunction`] selection weights for the derivative strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditBias {
+    weights: Vec<(EditFunction, u64)>,
+}
+
+impl EditBias {
+    /// One weighted draw (a single RNG consumption, like the uniform
+    /// `choose` it replaces).
+    pub fn choose(&self, rng: &mut StdRng) -> EditFunction {
+        let total: u64 = self.weights.iter().map(|(_, w)| w).sum();
+        let mut draw = rng.random_range(0..total.max(1));
+        for (edit, weight) in &self.weights {
+            if draw < *weight {
+                return *edit;
+            }
+            draw -= weight;
+        }
+        self.weights.last().expect("edit list is non-empty").0
+    }
+
+    /// The weight of one editing function (for tests and reporting).
+    pub fn weight_of(&self, edit: EditFunction) -> u64 {
+        self.weights
+            .iter()
+            .find(|(e, _)| *e == edit)
+            .map(|(_, w)| *w)
+            .unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Template-family weights
+// ---------------------------------------------------------------------------
+
+/// A query-template family (the three [`crate::queries::QueryTemplate`]
+/// shapes as a plain choice label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateFamily {
+    /// The Figure 5 topological join-count template.
+    TopoJoin,
+    /// A §7 distance range join.
+    RangeJoin,
+    /// A §7 KNN query.
+    Knn,
+}
+
+/// Relative draw weights of the three template families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemplateWeights {
+    /// Weight of the topological join family.
+    pub topo: u64,
+    /// Weight of the distance range-join family.
+    pub range: u64,
+    /// Weight of the KNN family.
+    pub knn: u64,
+}
+
+impl TemplateWeights {
+    /// The historical unguided split: 60% topo / 20% range / 20% KNN. With
+    /// these weights the weighted draw consumes the RNG exactly like the
+    /// original `random_range(0..10)` family pick, so the unguided query
+    /// stream is byte-identical to pre-guidance campaigns.
+    pub fn baseline() -> Self {
+        TemplateWeights {
+            topo: 6,
+            range: 2,
+            knn: 2,
+        }
+    }
+
+    /// One weighted family draw (a single RNG consumption). The walk order
+    /// (topo, range, knn) is part of the determinism contract.
+    pub fn choose(&self, rng: &mut StdRng) -> TemplateFamily {
+        let total = (self.topo + self.range + self.knn).max(1);
+        let draw = rng.random_range(0..total);
+        if draw < self.topo {
+            TemplateFamily::TopoJoin
+        } else if draw < self.topo + self.range {
+            TemplateFamily::RangeJoin
+        } else {
+            TemplateFamily::Knn
+        }
+    }
+}
+
+/// Probes characteristic of the topological-join family.
+const TOPO_FAMILY_PROBES: &[&str] = &[
+    "sdb.exec.join_prepared",
+    "sdb.exec.join_nested_loop",
+    "topo.relate.polygon_polygon",
+    "topo.predicate.relate_pattern",
+];
+
+/// Probes characteristic of the range-join family.
+const RANGE_FAMILY_PROBES: &[&str] = &[
+    "topo.distance.dwithin",
+    "topo.distance.dfullywithin",
+    "topo.distance.range_margin_check",
+    "topo.distance.segment",
+];
+
+/// Probes characteristic of the KNN family.
+const KNN_FAMILY_PROBES: &[&str] = &[
+    "sdb.exec.order_by",
+    "sdb.exec.limit",
+    "sdb.exec.knn_index_scan",
+    "topo.distance.knn_tie_check",
+];
+
+// ---------------------------------------------------------------------------
+// Scenario knobs and the bandit arms
+// ---------------------------------------------------------------------------
+
+/// Per-scenario configuration knobs a guided campaign can turn: extra setup
+/// statements (indexes, planner settings) applied identically to `SDB1` and
+/// its affine-equivalent `SDB2`, plus a geometry-kind adjustment for the
+/// generator. The default value is the *baseline*: exactly the historical
+/// scenario setup, byte for byte.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioKnobs {
+    /// Create a GiST-analog index on every table.
+    pub create_indexes: bool,
+    /// `SET enable_seqscan = false` (drives the engine onto index paths).
+    pub disable_seqscan: bool,
+    /// `SET enable_prepared = false` (forces the nested-loop join).
+    pub disable_prepared: bool,
+    /// Overrides the generator's random-shape probability (geometry-kind
+    /// mix: lower means more derived geometries).
+    pub random_shape_probability: Option<f64>,
+}
+
+impl ScenarioKnobs {
+    /// The historical scenario setup (no knob turned).
+    pub fn baseline() -> Self {
+        ScenarioKnobs::default()
+    }
+
+    /// Whether these knobs reproduce the baseline setup exactly.
+    pub fn is_baseline(&self) -> bool {
+        *self == ScenarioKnobs::default()
+    }
+
+    /// The setup statements for one database under these knobs. With
+    /// baseline knobs this is exactly `spec.to_sql()`.
+    pub fn setup_sql(&self, spec: &DatabaseSpec) -> Vec<String> {
+        let mut statements = if self.create_indexes {
+            spec.to_sql_with_indexes()
+        } else {
+            spec.to_sql()
+        };
+        if self.disable_seqscan {
+            statements.push("SET enable_seqscan = false".to_string());
+        }
+        if self.disable_prepared {
+            statements.push("SET enable_prepared = false".to_string());
+        }
+        statements
+    }
+
+    /// Applies the generator-side knobs to a generator configuration.
+    pub fn apply_generator(&self, config: &mut GeneratorConfig) {
+        if let Some(p) = self.random_shape_probability {
+            config.random_shape_probability = p;
+        }
+    }
+}
+
+/// One bandit arm: a knob preset plus the probes it aims to warm up.
+struct KnobArm {
+    knobs: ScenarioKnobs,
+    targets: &'static [&'static str],
+    base_weight: u64,
+}
+
+/// The bandit's arms. Target lists are the probes each preset is uniquely
+/// positioned to reach; the baseline arm targets nothing but keeps a
+/// constant exploration weight.
+fn knob_arms() -> Vec<KnobArm> {
+    vec![
+        KnobArm {
+            knobs: ScenarioKnobs::baseline(),
+            targets: &[],
+            base_weight: 4,
+        },
+        // The unguided AEI scenario never creates an index, so these probes
+        // stay cold until this arm fires: index builds (and the index-build
+        // crash fault), the `~=` window scan, the predicate index join and
+        // the best-first KNN scan.
+        KnobArm {
+            knobs: ScenarioKnobs {
+                create_indexes: true,
+                disable_seqscan: true,
+                ..ScenarioKnobs::default()
+            },
+            targets: &[
+                "sdb.exec.create_index",
+                "sdb.exec.join_index_scan",
+                "sdb.exec.knn_index_scan",
+                "sdb.exec.set_setting",
+                "sdb.fault.crash_path",
+            ],
+            base_weight: 1,
+        },
+        // Indexes without disabling seqscan: exercises index maintenance on
+        // insert-heavy scenarios while keeping sequential plans.
+        KnobArm {
+            knobs: ScenarioKnobs {
+                create_indexes: true,
+                ..ScenarioKnobs::default()
+            },
+            targets: &["sdb.exec.create_index", "sdb.fault.crash_path"],
+            base_weight: 1,
+        },
+        // Forcing the nested loop reaches the general join path that the
+        // prepared-geometry fast path normally shadows.
+        KnobArm {
+            knobs: ScenarioKnobs {
+                disable_prepared: true,
+                ..ScenarioKnobs::default()
+            },
+            targets: &["sdb.exec.join_nested_loop", "sdb.exec.set_setting"],
+            base_weight: 1,
+        },
+        // Geometry-kind mix: a derivative-heavy database reaches the editing
+        // functions and the collection/boundary machinery they feed.
+        KnobArm {
+            knobs: ScenarioKnobs {
+                random_shape_probability: Some(0.2),
+                ..ScenarioKnobs::default()
+            },
+            targets: &[
+                "topo.editing.set_point",
+                "topo.editing.polygonize",
+                "topo.editing.dump_rings",
+                "topo.editing.collection_extract",
+                "topo.editing.point_n",
+                "topo.boundary.collection",
+                "topo.relate.collection",
+            ],
+            base_weight: 1,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_hitting(probes: &[&'static str]) -> CoverageSnapshot {
+        let mut snapshot = CoverageSnapshot::new();
+        let delta: Vec<(&'static str, u64)> = probes.iter().map(|&p| (p, 1)).collect();
+        snapshot.absorb(&delta);
+        snapshot
+    }
+
+    /// A snapshot where every universe probe was hit (nothing cold).
+    fn saturated_snapshot() -> CoverageSnapshot {
+        let universe = probe_universe();
+        snapshot_hitting(&universe)
+    }
+
+    #[test]
+    fn universe_spans_both_layers_without_duplicates() {
+        let universe = probe_universe();
+        assert_eq!(universe.len(), TOPO_PROBES.len() + SDB_PROBES.len());
+        let set: HashSet<_> = universe.iter().collect();
+        assert_eq!(set.len(), universe.len());
+        assert!(is_universe_probe("topo.predicate.intersects"));
+        assert!(is_universe_probe("sdb.exec.knn_index_scan"));
+        assert!(!is_universe_probe("not.a.probe"));
+    }
+
+    #[test]
+    fn edit_bias_boosts_cold_functions_only() {
+        let guidance = Guidance::from_snapshot(&snapshot_hitting(&[
+            "topo.editing.boundary",
+            "topo.editing.envelope",
+        ]));
+        let bias = guidance.edit_bias();
+        assert_eq!(bias.weight_of(EditFunction::Boundary), 1);
+        assert_eq!(bias.weight_of(EditFunction::Envelope), 1);
+        assert_eq!(
+            bias.weight_of(EditFunction::Polygonize),
+            1 + COLD_EDIT_BOOST
+        );
+        // Nothing is starved: every function keeps a positive weight, so a
+        // weighted draw can still reach the hot ones.
+        for edit in EditFunction::ALL {
+            assert!(bias.weight_of(edit) >= 1);
+        }
+    }
+
+    #[test]
+    fn edit_bias_choose_is_deterministic_and_covers_all_functions() {
+        let guidance = Guidance::from_snapshot(&CoverageSnapshot::new());
+        let bias = guidance.edit_bias();
+        let draw = |seed: u64| -> Vec<EditFunction> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..200).map(|_| bias.choose(&mut rng)).collect()
+        };
+        assert_eq!(draw(7), draw(7));
+        let seen: HashSet<_> = draw(7).into_iter().map(|e| e.function_name()).collect();
+        assert!(seen.len() >= 10, "draws cover most functions: {seen:?}");
+    }
+
+    #[test]
+    fn baseline_template_weights_mirror_the_unguided_split() {
+        let weights = TemplateWeights::baseline();
+        assert_eq!((weights.topo, weights.range, weights.knn), (6, 2, 2));
+        // The baseline draw partitions 0..10 exactly like the historical
+        // `random_range(0..10)` with 0..=5 / 6..=7 / 8..=9.
+        let mut counts = [0usize; 3];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            match weights.choose(&mut rng) {
+                TemplateFamily::TopoJoin => counts[0] += 1,
+                TemplateFamily::RangeJoin => counts[1] += 1,
+                TemplateFamily::Knn => counts[2] += 1,
+            }
+        }
+        assert!(counts[0] > counts[1] && counts[0] > counts[2], "{counts:?}");
+        assert!(counts[1] > 100 && counts[2] > 100, "{counts:?}");
+    }
+
+    #[test]
+    fn template_weights_shift_towards_cold_families() {
+        // Everything hot except the KNN probes: the KNN family gains weight,
+        // the others stay at their doubled baseline.
+        let mut snapshot = saturated_snapshot();
+        snapshot = {
+            let mut cold_knn = CoverageSnapshot::new();
+            let delta: Vec<(&'static str, u64)> = snapshot
+                .hit_probes()
+                .into_iter()
+                .filter(|p| !KNN_FAMILY_PROBES.contains(p))
+                .map(|p| (p, 1))
+                .collect();
+            cold_knn.absorb(&delta);
+            cold_knn
+        };
+        let weights = Guidance::from_snapshot(&snapshot).template_weights();
+        assert_eq!(weights.topo, 12);
+        assert_eq!(weights.range, 4);
+        assert_eq!(
+            weights.knn,
+            4 + COLD_FAMILY_BOOST * KNN_FAMILY_PROBES.len() as u64
+        );
+    }
+
+    #[test]
+    fn knob_bandit_is_deterministic_per_sub_seed() {
+        let guidance = Guidance::from_snapshot(&CoverageSnapshot::new());
+        for sub_seed in [0u64, 1, 99, u64::MAX / 2] {
+            assert_eq!(guidance.pick_knobs(sub_seed), guidance.pick_knobs(sub_seed));
+        }
+        // Different sub-seeds eventually pick different arms.
+        let distinct: HashSet<_> = (0..200u64)
+            .map(|s| format!("{:?}", guidance.pick_knobs(s)))
+            .collect();
+        assert!(distinct.len() > 1, "the bandit explores several arms");
+    }
+
+    #[test]
+    fn knob_bandit_favours_arms_with_cold_targets() {
+        // Nothing cold → the baseline arm (weight 4 of 8) dominates.
+        let hot = Guidance::from_snapshot(&saturated_snapshot());
+        let baseline_picks = (0..400u64)
+            .filter(|&s| hot.pick_knobs(s).is_baseline())
+            .count();
+        // Everything cold → the index arm (5 cold targets) outweighs the
+        // baseline arm, so non-baseline picks dominate.
+        let cold = Guidance::from_snapshot(&CoverageSnapshot::new());
+        let guided_picks = (0..400u64)
+            .filter(|&s| !cold.pick_knobs(s).is_baseline())
+            .count();
+        assert!(baseline_picks > 150, "{baseline_picks} baseline picks");
+        assert!(guided_picks > 250, "{guided_picks} non-baseline picks");
+        // The index-scan arm is reachable when its probes are cold.
+        assert!(
+            (0..400u64).any(|s| {
+                let knobs = cold.pick_knobs(s);
+                knobs.create_indexes && knobs.disable_seqscan
+            }),
+            "the index arm must fire for cold index probes"
+        );
+    }
+
+    #[test]
+    fn baseline_knobs_reproduce_the_historical_setup() {
+        let spec = DatabaseSpec::with_tables(2);
+        let knobs = ScenarioKnobs::baseline();
+        assert!(knobs.is_baseline());
+        assert_eq!(knobs.setup_sql(&spec), spec.to_sql());
+        let mut config = GeneratorConfig::default();
+        let before = config.clone();
+        knobs.apply_generator(&mut config);
+        assert_eq!(config, before);
+    }
+
+    #[test]
+    fn knob_setup_sql_appends_indexes_and_settings() {
+        let spec = DatabaseSpec::with_tables(2);
+        let knobs = ScenarioKnobs {
+            create_indexes: true,
+            disable_seqscan: true,
+            disable_prepared: true,
+            random_shape_probability: Some(0.25),
+        };
+        let sql = knobs.setup_sql(&spec);
+        assert!(sql.iter().any(|s| s.contains("USING GIST")));
+        assert_eq!(sql[sql.len() - 2], "SET enable_seqscan = false");
+        assert_eq!(sql[sql.len() - 1], "SET enable_prepared = false");
+        let mut config = GeneratorConfig::default();
+        knobs.apply_generator(&mut config);
+        assert_eq!(config.random_shape_probability, 0.25);
+    }
+
+    #[test]
+    fn every_arm_target_is_a_universe_probe() {
+        for arm in knob_arms() {
+            for target in arm.targets {
+                assert!(is_universe_probe(target), "{target} not in universe");
+            }
+        }
+        for probes in [TOPO_FAMILY_PROBES, RANGE_FAMILY_PROBES, KNN_FAMILY_PROBES] {
+            for probe in probes {
+                assert!(is_universe_probe(probe), "{probe} not in universe");
+            }
+        }
+        for edit in EditFunction::ALL {
+            assert!(is_universe_probe(edit.probe_name()));
+        }
+    }
+}

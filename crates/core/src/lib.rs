@@ -33,11 +33,16 @@
 //!    crashes and logic discrepancies, reduces failing scenarios
 //!    ([`reducer`]), attributes each finding to the seeded fault that causes
 //!    it (the deduplication step of §5.4), and tracks timing and coverage for
-//!    Figures 7 and 8 and Table 5.
+//!    Figures 7 and 8 and Table 5. With [`guidance::GuidanceMode::ColdProbe`]
+//!    the runner additionally biases generation toward probes a short warm-up
+//!    left cold ([`guidance`]) — feedback is frozen into a snapshot before
+//!    workers start, so guided campaigns keep the byte-identical-at-any-
+//!    worker-count determinism contract.
 
 pub mod backend;
 pub mod campaign;
 pub mod generator;
+pub mod guidance;
 pub mod oracles;
 pub mod queries;
 pub mod reducer;
@@ -50,6 +55,7 @@ pub mod transform;
 pub use backend::{BackendError, EngineBackend, EngineSession, InProcessBackend, StdioBackend};
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, Finding, FindingKind};
 pub use generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
+pub use guidance::{EditBias, Guidance, GuidanceMode, ScenarioKnobs, TemplateWeights};
 pub use oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle};
 pub use queries::{QueryInstance, QueryTemplate, RangeFunction};
 pub use runner::{CampaignRunner, OracleKind, ShardReport};

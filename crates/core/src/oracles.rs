@@ -15,6 +15,7 @@
 //! interpreted.
 
 use crate::backend::{BackendError, EngineBackend, EngineSession, InProcessBackend};
+use crate::guidance::ScenarioKnobs;
 use crate::queries::{QueryInstance, QueryTemplate, RangeFunction};
 use crate::spec::DatabaseSpec;
 use crate::transform::TransformPlan;
@@ -309,12 +310,27 @@ pub(crate) fn check_aei_query(
 pub struct AeiOracle {
     /// The transformation plan that builds `SDB2` from `SDB1`.
     pub plan: TransformPlan,
+    /// Scenario knobs applied identically to both frames (baseline unless a
+    /// coverage-guided campaign wired its per-iteration knobs in — required
+    /// so attribution re-runs replay the exact scenario that produced a
+    /// finding).
+    knobs: ScenarioKnobs,
 }
 
 impl AeiOracle {
-    /// Creates the oracle with a given plan.
+    /// Creates the oracle with a given plan (baseline scenario setup).
     pub fn new(plan: TransformPlan) -> Self {
-        AeiOracle { plan }
+        AeiOracle {
+            plan,
+            knobs: ScenarioKnobs::baseline(),
+        }
+    }
+
+    /// Replaces the scenario knobs (indexes, planner settings) the oracle
+    /// loads into both frames.
+    pub fn with_knobs(mut self, knobs: ScenarioKnobs) -> Self {
+        self.knobs = knobs;
+        self
     }
 }
 
@@ -330,11 +346,11 @@ impl Oracle for AeiOracle {
         queries: &[QueryInstance],
     ) -> Vec<OracleOutcome> {
         let transformed = self.plan.apply(spec);
-        let mut session1 = match open_loaded(backend, &spec.to_sql()) {
+        let mut session1 = match open_loaded(backend, &self.knobs.setup_sql(spec)) {
             Ok(session) => session,
             Err((outcome, _)) => return vec![outcome; queries.len().max(1)],
         };
-        let mut session2 = match open_loaded(backend, &transformed.to_sql()) {
+        let mut session2 = match open_loaded(backend, &self.knobs.setup_sql(&transformed)) {
             Ok(session) => session,
             Err((outcome, _)) => return vec![outcome; queries.len().max(1)],
         };
@@ -950,6 +966,57 @@ mod tests {
         )];
         let outcomes = TlpOracle.check(&reference(EngineProfile::PostgisLike), &spec, &knn);
         assert_eq!(outcomes[0], OracleOutcome::Inapplicable);
+    }
+
+    #[test]
+    fn index_oracle_passes_on_knn_ties_at_the_cutoff() {
+        // Tie-break audit (oracle side): two candidates tie exactly at the
+        // k-th distance. The seqscan sort and the index NN scan apply the
+        // same earliest-row tie-break, so the oracle's result-set comparison
+        // sees identical subsets and reports Pass — a differing tie-break
+        // would surface here as a spurious logic bug.
+        let mut spec = DatabaseSpec::with_tables(1);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(5 0)").unwrap());
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(0 5)").unwrap());
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(1 1)").unwrap());
+        let queries = vec![QueryInstance::knn(
+            "t0",
+            parse_wkt("POINT(0 0)").unwrap(),
+            2,
+        )];
+        let outcomes = IndexOracle.check(&reference(EngineProfile::PostgisLike), &spec, &queries);
+        assert_eq!(outcomes[0], OracleOutcome::Pass);
+    }
+
+    #[test]
+    fn aei_oracle_with_index_knobs_matches_baseline_on_reference() {
+        // Knobs load identically into both frames, so knob effects can never
+        // masquerade as an AEI discrepancy: the reference engine passes a
+        // knobbed scenario exactly like a baseline one.
+        use crate::guidance::ScenarioKnobs;
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POLYGON((-5 -5,5 -5,5 5,-5 5,-5 -5))").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("POINT(-1 -1)").unwrap());
+        let queries = vec![QueryInstance::topo("t0", "t1", NamedPredicate::Intersects)];
+        let knobs = ScenarioKnobs {
+            create_indexes: true,
+            disable_seqscan: true,
+            ..ScenarioKnobs::default()
+        };
+        let plan = TransformPlan::canonicalization_only();
+        let oracle = AeiOracle::new(plan).with_knobs(knobs);
+        let outcomes = oracle.check(&reference(EngineProfile::PostgisLike), &spec, &queries);
+        assert_eq!(outcomes[0], OracleOutcome::Pass);
     }
 
     #[test]

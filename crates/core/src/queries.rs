@@ -25,6 +25,7 @@
 //! document them, reproducing the situations where differential testing is
 //! inapplicable).
 
+use crate::guidance::{TemplateFamily, TemplateWeights};
 use crate::rng::seq::IndexedRandom;
 use crate::rng::StdRng;
 use crate::rng::{RngExt, SeedableRng};
@@ -260,11 +261,33 @@ pub fn supported_predicates(profile: EngineProfile) -> Vec<NamedPredicate> {
 /// biased across the three template families: topological joins stay the
 /// bulk of the workload, with range joins and KNN queries drawn often enough
 /// that every campaign exercises the §7 distance family.
+///
+/// Equivalent to [`random_queries_weighted`] with
+/// [`TemplateWeights::baseline`] — the baseline weighted family draw
+/// consumes the RNG exactly like the historical `random_range(0..10)` split
+/// (six/two/two over a span of ten), so this keeps producing the
+/// byte-identical pre-guidance query stream.
 pub fn random_queries(
     spec: &DatabaseSpec,
     profile: EngineProfile,
     count: usize,
     seed: u64,
+) -> Vec<QueryInstance> {
+    random_queries_weighted(spec, profile, count, seed, &TemplateWeights::baseline())
+}
+
+/// [`random_queries`] with an explicit template-family weighting (the
+/// coverage-guided campaign passes cold-probe-derived weights here). Per
+/// query the draw order is fixed — `table1`, `table2`, the family, then the
+/// family's own parameters — so two weightings differ only in how the single
+/// family draw maps to a family, never in how the rest of the stream is
+/// consumed.
+pub fn random_queries_weighted(
+    spec: &DatabaseSpec,
+    profile: EngineProfile,
+    count: usize,
+    seed: u64,
+    weights: &TemplateWeights,
 ) -> Vec<QueryInstance> {
     let mut rng = StdRng::seed_from_u64(seed);
     let tables = spec.table_names();
@@ -277,17 +300,17 @@ pub fn random_queries(
         .map(|_| {
             let table1 = tables[rng.random_range(0..tables.len())].to_string();
             let table2 = tables[rng.random_range(0..tables.len())].to_string();
-            match rng.random_range(0..10u32) {
-                // 60%: the Figure 5 topological join-count template.
-                0..=5 => QueryInstance {
+            match weights.choose(&mut rng) {
+                // The Figure 5 topological join-count template.
+                TemplateFamily::TopoJoin => QueryInstance {
                     table1,
                     table2,
                     template: QueryTemplate::TopoJoin {
                         predicate: *predicates.choose(&mut rng).expect("non-empty"),
                     },
                 },
-                // 20%: distance range joins.
-                6..=7 => {
+                // Distance range joins.
+                TemplateFamily::RangeJoin => {
                     let function = if dfully_supported && rng.random_bool(0.5) {
                         RangeFunction::DFullyWithin
                     } else {
@@ -302,9 +325,9 @@ pub fn random_queries(
                         },
                     }
                 }
-                // 20%: KNN queries with an integer origin (exact under the
+                // KNN queries with an integer origin (exact under the
                 // integer similarity matrices of Algorithm 2).
-                _ => {
+                TemplateFamily::Knn => {
                     let x = rng.random_range(-50..=50i64) as f64;
                     let y = rng.random_range(-50..=50i64) as f64;
                     let k = rng.random_range(1..=4i64) as usize;
@@ -478,6 +501,104 @@ mod tests {
                 assert!(matches!(origin, Geometry::Point(_)));
             }
         }
+    }
+
+    /// The pre-guidance `random_queries` body, inlined verbatim as a golden
+    /// reference: the family pick is the historical `random_range(0..10u32)`
+    /// with the `0..=5` / `6..=7` / `_` split. If `TemplateWeights::baseline`
+    /// or its `choose` walk ever changes the RNG consumption, the
+    /// byte-identity test below catches it against *this* copy, not against
+    /// the refactored code under test.
+    fn historical_random_queries(
+        spec: &DatabaseSpec,
+        profile: EngineProfile,
+        count: usize,
+        seed: u64,
+    ) -> Vec<QueryInstance> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tables = spec.table_names();
+        let predicates = supported_predicates(profile);
+        if tables.is_empty() || predicates.is_empty() {
+            return Vec::new();
+        }
+        let dfully_supported = profile.supports_function("ST_DFullyWithin");
+        (0..count)
+            .map(|_| {
+                let table1 = tables[rng.random_range(0..tables.len())].to_string();
+                let table2 = tables[rng.random_range(0..tables.len())].to_string();
+                match rng.random_range(0..10u32) {
+                    0..=5 => QueryInstance {
+                        table1,
+                        table2,
+                        template: QueryTemplate::TopoJoin {
+                            predicate: *predicates.choose(&mut rng).expect("non-empty"),
+                        },
+                    },
+                    6..=7 => {
+                        let function = if dfully_supported && rng.random_bool(0.5) {
+                            RangeFunction::DFullyWithin
+                        } else {
+                            RangeFunction::DWithin
+                        };
+                        QueryInstance {
+                            table1,
+                            table2,
+                            template: QueryTemplate::RangeJoin {
+                                function,
+                                distance: rng.random_range(1..=40i64) as f64,
+                            },
+                        }
+                    }
+                    _ => {
+                        let x = rng.random_range(-50..=50i64) as f64;
+                        let y = rng.random_range(-50..=50i64) as f64;
+                        let k = rng.random_range(1..=4i64) as usize;
+                        QueryInstance::knn(table1, Geometry::Point(Point::new(x, y)), k)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_weighted_queries_equal_the_historical_stream() {
+        // The byte-identity contract of the refactor, pinned against an
+        // inlined copy of the pre-guidance generator (not against the code
+        // under test itself).
+        let spec = DatabaseSpec::with_tables(3);
+        for profile in [EngineProfile::PostgisLike, EngineProfile::MysqlLike] {
+            for seed in [0u64, 1, 7, 42, 1234] {
+                let expected = historical_random_queries(&spec, profile, 100, seed);
+                assert_eq!(
+                    random_queries(&spec, profile, 100, seed),
+                    expected,
+                    "{} seed {seed}",
+                    profile.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_queries_shift_the_family_mix() {
+        let spec = DatabaseSpec::with_tables(2);
+        let knn_heavy = TemplateWeights {
+            topo: 2,
+            range: 2,
+            knn: 16,
+        };
+        let queries =
+            random_queries_weighted(&spec, EngineProfile::PostgisLike, 200, 9, &knn_heavy);
+        let knn = queries
+            .iter()
+            .filter(|q| matches!(q.template, QueryTemplate::Knn { .. }))
+            .count();
+        assert!(knn > 120, "{knn} KNN queries under a KNN-heavy weighting");
+        // Deterministic per (seed, weights).
+        assert_eq!(
+            queries,
+            random_queries_weighted(&spec, EngineProfile::PostgisLike, 200, 9, &knn_heavy)
+        );
     }
 
     #[test]

@@ -19,21 +19,44 @@
 //! worker count (asserted by `identical_findings_for_any_worker_count`
 //! below). Only wall-clock fields (`elapsed`, timelines, timing totals)
 //! depend on scheduling.
+//!
+//! # Coverage guidance
+//!
+//! With [`GuidanceMode::ColdProbe`] the first [`GUIDANCE_WARMUP`] iterations
+//! run unguided on the coordinating thread; their probe deltas — measured
+//! thread-locally, so concurrent activity elsewhere in the process cannot
+//! leak in — are frozen into one [`CoverageSnapshot`], and every remaining
+//! iteration derives its generation bias (editing functions, template
+//! families, scenario knobs) purely from that snapshot plus its own
+//! sub-seed. Guidance never reads the live counters, which is what keeps
+//! guided findings byte-identical at any worker count: the snapshot is fixed
+//! before the workers start, and everything after it is a pure function of
+//! `(snapshot, config.seed, iteration)`.
 
 use crate::backend::EngineBackend;
-use crate::campaign::{run_aei_iteration, CampaignConfig, CampaignReport, Finding, FindingKind};
+use crate::campaign::{
+    run_aei_iteration_with_knobs, CampaignConfig, CampaignReport, Finding, FindingKind,
+};
 use crate::generator::GeometryGenerator;
+use crate::guidance::{self, Guidance, GuidanceMode, ScenarioKnobs};
 use crate::oracles::{
     AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle,
 };
-use crate::queries::{random_queries, QueryInstance};
+use crate::queries::{random_queries_weighted, QueryInstance};
 use crate::rng::split_seed;
 use crate::spec::DatabaseSpec;
 use crate::transform::TransformPlan;
 use spatter_sdb::{EngineProfile, FaultId};
-use spatter_topo::coverage;
+use spatter_topo::coverage::{self, local, CoverageSnapshot};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Number of unguided warm-up iterations a [`GuidanceMode::ColdProbe`]
+/// campaign runs to build its frozen coverage snapshot. Deliberately small:
+/// a couple of default scenarios warm every common probe, leaving exactly
+/// the rarely-reached paths (index scans, crash paths, exotic editing
+/// functions) cold for guidance to steer towards.
+pub const GUIDANCE_WARMUP: usize = 2;
 
 /// The oracles a campaign can run per iteration, in addition to — or instead
 /// of — the paper's AEI oracle (Table 4's compared methodologies).
@@ -79,6 +102,12 @@ pub struct IterationRecord {
     /// Query checks skipped because a distance-parameterised template met a
     /// non-similarity transformation (§7).
     pub skipped: usize,
+    /// The universe probes this iteration hit, with counts — measured by the
+    /// thread-local recorder around exactly this iteration's work (scenario
+    /// execution, oracle suite, attribution re-runs), sorted by probe name.
+    /// A pure function of the iteration's sub-seed, so it is identical no
+    /// matter which worker ran the iteration.
+    pub probe_delta: Vec<(&'static str, u64)>,
 }
 
 /// The mergeable per-worker slice of a campaign: the iteration records one
@@ -90,6 +119,17 @@ pub struct ShardReport {
 }
 
 impl ShardReport {
+    /// The probes this shard's iterations covered (union over its records).
+    /// A sorted set, so merging shard coverages is order-independent.
+    pub fn probe_coverage(&self) -> std::collections::BTreeSet<&'static str> {
+        self.records
+            .iter()
+            .flat_map(|r| r.probe_delta.iter())
+            .filter(|(_, count)| *count > 0)
+            .map(|(name, _)| *name)
+            .collect()
+    }
+
     /// Merges shard reports into an aggregate report. Records are ordered by
     /// iteration index first, so the merged findings and unique-fault
     /// attribution are independent of how iterations were scheduled. The two
@@ -98,14 +138,19 @@ impl ShardReport {
     /// (worker A can finish iteration 10 before worker B finishes iteration
     /// 2), and a bugs-over-time curve must not run backwards in time.
     pub fn merge(shards: Vec<ShardReport>, total_time: Duration) -> CampaignReport {
-        let mut records: Vec<IterationRecord> =
-            shards.into_iter().flat_map(|s| s.records).collect();
-        records.sort_by_key(|r| r.iteration);
-
         let mut report = CampaignReport {
             total_time,
             ..CampaignReport::default()
         };
+        // Per-shard coverage deltas merge first (a union of sorted sets, so
+        // shard order cannot matter), then the records flatten for the
+        // order-sensitive finding/timeline merge.
+        for shard in &shards {
+            report.probe_coverage.extend(shard.probe_coverage());
+        }
+        let mut records: Vec<IterationRecord> =
+            shards.into_iter().flat_map(|s| s.records).collect();
+        records.sort_by_key(|r| r.iteration);
         let mut new_fault_times = Vec::new();
         for record in records {
             report.generation_time += record.generation_time;
@@ -179,20 +224,53 @@ impl CampaignRunner {
     /// Runs the campaign and merges the shards into an aggregate report.
     pub fn run(&self) -> CampaignReport {
         let start = Instant::now();
-        let shards = self.run_sharded(start);
+        let (warmup, guidance) = self.warmup_phase(start);
+        let first_iteration = warmup.records.len();
+        let mut shards = self.run_sharded(start, first_iteration, guidance.as_ref());
+        shards.push(warmup);
         ShardReport::merge(shards, start.elapsed())
     }
 
-    /// Runs the campaign, returning the raw per-worker shard reports.
-    fn run_sharded(&self, start: Instant) -> Vec<ShardReport> {
-        let next_iteration = AtomicUsize::new(0);
+    /// The guidance warm-up: with [`GuidanceMode::ColdProbe`], runs the
+    /// first [`GUIDANCE_WARMUP`] iterations unguided on the calling thread
+    /// and freezes their thread-locally-recorded probe deltas into the
+    /// campaign's coverage snapshot. Runs nothing (and enables no guidance)
+    /// in [`GuidanceMode::Off`].
+    fn warmup_phase(&self, start: Instant) -> (ShardReport, Option<Guidance>) {
+        let mut shard = ShardReport::default();
+        if self.config.guidance == GuidanceMode::Off {
+            return (shard, None);
+        }
+        let mut snapshot = CoverageSnapshot::new();
+        for iteration in 0..GUIDANCE_WARMUP.min(self.config.iterations) {
+            if let Some(budget) = self.config.time_budget {
+                if start.elapsed() >= budget {
+                    break;
+                }
+            }
+            let record = self.run_iteration(iteration, start, None);
+            snapshot.absorb(&record.probe_delta);
+            shard.records.push(record);
+        }
+        (shard, Some(Guidance::from_snapshot(&snapshot)))
+    }
+
+    /// Runs the campaign from `first_iteration` on, returning the raw
+    /// per-worker shard reports.
+    fn run_sharded(
+        &self,
+        start: Instant,
+        first_iteration: usize,
+        guidance: Option<&Guidance>,
+    ) -> Vec<ShardReport> {
+        let next_iteration = AtomicUsize::new(first_iteration);
 
         if self.n_workers == 1 {
-            return vec![self.worker(start, &next_iteration)];
+            return vec![self.worker(start, &next_iteration, guidance)];
         }
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.n_workers)
-                .map(|_| scope.spawn(|| self.worker(start, &next_iteration)))
+                .map(|_| scope.spawn(|| self.worker(start, &next_iteration, guidance)))
                 .collect();
             handles
                 .into_iter()
@@ -203,7 +281,12 @@ impl CampaignRunner {
 
     /// One worker: claims iteration indices from the shared counter until
     /// the campaign is exhausted or the time budget is spent.
-    fn worker(&self, start: Instant, next_iteration: &AtomicUsize) -> ShardReport {
+    fn worker(
+        &self,
+        start: Instant,
+        next_iteration: &AtomicUsize,
+        guidance: Option<&Guidance>,
+    ) -> ShardReport {
         let mut shard = ShardReport::default();
         loop {
             if let Some(budget) = self.config.time_budget {
@@ -215,26 +298,54 @@ impl CampaignRunner {
             if iteration >= self.config.iterations {
                 break;
             }
-            shard.records.push(self.run_iteration(iteration, start));
+            shard
+                .records
+                .push(self.run_iteration(iteration, start, guidance));
         }
         shard
     }
 
-    /// Executes one iteration end to end: generation, the oracle suite, and
-    /// attribution of every flagged query.
-    fn run_iteration(&self, iteration: usize, start: Instant) -> IterationRecord {
+    /// Executes one iteration end to end: generation (optionally biased by
+    /// the frozen guidance), the oracle suite, and attribution of every
+    /// flagged query. The whole iteration runs on the calling thread, so the
+    /// thread-local probe recorder measures exactly its delta.
+    fn run_iteration(
+        &self,
+        iteration: usize,
+        start: Instant,
+        guidance: Option<&Guidance>,
+    ) -> IterationRecord {
         let sub_seed = split_seed(self.config.seed, iteration as u64);
         let backend = self.config.backend.as_ref();
+        local::start();
 
         // --- Generation (Spatter-side time) ------------------------------
         let generation_start = Instant::now();
-        let mut generator = GeometryGenerator::new(self.config.generator.clone(), sub_seed);
+        // Guided iterations draw their scenario knobs first (a pure function
+        // of the frozen snapshot and this iteration's sub-seed), then let
+        // the knobs and biases steer generation; unguided iterations take
+        // exactly the historical path.
+        let knobs = match guidance {
+            Some(g) => g.pick_knobs(sub_seed),
+            None => ScenarioKnobs::baseline(),
+        };
+        let mut generator_config = self.config.generator.clone();
+        knobs.apply_generator(&mut generator_config);
+        let mut generator = GeometryGenerator::new(generator_config, sub_seed);
+        if let Some(g) = guidance {
+            generator = generator.with_edit_bias(g.edit_bias());
+        }
         let spec = generator.generate_database();
-        let queries = random_queries(
+        let weights = match guidance {
+            Some(g) => g.template_weights(),
+            None => crate::guidance::TemplateWeights::baseline(),
+        };
+        let queries = random_queries_weighted(
             &spec,
             backend.profile(),
             self.config.queries_per_run,
             sub_seed ^ 0x5eed,
+            &weights,
         );
         let plan = TransformPlan::random(self.config.affine, sub_seed ^ 0xaff1e);
         let generation_time = generation_start.elapsed();
@@ -244,7 +355,7 @@ impl CampaignRunner {
         let mut findings = Vec::new();
         let mut skipped = 0;
         for kind in &self.oracles {
-            let (outcomes, oracle_time) = self.run_oracle(*kind, &spec, &queries, &plan);
+            let (outcomes, oracle_time) = self.run_oracle(*kind, &spec, &queries, &plan, &knobs);
             engine_time += oracle_time;
             for (query, outcome) in queries.iter().zip(outcomes.iter()) {
                 let finding_kind = match outcome {
@@ -268,7 +379,7 @@ impl CampaignRunner {
                     other => format!("[{}] {description}", other.name()),
                 };
                 let attributed = if self.config.attribute_findings {
-                    attribute(*kind, backend, &spec, query, &plan, finding_kind)
+                    attribute(*kind, backend, &spec, query, &plan, finding_kind, &knobs)
                 } else {
                     Vec::new()
                 };
@@ -282,6 +393,10 @@ impl CampaignRunner {
             }
         }
 
+        let probe_delta: Vec<(&'static str, u64)> = local::take()
+            .into_iter()
+            .filter(|(name, _)| guidance::is_universe_probe(name))
+            .collect();
         let (topo_hit, topo_total, _) = coverage::topo_coverage();
         let (sdb_hit, sdb_total, _) = spatter_sdb::coverage::sdb_coverage();
         IterationRecord {
@@ -295,24 +410,29 @@ impl CampaignRunner {
                 sdb_hit as f64 / sdb_total as f64,
             ),
             skipped,
+            probe_delta,
         }
     }
 
     /// Runs one oracle of the suite over the scenario, returning outcomes
     /// plus the time spent in engines. The AEI path reports exact in-engine
-    /// time; the baseline oracles report the wall time of their check.
+    /// time; the baseline oracles report the wall time of their check. The
+    /// scenario knobs apply to the AEI path only — the baseline oracles
+    /// define their own scan configurations (the Index oracle *is* an
+    /// index-on/off comparison).
     fn run_oracle(
         &self,
         kind: OracleKind,
         spec: &DatabaseSpec,
         queries: &[QueryInstance],
         plan: &TransformPlan,
+        knobs: &ScenarioKnobs,
     ) -> (Vec<OracleOutcome>, Duration) {
         let backend = self.config.backend.as_ref();
         match kind {
-            OracleKind::Aei => run_aei_iteration(backend, spec, queries, plan),
+            OracleKind::Aei => run_aei_iteration_with_knobs(backend, spec, queries, plan, knobs),
             other => {
-                let oracle = build_oracle(other, plan);
+                let oracle = build_oracle(other, plan, knobs);
                 let check_start = Instant::now();
                 let outcomes = oracle.check(backend, spec, queries);
                 (outcomes, check_start.elapsed())
@@ -322,10 +442,11 @@ impl CampaignRunner {
 }
 
 /// Instantiates the oracle for a suite entry. The AEI oracle is bound to the
-/// iteration's transformation plan; the baselines are stateless.
-fn build_oracle(kind: OracleKind, plan: &TransformPlan) -> Box<dyn Oracle> {
+/// iteration's transformation plan and scenario knobs (so attribution
+/// re-runs replay the exact scenario); the baselines are stateless.
+fn build_oracle(kind: OracleKind, plan: &TransformPlan, knobs: &ScenarioKnobs) -> Box<dyn Oracle> {
     match kind {
-        OracleKind::Aei => Box::new(AeiOracle::new(plan.clone())),
+        OracleKind::Aei => Box::new(AeiOracle::new(plan.clone()).with_knobs(knobs.clone())),
         OracleKind::Differential(profile) => Box::new(DifferentialOracle::against_stock(profile)),
         OracleKind::Index => Box::new(IndexOracle),
         OracleKind::Tlp => Box::new(TlpOracle),
@@ -339,6 +460,7 @@ fn build_oracle(kind: OracleKind, plan: &TransformPlan) -> Box<dyn Oracle> {
 /// re-checked with the oracle that produced it, against the backend's
 /// `without_fault` variants; backends with no known fault set (e.g. real
 /// engines) report nothing, which leaves the finding unattributed.
+#[allow(clippy::too_many_arguments)]
 fn attribute(
     oracle_kind: OracleKind,
     backend: &dyn EngineBackend,
@@ -346,8 +468,9 @@ fn attribute(
     query: &QueryInstance,
     plan: &TransformPlan,
     kind: FindingKind,
+    knobs: &ScenarioKnobs,
 ) -> Vec<FaultId> {
-    let oracle = build_oracle(oracle_kind, plan);
+    let oracle = build_oracle(oracle_kind, plan, knobs);
     let queries = std::slice::from_ref(query);
     let mut attributed = Vec::new();
     for fault in backend.fault_ids() {
@@ -446,6 +569,7 @@ mod tests {
             engine_time: Duration::from_millis(2),
             coverage: (Duration::ZERO, 0.0, 0.0),
             skipped: 1,
+            probe_delta: vec![("topo.predicate.intersects", iteration as u64)],
         };
         let shards = vec![
             ShardReport {
@@ -461,6 +585,10 @@ mod tests {
         assert_eq!(report.engine_time, Duration::from_millis(8));
         assert_eq!(report.coverage_timeline.len(), 4);
         assert_eq!(report.skipped_queries, 4);
+        // Probe coverage is the union over records with non-zero counts
+        // (iteration 0's zero-count delta contributes nothing).
+        assert_eq!(report.probes_covered(), 1);
+        assert!(report.probe_coverage.contains("topo.predicate.intersects"));
     }
 
     #[test]

@@ -120,6 +120,14 @@ impl<T> RTree<T> {
     /// **plus every entry tied with the k-th distance** — callers that need
     /// exactly `k` apply their own deterministic tie-break, which is what
     /// keeps an index KNN scan consistent with a stable `ORDER BY` sort.
+    ///
+    /// Priorities are compared with `f64::total_cmp`, so a **positive** NaN
+    /// distance orders after every finite distance (it is never pruned by
+    /// the cutoff — `NaN > cutoff` is false — and pops last): such entries
+    /// surface after all finite ones, matching an engine sort that places
+    /// NaN keys last. Callers whose distance function can produce a
+    /// *negative* NaN must canonicalize it (e.g. to `f64::NAN`) first, since
+    /// `total_cmp` orders negative NaN before `-inf`.
     pub fn nearest_with<F>(
         &self,
         probe: &Envelope,
@@ -640,6 +648,33 @@ mod tests {
         // k = 2 but both distance-5 entries are returned (tie at the cutoff).
         assert_eq!(got.len(), 3);
         assert_eq!(got[0].0, 0.0);
+    }
+
+    #[test]
+    fn nearest_with_orders_nan_distances_last() {
+        // Entries whose exact distance is (positive) NaN behave like
+        // "farther than everything": finite-distance entries come first and
+        // in distance order, NaN entries surface after them. This mirrors
+        // the engine's NaN-last ORDER BY semantics so the index KNN path and
+        // the seqscan sort can never disagree over a NaN key.
+        let mut tree = RTree::new();
+        for i in 0..6 {
+            tree.insert(Envelope::from_coord(Coord::new(i as f64, 0.0)), i);
+        }
+        let probe = Envelope::from_coord(Coord::new(0.0, 0.0));
+        let exact = |i: &i32| Some(if i % 2 == 0 { f64::NAN } else { *i as f64 });
+        let got = tree.nearest_with(&probe, 4, exact);
+        assert!(got.len() >= 4);
+        let (finite, nan): (Vec<_>, Vec<_>) = got.iter().partition(|(d, _)| d.is_finite());
+        let finite_ids: Vec<i32> = finite.iter().map(|(_, &i)| i).collect();
+        assert_eq!(finite_ids, vec![1, 3, 5]);
+        // All NaN entries come after every finite entry.
+        let first_nan = got.iter().position(|(d, _)| d.is_nan());
+        if let Some(pos) = first_nan {
+            assert!(got[..pos].iter().all(|(d, _)| d.is_finite()));
+            assert!(got[pos..].iter().all(|(d, _)| d.is_nan()));
+        }
+        assert!(!nan.is_empty(), "NaN entries are returned, not dropped");
     }
 
     #[test]

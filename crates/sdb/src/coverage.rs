@@ -4,6 +4,8 @@
 
 use spatter_topo::coverage as topo_coverage;
 
+pub use spatter_topo::coverage::{ColdProbeMap, CoverageSnapshot};
+
 /// The probes of the SQL-engine layer.
 pub const SDB_PROBES: &[&str] = &[
     "sdb.parse.create_table",
@@ -76,5 +78,18 @@ mod tests {
         assert!(!SDB_PROBES
             .iter()
             .any(|p| topo_coverage::TOPO_PROBES.contains(p)));
+    }
+
+    #[test]
+    fn reexported_snapshot_types_classify_engine_probes() {
+        // The snapshot/cold-map machinery lives in spatter_topo::coverage;
+        // this re-export makes it addressable from the engine layer with the
+        // engine's own probe list.
+        let mut snapshot = CoverageSnapshot::new();
+        snapshot.absorb(&[("sdb.exec.insert", 3)]);
+        let cold = ColdProbeMap::from_snapshot(&snapshot, SDB_PROBES);
+        assert!(!cold.is_cold("sdb.exec.insert"));
+        assert!(cold.is_cold("sdb.exec.knn_index_scan"));
+        assert_eq!(cold.len(), SDB_PROBES.len() - 1);
     }
 }

@@ -476,7 +476,13 @@ impl Engine {
             let row = &table.rows[row_idx];
             let binding = RowBinding::single(table_ref, table, row);
             match evaluate_expr(&order.expr, Some(&binding), &self.database, ctx) {
-                Ok(value) => value.as_double(),
+                // NaN distances are canonicalized to the positive quiet NaN
+                // so the tree's `total_cmp` priority queue orders them last,
+                // matching `compare_doubles` (a negative NaN would otherwise
+                // sort *first* under `total_cmp`).
+                Ok(value) => value
+                    .as_double()
+                    .map(|d| if d.is_nan() { f64::NAN } else { d }),
                 Err(error) => {
                     eval_error = Some(error);
                     None
@@ -487,12 +493,15 @@ impl Engine {
             return Err(error);
         }
         // The tree returns boundary ties beyond `k`; re-apply the sequential
-        // path's deterministic order (distance, then row position) and cut.
+        // path's deterministic order (distance via the engine-wide
+        // `compare_doubles` semantics, then row position) and cut. Using the
+        // shared comparator keeps NaN distances ordered exactly like the
+        // seqscan sort: after every defined key, before NULL keys.
         let mut picked: Vec<(f64, usize)> = neighbours
             .into_iter()
             .map(|(distance, &row_idx)| (distance, row_idx))
             .collect();
-        picked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        picked.sort_by(|a, b| compare_doubles(a.0, b.0).then(a.1.cmp(&b.1)));
         picked.truncate(k);
         let mut row_indices: Vec<usize> = picked.into_iter().map(|(_, idx)| idx).collect();
         // Rows whose sort key is NULL (EMPTY geometries, faulty NULL
@@ -857,10 +866,15 @@ fn evaluate_expr(
                 },
                 "int" | "integer" | "bigint" => inner
                     .as_int()
+                    .or_else(|| inner.as_text().and_then(|t| t.trim().parse::<i64>().ok()))
                     .map(Value::Int)
                     .ok_or_else(|| SdbError::Execution("cannot cast to integer".into())),
+                // Text parses like PostgreSQL's `'NaN'::float8` /
+                // `'Infinity'::float8`: non-finite spellings are legal and
+                // flow into the engine-wide `compare_doubles` semantics.
                 "double" | "float" => inner
                     .as_double()
+                    .or_else(|| inner.as_text().and_then(|t| t.trim().parse::<f64>().ok()))
                     .map(Value::Double)
                     .ok_or_else(|| SdbError::Execution("cannot cast to double".into())),
                 "text" | "varchar" => Ok(Value::Text(inner.to_string())),
@@ -932,11 +946,26 @@ fn evaluate_binary(
     }
 }
 
+/// The engine-wide total order on doubles, following PostgreSQL's `float8`
+/// semantics: every NaN compares equal to every other NaN and **greater than
+/// every non-NaN value** (so NaN sorts last among defined keys, before SQL
+/// NULL). Shared by WHERE-clause comparisons ([`compare_values`]), the
+/// `ORDER BY` sort ([`compare_order_keys`]) and the index KNN path's final
+/// ordering, so the same NaN-producing expression behaves identically in a
+/// filter, a sort key and a nearest-neighbour distance — it is never a hard
+/// error in one path and a silently ordered value in another.
+fn compare_doubles(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN doubles are ordered"),
+    }
+}
+
 fn compare_values(lhs: &Value, rhs: &Value) -> SdbResult<std::cmp::Ordering> {
     if let (Some(a), Some(b)) = (lhs.as_double(), rhs.as_double()) {
-        return a
-            .partial_cmp(&b)
-            .ok_or_else(|| SdbError::Execution("cannot compare NaN".into()));
+        return Ok(compare_doubles(a, b));
     }
     if let (Value::Text(a), Value::Text(b)) = (lhs, rhs) {
         return Ok(a.cmp(b));
@@ -1102,7 +1131,7 @@ fn compare_order_keys(
 ) -> std::cmp::Ordering {
     let by_key = match (a, b) {
         (Some(x), Some(y)) => {
-            let ordering = x.total_cmp(y);
+            let ordering = compare_doubles(*x, *y);
             if descending {
                 ordering.reverse()
             } else {
@@ -1653,6 +1682,157 @@ mod tests {
             ),
             2
         );
+    }
+
+    #[test]
+    fn nan_comparison_semantics_in_where_clauses() {
+        // Regression (filter path): a NaN-producing expression used to be a
+        // hard "cannot compare NaN" execution error in a WHERE clause while
+        // the same value was silently ordered by ORDER BY. The unified
+        // semantics follow PostgreSQL float8: NaN = NaN, NaN > everything.
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        engine
+            .execute_script(
+                "CREATE TABLE t (id int, x double);
+                 INSERT INTO t (id, x) VALUES (1, 3.0), (2, 'NaN'::double), (3, 1.0);",
+            )
+            .unwrap();
+        // NaN is greater than every non-NaN value...
+        assert_eq!(count(&mut engine, "SELECT COUNT(*) FROM t WHERE x > 2"), 2);
+        // ...equal to itself...
+        assert_eq!(
+            count(
+                &mut engine,
+                "SELECT COUNT(*) FROM t WHERE x = 'NaN'::double"
+            ),
+            1
+        );
+        // ...and never less than anything.
+        assert_eq!(
+            count(
+                &mut engine,
+                "SELECT COUNT(*) FROM t WHERE x < 'Infinity'::double"
+            ),
+            2
+        );
+        // Scalar comparisons agree with the filter path.
+        let result = engine
+            .execute("SELECT 'NaN'::double = 'NaN'::double;")
+            .unwrap();
+        assert_eq!(result.single_value(), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn nan_order_keys_sort_after_defined_before_null() {
+        // Regression (sort path): NaN keys order after every defined key but
+        // before SQL NULL, in both ascending and descending runs, exactly as
+        // `compare_doubles` documents.
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        engine
+            .execute_script(
+                "CREATE TABLE t (id int, x double);
+                 INSERT INTO t (id, x) VALUES
+                 (1, 3.0), (2, 'NaN'::double), (3, 1.0), (4, NULL);",
+            )
+            .unwrap();
+        let ids = |engine: &mut Engine, sql: &str| -> Vec<i64> {
+            engine
+                .execute(sql)
+                .unwrap()
+                .rows
+                .iter()
+                .map(|r| r[0].as_int().unwrap())
+                .collect()
+        };
+        assert_eq!(
+            ids(&mut engine, "SELECT a.id FROM t a ORDER BY a.x LIMIT 4"),
+            vec![3, 1, 2, 4]
+        );
+        // DESC reverses defined keys (NaN counts as the largest defined
+        // key); NULLs stay last.
+        assert_eq!(
+            ids(
+                &mut engine,
+                "SELECT a.id FROM t a ORDER BY a.x DESC LIMIT 4"
+            ),
+            vec![2, 1, 3, 4]
+        );
+        // A LIMIT that cuts right at the NaN key is deterministic.
+        assert_eq!(
+            ids(&mut engine, "SELECT a.id FROM t a ORDER BY a.x LIMIT 3"),
+            vec![3, 1, 2]
+        );
+    }
+
+    #[test]
+    fn nan_tied_order_keys_fall_back_to_row_order_under_limit() {
+        // All-NaN keys are mutual ties: the stable sort must fall back to
+        // row order on every profile, and LIMIT must cut deterministically.
+        for profile in EngineProfile::ALL {
+            let mut engine = Engine::reference(profile);
+            knn_setup(&mut engine);
+            let result = engine
+                .execute("SELECT a.id FROM t a ORDER BY 'NaN'::double LIMIT 3")
+                .unwrap();
+            let ids: Vec<i64> = result.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+            assert_eq!(ids, vec![1, 2, 3], "{}", profile.name());
+        }
+    }
+
+    #[test]
+    fn join_order_by_limit_ties_at_cutoff_use_pair_order() {
+        // Tie-break audit: equal sort keys straddling the LIMIT cutoff in a
+        // join pick the earliest join pairs (left row order, then right row
+        // order), the same deterministic rule the single-table paths use.
+        let setup = "CREATE TABLE a (id int, g geometry);
+            CREATE TABLE b (id int, g geometry);
+            INSERT INTO a (id, g) VALUES (1, 'POINT(0 0)'), (2, 'POINT(10 0)');
+            INSERT INTO b (id, g) VALUES (1, 'POINT(0 5)'), (2, 'POINT(10 5)'), (3, 'POINT(0 -5)');";
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        engine.execute_script(setup).unwrap();
+        // Every pair is within distance 100; three pairs tie at distance 5
+        // and the rest are farther, so LIMIT 3 cuts exactly at the tie group
+        // and must keep it in pair-enumeration order.
+        let result = engine
+            .execute(
+                "SELECT a.id, b.id FROM a JOIN b ON ST_DWithin(a.g, b.g, 100) \
+                 ORDER BY ST_Distance(a.g, b.g) LIMIT 3",
+            )
+            .unwrap();
+        let pairs: Vec<(i64, i64)> = result
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(pairs, vec![(1, 1), (1, 3), (2, 2)]);
+    }
+
+    #[test]
+    fn knn_tie_at_cutoff_is_stable_across_seqscan_index_and_reruns() {
+        // Tie-break audit: ties exactly at the k-th distance must resolve to
+        // the same (earliest-row) subset on the seqscan sort and the index
+        // NN scan, and identically on every re-run — the well-definedness
+        // skip in the oracles relies on engines being deterministic even on
+        // inputs the oracle refuses to compare.
+        let setup = "CREATE TABLE t (id int, g geometry);
+            INSERT INTO t (id, g) VALUES
+            (1, 'POINT(3 4)'), (2, 'POINT(4 3)'), (3, 'POINT(-3 -4)'), (4, 'POINT(0 5)'),
+            (5, 'POINT(1 0)');";
+        let mut seq = Engine::reference(EngineProfile::PostgisLike);
+        seq.execute_script(setup).unwrap();
+        let mut indexed = Engine::reference(EngineProfile::PostgisLike);
+        indexed.execute_script(setup).unwrap();
+        indexed
+            .execute("CREATE INDEX idx ON t USING GIST (g);")
+            .unwrap();
+        indexed.execute("SET enable_seqscan = false;").unwrap();
+        // Four rows tie at distance 5; every k cuts somewhere around them.
+        for k in 1..=5 {
+            let first = knn_ids(&mut seq, k);
+            assert_eq!(first, knn_ids(&mut indexed, k), "k = {k}");
+            assert_eq!(first, knn_ids(&mut seq, k), "k = {k} re-run");
+        }
+        assert_eq!(knn_ids(&mut seq, 3), vec![5, 1, 2]);
     }
 
     #[test]

@@ -19,8 +19,29 @@
 //! load plus one relaxed `fetch_add` on that probe's own counter — no lock,
 //! no shared cache line between distinct probes. The previous implementation
 //! (a global `Mutex<HashSet>`) serialized every probe hit across all workers.
+//!
+//! Every query — membership, counting, snapshotting — verifies the **full
+//! probe name** against the stored key, never just the slot index: an
+//! open-addressing collision can place two names in adjacent slots, and a
+//! slot-only check would report a never-hit name as hit whenever it collides
+//! with a hot one (the phantom-hit bug the collision regression test below
+//! pins down).
+//!
+//! # Scoped measurement
+//!
+//! The global counters accumulate hits from every thread of the process —
+//! fine for the Figure 8 coverage fractions, useless for asking "which
+//! probes did *this* iteration hit?" when other workers (or unrelated tests
+//! in the same binary) run concurrently. The [`local`] module provides a
+//! thread-local delta recorder for that question: between [`local::start`]
+//! and [`local::take`], every `hit` on the calling thread is also tallied
+//! privately, so a campaign iteration that executes entirely on one worker
+//! thread measures its own probe delta exactly, regardless of what the rest
+//! of the process is doing. The coverage-guided campaign runner builds its
+//! [`CoverageSnapshot`]s from these deltas, which is what keeps guided
+//! generation deterministic across worker counts.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
@@ -121,15 +142,33 @@ fn hash(name: &str) -> usize {
     h as usize & (TABLE_SLOTS - 1)
 }
 
-/// Finds the entry for `name`, registering it when `insert` is true.
-fn lookup(name: &'static str, insert: bool) -> Option<&'static ProbeEntry> {
+/// Read-only lookup: walks the probe chain of `name` and returns its entry
+/// only when the **stored key matches the full name**. Colliding names that
+/// landed in the chain are stepped over, and a never-registered name returns
+/// `None` — it can never alias another probe's counter.
+fn find(name: &str) -> Option<&'static ProbeEntry> {
     let mut slot = hash(name);
     for _ in 0..TABLE_SLOTS {
         let current = TABLE[slot].load(Ordering::Acquire);
         if current.is_null() {
-            if !insert {
-                return None;
-            }
+            return None;
+        }
+        // Safety: non-null slots point at leaked, immortal entries.
+        let existing = unsafe { &*current };
+        if existing.name == name {
+            return Some(existing);
+        }
+        slot = (slot + 1) & (TABLE_SLOTS - 1);
+    }
+    None
+}
+
+/// Finds the entry for `name`, registering it first if needed.
+fn find_or_register(name: &'static str) -> &'static ProbeEntry {
+    let mut slot = hash(name);
+    for _ in 0..TABLE_SLOTS {
+        let current = TABLE[slot].load(Ordering::Acquire);
+        if current.is_null() {
             let entry = Box::into_raw(Box::new(ProbeEntry {
                 name,
                 count: AtomicU64::new(0),
@@ -141,7 +180,7 @@ fn lookup(name: &'static str, insert: bool) -> Option<&'static ProbeEntry> {
                 Ordering::Acquire,
             ) {
                 // Safety: the entry was just leaked and is never freed.
-                Ok(_) => return Some(unsafe { &*entry }),
+                Ok(_) => return unsafe { &*entry },
                 Err(_) => {
                     // Lost the race; free our candidate and re-examine the
                     // slot (the winner may have registered this very name).
@@ -153,7 +192,7 @@ fn lookup(name: &'static str, insert: bool) -> Option<&'static ProbeEntry> {
         // Safety: non-null slots point at leaked, immortal entries.
         let existing = unsafe { &*current };
         if existing.name == name {
-            return Some(existing);
+            return existing;
         }
         slot = (slot + 1) & (TABLE_SLOTS - 1);
     }
@@ -163,14 +202,20 @@ fn lookup(name: &'static str, insert: bool) -> Option<&'static ProbeEntry> {
 /// Records that the probe `name` executed. Unknown probe names are recorded
 /// too (they simply do not count towards the static denominator).
 pub fn hit(name: &'static str) {
-    if let Some(entry) = lookup(name, true) {
-        entry.count.fetch_add(1, Ordering::Relaxed);
-    }
+    let entry = find_or_register(name);
+    entry.count.fetch_add(1, Ordering::Relaxed);
+    local::record(entry);
 }
 
 /// How often `name` was hit since the last [`reset`].
 pub fn hit_count(name: &'static str) -> u64 {
-    lookup(name, false).map_or(0, |e| e.count.load(Ordering::Relaxed))
+    hit_count_of(name)
+}
+
+/// [`hit_count`] for names that are not `'static` (snapshot captures, report
+/// tooling). Never-registered names count 0.
+pub fn hit_count_of(name: &str) -> u64 {
+    find(name).map_or(0, |e| e.count.load(Ordering::Relaxed))
 }
 
 /// Clears all recorded probe hits (names stay registered; counters go to 0).
@@ -200,10 +245,12 @@ pub fn hits() -> HashSet<&'static str> {
     set
 }
 
-/// Number of probes hit that belong to a given probe list.
+/// Number of probes of a given list that were hit. Each name is looked up
+/// individually with the full key verified, so a never-hit (or never even
+/// registered) probe name always counts 0 — a slot collision with a hot
+/// probe cannot manufacture a phantom hit.
 pub fn hit_count_in(probes: &[&str]) -> usize {
-    let hits = hits();
-    probes.iter().filter(|p| hits.contains(*p)).count()
+    probes.iter().filter(|p| hit_count_of(p) > 0).count()
 }
 
 /// Coverage summary of this crate's probes: `(hit, total, fraction)`.
@@ -211,6 +258,172 @@ pub fn topo_coverage() -> (usize, usize, f64) {
     let hit = hit_count_in(TOPO_PROBES);
     let total = TOPO_PROBES.len();
     (hit, total, hit as f64 / total as f64)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots and cold-probe maps
+// ---------------------------------------------------------------------------
+
+/// An immutable per-probe hit-count snapshot.
+///
+/// Snapshots are plain sorted maps, cheap to diff and merge, and carry no
+/// connection to the live registry: code that consumes one (the
+/// coverage-guided campaign runner) sees a frozen view, never the
+/// still-moving global counters. They are built by absorbing the
+/// thread-local deltas of [`local::take`] — deliberately *not* by reading
+/// the global counters, whose state depends on what every other thread in
+/// the process happens to be doing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageSnapshot {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl CoverageSnapshot {
+    /// An empty snapshot (every probe cold).
+    pub fn new() -> Self {
+        CoverageSnapshot::default()
+    }
+
+    /// Adds a delta (e.g. one iteration's [`local::take`] tally) into this
+    /// snapshot.
+    pub fn absorb(&mut self, delta: &[(&'static str, u64)]) {
+        for &(name, count) in delta {
+            *self.counts.entry(name).or_insert(0) += count;
+        }
+    }
+
+    /// The recorded count for `name` (0 when absent).
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Probes recorded with a non-zero count, in sorted order.
+    pub fn hit_probes(&self) -> Vec<&'static str> {
+        self.counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Probe names whose count grew relative to `earlier` (including probes
+    /// absent there), in sorted order — the "what did the last span of work
+    /// newly exercise" diff.
+    pub fn newly_hit_since(&self, earlier: &CoverageSnapshot) -> Vec<&'static str> {
+        self.counts
+            .iter()
+            .filter(|(name, &count)| count > earlier.count(name))
+            .map(|(&n, _)| n)
+            .collect()
+    }
+}
+
+/// The cold-probe classification of a [`CoverageSnapshot`] against a probe
+/// universe: a probe is *cold* when the snapshot never saw it hit. This is
+/// the signal the coverage-guided generator steers towards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColdProbeMap {
+    cold: BTreeSet<&'static str>,
+}
+
+impl ColdProbeMap {
+    /// Classifies every probe of `universe` against the snapshot.
+    pub fn from_snapshot(snapshot: &CoverageSnapshot, universe: &[&'static str]) -> Self {
+        ColdProbeMap {
+            cold: universe
+                .iter()
+                .copied()
+                .filter(|p| snapshot.count(p) == 0)
+                .collect(),
+        }
+    }
+
+    /// Whether `name` is cold (in the universe and never hit).
+    pub fn is_cold(&self, name: &str) -> bool {
+        self.cold.contains(name)
+    }
+
+    /// How many of the given probes are cold.
+    pub fn cold_count_in(&self, probes: &[&str]) -> usize {
+        probes.iter().filter(|p| self.is_cold(p)).count()
+    }
+
+    /// Number of cold probes.
+    pub fn len(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// Whether every universe probe was hit.
+    pub fn is_empty(&self) -> bool {
+        self.cold.is_empty()
+    }
+
+    /// The cold probes, in sorted order.
+    pub fn cold_probes(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.cold.iter().copied()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local delta recording
+// ---------------------------------------------------------------------------
+
+/// Scoped, thread-local probe-delta recording (see the module docs).
+///
+/// Probes fire per row-pair inside join scans, so the recorder's per-hit
+/// cost matters: one thread-local access and a borrow-flag check when
+/// inactive (every engine user outside a campaign pays only that), plus one
+/// `Vec` push of the immortal entry reference when active — no hashing, no
+/// branching on probe identity. Aggregation (group by entry address,
+/// resolve names, sort) is deferred to [`take`], which runs once per
+/// campaign iteration instead of once per hit.
+pub mod local {
+    use super::ProbeEntry;
+    use std::cell::RefCell;
+
+    thread_local! {
+        static LOG: RefCell<Option<Vec<&'static ProbeEntry>>> = const { RefCell::new(None) };
+    }
+
+    /// Starts (or restarts, discarding any running log) recording probe
+    /// hits of the calling thread.
+    pub fn start() {
+        LOG.with(|l| *l.borrow_mut() = Some(Vec::new()));
+    }
+
+    /// Stops recording and returns the per-probe tally sorted by probe
+    /// name. Returns an empty vector when [`start`] was never called on
+    /// this thread.
+    pub fn take() -> Vec<(&'static str, u64)> {
+        let mut entries: Vec<&'static ProbeEntry> =
+            LOG.with(|l| l.borrow_mut().take()).unwrap_or_default();
+        // Entries are unique per name (the registry dedups on registration),
+        // so grouping by address is grouping by probe.
+        entries.sort_unstable_by_key(|e| *e as *const ProbeEntry as usize);
+        let mut delta: Vec<(&'static str, u64)> = Vec::new();
+        let mut i = 0;
+        while i < entries.len() {
+            let first = entries[i];
+            let mut count = 0u64;
+            while i < entries.len() && std::ptr::eq(entries[i], first) {
+                count += 1;
+                i += 1;
+            }
+            delta.push((first.name, count));
+        }
+        delta.sort_unstable();
+        delta
+    }
+
+    /// Called by [`super::hit`] with the probe's immortal registry entry:
+    /// one thread-local access, one borrow-flag check, one `Vec` push.
+    pub(super) fn record(entry: &'static ProbeEntry) {
+        LOG.with(|l| {
+            if let Some(log) = l.borrow_mut().as_mut() {
+                log.push(entry);
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -251,7 +464,44 @@ mod tests {
         // Unknown names are recorded but can never count towards the static
         // denominator, which only ever tallies the TOPO_PROBES list.
         assert!(!TOPO_PROBES.contains(&"not.a.real.probe"));
+        // Only the name that was actually hit counts; a never-hit name
+        // counts 0 even alongside a hot one, and a never-registered list
+        // reports a clean zero.
         assert_eq!(hit_count_in(&["not.a.real.probe", "also.not.real"]), 1);
+        assert_eq!(hit_count_in(&["also.not.real"]), 0);
+        assert_eq!(hit_count_of("also.not.real"), 0);
+        assert_eq!(
+            hit_count_in(&["never.registered.1", "never.registered.2"]),
+            0
+        );
+    }
+
+    #[test]
+    fn colliding_probe_names_never_alias() {
+        let _guard = EXCLUSIVE.lock().unwrap();
+        // These three names share one open-addressing slot (FNV-1a mod 1024),
+        // so they occupy a single probe chain. Counting and membership must
+        // still verify the full key: hitting one of them must not make its
+        // chain neighbours look hit (the phantom-hit regression).
+        let colliding: [&'static str; 3] =
+            ["cov.collide.0", "cov.collide.1214", "cov.collide.2228"];
+        assert!(
+            colliding.iter().all(|n| hash(n) == hash(colliding[0])),
+            "test names no longer collide; recompute them"
+        );
+        reset();
+        hit(colliding[0]);
+        hit(colliding[0]);
+        assert_eq!(hit_count(colliding[0]), 2);
+        assert_eq!(hit_count(colliding[1]), 0);
+        assert_eq!(hit_count(colliding[2]), 0);
+        assert_eq!(hit_count_in(&colliding), 1);
+        // Each colliding probe keeps its own independent counter.
+        hit(colliding[2]);
+        assert_eq!(hit_count(colliding[0]), 2);
+        assert_eq!(hit_count(colliding[1]), 0);
+        assert_eq!(hit_count(colliding[2]), 1);
+        assert_eq!(hit_count_in(&colliding), 2);
     }
 
     #[test]
@@ -286,5 +536,62 @@ mod tests {
             assert_eq!(hit_count(name), 10_000);
         }
         assert_eq!(hit_count("cov.test.shared"), 40_000);
+    }
+
+    #[test]
+    fn snapshots_diff_and_classify_cold_probes() {
+        let universe: [&'static str; 3] = ["cov.snap.a", "cov.snap.b", "cov.snap.c"];
+        let mut before = CoverageSnapshot::new();
+        before.absorb(&[("cov.snap.a", 1)]);
+        assert_eq!(before.count("cov.snap.a"), 1);
+        assert_eq!(before.count("cov.snap.b"), 0);
+        assert_eq!(before.hit_probes(), vec!["cov.snap.a"]);
+
+        let mut after = before.clone();
+        after.absorb(&[("cov.snap.a", 1), ("cov.snap.b", 1)]);
+        assert_eq!(
+            after.newly_hit_since(&before),
+            vec!["cov.snap.a", "cov.snap.b"]
+        );
+
+        let cold = ColdProbeMap::from_snapshot(&after, &universe);
+        assert!(!cold.is_cold("cov.snap.a"));
+        assert!(!cold.is_cold("cov.snap.b"));
+        assert!(cold.is_cold("cov.snap.c"));
+        assert!(!cold.is_cold("cov.not.in.universe"));
+        assert_eq!(cold.len(), 1);
+        assert_eq!(cold.cold_count_in(&universe), 1);
+        assert_eq!(cold.cold_probes().collect::<Vec<_>>(), vec!["cov.snap.c"]);
+    }
+
+    #[test]
+    fn snapshot_absorbs_deltas() {
+        let mut snapshot = CoverageSnapshot::new();
+        snapshot.absorb(&[("cov.delta.a", 2), ("cov.delta.b", 1)]);
+        snapshot.absorb(&[("cov.delta.a", 3)]);
+        assert_eq!(snapshot.count("cov.delta.a"), 5);
+        assert_eq!(snapshot.count("cov.delta.b"), 1);
+        assert_eq!(snapshot.count("cov.delta.c"), 0);
+    }
+
+    #[test]
+    fn local_recorder_is_scoped_to_the_thread() {
+        // No EXCLUSIVE guard needed: the recorder is thread-local by design,
+        // which is exactly what this test demonstrates.
+        local::start();
+        hit("cov.local.mine");
+        hit("cov.local.mine");
+        let other = std::thread::spawn(|| {
+            // Hits on another thread are invisible to this thread's tally
+            // (and that thread never started recording, so its hits only go
+            // to the global counters).
+            hit("cov.local.other");
+        });
+        other.join().unwrap();
+        let delta = local::take();
+        assert_eq!(delta, vec![("cov.local.mine", 2)]);
+        // Recording stopped: further hits are not tallied.
+        hit("cov.local.mine");
+        assert_eq!(local::take(), Vec::new());
     }
 }

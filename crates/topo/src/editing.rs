@@ -101,6 +101,26 @@ impl EditFunction {
             _ => "Generic",
         }
     }
+
+    /// The coverage probe this function's implementation hits — the handle
+    /// the coverage-guided generator uses to steer the derivative strategy
+    /// towards editing functions whose code paths are still cold.
+    pub fn probe_name(&self) -> &'static str {
+        match self {
+            EditFunction::SetPoint => "topo.editing.set_point",
+            EditFunction::Polygonize => "topo.editing.polygonize",
+            EditFunction::DumpRings => "topo.editing.dump_rings",
+            EditFunction::ForcePolygonCW => "topo.editing.force_polygon_cw",
+            EditFunction::GeometryN => "topo.editing.geometry_n",
+            EditFunction::CollectionExtract => "topo.editing.collection_extract",
+            EditFunction::Boundary => "topo.editing.boundary",
+            EditFunction::ConvexHull => "topo.editing.convex_hull",
+            EditFunction::Envelope => "topo.editing.envelope",
+            EditFunction::Reverse => "topo.editing.reverse",
+            EditFunction::PointN => "topo.editing.point_n",
+            EditFunction::Collect => "topo.editing.collect",
+        }
+    }
 }
 
 /// `ST_SetPoint`: replace the `index`-th (0-based) vertex of a LINESTRING.
@@ -531,6 +551,15 @@ mod tests {
         assert_eq!(EditFunction::GeometryN.category(), "Multi-Dimensional");
         assert_eq!(EditFunction::ConvexHull.category(), "Generic");
         assert_eq!(EditFunction::Collect.function_name(), "ST_Collect");
+        // Every editing function advertises a probe that exists in the
+        // static probe list (the guided generator keys off these names).
+        for edit in EditFunction::ALL {
+            assert!(
+                crate::coverage::TOPO_PROBES.contains(&edit.probe_name()),
+                "{} probe missing from TOPO_PROBES",
+                edit.function_name()
+            );
+        }
     }
 
     #[test]
