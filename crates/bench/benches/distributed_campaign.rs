@@ -1,0 +1,205 @@
+//! Scaling benchmark of the distributed campaign subsystem: iterations per
+//! second at 1/2/4 worker *processes* (each running its own thread pool)
+//! against the in-process runner, with the supervisor's merge and decode
+//! overhead broken out and findings determinism cross-checked between
+//! every run.
+//!
+//! Emits `BENCH_distributed_campaign.json` in the workspace root so the
+//! perf trajectory of the subsystem is recorded per PR. The distributed
+//! rows require the `spatter-campaign-worker` binary (built by
+//! `cargo build --workspace`); when it is absent the bench records the
+//! in-process reference row and says so.
+
+use spatter_core::campaign::CampaignConfig;
+use spatter_core::dist::{DistConfig, DistRunner};
+use spatter_core::runner::CampaignRunner;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const ITERATIONS: usize = 48;
+const THREADS_PER_WORKER: usize = 2;
+
+struct Sample {
+    label: String,
+    processes: usize,
+    threads_per_worker: usize,
+    seconds: f64,
+    iters_per_sec: f64,
+    merge_ms: f64,
+    decode_ms: f64,
+    leases: usize,
+    findings: usize,
+    unique_bugs: usize,
+    fingerprint: String,
+}
+
+fn campaign() -> CampaignConfig {
+    CampaignConfig {
+        iterations: ITERATIONS,
+        ..CampaignConfig::default()
+    }
+}
+
+fn bench_in_process() -> Sample {
+    let start = Instant::now();
+    let report = CampaignRunner::new(campaign())
+        .with_workers(THREADS_PER_WORKER)
+        .run();
+    let seconds = start.elapsed().as_secs_f64();
+    Sample {
+        label: "in-process".to_string(),
+        processes: 1,
+        threads_per_worker: THREADS_PER_WORKER,
+        seconds,
+        iters_per_sec: report.iterations_run as f64 / seconds.max(f64::EPSILON),
+        merge_ms: 0.0,
+        decode_ms: 0.0,
+        leases: 0,
+        findings: report.findings.len(),
+        unique_bugs: report.unique_bug_count(),
+        fingerprint: report.determinism_fingerprint(),
+    }
+}
+
+fn bench_distributed(worker: &PathBuf, processes: usize) -> Sample {
+    let dist = DistConfig::new(worker)
+        .with_processes(processes)
+        .with_threads_per_worker(THREADS_PER_WORKER);
+    let start = Instant::now();
+    let (report, stats) = DistRunner::new(campaign(), dist)
+        .run_with_stats()
+        .expect("distributed campaign");
+    let seconds = start.elapsed().as_secs_f64();
+    Sample {
+        label: format!("{processes}-proc"),
+        processes,
+        threads_per_worker: THREADS_PER_WORKER,
+        seconds,
+        iters_per_sec: report.iterations_run as f64 / seconds.max(f64::EPSILON),
+        merge_ms: stats.merge_time.as_secs_f64() * 1e3,
+        decode_ms: stats.decode_time.as_secs_f64() * 1e3,
+        leases: stats.leases_granted,
+        findings: report.findings.len(),
+        unique_bugs: report.unique_bug_count(),
+        fingerprint: report.determinism_fingerprint(),
+    }
+}
+
+/// Locates the worker binary next to this bench executable
+/// (`target/<profile>/spatter-campaign-worker`), if it has been built.
+fn worker_binary() -> Option<PathBuf> {
+    let mut path = std::env::current_exe().ok()?;
+    path.pop(); // the bench executable
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    for name in ["spatter-campaign-worker", "spatter-campaign-worker.exe"] {
+        let candidate = path.join(name);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+fn main() {
+    println!("== Distributed campaign scaling (default campaign config x{ITERATIONS}) ==\n");
+
+    let mut samples = vec![bench_in_process()];
+    match worker_binary() {
+        Some(worker) => {
+            for processes in [1usize, 2, 4] {
+                samples.push(bench_distributed(&worker, processes));
+            }
+        }
+        None => println!(
+            "note: spatter-campaign-worker binary not found next to the bench \
+             executable; distributed rows skipped (run `cargo build --workspace` first)\n"
+        ),
+    }
+
+    let widths = [12, 7, 9, 9, 11, 10, 10, 9];
+    spatter_bench::print_row(
+        &[
+            "config",
+            "procs",
+            "threads",
+            "time (s)",
+            "iters/sec",
+            "merge (ms)",
+            "decode(ms)",
+            "findings",
+        ]
+        .map(String::from),
+        &widths,
+    );
+    for sample in &samples {
+        spatter_bench::print_row(
+            &[
+                sample.label.clone(),
+                sample.processes.to_string(),
+                sample.threads_per_worker.to_string(),
+                format!("{:.3}", sample.seconds),
+                format!("{:.2}", sample.iters_per_sec),
+                format!("{:.2}", sample.merge_ms),
+                format!("{:.2}", sample.decode_ms),
+                sample.findings.to_string(),
+            ],
+            &widths,
+        );
+    }
+
+    // Determinism spot check: every split — and the in-process reference —
+    // produced the byte-identical report fingerprint.
+    let reference = &samples[0];
+    for sample in &samples[1..] {
+        assert_eq!(
+            sample.fingerprint, reference.fingerprint,
+            "distributed report diverged from in-process at {}",
+            sample.label
+        );
+    }
+    println!(
+        "\ndeterminism: all {} runs share one fingerprint",
+        samples.len()
+    );
+
+    let base = samples
+        .iter()
+        .find(|s| s.label == "1-proc")
+        .map(|s| s.iters_per_sec)
+        .unwrap_or(samples[0].iters_per_sec);
+    let entries: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"config\": \"{}\", \"processes\": {}, \"threads_per_worker\": {}, \"iterations\": {ITERATIONS}, \"seconds\": {:.4}, \"iters_per_sec\": {:.3}, \"speedup_vs_1proc\": {:.3}, \"merge_ms\": {:.3}, \"decode_ms\": {:.3}, \"leases\": {}, \"findings\": {}, \"unique_bugs\": {}}}",
+                s.label,
+                s.processes,
+                s.threads_per_worker,
+                s.seconds,
+                s.iters_per_sec,
+                s.iters_per_sec / base.max(f64::EPSILON),
+                s.merge_ms,
+                s.decode_ms,
+                s.leases,
+                s.findings,
+                s.unique_bugs
+            )
+        })
+        .collect();
+    // Speedup is bounded by the host: a small CI container reports ~1.0x at
+    // every process count even though the supervisor itself adds only the
+    // merge/decode overhead recorded above.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"distributed_campaign\",\n  \"config\": \"CampaignConfig::default() x{ITERATIONS} iterations, {THREADS_PER_WORKER} threads/worker\",\n  \"host_available_parallelism\": {cores},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_distributed_campaign.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_distributed_campaign.json");
+    println!("wrote {path}");
+}

@@ -87,6 +87,70 @@ impl fmt::Display for BackendError {
 
 impl std::error::Error for BackendError {}
 
+/// A plain-data description of how to construct a backend: the serializable
+/// counterpart of the [`EngineBackend`] trait objects a campaign actually
+/// runs. The distributed campaign subsystem ([`crate::dist`]) ships specs —
+/// not backends — over its wire protocol, and every worker process rebuilds
+/// an equivalent backend from the spec with [`BackendSpec::build`].
+///
+/// Backends that cannot be described this way (a future real-engine adapter
+/// holding live connections, say) simply report no spec from
+/// [`EngineBackend::wire_spec`] and are not usable in distributed campaigns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// An [`InProcessBackend`] of the given profile and fault set.
+    InProcess {
+        /// The engine profile.
+        profile: EngineProfile,
+        /// The seeded faults the engine carries.
+        faults: FaultSet,
+    },
+    /// A [`StdioBackend`] driving the given server binary.
+    Stdio {
+        /// Path to the `spatter-sdb-server` binary.
+        command: PathBuf,
+        /// The engine profile.
+        profile: EngineProfile,
+        /// The seeded faults the server is launched with.
+        faults: FaultSet,
+        /// Whether the server is launched with `--hard-crash`.
+        hard_crash: bool,
+    },
+}
+
+impl BackendSpec {
+    /// Builds the backend this spec describes.
+    pub fn build(&self) -> Arc<dyn EngineBackend> {
+        self.build_boxed().into()
+    }
+
+    /// [`BackendSpec::build`] as a boxed trait object (the form
+    /// [`crate::oracles::DifferentialOracle::against`] consumes).
+    pub fn build_boxed(&self) -> Box<dyn EngineBackend> {
+        match self {
+            BackendSpec::InProcess { profile, faults } => {
+                Box::new(InProcessBackend::new(*profile, faults.clone()))
+            }
+            BackendSpec::Stdio {
+                command,
+                profile,
+                faults,
+                hard_crash,
+            } => Box::new(
+                StdioBackend::new(command.clone(), *profile, faults.clone())
+                    .with_hard_crash(*hard_crash),
+            ),
+        }
+    }
+
+    /// The profile of the backend the spec describes.
+    pub fn profile(&self) -> EngineProfile {
+        match self {
+            BackendSpec::InProcess { profile, .. } | BackendSpec::Stdio { profile, .. } => *profile,
+        }
+    }
+}
+
 /// One open engine session: a private database that lives for one scenario.
 ///
 /// Object-safe so oracles can hold heterogeneous sessions (`Box<dyn
@@ -140,6 +204,15 @@ pub trait EngineBackend: fmt::Debug + Send + Sync {
     /// Whether the engine documents a given `ST_*` function.
     fn supports_function(&self, function: &str) -> bool {
         self.profile().supports_function(function)
+    }
+
+    /// The serializable [`BackendSpec`] describing this backend, if one
+    /// exists. Distributed campaigns ([`crate::dist`]) require it — a worker
+    /// process rebuilds the backend from the spec — so backends that cannot
+    /// be described as plain data return `None` and are rejected by the
+    /// distributed supervisor with a structured error.
+    fn wire_spec(&self) -> Option<BackendSpec> {
+        None
     }
 }
 
@@ -217,6 +290,13 @@ impl EngineBackend for InProcessBackend {
         let mut reduced = self.clone();
         reduced.faults.disable(fault);
         Box::new(reduced)
+    }
+
+    fn wire_spec(&self) -> Option<BackendSpec> {
+        Some(BackendSpec::InProcess {
+            profile: self.profile,
+            faults: self.faults.clone(),
+        })
     }
 }
 
@@ -413,6 +493,15 @@ impl EngineBackend for StdioBackend {
         let mut reduced = self.clone();
         reduced.faults.disable(fault);
         Box::new(reduced)
+    }
+
+    fn wire_spec(&self) -> Option<BackendSpec> {
+        Some(BackendSpec::Stdio {
+            command: self.command.clone(),
+            profile: self.profile,
+            faults: self.faults.clone(),
+            hard_crash: self.hard_crash,
+        })
     }
 }
 
@@ -661,6 +750,34 @@ mod tests {
         assert!(!reduced_ids.contains(&all[0]));
         // The original is untouched.
         assert_eq!(backend.fault_ids(), all);
+    }
+
+    #[test]
+    fn wire_specs_round_trip_through_build() {
+        let in_process = InProcessBackend::stock(EngineProfile::MysqlLike);
+        let spec = in_process.wire_spec().expect("in-process specs exist");
+        assert_eq!(
+            spec,
+            BackendSpec::InProcess {
+                profile: EngineProfile::MysqlLike,
+                faults: EngineProfile::MysqlLike.default_faults(),
+            }
+        );
+        // Building from the spec reproduces the spec: the description is a
+        // fixed point, which is what lets a worker process rebuild an
+        // equivalent backend.
+        assert_eq!(spec.build().wire_spec(), Some(spec.clone()));
+        assert_eq!(spec.profile(), EngineProfile::MysqlLike);
+
+        let stdio = StdioBackend::new(
+            "/some/server",
+            EngineProfile::PostgisLike,
+            FaultSet::with([FaultId::GeosCoversPrecisionLoss]),
+        )
+        .with_hard_crash(true);
+        let spec = stdio.wire_spec().expect("stdio specs exist");
+        assert_eq!(spec.build().wire_spec(), Some(spec.clone()));
+        assert_eq!(spec.build_boxed().wire_spec(), Some(spec));
     }
 
     #[test]

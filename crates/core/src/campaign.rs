@@ -9,15 +9,17 @@
 //! of the paper's fix-commit-based deduplication), and timing, coverage and
 //! the unique-bug timeline are tracked for Figures 7 and 8 and Table 5.
 
-use crate::backend::{EngineBackend, InProcessBackend};
+use crate::backend::{BackendSpec, EngineBackend, InProcessBackend};
 use crate::generator::GeneratorConfig;
 use crate::guidance::{GuidanceMode, ScenarioKnobs};
 use crate::oracles::OracleOutcome;
 use crate::queries::QueryInstance;
+use crate::runner::OracleKind;
 use crate::spec::DatabaseSpec;
 use crate::transform::{AffineStrategy, TransformPlan};
 use spatter_sdb::{EngineProfile, FaultId, FaultSet};
 use std::collections::BTreeSet;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -46,6 +48,11 @@ pub struct CampaignConfig {
     /// ([`GuidanceMode::ColdProbe`]) or stays uniform ([`GuidanceMode::Off`],
     /// the default — byte-identical to pre-guidance campaigns).
     pub guidance: GuidanceMode,
+    /// The oracle suite run on every iteration (AEI alone by default).
+    /// Lives in the config — rather than on the runner — so a campaign is
+    /// fully described by one value, which is what the distributed
+    /// subsystem ships to worker processes.
+    pub oracles: Vec<OracleKind>,
     /// Base random seed.
     pub seed: u64,
 }
@@ -74,6 +81,31 @@ impl CampaignConfig {
         self.backend = backend;
         self
     }
+
+    /// The differential stdio-pair preset: the in-process engine of a
+    /// profile is pitted against its own `spatter-sdb-server` twin — same
+    /// profile, same fault set — through
+    /// [`crate::oracles::DifferentialOracle::against`]. The two engines are
+    /// semantically identical, so *any* finding of this campaign is evidence
+    /// of a transport bug (framing, count semantics, crash taxonomy), which
+    /// makes the preset a continuous smoke test of the SQL-over-stdio wire.
+    pub fn differential_stdio_pair(
+        server: impl Into<PathBuf>,
+        profile: EngineProfile,
+        faults: FaultSet,
+    ) -> Self {
+        let twin = BackendSpec::Stdio {
+            command: server.into(),
+            profile,
+            faults: faults.clone(),
+            hard_crash: false,
+        };
+        CampaignConfig {
+            backend: Arc::new(InProcessBackend::new(profile, faults)),
+            oracles: vec![OracleKind::DifferentialTwin(twin)],
+            ..CampaignConfig::default()
+        }
+    }
 }
 
 impl Default for CampaignConfig {
@@ -87,6 +119,7 @@ impl Default for CampaignConfig {
             time_budget: None,
             attribute_findings: true,
             guidance: GuidanceMode::Off,
+            oracles: vec![OracleKind::Aei],
             seed: 0,
         }
     }

@@ -1,0 +1,693 @@
+//! Multi-process distributed campaigns: shared-nothing worker processes
+//! supervised over a line-delimited wire protocol.
+//!
+//! The thread-sharded [`CampaignRunner`] (PR 1) scales a campaign across
+//! one process's cores; this subsystem lifts the same sharding one level
+//! up, across *processes*. A [`DistRunner`] supervisor spawns K
+//! `spatter-campaign-worker` processes, each of which runs the existing
+//! thread-sharded executor over leased iteration ranges and streams its
+//! [`IterationRecord`]s back over the [`wire`] codec; the supervisor
+//! performs the same deterministic index-ordered merge as
+//! [`ShardReport::merge`]. Process isolation is the same move the
+//! `spatter-sdb-server` backend (PR 3) made for *engines* — here it is the
+//! campaign executors themselves that become crash-survivable and, because
+//! nothing but seed-derived messages crosses the boundary, machine-
+//! distributable.
+//!
+//! # Determinism
+//!
+//! Every iteration is a pure function of `(campaign seed, iteration
+//! index)` — the runner's contract since PR 1 — so *where* an iteration
+//! executes can never change what it produces. The supervisor merges
+//! records by iteration index, not arrival order, which makes a
+//! distributed campaign **byte-identical** (findings, attribution, skip
+//! counts, probe coverage — [`CampaignReport::determinism_fingerprint`])
+//! to the single-process runner for any processes × threads split. Guided
+//! campaigns hold the same contract because the supervisor runs the
+//! warm-up prefix itself and ships the *frozen* snapshot to every worker:
+//! guidance is the same pure function of `(snapshot, seed, iteration)` on
+//! every side of every process boundary.
+//!
+//! # Crash survival and lease-based stealing
+//!
+//! Work is distributed as small chunked *leases* rather than static
+//! per-worker ranges: a fast worker simply takes more leases, so one
+//! finding-heavy (attribution-heavy) range cannot straggle the campaign
+//! behind an idle fleet. Workers stream each record as it completes; when
+//! a worker process dies (crash, OOM-kill, the supervisor's own fault
+//! injection in tests) the supervisor reclaims exactly the *unacknowledged*
+//! iterations of its outstanding leases, re-enqueues them for the
+//! surviving workers, and respawns the dead slot — the distributed
+//! equivalent of `StdioBackend`'s respawn-and-replay.
+
+pub mod wire;
+pub mod worker;
+
+use crate::campaign::{CampaignConfig, CampaignReport};
+use crate::dist::wire::{FromWorker, WireError};
+use crate::runner::{CampaignRunner, IterationRecord, ShardReport};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Maximum leases a worker holds at once. Two keeps the pipe primed — the
+/// worker starts the next lease the instant it finishes one — while keeping
+/// the re-lease window after a crash small.
+const LEASES_IN_FLIGHT: usize = 2;
+
+/// Configuration of the distributed supervisor (everything that is about
+/// *how* to run the campaign across processes; the campaign itself lives in
+/// [`CampaignConfig`]).
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Path to the `spatter-campaign-worker` binary.
+    pub worker_command: PathBuf,
+    /// Number of worker processes (clamped to at least 1).
+    pub processes: usize,
+    /// Worker threads per process; the total parallelism is
+    /// `processes × threads_per_worker`.
+    pub threads_per_worker: usize,
+    /// Iterations per lease. Small leases steal better (an
+    /// attribution-heavy chunk is re-leasable in small pieces); large leases
+    /// amortize protocol chatter.
+    pub lease_chunk: usize,
+    /// Total worker respawns the campaign tolerates before giving up.
+    pub max_respawns: usize,
+    /// Test-only fault injection: kill worker process `.0` as soon as it
+    /// has delivered `.1` records. The campaign must still complete, and
+    /// byte-identically — this is how the crash-recovery tests make a
+    /// worker die mid-lease deterministically.
+    pub kill_worker_after_records: Option<(usize, usize)>,
+}
+
+impl DistConfig {
+    /// A supervisor configuration for a worker binary, with 2 processes ×
+    /// 2 threads and small leases.
+    pub fn new(worker_command: impl Into<PathBuf>) -> Self {
+        DistConfig {
+            worker_command: worker_command.into(),
+            processes: 2,
+            threads_per_worker: 2,
+            lease_chunk: 2,
+            max_respawns: 3,
+            kill_worker_after_records: None,
+        }
+    }
+
+    /// Sets the worker process count.
+    pub fn with_processes(mut self, processes: usize) -> Self {
+        self.processes = processes.max(1);
+        self
+    }
+
+    /// Sets the per-process thread count.
+    pub fn with_threads_per_worker(mut self, threads: usize) -> Self {
+        self.threads_per_worker = threads.max(1);
+        self
+    }
+
+    /// Sets the lease chunk size.
+    pub fn with_lease_chunk(mut self, chunk: usize) -> Self {
+        self.lease_chunk = chunk.max(1);
+        self
+    }
+
+    /// Sets the respawn budget.
+    pub fn with_max_respawns(mut self, respawns: usize) -> Self {
+        self.max_respawns = respawns;
+        self
+    }
+
+    /// Arms the test-only kill switch (see the field docs).
+    pub fn with_kill_worker_after_records(mut self, worker: usize, records: usize) -> Self {
+        self.kill_worker_after_records = Some((worker, records));
+        self
+    }
+}
+
+/// Why a distributed campaign failed. (Individual worker *crashes* are not
+/// failures — they are recovered; these are the unrecoverable ends.)
+#[derive(Debug)]
+pub enum DistError {
+    /// A value could not be encoded for — or decoded from — the wire.
+    Wire(WireError),
+    /// Spawning or talking to a worker failed at the transport level and
+    /// recovery was impossible.
+    Io(std::io::Error),
+    /// A worker violated the protocol (e.g. an unparsable line); its slot
+    /// is treated as dead, and this error surfaces only when recovery is
+    /// exhausted too.
+    Protocol {
+        /// The worker slot index.
+        worker: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Workers kept dying and the respawn budget ran out with iterations
+    /// still unexecuted.
+    RespawnsExhausted {
+        /// Iterations that were never acknowledged.
+        lost_iterations: usize,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Wire(e) => write!(f, "wire error: {e}"),
+            DistError::Io(e) => write!(f, "worker transport error: {e}"),
+            DistError::Protocol { worker, message } => {
+                write!(f, "worker {worker} protocol error: {message}")
+            }
+            DistError::RespawnsExhausted { lost_iterations } => write!(
+                f,
+                "worker respawn budget exhausted with {lost_iterations} iterations unexecuted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<WireError> for DistError {
+    fn from(e: WireError) -> Self {
+        DistError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+/// Observability counters of one distributed run.
+#[derive(Debug, Clone, Default)]
+pub struct DistStats {
+    /// Worker processes spawned in total (initial fleet + respawns).
+    pub spawns: usize,
+    /// Respawns after worker deaths.
+    pub respawns: usize,
+    /// Leases granted (including re-leases of reclaimed work).
+    pub leases_granted: usize,
+    /// Iteration records received from workers.
+    pub records_received: usize,
+    /// Records for an iteration that was already complete (re-executed
+    /// after a partial lease was reclaimed; merged first-wins).
+    pub duplicate_records: usize,
+    /// Time spent decoding worker record lines.
+    pub decode_time: Duration,
+    /// Time spent in the final index-ordered merge.
+    pub merge_time: Duration,
+}
+
+/// The distributed campaign supervisor. `DistRunner::new(campaign,
+/// dist).run()` is the multi-process counterpart of
+/// `CampaignRunner::new(campaign).with_workers(n).run()`.
+pub struct DistRunner {
+    campaign: CampaignConfig,
+    dist: DistConfig,
+}
+
+impl DistRunner {
+    /// Creates a supervisor for a campaign.
+    pub fn new(campaign: CampaignConfig, dist: DistConfig) -> Self {
+        DistRunner { campaign, dist }
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.campaign
+    }
+
+    /// The distribution configuration.
+    pub fn dist_config(&self) -> &DistConfig {
+        &self.dist
+    }
+
+    /// Runs the distributed campaign and merges every worker's records into
+    /// one report, byte-identical to the in-process runner's.
+    ///
+    /// A `time_budget` is enforced by the supervisor at *lease* granularity:
+    /// workers receive a budget-erased configuration and always execute a
+    /// granted lease to completion, while the supervisor stops granting new
+    /// leases once the budget (measured on its own campaign clock, like the
+    /// in-process runner's) expires. Budgeted campaigns therefore stop near
+    /// the deadline with every executed iteration fully recorded — never
+    /// with silently half-executed leases — but, exactly as with the
+    /// thread-sharded runner, *which* iterations fit the budget is wall-
+    /// clock dependent; the byte-identity contract is for
+    /// iteration-bounded campaigns.
+    pub fn run(&self) -> Result<CampaignReport, DistError> {
+        self.run_with_stats().map(|(report, _)| report)
+    }
+
+    /// [`DistRunner::run`], also returning the supervisor's counters.
+    pub fn run_with_stats(&self) -> Result<(CampaignReport, DistStats), DistError> {
+        let start = Instant::now();
+
+        // The guidance warm-up runs on the supervisor, exactly like the
+        // in-process runner's coordinating thread: its records are part of
+        // the campaign, and its frozen snapshot is what every worker
+        // receives.
+        let runner = CampaignRunner::new(self.campaign.clone());
+        let (warmup, snapshot) = runner.warmup_phase(start);
+        let first_iteration = warmup.records.len();
+
+        // Workers get the budget *erased*: a worker that hit the budget
+        // mid-lease would drop the lease's tail while still reporting it
+        // done, silently losing iterations. The supervisor instead enforces
+        // the budget by not granting leases past the deadline (see `run`).
+        let worker_campaign = CampaignConfig {
+            time_budget: None,
+            ..self.campaign.clone()
+        };
+        let config_line = wire::encode_config_message(
+            self.dist.threads_per_worker.max(1),
+            &worker_campaign,
+            snapshot.as_ref(),
+        )?;
+
+        let mut stats = DistStats::default();
+        let mut completed: BTreeMap<usize, IterationRecord> = BTreeMap::new();
+
+        if first_iteration < self.campaign.iterations {
+            let mut supervisor = Supervisor {
+                dist: &self.dist,
+                config_line,
+                slots: Vec::new(),
+                pending: chunk_ranges(
+                    first_iteration,
+                    self.campaign.iterations,
+                    self.dist.lease_chunk.max(1),
+                ),
+                completed: &mut completed,
+                next_lease: 0,
+                stats: &mut stats,
+                kill_armed: self.dist.kill_worker_after_records,
+                deadline: self.campaign.time_budget.map(|budget| start + budget),
+            };
+            supervisor.run()?;
+        }
+
+        let merge_start = Instant::now();
+        let mut records = warmup.records;
+        records.extend(std::mem::take(&mut completed).into_values());
+        let report = ShardReport::merge(vec![ShardReport { records }], start.elapsed());
+        stats.merge_time = merge_start.elapsed();
+        Ok((report, stats))
+    }
+}
+
+/// Splits `[first, end)` into `(start, len)` chunks.
+fn chunk_ranges(first: usize, end: usize, chunk: usize) -> VecDeque<(usize, usize)> {
+    let mut ranges = VecDeque::new();
+    let mut start = first;
+    while start < end {
+        let len = chunk.min(end - start);
+        ranges.push_back((start, len));
+        start += len;
+    }
+    ranges
+}
+
+/// One granted, not-yet-finished lease.
+#[derive(Debug, Clone)]
+struct LeaseInfo {
+    id: u64,
+    start: usize,
+    len: usize,
+}
+
+/// What a worker's reader thread forwards to the supervisor loop.
+enum WorkerEvent {
+    /// One stdout line.
+    Line(String),
+    /// The worker's stdout closed (process death or clean exit).
+    Closed,
+}
+
+/// A worker slot: the current incarnation of worker index `i`. Respawns
+/// bump `generation` so events from a dead incarnation's reader thread are
+/// recognizably stale.
+struct WorkerSlot {
+    child: Child,
+    stdin: ChildStdin,
+    generation: u64,
+    outstanding: Vec<LeaseInfo>,
+    records_delivered: usize,
+    alive: bool,
+    exiting: bool,
+}
+
+/// The supervisor's event loop state (borrowed from
+/// [`DistRunner::run_with_stats`] so the stats and record map outlive it).
+struct Supervisor<'a> {
+    dist: &'a DistConfig,
+    config_line: String,
+    slots: Vec<WorkerSlot>,
+    pending: VecDeque<(usize, usize)>,
+    completed: &'a mut BTreeMap<usize, IterationRecord>,
+    next_lease: u64,
+    stats: &'a mut DistStats,
+    /// The armed kill switch; disarmed after firing so the respawned worker
+    /// is not killed again.
+    kill_armed: Option<(usize, usize)>,
+    /// The campaign's time-budget deadline on the supervisor clock; leases
+    /// are never granted past it (in-flight leases run to completion).
+    deadline: Option<Instant>,
+}
+
+impl Supervisor<'_> {
+    fn run(&mut self) -> Result<(), DistError> {
+        let (events_tx, events_rx) = mpsc::channel::<(usize, u64, WorkerEvent)>();
+
+        // Initial fleet: never more processes than leases.
+        let fleet = self.dist.processes.max(1).min(self.pending.len().max(1));
+        for index in 0..fleet {
+            let slot = self.spawn_worker(index, 0, &events_tx)?;
+            self.slots.push(slot);
+        }
+        self.dispatch(&events_tx)?;
+
+        while !self.finished() {
+            let (index, generation, event) = events_rx.recv().map_err(|_| DistError::Protocol {
+                worker: usize::MAX,
+                message: "all worker channels closed with work outstanding".to_string(),
+            })?;
+            if self.slots[index].generation != generation || !self.slots[index].alive {
+                continue; // stale event from a replaced incarnation
+            }
+            match event {
+                WorkerEvent::Closed => self.handle_death(index, &events_tx)?,
+                WorkerEvent::Line(line) => {
+                    let decode_start = Instant::now();
+                    let message = wire::decode_from_worker(&line);
+                    self.stats.decode_time += decode_start.elapsed();
+                    match message {
+                        Ok(FromWorker::Record { record, .. }) => {
+                            self.stats.records_received += 1;
+                            let slot = &mut self.slots[index];
+                            slot.records_delivered += 1;
+                            let delivered = slot.records_delivered;
+                            if self.completed.insert(record.iteration, record).is_some() {
+                                self.stats.duplicate_records += 1;
+                            }
+                            if let Some((victim, after)) = self.kill_armed {
+                                if victim == index && delivered >= after {
+                                    // Fault injection: a hard, unannounced
+                                    // kill; the reader thread will report
+                                    // the death like any real crash.
+                                    self.kill_armed = None;
+                                    let _ = self.slots[index].child.kill();
+                                }
+                            }
+                        }
+                        Ok(FromWorker::Done { lease }) => {
+                            self.slots[index].outstanding.retain(|l| l.id != lease);
+                            self.dispatch(&events_tx)?;
+                            self.maybe_retire(index);
+                        }
+                        Ok(FromWorker::Configured) => {
+                            // Already consumed during the spawn handshake;
+                            // a second one is protocol noise — treat the
+                            // worker as broken.
+                            self.fail_worker(index, "unexpected configured", &events_tx)?;
+                        }
+                        Err(error) => {
+                            self.fail_worker(index, &error.to_string(), &events_tx)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Clean shutdown: every slot gets an exit line; write failures are
+        // irrelevant because all work is already merged.
+        for slot in &mut self.slots {
+            if slot.alive {
+                let _ = writeln!(slot.stdin, "{}", wire::encode_exit_message());
+                let _ = slot.stdin.flush();
+            }
+            let _ = slot.child.wait();
+        }
+        Ok(())
+    }
+
+    /// All leases finished and nothing pending.
+    fn finished(&self) -> bool {
+        self.pending.is_empty() && self.slots.iter().all(|s| s.outstanding.is_empty())
+    }
+
+    /// Spawns (or respawns) a worker process and performs the synchronous
+    /// handshake + configuration exchange before handing its stdout to a
+    /// reader thread.
+    fn spawn_worker(
+        &mut self,
+        index: usize,
+        generation: u64,
+        events_tx: &mpsc::Sender<(usize, u64, WorkerEvent)>,
+    ) -> Result<WorkerSlot, DistError> {
+        let mut child = Command::new(&self.dist.worker_command)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        self.stats.spawns += 1;
+        let mut stdin = child.stdin.take().expect("worker stdin piped");
+        let stdout = child.stdout.take().expect("worker stdout piped");
+        let mut reader = BufReader::new(stdout);
+
+        let handshake = read_worker_line(&mut reader, index)?;
+        wire::decode_handshake(&handshake)?;
+        writeln!(stdin, "{}", self.config_line)?;
+        stdin.flush()?;
+        let reply = read_worker_line(&mut reader, index)?;
+        match wire::decode_from_worker(&reply) {
+            Ok(FromWorker::Configured) => {}
+            other => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(DistError::Protocol {
+                    worker: index,
+                    message: format!("expected configured, got {other:?}"),
+                });
+            }
+        }
+
+        let tx = events_tx.clone();
+        std::thread::spawn(move || {
+            for line in reader.lines() {
+                match line {
+                    Ok(line) => {
+                        if tx
+                            .send((index, generation, WorkerEvent::Line(line)))
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = tx.send((index, generation, WorkerEvent::Closed));
+        });
+
+        Ok(WorkerSlot {
+            child,
+            stdin,
+            generation,
+            outstanding: Vec::new(),
+            records_delivered: 0,
+            alive: true,
+            exiting: false,
+        })
+    }
+
+    /// Grants pending leases to every worker with spare in-flight capacity.
+    fn dispatch(
+        &mut self,
+        events_tx: &mpsc::Sender<(usize, u64, WorkerEvent)>,
+    ) -> Result<(), DistError> {
+        // Budget enforcement: past the deadline the remaining queue is
+        // dropped (exactly like the in-process workers ceasing to claim
+        // iterations), and the in-flight leases drain to completion.
+        if self
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+        {
+            self.pending.clear();
+        }
+        loop {
+            if self.pending.is_empty() {
+                return Ok(());
+            }
+            let Some(index) = self
+                .slots
+                .iter()
+                .position(|s| s.alive && !s.exiting && s.outstanding.len() < LEASES_IN_FLIGHT)
+            else {
+                return Ok(());
+            };
+            let (start, len) = self.pending.pop_front().expect("checked non-empty");
+            let id = self.next_lease;
+            self.next_lease += 1;
+            self.stats.leases_granted += 1;
+            let line = wire::encode_lease_message(id, start, len);
+            let slot = &mut self.slots[index];
+            slot.outstanding.push(LeaseInfo { id, start, len });
+            let sent = writeln!(slot.stdin, "{line}").and_then(|()| slot.stdin.flush());
+            if sent.is_err() {
+                // The worker died under us; the lease we just granted is in
+                // its outstanding list and will be reclaimed with the rest.
+                self.handle_death(index, events_tx)?;
+            }
+        }
+    }
+
+    /// Sends `exit` to a worker that can receive no further leases, so idle
+    /// processes drain instead of lingering until the end of the campaign.
+    fn maybe_retire(&mut self, index: usize) {
+        let slot = &mut self.slots[index];
+        if self.pending.is_empty() && slot.alive && !slot.exiting && slot.outstanding.is_empty() {
+            slot.exiting = true;
+            let _ = writeln!(slot.stdin, "{}", wire::encode_exit_message());
+            let _ = slot.stdin.flush();
+        }
+    }
+
+    /// A worker turned out to be broken at the protocol level: kill it and
+    /// run the ordinary death path (reclaim + respawn).
+    fn fail_worker(
+        &mut self,
+        index: usize,
+        message: &str,
+        events_tx: &mpsc::Sender<(usize, u64, WorkerEvent)>,
+    ) -> Result<(), DistError> {
+        let slot = &mut self.slots[index];
+        if !slot.alive {
+            return Ok(());
+        }
+        eprintln!("spatter-dist: worker {index} failed: {message}");
+        let _ = slot.child.kill();
+        self.handle_death(index, events_tx)
+    }
+
+    /// Reclaims a dead worker's unacknowledged iterations and respawns the
+    /// slot while the respawn budget lasts.
+    fn handle_death(
+        &mut self,
+        index: usize,
+        events_tx: &mpsc::Sender<(usize, u64, WorkerEvent)>,
+    ) -> Result<(), DistError> {
+        let slot = &mut self.slots[index];
+        if !slot.alive {
+            return Ok(());
+        }
+        slot.alive = false;
+        let _ = slot.child.kill();
+        let _ = slot.child.wait();
+        let was_exiting = slot.exiting;
+        let outstanding = std::mem::take(&mut slot.outstanding);
+
+        // Re-lease exactly the iterations that never produced a record.
+        // Reclaimed ranges go to the *front* of the queue: they are the
+        // oldest work in the campaign and everything else is newer.
+        let mut reclaimed: Vec<(usize, usize)> = Vec::new();
+        for lease in outstanding.iter().rev() {
+            for iteration in (lease.start..lease.start + lease.len).rev() {
+                if !self.completed.contains_key(&iteration) {
+                    match reclaimed.last_mut() {
+                        Some((start, len)) if iteration + 1 == *start => {
+                            *start = iteration;
+                            *len += 1;
+                        }
+                        _ => reclaimed.push((iteration, 1)),
+                    }
+                }
+            }
+        }
+        for range in reclaimed.into_iter().rev() {
+            self.pending.push_front(range);
+        }
+
+        if was_exiting || self.finished() {
+            return Ok(());
+        }
+
+        if self.stats.respawns < self.dist.max_respawns {
+            self.stats.respawns += 1;
+            let generation = self.slots[index].generation + 1;
+            let slot = self.spawn_worker(index, generation, events_tx)?;
+            self.slots[index] = slot;
+            return self.dispatch(events_tx);
+        }
+
+        // No respawn left: survivors may still drain the queue.
+        if self.slots.iter().any(|s| s.alive && !s.exiting) {
+            return self.dispatch(events_tx);
+        }
+        Err(DistError::RespawnsExhausted {
+            lost_iterations: self.pending.iter().map(|(_, len)| len).sum(),
+        })
+    }
+}
+
+/// Reads one line from a worker's stdout during the synchronous spawn
+/// handshake.
+fn read_worker_line(reader: &mut impl BufRead, worker: usize) -> Result<String, DistError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(DistError::Protocol {
+            worker,
+            message: "worker closed its stream during the handshake".to_string(),
+        });
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_the_span() {
+        assert_eq!(chunk_ranges(2, 2, 4), VecDeque::from([]));
+        assert_eq!(
+            chunk_ranges(0, 5, 2),
+            VecDeque::from([(0, 2), (2, 2), (4, 1)])
+        );
+        assert_eq!(chunk_ranges(3, 9, 3), VecDeque::from([(3, 3), (6, 3)]));
+        let chunks = chunk_ranges(1, 100, 7);
+        let total: usize = chunks.iter().map(|(_, len)| len).sum();
+        assert_eq!(total, 99);
+        let mut next = 1;
+        for (start, len) in chunks {
+            assert_eq!(start, next);
+            next += len;
+        }
+        assert_eq!(next, 100);
+    }
+
+    #[test]
+    fn dist_config_clamps_and_arms() {
+        let config = DistConfig::new("/bin/worker")
+            .with_processes(0)
+            .with_threads_per_worker(0)
+            .with_lease_chunk(0)
+            .with_max_respawns(7)
+            .with_kill_worker_after_records(1, 3);
+        assert_eq!(config.processes, 1);
+        assert_eq!(config.threads_per_worker, 1);
+        assert_eq!(config.lease_chunk, 1);
+        assert_eq!(config.max_respawns, 7);
+        assert_eq!(config.kill_worker_after_records, Some((1, 3)));
+    }
+}

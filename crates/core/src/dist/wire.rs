@@ -1,0 +1,1354 @@
+//! The versioned, line-delimited wire codec of the distributed campaign
+//! subsystem.
+//!
+//! Supervisor and worker processes exchange single-line messages over
+//! stdio, exactly like the `spatter-sdb-server` SQL protocol one layer
+//! below — but the payloads here are whole campaign structures:
+//! [`CampaignConfig`] (with its backend rendered as a
+//! [`crate::backend::BackendSpec`] and its oracle suite inline), the frozen
+//! guidance [`CoverageSnapshot`], and per-iteration [`IterationRecord`]s
+//! with their [`Finding`]s and probe-coverage deltas. The workspace has no
+//! serde, so the codec is hand-rolled on std alone: messages are
+//! whitespace-separated token streams with percent-escaped strings, decoded
+//! by a [`TokenReader`] that returns structured [`WireError`]s — never
+//! panics — on truncated, malformed or alien input.
+//!
+//! # Versioning
+//!
+//! Every worker opens its stream with a `hello <version>` handshake
+//! ([`encode_handshake`]); the supervisor rejects any version other than
+//! its own [`WIRE_VERSION`] with [`WireError::VersionMismatch`]. The
+//! protocol is spoken between binaries of one build in practice, so
+//! version equality — not negotiation — is the contract.
+//!
+//! # Exactness
+//!
+//! The distributed merge must be byte-identical to the in-process one, so
+//! nothing on the wire may lose precision: `f64`s travel as their IEEE-754
+//! bit patterns ([`f64::to_bits`]), durations as integer nanoseconds, and
+//! probe names are re-interned against the static probe universe on decode
+//! (an unknown probe is a structured error, not a silently minted string).
+
+use crate::backend::BackendSpec;
+use crate::campaign::{CampaignConfig, Finding, FindingKind};
+use crate::generator::{GenerationStrategy, GeneratorConfig};
+use crate::guidance::{self, GuidanceMode};
+use crate::runner::{IterationRecord, OracleKind, ShardReport};
+use crate::transform::AffineStrategy;
+use spatter_sdb::{EngineProfile, FaultSet};
+use spatter_topo::coverage::CoverageSnapshot;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// The wire protocol version. Bumped whenever any message layout changes;
+/// supervisor and worker must agree exactly.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Why a wire message could not be decoded (or a value not encoded).
+/// Structured, so callers can distinguish a harness misconfiguration
+/// (version or backend problems) from corrupted input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The token stream ended before the message was complete.
+    Truncated,
+    /// A token did not have the expected shape.
+    Malformed {
+        /// What the decoder was trying to read.
+        expected: &'static str,
+        /// The offending token (or a description of it).
+        got: String,
+    },
+    /// A message line carried tokens past the end of its payload.
+    TrailingInput(String),
+    /// A percent-escape in a string token was invalid.
+    BadEscape(String),
+    /// A probe name that is not part of the static probe universe.
+    UnknownProbe(String),
+    /// A fault name [`spatter_sdb::FaultId::from_name`] does not know.
+    UnknownFault(String),
+    /// An engine profile name [`EngineProfile::from_name`] does not know.
+    UnknownProfile(String),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Our [`WIRE_VERSION`].
+        ours: u32,
+        /// The version the peer announced.
+        theirs: u32,
+    },
+    /// The campaign's backend cannot be described as a
+    /// [`BackendSpec`] (its `wire_spec` is `None`), so the campaign cannot
+    /// be distributed.
+    UnsupportedBackend(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::Malformed { expected, got } => {
+                write!(f, "expected {expected}, got {got:?}")
+            }
+            WireError::TrailingInput(rest) => write!(f, "trailing input {rest:?}"),
+            WireError::BadEscape(token) => write!(f, "bad string escape in {token:?}"),
+            WireError::UnknownProbe(name) => write!(f, "unknown probe {name:?}"),
+            WireError::UnknownFault(name) => write!(f, "unknown fault {name:?}"),
+            WireError::UnknownProfile(name) => write!(f, "unknown profile {name:?}"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(f, "wire version mismatch: ours {ours}, peer {theirs}")
+            }
+            WireError::UnsupportedBackend(name) => {
+                write!(
+                    f,
+                    "backend {name} has no wire spec and cannot be distributed"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Token stream primitives
+// ---------------------------------------------------------------------------
+
+/// Escapes a string into a single whitespace-free token: `%` and every
+/// whitespace byte become `%XX`, and the empty string becomes the marker
+/// token `%-` (an empty token would vanish when the line is split).
+fn escape(text: &str) -> String {
+    if text.is_empty() {
+        return "%-".to_string();
+    }
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0a"),
+            '\r' => out.push_str("%0d"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`]. Any malformed escape is a [`WireError::BadEscape`].
+fn unescape(token: &str) -> Result<String, WireError> {
+    if token == "%-" {
+        return Ok(String::new());
+    }
+    let mut out = String::with_capacity(token.len());
+    let mut chars = token.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hex: String = chars.by_ref().take(2).collect();
+        if hex.len() != 2 {
+            return Err(WireError::BadEscape(token.to_string()));
+        }
+        let byte =
+            u8::from_str_radix(&hex, 16).map_err(|_| WireError::BadEscape(token.to_string()))?;
+        out.push(byte as char);
+    }
+    Ok(out)
+}
+
+/// Builds one message line from whitespace-free tokens.
+#[derive(Debug, Default)]
+pub struct TokenWriter {
+    buf: String,
+}
+
+impl TokenWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        TokenWriter::default()
+    }
+
+    /// Appends a token that is known to contain no whitespace (keywords,
+    /// numbers, fault/profile names).
+    fn push_raw(&mut self, token: &str) {
+        debug_assert!(
+            !token.is_empty() && !token.contains(char::is_whitespace),
+            "raw token {token:?} would corrupt the line framing"
+        );
+        if !self.buf.is_empty() {
+            self.buf.push(' ');
+        }
+        self.buf.push_str(token);
+    }
+
+    fn push_str(&mut self, text: &str) {
+        let escaped = escape(text);
+        self.push_raw(&escaped);
+    }
+
+    fn push_u64(&mut self, value: u64) {
+        self.push_raw(&value.to_string());
+    }
+
+    fn push_usize(&mut self, value: usize) {
+        self.push_raw(&value.to_string());
+    }
+
+    fn push_i64(&mut self, value: i64) {
+        self.push_raw(&value.to_string());
+    }
+
+    /// `f64`s travel as IEEE-754 bit patterns so the decode is bit-exact.
+    fn push_f64(&mut self, value: f64) {
+        self.push_raw(&value.to_bits().to_string());
+    }
+
+    fn push_bool(&mut self, value: bool) {
+        self.push_raw(if value { "1" } else { "0" });
+    }
+
+    fn push_duration(&mut self, value: Duration) {
+        self.push_raw(&value.as_nanos().to_string());
+    }
+
+    /// The finished single-line message.
+    pub fn finish(self) -> String {
+        debug_assert!(!self.buf.contains('\n'));
+        self.buf
+    }
+}
+
+/// Consumes one message line token by token, with typed accessors that
+/// return structured errors instead of panicking.
+#[derive(Debug)]
+pub struct TokenReader<'a> {
+    tokens: std::str::SplitAsciiWhitespace<'a>,
+}
+
+impl<'a> TokenReader<'a> {
+    /// A reader over one message line.
+    pub fn new(line: &'a str) -> Self {
+        TokenReader {
+            tokens: line.split_ascii_whitespace(),
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, WireError> {
+        self.tokens.next().ok_or(WireError::Truncated)
+    }
+
+    fn next_str(&mut self) -> Result<String, WireError> {
+        unescape(self.next()?)
+    }
+
+    fn next_u64(&mut self, expected: &'static str) -> Result<u64, WireError> {
+        let token = self.next()?;
+        token.parse().map_err(|_| WireError::Malformed {
+            expected,
+            got: token.to_string(),
+        })
+    }
+
+    fn next_usize(&mut self, expected: &'static str) -> Result<usize, WireError> {
+        let value = self.next_u64(expected)?;
+        usize::try_from(value).map_err(|_| WireError::Malformed {
+            expected,
+            got: value.to_string(),
+        })
+    }
+
+    fn next_i64(&mut self, expected: &'static str) -> Result<i64, WireError> {
+        let token = self.next()?;
+        token.parse().map_err(|_| WireError::Malformed {
+            expected,
+            got: token.to_string(),
+        })
+    }
+
+    fn next_u32(&mut self, expected: &'static str) -> Result<u32, WireError> {
+        let value = self.next_u64(expected)?;
+        u32::try_from(value).map_err(|_| WireError::Malformed {
+            expected,
+            got: value.to_string(),
+        })
+    }
+
+    fn next_f64(&mut self, expected: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.next_u64(expected)?))
+    }
+
+    fn next_bool(&mut self, expected: &'static str) -> Result<bool, WireError> {
+        match self.next()? {
+            "1" => Ok(true),
+            "0" => Ok(false),
+            other => Err(WireError::Malformed {
+                expected,
+                got: other.to_string(),
+            }),
+        }
+    }
+
+    fn next_duration(&mut self, expected: &'static str) -> Result<Duration, WireError> {
+        Ok(Duration::from_nanos(self.next_u64(expected)?))
+    }
+
+    fn expect(&mut self, literal: &'static str) -> Result<(), WireError> {
+        let token = self.next()?;
+        if token == literal {
+            Ok(())
+        } else {
+            Err(WireError::Malformed {
+                expected: literal,
+                got: token.to_string(),
+            })
+        }
+    }
+
+    /// Asserts the message is fully consumed.
+    pub fn finish(mut self) -> Result<(), WireError> {
+        match self.tokens.next() {
+            None => Ok(()),
+            Some(extra) => {
+                let mut rest = extra.to_string();
+                for token in self.tokens.take(4) {
+                    rest.push(' ');
+                    rest.push_str(token);
+                }
+                Err(WireError::TrailingInput(rest))
+            }
+        }
+    }
+}
+
+/// Re-interns a decoded probe name against the static probe universe so
+/// records can carry `&'static str` names. Unknown names are structured
+/// errors: the probe lists of supervisor and worker builds must agree.
+fn intern_probe(name: &str) -> Result<&'static str, WireError> {
+    static MAP: OnceLock<HashMap<&'static str, &'static str>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        guidance::probe_universe()
+            .into_iter()
+            .map(|p| (p, p))
+            .collect()
+    })
+    .get(name)
+    .copied()
+    .ok_or_else(|| WireError::UnknownProbe(name.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Domain value encoders / decoders
+// ---------------------------------------------------------------------------
+
+fn write_profile(writer: &mut TokenWriter, profile: EngineProfile) {
+    writer.push_raw(profile.name());
+}
+
+fn read_profile(reader: &mut TokenReader) -> Result<EngineProfile, WireError> {
+    let token = reader.next()?;
+    EngineProfile::from_name(token).ok_or_else(|| WireError::UnknownProfile(token.to_string()))
+}
+
+fn write_faults(writer: &mut TokenWriter, faults: &FaultSet) {
+    if faults.is_empty() {
+        writer.push_raw("none");
+    } else {
+        // Comma-separated FaultId names: identifier characters only, so the
+        // list is a single whitespace-free token by construction.
+        writer.push_raw(&faults.to_names());
+    }
+}
+
+fn read_faults(reader: &mut TokenReader) -> Result<FaultSet, WireError> {
+    let token = reader.next()?;
+    if token == "none" {
+        return Ok(FaultSet::none());
+    }
+    FaultSet::parse_names(token).map_err(|_| WireError::UnknownFault(token.to_string()))
+}
+
+fn write_backend_spec(writer: &mut TokenWriter, spec: &BackendSpec) {
+    match spec {
+        BackendSpec::InProcess { profile, faults } => {
+            writer.push_raw("in-process");
+            write_profile(writer, *profile);
+            write_faults(writer, faults);
+        }
+        BackendSpec::Stdio {
+            command,
+            profile,
+            faults,
+            hard_crash,
+        } => {
+            writer.push_raw("stdio");
+            writer.push_str(&command.to_string_lossy());
+            write_profile(writer, *profile);
+            write_faults(writer, faults);
+            writer.push_bool(*hard_crash);
+        }
+    }
+}
+
+fn read_backend_spec(reader: &mut TokenReader) -> Result<BackendSpec, WireError> {
+    match reader.next()? {
+        "in-process" => Ok(BackendSpec::InProcess {
+            profile: read_profile(reader)?,
+            faults: read_faults(reader)?,
+        }),
+        "stdio" => Ok(BackendSpec::Stdio {
+            command: PathBuf::from(reader.next_str()?),
+            profile: read_profile(reader)?,
+            faults: read_faults(reader)?,
+            hard_crash: reader.next_bool("hard-crash flag")?,
+        }),
+        other => Err(WireError::Malformed {
+            expected: "backend spec kind",
+            got: other.to_string(),
+        }),
+    }
+}
+
+fn write_oracle(writer: &mut TokenWriter, oracle: &OracleKind) {
+    match oracle {
+        OracleKind::Aei => writer.push_raw("aei"),
+        OracleKind::Differential(profile) => {
+            writer.push_raw("differential");
+            write_profile(writer, *profile);
+        }
+        OracleKind::DifferentialTwin(spec) => {
+            writer.push_raw("twin");
+            write_backend_spec(writer, spec);
+        }
+        OracleKind::Index => writer.push_raw("index"),
+        OracleKind::Tlp => writer.push_raw("tlp"),
+    }
+}
+
+fn read_oracle(reader: &mut TokenReader) -> Result<OracleKind, WireError> {
+    match reader.next()? {
+        "aei" => Ok(OracleKind::Aei),
+        "differential" => Ok(OracleKind::Differential(read_profile(reader)?)),
+        "twin" => Ok(OracleKind::DifferentialTwin(read_backend_spec(reader)?)),
+        "index" => Ok(OracleKind::Index),
+        "tlp" => Ok(OracleKind::Tlp),
+        other => Err(WireError::Malformed {
+            expected: "oracle kind",
+            got: other.to_string(),
+        }),
+    }
+}
+
+fn write_campaign(writer: &mut TokenWriter, config: &CampaignConfig) -> Result<(), WireError> {
+    let spec = config
+        .backend
+        .wire_spec()
+        .ok_or_else(|| WireError::UnsupportedBackend(config.backend.name()))?;
+    write_backend_spec(writer, &spec);
+    writer.push_usize(config.generator.num_geometries);
+    writer.push_usize(config.generator.num_tables);
+    writer.push_raw(match config.generator.strategy {
+        GenerationStrategy::RandomShapeOnly => "random-shape",
+        GenerationStrategy::GeometryAware => "geometry-aware",
+    });
+    writer.push_i64(config.generator.coordinate_range);
+    writer.push_f64(config.generator.random_shape_probability);
+    writer.push_usize(config.queries_per_run);
+    writer.push_raw(match config.affine {
+        AffineStrategy::CanonicalizationOnly => "canonicalization",
+        AffineStrategy::GeneralInteger => "general",
+        AffineStrategy::SimilarityInteger => "similarity",
+    });
+    writer.push_usize(config.iterations);
+    match config.time_budget {
+        None => writer.push_raw("unbounded"),
+        Some(budget) => writer.push_duration(budget),
+    }
+    writer.push_bool(config.attribute_findings);
+    writer.push_raw(match config.guidance {
+        GuidanceMode::Off => "off",
+        GuidanceMode::ColdProbe => "cold-probe",
+    });
+    writer.push_usize(config.oracles.len());
+    for oracle in &config.oracles {
+        write_oracle(writer, oracle);
+    }
+    writer.push_u64(config.seed);
+    Ok(())
+}
+
+fn read_campaign(reader: &mut TokenReader) -> Result<CampaignConfig, WireError> {
+    let backend = read_backend_spec(reader)?.build();
+    let num_geometries = reader.next_usize("num_geometries")?;
+    let num_tables = reader.next_usize("num_tables")?;
+    let strategy = match reader.next()? {
+        "random-shape" => GenerationStrategy::RandomShapeOnly,
+        "geometry-aware" => GenerationStrategy::GeometryAware,
+        other => {
+            return Err(WireError::Malformed {
+                expected: "generation strategy",
+                got: other.to_string(),
+            })
+        }
+    };
+    let coordinate_range = reader.next_i64("coordinate_range")?;
+    let random_shape_probability = reader.next_f64("random_shape_probability")?;
+    let queries_per_run = reader.next_usize("queries_per_run")?;
+    let affine = match reader.next()? {
+        "canonicalization" => AffineStrategy::CanonicalizationOnly,
+        "general" => AffineStrategy::GeneralInteger,
+        "similarity" => AffineStrategy::SimilarityInteger,
+        other => {
+            return Err(WireError::Malformed {
+                expected: "affine strategy",
+                got: other.to_string(),
+            })
+        }
+    };
+    let iterations = reader.next_usize("iterations")?;
+    let time_budget = {
+        let token = reader.next()?;
+        if token == "unbounded" {
+            None
+        } else {
+            let nanos: u64 = token.parse().map_err(|_| WireError::Malformed {
+                expected: "time budget nanos",
+                got: token.to_string(),
+            })?;
+            Some(Duration::from_nanos(nanos))
+        }
+    };
+    let attribute_findings = reader.next_bool("attribute_findings")?;
+    let guidance = match reader.next()? {
+        "off" => GuidanceMode::Off,
+        "cold-probe" => GuidanceMode::ColdProbe,
+        other => {
+            return Err(WireError::Malformed {
+                expected: "guidance mode",
+                got: other.to_string(),
+            })
+        }
+    };
+    let n_oracles = reader.next_usize("oracle count")?;
+    let mut oracles = Vec::with_capacity(n_oracles.min(64));
+    for _ in 0..n_oracles {
+        oracles.push(read_oracle(reader)?);
+    }
+    if oracles.is_empty() {
+        return Err(WireError::Malformed {
+            expected: "non-empty oracle suite",
+            got: "0 oracles".to_string(),
+        });
+    }
+    let seed = reader.next_u64("seed")?;
+    Ok(CampaignConfig {
+        backend,
+        generator: GeneratorConfig {
+            num_geometries,
+            num_tables,
+            strategy,
+            coordinate_range,
+            random_shape_probability,
+        },
+        queries_per_run,
+        affine,
+        iterations,
+        time_budget,
+        attribute_findings,
+        guidance,
+        oracles,
+        seed,
+    })
+}
+
+fn write_snapshot(writer: &mut TokenWriter, snapshot: &CoverageSnapshot) {
+    let entries: Vec<(&'static str, u64)> = snapshot.entries().collect();
+    writer.push_usize(entries.len());
+    for (probe, count) in entries {
+        writer.push_str(probe);
+        writer.push_u64(count);
+    }
+}
+
+fn read_snapshot(reader: &mut TokenReader) -> Result<CoverageSnapshot, WireError> {
+    let n = reader.next_usize("snapshot entry count")?;
+    let mut snapshot = CoverageSnapshot::new();
+    for _ in 0..n {
+        let probe = intern_probe(&reader.next_str()?)?;
+        let count = reader.next_u64("probe count")?;
+        snapshot.absorb(&[(probe, count)]);
+    }
+    Ok(snapshot)
+}
+
+fn write_finding(writer: &mut TokenWriter, finding: &Finding) {
+    writer.push_raw(match finding.kind {
+        FindingKind::Logic => "logic",
+        FindingKind::Crash => "crash",
+    });
+    writer.push_str(&finding.description);
+    writer.push_usize(finding.iteration);
+    writer.push_duration(finding.elapsed);
+    writer.push_usize(finding.attributed_faults.len());
+    for fault in &finding.attributed_faults {
+        writer.push_raw(&fault.name());
+    }
+}
+
+fn read_finding(reader: &mut TokenReader) -> Result<Finding, WireError> {
+    let kind = match reader.next()? {
+        "logic" => FindingKind::Logic,
+        "crash" => FindingKind::Crash,
+        other => {
+            return Err(WireError::Malformed {
+                expected: "finding kind",
+                got: other.to_string(),
+            })
+        }
+    };
+    let description = reader.next_str()?;
+    let iteration = reader.next_usize("finding iteration")?;
+    let elapsed = reader.next_duration("finding elapsed")?;
+    let n_faults = reader.next_usize("attributed fault count")?;
+    let mut attributed_faults = Vec::with_capacity(n_faults.min(64));
+    for _ in 0..n_faults {
+        let token = reader.next()?;
+        let fault = spatter_sdb::FaultId::from_name(token)
+            .ok_or_else(|| WireError::UnknownFault(token.to_string()))?;
+        attributed_faults.push(fault);
+    }
+    Ok(Finding {
+        kind,
+        description,
+        iteration,
+        elapsed,
+        attributed_faults,
+    })
+}
+
+fn write_record(writer: &mut TokenWriter, record: &IterationRecord) {
+    writer.push_usize(record.iteration);
+    writer.push_duration(record.generation_time);
+    writer.push_duration(record.engine_time);
+    writer.push_duration(record.coverage.0);
+    writer.push_f64(record.coverage.1);
+    writer.push_f64(record.coverage.2);
+    writer.push_usize(record.skipped);
+    writer.push_usize(record.findings.len());
+    for finding in &record.findings {
+        write_finding(writer, finding);
+    }
+    writer.push_usize(record.probe_delta.len());
+    for (probe, count) in &record.probe_delta {
+        writer.push_str(probe);
+        writer.push_u64(*count);
+    }
+}
+
+fn read_record(reader: &mut TokenReader) -> Result<IterationRecord, WireError> {
+    let iteration = reader.next_usize("record iteration")?;
+    let generation_time = reader.next_duration("generation time")?;
+    let engine_time = reader.next_duration("engine time")?;
+    let coverage = (
+        reader.next_duration("coverage elapsed")?,
+        reader.next_f64("topo coverage")?,
+        reader.next_f64("sdb coverage")?,
+    );
+    let skipped = reader.next_usize("skip count")?;
+    let n_findings = reader.next_usize("finding count")?;
+    let mut findings = Vec::with_capacity(n_findings.min(64));
+    for _ in 0..n_findings {
+        findings.push(read_finding(reader)?);
+    }
+    let n_probes = reader.next_usize("probe delta count")?;
+    let mut probe_delta = Vec::with_capacity(n_probes.min(256));
+    for _ in 0..n_probes {
+        let probe = intern_probe(&reader.next_str()?)?;
+        let count = reader.next_u64("probe count")?;
+        probe_delta.push((probe, count));
+    }
+    Ok(IterationRecord {
+        iteration,
+        findings,
+        generation_time,
+        engine_time,
+        coverage,
+        skipped,
+        probe_delta,
+    })
+}
+
+fn write_shard_report(writer: &mut TokenWriter, report: &ShardReport) {
+    writer.push_usize(report.records.len());
+    for record in &report.records {
+        write_record(writer, record);
+    }
+}
+
+fn read_shard_report(reader: &mut TokenReader) -> Result<ShardReport, WireError> {
+    let n = reader.next_usize("record count")?;
+    let mut records = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        records.push(read_record(reader)?);
+    }
+    Ok(ShardReport { records })
+}
+
+// ---------------------------------------------------------------------------
+// Standalone payload lines (round-trip surface of the codec)
+// ---------------------------------------------------------------------------
+
+/// Encodes a campaign configuration as one line. Fails with
+/// [`WireError::UnsupportedBackend`] when the backend has no
+/// [`BackendSpec`].
+pub fn encode_campaign(config: &CampaignConfig) -> Result<String, WireError> {
+    let mut writer = TokenWriter::new();
+    write_campaign(&mut writer, config)?;
+    Ok(writer.finish())
+}
+
+/// Decodes a [`encode_campaign`] line, rebuilding the backend from its spec.
+pub fn decode_campaign(line: &str) -> Result<CampaignConfig, WireError> {
+    let mut reader = TokenReader::new(line);
+    let config = read_campaign(&mut reader)?;
+    reader.finish()?;
+    Ok(config)
+}
+
+/// Encodes one iteration record as one line.
+pub fn encode_record(record: &IterationRecord) -> String {
+    let mut writer = TokenWriter::new();
+    write_record(&mut writer, record);
+    writer.finish()
+}
+
+/// Decodes an [`encode_record`] line.
+pub fn decode_record(line: &str) -> Result<IterationRecord, WireError> {
+    let mut reader = TokenReader::new(line);
+    let record = read_record(&mut reader)?;
+    reader.finish()?;
+    Ok(record)
+}
+
+/// Encodes a whole shard report as one line.
+pub fn encode_shard_report(report: &ShardReport) -> String {
+    let mut writer = TokenWriter::new();
+    write_shard_report(&mut writer, report);
+    writer.finish()
+}
+
+/// Decodes an [`encode_shard_report`] line.
+pub fn decode_shard_report(line: &str) -> Result<ShardReport, WireError> {
+    let mut reader = TokenReader::new(line);
+    let report = read_shard_report(&mut reader)?;
+    reader.finish()?;
+    Ok(report)
+}
+
+/// Encodes a frozen coverage snapshot as one line.
+pub fn encode_snapshot(snapshot: &CoverageSnapshot) -> String {
+    let mut writer = TokenWriter::new();
+    write_snapshot(&mut writer, snapshot);
+    writer.finish()
+}
+
+/// Decodes an [`encode_snapshot`] line, re-interning probe names.
+pub fn decode_snapshot(line: &str) -> Result<CoverageSnapshot, WireError> {
+    let mut reader = TokenReader::new(line);
+    let snapshot = read_snapshot(&mut reader)?;
+    reader.finish()?;
+    Ok(snapshot)
+}
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------------
+
+/// The worker's first line on stdout.
+pub fn encode_handshake() -> String {
+    format!("hello {WIRE_VERSION}")
+}
+
+/// Validates a worker handshake, rejecting any foreign protocol version.
+pub fn decode_handshake(line: &str) -> Result<(), WireError> {
+    let mut reader = TokenReader::new(line);
+    reader.expect("hello")?;
+    let theirs = reader.next_u32("wire version")?;
+    reader.finish()?;
+    if theirs == WIRE_VERSION {
+        Ok(())
+    } else {
+        Err(WireError::VersionMismatch {
+            ours: WIRE_VERSION,
+            theirs,
+        })
+    }
+}
+
+/// A supervisor-to-worker message.
+#[derive(Debug, Clone)]
+pub enum ToWorker {
+    /// The campaign, the worker's thread count, and (for guided campaigns)
+    /// the frozen warm-up snapshot. Sent exactly once per worker process.
+    Config {
+        /// Worker threads the worker shards its leases over.
+        threads: usize,
+        /// The campaign configuration.
+        campaign: CampaignConfig,
+        /// The frozen guidance snapshot ([`GuidanceMode::ColdProbe`] only).
+        snapshot: Option<CoverageSnapshot>,
+    },
+    /// A lease over the iteration range `start .. start + len`.
+    Lease {
+        /// Lease id, echoed back by the worker's records and `done`.
+        id: u64,
+        /// First iteration index of the lease.
+        start: usize,
+        /// Number of iterations.
+        len: usize,
+    },
+    /// Clean shutdown.
+    Exit,
+}
+
+/// Encodes the one-off worker configuration message.
+pub fn encode_config_message(
+    threads: usize,
+    campaign: &CampaignConfig,
+    snapshot: Option<&CoverageSnapshot>,
+) -> Result<String, WireError> {
+    let mut writer = TokenWriter::new();
+    writer.push_raw("config");
+    writer.push_usize(threads);
+    write_campaign(&mut writer, campaign)?;
+    match snapshot {
+        None => writer.push_raw("unguided"),
+        Some(snapshot) => {
+            writer.push_raw("guided");
+            write_snapshot(&mut writer, snapshot);
+        }
+    }
+    Ok(writer.finish())
+}
+
+/// Encodes a lease grant.
+pub fn encode_lease_message(id: u64, start: usize, len: usize) -> String {
+    let mut writer = TokenWriter::new();
+    writer.push_raw("lease");
+    writer.push_u64(id);
+    writer.push_usize(start);
+    writer.push_usize(len);
+    writer.finish()
+}
+
+/// Encodes the shutdown message.
+pub fn encode_exit_message() -> String {
+    "exit".to_string()
+}
+
+/// Decodes any supervisor-to-worker line.
+pub fn decode_to_worker(line: &str) -> Result<ToWorker, WireError> {
+    let mut reader = TokenReader::new(line);
+    let message = match reader.next()? {
+        "config" => {
+            let threads = reader.next_usize("worker threads")?;
+            let campaign = read_campaign(&mut reader)?;
+            let snapshot = match reader.next()? {
+                "unguided" => None,
+                "guided" => Some(read_snapshot(&mut reader)?),
+                other => {
+                    return Err(WireError::Malformed {
+                        expected: "guidance snapshot marker",
+                        got: other.to_string(),
+                    })
+                }
+            };
+            ToWorker::Config {
+                threads,
+                campaign,
+                snapshot,
+            }
+        }
+        "lease" => ToWorker::Lease {
+            id: reader.next_u64("lease id")?,
+            start: reader.next_usize("lease start")?,
+            len: reader.next_usize("lease length")?,
+        },
+        "exit" => ToWorker::Exit,
+        other => {
+            return Err(WireError::Malformed {
+                expected: "supervisor message",
+                got: other.to_string(),
+            })
+        }
+    };
+    reader.finish()?;
+    Ok(message)
+}
+
+/// A worker-to-supervisor message (after the handshake).
+#[derive(Debug, Clone)]
+pub enum FromWorker {
+    /// The configuration was accepted; leases may follow.
+    Configured,
+    /// One completed iteration of a lease.
+    Record {
+        /// The lease the iteration belongs to.
+        lease: u64,
+        /// The iteration's record.
+        record: IterationRecord,
+    },
+    /// Every iteration of the lease has been executed (its records — minus
+    /// any the time budget cut off — were already streamed).
+    Done {
+        /// The finished lease.
+        lease: u64,
+    },
+}
+
+/// Encodes the configuration acknowledgement.
+pub fn encode_configured_message() -> String {
+    "configured".to_string()
+}
+
+/// Encodes one streamed iteration record.
+pub fn encode_record_message(lease: u64, record: &IterationRecord) -> String {
+    let mut writer = TokenWriter::new();
+    writer.push_raw("record");
+    writer.push_u64(lease);
+    write_record(&mut writer, record);
+    writer.finish()
+}
+
+/// Encodes a lease completion.
+pub fn encode_done_message(lease: u64) -> String {
+    let mut writer = TokenWriter::new();
+    writer.push_raw("done");
+    writer.push_u64(lease);
+    writer.finish()
+}
+
+/// Decodes any worker-to-supervisor line (after the handshake).
+pub fn decode_from_worker(line: &str) -> Result<FromWorker, WireError> {
+    let mut reader = TokenReader::new(line);
+    let message = match reader.next()? {
+        "configured" => FromWorker::Configured,
+        "record" => FromWorker::Record {
+            lease: reader.next_u64("lease id")?,
+            record: read_record(&mut reader)?,
+        },
+        "done" => FromWorker::Done {
+            lease: reader.next_u64("lease id")?,
+        },
+        other => {
+            return Err(WireError::Malformed {
+                expected: "worker message",
+                got: other.to_string(),
+            })
+        }
+    };
+    reader.finish()?;
+    Ok(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{seq::IndexedRandom, RngExt, SeedableRng, StdRng};
+    use spatter_sdb::FaultId;
+    use spatter_topo::coverage::TOPO_PROBES;
+    use std::sync::Arc;
+
+    // -- random structure generators (the in-tree rng stands in for a
+    //    property-testing crate: the workspace is std-only) ----------------
+
+    fn random_string(rng: &mut StdRng) -> String {
+        let len = rng.random_range(0..12usize);
+        (0..len)
+            .map(|_| {
+                *[
+                    'a', 'Z', '0', ' ', '%', '\t', '\n', '\r', '|', 'é', '→', '"', '\\',
+                ]
+                .choose(rng)
+                .expect("non-empty")
+            })
+            .collect()
+    }
+
+    fn random_finding(rng: &mut StdRng) -> Finding {
+        let all_faults: Vec<FaultId> = spatter_sdb::EngineProfile::PostgisLike
+            .default_faults()
+            .iter()
+            .collect();
+        let n_faults = rng.random_range(0..3usize);
+        Finding {
+            kind: if rng.random_bool(0.5) {
+                FindingKind::Logic
+            } else {
+                FindingKind::Crash
+            },
+            description: random_string(rng),
+            iteration: rng.random_range(0..10_000usize),
+            elapsed: Duration::from_nanos(rng.next_u64() >> 16),
+            attributed_faults: (0..n_faults)
+                .filter_map(|_| all_faults.choose(rng).copied())
+                .collect(),
+        }
+    }
+
+    fn random_record(rng: &mut StdRng) -> IterationRecord {
+        let n_findings = rng.random_range(0..4usize);
+        let n_probes = rng.random_range(0..6usize);
+        IterationRecord {
+            iteration: rng.random_range(0..100_000usize),
+            findings: (0..n_findings).map(|_| random_finding(rng)).collect(),
+            generation_time: Duration::from_nanos(rng.next_u64() >> 16),
+            engine_time: Duration::from_nanos(rng.next_u64() >> 16),
+            coverage: (
+                Duration::from_nanos(rng.next_u64() >> 16),
+                f64::from_bits(rng.next_u64() >> 2),
+                (rng.random_range(0..1000u64)) as f64 / 999.0,
+            ),
+            skipped: rng.random_range(0..50usize),
+            probe_delta: (0..n_probes)
+                .filter_map(|_| {
+                    let probe = TOPO_PROBES.choose(rng).copied()?;
+                    Some((probe, rng.next_u64() >> 32))
+                })
+                .collect(),
+        }
+    }
+
+    fn random_campaign(rng: &mut StdRng) -> CampaignConfig {
+        let profile = *[
+            EngineProfile::PostgisLike,
+            EngineProfile::MysqlLike,
+            EngineProfile::DuckdbSpatialLike,
+            EngineProfile::SqlServerLike,
+        ]
+        .choose(rng)
+        .expect("non-empty");
+        let backend_spec = if rng.random_bool(0.5) {
+            BackendSpec::InProcess {
+                profile,
+                faults: profile.default_faults(),
+            }
+        } else {
+            BackendSpec::Stdio {
+                command: PathBuf::from(format!("/tmp/server dir/bin-{}", rng.next_u64() % 100)),
+                profile,
+                faults: FaultSet::none(),
+                hard_crash: rng.random_bool(0.5),
+            }
+        };
+        let n_oracles = rng.random_range(1..4usize);
+        let oracles = (0..n_oracles)
+            .map(|_| match rng.random_range(0..5u32) {
+                0 => OracleKind::Aei,
+                1 => OracleKind::Differential(profile),
+                2 => OracleKind::DifferentialTwin(backend_spec.clone()),
+                3 => OracleKind::Index,
+                _ => OracleKind::Tlp,
+            })
+            .collect();
+        CampaignConfig {
+            backend: backend_spec.build(),
+            generator: GeneratorConfig {
+                num_geometries: rng.random_range(1..40usize),
+                num_tables: rng.random_range(1..5usize),
+                strategy: if rng.random_bool(0.5) {
+                    GenerationStrategy::GeometryAware
+                } else {
+                    GenerationStrategy::RandomShapeOnly
+                },
+                coordinate_range: rng.random_range(1..200i64),
+                random_shape_probability: (rng.random_range(0..1001u64)) as f64 / 1000.0,
+            },
+            queries_per_run: rng.random_range(1..100usize),
+            affine: *[
+                AffineStrategy::CanonicalizationOnly,
+                AffineStrategy::GeneralInteger,
+                AffineStrategy::SimilarityInteger,
+            ]
+            .choose(rng)
+            .expect("non-empty"),
+            iterations: rng.random_range(0..10_000usize),
+            time_budget: if rng.random_bool(0.3) {
+                Some(Duration::from_nanos(rng.next_u64() >> 16))
+            } else {
+                None
+            },
+            attribute_findings: rng.random_bool(0.5),
+            guidance: if rng.random_bool(0.5) {
+                GuidanceMode::ColdProbe
+            } else {
+                GuidanceMode::Off
+            },
+            oracles,
+            seed: rng.next_u64(),
+        }
+    }
+
+    fn assert_records_equal(a: &IterationRecord, b: &IterationRecord) {
+        assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.generation_time, b.generation_time);
+        assert_eq!(a.engine_time, b.engine_time);
+        assert_eq!(a.coverage.0, b.coverage.0);
+        // Bit-exact f64 transport, NaNs included.
+        assert_eq!(a.coverage.1.to_bits(), b.coverage.1.to_bits());
+        assert_eq!(a.coverage.2.to_bits(), b.coverage.2.to_bits());
+        assert_eq!(a.skipped, b.skipped);
+        assert_eq!(a.probe_delta, b.probe_delta);
+        assert_eq!(a.findings.len(), b.findings.len());
+        for (fa, fb) in a.findings.iter().zip(&b.findings) {
+            assert_eq!(fa.kind, fb.kind);
+            assert_eq!(fa.description, fb.description);
+            assert_eq!(fa.iteration, fb.iteration);
+            assert_eq!(fa.elapsed, fb.elapsed);
+            assert_eq!(fa.attributed_faults, fb.attributed_faults);
+        }
+    }
+
+    #[test]
+    fn strings_round_trip_through_escaping() {
+        let cases = [
+            "",
+            " ",
+            "plain",
+            "with space",
+            "100% done",
+            "%-",
+            "%20",
+            "tabs\tand\nnewlines\r",
+            "unicode → é ü 測試",
+        ];
+        for case in cases {
+            let escaped = escape(case);
+            assert!(
+                !escaped.contains(char::is_whitespace) && !escaped.is_empty(),
+                "{escaped:?} is not one token"
+            );
+            assert_eq!(unescape(&escaped).as_deref(), Ok(case), "{case:?}");
+        }
+    }
+
+    #[test]
+    fn records_round_trip_for_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(0xd157);
+        for _ in 0..200 {
+            let record = random_record(&mut rng);
+            let line = encode_record(&record);
+            let decoded = decode_record(&line).expect("round trip");
+            assert_records_equal(&record, &decoded);
+        }
+    }
+
+    #[test]
+    fn shard_reports_round_trip_for_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(0x5bad);
+        for _ in 0..25 {
+            let report = ShardReport {
+                records: (0..rng.random_range(0..6usize))
+                    .map(|_| random_record(&mut rng))
+                    .collect(),
+            };
+            let line = encode_shard_report(&report);
+            let decoded = decode_shard_report(&line).expect("round trip");
+            assert_eq!(report.records.len(), decoded.records.len());
+            for (a, b) in report.records.iter().zip(&decoded.records) {
+                assert_records_equal(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn campaigns_round_trip_for_random_inputs() {
+        // CampaignConfig holds a live backend, so equality is checked on
+        // the re-encoded line: encode is injective over the spec'd fields.
+        let mut rng = StdRng::seed_from_u64(0xca3f41);
+        for _ in 0..100 {
+            let config = random_campaign(&mut rng);
+            let line = encode_campaign(&config).expect("encode");
+            let decoded = decode_campaign(&line).expect("decode");
+            assert_eq!(encode_campaign(&decoded).expect("re-encode"), line);
+            assert_eq!(decoded.oracles, config.oracles);
+            assert_eq!(decoded.generator, config.generator);
+            assert_eq!(decoded.backend.wire_spec(), config.backend.wire_spec());
+        }
+    }
+
+    #[test]
+    fn snapshots_round_trip_with_interned_probe_names() {
+        let mut snapshot = CoverageSnapshot::new();
+        snapshot.absorb(&[
+            ("topo.predicate.intersects", 41),
+            ("topo.distance.dwithin", 1),
+            ("topo.relate.noding", u64::MAX / 2),
+        ]);
+        let decoded = decode_snapshot(&encode_snapshot(&snapshot)).expect("round trip");
+        assert_eq!(decoded, snapshot);
+        // Decoded names are the interned statics, usable as `&'static str`.
+        assert_eq!(decoded.count("topo.predicate.intersects"), 41);
+    }
+
+    #[test]
+    fn unknown_probes_and_faults_are_structured_errors() {
+        assert_eq!(
+            decode_snapshot("1 not.a.probe 3"),
+            Err(WireError::UnknownProbe("not.a.probe".to_string()))
+        );
+        let mut writer = TokenWriter::new();
+        write_faults(&mut writer, &FaultSet::none());
+        assert_eq!(writer.finish(), "none");
+        let mut reader = TokenReader::new("NoSuchFault,AlsoNot");
+        assert!(matches!(
+            read_faults(&mut reader),
+            Err(WireError::UnknownFault(_))
+        ));
+        let mut reader = TokenReader::new("klingon_like");
+        assert!(matches!(
+            read_profile(&mut reader),
+            Err(WireError::UnknownProfile(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_and_garbage_input_never_panics() {
+        // Every prefix of a valid line is a structured decode error — the
+        // codec never panics and never silently succeeds on partial input.
+        let mut rng = StdRng::seed_from_u64(7);
+        let record = random_record(&mut rng);
+        let line = encode_record(&record);
+        let token_count = line.split_ascii_whitespace().count();
+        for keep in 0..token_count {
+            let prefix: Vec<&str> = line.split_ascii_whitespace().take(keep).collect();
+            let result = decode_record(&prefix.join(" "));
+            assert!(result.is_err(), "prefix of {keep} tokens must not decode");
+        }
+        // Trailing garbage after a valid message is rejected too.
+        assert!(matches!(
+            decode_record(&format!("{line} surprise")),
+            Err(WireError::TrailingInput(_))
+        ));
+
+        // Arbitrary garbage lines decode to errors across every entry point.
+        for garbage in [
+            "",
+            "   ",
+            "lease",
+            "record 1 2 3",
+            "ROWS 4 4",
+            "config -3 x",
+            "%zz %q",
+            "done done",
+            "hello world",
+            "\u{1F980} claws",
+            "record 0 18446744073709551616",
+        ] {
+            assert!(decode_record(garbage).is_err());
+            assert!(decode_campaign(garbage).is_err());
+            assert!(decode_shard_report(garbage).is_err());
+            assert!(decode_to_worker(garbage).is_err());
+            assert!(decode_from_worker(garbage).is_err());
+            assert!(decode_handshake(garbage).is_err());
+        }
+    }
+
+    #[test]
+    fn handshake_rejects_version_mismatch() {
+        assert_eq!(decode_handshake(&encode_handshake()), Ok(()));
+        assert_eq!(
+            decode_handshake("hello 999"),
+            Err(WireError::VersionMismatch {
+                ours: WIRE_VERSION,
+                theirs: 999
+            })
+        );
+        assert!(decode_handshake("hello").is_err());
+        assert!(decode_handshake("goodbye 1").is_err());
+        assert!(matches!(
+            decode_handshake(&format!("hello {WIRE_VERSION} extra")),
+            Err(WireError::TrailingInput(_))
+        ));
+    }
+
+    #[test]
+    fn unencodable_backends_are_rejected_with_a_structured_error() {
+        #[derive(Debug)]
+        struct Opaque;
+        impl crate::backend::EngineBackend for Opaque {
+            fn profile(&self) -> EngineProfile {
+                EngineProfile::PostgisLike
+            }
+            fn open_session(
+                &self,
+            ) -> Result<Box<dyn crate::backend::EngineSession>, crate::backend::BackendError>
+            {
+                unimplemented!("never opened in this test")
+            }
+            fn fault_ids(&self) -> Vec<spatter_sdb::FaultId> {
+                Vec::new()
+            }
+            fn without_fault(
+                &self,
+                _: spatter_sdb::FaultId,
+            ) -> Box<dyn crate::backend::EngineBackend> {
+                Box::new(Opaque)
+            }
+        }
+        let config = CampaignConfig::default().with_backend(Arc::new(Opaque));
+        assert!(matches!(
+            encode_campaign(&config),
+            Err(WireError::UnsupportedBackend(_))
+        ));
+    }
+
+    #[test]
+    fn protocol_messages_round_trip() {
+        let config = CampaignConfig::default();
+        let mut snapshot = CoverageSnapshot::new();
+        snapshot.absorb(&[("topo.centroid", 2)]);
+        let line = encode_config_message(3, &config, Some(&snapshot)).expect("encode");
+        match decode_to_worker(&line).expect("decode") {
+            ToWorker::Config {
+                threads,
+                campaign,
+                snapshot: decoded,
+            } => {
+                assert_eq!(threads, 3);
+                assert_eq!(decoded, Some(snapshot));
+                assert_eq!(campaign.oracles, config.oracles);
+            }
+            other => panic!("expected config, got {other:?}"),
+        }
+
+        match decode_to_worker(&encode_lease_message(9, 100, 4)).expect("decode") {
+            ToWorker::Lease { id, start, len } => assert_eq!((id, start, len), (9, 100, 4)),
+            other => panic!("expected lease, got {other:?}"),
+        }
+        assert!(matches!(
+            decode_to_worker(&encode_exit_message()),
+            Ok(ToWorker::Exit)
+        ));
+
+        assert!(matches!(
+            decode_from_worker(&encode_configured_message()),
+            Ok(FromWorker::Configured)
+        ));
+        let mut rng = StdRng::seed_from_u64(3);
+        let record = random_record(&mut rng);
+        match decode_from_worker(&encode_record_message(7, &record)).expect("decode") {
+            FromWorker::Record { lease, record: r } => {
+                assert_eq!(lease, 7);
+                assert_records_equal(&record, &r);
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+        assert!(matches!(
+            decode_from_worker(&encode_done_message(7)),
+            Ok(FromWorker::Done { lease: 7 })
+        ));
+    }
+}

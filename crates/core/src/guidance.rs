@@ -17,10 +17,17 @@
 //! 3. **Scenario knobs** — [`Guidance::pick_knobs`] runs a small
 //!    deterministic multi-armed bandit over [`ScenarioKnobs`] presets
 //!    (spatial indexes on/off, planner settings, geometry-kind mix), each
-//!    arm scored by how many of its target probes are cold. The unguided
+//!    arm scored by how rarely its target probes were hit. The unguided
 //!    AEI path never creates an index, so the index-scan arm is what first
 //!    reaches `sdb.exec.join_index_scan` / `sdb.exec.knn_index_scan` and the
 //!    index-build crash path in a guided campaign.
+//!
+//! Scoring is *rarity-weighted* rather than binary: a probe the snapshot
+//! never saw carries its full boost, and a probe that was hit keeps a
+//! log-decayed share of it (see [`rarity_boost`]) instead of dropping to
+//! zero at the first hit — steering pressure persists on rarely-reached
+//! paths. An all-cold snapshot degenerates to numerically identical weights
+//! to the historical binary scheme.
 //!
 //! # Determinism
 //!
@@ -82,6 +89,30 @@ const COLD_FAMILY_BOOST: u64 = 2;
 /// Extra weight a knob arm gains per cold target probe.
 const COLD_ARM_BOOST: u64 = 2;
 
+/// Rarity-weighted steering boost: the full `base` boost for a probe the
+/// snapshot never saw (exactly the historical binary cold/hot behaviour),
+/// decaying with the log of the hit count once the probe has been touched —
+/// `base / (1 + ⌊log2(count + 1)⌋)`, in integer arithmetic so the weights
+/// are bit-identical on every platform and every worker process.
+///
+/// This keeps steering pressure on *rarely*-hit probes after their first
+/// hit (the ROADMAP's "rarity-weighted probe scoring" follow-on): a probe
+/// hit once keeps half its boost (integer-divided), while a probe hit
+/// thousands of times rounds down to no boost at all — the old "hot"
+/// classification. A snapshot in which every probe is cold therefore
+/// produces weights numerically equal to the previous binary scheme, which
+/// matters because the weighted draws consume raw RNG output: equal
+/// probabilities with different totals would still change every draw.
+fn rarity_boost(base: u64, count: u64) -> u64 {
+    if count == 0 {
+        base
+    } else {
+        // Saturating: a `u64::MAX` count (possible via an adversarial wire
+        // snapshot) must decay to zero, not wrap to `ilog2(0)` and panic.
+        base / (1 + u64::from(count.saturating_add(1).ilog2()))
+    }
+}
+
 /// The probe universe guidance steers over: both instrumented layers.
 pub fn probe_universe() -> Vec<&'static str> {
     TOPO_PROBES
@@ -99,71 +130,81 @@ pub fn is_universe_probe(name: &str) -> bool {
         .contains(name)
 }
 
-/// The frozen guidance context of one campaign: the cold-probe
-/// classification of the warm-up snapshot. Immutable by construction —
-/// every derived bias is a pure function of this map (plus a sub-seed).
+/// The frozen guidance context of one campaign: the warm-up snapshot's
+/// per-probe hit counts. Immutable by construction — every derived bias is
+/// a pure function of this state (plus a sub-seed).
 #[derive(Debug, Clone)]
 pub struct Guidance {
-    cold: ColdProbeMap,
+    snapshot: CoverageSnapshot,
 }
 
 impl Guidance {
     /// Builds guidance from a frozen coverage snapshot.
     pub fn from_snapshot(snapshot: &CoverageSnapshot) -> Self {
         Guidance {
-            cold: ColdProbeMap::from_snapshot(snapshot, &probe_universe()),
+            snapshot: snapshot.clone(),
         }
     }
 
-    /// The cold-probe classification.
-    pub fn cold(&self) -> &ColdProbeMap {
-        &self.cold
+    /// The cold-probe classification of the snapshot against the probe
+    /// universe (derived on demand; the rarity-weighted boosts read the
+    /// snapshot counts directly).
+    pub fn cold(&self) -> ColdProbeMap {
+        ColdProbeMap::from_snapshot(&self.snapshot, &probe_universe())
+    }
+
+    /// The rarity-weighted boost of one probe given a base boost: full for
+    /// a cold probe, log-decayed once hit (see [`rarity_boost`]).
+    fn probe_boost(&self, base: u64, probe: &str) -> u64 {
+        rarity_boost(base, self.snapshot.count(probe))
+    }
+
+    /// The summed rarity boosts of a probe list.
+    fn boost_in(&self, base: u64, probes: &[&str]) -> u64 {
+        probes.iter().map(|p| self.probe_boost(base, p)).sum()
     }
 
     /// Editing-function weights for the derivative strategy: every function
-    /// keeps a base weight of 1 (nothing is starved), cold-probe functions
-    /// gain [`COLD_EDIT_BOOST`].
+    /// keeps a base weight of 1 (nothing is starved), plus the
+    /// rarity-weighted share of [`COLD_EDIT_BOOST`] — the full boost while
+    /// its probe is cold, a log-decayed remainder while it is merely rare.
     pub fn edit_bias(&self) -> EditBias {
         EditBias {
             weights: EditFunction::ALL
                 .iter()
                 .map(|&edit| {
-                    let boost = if self.cold.is_cold(edit.probe_name()) {
-                        COLD_EDIT_BOOST
-                    } else {
-                        0
-                    };
-                    (edit, 1 + boost)
+                    (
+                        edit,
+                        1 + self.probe_boost(COLD_EDIT_BOOST, edit.probe_name()),
+                    )
                 })
                 .collect(),
         }
     }
 
     /// Template-family weights: the unguided 60/20/20 split (doubled for
-    /// integer resolution), plus [`COLD_FAMILY_BOOST`] per cold probe among
-    /// each family's characteristic probes.
+    /// integer resolution), plus the rarity-weighted share of
+    /// [`COLD_FAMILY_BOOST`] per probe among each family's characteristic
+    /// probes.
     pub fn template_weights(&self) -> TemplateWeights {
-        let boost = |targets: &[&str]| COLD_FAMILY_BOOST * self.cold.cold_count_in(targets) as u64;
         TemplateWeights {
-            topo: 12 + boost(TOPO_FAMILY_PROBES),
-            range: 4 + boost(RANGE_FAMILY_PROBES),
-            knn: 4 + boost(KNN_FAMILY_PROBES),
+            topo: 12 + self.boost_in(COLD_FAMILY_BOOST, TOPO_FAMILY_PROBES),
+            range: 4 + self.boost_in(COLD_FAMILY_BOOST, RANGE_FAMILY_PROBES),
+            knn: 4 + self.boost_in(COLD_FAMILY_BOOST, KNN_FAMILY_PROBES),
         }
     }
 
     /// The knob bandit: one deterministic weighted draw over the
     /// [`knob_arms`] presets, keyed off the iteration sub-seed. Arms whose
-    /// target probes are cold get proportionally more weight; the baseline
-    /// arm keeps a constant weight so guided campaigns never stop exploring
-    /// the default configuration.
+    /// target probes are cold (or rarely hit) get proportionally more
+    /// weight; the baseline arm keeps a constant weight so guided campaigns
+    /// never stop exploring the default configuration.
     pub fn pick_knobs(&self, sub_seed: u64) -> ScenarioKnobs {
         let mut rng = StdRng::seed_from_u64(split_seed(sub_seed, KNOB_STREAM));
         let arms = knob_arms();
         let weights: Vec<u64> = arms
             .iter()
-            .map(|arm| {
-                arm.base_weight + COLD_ARM_BOOST * self.cold.cold_count_in(arm.targets) as u64
-            })
+            .map(|arm| arm.base_weight + self.boost_in(COLD_ARM_BOOST, arm.targets))
             .collect();
         let total: u64 = weights.iter().sum();
         let mut draw = rng.random_range(0..total);
@@ -430,14 +471,24 @@ fn knob_arms() -> Vec<KnobArm> {
 mod tests {
     use super::*;
 
-    fn snapshot_hitting(probes: &[&'static str]) -> CoverageSnapshot {
+    /// A hit count large enough that every rarity boost rounds down to 0
+    /// (`base / (1 + log2(count + 1)) = 0` for the boosts used here): the
+    /// probe is not just touched but thoroughly *hot*.
+    const HOT: u64 = 1 << 12;
+
+    fn snapshot_hitting_counted(probes: &[&'static str], count: u64) -> CoverageSnapshot {
         let mut snapshot = CoverageSnapshot::new();
-        let delta: Vec<(&'static str, u64)> = probes.iter().map(|&p| (p, 1)).collect();
+        let delta: Vec<(&'static str, u64)> = probes.iter().map(|&p| (p, count)).collect();
         snapshot.absorb(&delta);
         snapshot
     }
 
-    /// A snapshot where every universe probe was hit (nothing cold).
+    fn snapshot_hitting(probes: &[&'static str]) -> CoverageSnapshot {
+        snapshot_hitting_counted(probes, HOT)
+    }
+
+    /// A snapshot where every universe probe was hit hard (nothing cold,
+    /// nothing rare).
     fn saturated_snapshot() -> CoverageSnapshot {
         let universe = probe_universe();
         snapshot_hitting(&universe)
@@ -472,6 +523,76 @@ mod tests {
         for edit in EditFunction::ALL {
             assert!(bias.weight_of(edit) >= 1);
         }
+    }
+
+    #[test]
+    fn rarity_boost_is_pinned_and_decays_with_log_hit_count() {
+        // The pinned decay table: full boost at 0 hits, log-scaled integer
+        // division afterwards. These exact values are part of the
+        // determinism contract (weights feed raw RNG draws).
+        assert_eq!(rarity_boost(COLD_EDIT_BOOST, 0), 3);
+        assert_eq!(rarity_boost(COLD_EDIT_BOOST, 1), 1); // 3 / (1+1)
+        assert_eq!(rarity_boost(COLD_EDIT_BOOST, 3), 1); // 3 / (1+2)
+        assert_eq!(rarity_boost(COLD_EDIT_BOOST, 7), 0); // 3 / (1+3)
+        assert_eq!(rarity_boost(COLD_FAMILY_BOOST, 0), 2);
+        assert_eq!(rarity_boost(COLD_FAMILY_BOOST, 1), 1); // 2 / 2
+        assert_eq!(rarity_boost(COLD_FAMILY_BOOST, 3), 0); // 2 / 3
+        assert_eq!(rarity_boost(COLD_FAMILY_BOOST, HOT), 0);
+        // Saturating at the top: an adversarial wire snapshot can carry a
+        // u64::MAX count — it must decay to zero, never wrap and panic.
+        assert_eq!(rarity_boost(COLD_EDIT_BOOST, u64::MAX), 0);
+        assert_eq!(rarity_boost(u64::MAX, u64::MAX - 1), u64::MAX / 64);
+        // Monotone non-increasing in the hit count.
+        let boosts: Vec<u64> = (0..200).map(|c| rarity_boost(10, c)).collect();
+        assert!(boosts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn rarely_hit_probes_keep_reduced_steering_pressure() {
+        // A function probe hit exactly once sits between cold and hot: it
+        // keeps a decayed boost instead of collapsing to the base weight.
+        let guidance =
+            Guidance::from_snapshot(&snapshot_hitting_counted(&["topo.editing.boundary"], 1));
+        let bias = guidance.edit_bias();
+        let rare = bias.weight_of(EditFunction::Boundary);
+        let cold = bias.weight_of(EditFunction::Polygonize);
+        assert_eq!(rare, 1 + rarity_boost(COLD_EDIT_BOOST, 1));
+        assert!(rare > 1, "a rare probe keeps pressure");
+        assert!(cold > rare, "a cold probe outweighs a rare one");
+        // Deterministic: the same snapshot always produces the same weights.
+        let again =
+            Guidance::from_snapshot(&snapshot_hitting_counted(&["topo.editing.boundary"], 1));
+        assert_eq!(bias, again.edit_bias());
+        assert_eq!(guidance.template_weights(), again.template_weights());
+    }
+
+    #[test]
+    fn all_cold_snapshot_degenerates_to_the_binary_scheme() {
+        // With nothing hit, every rarity weight equals the historical binary
+        // cold boost — numerically, not just proportionally, because the
+        // weighted draws consume raw RNG output.
+        let guidance = Guidance::from_snapshot(&CoverageSnapshot::new());
+        assert_eq!(guidance.cold().len(), probe_universe().len());
+        assert!(Guidance::from_snapshot(&saturated_snapshot())
+            .cold()
+            .is_empty());
+        let bias = guidance.edit_bias();
+        for edit in EditFunction::ALL {
+            assert_eq!(bias.weight_of(edit), 1 + COLD_EDIT_BOOST);
+        }
+        let weights = guidance.template_weights();
+        assert_eq!(
+            weights.topo,
+            12 + COLD_FAMILY_BOOST * TOPO_FAMILY_PROBES.len() as u64
+        );
+        assert_eq!(
+            weights.range,
+            4 + COLD_FAMILY_BOOST * RANGE_FAMILY_PROBES.len() as u64
+        );
+        assert_eq!(
+            weights.knn,
+            4 + COLD_FAMILY_BOOST * KNN_FAMILY_PROBES.len() as u64
+        );
     }
 
     #[test]
@@ -510,18 +631,11 @@ mod tests {
     fn template_weights_shift_towards_cold_families() {
         // Everything hot except the KNN probes: the KNN family gains weight,
         // the others stay at their doubled baseline.
-        let mut snapshot = saturated_snapshot();
-        snapshot = {
-            let mut cold_knn = CoverageSnapshot::new();
-            let delta: Vec<(&'static str, u64)> = snapshot
-                .hit_probes()
-                .into_iter()
-                .filter(|p| !KNN_FAMILY_PROBES.contains(p))
-                .map(|p| (p, 1))
-                .collect();
-            cold_knn.absorb(&delta);
-            cold_knn
-        };
+        let hot_probes: Vec<&'static str> = probe_universe()
+            .into_iter()
+            .filter(|p| !KNN_FAMILY_PROBES.contains(p))
+            .collect();
+        let snapshot = snapshot_hitting(&hot_probes);
         let weights = Guidance::from_snapshot(&snapshot).template_weights();
         assert_eq!(weights.topo, 12);
         assert_eq!(weights.range, 4);

@@ -38,9 +38,16 @@
 //!    left cold ([`guidance`]) — feedback is frozen into a snapshot before
 //!    workers start, so guided campaigns keep the byte-identical-at-any-
 //!    worker-count determinism contract.
+//! 6. [`dist`] — the multi-process layer over the same contract: a
+//!    [`dist::DistRunner`] supervisor spawns shared-nothing
+//!    `spatter-campaign-worker` processes, leases them iteration ranges
+//!    over a hand-rolled line-delimited wire codec ([`dist::wire`]), and
+//!    merges their streamed records index-ordered — byte-identical to the
+//!    in-process runner, surviving worker crashes by respawn + re-lease.
 
 pub mod backend;
 pub mod campaign;
+pub mod dist;
 pub mod generator;
 pub mod guidance;
 pub mod oracles;
@@ -52,8 +59,11 @@ pub mod scenarios;
 pub mod spec;
 pub mod transform;
 
-pub use backend::{BackendError, EngineBackend, EngineSession, InProcessBackend, StdioBackend};
+pub use backend::{
+    BackendError, BackendSpec, EngineBackend, EngineSession, InProcessBackend, StdioBackend,
+};
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, Finding, FindingKind};
+pub use dist::{DistConfig, DistError, DistRunner, DistStats};
 pub use generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
 pub use guidance::{EditBias, Guidance, GuidanceMode, ScenarioKnobs, TemplateWeights};
 pub use oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle};

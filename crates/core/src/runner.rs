@@ -33,7 +33,7 @@
 //! before the workers start, and everything after it is a pure function of
 //! `(snapshot, config.seed, iteration)`.
 
-use crate::backend::EngineBackend;
+use crate::backend::{BackendSpec, EngineBackend};
 use crate::campaign::{
     run_aei_iteration_with_knobs, CampaignConfig, CampaignReport, Finding, FindingKind,
 };
@@ -60,12 +60,22 @@ pub const GUIDANCE_WARMUP: usize = 2;
 
 /// The oracles a campaign can run per iteration, in addition to — or instead
 /// of — the paper's AEI oracle (Table 4's compared methodologies).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Plain data (backends appear as [`BackendSpec`]s, never as live trait
+/// objects), so a campaign's oracle suite can travel in its
+/// [`CampaignConfig`] — including over the distributed subsystem's wire
+/// protocol ([`crate::dist::wire`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OracleKind {
     /// Affine Equivalent Inputs (the paper's contribution; the default).
     Aei,
     /// Differential testing against a stock engine of another profile.
     Differential(EngineProfile),
+    /// Differential testing against an explicit backend twin (e.g. the
+    /// stdio-driven server twin of the engine under test — the transport
+    /// smoke-test preset of
+    /// [`CampaignConfig::differential_stdio_pair`]).
+    DifferentialTwin(BackendSpec),
     /// Sequential scan vs index scan on the same engine.
     Index,
     /// Ternary Logic Partitioning over the join-count template.
@@ -77,7 +87,7 @@ impl OracleKind {
     fn name(&self) -> &'static str {
         match self {
             OracleKind::Aei => "AEI",
-            OracleKind::Differential(_) => "Differential",
+            OracleKind::Differential(_) | OracleKind::DifferentialTwin(_) => "Differential",
             OracleKind::Index => "Index",
             OracleKind::Tlp => "TLP",
         }
@@ -185,16 +195,16 @@ impl ShardReport {
 pub struct CampaignRunner {
     config: CampaignConfig,
     n_workers: usize,
-    oracles: Vec<OracleKind>,
 }
 
 impl CampaignRunner {
-    /// Creates a runner with one worker and the AEI oracle suite.
+    /// Creates a runner with one worker. The oracle suite comes from the
+    /// configuration ([`CampaignConfig::oracles`], AEI by default).
     pub fn new(config: CampaignConfig) -> Self {
+        assert!(!config.oracles.is_empty(), "oracle suite cannot be empty");
         CampaignRunner {
             config,
             n_workers: 1,
-            oracles: vec![OracleKind::Aei],
         }
     }
 
@@ -204,10 +214,11 @@ impl CampaignRunner {
         self
     }
 
-    /// Replaces the oracle suite run on every iteration.
+    /// Replaces the oracle suite run on every iteration (a convenience for
+    /// writing into [`CampaignConfig::oracles`]).
     pub fn with_oracles(mut self, oracles: Vec<OracleKind>) -> Self {
         assert!(!oracles.is_empty(), "oracle suite cannot be empty");
-        self.oracles = oracles;
+        self.config.oracles = oracles;
         self
     }
 
@@ -224,7 +235,8 @@ impl CampaignRunner {
     /// Runs the campaign and merges the shards into an aggregate report.
     pub fn run(&self) -> CampaignReport {
         let start = Instant::now();
-        let (warmup, guidance) = self.warmup_phase(start);
+        let (warmup, snapshot) = self.warmup_phase(start);
+        let guidance = snapshot.as_ref().map(Guidance::from_snapshot);
         let first_iteration = warmup.records.len();
         let mut shards = self.run_sharded(start, first_iteration, guidance.as_ref());
         shards.push(warmup);
@@ -234,9 +246,12 @@ impl CampaignRunner {
     /// The guidance warm-up: with [`GuidanceMode::ColdProbe`], runs the
     /// first [`GUIDANCE_WARMUP`] iterations unguided on the calling thread
     /// and freezes their thread-locally-recorded probe deltas into the
-    /// campaign's coverage snapshot. Runs nothing (and enables no guidance)
-    /// in [`GuidanceMode::Off`].
-    fn warmup_phase(&self, start: Instant) -> (ShardReport, Option<Guidance>) {
+    /// campaign's coverage snapshot. Runs nothing (and produces no snapshot)
+    /// in [`GuidanceMode::Off`]. The raw snapshot — rather than the
+    /// [`Guidance`] built from it — is returned so the distributed
+    /// supervisor ([`crate::dist`]) can ship it to worker processes, which
+    /// rebuild the identical guidance on their side.
+    pub(crate) fn warmup_phase(&self, start: Instant) -> (ShardReport, Option<CoverageSnapshot>) {
         let mut shard = ShardReport::default();
         if self.config.guidance == GuidanceMode::Off {
             return (shard, None);
@@ -252,7 +267,7 @@ impl CampaignRunner {
             snapshot.absorb(&record.probe_delta);
             shard.records.push(record);
         }
-        (shard, Some(Guidance::from_snapshot(&snapshot)))
+        (shard, Some(snapshot))
     }
 
     /// Runs the campaign from `first_iteration` on, returning the raw
@@ -308,8 +323,10 @@ impl CampaignRunner {
     /// Executes one iteration end to end: generation (optionally biased by
     /// the frozen guidance), the oracle suite, and attribution of every
     /// flagged query. The whole iteration runs on the calling thread, so the
-    /// thread-local probe recorder measures exactly its delta.
-    fn run_iteration(
+    /// thread-local probe recorder measures exactly its delta. Crate-visible
+    /// so the distributed worker ([`crate::dist::worker`]) executes leased
+    /// iterations through exactly this code path.
+    pub(crate) fn run_iteration(
         &self,
         iteration: usize,
         start: Instant,
@@ -354,8 +371,8 @@ impl CampaignRunner {
         let mut engine_time = Duration::ZERO;
         let mut findings = Vec::new();
         let mut skipped = 0;
-        for kind in &self.oracles {
-            let (outcomes, oracle_time) = self.run_oracle(*kind, &spec, &queries, &plan, &knobs);
+        for kind in &self.config.oracles {
+            let (outcomes, oracle_time) = self.run_oracle(kind, &spec, &queries, &plan, &knobs);
             engine_time += oracle_time;
             for (query, outcome) in queries.iter().zip(outcomes.iter()) {
                 let finding_kind = match outcome {
@@ -379,7 +396,7 @@ impl CampaignRunner {
                     other => format!("[{}] {description}", other.name()),
                 };
                 let attributed = if self.config.attribute_findings {
-                    attribute(*kind, backend, &spec, query, &plan, finding_kind, &knobs)
+                    attribute(kind, backend, &spec, query, &plan, finding_kind, &knobs)
                 } else {
                     Vec::new()
                 };
@@ -422,7 +439,7 @@ impl CampaignRunner {
     /// index-on/off comparison).
     fn run_oracle(
         &self,
-        kind: OracleKind,
+        kind: &OracleKind,
         spec: &DatabaseSpec,
         queries: &[QueryInstance],
         plan: &TransformPlan,
@@ -444,10 +461,13 @@ impl CampaignRunner {
 /// Instantiates the oracle for a suite entry. The AEI oracle is bound to the
 /// iteration's transformation plan and scenario knobs (so attribution
 /// re-runs replay the exact scenario); the baselines are stateless.
-fn build_oracle(kind: OracleKind, plan: &TransformPlan, knobs: &ScenarioKnobs) -> Box<dyn Oracle> {
+fn build_oracle(kind: &OracleKind, plan: &TransformPlan, knobs: &ScenarioKnobs) -> Box<dyn Oracle> {
     match kind {
         OracleKind::Aei => Box::new(AeiOracle::new(plan.clone()).with_knobs(knobs.clone())),
-        OracleKind::Differential(profile) => Box::new(DifferentialOracle::against_stock(profile)),
+        OracleKind::Differential(profile) => Box::new(DifferentialOracle::against_stock(*profile)),
+        OracleKind::DifferentialTwin(spec) => {
+            Box::new(DifferentialOracle::against(spec.build_boxed()))
+        }
         OracleKind::Index => Box::new(IndexOracle),
         OracleKind::Tlp => Box::new(TlpOracle),
     }
@@ -462,7 +482,7 @@ fn build_oracle(kind: OracleKind, plan: &TransformPlan, knobs: &ScenarioKnobs) -
 /// engines) report nothing, which leaves the finding unattributed.
 #[allow(clippy::too_many_arguments)]
 fn attribute(
-    oracle_kind: OracleKind,
+    oracle_kind: &OracleKind,
     backend: &dyn EngineBackend,
     spec: &DatabaseSpec,
     query: &QueryInstance,

@@ -297,6 +297,13 @@ impl CoverageSnapshot {
         self.counts.get(name).copied().unwrap_or(0)
     }
 
+    /// Every recorded `(probe, count)` entry, in sorted probe order. Used
+    /// by the distributed campaign wire codec, which ships the frozen
+    /// warm-up snapshot to worker processes verbatim.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(&name, &count)| (name, count))
+    }
+
     /// Probes recorded with a non-zero count, in sorted order.
     pub fn hit_probes(&self) -> Vec<&'static str> {
         self.counts

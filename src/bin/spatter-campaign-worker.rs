@@ -1,0 +1,25 @@
+//! `spatter-campaign-worker` — one shared-nothing campaign worker process.
+//!
+//! Spawned and driven by `spatter_core::dist::DistRunner` over
+//! line-delimited stdio: the worker announces the wire version, receives
+//! its campaign configuration (backend spec, oracle suite, optional frozen
+//! guidance snapshot) and then executes iteration leases across its own
+//! thread pool, streaming each iteration's record back as it completes.
+//! The serve loop lives in [`spatter_repro::core::dist::worker`]; this
+//! binary only wires up the standard streams.
+//!
+//! The protocol carries everything the worker needs, so there is no
+//! command line beyond the program name.
+
+use spatter_repro::core::dist::worker::serve;
+
+fn main() {
+    let stdin = std::io::stdin().lock();
+    // Unlocked stdout: the worker writes record lines from several threads
+    // under its own mutex, and `StdoutLock` is not `Send`.
+    let stdout = std::io::stdout();
+    if let Err(error) = serve(stdin, stdout) {
+        eprintln!("spatter-campaign-worker: {error}");
+        std::process::exit(1);
+    }
+}
