@@ -1,23 +1,36 @@
 //! Throughput benchmark of the §7 distance-parameterised query templates:
-//! range joins (`ST_DWithin` counts through the nested-loop join) versus KNN
-//! queries, the latter both as a sequential `ORDER BY ST_Distance` sort and
-//! through the index-accelerated nearest-neighbour path.
+//! range joins (`ST_DWithin`) under each of the three physical plans —
+//! nested loop, prepared envelope-screened scan, and R-tree index probe —
+//! across a 64/256/1024 rows axis, plus the KNN queries (sequential
+//! `ORDER BY ST_Distance` sort versus the index-accelerated
+//! nearest-neighbour path).
 //!
 //! Emits `BENCH_distance_templates.json` in the workspace root so the perf
-//! trajectory of the new workload class is recorded per PR.
+//! trajectory of the workload class is recorded per PR, including the
+//! speedup of the distance-join plans over the nested-loop baseline.
 
 use spatter_core::rng::{RngExt, SeedableRng, StdRng};
+use spatter_sdb::engine::plan;
 use spatter_sdb::{Engine, EngineProfile};
 use std::time::Instant;
 
-const ROWS: usize = 64;
-const QUERIES: usize = 400;
+/// Rows axis for the range-join workloads. The nested-loop baseline is
+/// O(rows^2) per query, so the per-rows query budget shrinks accordingly.
+const ROWS_AXIS: &[(usize, usize)] = &[(64, 400), (256, 100), (1024, 16)];
 
-fn load_points(engine: &mut Engine) {
+/// Fixed shape of the KNN workloads (unchanged from the original record).
+const KNN_ROWS: usize = 64;
+const KNN_QUERIES: usize = 400;
+
+/// The nested-loop `range_join_dwithin` throughput recorded by the seed
+/// bench at 64 rows; the headline speedup is measured against it.
+const SEED_BASELINE_QPS: f64 = 387.21;
+
+fn load_points(engine: &mut Engine, rows: usize) {
     engine.execute("CREATE TABLE t (g geometry)").unwrap();
     // Deterministic pseudo-random integer layout.
     let mut rng = StdRng::seed_from_u64(1234);
-    for _ in 0..ROWS {
+    for _ in 0..rows {
         let (x, y) = (
             rng.random_range(-100..=100i64),
             rng.random_range(-100..=100i64),
@@ -29,37 +42,128 @@ fn load_points(engine: &mut Engine) {
 }
 
 struct Sample {
-    name: &'static str,
+    name: String,
+    rows: usize,
     queries: usize,
     seconds: f64,
     queries_per_sec: f64,
 }
 
-fn bench<F: FnMut(usize)>(name: &'static str, mut run: F) -> Sample {
+fn bench<F: FnMut(usize)>(name: String, rows: usize, queries: usize, mut run: F) -> Sample {
     let start = Instant::now();
-    for i in 0..QUERIES {
+    for i in 0..queries {
         run(i);
     }
     let seconds = start.elapsed().as_secs_f64();
     Sample {
         name,
-        queries: QUERIES,
+        rows,
+        queries,
         seconds,
-        queries_per_sec: QUERIES as f64 / seconds.max(f64::EPSILON),
+        queries_per_sec: queries as f64 / seconds.max(f64::EPSILON),
     }
 }
 
-fn main() {
-    println!("== Distance-template throughput (range join vs KNN, {ROWS} rows) ==\n");
+fn range_join_engine(rows: usize, indexed: bool) -> Engine {
+    let mut engine = Engine::reference(EngineProfile::PostgisLike);
+    load_points(&mut engine, rows);
+    if indexed {
+        engine
+            .execute("CREATE INDEX idx ON t USING GIST (g)")
+            .unwrap();
+        engine.execute("SET enable_seqscan = false").unwrap();
+    }
+    engine
+}
 
-    let mut range_engine = Engine::reference(EngineProfile::PostgisLike);
-    load_points(&mut range_engine);
+fn range_join_query(i: usize) -> String {
+    let d = (i % 40) + 1;
+    format!("SELECT COUNT(*) FROM t a JOIN t b ON ST_DWithin(a.g, b.g, {d})")
+}
+
+fn main() {
+    println!("== Distance-template throughput (range-join plans + KNN) ==\n");
+
+    let mut samples = Vec::new();
+    let mut speedups = Vec::new();
+
+    for &(rows, queries) in ROWS_AXIS {
+        // Plans equal by construction: spot-check before timing.
+        let mut nested_engine = range_join_engine(rows, false);
+        let mut prepared_engine = range_join_engine(rows, false);
+        let mut indexed_engine = range_join_engine(rows, true);
+        for i in 0..8 {
+            let sql = range_join_query(i * 5);
+            let nested = plan::with_distance_join_disabled(|| {
+                nested_engine.execute(&sql).unwrap().count().unwrap()
+            });
+            assert_eq!(
+                nested,
+                prepared_engine.execute(&sql).unwrap().count().unwrap(),
+                "prepared plan diverged on probe {i}"
+            );
+            assert_eq!(
+                nested,
+                indexed_engine.execute(&sql).unwrap().count().unwrap(),
+                "index plan diverged on probe {i}"
+            );
+        }
+
+        let nested = plan::with_distance_join_disabled(|| {
+            bench(
+                format!("range_join_dwithin_nested/{rows}"),
+                rows,
+                queries,
+                |i| {
+                    let count = nested_engine
+                        .execute(&range_join_query(i))
+                        .unwrap()
+                        .count()
+                        .unwrap();
+                    assert!(count >= rows as i64, "every row is within any d of itself");
+                },
+            )
+        });
+        let prepared = bench(format!("range_join_dwithin/{rows}"), rows, queries, |i| {
+            let count = prepared_engine
+                .execute(&range_join_query(i))
+                .unwrap()
+                .count()
+                .unwrap();
+            assert!(count >= rows as i64);
+        });
+        let indexed = bench(
+            format!("range_join_dwithin_indexed/{rows}"),
+            rows,
+            queries,
+            |i| {
+                let count = indexed_engine
+                    .execute(&range_join_query(i))
+                    .unwrap()
+                    .count()
+                    .unwrap();
+                assert!(count >= rows as i64);
+            },
+        );
+        speedups.push(format!(
+            "    {{\"rows\": {rows}, \"prepared_vs_nested\": {:.2}, \"indexed_vs_nested\": {:.2}}}",
+            prepared.queries_per_sec / nested.queries_per_sec,
+            indexed.queries_per_sec / nested.queries_per_sec
+        ));
+        samples.extend([nested, prepared, indexed]);
+    }
+
+    let headline = samples
+        .iter()
+        .find(|s| s.name == "range_join_dwithin/64")
+        .map(|s| s.queries_per_sec / SEED_BASELINE_QPS)
+        .unwrap();
 
     let mut knn_seq = Engine::reference(EngineProfile::PostgisLike);
-    load_points(&mut knn_seq);
+    load_points(&mut knn_seq, KNN_ROWS);
 
     let mut knn_indexed = Engine::reference(EngineProfile::PostgisLike);
-    load_points(&mut knn_indexed);
+    load_points(&mut knn_indexed, KNN_ROWS);
     knn_indexed
         .execute("CREATE INDEX idx ON t USING GIST (g)")
         .unwrap();
@@ -72,37 +176,35 @@ fn main() {
         )
     };
 
-    let samples = [
-        bench("range_join_dwithin", |i| {
-            let d = (i % 40) + 1;
-            let count = range_engine
-                .execute(&format!(
-                    "SELECT COUNT(*) FROM t a JOIN t b ON ST_DWithin(a.g, b.g, {d})"
-                ))
-                .unwrap()
-                .count()
-                .unwrap();
-            assert!(count >= ROWS as i64, "every row is within any d of itself");
-        }),
-        bench("knn_order_by_seqscan", |i| {
+    samples.push(bench(
+        "knn_order_by_seqscan".to_string(),
+        KNN_ROWS,
+        KNN_QUERIES,
+        |i| {
             let rows = knn_seq.execute(&knn_sql(i)).unwrap().row_count();
             assert_eq!(rows, 4);
-        }),
-        bench("knn_index_nearest_neighbour", |i| {
+        },
+    ));
+    samples.push(bench(
+        "knn_index_nearest_neighbour".to_string(),
+        KNN_ROWS,
+        KNN_QUERIES,
+        |i| {
             let rows = knn_indexed.execute(&knn_sql(i)).unwrap().row_count();
             assert_eq!(rows, 4);
-        }),
-    ];
+        },
+    ));
 
-    let widths = [30, 10, 12, 14];
+    let widths = [34, 8, 10, 12, 14];
     spatter_bench::print_row(
-        &["workload", "queries", "time (s)", "queries/sec"].map(String::from),
+        &["workload", "rows", "queries", "time (s)", "queries/sec"].map(String::from),
         &widths,
     );
     for sample in &samples {
         spatter_bench::print_row(
             &[
-                sample.name.to_string(),
+                sample.name.clone(),
+                sample.rows.to_string(),
                 sample.queries.to_string(),
                 format!("{:.3}", sample.seconds),
                 format!("{:.1}", sample.queries_per_sec),
@@ -110,6 +212,7 @@ fn main() {
             &widths,
         );
     }
+    println!("\nrange_join_dwithin/64 vs seed nested-loop baseline ({SEED_BASELINE_QPS} q/s): {headline:.1}x");
 
     // Sanity: the two KNN plans agree on every probe (the Index-oracle
     // property the campaign relies on).
@@ -126,13 +229,14 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                "    {{\"workload\": \"{}\", \"queries\": {}, \"seconds\": {:.4}, \"queries_per_sec\": {:.2}}}",
-                s.name, s.queries, s.seconds, s.queries_per_sec
+                "    {{\"workload\": \"{}\", \"rows\": {}, \"queries\": {}, \"seconds\": {:.4}, \"queries_per_sec\": {:.2}}}",
+                s.name, s.rows, s.queries, s.seconds, s.queries_per_sec
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"distance_templates\",\n  \"config\": \"{ROWS} rows x {QUERIES} queries per workload\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"distance_templates\",\n  \"config\": \"range-join plans on {{64,256,1024}} rows; KNN on {KNN_ROWS} rows x {KNN_QUERIES} queries\",\n  \"seed_baseline_queries_per_sec\": {SEED_BASELINE_QPS},\n  \"speedup_vs_seed_baseline_at_64_rows\": {headline:.2},\n  \"plan_speedups\": [\n{}\n  ],\n  \"samples\": [\n{}\n  ]\n}}\n",
+        speedups.join(",\n"),
         entries.join(",\n")
     );
     let path = concat!(

@@ -420,6 +420,7 @@ fn knob_arms() -> Vec<KnobArm> {
             targets: &[
                 "sdb.exec.create_index",
                 "sdb.exec.join_index_scan",
+                "sdb.exec.join_distance_index",
                 "sdb.exec.knn_index_scan",
                 "sdb.exec.set_setting",
                 "sdb.fault.crash_path",

@@ -212,6 +212,14 @@ impl Envelope {
 
     /// Minimum distance between the two rectangles (0 when they intersect).
     pub fn distance(&self, other: &Envelope) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared minimum distance between the two rectangles: the sqrt-free
+    /// kernel behind [`Envelope::distance`], usable as an exact lower bound
+    /// on the squared distance between any geometries the boxes bound.
+    /// Infinite when either envelope is empty.
+    pub fn distance_sq(&self, other: &Envelope) -> f64 {
         if self.empty || other.empty {
             return f64::INFINITY;
         }
@@ -221,7 +229,20 @@ impl Envelope {
         let dy = (other.min_y - self.max_y)
             .max(self.min_y - other.max_y)
             .max(0.0);
-        (dx * dx + dy * dy).sqrt()
+        dx * dx + dy * dy
+    }
+
+    /// Squared maximum corner-to-corner separation of the two rectangles: an
+    /// upper bound on the squared distance between any point bounded by one
+    /// envelope and any point bounded by the other. Infinite when either
+    /// envelope is empty (no bound exists for nothing).
+    pub fn max_distance_sq(&self, other: &Envelope) -> f64 {
+        if self.empty || other.empty {
+            return f64::INFINITY;
+        }
+        let dx = (other.max_x - self.min_x).max(self.max_x - other.min_x);
+        let dy = (other.max_y - self.min_y).max(self.max_y - other.min_y);
+        dx * dx + dy * dy
     }
 
     /// The center of the rectangle.
@@ -299,6 +320,28 @@ mod tests {
         let b = Envelope::from_bounds(4.0, 5.0, 6.0, 7.0);
         assert_eq!(a.distance(&b), 5.0);
         assert_eq!(a.distance(&a), 0.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(a.distance_sq(&a), 0.0);
+        assert_eq!(a.distance(&Envelope::empty()), f64::INFINITY);
+        assert_eq!(Envelope::empty().distance_sq(&a), f64::INFINITY);
+    }
+
+    #[test]
+    fn max_distance_sq_bounds_every_point_pair() {
+        let a = Envelope::from_bounds(0.0, 0.0, 1.0, 1.0);
+        let b = Envelope::from_bounds(4.0, 5.0, 6.0, 7.0);
+        // Farthest corners: (0,0) to (6,7).
+        assert_eq!(a.max_distance_sq(&b), 36.0 + 49.0);
+        assert_eq!(b.max_distance_sq(&a), 36.0 + 49.0);
+        // A box against itself: the diagonal.
+        assert_eq!(a.max_distance_sq(&a), 2.0);
+        // Nested boxes: the farthest pair straddles the outer box.
+        let outer = Envelope::from_bounds(-10.0, -10.0, 10.0, 10.0);
+        let inner = Envelope::from_bounds(-1.0, -1.0, 1.0, 1.0);
+        assert_eq!(outer.max_distance_sq(&inner), 121.0 + 121.0);
+        assert_eq!(outer.max_distance_sq(&Envelope::empty()), f64::INFINITY);
+        // The lower bound never exceeds the upper bound.
+        assert!(a.distance_sq(&b) <= a.max_distance_sq(&b));
     }
 
     #[test]

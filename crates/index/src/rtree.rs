@@ -109,6 +109,47 @@ impl<T> RTree<T> {
         &self.empty_entries
     }
 
+    /// Buffer-reusing variant of [`RTree::query_intersects`]: clears `out`
+    /// and fills it with the payloads whose envelope intersects `query`, in
+    /// the same tree order. Callers probing in a loop (the engine's index
+    /// joins) keep one buffer alive instead of allocating a vector per
+    /// outer row.
+    pub fn query_intersects_into(&self, query: &Envelope, out: &mut Vec<T>)
+    where
+        T: Copy,
+    {
+        out.clear();
+        if query.is_empty() {
+            return;
+        }
+        collect_intersecting_copied(&self.root, query, out);
+    }
+
+    /// Expanded-envelope distance probe (buffer-reusing): clears `out` and
+    /// fills it with every payload whose envelope lies within squared
+    /// distance `d_sq` of `probe`, boundary inclusive — the candidate set of
+    /// a distance join with threshold `sqrt(d_sq)`.
+    ///
+    /// Subtrees are pruned with the same [`Envelope::distance_sq`] kernel the
+    /// leaf test uses; a parent envelope contains its children, so its
+    /// distance to the probe never exceeds theirs and pruning is exact: the
+    /// result equals the linear-scan filter
+    /// `entry_env.distance_sq(probe) <= d_sq` even at floating-point
+    /// boundaries (no literal `max_x + d` arithmetic is performed, so no
+    /// rounding can widen or narrow the candidate set). Entries with empty
+    /// envelopes are never returned — their distance is infinite. A NaN
+    /// `d_sq` matches nothing.
+    pub fn query_within_distance_into(&self, probe: &Envelope, d_sq: f64, out: &mut Vec<T>)
+    where
+        T: Copy,
+    {
+        out.clear();
+        if probe.is_empty() {
+            return;
+        }
+        collect_within_distance(&self.root, probe, d_sq, out);
+    }
+
     /// Best-first nearest-neighbour search (Hjaltason & Samet): returns the
     /// entries closest to `probe` in ascending distance order, where the real
     /// distance of an entry is supplied by `exact_distance` (the envelope
@@ -406,6 +447,44 @@ fn collect_intersecting<'a, T>(node: &'a Node<T>, query: &Envelope, out: &mut Ve
     }
 }
 
+fn collect_intersecting_copied<T: Copy>(node: &Node<T>, query: &Envelope, out: &mut Vec<T>) {
+    match node {
+        Node::Leaf { entries } => {
+            for (env, value) in entries {
+                if env.intersects(query) {
+                    out.push(*value);
+                }
+            }
+        }
+        Node::Internal { children } => {
+            for (env, child) in children {
+                if env.intersects(query) {
+                    collect_intersecting_copied(child, query, out);
+                }
+            }
+        }
+    }
+}
+
+fn collect_within_distance<T: Copy>(node: &Node<T>, probe: &Envelope, d_sq: f64, out: &mut Vec<T>) {
+    match node {
+        Node::Leaf { entries } => {
+            for (env, value) in entries {
+                if env.distance_sq(probe) <= d_sq {
+                    out.push(*value);
+                }
+            }
+        }
+        Node::Internal { children } => {
+            for (env, child) in children {
+                if env.distance_sq(probe) <= d_sq {
+                    collect_within_distance(child, probe, d_sq, out);
+                }
+            }
+        }
+    }
+}
+
 fn collect_same_box<'a, T>(node: &'a Node<T>, query: &Envelope, out: &mut Vec<&'a T>) {
     match node {
         Node::Leaf { entries } => {
@@ -515,6 +594,82 @@ mod tests {
         expected.sort_unstable();
         got.sort_unstable();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn query_intersects_into_reuses_the_buffer() {
+        let mut tree = RTree::new();
+        let mut entries = Vec::new();
+        let mut raw = lcg(11);
+        let mut next = move || (raw() % 1000) as f64 / 10.0;
+        for i in 0..150usize {
+            let x = next();
+            let y = next();
+            let env = boxed(x, y, x + 1.5, y + 1.5);
+            entries.push((env, i));
+            tree.insert(env, i);
+        }
+        let mut buffer: Vec<usize> = Vec::new();
+        for window in [
+            boxed(0.0, 0.0, 30.0, 30.0),
+            boxed(50.0, 50.0, 55.0, 55.0),
+            boxed(200.0, 200.0, 201.0, 201.0),
+        ] {
+            tree.query_intersects_into(&window, &mut buffer);
+            let mut got = buffer.clone();
+            let mut expected: Vec<usize> = tree
+                .query_intersects(&window)
+                .into_iter()
+                .copied()
+                .collect();
+            got.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(got, expected);
+        }
+        // The buffer is cleared per probe, so a miss leaves it empty.
+        tree.query_intersects_into(&boxed(500.0, 500.0, 501.0, 501.0), &mut buffer);
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn query_within_distance_matches_linear_scan() {
+        let mut tree = RTree::new();
+        let mut entries = Vec::new();
+        let mut raw = lcg(23);
+        let mut next = move || (raw() % 400) as f64 / 2.0 - 100.0;
+        for i in 0..150usize {
+            let x = next();
+            let y = next();
+            let env = boxed(x, y, x + 2.0, y + 2.0);
+            entries.push((env, i));
+            tree.insert(env, i);
+        }
+        tree.insert(Envelope::empty(), 999);
+        let mut buffer: Vec<usize> = Vec::new();
+        for (probe, d) in [
+            (boxed(0.0, 0.0, 1.0, 1.0), 10.0),
+            (boxed(-50.0, 20.0, -49.0, 21.0), 0.0),
+            (boxed(30.0, -80.0, 35.0, -75.0), 55.5),
+        ] {
+            let d_sq = d * d;
+            tree.query_within_distance_into(&probe, d_sq, &mut buffer);
+            let mut got = buffer.clone();
+            let mut expected: Vec<usize> = entries
+                .iter()
+                .filter(|(env, _)| env.distance_sq(&probe) <= d_sq)
+                .map(|(_, i)| *i)
+                .collect();
+            got.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "d={d}");
+            // The empty-envelope entry is never a distance candidate.
+            assert!(!got.contains(&999));
+        }
+        // Empty probes and NaN thresholds match nothing.
+        tree.query_within_distance_into(&Envelope::empty(), 100.0, &mut buffer);
+        assert!(buffer.is_empty());
+        tree.query_within_distance_into(&boxed(0.0, 0.0, 1.0, 1.0), f64::NAN, &mut buffer);
+        assert!(buffer.is_empty());
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub const SDB_PROBES: &[&str] = &[
     "sdb.exec.join_nested_loop",
     "sdb.exec.join_index_scan",
     "sdb.exec.join_prepared",
+    "sdb.exec.join_distance_index",
+    "sdb.exec.join_distance_prepared",
     "sdb.exec.order_by",
     "sdb.exec.limit",
     "sdb.exec.knn_index_scan",

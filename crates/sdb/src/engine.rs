@@ -6,7 +6,7 @@ use crate::catalog::{Database, SpatialIndex, Table};
 use crate::coverage;
 use crate::error::{SdbError, SdbResult};
 use crate::faults::{FaultId, FaultSet};
-use crate::functions::{self, FunctionContext};
+use crate::functions::{self, DistancePredicate, FunctionContext};
 use crate::parser::{parse_script, parse_statement};
 use crate::profile::EngineProfile;
 use crate::value::Value;
@@ -54,6 +54,55 @@ impl QueryResult {
     }
 }
 
+/// Process-wide physical-plan switches, used by equivalence tests and
+/// benchmarks to force the legacy paths. Plans only change how a result is
+/// computed, never what it is, so flipping these is always safe.
+pub mod plan {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static DISTANCE_JOIN_ENABLED: AtomicBool = AtomicBool::new(true);
+
+    /// Enables or disables the distance-join physical plans
+    /// (`ST_DWithin`/`ST_DFullyWithin` joins via index probe or prepared
+    /// envelope screen). When disabled, distance joins take the general
+    /// nested loop. On by default.
+    pub fn set_distance_join_enabled(enabled: bool) {
+        DISTANCE_JOIN_ENABLED.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether distance joins may use their dedicated physical plans.
+    pub fn distance_join_enabled() -> bool {
+        DISTANCE_JOIN_ENABLED.load(Ordering::SeqCst)
+    }
+
+    /// Runs `f` with the distance-join plans disabled, re-enabling them
+    /// afterwards even if `f` panics. The switch is process global, so
+    /// callers comparing plans concurrently must serialize themselves.
+    pub fn with_distance_join_disabled<T>(f: impl FnOnce() -> T) -> T {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_distance_join_enabled(true);
+            }
+        }
+        let _restore = Restore;
+        set_distance_join_enabled(false);
+        f()
+    }
+}
+
+/// Reusable per-engine buffers for the join paths: index-probe candidates,
+/// matched pair lists and the prepared distance join's cached inner
+/// envelopes. Taken out of the engine for the duration of one SELECT (so the
+/// shared borrow of `self` stays available) and put back afterwards; scenario
+/// batches thereby stop churning the allocator on every join.
+#[derive(Debug, Clone, Default)]
+struct ExecScratch {
+    candidates: Vec<usize>,
+    pairs: Vec<(usize, usize)>,
+    right_envelopes: Vec<Envelope>,
+}
+
 /// A spatial SQL engine instance: one profile, one fault set, one database.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -64,6 +113,7 @@ pub struct Engine {
     enable_prepared: bool,
     engine_time: Duration,
     statements_executed: usize,
+    scratch: ExecScratch,
 }
 
 impl Engine {
@@ -89,6 +139,7 @@ impl Engine {
             enable_prepared: true,
             engine_time: Duration::ZERO,
             statements_executed: 0,
+            scratch: ExecScratch::default(),
         }
     }
 
@@ -303,7 +354,10 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn select(&mut self, select: &SelectStatement) -> SdbResult<QueryResult> {
-        let mut result = self.select_inner(select)?;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let inner = self.select_inner(select, &mut scratch);
+        self.scratch = scratch;
+        let mut result = inner?;
         // LIMIT caps *result* rows. The non-aggregate paths already
         // truncated their row sets before projection (so this is a no-op
         // there); aggregate and scalar selects produce their single row
@@ -315,7 +369,11 @@ impl Engine {
         Ok(result)
     }
 
-    fn select_inner(&mut self, select: &SelectStatement) -> SdbResult<QueryResult> {
+    fn select_inner(
+        &mut self,
+        select: &SelectStatement,
+        scratch: &mut ExecScratch,
+    ) -> SdbResult<QueryResult> {
         let faults = self.faults.clone();
         let ctx = FunctionContext {
             profile: self.profile,
@@ -344,7 +402,7 @@ impl Engine {
                 })
             }
             1 => self.select_single_table(select, &ctx),
-            2 => self.select_join(select, &ctx),
+            2 => self.select_join(select, &ctx, scratch),
             n => Err(SdbError::Semantic(format!(
                 "queries over {n} tables are not supported"
             ))),
@@ -593,6 +651,7 @@ impl Engine {
         &self,
         select: &SelectStatement,
         ctx: &FunctionContext,
+        scratch: &mut ExecScratch,
     ) -> SdbResult<QueryResult> {
         let left_ref = &select.from[0];
         let right_ref = &select.from[1];
@@ -600,63 +659,99 @@ impl Engine {
         let right_table = self.database.table(&right_ref.table)?;
         let condition = combine_conditions(&select.join_on, &select.where_clause);
 
-        // Identify the "predicate join" shape used by Spatter's query
-        // template: a single named predicate over the two geometry columns.
-        let predicate_join = condition.as_ref().and_then(|expr| {
-            predicate_join_shape(expr, left_ref, right_ref, left_table, right_table)
+        // Identify the join shapes used by Spatter's query templates: a
+        // single named predicate or distance predicate over the two geometry
+        // columns (in either argument order).
+        let join_plan = condition.as_ref().and_then(|expr| {
+            join_plan_shape(
+                expr,
+                left_ref,
+                right_ref,
+                left_table,
+                right_table,
+                &self.database,
+                ctx,
+            )
         });
 
-        let mut matching: Option<Vec<(usize, usize)>> = None;
-        if let Some(join) = &predicate_join {
-            // The envelope-intersection index probe is only a sound prefilter
-            // for predicates that imply envelope interaction; ST_Disjoint
-            // holds exactly on the pairs the probe prunes, so it falls
-            // through to the nested loop even with seqscan disabled (real
-            // engines give it no index operator support either).
-            if !self.enable_seqscan && join.predicate.has_index_support() {
-                if let Some(index) = self.database.index_on(&right_ref.table, &join.right_column) {
-                    coverage::hit("sdb.exec.join_index_scan");
-                    matching = Some(self.index_join(join, left_table, right_table, index, ctx)?);
+        scratch.pairs.clear();
+        let mut planned = false;
+        match &join_plan {
+            Some(JoinPlan::Predicate(join)) => {
+                // The envelope-intersection index probe is only a sound
+                // prefilter for predicates that imply envelope interaction;
+                // ST_Disjoint holds exactly on the pairs the probe prunes, so
+                // it falls through to the nested loop even with seqscan
+                // disabled (real engines give it no index operator support
+                // either).
+                if !self.enable_seqscan && join.predicate.has_index_support() {
+                    if let Some(index) =
+                        self.database.index_on(&right_ref.table, &join.right_column)
+                    {
+                        coverage::hit("sdb.exec.join_index_scan");
+                        self.index_join(join, left_table, right_table, index, ctx, scratch)?;
+                        planned = true;
+                    }
+                }
+                if !planned && self.enable_prepared {
+                    coverage::hit("sdb.exec.join_prepared");
+                    self.prepared_join(join, left_table, right_table, ctx, scratch)?;
+                    planned = true;
                 }
             }
-            if matching.is_none() && self.enable_prepared {
-                coverage::hit("sdb.exec.join_prepared");
-                matching = Some(self.prepared_join(join, left_table, right_table, ctx)?);
+            Some(JoinPlan::Distance(join)) => {
+                if !self.enable_seqscan {
+                    if let Some(index) =
+                        self.database.index_on(&right_ref.table, &join.right_column)
+                    {
+                        coverage::hit("sdb.exec.join_distance_index");
+                        self.distance_index_join(
+                            join,
+                            left_table,
+                            right_table,
+                            index,
+                            ctx,
+                            scratch,
+                        );
+                        planned = true;
+                    }
+                }
+                if !planned && self.enable_prepared {
+                    coverage::hit("sdb.exec.join_distance_prepared");
+                    self.distance_prepared_join(join, left_table, right_table, ctx, scratch);
+                    planned = true;
+                }
+            }
+            None => {}
+        }
+
+        if !planned {
+            // General nested-loop join.
+            coverage::hit("sdb.exec.join_nested_loop");
+            for (li, lrow) in left_table.rows.iter().enumerate() {
+                for (ri, rrow) in right_table.rows.iter().enumerate() {
+                    let keep = match &condition {
+                        None => true,
+                        Some(expr) => {
+                            let binding = RowBinding::pair(
+                                left_ref,
+                                left_table,
+                                lrow,
+                                right_ref,
+                                right_table,
+                                rrow,
+                            );
+                            evaluate_expr(expr, Some(&binding), &self.database, ctx)?.is_truthy()
+                        }
+                    };
+                    if keep {
+                        scratch.pairs.push((li, ri));
+                    }
+                }
             }
         }
 
-        let mut matching = match matching {
-            Some(pairs) => pairs,
-            None => {
-                // General nested-loop join.
-                coverage::hit("sdb.exec.join_nested_loop");
-                let mut pairs = Vec::new();
-                for (li, lrow) in left_table.rows.iter().enumerate() {
-                    for (ri, rrow) in right_table.rows.iter().enumerate() {
-                        let keep = match &condition {
-                            None => true,
-                            Some(expr) => {
-                                let binding = RowBinding::pair(
-                                    left_ref,
-                                    left_table,
-                                    lrow,
-                                    right_ref,
-                                    right_table,
-                                    rrow,
-                                );
-                                evaluate_expr(expr, Some(&binding), &self.database, ctx)?
-                                    .is_truthy()
-                            }
-                        };
-                        if keep {
-                            pairs.push((li, ri));
-                        }
-                    }
-                }
-                pairs
-            }
-        };
-
+        let mut matching = std::mem::take(&mut scratch.pairs);
         if !is_pure_count(select) {
             matching = order_and_limit(select, matching, |expr, &(li, ri)| {
                 let binding = RowBinding::pair(
@@ -670,7 +765,7 @@ impl Engine {
                 order_key(expr, &binding, &self.database, ctx)
             })?;
         }
-        build_join_result(
+        let result = build_join_result(
             select,
             left_ref,
             right_ref,
@@ -679,7 +774,11 @@ impl Engine {
             &matching,
             &self.database,
             ctx,
-        )
+        );
+        // Hand the pair buffer (or the ordered rebuild of it) back for reuse
+        // by the next join.
+        scratch.pairs = matching;
+        result
     }
 
     /// Index nested-loop join: probe the inner index with each outer
@@ -691,20 +790,18 @@ impl Engine {
         right_table: &Table,
         index: &SpatialIndex,
         ctx: &FunctionContext,
-    ) -> SdbResult<Vec<(usize, usize)>> {
+        scratch: &mut ExecScratch,
+    ) -> SdbResult<()> {
         let gist_fault = self.faults.is_active(FaultId::PostgisGistIndexDropsRows);
-        let mut matching = Vec::new();
+        let ExecScratch {
+            candidates, pairs, ..
+        } = scratch;
         for (li, lrow) in left_table.rows.iter().enumerate() {
             let Some(left_geom) = lrow[join.left_column_idx].as_geometry() else {
                 continue;
             };
             let probe = left_geom.envelope();
-            let mut candidates: Vec<usize> = index
-                .tree
-                .query_intersects(&probe)
-                .into_iter()
-                .copied()
-                .collect();
+            index.tree.query_intersects_into(&probe, candidates);
             // EMPTY geometries never appear in envelope queries; the correct
             // engine still has to consider them for predicates that can hold
             // on EMPTY operands (none of the supported ones can, so nothing
@@ -715,17 +812,17 @@ impl Engine {
                 candidates.retain(|&ri| !gist_fault_drops_row(&right_table.rows[ri]));
             }
             candidates.sort_unstable();
-            for ri in candidates {
+            for &ri in candidates.iter() {
                 let Some(right_geom) = right_table.rows[ri][join.right_column_idx].as_geometry()
                 else {
                     continue;
                 };
-                if functions::evaluate_predicate(join.predicate, left_geom, right_geom, ctx)? {
-                    matching.push((li, ri));
+                if join.evaluate(left_geom, right_geom, ctx)? {
+                    pairs.push((li, ri));
                 }
             }
         }
-        Ok(matching)
+        Ok(())
     }
 
     /// Prepared-geometry join: the outer geometry is prepared once and reused
@@ -736,9 +833,9 @@ impl Engine {
         left_table: &Table,
         right_table: &Table,
         ctx: &FunctionContext,
-    ) -> SdbResult<Vec<(usize, usize)>> {
+        scratch: &mut ExecScratch,
+    ) -> SdbResult<()> {
         let duplicate_fault = self.faults.is_active(FaultId::GeosPreparedDuplicateDropped);
-        let mut matching = Vec::new();
         for (li, lrow) in left_table.rows.iter().enumerate() {
             let Some(left_geom) = lrow[join.left_column_idx].as_geometry() else {
                 continue;
@@ -763,15 +860,121 @@ impl Engine {
                     coverage::hit("sdb.fault.logic_path");
                     continue;
                 }
-                let held =
-                    functions::evaluate_predicate(join.predicate, left_geom, right_geom, ctx)?;
+                let held = join.evaluate(left_geom, right_geom, ctx)?;
                 if held {
                     matched_shapes.push(right_wkt);
-                    matching.push((li, ri));
+                    scratch.pairs.push((li, ri));
                 }
             }
         }
-        Ok(matching)
+        Ok(())
+    }
+
+    /// Distance index join: probe the inner R-tree for entries within `d` of
+    /// each outer geometry's envelope — the "envelope expanded by `d`" probe
+    /// expressed as a squared-distance leaf test rather than literal
+    /// `max_x + d` arithmetic, so no rounding slack is introduced — then
+    /// verify the candidates through the shared distance kernel.
+    fn distance_index_join(
+        &self,
+        join: &DistanceJoin,
+        left_table: &Table,
+        right_table: &Table,
+        index: &SpatialIndex,
+        ctx: &FunctionContext,
+        scratch: &mut ExecScratch,
+    ) {
+        let gist_fault = self.faults.is_active(FaultId::PostgisGistIndexDropsRows);
+        let d = join.distance;
+        // A negative (or NaN) threshold never holds; probe with a NaN radius,
+        // which matches nothing, instead of the spuriously positive d².
+        let d_sq = if d >= 0.0 { d * d } else { f64::NAN };
+        let ExecScratch {
+            candidates, pairs, ..
+        } = scratch;
+        for (li, lrow) in left_table.rows.iter().enumerate() {
+            let Some(left_geom) = lrow[join.left_column_idx].as_geometry() else {
+                continue;
+            };
+            let probe = left_geom.envelope();
+            index
+                .tree
+                .query_within_distance_into(&probe, d_sq, candidates);
+            // The probe's leaf test is exactly the distance kernel's envelope
+            // rejection test, so pruned pairs are pairs the kernel would
+            // reject: EMPTY inner geometries never appear (distance to EMPTY
+            // never holds) and nothing else is lost. The faulty index
+            // additionally drops negative-quadrant rows it should have
+            // returned.
+            if gist_fault {
+                coverage::hit("sdb.fault.logic_path");
+                candidates.retain(|&ri| !gist_fault_drops_row(&right_table.rows[ri]));
+            }
+            candidates.sort_unstable();
+            for &ri in candidates.iter() {
+                let Some(right_geom) = right_table.rows[ri][join.right_column_idx].as_geometry()
+                else {
+                    continue;
+                };
+                if join.evaluate(left_geom, right_geom, ctx) {
+                    pairs.push((li, ri));
+                }
+            }
+        }
+    }
+
+    /// Prepared distance join: the inner table's envelopes are computed once
+    /// and cached, then each pair is screened on the cached envelopes before
+    /// the exact kernel runs. The screen is the kernel's own first test, so
+    /// it can only skip pairs the kernel would reject.
+    fn distance_prepared_join(
+        &self,
+        join: &DistanceJoin,
+        left_table: &Table,
+        right_table: &Table,
+        ctx: &FunctionContext,
+        scratch: &mut ExecScratch,
+    ) {
+        let d = join.distance;
+        if d.is_nan() || d < 0.0 {
+            // Negative or NaN thresholds never hold for any pair.
+            return;
+        }
+        let d_sq = d * d;
+        let ExecScratch {
+            right_envelopes,
+            pairs,
+            ..
+        } = scratch;
+        right_envelopes.clear();
+        right_envelopes.extend(right_table.rows.iter().map(|rrow| {
+            rrow[join.right_column_idx]
+                .as_geometry()
+                .map(|g| g.envelope())
+                .unwrap_or_else(Envelope::empty)
+        }));
+        for (li, lrow) in left_table.rows.iter().enumerate() {
+            let Some(left_geom) = lrow[join.left_column_idx].as_geometry() else {
+                continue;
+            };
+            let left_env = left_geom.envelope();
+            for (ri, rrow) in right_table.rows.iter().enumerate() {
+                // The kernel rejects pairs with an EMPTY side or with boxes
+                // further apart than `d` outright (`distance_sq` of an EMPTY
+                // envelope is infinite, which covers both cases; `>` is false
+                // for a NaN/overflowed d², disabling the screen rather than
+                // mis-pruning).
+                if left_env.distance_sq(&right_envelopes[ri]) > d_sq {
+                    continue;
+                }
+                let Some(right_geom) = rrow[join.right_column_idx].as_geometry() else {
+                    continue;
+                };
+                if join.evaluate(left_geom, right_geom, ctx) {
+                    pairs.push((li, ri));
+                }
+            }
+        }
     }
 }
 
@@ -1010,52 +1213,164 @@ fn coerce_for_column(
 // ---------------------------------------------------------------------------
 
 /// The canonical "predicate join" shape of Spatter's query template:
-/// `<Predicate>(left.geom, right.geom)`.
+/// `<Predicate>(left.geom, right.geom)`, or the commuted
+/// `<Predicate>(right.geom, left.geom)`.
 struct PredicateJoin {
     predicate: NamedPredicate,
     left_column_idx: usize,
     right_column_idx: usize,
     right_column: String,
+    /// The SQL spelled the right table's column as the first argument.
+    /// Verdicts are always computed in the original SQL argument order —
+    /// seeded faults are argument-order sensitive, so a commuted join must
+    /// behave exactly like the nested loop it replaces.
+    swapped: bool,
 }
 
-fn predicate_join_shape(
+impl PredicateJoin {
+    fn evaluate(
+        &self,
+        left_geom: &Geometry,
+        right_geom: &Geometry,
+        ctx: &FunctionContext,
+    ) -> SdbResult<bool> {
+        if self.swapped {
+            functions::evaluate_predicate(self.predicate, right_geom, left_geom, ctx)
+        } else {
+            functions::evaluate_predicate(self.predicate, left_geom, right_geom, ctx)
+        }
+    }
+}
+
+/// The distance-join shape: `ST_DWithin(left.geom, right.geom, d)` /
+/// `ST_DFullyWithin(...)` with a row-independent third argument, in either
+/// argument order.
+struct DistanceJoin {
+    kind: DistancePredicate,
+    distance: f64,
+    left_column_idx: usize,
+    right_column_idx: usize,
+    right_column: String,
+    /// See [`PredicateJoin::swapped`]; the `PostgisDFullyWithinSmallCoords`
+    /// fault triggers on the first argument as written.
+    swapped: bool,
+}
+
+impl DistanceJoin {
+    fn evaluate(&self, left_geom: &Geometry, right_geom: &Geometry, ctx: &FunctionContext) -> bool {
+        if self.swapped {
+            functions::evaluate_distance_predicate(
+                self.kind,
+                right_geom,
+                left_geom,
+                self.distance,
+                ctx,
+            )
+        } else {
+            functions::evaluate_distance_predicate(
+                self.kind,
+                left_geom,
+                right_geom,
+                self.distance,
+                ctx,
+            )
+        }
+    }
+}
+
+/// A recognized join condition with a dedicated physical plan.
+enum JoinPlan {
+    Predicate(PredicateJoin),
+    Distance(DistanceJoin),
+}
+
+/// Matches a pair of column expressions against the two join aliases, in
+/// either order. Returns the left-table column, the right-table column, and
+/// whether the SQL spelled the right table's column first.
+fn join_column_pair<'a>(
+    first: &'a Expr,
+    second: &'a Expr,
+    left_ref: &TableRef,
+    right_ref: &TableRef,
+) -> Option<(&'a str, &'a str, bool)> {
+    let (
+        Expr::Column {
+            table: ft,
+            column: fc,
+        },
+        Expr::Column {
+            table: st,
+            column: sc,
+        },
+    ) = (first, second)
+    else {
+        return None;
+    };
+    let ft = ft.as_deref()?;
+    let st = st.as_deref()?;
+    if ft.eq_ignore_ascii_case(&left_ref.alias) && st.eq_ignore_ascii_case(&right_ref.alias) {
+        return Some((fc, sc, false));
+    }
+    if ft.eq_ignore_ascii_case(&right_ref.alias) && st.eq_ignore_ascii_case(&left_ref.alias) {
+        return Some((sc, fc, true));
+    }
+    None
+}
+
+fn join_plan_shape(
     expr: &Expr,
     left_ref: &TableRef,
     right_ref: &TableRef,
     left_table: &Table,
     right_table: &Table,
-) -> Option<PredicateJoin> {
+    database: &Database,
+    ctx: &FunctionContext,
+) -> Option<JoinPlan> {
     let Expr::Function { name, args } = expr else {
         return None;
     };
-    let predicate = NamedPredicate::from_function_name(name)?;
-    if args.len() != 2 {
-        return None;
+    if let Some(predicate) = NamedPredicate::from_function_name(name) {
+        if args.len() != 2 {
+            return None;
+        }
+        let (lc, rc, swapped) = join_column_pair(&args[0], &args[1], left_ref, right_ref)?;
+        return Some(JoinPlan::Predicate(PredicateJoin {
+            predicate,
+            left_column_idx: left_table.column_index(lc)?,
+            right_column_idx: right_table.column_index(rc)?,
+            right_column: rc.to_string(),
+            swapped,
+        }));
     }
-    let (
-        Expr::Column {
-            table: lt,
-            column: lc,
-        },
-        Expr::Column {
-            table: rt,
-            column: rc,
-        },
-    ) = (&args[0], &args[1])
-    else {
-        return None;
+    let kind = match name.to_ascii_uppercase().as_str() {
+        "ST_DWITHIN" => DistancePredicate::DWithin,
+        "ST_DFULLYWITHIN" => DistancePredicate::DFullyWithin,
+        _ => return None,
     };
-    let lt = lt.as_deref()?;
-    let rt = rt.as_deref()?;
-    if !lt.eq_ignore_ascii_case(&left_ref.alias) || !rt.eq_ignore_ascii_case(&right_ref.alias) {
+    if !plan::distance_join_enabled() || args.len() != 3 {
         return None;
     }
-    Some(PredicateJoin {
-        predicate,
+    // Profiles that lack the function must keep erroring through the general
+    // expression path rather than silently executing the kernel.
+    if !ctx.profile.supports_function(kind.function_name()) {
+        return None;
+    }
+    let (lc, rc, swapped) = join_column_pair(&args[0], &args[1], left_ref, right_ref)?;
+    // The threshold must be row independent (constant folding); anything else
+    // — another column, an unknown variable, a non-numeric value — falls back
+    // to the nested loop, which reproduces today's behaviour including its
+    // errors.
+    let distance = evaluate_expr(&args[2], None, database, ctx)
+        .ok()?
+        .as_double()?;
+    Some(JoinPlan::Distance(DistanceJoin {
+        kind,
+        distance,
         left_column_idx: left_table.column_index(lc)?,
         right_column_idx: right_table.column_index(rc)?,
-        right_column: rc.clone(),
-    })
+        right_column: rc.to_string(),
+        swapped,
+    }))
 }
 
 /// Whether the select is a bare aggregate (`SELECT COUNT(*)`): ordering is
@@ -1650,8 +1965,32 @@ mod tests {
         assert_eq!(pairs, vec![(1, 1), (2, 2)]);
     }
 
+    /// Serializes the unit tests that flip the process-global
+    /// [`plan`] switches, so they cannot race each other or the tests that
+    /// assert which plan a distance join takes.
+    static PLAN_TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    use plan::with_distance_join_disabled as with_distance_plan_disabled;
+
     #[test]
-    fn range_join_counts_execute_through_the_general_path() {
+    fn range_join_counts_are_plan_independent() {
+        let _guard = PLAN_TOGGLE_LOCK.lock().unwrap();
+        let queries = [
+            (
+                "SELECT COUNT(*) FROM a JOIN b ON ST_DWithin(a.g, b.g, 5)",
+                1,
+            ),
+            // The negated form has no join-plan shape and stays on the
+            // nested loop.
+            (
+                "SELECT COUNT(*) FROM a JOIN b ON NOT ST_DWithin(a.g, b.g, 5)",
+                1,
+            ),
+            (
+                "SELECT COUNT(*) FROM a JOIN b ON ST_DFullyWithin(a.g, b.g, 200)",
+                2,
+            ),
+        ];
         let mut engine = Engine::reference(EngineProfile::PostgisLike);
         engine
             .execute_script(
@@ -1661,27 +2000,198 @@ mod tests {
                  INSERT INTO b (g) VALUES ('POINT(3 4)');",
             )
             .unwrap();
-        assert_eq!(
-            count(
-                &mut engine,
-                "SELECT COUNT(*) FROM a JOIN b ON ST_DWithin(a.g, b.g, 5)"
-            ),
-            1
+        for (sql, expected) in queries {
+            assert_eq!(count(&mut engine, sql), expected, "prepared plan: {sql}");
+        }
+        with_distance_plan_disabled(|| {
+            for (sql, expected) in queries {
+                assert_eq!(count(&mut engine, sql), expected, "nested loop: {sql}");
+            }
+        });
+    }
+
+    #[test]
+    fn distance_joins_take_the_dedicated_plans() {
+        let _guard = PLAN_TOGGLE_LOCK.lock().unwrap();
+        let setup = "CREATE TABLE a (g geometry);
+            CREATE TABLE b (g geometry);
+            INSERT INTO a (g) VALUES ('POINT(0 0)');
+            INSERT INTO b (g) VALUES ('POINT(1 1)'), ('POINT(50 50)');";
+        let query = "SELECT COUNT(*) FROM a JOIN b ON ST_DWithin(a.g, b.g, 5)";
+
+        let probes_for = |engine: &mut Engine| -> Vec<&'static str> {
+            spatter_topo::coverage::local::start();
+            assert_eq!(count(engine, query), 1);
+            spatter_topo::coverage::local::take()
+                .into_iter()
+                .map(|(name, _)| name)
+                .collect()
+        };
+
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        engine.execute_script(setup).unwrap();
+        let prepared = probes_for(&mut engine);
+        assert!(prepared.contains(&"sdb.exec.join_distance_prepared"));
+        assert!(!prepared.contains(&"sdb.exec.join_nested_loop"));
+
+        engine
+            .execute_script(
+                "CREATE INDEX idx_b ON b USING GIST (g);
+                 SET enable_seqscan = false;",
+            )
+            .unwrap();
+        let indexed = probes_for(&mut engine);
+        assert!(indexed.contains(&"sdb.exec.join_distance_index"));
+        assert!(!indexed.contains(&"sdb.exec.join_distance_prepared"));
+
+        // With the plan disabled the join falls back to the general loop.
+        engine.execute("SET enable_seqscan = true;").unwrap();
+        with_distance_plan_disabled(|| {
+            let nested = probes_for(&mut engine);
+            assert!(nested.contains(&"sdb.exec.join_nested_loop"));
+            assert!(!nested.contains(&"sdb.exec.join_distance_prepared"));
+        });
+    }
+
+    #[test]
+    fn distance_index_join_matches_the_sequential_plans() {
+        let setup = "CREATE TABLE a (g geometry);
+            CREATE TABLE b (g geometry);
+            INSERT INTO a (g) VALUES ('POINT(0 0)'), ('LINESTRING(4 0,8 0)'),
+                ('POLYGON((10 10,14 10,14 14,10 14,10 10))'), ('POINT EMPTY');
+            INSERT INTO b (g) VALUES ('POINT(2 2)'), ('POINT(9 1)'),
+                ('POLYGON((13 13,16 13,16 16,13 16,13 13))'), ('POINT EMPTY'),
+                ('MULTIPOINT((5 5),EMPTY)');
+            CREATE INDEX idx_b ON b USING GIST (g);";
+        for function in ["ST_DWithin", "ST_DFullyWithin"] {
+            for d in ["0", "1", "2.83", "10", "1e300"] {
+                let query = format!(
+                    "SELECT ST_AsText(a.g), ST_AsText(b.g) FROM a JOIN b \
+                     ON {function}(a.g, b.g, {d}) \
+                     ORDER BY ST_Distance(a.g, b.g) LIMIT 6"
+                );
+                let mut prepared = Engine::reference(EngineProfile::PostgisLike);
+                prepared.execute_script(setup).unwrap();
+                let mut indexed = Engine::reference(EngineProfile::PostgisLike);
+                indexed.execute_script(setup).unwrap();
+                indexed.execute("SET enable_seqscan = false;").unwrap();
+                assert_eq!(
+                    prepared.execute(&query).unwrap(),
+                    indexed.execute(&query).unwrap(),
+                    "{function} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_index_join_exhibits_the_gist_fault() {
+        // The faulty index loses the negative-quadrant inner row, exactly as
+        // the predicate index join does; the sequential plans keep it.
+        let setup = "CREATE TABLE a (g geometry);
+            CREATE TABLE b (g geometry);
+            INSERT INTO a (g) VALUES ('POINT(0 0)');
+            INSERT INTO b (g) VALUES ('POINT(-1 0)'), ('POINT(1 0)');
+            CREATE INDEX idx_b ON b USING GIST (g);";
+        let query = "SELECT COUNT(*) FROM a JOIN b ON ST_DWithin(a.g, b.g, 5)";
+
+        let mut faulty = Engine::with_faults(
+            EngineProfile::PostgisLike,
+            FaultSet::with([FaultId::PostgisGistIndexDropsRows]),
         );
-        assert_eq!(
-            count(
-                &mut engine,
-                "SELECT COUNT(*) FROM a JOIN b ON NOT ST_DWithin(a.g, b.g, 5)"
-            ),
-            1
+        faulty.execute_script(setup).unwrap();
+        assert_eq!(count(&mut faulty, query), 2, "seqscan plans are unaffected");
+        faulty.execute("SET enable_seqscan = false;").unwrap();
+        assert_eq!(count(&mut faulty, query), 1, "the faulty index drops a row");
+
+        let mut fixed = Engine::reference(EngineProfile::PostgisLike);
+        fixed.execute_script(setup).unwrap();
+        fixed.execute("SET enable_seqscan = false;").unwrap();
+        assert_eq!(count(&mut fixed, query), 2);
+    }
+
+    #[test]
+    fn commuted_symmetric_predicate_joins_leave_the_nested_loop() {
+        // `Pred(b.g, a.g)` used to miss the predicate-join shape and silently
+        // take the nested loop; it now plans exactly like `Pred(a.g, b.g)`.
+        let setup = "CREATE TABLE a (g geometry);
+            CREATE TABLE b (g geometry);
+            INSERT INTO a (g) VALUES ('POLYGON((0 0,4 0,4 4,0 4,0 0))'),
+                ('LINESTRING(0 0,2 2)'), ('POINT(10 10)');
+            INSERT INTO b (g) VALUES ('POLYGON((2 2,6 2,6 6,2 6,2 2))'),
+                ('LINESTRING(4 0,0 4)'), ('POINT(10 10)'), ('POINT(20 20)');";
+        for predicate in [
+            "ST_Intersects",
+            "ST_Disjoint",
+            "ST_Crosses",
+            "ST_Overlaps",
+            "ST_Touches",
+            "ST_Equals",
+        ] {
+            let forward = format!("SELECT COUNT(*) FROM a JOIN b ON {predicate}(a.g, b.g)");
+            let commuted = format!("SELECT COUNT(*) FROM a JOIN b ON {predicate}(b.g, a.g)");
+            let mut engine = Engine::reference(EngineProfile::PostgisLike);
+            engine.execute_script(setup).unwrap();
+            let expected = count(&mut engine, &forward);
+            spatter_topo::coverage::local::start();
+            let got = count(&mut engine, &commuted);
+            let probes: Vec<&'static str> = spatter_topo::coverage::local::take()
+                .into_iter()
+                .map(|(name, _)| name)
+                .collect();
+            assert_eq!(got, expected, "{predicate} is symmetric");
+            assert!(
+                probes.contains(&"sdb.exec.join_prepared"),
+                "{predicate}: the commuted form takes the prepared plan"
+            );
+            assert!(
+                !probes.contains(&"sdb.exec.join_nested_loop"),
+                "{predicate}: the commuted form must not fall to the nested loop"
+            );
+        }
+    }
+
+    #[test]
+    fn commuted_distance_joins_preserve_sql_argument_order_for_faults() {
+        let _guard = PLAN_TOGGLE_LOCK.lock().unwrap();
+        // The DFullyWithin fault triggers on the *first* argument as written
+        // in the SQL: with `ST_DFullyWithin(b.g, a.g, d)` the small-coordinate
+        // check must apply to b.g even though b is the inner join table.
+        let setup = "CREATE TABLE a (g geometry);
+            CREATE TABLE b (g geometry);
+            INSERT INTO a (g) VALUES ('POINT(50 50)');
+            INSERT INTO b (g) VALUES ('POINT(51 51)');";
+        let forward = "SELECT COUNT(*) FROM a JOIN b ON ST_DFullyWithin(a.g, b.g, 100)";
+        let commuted = "SELECT COUNT(*) FROM a JOIN b ON ST_DFullyWithin(b.g, a.g, 100)";
+
+        let mut faulty = Engine::with_faults(
+            EngineProfile::PostgisLike,
+            FaultSet::with([FaultId::PostgisDFullyWithinSmallCoords]),
         );
-        assert_eq!(
-            count(
-                &mut engine,
-                "SELECT COUNT(*) FROM a JOIN b ON ST_DFullyWithin(a.g, b.g, 200)"
-            ),
-            2
-        );
+        faulty
+            .execute_script(
+                "CREATE TABLE a (g geometry);
+                 CREATE TABLE b (g geometry);
+                 INSERT INTO a (g) VALUES ('POINT(50 50)');
+                 INSERT INTO b (g) VALUES ('POINT(1 1)');",
+            )
+            .unwrap();
+        // b.g has small coordinates: the commuted form hits the fault (false
+        // for every pair), the forward form does not (a.g is large).
+        assert_eq!(count(&mut faulty, forward), 1);
+        assert_eq!(count(&mut faulty, commuted), 0);
+        // The nested loop agrees on both orders, so the plan is faithful.
+        with_distance_plan_disabled(|| {
+            assert_eq!(count(&mut faulty, forward), 1);
+            assert_eq!(count(&mut faulty, commuted), 0);
+        });
+
+        // Without the fault the predicate is symmetric and both orders plan
+        // identically.
+        let mut fixed = Engine::reference(EngineProfile::PostgisLike);
+        fixed.execute_script(setup).unwrap();
+        assert_eq!(count(&mut fixed, forward), 1);
+        assert_eq!(count(&mut fixed, commuted), 1);
     }
 
     #[test]

@@ -136,20 +136,26 @@ pub fn evaluate(name: &str, args: &[Value], ctx: &FunctionContext) -> SdbResult<
             let a = geometry_arg(args, 0, ctx)?;
             let b = geometry_arg(args, 1, ctx)?;
             let d = double_arg(args, 2)?;
-            Ok(Value::Bool(distance::dwithin(&a, &b, d)))
+            Ok(Value::Bool(evaluate_distance_predicate(
+                DistancePredicate::DWithin,
+                &a,
+                &b,
+                d,
+                ctx,
+            )))
         }
         "ST_DFULLYWITHIN" => {
             coverage::hit("sdb.expr.function_measure");
             let a = geometry_arg(args, 0, ctx)?;
             let b = geometry_arg(args, 1, ctx)?;
             let d = double_arg(args, 2)?;
-            if ctx.fault(FaultId::PostgisDFullyWithinSmallCoords) && max_abs_coord(&a) < 10.0 {
-                coverage::hit("sdb.fault.logic_path");
-                // The "wrong definition" of Listing 9: small-magnitude
-                // geometries are judged not fully within any distance.
-                return Ok(Value::Bool(false));
-            }
-            Ok(Value::Bool(distance::dfully_within(&a, &b, d)))
+            Ok(Value::Bool(evaluate_distance_predicate(
+                DistancePredicate::DFullyWithin,
+                &a,
+                &b,
+                d,
+                ctx,
+            )))
         }
         "ST_AREA" => {
             coverage::hit("sdb.expr.function_measure");
@@ -337,6 +343,53 @@ pub fn evaluate(name: &str, args: &[Value], ctx: &FunctionContext) -> SdbResult<
                 .unwrap_or(Value::Null))
         }
         other => Err(SdbError::UnsupportedFunction(other.to_string())),
+    }
+}
+
+/// The two distance predicates a join plan can specialize on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistancePredicate {
+    /// `ST_DWithin`: minimum distance at most `d`.
+    DWithin,
+    /// `ST_DFullyWithin`: maximum distance at most `d`.
+    DFullyWithin,
+}
+
+impl DistancePredicate {
+    /// The SQL function name the predicate corresponds to (upper case, as
+    /// profile support lists spell it).
+    pub fn function_name(self) -> &'static str {
+        match self {
+            DistancePredicate::DWithin => "ST_DWITHIN",
+            DistancePredicate::DFullyWithin => "ST_DFULLYWITHIN",
+        }
+    }
+}
+
+/// Evaluates a distance predicate, applying seeded logic faults. Every
+/// physical plan — expression interpreter, prepared join, index join — funnels
+/// its per-pair verdict through this single kernel, so plan choice can never
+/// change a result. Argument order matters: the `PostgisDFullyWithinSmallCoords`
+/// fault triggers on the *first* argument as written in the SQL.
+pub fn evaluate_distance_predicate(
+    predicate: DistancePredicate,
+    a: &Geometry,
+    b: &Geometry,
+    d: f64,
+    ctx: &FunctionContext,
+) -> bool {
+    if predicate == DistancePredicate::DFullyWithin
+        && ctx.fault(FaultId::PostgisDFullyWithinSmallCoords)
+        && max_abs_coord(a) < 10.0
+    {
+        coverage::hit("sdb.fault.logic_path");
+        // The "wrong definition" of Listing 9: small-magnitude
+        // geometries are judged not fully within any distance.
+        return false;
+    }
+    match predicate {
+        DistancePredicate::DWithin => distance::dwithin(a, b, d),
+        DistancePredicate::DFullyWithin => distance::dfully_within(a, b, d),
     }
 }
 

@@ -137,25 +137,40 @@ fn minmax(a: f64, b: f64) -> (f64, f64) {
 
 /// Distance from point `p` to the closed segment `a-b`.
 pub fn point_segment_distance(p: Coord, a: Coord, b: Coord) -> f64 {
+    point_segment_distance_sq(p, a, b).sqrt()
+}
+
+/// Squared distance from point `p` to the closed segment `a-b`: the
+/// sqrt-free comparison kernel. `point_segment_distance` is exactly its
+/// square root — correctly-rounded `sqrt` is monotone, so threshold
+/// comparisons against a squared bound agree with the sqrt form's ordering.
+pub fn point_segment_distance_sq(p: Coord, a: Coord, b: Coord) -> f64 {
     let len_sq = a.distance_sq(&b);
     if len_sq == 0.0 {
-        return p.distance(&a);
+        return p.distance_sq(&a);
     }
     let t = ((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / len_sq;
     let t = t.clamp(0.0, 1.0);
     let proj = Coord::new(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y));
-    p.distance(&proj)
+    p.distance_sq(&proj)
 }
 
 /// Minimum distance between two closed segments.
 pub fn segment_segment_distance(a0: Coord, a1: Coord, b0: Coord, b1: Coord) -> f64 {
+    segment_segment_distance_sq(a0, a1, b0, b1).sqrt()
+}
+
+/// Squared minimum distance between two closed segments. `min` commutes
+/// with the monotone `sqrt`, so `segment_segment_distance` taking the root
+/// of this minimum equals the historical minimum-of-roots bit for bit.
+pub fn segment_segment_distance_sq(a0: Coord, a1: Coord, b0: Coord, b1: Coord) -> f64 {
     if segment_intersection(a0, a1, b0, b1) != SegmentIntersection::None {
         return 0.0;
     }
-    point_segment_distance(a0, b0, b1)
-        .min(point_segment_distance(a1, b0, b1))
-        .min(point_segment_distance(b0, a0, a1))
-        .min(point_segment_distance(b1, a0, a1))
+    point_segment_distance_sq(a0, b0, b1)
+        .min(point_segment_distance_sq(a1, b0, b1))
+        .min(point_segment_distance_sq(b0, a0, a1))
+        .min(point_segment_distance_sq(b1, a0, a1))
 }
 
 #[cfg(test)]
