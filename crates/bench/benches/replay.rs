@@ -1,0 +1,124 @@
+//! Replay recording overhead: the same campaign with and without a
+//! [`ReplayRecorder`] attached, interleaved and median-timed, plus the size
+//! of the resulting artifact and a live-bisection demonstration with its
+//! execution count checked against the ⌈log₂ N⌉ + 1 budget.
+//!
+//! Recording hashes only values the iteration already computes (setup SQL,
+//! plan coefficients, oracle outcomes, the probe delta), so the acceptance
+//! criterion is a hard one: < 5% overhead over the no-sink campaign.
+//! Emits `BENCH_replay.json` in the workspace root.
+
+use spatter_core::campaign::CampaignConfig;
+use spatter_core::replay::bisect::{bisect_against_live, max_bisect_executions, ReplayExecutor};
+use spatter_core::replay::{ReplayRecorder, ReplaySink};
+use spatter_core::runner::CampaignRunner;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ITERATIONS: usize = 32;
+const THREADS: usize = 2;
+const REPS: usize = 5;
+
+fn campaign() -> CampaignConfig {
+    CampaignConfig {
+        iterations: ITERATIONS,
+        ..CampaignConfig::default()
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    println!("== Replay recording overhead (default campaign config x{ITERATIONS}) ==\n");
+
+    // Interleave the two variants so drift (thermal, cache, scheduler)
+    // hits both equally; compare medians.
+    let mut plain = Vec::with_capacity(REPS);
+    let mut recorded = Vec::with_capacity(REPS);
+    let mut fingerprints = (String::new(), String::new());
+    let recorder = Arc::new(ReplayRecorder::new());
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let report = CampaignRunner::new(campaign()).with_workers(THREADS).run();
+        plain.push(start.elapsed().as_secs_f64());
+        fingerprints.0 = report.determinism_fingerprint();
+
+        let start = Instant::now();
+        let report = CampaignRunner::new(campaign())
+            .with_workers(THREADS)
+            .with_replay_sink(recorder.clone() as Arc<dyn ReplaySink>)
+            .run();
+        recorded.push(start.elapsed().as_secs_f64());
+        fingerprints.1 = report.determinism_fingerprint();
+    }
+    assert_eq!(
+        fingerprints.0, fingerprints.1,
+        "attaching a replay sink must not perturb the campaign"
+    );
+
+    let plain_s = median(&mut plain);
+    let recorded_s = median(&mut recorded);
+    let overhead_pct = (recorded_s / plain_s.max(f64::EPSILON) - 1.0) * 100.0;
+    let artifact = recorder.log(&campaign()).encode();
+
+    let widths = [22, 12, 12, 12];
+    spatter_bench::print_row(
+        &["variant", "median (s)", "iters/sec", "overhead"].map(String::from),
+        &widths,
+    );
+    for (label, seconds) in [("no sink", plain_s), ("replay recorder", recorded_s)] {
+        spatter_bench::print_row(
+            &[
+                label.to_string(),
+                format!("{seconds:.4}"),
+                format!("{:.2}", ITERATIONS as f64 / seconds.max(f64::EPSILON)),
+                if label == "no sink" {
+                    "-".to_string()
+                } else {
+                    format!("{overhead_pct:+.2}%")
+                },
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nartifact: {} frames, {} bytes ({:.1} bytes/iteration)",
+        ITERATIONS,
+        artifact.len(),
+        artifact.len() as f64 / ITERATIONS as f64
+    );
+    assert!(
+        overhead_pct < 5.0,
+        "recording overhead {overhead_pct:.2}% exceeds the 5% criterion"
+    );
+
+    // Live bisection demo: re-execute against the recording we just made.
+    // Same build, same config — no divergence, and the probe count stays
+    // within the ⌈log₂ N⌉ + 1 budget.
+    let reference = recorder.log(&campaign());
+    let executor = ReplayExecutor::new(campaign());
+    let bisect_start = Instant::now();
+    let outcome = bisect_against_live(&reference, |iteration| executor.frame(iteration));
+    let bisect_s = bisect_start.elapsed().as_secs_f64();
+    let budget = max_bisect_executions(reference.frames.len());
+    assert!(outcome.divergence.is_none(), "self-bisect must match");
+    assert!(outcome.executions <= budget);
+    println!(
+        "bisect (self, {} frames): {} executions (budget {budget}), {:.4}s",
+        reference.frames.len(),
+        outcome.executions,
+        bisect_s
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"replay\",\n  \"config\": \"CampaignConfig::default() x{ITERATIONS} iterations, {THREADS} threads, median of {REPS}\",\n  \"no_sink_seconds\": {plain_s:.4},\n  \"recorded_seconds\": {recorded_s:.4},\n  \"overhead_pct\": {overhead_pct:.3},\n  \"artifact_bytes\": {},\n  \"artifact_frames\": {ITERATIONS},\n  \"bisect_executions\": {},\n  \"bisect_budget\": {budget},\n  \"bisect_seconds\": {bisect_s:.4}\n}}\n",
+        artifact.len(),
+        outcome.executions,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json");
+    std::fs::write(path, &json).expect("write BENCH_replay.json");
+    println!("wrote {path}");
+}

@@ -45,13 +45,14 @@ pub mod worker;
 
 use crate::campaign::{CampaignConfig, CampaignReport};
 use crate::dist::wire::{FromWorker, WireError};
+use crate::replay::ReplaySink;
 use crate::runner::{CampaignRunner, IterationRecord, ShardReport};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Maximum leases a worker holds at once. Two keeps the pipe primed — the
@@ -211,12 +212,28 @@ pub struct DistStats {
 pub struct DistRunner {
     campaign: CampaignConfig,
     dist: DistConfig,
+    replay_sink: Option<Arc<dyn ReplaySink>>,
 }
 
 impl DistRunner {
     /// Creates a supervisor for a campaign.
     pub fn new(campaign: CampaignConfig, dist: DistConfig) -> Self {
-        DistRunner { campaign, dist }
+        DistRunner {
+            campaign,
+            dist,
+            replay_sink: None,
+        }
+    }
+
+    /// Attaches a replay sink, the multi-process counterpart of
+    /// [`CampaignRunner::with_replay_sink`]. Warm-up frames are delivered
+    /// from the supervisor's own warm-up runner; leased frames arrive
+    /// inside the workers' record messages and are delivered verbatim —
+    /// never recomputed — as each iteration completes (first-wins, like the
+    /// record merge).
+    pub fn with_replay_sink(mut self, sink: Arc<dyn ReplaySink>) -> Self {
+        self.replay_sink = Some(sink);
+        self
     }
 
     /// The campaign configuration.
@@ -254,7 +271,10 @@ impl DistRunner {
         // in-process runner's coordinating thread: its records are part of
         // the campaign, and its frozen snapshot is what every worker
         // receives.
-        let runner = CampaignRunner::new(self.campaign.clone());
+        let mut runner = CampaignRunner::new(self.campaign.clone());
+        if let Some(sink) = &self.replay_sink {
+            runner = runner.with_replay_sink(Arc::clone(sink));
+        }
         let (warmup, snapshot) = runner.warmup_phase(start);
         let first_iteration = warmup.records.len();
 
@@ -290,6 +310,7 @@ impl DistRunner {
                 stats: &mut stats,
                 kill_armed: self.dist.kill_worker_after_records,
                 deadline: self.campaign.time_budget.map(|budget| start + budget),
+                replay_sink: self.replay_sink.as_deref(),
             };
             supervisor.run()?;
         }
@@ -360,17 +381,36 @@ struct Supervisor<'a> {
     /// The campaign's time-budget deadline on the supervisor clock; leases
     /// are never granted past it (in-flight leases run to completion).
     deadline: Option<Instant>,
+    /// Where worker-computed replay frames are delivered (first-wins, like
+    /// the record merge). The supervisor never recomputes a frame: what the
+    /// executing worker hashed is what the artifact records.
+    replay_sink: Option<&'a dyn ReplaySink>,
 }
 
 impl Supervisor<'_> {
     fn run(&mut self) -> Result<(), DistError> {
         let (events_tx, events_rx) = mpsc::channel::<(usize, u64, WorkerEvent)>();
 
-        // Initial fleet: never more processes than leases.
+        // Initial fleet: never more processes than leases. A slot whose
+        // worker keeps dying before configuration consumes respawn budget
+        // instead of aborting the campaign, and a partially-spawned fleet
+        // still drains the whole queue — the hard failure is only when not
+        // a single worker comes up.
         let fleet = self.dist.processes.max(1).min(self.pending.len().max(1));
         for index in 0..fleet {
-            let slot = self.spawn_worker(index, 0, &events_tx)?;
-            self.slots.push(slot);
+            match self.spawn_recovering(index, 0, &events_tx) {
+                Ok(slot) => self.slots.push(slot),
+                Err(error) => {
+                    if self.slots.is_empty() {
+                        return Err(error);
+                    }
+                    eprintln!(
+                        "spatter-dist: continuing with a fleet of {}: {error}",
+                        self.slots.len()
+                    );
+                    break;
+                }
+            }
         }
         self.dispatch(&events_tx)?;
 
@@ -394,8 +434,11 @@ impl Supervisor<'_> {
                             let slot = &mut self.slots[index];
                             slot.records_delivered += 1;
                             let delivered = slot.records_delivered;
+                            let frame = record.replay;
                             if self.completed.insert(record.iteration, record).is_some() {
                                 self.stats.duplicate_records += 1;
+                            } else if let Some(sink) = self.replay_sink {
+                                sink.record_frame(&frame);
                             }
                             if let Some((victim, after)) = self.kill_armed {
                                 if victim == index && delivered >= after {
@@ -458,25 +501,35 @@ impl Supervisor<'_> {
             .stderr(Stdio::inherit())
             .spawn()?;
         self.stats.spawns += 1;
-        let mut stdin = child.stdin.take().expect("worker stdin piped");
-        let stdout = child.stdout.take().expect("worker stdout piped");
+
+        // A worker can die between spawn and pipe takeover; missing pipes
+        // are a recoverable protocol error routed through the respawn path,
+        // never a supervisor panic.
+        let Some(mut stdin) = child.stdin.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(DistError::Protocol {
+                worker: index,
+                message: "worker spawned without a piped stdin".to_string(),
+            });
+        };
+        let Some(stdout) = child.stdout.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(DistError::Protocol {
+                worker: index,
+                message: "worker spawned without a piped stdout".to_string(),
+            });
+        };
         let mut reader = BufReader::new(stdout);
 
-        let handshake = read_worker_line(&mut reader, index)?;
-        wire::decode_handshake(&handshake)?;
-        writeln!(stdin, "{}", self.config_line)?;
-        stdin.flush()?;
-        let reply = read_worker_line(&mut reader, index)?;
-        match wire::decode_from_worker(&reply) {
-            Ok(FromWorker::Configured) => {}
-            other => {
-                let _ = child.kill();
-                let _ = child.wait();
-                return Err(DistError::Protocol {
-                    worker: index,
-                    message: format!("expected configured, got {other:?}"),
-                });
-            }
+        // A worker dying mid-handshake must be reaped here: the caller only
+        // ever sees the error, so an unreaped child would leak as a zombie
+        // across every retry.
+        if let Err(error) = Self::handshake(&mut stdin, &mut reader, &self.config_line, index) {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(error);
         }
 
         let tx = events_tx.clone();
@@ -506,6 +559,56 @@ impl Supervisor<'_> {
             alive: true,
             exiting: false,
         })
+    }
+
+    /// The synchronous spawn-time exchange: worker hello, configuration,
+    /// configured acknowledgement. Split out of [`Supervisor::spawn_worker`]
+    /// so every failure funnels through one child-reaping error path.
+    fn handshake(
+        stdin: &mut ChildStdin,
+        reader: &mut impl BufRead,
+        config_line: &str,
+        index: usize,
+    ) -> Result<(), DistError> {
+        let handshake = read_worker_line(reader, index)?;
+        wire::decode_handshake(&handshake)?;
+        writeln!(stdin, "{config_line}")?;
+        stdin.flush()?;
+        let reply = read_worker_line(reader, index)?;
+        match wire::decode_from_worker(&reply) {
+            Ok(FromWorker::Configured) => Ok(()),
+            other => Err(DistError::Protocol {
+                worker: index,
+                message: format!("expected configured, got {other:?}"),
+            }),
+        }
+    }
+
+    /// [`Supervisor::spawn_worker`] with the same recovery policy a
+    /// mid-campaign death gets: each failed spawn attempt (died before the
+    /// pipes were taken, died mid-handshake, unparsable hello) consumes one
+    /// respawn from the budget and is retried, so a transiently flaky
+    /// worker binary delays the campaign instead of aborting it.
+    fn spawn_recovering(
+        &mut self,
+        index: usize,
+        first_generation: u64,
+        events_tx: &mpsc::Sender<(usize, u64, WorkerEvent)>,
+    ) -> Result<WorkerSlot, DistError> {
+        let mut generation = first_generation;
+        loop {
+            match self.spawn_worker(index, generation, events_tx) {
+                Ok(slot) => return Ok(slot),
+                Err(error) => {
+                    if self.stats.respawns >= self.dist.max_respawns {
+                        return Err(error);
+                    }
+                    self.stats.respawns += 1;
+                    generation += 1;
+                    eprintln!("spatter-dist: worker {index} failed to start, retrying: {error}");
+                }
+            }
+        }
     }
 
     /// Grants pending leases to every worker with spare in-flight capacity.
@@ -622,9 +725,18 @@ impl Supervisor<'_> {
         if self.stats.respawns < self.dist.max_respawns {
             self.stats.respawns += 1;
             let generation = self.slots[index].generation + 1;
-            let slot = self.spawn_worker(index, generation, events_tx)?;
-            self.slots[index] = slot;
-            return self.dispatch(events_tx);
+            match self.spawn_recovering(index, generation, events_tx) {
+                Ok(slot) => {
+                    self.slots[index] = slot;
+                    return self.dispatch(events_tx);
+                }
+                Err(error) => {
+                    // The slot is unrecoverable; fall through to the
+                    // survivors check below instead of aborting a campaign
+                    // the rest of the fleet can still finish.
+                    eprintln!("spatter-dist: worker {index} could not be respawned: {error}");
+                }
+            }
         }
 
         // No respawn left: survivors may still drain the queue.

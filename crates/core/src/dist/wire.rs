@@ -44,8 +44,9 @@ use std::sync::OnceLock;
 use std::time::Duration;
 
 /// The wire protocol version. Bumped whenever any message layout changes;
-/// supervisor and worker must agree exactly.
-pub const WIRE_VERSION: u32 = 1;
+/// supervisor and worker must agree exactly. Version 2 added the replay
+/// frame (four per-iteration state hashes) to every record message.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Why a wire message could not be decoded (or a value not encoded).
 /// Structured, so callers can distinguish a harness misconfiguration
@@ -136,7 +137,11 @@ fn escape(text: &str) -> String {
     out
 }
 
-/// Reverses [`escape`]. Any malformed escape is a [`WireError::BadEscape`].
+/// Reverses [`escape`]. Any malformed escape is a [`WireError::BadEscape`] —
+/// including escaped bytes ≥ 0x80, which [`escape`] never emits (it only
+/// escapes `%` and ASCII whitespace; multi-byte characters pass through as
+/// UTF-8). Accepting them would silently decode `%e9` as U+00E9, a byte
+/// sequence the encoder cannot have produced.
 fn unescape(token: &str) -> Result<String, WireError> {
     if token == "%-" {
         return Ok(String::new());
@@ -154,6 +159,9 @@ fn unescape(token: &str) -> Result<String, WireError> {
         }
         let byte =
             u8::from_str_radix(&hex, 16).map_err(|_| WireError::BadEscape(token.to_string()))?;
+        if !byte.is_ascii() {
+            return Err(WireError::BadEscape(token.to_string()));
+        }
         out.push(byte as char);
     }
     Ok(out)
@@ -630,6 +638,14 @@ fn read_finding(reader: &mut TokenReader) -> Result<Finding, WireError> {
 
 fn write_record(writer: &mut TokenWriter, record: &IterationRecord) {
     writer.push_usize(record.iteration);
+    // The replay frame ships verbatim (its iteration field is the record's):
+    // the supervisor records worker-computed hashes, never recomputes them,
+    // so replay artifacts are byte-identical across fleet shapes by
+    // construction.
+    writer.push_u64(record.replay.sub_seed);
+    writer.push_u64(record.replay.setup_hash);
+    writer.push_u64(record.replay.outcome_hash);
+    writer.push_u64(record.replay.probe_hash);
     writer.push_duration(record.generation_time);
     writer.push_duration(record.engine_time);
     writer.push_duration(record.coverage.0);
@@ -649,6 +665,13 @@ fn write_record(writer: &mut TokenWriter, record: &IterationRecord) {
 
 fn read_record(reader: &mut TokenReader) -> Result<IterationRecord, WireError> {
     let iteration = reader.next_usize("record iteration")?;
+    let replay = crate::replay::ReplayFrame {
+        iteration,
+        sub_seed: reader.next_u64("replay sub-seed")?,
+        setup_hash: reader.next_u64("replay setup hash")?,
+        outcome_hash: reader.next_u64("replay outcome hash")?,
+        probe_hash: reader.next_u64("replay probe hash")?,
+    };
     let generation_time = reader.next_duration("generation time")?;
     let engine_time = reader.next_duration("engine time")?;
     let coverage = (
@@ -677,6 +700,7 @@ fn read_record(reader: &mut TokenReader) -> Result<IterationRecord, WireError> {
         coverage,
         skipped,
         probe_delta,
+        replay,
     })
 }
 
@@ -1001,8 +1025,9 @@ mod tests {
     fn random_record(rng: &mut StdRng) -> IterationRecord {
         let n_findings = rng.random_range(0..4usize);
         let n_probes = rng.random_range(0..6usize);
+        let iteration = rng.random_range(0..100_000usize);
         IterationRecord {
-            iteration: rng.random_range(0..100_000usize),
+            iteration,
             findings: (0..n_findings).map(|_| random_finding(rng)).collect(),
             generation_time: Duration::from_nanos(rng.next_u64() >> 16),
             engine_time: Duration::from_nanos(rng.next_u64() >> 16),
@@ -1018,6 +1043,13 @@ mod tests {
                     Some((probe, rng.next_u64() >> 32))
                 })
                 .collect(),
+            replay: crate::replay::ReplayFrame {
+                iteration,
+                sub_seed: rng.next_u64(),
+                setup_hash: rng.next_u64(),
+                outcome_hash: rng.next_u64(),
+                probe_hash: rng.next_u64(),
+            },
         }
     }
 
@@ -1093,6 +1125,7 @@ mod tests {
 
     fn assert_records_equal(a: &IterationRecord, b: &IterationRecord) {
         assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.replay, b.replay);
         assert_eq!(a.generation_time, b.generation_time);
         assert_eq!(a.engine_time, b.engine_time);
         assert_eq!(a.coverage.0, b.coverage.0);
@@ -1132,6 +1165,84 @@ mod tests {
             );
             assert_eq!(unescape(&escaped).as_deref(), Ok(case), "{case:?}");
         }
+    }
+
+    /// The exotic corners of the IEEE-754 space: every one of these must
+    /// cross the wire (and feed replay hashing) with its exact bit pattern —
+    /// signed zeros distinct, NaN payloads unchanged, no canonicalization.
+    const EXOTIC_F64_BITS: [u64; 10] = [
+        0x0000_0000_0000_0000, // +0.0
+        0x8000_0000_0000_0000, // -0.0
+        0x7ff0_0000_0000_0000, // +inf
+        0xfff0_0000_0000_0000, // -inf
+        0x7ff8_0000_0000_0000, // canonical quiet NaN
+        0x7ff8_dead_beef_cafe, // quiet NaN with payload
+        0xfff8_0000_0000_0001, // negative quiet NaN with payload
+        0x7ff0_0000_0000_0001, // signalling NaN
+        0x0000_0000_0000_0001, // smallest subnormal
+        0x800f_ffff_ffff_ffff, // largest negative subnormal
+    ];
+
+    #[test]
+    fn exotic_f64_bit_patterns_round_trip_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(0xf64);
+        for &bits_a in &EXOTIC_F64_BITS {
+            for &bits_b in &EXOTIC_F64_BITS {
+                let mut record = random_record(&mut rng);
+                record.coverage.1 = f64::from_bits(bits_a);
+                record.coverage.2 = f64::from_bits(bits_b);
+                let decoded = decode_record(&encode_record(&record)).expect("round trip");
+                assert_eq!(decoded.coverage.1.to_bits(), bits_a);
+                assert_eq!(decoded.coverage.2.to_bits(), bits_b);
+                // Re-encoding the decoded record is the identity: no stage
+                // of the codec canonicalizes.
+                assert_eq!(encode_record(&decoded), encode_record(&record));
+            }
+        }
+        // The same exactness through a campaign's f64 field.
+        for &bits in &EXOTIC_F64_BITS {
+            let mut config = random_campaign(&mut rng);
+            config.generator.random_shape_probability = f64::from_bits(bits);
+            let line = encode_campaign(&config).expect("encode");
+            let decoded = decode_campaign(&line).expect("decode");
+            assert_eq!(decoded.generator.random_shape_probability.to_bits(), bits);
+        }
+        // And the replay hasher distinguishes every distinct pattern.
+        let digests: Vec<u64> = EXOTIC_F64_BITS
+            .iter()
+            .map(|&bits| {
+                let mut hasher = crate::replay::ReplayHasher::new();
+                hasher.write_f64(f64::from_bits(bits));
+                hasher.finish()
+            })
+            .collect();
+        for i in 0..digests.len() {
+            for j in i + 1..digests.len() {
+                assert_ne!(
+                    digests[i], digests[j],
+                    "bit patterns {:#x} and {:#x} must hash apart",
+                    EXOTIC_F64_BITS[i], EXOTIC_F64_BITS[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_ascii_escapes_are_rejected_not_mojibake() {
+        // `escape` never emits %XX for bytes ≥ 0x80 (multi-byte characters
+        // pass through as UTF-8), so such an escape can only come from a
+        // corrupted or foreign line. Decoding it as a Latin-1 char would
+        // silently change the payload — it must be a structured error.
+        for token in ["%e9", "%80", "a%ffb", "%c3%a9"] {
+            assert_eq!(
+                unescape(token),
+                Err(WireError::BadEscape(token.to_string())),
+                "{token}"
+            );
+        }
+        // ASCII escapes and raw multi-byte characters still round-trip.
+        assert_eq!(unescape("%41").as_deref(), Ok("A"));
+        assert_eq!(unescape(&escape("é → 測試")).as_deref(), Ok("é → 測試"));
     }
 
     #[test]

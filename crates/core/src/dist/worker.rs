@@ -261,9 +261,26 @@ mod tests {
         assert_eq!(records.len(), 6);
 
         // The streamed records merge into exactly the report the in-process
-        // runner produces for the same campaign.
+        // runner produces for the same campaign — and carry, verbatim, the
+        // same replay frames an in-process recorder collects.
+        let recorder = std::sync::Arc::new(crate::replay::ReplayRecorder::new());
+        let reference: CampaignReport = CampaignRunner::new(config(3, 6))
+            .with_replay_sink(recorder.clone())
+            .run();
+        let frames: std::collections::BTreeMap<_, _> = recorder
+            .frames()
+            .into_iter()
+            .map(|frame| (frame.iteration, frame))
+            .collect();
+        for record in &records {
+            assert_eq!(
+                Some(&record.replay),
+                frames.get(&record.iteration),
+                "iteration {} replay frame differs from the in-process runner's",
+                record.iteration
+            );
+        }
         let via_worker = ShardReport::merge(vec![ShardReport { records }], Duration::from_secs(1));
-        let reference: CampaignReport = CampaignRunner::new(config(3, 6)).run();
         assert_eq!(
             via_worker.determinism_fingerprint(),
             reference.determinism_fingerprint()

@@ -44,6 +44,11 @@
 //!    over a hand-rolled line-delimited wire codec ([`dist::wire`]), and
 //!    merges their streamed records index-ordered — byte-identical to the
 //!    in-process runner, surviving worker crashes by respawn + re-lease.
+//! 7. [`replay`] — the debugging story over the determinism contract:
+//!    per-iteration state hashes ([`replay::ReplayFrame`]) recorded into
+//!    line-delimited replay artifacts, artifact/live divergence bisection to
+//!    the first diverging iteration, and coverage-preserving guided
+//!    reduction of the diverging scenario.
 
 pub mod backend;
 pub mod campaign;
@@ -53,6 +58,7 @@ pub mod guidance;
 pub mod oracles;
 pub mod queries;
 pub mod reducer;
+pub mod replay;
 pub mod rng;
 pub mod runner;
 pub mod scenarios;
@@ -68,6 +74,9 @@ pub use generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
 pub use guidance::{EditBias, Guidance, GuidanceMode, ScenarioKnobs, TemplateWeights};
 pub use oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle};
 pub use queries::{QueryInstance, QueryTemplate, RangeFunction};
+pub use replay::{
+    Divergence, DivergenceLayer, ReplayError, ReplayFrame, ReplayLog, ReplayRecorder, ReplaySink,
+};
 pub use runner::{CampaignRunner, OracleKind, ShardReport};
 pub use spec::{DatabaseSpec, TableSpec};
 pub use transform::{AffineStrategy, TransformPlan};

@@ -64,6 +64,26 @@ impl OracleOutcome {
     pub fn is_skipped(&self) -> bool {
         matches!(self, OracleOutcome::Skipped)
     }
+
+    /// Feeds the outcome into a replay hasher: a per-variant tag plus the
+    /// exact payload text, so two runs' outcome hashes agree iff every
+    /// outcome (including its description) matches. Part of the
+    /// [`crate::replay`] frame's outcome layer.
+    pub fn absorb_into(&self, hasher: &mut crate::replay::ReplayHasher) {
+        match self {
+            OracleOutcome::Pass => hasher.write_u64(0),
+            OracleOutcome::LogicBug { description } => {
+                hasher.write_u64(1);
+                hasher.write_str(description);
+            }
+            OracleOutcome::Crash { message } => {
+                hasher.write_u64(2);
+                hasher.write_str(message);
+            }
+            OracleOutcome::Inapplicable => hasher.write_u64(3),
+            OracleOutcome::Skipped => hasher.write_u64(4),
+        }
+    }
 }
 
 /// The one place the [`BackendError`] taxonomy becomes an oracle verdict:

@@ -1,0 +1,396 @@
+//! The line-delimited replay artifact.
+//!
+//! A replay log is meant to be written next to a campaign's report, diffed
+//! with `cmp`, attached to a bug report, and decoded by a *different* build
+//! than the one that wrote it — so the format is text, versioned, and
+//! decoded with structured [`ReplayError`]s that never panic (the same
+//! contract as [`crate::dist::wire`]):
+//!
+//! ```text
+//! spatter-replay 1 seed 3 iterations 12 guidance off frames 12
+//! frame 0 17619913297782129197 4295212937887729591 ... ...
+//! frame 1 ...
+//! end
+//! ```
+//!
+//! One header line (version, campaign identity, declared frame count), then
+//! exactly `frames` `frame` lines — iteration index plus the four hash
+//! layers of a [`ReplayFrame`], all as decimal `u64`s — and a closing `end`
+//! line. The declared count and the footer make truncation *detectable at
+//! any byte*: an artifact cut short mid-transfer — even inside the last
+//! digit of the last frame, which the count alone cannot catch — decodes
+//! to a structured error, never to a silently different log (which would
+//! bisect against the wrong campaign).
+
+use super::ReplayFrame;
+use crate::guidance::GuidanceMode;
+use std::fmt;
+
+/// The replay artifact format version. Bumped whenever the header or frame
+/// layout changes; decoding any other version is a structured error.
+pub const REPLAY_VERSION: u32 = 1;
+
+/// Why a replay artifact could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The input does not start with a `spatter-replay` header line.
+    MissingHeader,
+    /// The artifact was written by a different format version.
+    VersionMismatch {
+        /// Our [`REPLAY_VERSION`].
+        ours: u32,
+        /// The version the artifact announces.
+        theirs: u32,
+    },
+    /// The input ended before the declared frame count was reached.
+    Truncated {
+        /// Frames decoded before the input ran out.
+        frames_found: usize,
+        /// Frames the header declared.
+        frames_declared: usize,
+    },
+    /// A line did not have the expected shape.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What the decoder was trying to read.
+        expected: &'static str,
+        /// The offending token (or a description of it).
+        got: String,
+    },
+    /// Non-empty lines follow the declared frames.
+    TrailingInput {
+        /// 1-based line number of the first trailing line.
+        line: usize,
+    },
+    /// The input does not end with a newline: the last line was cut short
+    /// mid-byte (a partial token still parses, so only the terminator makes
+    /// this detectable).
+    Unterminated,
+    /// Frame iterations are not strictly increasing.
+    NonMonotonic {
+        /// 1-based line number of the out-of-order frame.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::MissingHeader => write!(f, "missing spatter-replay header"),
+            ReplayError::VersionMismatch { ours, theirs } => {
+                write!(f, "replay version mismatch: ours {ours}, artifact {theirs}")
+            }
+            ReplayError::Truncated {
+                frames_found,
+                frames_declared,
+            } => write!(
+                f,
+                "artifact truncated: {frames_found} of {frames_declared} declared frames"
+            ),
+            ReplayError::Malformed {
+                line,
+                expected,
+                got,
+            } => write!(f, "line {line}: expected {expected}, got {got:?}"),
+            ReplayError::TrailingInput { line } => {
+                write!(f, "line {line}: trailing input after the declared frames")
+            }
+            ReplayError::Unterminated => {
+                write!(f, "artifact does not end with a newline (cut mid-line?)")
+            }
+            ReplayError::NonMonotonic { line } => {
+                write!(
+                    f,
+                    "line {line}: frame iterations must be strictly increasing"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// A decoded (or about-to-be-encoded) replay artifact: the campaign
+/// identity plus one [`ReplayFrame`] per executed iteration, in iteration
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayLog {
+    /// The campaign seed the frames were produced under.
+    pub seed: u64,
+    /// The campaign's *requested* iteration count (a time-budgeted run may
+    /// have recorded fewer frames).
+    pub iterations: usize,
+    /// The campaign's guidance mode.
+    pub guidance: GuidanceMode,
+    /// The recorded frames, strictly increasing by iteration.
+    pub frames: Vec<ReplayFrame>,
+}
+
+impl ReplayLog {
+    /// Renders the artifact, newline-terminated.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(64 + self.frames.len() * 96);
+        out.push_str(&format!(
+            "spatter-replay {REPLAY_VERSION} seed {} iterations {} guidance {} frames {}\n",
+            self.seed,
+            self.iterations,
+            match self.guidance {
+                GuidanceMode::Off => "off",
+                GuidanceMode::ColdProbe => "cold-probe",
+            },
+            self.frames.len(),
+        ));
+        for frame in &self.frames {
+            out.push_str(&format!(
+                "frame {} {} {} {} {}\n",
+                frame.iteration,
+                frame.sub_seed,
+                frame.setup_hash,
+                frame.outcome_hash,
+                frame.probe_hash,
+            ));
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Decodes an artifact, returning a structured error — never panicking
+    /// — on any malformed, truncated, version-skewed or trailing input.
+    pub fn decode(text: &str) -> Result<ReplayLog, ReplayError> {
+        if text.is_empty() {
+            return Err(ReplayError::MissingHeader);
+        }
+        if !text.ends_with('\n') {
+            return Err(ReplayError::Unterminated);
+        }
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(ReplayError::MissingHeader)?;
+        let mut tokens = header.split_ascii_whitespace();
+        if tokens.next() != Some("spatter-replay") {
+            return Err(ReplayError::MissingHeader);
+        }
+        let version = parse_u64(1, "format version", tokens.next())?;
+        if version != u64::from(REPLAY_VERSION) {
+            return Err(ReplayError::VersionMismatch {
+                ours: REPLAY_VERSION,
+                theirs: u32::try_from(version).unwrap_or(u32::MAX),
+            });
+        }
+        expect_keyword(1, "seed", tokens.next())?;
+        let seed = parse_u64(1, "campaign seed", tokens.next())?;
+        expect_keyword(1, "iterations", tokens.next())?;
+        let iterations = parse_usize(1, "iteration count", tokens.next())?;
+        expect_keyword(1, "guidance", tokens.next())?;
+        let guidance = match tokens.next() {
+            Some("off") => GuidanceMode::Off,
+            Some("cold-probe") => GuidanceMode::ColdProbe,
+            other => {
+                return Err(ReplayError::Malformed {
+                    line: 1,
+                    expected: "guidance mode",
+                    got: other.unwrap_or("end of line").to_string(),
+                })
+            }
+        };
+        expect_keyword(1, "frames", tokens.next())?;
+        let declared = parse_usize(1, "frame count", tokens.next())?;
+        if let Some(extra) = tokens.next() {
+            return Err(ReplayError::Malformed {
+                line: 1,
+                expected: "end of header",
+                got: extra.to_string(),
+            });
+        }
+
+        let mut frames: Vec<ReplayFrame> = Vec::with_capacity(declared.min(1 << 20));
+        let mut footer_seen = false;
+        for (index, line) in lines {
+            let line_no = index + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if footer_seen {
+                return Err(ReplayError::TrailingInput { line: line_no });
+            }
+            if line.trim() == "end" {
+                if frames.len() < declared {
+                    return Err(ReplayError::Truncated {
+                        frames_found: frames.len(),
+                        frames_declared: declared,
+                    });
+                }
+                footer_seen = true;
+                continue;
+            }
+            if frames.len() == declared {
+                return Err(ReplayError::TrailingInput { line: line_no });
+            }
+            let mut tokens = line.split_ascii_whitespace();
+            expect_keyword(line_no, "frame", tokens.next())?;
+            let iteration = parse_usize(line_no, "frame iteration", tokens.next())?;
+            let frame = ReplayFrame {
+                iteration,
+                sub_seed: parse_u64(line_no, "sub-seed", tokens.next())?,
+                setup_hash: parse_u64(line_no, "setup hash", tokens.next())?,
+                outcome_hash: parse_u64(line_no, "outcome hash", tokens.next())?,
+                probe_hash: parse_u64(line_no, "probe hash", tokens.next())?,
+            };
+            if let Some(extra) = tokens.next() {
+                return Err(ReplayError::Malformed {
+                    line: line_no,
+                    expected: "end of frame",
+                    got: extra.to_string(),
+                });
+            }
+            if frames
+                .last()
+                .is_some_and(|last| last.iteration >= iteration)
+            {
+                return Err(ReplayError::NonMonotonic { line: line_no });
+            }
+            frames.push(frame);
+        }
+        if !footer_seen {
+            return Err(ReplayError::Truncated {
+                frames_found: frames.len(),
+                frames_declared: declared,
+            });
+        }
+        Ok(ReplayLog {
+            seed,
+            iterations,
+            guidance,
+            frames,
+        })
+    }
+
+    /// The frame of `iteration`, if recorded.
+    pub fn frame(&self, iteration: usize) -> Option<&ReplayFrame> {
+        self.frames
+            .binary_search_by_key(&iteration, |f| f.iteration)
+            .ok()
+            .map(|index| &self.frames[index])
+    }
+}
+
+fn expect_keyword(
+    line: usize,
+    keyword: &'static str,
+    token: Option<&str>,
+) -> Result<(), ReplayError> {
+    match token {
+        Some(t) if t == keyword => Ok(()),
+        other => Err(ReplayError::Malformed {
+            line,
+            expected: keyword,
+            got: other.unwrap_or("end of line").to_string(),
+        }),
+    }
+}
+
+fn parse_u64(line: usize, expected: &'static str, token: Option<&str>) -> Result<u64, ReplayError> {
+    let token = token.ok_or(ReplayError::Malformed {
+        line,
+        expected,
+        got: "end of line".to_string(),
+    })?;
+    token.parse().map_err(|_| ReplayError::Malformed {
+        line,
+        expected,
+        got: token.to_string(),
+    })
+}
+
+fn parse_usize(
+    line: usize,
+    expected: &'static str,
+    token: Option<&str>,
+) -> Result<usize, ReplayError> {
+    let value = parse_u64(line, expected, token)?;
+    usize::try_from(value).map_err(|_| ReplayError::Malformed {
+        line,
+        expected,
+        got: value.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ReplayLog {
+        ReplayLog {
+            seed: 3,
+            iterations: 4,
+            guidance: GuidanceMode::ColdProbe,
+            frames: (0..4)
+                .map(|i| ReplayFrame {
+                    iteration: i,
+                    sub_seed: u64::MAX - i as u64,
+                    setup_hash: 0x5e70 + i as u64,
+                    outcome_hash: 0x07c0 ^ i as u64,
+                    probe_hash: (i as u64) << 60,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn artifacts_round_trip() {
+        let log = sample_log();
+        let text = log.encode();
+        assert_eq!(ReplayLog::decode(&text), Ok(log.clone()));
+        assert_eq!(log.frame(2).map(|f| f.iteration), Some(2));
+        assert_eq!(log.frame(99), None);
+    }
+
+    #[test]
+    fn version_skew_is_a_structured_error() {
+        let text = sample_log().encode().replacen(
+            &format!("spatter-replay {REPLAY_VERSION}"),
+            "spatter-replay 99",
+            1,
+        );
+        assert_eq!(
+            ReplayLog::decode(&text),
+            Err(ReplayError::VersionMismatch {
+                ours: REPLAY_VERSION,
+                theirs: 99
+            })
+        );
+    }
+
+    #[test]
+    fn byte_truncation_of_the_last_token_is_detected() {
+        let text = sample_log().encode();
+        // Without the footer + newline rule this prefix would decode: the
+        // cut probe hash still parses as a decimal.
+        let cut_mid_token = &text[..text.len() - "\nend\n".len()];
+        assert_eq!(
+            ReplayLog::decode(cut_mid_token),
+            Err(ReplayError::Unterminated)
+        );
+        // All frames present but no footer: a lost tail.
+        let cut_footer = &text[..text.len() - "end\n".len()];
+        assert_eq!(
+            ReplayLog::decode(cut_footer),
+            Err(ReplayError::Truncated {
+                frames_found: 4,
+                frames_declared: 4
+            })
+        );
+    }
+
+    #[test]
+    fn non_monotonic_frames_are_rejected() {
+        let mut log = sample_log();
+        // Swapping frames 1 and 2 leaves line 3 (iteration 2 after 0)
+        // monotonic; line 4 (iteration 1 after 2) is the offender.
+        log.frames.swap(1, 2);
+        assert_eq!(
+            ReplayLog::decode(&log.encode()),
+            Err(ReplayError::NonMonotonic { line: 4 })
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! The replay hash: FNV-1a over a length-prefixed, bit-exact byte stream.
+//!
+//! Replay frames must be **byte-identical** wherever an iteration executes
+//! — in-process, on a worker process, this commit or the next run of the
+//! same build — so the hasher is deliberately boring: FNV-1a 64 (std-only,
+//! no platform-dependent `DefaultHasher` internals), fed a canonical byte
+//! encoding in which every integer is little-endian, every string is
+//! length-prefixed (so `("ab", "c")` and `("a", "bc")` cannot collide), and
+//! every `f64` contributes its raw IEEE-754 bit pattern. The last point is
+//! a determinism requirement, not pedantry: `-0.0 == 0.0` and `NaN != NaN`
+//! under `f64` comparison, but replay must distinguish signed zeros and
+//! preserve NaN payloads exactly — the same bit-exactness contract the wire
+//! codec holds by shipping `f64::to_bits`.
+
+/// A 64-bit FNV-1a hasher with typed, collision-framed write methods.
+#[derive(Debug, Clone)]
+pub struct ReplayHasher {
+    state: u64,
+}
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for ReplayHasher {
+    fn default() -> Self {
+        ReplayHasher::new()
+    }
+}
+
+impl ReplayHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        ReplayHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as its little-endian bytes.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Absorbs a `usize`, widened to `u64` so 32- and 64-bit builds agree.
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Absorbs a string, length-prefixed so adjacent strings cannot collide
+    /// by re-framing.
+    pub fn write_str(&mut self, text: &str) {
+        self.write_usize(text.len());
+        self.write_bytes(text.as_bytes());
+    }
+
+    /// Absorbs an `f64` as its raw bit pattern: signed zeros stay distinct
+    /// and NaN payloads are preserved, never canonicalized.
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(feed: impl FnOnce(&mut ReplayHasher)) -> u64 {
+        let mut hasher = ReplayHasher::new();
+        feed(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn known_fnv1a_vectors() {
+        // Reference vectors of the FNV-1a 64 specification.
+        assert_eq!(digest(|_| {}), 0xcbf29ce484222325);
+        assert_eq!(digest(|h| h.write_bytes(b"a")), 0xaf63dc4c8601ec8c);
+        assert_eq!(digest(|h| h.write_bytes(b"foobar")), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_prevents_reframing_collisions() {
+        let ab_c = digest(|h| {
+            h.write_str("ab");
+            h.write_str("c");
+        });
+        let a_bc = digest(|h| {
+            h.write_str("a");
+            h.write_str("bc");
+        });
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn signed_zeros_and_nan_payloads_are_distinguished() {
+        assert_ne!(digest(|h| h.write_f64(0.0)), digest(|h| h.write_f64(-0.0)));
+        // Two NaNs with different payload bits must hash differently even
+        // though both compare unequal to everything (including themselves).
+        let quiet = f64::from_bits(0x7ff8_dead_beef_cafe);
+        let signalling = f64::from_bits(0x7ff0_0000_0000_0001);
+        assert!(quiet.is_nan() && signalling.is_nan());
+        assert_ne!(
+            digest(|h| h.write_f64(quiet)),
+            digest(|h| h.write_f64(signalling))
+        );
+        // And identical payloads hash identically — no canonicalization.
+        assert_eq!(
+            digest(|h| h.write_f64(quiet)),
+            digest(|h| h.write_f64(f64::from_bits(0x7ff8_dead_beef_cafe)))
+        );
+    }
+
+    #[test]
+    fn usize_widens_to_u64() {
+        assert_eq!(
+            digest(|h| h.write_usize(7)),
+            digest(|h| h.write_u64(7)),
+            "32- and 64-bit builds must agree on usize hashing"
+        );
+    }
+}

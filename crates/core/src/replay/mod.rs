@@ -1,0 +1,205 @@
+//! Deterministic replay: per-iteration state hashes, replay artifacts, and
+//! divergence bisection.
+//!
+//! Campaigns have been deterministic since PR 1 — every iteration is a pure
+//! function of `(campaign seed, iteration index)` — but determinism alone is
+//! *opaque*: when two runs' fingerprints disagree (in-process vs
+//! distributed, guided vs not, this commit vs last), nothing says *which*
+//! iteration diverged first or *what* inside it changed. This module adopts
+//! the replay discipline of lockstep simulations (murk-replay style:
+//! per-tick snapshot hashing, compact replay logs, divergence *reports*
+//! rather than raw dumps):
+//!
+//! * [`ReplayFrame`] — four hash layers per iteration, computed by
+//!   [`crate::runner::CampaignRunner::run_iteration`] on whichever thread or
+//!   process executes it: the **sub-seed** (the iteration's entire input),
+//!   the **setup hash** (every setup SQL statement, the transformation
+//!   plan's exact coefficients, every query's SQL), the **outcome hash**
+//!   (every oracle outcome and attribution result, in suite order), and the
+//!   **probe hash** (the iteration's coverage delta). The layers are
+//!   ordered: a sub-seed mismatch means the campaigns differ, a setup
+//!   mismatch means generation diverged, an outcome mismatch means the
+//!   engines disagreed on identical inputs, and a probe-only mismatch means
+//!   results matched but control flow did not.
+//! * [`ReplaySink`] / [`ReplayRecorder`] — how frames leave the runner.
+//!   Frames ride inside [`crate::runner::IterationRecord`], so the
+//!   distributed supervisor records exactly the worker-computed hashes —
+//!   byte-identity across fleet shapes holds by construction, not by
+//!   recomputation.
+//! * [`artifact`] — the line-delimited replay artifact ([`ReplayLog`]),
+//!   versioned and decoded with structured errors like the wire codec.
+//! * [`bisect`] — locating the first diverging iteration between two
+//!   artifacts (exact, zero re-executions) or between an artifact and a
+//!   live re-run (binary search, ≤ ⌈log₂ N⌉ + 1 targeted re-executions).
+//! * [`reduce`] — guided reduction: shrinking a diverging scenario while
+//!   preserving the probe delta it exercised, instead of blind
+//!   delta-debugging.
+
+pub mod artifact;
+pub mod bisect;
+pub mod hash;
+pub mod reduce;
+
+pub use artifact::{ReplayError, ReplayLog, REPLAY_VERSION};
+pub use bisect::{BisectOutcome, Divergence, DivergenceLayer, ReplayExecutor};
+pub use hash::ReplayHasher;
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// The per-iteration state hashes. A pure function of
+/// `(campaign config, iteration index)`: identical no matter which thread,
+/// process or machine executed the iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayFrame {
+    /// The iteration index within the campaign.
+    pub iteration: usize,
+    /// `split_seed(campaign seed, iteration)` — the iteration's entire
+    /// input, recorded directly so a divergence report can name the seed
+    /// that reproduces the iteration standalone.
+    pub sub_seed: u64,
+    /// Hash of the generated scenario as the engines see it: every setup
+    /// SQL statement of the base database, the transformation plan's exact
+    /// coefficients (bit patterns, not values), and every query's SQL.
+    pub setup_hash: u64,
+    /// Hash of every oracle outcome (suite order, query order, payload
+    /// text) and of each finding's attribution result.
+    pub outcome_hash: u64,
+    /// Hash of the iteration's probe-coverage delta.
+    pub probe_hash: u64,
+}
+
+impl ReplayFrame {
+    /// The first hash layer on which `self` and `other` disagree, or `None`
+    /// when the frames are identical. Layers are compared outside-in —
+    /// sub-seed, setup, outcome, probes — so the report names the earliest
+    /// stage of the iteration pipeline that diverged.
+    pub fn diverging_layer(&self, other: &ReplayFrame) -> Option<DivergenceLayer> {
+        if self.sub_seed != other.sub_seed {
+            Some(DivergenceLayer::SubSeed)
+        } else if self.setup_hash != other.setup_hash {
+            Some(DivergenceLayer::Setup)
+        } else if self.outcome_hash != other.outcome_hash {
+            Some(DivergenceLayer::Outcome)
+        } else if self.probe_hash != other.probe_hash {
+            Some(DivergenceLayer::ProbeDelta)
+        } else {
+            None
+        }
+    }
+}
+
+/// Where the runner delivers each iteration's [`ReplayFrame`]. Implementors
+/// must tolerate frames arriving out of iteration order and concurrently
+/// (one call per iteration, from whichever worker thread ran it).
+pub trait ReplaySink: Send + Sync {
+    /// Called once per executed iteration, on the executing thread (or, for
+    /// distributed campaigns, on the supervisor as records arrive).
+    fn record_frame(&self, frame: &ReplayFrame);
+}
+
+/// The standard in-memory sink: collects frames keyed by iteration, ready
+/// to become a [`ReplayLog`]. Duplicate deliveries (a re-executed iteration
+/// after a partial lease was reclaimed) are idempotent — frames are pure
+/// functions of the iteration, so first-wins equals last-wins.
+#[derive(Debug, Default)]
+pub struct ReplayRecorder {
+    frames: Mutex<BTreeMap<usize, ReplayFrame>>,
+}
+
+impl ReplayRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        ReplayRecorder::default()
+    }
+
+    /// Number of distinct iterations recorded so far.
+    pub fn len(&self) -> usize {
+        self.frames.lock().expect("replay recorder poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The recorded frames in iteration order.
+    pub fn frames(&self) -> Vec<ReplayFrame> {
+        self.frames
+            .lock()
+            .expect("replay recorder poisoned")
+            .values()
+            .copied()
+            .collect()
+    }
+
+    /// Packages the recorded frames as a replay artifact, stamped with the
+    /// campaign identity (`seed`, requested iterations, guidance mode) the
+    /// frames were produced under.
+    pub fn log(&self, config: &crate::campaign::CampaignConfig) -> ReplayLog {
+        ReplayLog {
+            seed: config.seed,
+            iterations: config.iterations,
+            guidance: config.guidance,
+            frames: self.frames(),
+        }
+    }
+}
+
+impl ReplaySink for ReplayRecorder {
+    fn record_frame(&self, frame: &ReplayFrame) {
+        self.frames
+            .lock()
+            .expect("replay recorder poisoned")
+            .entry(frame.iteration)
+            .or_insert(*frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(iteration: usize) -> ReplayFrame {
+        ReplayFrame {
+            iteration,
+            sub_seed: 0x5eed ^ iteration as u64,
+            setup_hash: 1,
+            outcome_hash: 2,
+            probe_hash: 3,
+        }
+    }
+
+    #[test]
+    fn recorder_orders_and_dedups_frames() {
+        let recorder = ReplayRecorder::new();
+        assert!(recorder.is_empty());
+        recorder.record_frame(&frame(4));
+        recorder.record_frame(&frame(1));
+        recorder.record_frame(&frame(4)); // duplicate delivery
+        assert_eq!(recorder.len(), 2);
+        let frames = recorder.frames();
+        assert_eq!(
+            frames.iter().map(|f| f.iteration).collect::<Vec<_>>(),
+            vec![1, 4]
+        );
+    }
+
+    #[test]
+    fn diverging_layer_reports_the_outermost_difference() {
+        let base = frame(0);
+        assert_eq!(base.diverging_layer(&base), None);
+        let mut other = base;
+        other.probe_hash ^= 1;
+        assert_eq!(
+            base.diverging_layer(&other),
+            Some(DivergenceLayer::ProbeDelta)
+        );
+        other.outcome_hash ^= 1;
+        assert_eq!(base.diverging_layer(&other), Some(DivergenceLayer::Outcome));
+        other.setup_hash ^= 1;
+        assert_eq!(base.diverging_layer(&other), Some(DivergenceLayer::Setup));
+        other.sub_seed ^= 1;
+        assert_eq!(base.diverging_layer(&other), Some(DivergenceLayer::SubSeed));
+    }
+}

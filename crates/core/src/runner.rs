@@ -43,12 +43,14 @@ use crate::oracles::{
     AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle,
 };
 use crate::queries::{random_queries_weighted, QueryInstance};
+use crate::replay::{ReplayFrame, ReplayHasher, ReplaySink};
 use crate::rng::split_seed;
 use crate::spec::DatabaseSpec;
 use crate::transform::TransformPlan;
 use spatter_sdb::{EngineProfile, FaultId};
 use spatter_topo::coverage::{self, local, CoverageSnapshot};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Number of unguided warm-up iterations a [`GuidanceMode::ColdProbe`]
@@ -118,6 +120,12 @@ pub struct IterationRecord {
     /// A pure function of the iteration's sub-seed, so it is identical no
     /// matter which worker ran the iteration.
     pub probe_delta: Vec<(&'static str, u64)>,
+    /// The iteration's replay frame: the four per-iteration state hashes
+    /// ([`crate::replay`]), computed on the executing thread. Like
+    /// `probe_delta`, a pure function of the sub-seed — distributed workers
+    /// ship it verbatim, so replay artifacts are byte-identical across fleet
+    /// shapes by construction.
+    pub replay: ReplayFrame,
 }
 
 /// The mergeable per-worker slice of a campaign: the iteration records one
@@ -195,6 +203,7 @@ impl ShardReport {
 pub struct CampaignRunner {
     config: CampaignConfig,
     n_workers: usize,
+    replay_sink: Option<Arc<dyn ReplaySink>>,
 }
 
 impl CampaignRunner {
@@ -205,12 +214,22 @@ impl CampaignRunner {
         CampaignRunner {
             config,
             n_workers: 1,
+            replay_sink: None,
         }
     }
 
     /// Sets the number of worker threads (clamped to at least 1).
     pub fn with_workers(mut self, n_workers: usize) -> Self {
         self.n_workers = n_workers.max(1);
+        self
+    }
+
+    /// Attaches a replay sink: every executed iteration delivers its
+    /// [`ReplayFrame`] to it, from whichever worker thread ran it. The sink
+    /// only *observes* frames that are computed regardless, so attaching
+    /// one can never perturb the campaign's results.
+    pub fn with_replay_sink(mut self, sink: Arc<dyn ReplaySink>) -> Self {
+        self.replay_sink = Some(sink);
         self
     }
 
@@ -367,14 +386,43 @@ impl CampaignRunner {
         let plan = TransformPlan::random(self.config.affine, sub_seed ^ 0xaff1e);
         let generation_time = generation_start.elapsed();
 
+        // The setup layer of the replay frame: the scenario exactly as the
+        // engines will see it — setup SQL, the plan's bit-exact coefficients,
+        // and every query's SQL. Hashing the *inputs* (rather than the
+        // transformed database, which is a pure function of them) keeps
+        // recording off the iteration's hot path.
+        let mut setup_hasher = ReplayHasher::new();
+        for statement in knobs.setup_sql(&spec) {
+            setup_hasher.write_str(&statement);
+        }
+        setup_hasher.write_u64(u64::from(plan.canonicalize));
+        let matrix = plan.transform.matrix();
+        for coefficient in [matrix.a, matrix.b, matrix.c, matrix.d, matrix.tx, matrix.ty] {
+            setup_hasher.write_f64(coefficient);
+        }
+        match plan.uniform_scale {
+            None => setup_hasher.write_u64(0),
+            Some(scale) => {
+                setup_hasher.write_u64(1);
+                setup_hasher.write_f64(scale);
+            }
+        }
+        for query in &queries {
+            setup_hasher.write_str(&query.to_sql());
+        }
+
         // --- Execution + validation --------------------------------------
         let mut engine_time = Duration::ZERO;
         let mut findings = Vec::new();
         let mut skipped = 0;
-        for kind in &self.config.oracles {
+        let mut outcome_hasher = ReplayHasher::new();
+        for (oracle_index, kind) in self.config.oracles.iter().enumerate() {
             let (outcomes, oracle_time) = self.run_oracle(kind, &spec, &queries, &plan, &knobs);
             engine_time += oracle_time;
-            for (query, outcome) in queries.iter().zip(outcomes.iter()) {
+            for (query_index, (query, outcome)) in queries.iter().zip(outcomes.iter()).enumerate() {
+                outcome_hasher.write_usize(oracle_index);
+                outcome_hasher.write_usize(query_index);
+                outcome.absorb_into(&mut outcome_hasher);
                 let finding_kind = match outcome {
                     OracleOutcome::LogicBug { .. } => FindingKind::Logic,
                     OracleOutcome::Crash { .. } => FindingKind::Crash,
@@ -400,6 +448,10 @@ impl CampaignRunner {
                 } else {
                     Vec::new()
                 };
+                outcome_hasher.write_usize(attributed.len());
+                for fault in &attributed {
+                    outcome_hasher.write_str(&fault.name());
+                }
                 findings.push(Finding {
                     kind: finding_kind,
                     description,
@@ -414,6 +466,21 @@ impl CampaignRunner {
             .into_iter()
             .filter(|(name, _)| guidance::is_universe_probe(name))
             .collect();
+        let mut probe_hasher = ReplayHasher::new();
+        for (name, count) in &probe_delta {
+            probe_hasher.write_str(name);
+            probe_hasher.write_u64(*count);
+        }
+        let replay = ReplayFrame {
+            iteration,
+            sub_seed,
+            setup_hash: setup_hasher.finish(),
+            outcome_hash: outcome_hasher.finish(),
+            probe_hash: probe_hasher.finish(),
+        };
+        if let Some(sink) = &self.replay_sink {
+            sink.record_frame(&replay);
+        }
         let (topo_hit, topo_total, _) = coverage::topo_coverage();
         let (sdb_hit, sdb_total, _) = spatter_sdb::coverage::sdb_coverage();
         IterationRecord {
@@ -428,6 +495,7 @@ impl CampaignRunner {
             ),
             skipped,
             probe_delta,
+            replay,
         }
     }
 
@@ -590,6 +658,13 @@ mod tests {
             coverage: (Duration::ZERO, 0.0, 0.0),
             skipped: 1,
             probe_delta: vec![("topo.predicate.intersects", iteration as u64)],
+            replay: ReplayFrame {
+                iteration,
+                sub_seed: iteration as u64,
+                setup_hash: 0,
+                outcome_hash: 0,
+                probe_hash: 0,
+            },
         };
         let shards = vec![
             ShardReport {

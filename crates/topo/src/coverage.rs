@@ -422,6 +422,16 @@ pub mod local {
         delta
     }
 
+    /// Runs `f` with recording active and returns its value alongside the
+    /// probe delta it produced — the [`start`]/[`take`] pair as one scoped
+    /// measurement. Any recording already active on the calling thread is
+    /// discarded, exactly as a bare [`start`] would.
+    pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Vec<(&'static str, u64)>) {
+        start();
+        let value = f();
+        (value, take())
+    }
+
     /// Called by [`super::hit`] with the probe's immortal registry entry:
     /// one thread-local access, one borrow-flag check, one `Vec` push.
     pub(super) fn record(entry: &'static ProbeEntry) {
@@ -599,6 +609,20 @@ mod tests {
         assert_eq!(delta, vec![("cov.local.mine", 2)]);
         // Recording stopped: further hits are not tallied.
         hit("cov.local.mine");
+        assert_eq!(local::take(), Vec::new());
+    }
+
+    #[test]
+    fn measure_scopes_a_recording_around_a_closure() {
+        let (value, delta) = local::measure(|| {
+            hit("cov.local.measured");
+            hit("cov.local.measured");
+            7
+        });
+        assert_eq!(value, 7);
+        assert_eq!(delta, vec![("cov.local.measured", 2)]);
+        // The recording ended with the closure.
+        hit("cov.local.measured");
         assert_eq!(local::take(), Vec::new());
     }
 }

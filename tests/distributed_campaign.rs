@@ -244,6 +244,66 @@ fn differential_twin_oracle_actually_detects_divergence() {
 }
 
 #[test]
+fn missing_worker_binary_is_a_structured_error_not_a_panic() {
+    // Every spawn attempt fails before a single pipe exists. The supervisor
+    // must burn through its (small) respawn budget and return a structured
+    // error — the pre-fix code panicked on the unpiped stdin.
+    use spatter_repro::core::dist::DistError;
+
+    let dist = DistConfig::new("/nonexistent/spatter-worker-binary").with_max_respawns(2);
+    let error = DistRunner::new(campaign(GuidanceMode::Off, 1, 6), dist)
+        .run()
+        .expect_err("a missing worker binary cannot run a campaign");
+    assert!(
+        matches!(error, DistError::Io(_) | DistError::Protocol { .. }),
+        "{error}"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn worker_dying_before_the_handshake_is_recovered_by_respawn() {
+    // A worker that dies between spawn and pipe takeover (OOM at startup,
+    // a crashing dynamic loader) must be routed through the respawn path.
+    // The flaky launcher below dies pre-handshake on its first invocation
+    // and execs the real worker afterwards: the campaign must complete
+    // byte-identically, with the failed start charged to the respawn budget.
+    use std::os::unix::fs::PermissionsExt;
+
+    let dir = std::env::temp_dir().join(format!("spatter-flaky-worker-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let marker = dir.join("started-once");
+    let script = dir.join("flaky-worker.sh");
+    std::fs::write(
+        &script,
+        format!(
+            "#!/bin/sh\nif [ ! -e {marker} ]; then : > {marker}; exit 1; fi\nexec {worker} \"$@\"\n",
+            marker = marker.display(),
+            worker = worker_path(),
+        ),
+    )
+    .expect("write launcher");
+    std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755))
+        .expect("mark executable");
+
+    let baseline = CampaignRunner::new(campaign(GuidanceMode::Off, 3, 12)).run();
+    let dist = DistConfig::new(&script)
+        .with_processes(2)
+        .with_threads_per_worker(2);
+    let (report, stats) = DistRunner::new(campaign(GuidanceMode::Off, 3, 12), dist)
+        .run_with_stats()
+        .expect("the flaky first start must be recovered");
+    assert!(
+        stats.respawns >= 1,
+        "the pre-handshake death must consume respawn budget: {stats:?}"
+    );
+    assert_eq!(report.iterations_run, baseline.iterations_run);
+    assert_eq!(fingerprint(&report), fingerprint(&baseline));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unencodable_campaigns_are_rejected_up_front() {
     // A backend with no wire spec cannot be distributed; the supervisor
     // reports the structured wire error instead of spawning anything.
