@@ -48,6 +48,15 @@ pub struct CampaignConfig {
     /// ([`GuidanceMode::ColdProbe`]) or stays uniform ([`GuidanceMode::Off`],
     /// the default — byte-identical to pre-guidance campaigns).
     pub guidance: GuidanceMode,
+    /// With [`GuidanceMode::ColdProbe`], refresh the guidance snapshot every
+    /// this many iterations instead of freezing it after the warm-up: the
+    /// campaign proceeds in *epochs*, each generated under the cumulative
+    /// coverage of every earlier iteration, absorbed in iteration-index
+    /// order behind a barrier. A pure function of the seed, so epoch
+    /// campaigns stay byte-identical at any worker count, process split or
+    /// transport. `None` (the default) keeps the frozen-snapshot behaviour;
+    /// ignored when guidance is off.
+    pub guidance_epoch: Option<usize>,
     /// The oracle suite run on every iteration (AEI alone by default).
     /// Lives in the config — rather than on the runner — so a campaign is
     /// fully described by one value, which is what the distributed
@@ -119,6 +128,7 @@ impl Default for CampaignConfig {
             time_budget: None,
             attribute_findings: true,
             guidance: GuidanceMode::Off,
+            guidance_epoch: None,
             oracles: vec![OracleKind::Aei],
             seed: 0,
         }

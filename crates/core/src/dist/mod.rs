@@ -3,16 +3,17 @@
 //!
 //! The thread-sharded [`CampaignRunner`] (PR 1) scales a campaign across
 //! one process's cores; this subsystem lifts the same sharding one level
-//! up, across *processes*. A [`DistRunner`] supervisor spawns K
-//! `spatter-campaign-worker` processes, each of which runs the existing
-//! thread-sharded executor over leased iteration ranges and streams its
-//! [`IterationRecord`]s back over the [`wire`] codec; the supervisor
-//! performs the same deterministic index-ordered merge as
-//! [`ShardReport::merge`]. Process isolation is the same move the
-//! `spatter-sdb-server` backend (PR 3) made for *engines* — here it is the
-//! campaign executors themselves that become crash-survivable and, because
-//! nothing but seed-derived messages crosses the boundary, machine-
-//! distributable.
+//! up, across *processes* — and, through the [`crate::fabric`] transport
+//! layer, across machines. A [`DistRunner`] supervisor connects K
+//! `spatter-campaign-worker` executors (child processes over stdio pipes,
+//! or remote peers over TCP — the supervisor event loop cannot tell the
+//! difference), each of which runs the existing thread-sharded executor
+//! over leased iteration ranges and streams its [`IterationRecord`]s back
+//! over the [`wire`] codec; the supervisor performs the same deterministic
+//! index-ordered merge as [`ShardReport::merge`]. Process isolation is the
+//! same move the `spatter-sdb-server` backend (PR 3) made for *engines* —
+//! here it is the campaign executors themselves that become
+//! crash-survivable and machine-distributable.
 //!
 //! # Determinism
 //!
@@ -22,36 +23,46 @@
 //! records by iteration index, not arrival order, which makes a
 //! distributed campaign **byte-identical** (findings, attribution, skip
 //! counts, probe coverage — [`CampaignReport::determinism_fingerprint`])
-//! to the single-process runner for any processes × threads split. Guided
-//! campaigns hold the same contract because the supervisor runs the
-//! warm-up prefix itself and ships the *frozen* snapshot to every worker:
-//! guidance is the same pure function of `(snapshot, seed, iteration)` on
-//! every side of every process boundary.
+//! to the single-process runner for any transport and any processes ×
+//! threads split. Guided campaigns hold the same contract because the
+//! supervisor runs the warm-up prefix itself and ships the snapshot to
+//! every worker; with [`CampaignConfig::guidance_epoch`] set the snapshot
+//! is *refreshed* behind an epoch barrier — the supervisor absorbs the
+//! probe deltas of a completed window in iteration-index order and
+//! broadcasts the cumulative snapshot before leasing the next window, so
+//! the guidance each iteration sees is still a pure function of the seed.
 //!
-//! # Crash survival and lease-based stealing
+//! # Crash survival and elastic leases
 //!
 //! Work is distributed as small chunked *leases* rather than static
 //! per-worker ranges: a fast worker simply takes more leases, so one
 //! finding-heavy (attribution-heavy) range cannot straggle the campaign
-//! behind an idle fleet. Workers stream each record as it completes; when
-//! a worker process dies (crash, OOM-kill, the supervisor's own fault
-//! injection in tests) the supervisor reclaims exactly the *unacknowledged*
-//! iterations of its outstanding leases, re-enqueues them for the
-//! surviving workers, and respawns the dead slot — the distributed
-//! equivalent of `StdioBackend`'s respawn-and-replay.
+//! behind an idle fleet. With [`LeasePolicy::Adaptive`] lease length is
+//! additionally sized per worker from an EWMA of its observed
+//! per-iteration cost, so a slow worker is granted short leases (little to
+//! reclaim, little tail latency) while fast workers get long ones (less
+//! protocol chatter). Workers stream each record as it completes; when a
+//! worker dies (crash, OOM-kill, the supervisor's own fault injection in
+//! tests) the supervisor reclaims exactly the *unacknowledged* iterations
+//! of its outstanding leases, re-enqueues them for the surviving workers,
+//! captures the dead worker's stderr tail into [`SlotDiagnostics`], and
+//! respawns the slot — the distributed equivalent of `StdioBackend`'s
+//! respawn-and-replay.
 
 pub mod wire;
 pub mod worker;
 
 use crate::campaign::{CampaignConfig, CampaignReport};
 use crate::dist::wire::{FromWorker, WireError};
+use crate::fabric::{ChannelControl, StdioTransport, Transport};
+use crate::guidance::GuidanceMode;
 use crate::replay::ReplaySink;
 use crate::runner::{CampaignRunner, IterationRecord, ShardReport};
+use spatter_topo::coverage::CoverageSnapshot;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Write};
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -60,24 +71,59 @@ use std::time::{Duration, Instant};
 /// the re-lease window after a crash small.
 const LEASES_IN_FLIGHT: usize = 2;
 
+/// EWMA weight of the newest per-iteration cost observation under
+/// [`LeasePolicy::Adaptive`].
+const EWMA_ALPHA: f64 = 0.3;
+
+/// How lease lengths are chosen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeasePolicy {
+    /// Every lease is [`DistConfig::lease_chunk`] iterations.
+    Fixed,
+    /// Lease length is sized per worker from an EWMA of the wall time the
+    /// supervisor observes between that worker's records: slow workers get
+    /// leases near `min` (small reclaim window, small tail), fast workers
+    /// up to `max` (less protocol chatter). Until a worker has delivered
+    /// two records it is granted `min`. Lease *sizing* is wall-clock
+    /// driven, but which iteration lands where never changes what it
+    /// produces — the merged report stays byte-identical to any other
+    /// policy or fleet shape.
+    Adaptive {
+        /// Smallest lease ever granted (clamped to at least 1).
+        min: usize,
+        /// Largest lease ever granted.
+        max: usize,
+        /// Wall time one lease should take; length ≈ `target / ewma_cost`.
+        target: Duration,
+    },
+}
+
 /// Configuration of the distributed supervisor (everything that is about
 /// *how* to run the campaign across processes; the campaign itself lives in
 /// [`CampaignConfig`]).
 #[derive(Debug, Clone)]
 pub struct DistConfig {
-    /// Path to the `spatter-campaign-worker` binary.
+    /// Path to the `spatter-campaign-worker` binary (used by the default
+    /// stdio transport; ignored when [`DistRunner::with_transport`]
+    /// supplies another transport that does not spawn it).
     pub worker_command: PathBuf,
     /// Number of worker processes (clamped to at least 1).
     pub processes: usize,
     /// Worker threads per process; the total parallelism is
     /// `processes × threads_per_worker`.
     pub threads_per_worker: usize,
-    /// Iterations per lease. Small leases steal better (an
-    /// attribution-heavy chunk is re-leasable in small pieces); large leases
-    /// amortize protocol chatter.
+    /// Iterations per lease under [`LeasePolicy::Fixed`]. Small leases
+    /// steal better (an attribution-heavy chunk is re-leasable in small
+    /// pieces); large leases amortize protocol chatter.
     pub lease_chunk: usize,
+    /// The lease sizing policy.
+    pub lease_policy: LeasePolicy,
     /// Total worker respawns the campaign tolerates before giving up.
     pub max_respawns: usize,
+    /// Extra command-line arguments for specific worker slots, passed to
+    /// the transport's spawner (e.g. `--iteration-delay-ms` to make one
+    /// slot a deliberate straggler in tests).
+    pub worker_slot_args: Vec<(usize, Vec<String>)>,
     /// Test-only fault injection: kill worker process `.0` as soon as it
     /// has delivered `.1` records. The campaign must still complete, and
     /// byte-identically — this is how the crash-recovery tests make a
@@ -87,14 +133,16 @@ pub struct DistConfig {
 
 impl DistConfig {
     /// A supervisor configuration for a worker binary, with 2 processes ×
-    /// 2 threads and small leases.
+    /// 2 threads and small fixed leases.
     pub fn new(worker_command: impl Into<PathBuf>) -> Self {
         DistConfig {
             worker_command: worker_command.into(),
             processes: 2,
             threads_per_worker: 2,
             lease_chunk: 2,
+            lease_policy: LeasePolicy::Fixed,
             max_respawns: 3,
+            worker_slot_args: Vec::new(),
             kill_worker_after_records: None,
         }
     }
@@ -111,9 +159,28 @@ impl DistConfig {
         self
     }
 
-    /// Sets the lease chunk size.
+    /// Sets the fixed lease chunk size (and selects [`LeasePolicy::Fixed`]).
     pub fn with_lease_chunk(mut self, chunk: usize) -> Self {
         self.lease_chunk = chunk.max(1);
+        self.lease_policy = LeasePolicy::Fixed;
+        self
+    }
+
+    /// Selects [`LeasePolicy::Adaptive`] lease sizing.
+    pub fn with_adaptive_leases(mut self, min: usize, max: usize, target: Duration) -> Self {
+        let min = min.max(1);
+        self.lease_policy = LeasePolicy::Adaptive {
+            min,
+            max: max.max(min),
+            target,
+        };
+        self
+    }
+
+    /// Appends extra arguments for one worker slot (see
+    /// [`DistConfig::worker_slot_args`]).
+    pub fn with_worker_slot_args(mut self, slot: usize, args: Vec<String>) -> Self {
+        self.worker_slot_args.push((slot, args));
         self
     }
 
@@ -127,6 +194,35 @@ impl DistConfig {
     pub fn with_kill_worker_after_records(mut self, worker: usize, records: usize) -> Self {
         self.kill_worker_after_records = Some((worker, records));
         self
+    }
+}
+
+/// What the supervisor knows about one dead worker incarnation: its slot,
+/// its generation, and the tail of its captured stderr — the lines that
+/// explain the death, which used to be inherited and lost.
+#[derive(Debug, Clone)]
+pub struct SlotDiagnostics {
+    /// The worker slot index.
+    pub worker: usize,
+    /// The incarnation (0 for the initial spawn, +1 per respawn).
+    pub generation: u64,
+    /// The last captured stderr lines, oldest first. Empty for remote
+    /// peers whose stderr the supervisor cannot observe.
+    pub stderr_tail: Vec<String>,
+}
+
+impl fmt::Display for SlotDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker {} (generation {})", self.worker, self.generation)?;
+        if self.stderr_tail.is_empty() {
+            write!(f, ": no stderr captured")
+        } else {
+            write!(f, " stderr tail:")?;
+            for line in &self.stderr_tail {
+                write!(f, "\n    {line}")?;
+            }
+            Ok(())
+        }
     }
 }
 
@@ -148,11 +244,24 @@ pub enum DistError {
         /// What went wrong.
         message: String,
     },
+    /// A worker could not be brought up (died before, during or right
+    /// after the handshake), with its captured stderr tail.
+    WorkerFailed {
+        /// The worker slot index.
+        worker: usize,
+        /// What went wrong.
+        message: String,
+        /// The worker's captured stderr tail, oldest first.
+        stderr_tail: Vec<String>,
+    },
     /// Workers kept dying and the respawn budget ran out with iterations
     /// still unexecuted.
     RespawnsExhausted {
         /// Iterations that were never acknowledged.
         lost_iterations: usize,
+        /// Per-incarnation diagnostics of every worker death the
+        /// supervisor observed, in death order.
+        diagnostics: Vec<SlotDiagnostics>,
     },
 }
 
@@ -164,10 +273,30 @@ impl fmt::Display for DistError {
             DistError::Protocol { worker, message } => {
                 write!(f, "worker {worker} protocol error: {message}")
             }
-            DistError::RespawnsExhausted { lost_iterations } => write!(
-                f,
-                "worker respawn budget exhausted with {lost_iterations} iterations unexecuted"
-            ),
+            DistError::WorkerFailed {
+                worker,
+                message,
+                stderr_tail,
+            } => {
+                write!(f, "worker {worker} failed to come up: {message}")?;
+                for line in stderr_tail {
+                    write!(f, "\n    stderr: {line}")?;
+                }
+                Ok(())
+            }
+            DistError::RespawnsExhausted {
+                lost_iterations,
+                diagnostics,
+            } => {
+                write!(
+                    f,
+                    "worker respawn budget exhausted with {lost_iterations} iterations unexecuted"
+                )?;
+                for diagnostic in diagnostics {
+                    write!(f, "\n  {diagnostic}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -195,11 +324,20 @@ pub struct DistStats {
     pub respawns: usize,
     /// Leases granted (including re-leases of reclaimed work).
     pub leases_granted: usize,
+    /// Adaptive-lease grants whose length differed from the same slot's
+    /// previous grant — how often [`LeasePolicy::Adaptive`] actually
+    /// resized. Always 0 under [`LeasePolicy::Fixed`].
+    pub leases_resized: usize,
     /// Iteration records received from workers.
     pub records_received: usize,
+    /// Records delivered by each worker slot (across its incarnations).
+    pub records_per_slot: Vec<usize>,
     /// Records for an iteration that was already complete (re-executed
     /// after a partial lease was reclaimed; merged first-wins).
     pub duplicate_records: usize,
+    /// Epoch-barrier guidance broadcasts sent (see
+    /// [`CampaignConfig::guidance_epoch`]).
+    pub guidance_epochs: usize,
     /// Time spent decoding worker record lines.
     pub decode_time: Duration,
     /// Time spent in the final index-ordered merge.
@@ -213,16 +351,29 @@ pub struct DistRunner {
     campaign: CampaignConfig,
     dist: DistConfig,
     replay_sink: Option<Arc<dyn ReplaySink>>,
+    transport: Option<Box<dyn Transport>>,
 }
 
 impl DistRunner {
-    /// Creates a supervisor for a campaign.
+    /// Creates a supervisor for a campaign, reaching workers over the
+    /// default stdio transport (child processes of
+    /// [`DistConfig::worker_command`]).
     pub fn new(campaign: CampaignConfig, dist: DistConfig) -> Self {
         DistRunner {
             campaign,
             dist,
             replay_sink: None,
+            transport: None,
         }
+    }
+
+    /// Replaces the worker transport — e.g. [`crate::fabric::TcpTransport`]
+    /// to drive workers over sockets. The supervisor's event loop, lease
+    /// protocol and merge are transport-agnostic, so the campaign report is
+    /// byte-identical on any transport.
+    pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.transport = Some(transport);
+        self
     }
 
     /// Attaches a replay sink, the multi-process counterpart of
@@ -269,8 +420,7 @@ impl DistRunner {
 
         // The guidance warm-up runs on the supervisor, exactly like the
         // in-process runner's coordinating thread: its records are part of
-        // the campaign, and its frozen snapshot is what every worker
-        // receives.
+        // the campaign, and its snapshot is what every worker receives.
         let mut runner = CampaignRunner::new(self.campaign.clone());
         if let Some(sink) = &self.replay_sink {
             runner = runner.with_replay_sink(Arc::clone(sink));
@@ -292,25 +442,63 @@ impl DistRunner {
             snapshot.as_ref(),
         )?;
 
+        // With guidance epochs the supervisor leases only the current
+        // window: later windows become available when the barrier advances.
+        let epoch = match (
+            self.campaign.guidance,
+            self.campaign.guidance_epoch,
+            &snapshot,
+        ) {
+            (GuidanceMode::ColdProbe, Some(len), Some(snapshot)) if len > 0 => Some(EpochState {
+                len,
+                base: first_iteration,
+                end: self.campaign.iterations.min(first_iteration + len),
+                iterations: self.campaign.iterations,
+                snapshot: snapshot.clone(),
+            }),
+            _ => None,
+        };
+        let queue_end = match &epoch {
+            Some(epoch) => epoch.end,
+            None => self.campaign.iterations,
+        };
+
+        let owned_transport: Box<dyn Transport>;
+        let transport: &dyn Transport = match &self.transport {
+            Some(transport) => transport.as_ref(),
+            None => {
+                let mut stdio = StdioTransport::new(&self.dist.worker_command);
+                for (slot, args) in &self.dist.worker_slot_args {
+                    stdio = stdio.with_slot_args(*slot, args.clone());
+                }
+                owned_transport = Box::new(stdio);
+                owned_transport.as_ref()
+            }
+        };
+
         let mut stats = DistStats::default();
         let mut completed: BTreeMap<usize, IterationRecord> = BTreeMap::new();
 
         if first_iteration < self.campaign.iterations {
+            let mut pending = VecDeque::new();
+            if first_iteration < queue_end {
+                pending.push_back((first_iteration, queue_end - first_iteration));
+            }
             let mut supervisor = Supervisor {
                 dist: &self.dist,
+                transport,
                 config_line,
                 slots: Vec::new(),
-                pending: chunk_ranges(
-                    first_iteration,
-                    self.campaign.iterations,
-                    self.dist.lease_chunk.max(1),
-                ),
+                pending,
                 completed: &mut completed,
                 next_lease: 0,
                 stats: &mut stats,
                 kill_armed: self.dist.kill_worker_after_records,
                 deadline: self.campaign.time_budget.map(|budget| start + budget),
                 replay_sink: self.replay_sink.as_deref(),
+                epoch,
+                epoch_line: None,
+                diagnostics: Vec::new(),
             };
             supervisor.run()?;
         }
@@ -324,16 +512,16 @@ impl DistRunner {
     }
 }
 
-/// Splits `[first, end)` into `(start, len)` chunks.
-fn chunk_ranges(first: usize, end: usize, chunk: usize) -> VecDeque<(usize, usize)> {
-    let mut ranges = VecDeque::new();
-    let mut start = first;
-    while start < end {
-        let len = chunk.min(end - start);
-        ranges.push_back((start, len));
-        start += len;
+/// Cuts the next lease of at most `len` iterations off the front of the
+/// pending queue, leaving the remainder of a partially consumed range at
+/// the front.
+fn take_lease(pending: &mut VecDeque<(usize, usize)>, len: usize) -> Option<(usize, usize)> {
+    let (start, available) = pending.pop_front()?;
+    let take = len.max(1).min(available);
+    if take < available {
+        pending.push_front((start + take, available - take));
     }
-    ranges
+    Some((start, take))
 }
 
 /// One granted, not-yet-finished lease.
@@ -346,9 +534,10 @@ struct LeaseInfo {
 
 /// What a worker's reader thread forwards to the supervisor loop.
 enum WorkerEvent {
-    /// One stdout line.
+    /// One protocol line from the worker.
     Line(String),
-    /// The worker's stdout closed (process death or clean exit).
+    /// The worker's stream closed (process death, socket shutdown, or
+    /// clean exit).
     Closed,
 }
 
@@ -356,19 +545,39 @@ enum WorkerEvent {
 /// bump `generation` so events from a dead incarnation's reader thread are
 /// recognizably stale.
 struct WorkerSlot {
-    child: Child,
-    stdin: ChildStdin,
+    writer: Box<dyn Write + Send>,
+    control: Box<dyn ChannelControl>,
     generation: u64,
     outstanding: Vec<LeaseInfo>,
     records_delivered: usize,
     alive: bool,
     exiting: bool,
+    /// EWMA of the wall time between this worker's records, the cost
+    /// signal of [`LeasePolicy::Adaptive`].
+    ewma_cost: Option<f64>,
+    last_record_at: Option<Instant>,
+    /// The length of this slot's previous lease grant, for the
+    /// `leases_resized` stat.
+    last_lease_len: Option<usize>,
+}
+
+/// The epoch-barrier state of a guided campaign with
+/// [`CampaignConfig::guidance_epoch`] set: the current window
+/// `[base, end)` and the cumulative coverage snapshot of everything
+/// before it.
+struct EpochState {
+    len: usize,
+    base: usize,
+    end: usize,
+    iterations: usize,
+    snapshot: CoverageSnapshot,
 }
 
 /// The supervisor's event loop state (borrowed from
 /// [`DistRunner::run_with_stats`] so the stats and record map outlive it).
 struct Supervisor<'a> {
     dist: &'a DistConfig,
+    transport: &'a dyn Transport,
     config_line: String,
     slots: Vec<WorkerSlot>,
     pending: VecDeque<(usize, usize)>,
@@ -385,18 +594,28 @@ struct Supervisor<'a> {
     /// the record merge). The supervisor never recomputes a frame: what the
     /// executing worker hashed is what the artifact records.
     replay_sink: Option<&'a dyn ReplaySink>,
+    /// The guidance epoch barrier, when the campaign runs in epochs.
+    epoch: Option<EpochState>,
+    /// The latest epoch broadcast line, replayed to respawned workers right
+    /// after their handshake so a fresh incarnation never runs a
+    /// current-window iteration under the stale warm-up snapshot.
+    epoch_line: Option<String>,
+    /// Diagnostics of every worker death observed, in death order.
+    diagnostics: Vec<SlotDiagnostics>,
 }
 
 impl Supervisor<'_> {
     fn run(&mut self) -> Result<(), DistError> {
         let (events_tx, events_rx) = mpsc::channel::<(usize, u64, WorkerEvent)>();
 
-        // Initial fleet: never more processes than leases. A slot whose
-        // worker keeps dying before configuration consumes respawn budget
-        // instead of aborting the campaign, and a partially-spawned fleet
-        // still drains the whole queue — the hard failure is only when not
-        // a single worker comes up.
-        let fleet = self.dist.processes.max(1).min(self.pending.len().max(1));
+        // Initial fleet: never more processes than pending iterations. A
+        // slot whose worker keeps dying before configuration consumes
+        // respawn budget instead of aborting the campaign, and a
+        // partially-spawned fleet still drains the whole queue — the hard
+        // failure is only when not a single worker comes up.
+        let queued: usize = self.pending.iter().map(|(_, len)| len).sum();
+        let fleet = self.dist.processes.max(1).min(queued.max(1));
+        self.stats.records_per_slot = vec![0; fleet];
         for index in 0..fleet {
             match self.spawn_recovering(index, 0, &events_tx) {
                 Ok(slot) => self.slots.push(slot),
@@ -430,15 +649,27 @@ impl Supervisor<'_> {
                     self.stats.decode_time += decode_start.elapsed();
                     match message {
                         Ok(FromWorker::Record { record, .. }) => {
+                            let now = Instant::now();
                             self.stats.records_received += 1;
+                            self.stats.records_per_slot[index] += 1;
                             let slot = &mut self.slots[index];
                             slot.records_delivered += 1;
                             let delivered = slot.records_delivered;
+                            if let Some(previous) = slot.last_record_at.replace(now) {
+                                let cost = now.duration_since(previous).as_secs_f64();
+                                slot.ewma_cost = Some(match slot.ewma_cost {
+                                    Some(ewma) => (1.0 - EWMA_ALPHA) * ewma + EWMA_ALPHA * cost,
+                                    None => cost,
+                                });
+                            }
                             let frame = record.replay;
                             if self.completed.insert(record.iteration, record).is_some() {
                                 self.stats.duplicate_records += 1;
-                            } else if let Some(sink) = self.replay_sink {
-                                sink.record_frame(&frame);
+                            } else {
+                                if let Some(sink) = self.replay_sink {
+                                    sink.record_frame(&frame);
+                                }
+                                self.maybe_advance_epoch(&events_tx)?;
                             }
                             if let Some((victim, after)) = self.kill_armed {
                                 if victim == index && delivered >= after {
@@ -446,7 +677,7 @@ impl Supervisor<'_> {
                                     // kill; the reader thread will report
                                     // the death like any real crash.
                                     self.kill_armed = None;
-                                    let _ = self.slots[index].child.kill();
+                                    self.slots[index].control.kill();
                                 }
                             }
                         }
@@ -473,63 +704,118 @@ impl Supervisor<'_> {
         // irrelevant because all work is already merged.
         for slot in &mut self.slots {
             if slot.alive {
-                let _ = writeln!(slot.stdin, "{}", wire::encode_exit_message());
-                let _ = slot.stdin.flush();
+                let _ = writeln!(slot.writer, "{}", wire::encode_exit_message());
+                let _ = slot.writer.flush();
             }
-            let _ = slot.child.wait();
+            let _ = slot.control.reap();
         }
         Ok(())
     }
 
-    /// All leases finished and nothing pending.
+    /// All leases finished and nothing pending. (An epoch barrier cannot be
+    /// waiting here: the barrier advances the moment the last record of a
+    /// window arrives, pushing the next window into `pending` before
+    /// `finished` is next consulted.)
     fn finished(&self) -> bool {
         self.pending.is_empty() && self.slots.iter().all(|s| s.outstanding.is_empty())
     }
 
-    /// Spawns (or respawns) a worker process and performs the synchronous
-    /// handshake + configuration exchange before handing its stdout to a
-    /// reader thread.
+    /// Whether the epoch barrier will still release further windows.
+    fn more_epochs_coming(&self) -> bool {
+        self.epoch.as_ref().is_some_and(|e| e.end < e.iterations)
+    }
+
+    /// Advances the epoch barrier while complete windows allow: absorbs the
+    /// finished window's probe deltas in iteration-index order, broadcasts
+    /// the refreshed cumulative snapshot to the fleet, and only then
+    /// releases the next window for leasing — stdin ordering guarantees
+    /// every worker swaps its guidance before its first new-window lease.
+    fn maybe_advance_epoch(
+        &mut self,
+        events_tx: &mpsc::Sender<(usize, u64, WorkerEvent)>,
+    ) -> Result<(), DistError> {
+        loop {
+            let (line, window) = {
+                let Some(epoch) = &mut self.epoch else {
+                    return Ok(());
+                };
+                if epoch.end >= epoch.iterations {
+                    return Ok(()); // final window: no barrier after it
+                }
+                if !(epoch.base..epoch.end).all(|i| self.completed.contains_key(&i)) {
+                    return Ok(()); // window still executing
+                }
+                for iteration in epoch.base..epoch.end {
+                    let record = &self.completed[&iteration];
+                    epoch.snapshot.absorb(&record.probe_delta);
+                }
+                epoch.base = epoch.end;
+                epoch.end = epoch.iterations.min(epoch.base + epoch.len);
+                (
+                    wire::encode_epoch_message(&epoch.snapshot),
+                    (epoch.base, epoch.end - epoch.base),
+                )
+            };
+            self.stats.guidance_epochs += 1;
+            self.epoch_line = Some(line.clone());
+            let mut dead = Vec::new();
+            for (index, slot) in self.slots.iter_mut().enumerate() {
+                if !slot.alive || slot.exiting {
+                    continue;
+                }
+                let sent = writeln!(slot.writer, "{line}").and_then(|()| slot.writer.flush());
+                if sent.is_err() {
+                    dead.push(index);
+                }
+            }
+            for index in dead {
+                self.handle_death(index, events_tx)?;
+            }
+            self.pending.push_back(window);
+            self.dispatch(events_tx)?;
+        }
+    }
+
+    /// Connects (or reconnects) a worker through the transport and performs
+    /// the synchronous handshake + configuration exchange before handing
+    /// its read half to a reader thread.
     fn spawn_worker(
         &mut self,
         index: usize,
         generation: u64,
         events_tx: &mpsc::Sender<(usize, u64, WorkerEvent)>,
     ) -> Result<WorkerSlot, DistError> {
-        let mut child = Command::new(&self.dist.worker_command)
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()?;
+        let channel = self.transport.connect(index)?;
         self.stats.spawns += 1;
-
-        // A worker can die between spawn and pipe takeover; missing pipes
-        // are a recoverable protocol error routed through the respawn path,
-        // never a supervisor panic.
-        let Some(mut stdin) = child.stdin.take() else {
-            let _ = child.kill();
-            let _ = child.wait();
-            return Err(DistError::Protocol {
-                worker: index,
-                message: "worker spawned without a piped stdin".to_string(),
-            });
-        };
-        let Some(stdout) = child.stdout.take() else {
-            let _ = child.kill();
-            let _ = child.wait();
-            return Err(DistError::Protocol {
-                worker: index,
-                message: "worker spawned without a piped stdout".to_string(),
-            });
-        };
-        let mut reader = BufReader::new(stdout);
+        let crate::fabric::WorkerChannel {
+            mut writer,
+            mut reader,
+            mut control,
+        } = channel;
 
         // A worker dying mid-handshake must be reaped here: the caller only
         // ever sees the error, so an unreaped child would leak as a zombie
-        // across every retry.
-        if let Err(error) = Self::handshake(&mut stdin, &mut reader, &self.config_line, index) {
-            let _ = child.kill();
-            let _ = child.wait();
-            return Err(error);
+        // across every retry — and its stderr tail is the diagnosis.
+        let setup =
+            Self::handshake(&mut writer, &mut reader, &self.config_line, index).and_then(|()| {
+                control.handshake_complete();
+                // A fresh incarnation joining mid-campaign must catch up to
+                // the current epoch before its first lease: the config line
+                // only carries the warm-up snapshot.
+                if let Some(epoch_line) = &self.epoch_line {
+                    writeln!(writer, "{epoch_line}")?;
+                    writer.flush()?;
+                }
+                Ok(())
+            });
+        if let Err(error) = setup {
+            control.kill();
+            let stderr_tail = control.reap();
+            return Err(DistError::WorkerFailed {
+                worker: index,
+                message: error.to_string(),
+                stderr_tail,
+            });
         }
 
         let tx = events_tx.clone();
@@ -551,29 +837,32 @@ impl Supervisor<'_> {
         });
 
         Ok(WorkerSlot {
-            child,
-            stdin,
+            writer,
+            control,
             generation,
             outstanding: Vec::new(),
             records_delivered: 0,
             alive: true,
             exiting: false,
+            ewma_cost: None,
+            last_record_at: None,
+            last_lease_len: None,
         })
     }
 
     /// The synchronous spawn-time exchange: worker hello, configuration,
     /// configured acknowledgement. Split out of [`Supervisor::spawn_worker`]
-    /// so every failure funnels through one child-reaping error path.
+    /// so every failure funnels through one reaping error path.
     fn handshake(
-        stdin: &mut ChildStdin,
-        reader: &mut impl BufRead,
+        writer: &mut (impl Write + ?Sized),
+        reader: &mut (impl BufRead + ?Sized),
         config_line: &str,
         index: usize,
     ) -> Result<(), DistError> {
         let handshake = read_worker_line(reader, index)?;
         wire::decode_handshake(&handshake)?;
-        writeln!(stdin, "{config_line}")?;
-        stdin.flush()?;
+        writeln!(writer, "{config_line}")?;
+        writer.flush()?;
         let reply = read_worker_line(reader, index)?;
         match wire::decode_from_worker(&reply) {
             Ok(FromWorker::Configured) => Ok(()),
@@ -586,7 +875,7 @@ impl Supervisor<'_> {
 
     /// [`Supervisor::spawn_worker`] with the same recovery policy a
     /// mid-campaign death gets: each failed spawn attempt (died before the
-    /// pipes were taken, died mid-handshake, unparsable hello) consumes one
+    /// channel came up, died mid-handshake, unparsable hello) consumes one
     /// respawn from the budget and is retried, so a transiently flaky
     /// worker binary delays the campaign instead of aborting it.
     fn spawn_recovering(
@@ -600,12 +889,38 @@ impl Supervisor<'_> {
             match self.spawn_worker(index, generation, events_tx) {
                 Ok(slot) => return Ok(slot),
                 Err(error) => {
+                    if let DistError::WorkerFailed { stderr_tail, .. } = &error {
+                        self.diagnostics.push(SlotDiagnostics {
+                            worker: index,
+                            generation,
+                            stderr_tail: stderr_tail.clone(),
+                        });
+                    }
                     if self.stats.respawns >= self.dist.max_respawns {
                         return Err(error);
                     }
                     self.stats.respawns += 1;
                     generation += 1;
                     eprintln!("spatter-dist: worker {index} failed to start, retrying: {error}");
+                }
+            }
+        }
+    }
+
+    /// The lease length a grant to `index` should have under the policy.
+    fn lease_len_for(&self, index: usize) -> usize {
+        match &self.dist.lease_policy {
+            LeasePolicy::Fixed => self.dist.lease_chunk.max(1),
+            LeasePolicy::Adaptive { min, max, target } => {
+                let min = (*min).max(1);
+                let max = (*max).max(min);
+                match self.slots[index].ewma_cost {
+                    None => min,
+                    Some(cost) if cost <= f64::EPSILON => max,
+                    Some(cost) => {
+                        let ideal = (target.as_secs_f64() / cost) as usize;
+                        ideal.clamp(min, max)
+                    }
                 }
             }
         }
@@ -636,14 +951,25 @@ impl Supervisor<'_> {
             else {
                 return Ok(());
             };
-            let (start, len) = self.pending.pop_front().expect("checked non-empty");
+            let lease_len = self.lease_len_for(index);
+            let (start, len) = take_lease(&mut self.pending, lease_len).expect("checked non-empty");
             let id = self.next_lease;
             self.next_lease += 1;
             self.stats.leases_granted += 1;
+            // A grant whose adaptive length differs from the slot's previous
+            // grant is a resize (queue-tail truncation is not).
+            if matches!(self.dist.lease_policy, LeasePolicy::Adaptive { .. })
+                && self.slots[index]
+                    .last_lease_len
+                    .is_some_and(|previous| previous != lease_len)
+            {
+                self.stats.leases_resized += 1;
+            }
+            self.slots[index].last_lease_len = Some(lease_len);
             let line = wire::encode_lease_message(id, start, len);
             let slot = &mut self.slots[index];
             slot.outstanding.push(LeaseInfo { id, start, len });
-            let sent = writeln!(slot.stdin, "{line}").and_then(|()| slot.stdin.flush());
+            let sent = writeln!(slot.writer, "{line}").and_then(|()| slot.writer.flush());
             if sent.is_err() {
                 // The worker died under us; the lease we just granted is in
                 // its outstanding list and will be reclaimed with the rest.
@@ -655,11 +981,14 @@ impl Supervisor<'_> {
     /// Sends `exit` to a worker that can receive no further leases, so idle
     /// processes drain instead of lingering until the end of the campaign.
     fn maybe_retire(&mut self, index: usize) {
+        if self.more_epochs_coming() {
+            return; // the barrier will release more work for this slot
+        }
         let slot = &mut self.slots[index];
         if self.pending.is_empty() && slot.alive && !slot.exiting && slot.outstanding.is_empty() {
             slot.exiting = true;
-            let _ = writeln!(slot.stdin, "{}", wire::encode_exit_message());
-            let _ = slot.stdin.flush();
+            let _ = writeln!(slot.writer, "{}", wire::encode_exit_message());
+            let _ = slot.writer.flush();
         }
     }
 
@@ -676,12 +1005,13 @@ impl Supervisor<'_> {
             return Ok(());
         }
         eprintln!("spatter-dist: worker {index} failed: {message}");
-        let _ = slot.child.kill();
+        slot.control.kill();
         self.handle_death(index, events_tx)
     }
 
-    /// Reclaims a dead worker's unacknowledged iterations and respawns the
-    /// slot while the respawn budget lasts.
+    /// Reclaims a dead worker's unacknowledged iterations, captures its
+    /// stderr tail into the diagnostics, and respawns the slot while the
+    /// respawn budget lasts.
     fn handle_death(
         &mut self,
         index: usize,
@@ -692,8 +1022,19 @@ impl Supervisor<'_> {
             return Ok(());
         }
         slot.alive = false;
-        let _ = slot.child.kill();
-        let _ = slot.child.wait();
+        slot.control.kill();
+        let stderr_tail = slot.control.reap();
+        if !stderr_tail.is_empty() {
+            eprintln!(
+                "spatter-dist: worker {index} died; stderr tail:\n    {}",
+                stderr_tail.join("\n    ")
+            );
+        }
+        self.diagnostics.push(SlotDiagnostics {
+            worker: index,
+            generation: slot.generation,
+            stderr_tail,
+        });
         let was_exiting = slot.exiting;
         let outstanding = std::mem::take(&mut slot.outstanding);
 
@@ -745,13 +1086,17 @@ impl Supervisor<'_> {
         }
         Err(DistError::RespawnsExhausted {
             lost_iterations: self.pending.iter().map(|(_, len)| len).sum(),
+            diagnostics: std::mem::take(&mut self.diagnostics),
         })
     }
 }
 
-/// Reads one line from a worker's stdout during the synchronous spawn
+/// Reads one line from a worker's stream during the synchronous spawn
 /// handshake.
-fn read_worker_line(reader: &mut impl BufRead, worker: usize) -> Result<String, DistError> {
+fn read_worker_line(
+    reader: &mut (impl BufRead + ?Sized),
+    worker: usize,
+) -> Result<String, DistError> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Err(DistError::Protocol {
@@ -770,22 +1115,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn chunk_ranges_cover_exactly_the_span() {
-        assert_eq!(chunk_ranges(2, 2, 4), VecDeque::from([]));
-        assert_eq!(
-            chunk_ranges(0, 5, 2),
-            VecDeque::from([(0, 2), (2, 2), (4, 1)])
-        );
-        assert_eq!(chunk_ranges(3, 9, 3), VecDeque::from([(3, 3), (6, 3)]));
-        let chunks = chunk_ranges(1, 100, 7);
-        let total: usize = chunks.iter().map(|(_, len)| len).sum();
-        assert_eq!(total, 99);
-        let mut next = 1;
-        for (start, len) in chunks {
-            assert_eq!(start, next);
-            next += len;
-        }
-        assert_eq!(next, 100);
+    fn take_lease_cuts_ranges_at_grant_time() {
+        let mut pending = VecDeque::from([(0, 5), (10, 2)]);
+        assert_eq!(take_lease(&mut pending, 2), Some((0, 2)));
+        assert_eq!(take_lease(&mut pending, 2), Some((2, 2)));
+        assert_eq!(take_lease(&mut pending, 2), Some((4, 1)));
+        assert_eq!(take_lease(&mut pending, 100), Some((10, 2)));
+        assert_eq!(take_lease(&mut pending, 2), None);
+        // A zero-length request still grants one iteration: leases always
+        // make progress.
+        let mut pending = VecDeque::from([(7, 3)]);
+        assert_eq!(take_lease(&mut pending, 0), Some((7, 1)));
+        assert_eq!(pending, VecDeque::from([(8, 2)]));
     }
 
     #[test]
@@ -799,7 +1140,19 @@ mod tests {
         assert_eq!(config.processes, 1);
         assert_eq!(config.threads_per_worker, 1);
         assert_eq!(config.lease_chunk, 1);
+        assert_eq!(config.lease_policy, LeasePolicy::Fixed);
         assert_eq!(config.max_respawns, 7);
         assert_eq!(config.kill_worker_after_records, Some((1, 3)));
+
+        let adaptive =
+            DistConfig::new("/bin/worker").with_adaptive_leases(0, 0, Duration::from_millis(250));
+        assert_eq!(
+            adaptive.lease_policy,
+            LeasePolicy::Adaptive {
+                min: 1,
+                max: 1,
+                target: Duration::from_millis(250)
+            }
+        );
     }
 }

@@ -46,7 +46,9 @@ use std::time::Duration;
 /// The wire protocol version. Bumped whenever any message layout changes;
 /// supervisor and worker must agree exactly. Version 2 added the replay
 /// frame (four per-iteration state hashes) to every record message.
-pub const WIRE_VERSION: u32 = 2;
+/// Version 3 added the epoch-barrier guidance exchange: the campaign's
+/// `guidance_epoch` field and the supervisor's `epoch <snapshot>` broadcast.
+pub const WIRE_VERSION: u32 = 3;
 
 /// Why a wire message could not be decoded (or a value not encoded).
 /// Structured, so callers can distinguish a harness misconfiguration
@@ -479,6 +481,13 @@ fn write_campaign(writer: &mut TokenWriter, config: &CampaignConfig) -> Result<(
         GuidanceMode::Off => "off",
         GuidanceMode::ColdProbe => "cold-probe",
     });
+    match config.guidance_epoch {
+        None => writer.push_raw("no-epoch"),
+        Some(epoch) => {
+            writer.push_raw("epoch");
+            writer.push_usize(epoch);
+        }
+    }
     writer.push_usize(config.oracles.len());
     for oracle in &config.oracles {
         write_oracle(writer, oracle);
@@ -539,6 +548,16 @@ fn read_campaign(reader: &mut TokenReader) -> Result<CampaignConfig, WireError> 
             })
         }
     };
+    let guidance_epoch = match reader.next()? {
+        "no-epoch" => None,
+        "epoch" => Some(reader.next_usize("guidance epoch length")?),
+        other => {
+            return Err(WireError::Malformed {
+                expected: "guidance epoch marker",
+                got: other.to_string(),
+            })
+        }
+    };
     let n_oracles = reader.next_usize("oracle count")?;
     let mut oracles = Vec::with_capacity(n_oracles.min(64));
     for _ in 0..n_oracles {
@@ -566,6 +585,7 @@ fn read_campaign(reader: &mut TokenReader) -> Result<CampaignConfig, WireError> 
         time_budget,
         attribute_findings,
         guidance,
+        guidance_epoch,
         oracles,
         seed,
     })
@@ -833,6 +853,15 @@ pub enum ToWorker {
         /// Number of iterations.
         len: usize,
     },
+    /// An epoch-barrier guidance refresh: the cumulative coverage snapshot
+    /// of every iteration before the new epoch window, merged in index
+    /// order. The worker swaps its [`crate::guidance::Guidance`] before
+    /// executing any later lease — stdin ordering guarantees the swap
+    /// happens before any new-window iteration.
+    Epoch {
+        /// The refreshed cumulative snapshot.
+        snapshot: CoverageSnapshot,
+    },
     /// Clean shutdown.
     Exit,
 }
@@ -864,6 +893,14 @@ pub fn encode_lease_message(id: u64, start: usize, len: usize) -> String {
     writer.push_u64(id);
     writer.push_usize(start);
     writer.push_usize(len);
+    writer.finish()
+}
+
+/// Encodes an epoch-barrier guidance refresh.
+pub fn encode_epoch_message(snapshot: &CoverageSnapshot) -> String {
+    let mut writer = TokenWriter::new();
+    writer.push_raw("epoch");
+    write_snapshot(&mut writer, snapshot);
     writer.finish()
 }
 
@@ -899,6 +936,9 @@ pub fn decode_to_worker(line: &str) -> Result<ToWorker, WireError> {
             id: reader.next_u64("lease id")?,
             start: reader.next_usize("lease start")?,
             len: reader.next_usize("lease length")?,
+        },
+        "epoch" => ToWorker::Epoch {
+            snapshot: read_snapshot(&mut reader)?,
         },
         "exit" => ToWorker::Exit,
         other => {
@@ -1117,6 +1157,11 @@ mod tests {
                 GuidanceMode::ColdProbe
             } else {
                 GuidanceMode::Off
+            },
+            guidance_epoch: if rng.random_bool(0.3) {
+                Some(rng.random_range(1..64usize))
+            } else {
+                None
             },
             oracles,
             seed: rng.next_u64(),
@@ -1429,7 +1474,7 @@ mod tests {
                 snapshot: decoded,
             } => {
                 assert_eq!(threads, 3);
-                assert_eq!(decoded, Some(snapshot));
+                assert_eq!(decoded, Some(snapshot.clone()));
                 assert_eq!(campaign.oracles, config.oracles);
             }
             other => panic!("expected config, got {other:?}"),
@@ -1438,6 +1483,10 @@ mod tests {
         match decode_to_worker(&encode_lease_message(9, 100, 4)).expect("decode") {
             ToWorker::Lease { id, start, len } => assert_eq!((id, start, len), (9, 100, 4)),
             other => panic!("expected lease, got {other:?}"),
+        }
+        match decode_to_worker(&encode_epoch_message(&snapshot)).expect("decode") {
+            ToWorker::Epoch { snapshot: decoded } => assert_eq!(decoded, snapshot),
+            other => panic!("expected epoch, got {other:?}"),
         }
         assert!(matches!(
             decode_to_worker(&encode_exit_message()),

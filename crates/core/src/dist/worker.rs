@@ -26,7 +26,7 @@ use std::fmt;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Why a worker's serve loop stopped abnormally.
 #[derive(Debug)]
@@ -75,13 +75,36 @@ struct WorkerState {
     /// arrives. Only wall-clock fields (excluded from the determinism
     /// fingerprint) observe it.
     start: Instant,
+    /// Test-only straggler injection (see [`ServeOptions`]).
+    iteration_delay: Option<Duration>,
+}
+
+/// Serve-loop knobs that are about the *worker process*, not the campaign
+/// (which arrives over the wire).
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Sleep this long before every iteration — the deliberate-straggler
+    /// switch behind `spatter-campaign-worker --iteration-delay-ms`, used
+    /// by the elastic-lease tests and benches. Wall-clock only: the
+    /// iteration's *outputs* are untouched, so a straggling fleet still
+    /// merges byte-identically.
+    pub iteration_delay: Option<Duration>,
 }
 
 /// Runs the worker serve loop until the supervisor sends `exit` or closes
 /// the stream. Clean EOF is a normal shutdown (the supervisor went away);
 /// malformed input is an error so a version- or build-skewed pairing fails
 /// loudly instead of corrupting a campaign.
-pub fn serve(input: impl BufRead, mut output: impl Write + Send) -> Result<(), WorkerError> {
+pub fn serve(input: impl BufRead, output: impl Write + Send) -> Result<(), WorkerError> {
+    serve_with_options(input, output, ServeOptions::default())
+}
+
+/// [`serve`] with explicit [`ServeOptions`].
+pub fn serve_with_options(
+    input: impl BufRead,
+    mut output: impl Write + Send,
+    options: ServeOptions,
+) -> Result<(), WorkerError> {
     writeln!(output, "{}", wire::encode_handshake())?;
     output.flush()?;
 
@@ -107,6 +130,7 @@ pub fn serve(input: impl BufRead, mut output: impl Write + Send) -> Result<(), W
                     guidance: snapshot.as_ref().map(Guidance::from_snapshot),
                     threads: threads.max(1),
                     start: Instant::now(),
+                    iteration_delay: options.iteration_delay,
                 });
                 writeln!(output, "{}", wire::encode_configured_message())?;
                 output.flush()?;
@@ -116,6 +140,19 @@ pub fn serve(input: impl BufRead, mut output: impl Write + Send) -> Result<(), W
                     WorkerError::Protocol("received a lease before the configuration".to_string())
                 })?;
                 run_lease(state, id, start, len, &mut output)?;
+            }
+            ToWorker::Epoch { snapshot } => {
+                // The epoch-barrier guidance refresh. Stdin ordering puts
+                // this line before any lease of the new window, so every
+                // later iteration is generated under the refreshed
+                // cumulative snapshot — the same pure function of the seed
+                // the in-process epoch loop computes.
+                let state = state.as_mut().ok_or_else(|| {
+                    WorkerError::Protocol(
+                        "received an epoch refresh before the configuration".to_string(),
+                    )
+                })?;
+                state.guidance = Some(Guidance::from_snapshot(&snapshot));
             }
             ToWorker::Exit => return Ok(()),
         }
@@ -151,6 +188,9 @@ fn run_lease(
         let iteration = next.fetch_add(1, Ordering::Relaxed);
         if iteration >= end {
             break;
+        }
+        if let Some(delay) = state.iteration_delay {
+            std::thread::sleep(delay);
         }
         let record = state
             .runner

@@ -53,6 +53,7 @@
 pub mod backend;
 pub mod campaign;
 pub mod dist;
+pub mod fabric;
 pub mod generator;
 pub mod guidance;
 pub mod oracles;
@@ -69,7 +70,8 @@ pub use backend::{
     BackendError, BackendSpec, EngineBackend, EngineSession, InProcessBackend, StdioBackend,
 };
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, Finding, FindingKind};
-pub use dist::{DistConfig, DistError, DistRunner, DistStats};
+pub use dist::{DistConfig, DistError, DistRunner, DistStats, LeasePolicy};
+pub use fabric::{ChannelControl, StdioTransport, TcpTransport, Transport, WorkerChannel};
 pub use generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
 pub use guidance::{EditBias, Guidance, GuidanceMode, ScenarioKnobs, TemplateWeights};
 pub use oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle};
@@ -77,6 +79,6 @@ pub use queries::{QueryInstance, QueryTemplate, RangeFunction};
 pub use replay::{
     Divergence, DivergenceLayer, ReplayError, ReplayFrame, ReplayLog, ReplayRecorder, ReplaySink,
 };
-pub use runner::{CampaignRunner, OracleKind, ShardReport};
+pub use runner::{CampaignRunner, OracleKind, ScenarioParts, ShardReport};
 pub use spec::{DatabaseSpec, TableSpec};
 pub use transform::{AffineStrategy, TransformPlan};

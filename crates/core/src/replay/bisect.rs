@@ -224,13 +224,22 @@ pub fn bisect_against_live(
 
 /// A live re-execution harness over [`CampaignRunner`]: rebuilds the
 /// campaign (including the guidance warm-up, so guided iterations replay
-/// under the identical frozen snapshot) and exposes single iterations.
+/// under the identical snapshot) and exposes single iterations.
+///
+/// With [`CampaignConfig::guidance_epoch`] set, construction additionally
+/// replays the whole campaign once, sequentially, to reconstruct the
+/// cumulative snapshot each epoch window ran under — random access to
+/// iteration N needs the coverage of every window before N's.
 ///
 /// Intended for iteration-bounded configs; a `time_budget` could truncate
 /// the warm-up and is erased here for that reason.
 pub struct ReplayExecutor {
     runner: CampaignRunner,
     guidance: Option<Guidance>,
+    /// Per-window guidances of an epoch campaign, in window order.
+    epoch_guidances: Vec<Guidance>,
+    /// Window length of an epoch campaign (0 when epochs are off).
+    epoch_len: usize,
     /// Iterations below this index ran unguided (the warm-up prefix).
     warmup_len: usize,
     start: Instant,
@@ -239,7 +248,8 @@ pub struct ReplayExecutor {
 impl ReplayExecutor {
     /// Builds the executor, running the guidance warm-up once when the
     /// config is guided (its frames are pure functions of the config, like
-    /// every other iteration's).
+    /// every other iteration's) — and, for an epoch campaign, one full
+    /// sequential pass to rebuild every window's cumulative snapshot.
     pub fn new(config: CampaignConfig) -> Self {
         let config = CampaignConfig {
             time_budget: None,
@@ -248,27 +258,76 @@ impl ReplayExecutor {
         let runner = CampaignRunner::new(config);
         let start = Instant::now();
         let (warmup, snapshot) = runner.warmup_phase(start);
+        let warmup_len = warmup.records.len();
+
+        let mut epoch_guidances = Vec::new();
+        let mut epoch_len = 0;
+        match (&snapshot, runner.config().guidance_epoch) {
+            (Some(snapshot), Some(len)) if len > 0 => {
+                epoch_len = len;
+                let mut cumulative = snapshot.clone();
+                let iterations = runner.config().iterations;
+                let mut base = warmup_len;
+                while base < iterations {
+                    let end = iterations.min(base + len);
+                    let guidance = Guidance::from_snapshot(&cumulative);
+                    for iteration in base..end {
+                        let record = runner.run_iteration(iteration, start, Some(&guidance));
+                        cumulative.absorb(&record.probe_delta);
+                    }
+                    epoch_guidances.push(guidance);
+                    base = end;
+                }
+            }
+            _ => {}
+        }
+
         ReplayExecutor {
             guidance: snapshot.as_ref().map(Guidance::from_snapshot),
-            warmup_len: warmup.records.len(),
+            epoch_guidances,
+            epoch_len,
+            warmup_len,
             runner,
             start,
         }
     }
 
+    /// The guidance iteration `iteration` executes under.
+    fn guidance_for(&self, iteration: usize) -> Option<&Guidance> {
+        if iteration < self.warmup_len {
+            return None;
+        }
+        // epoch_len == 0 means epochs are off: fall back to the frozen
+        // warm-up snapshot (checked_div is None exactly then).
+        match (iteration - self.warmup_len).checked_div(self.epoch_len) {
+            Some(window) => self.epoch_guidances.get(window),
+            None => self.guidance.as_ref(),
+        }
+    }
+
     /// Re-executes one iteration end to end, returning its full record.
     pub fn execute(&self, iteration: usize) -> IterationRecord {
-        let guidance = if iteration < self.warmup_len {
-            None
-        } else {
-            self.guidance.as_ref()
-        };
-        self.runner.run_iteration(iteration, self.start, guidance)
+        self.runner
+            .run_iteration(iteration, self.start, self.guidance_for(iteration))
     }
 
     /// Re-executes one iteration and returns just its replay frame.
     pub fn frame(&self, iteration: usize) -> ReplayFrame {
         self.execute(iteration).replay
+    }
+
+    /// Rebuilds one iteration's generated inputs — database, queries,
+    /// transformation plan, knobs — without executing any engine, under the
+    /// exact guidance the campaign gave that iteration. The entry point of
+    /// guided reduction (`spatter-replay reduce`).
+    pub fn scenario(&self, iteration: usize) -> crate::runner::ScenarioParts {
+        self.runner
+            .build_scenario(iteration, self.guidance_for(iteration))
+    }
+
+    /// The campaign configuration the executor replays under.
+    pub fn config(&self) -> &CampaignConfig {
+        self.runner.config()
     }
 }
 

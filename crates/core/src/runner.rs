@@ -32,6 +32,13 @@
 //! guided findings byte-identical at any worker count: the snapshot is fixed
 //! before the workers start, and everything after it is a pure function of
 //! `(snapshot, config.seed, iteration)`.
+//!
+//! With [`CampaignConfig::guidance_epoch`] the snapshot is additionally
+//! *refreshed* every E iterations behind a barrier: each window's records
+//! are absorbed in iteration-index order before the next window starts, so
+//! the guidance of every iteration is still a pure function of the seed —
+//! and the distributed supervisor ([`crate::dist`]) reproduces the same
+//! barrier over the wire, byte-identically.
 
 use crate::backend::{BackendSpec, EngineBackend};
 use crate::campaign::{
@@ -126,6 +133,26 @@ pub struct IterationRecord {
     /// ship it verbatim, so replay artifacts are byte-identical across fleet
     /// shapes by construction.
     pub replay: ReplayFrame,
+}
+
+/// The generated inputs of one iteration, before anything executes: the
+/// scenario knobs, database spec, query set and transformation plan —
+/// a pure function of `(config.seed, iteration)` and the guidance.
+/// Produced by [`CampaignRunner::build_scenario`].
+pub struct ScenarioParts {
+    /// The iteration's sub-seed, `split_seed(config.seed, iteration)`.
+    pub sub_seed: u64,
+    /// The scenario knobs (guided campaigns draw them from the snapshot).
+    pub knobs: ScenarioKnobs,
+    /// The generated database.
+    pub spec: DatabaseSpec,
+    /// The instantiated query set.
+    pub queries: Vec<QueryInstance>,
+    /// The affine transformation plan.
+    pub plan: TransformPlan,
+    /// Wall time spent generating (scheduling-dependent; everything else
+    /// here is deterministic).
+    pub generation_time: Duration,
 }
 
 /// The mergeable per-worker slice of a campaign: the iteration records one
@@ -255,11 +282,60 @@ impl CampaignRunner {
     pub fn run(&self) -> CampaignReport {
         let start = Instant::now();
         let (warmup, snapshot) = self.warmup_phase(start);
-        let guidance = snapshot.as_ref().map(Guidance::from_snapshot);
         let first_iteration = warmup.records.len();
-        let mut shards = self.run_sharded(start, first_iteration, guidance.as_ref());
+        let mut shards = match (snapshot, self.config.guidance_epoch) {
+            (Some(snapshot), Some(epoch_len)) if epoch_len > 0 => {
+                self.run_epochs(start, first_iteration, snapshot, epoch_len)
+            }
+            (snapshot, _) => {
+                let guidance = snapshot.as_ref().map(Guidance::from_snapshot);
+                self.run_sharded(
+                    start,
+                    first_iteration,
+                    self.config.iterations,
+                    guidance.as_ref(),
+                )
+            }
+        };
         shards.push(warmup);
         ShardReport::merge(shards, start.elapsed())
+    }
+
+    /// The epoch-barrier loop of a guided campaign with
+    /// [`CampaignConfig::guidance_epoch`]: each window of `epoch_len`
+    /// iterations runs under guidance rebuilt from the cumulative snapshot
+    /// of everything before it, then the window's probe deltas are absorbed
+    /// in iteration-index order behind the barrier. The distributed
+    /// supervisor replays exactly this loop over the wire, so epoch
+    /// campaigns merge byte-identically at any fleet shape.
+    fn run_epochs(
+        &self,
+        start: Instant,
+        first_iteration: usize,
+        mut snapshot: CoverageSnapshot,
+        epoch_len: usize,
+    ) -> Vec<ShardReport> {
+        let mut shards = Vec::new();
+        let mut base = first_iteration;
+        while base < self.config.iterations {
+            if let Some(budget) = self.config.time_budget {
+                if start.elapsed() >= budget {
+                    break;
+                }
+            }
+            let end = self.config.iterations.min(base + epoch_len);
+            let guidance = Guidance::from_snapshot(&snapshot);
+            let mut window = self.run_sharded(start, base, end, Some(&guidance));
+            let mut records: Vec<&IterationRecord> =
+                window.iter().flat_map(|s| s.records.iter()).collect();
+            records.sort_by_key(|r| r.iteration);
+            for record in records {
+                snapshot.absorb(&record.probe_delta);
+            }
+            shards.append(&mut window);
+            base = end;
+        }
+        shards
     }
 
     /// The guidance warm-up: with [`GuidanceMode::ColdProbe`], runs the
@@ -289,22 +365,23 @@ impl CampaignRunner {
         (shard, Some(snapshot))
     }
 
-    /// Runs the campaign from `first_iteration` on, returning the raw
+    /// Runs the iteration range `[first_iteration, end)`, returning the raw
     /// per-worker shard reports.
     fn run_sharded(
         &self,
         start: Instant,
         first_iteration: usize,
+        end: usize,
         guidance: Option<&Guidance>,
     ) -> Vec<ShardReport> {
         let next_iteration = AtomicUsize::new(first_iteration);
 
         if self.n_workers == 1 {
-            return vec![self.worker(start, &next_iteration, guidance)];
+            return vec![self.worker(start, &next_iteration, end, guidance)];
         }
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.n_workers)
-                .map(|_| scope.spawn(|| self.worker(start, &next_iteration, guidance)))
+                .map(|_| scope.spawn(|| self.worker(start, &next_iteration, end, guidance)))
                 .collect();
             handles
                 .into_iter()
@@ -314,11 +391,12 @@ impl CampaignRunner {
     }
 
     /// One worker: claims iteration indices from the shared counter until
-    /// the campaign is exhausted or the time budget is spent.
+    /// the range is exhausted or the time budget is spent.
     fn worker(
         &self,
         start: Instant,
         next_iteration: &AtomicUsize,
+        end: usize,
         guidance: Option<&Guidance>,
     ) -> ShardReport {
         let mut shard = ShardReport::default();
@@ -329,7 +407,7 @@ impl CampaignRunner {
                 }
             }
             let iteration = next_iteration.fetch_add(1, Ordering::Relaxed);
-            if iteration >= self.config.iterations {
+            if iteration >= end {
                 break;
             }
             shard
@@ -351,40 +429,16 @@ impl CampaignRunner {
         start: Instant,
         guidance: Option<&Guidance>,
     ) -> IterationRecord {
-        let sub_seed = split_seed(self.config.seed, iteration as u64);
         let backend = self.config.backend.as_ref();
         local::start();
-
-        // --- Generation (Spatter-side time) ------------------------------
-        let generation_start = Instant::now();
-        // Guided iterations draw their scenario knobs first (a pure function
-        // of the frozen snapshot and this iteration's sub-seed), then let
-        // the knobs and biases steer generation; unguided iterations take
-        // exactly the historical path.
-        let knobs = match guidance {
-            Some(g) => g.pick_knobs(sub_seed),
-            None => ScenarioKnobs::baseline(),
-        };
-        let mut generator_config = self.config.generator.clone();
-        knobs.apply_generator(&mut generator_config);
-        let mut generator = GeometryGenerator::new(generator_config, sub_seed);
-        if let Some(g) = guidance {
-            generator = generator.with_edit_bias(g.edit_bias());
-        }
-        let spec = generator.generate_database();
-        let weights = match guidance {
-            Some(g) => g.template_weights(),
-            None => crate::guidance::TemplateWeights::baseline(),
-        };
-        let queries = random_queries_weighted(
-            &spec,
-            backend.profile(),
-            self.config.queries_per_run,
-            sub_seed ^ 0x5eed,
-            &weights,
-        );
-        let plan = TransformPlan::random(self.config.affine, sub_seed ^ 0xaff1e);
-        let generation_time = generation_start.elapsed();
+        let ScenarioParts {
+            sub_seed,
+            knobs,
+            spec,
+            queries,
+            plan,
+            generation_time,
+        } = self.build_scenario(iteration, guidance);
 
         // The setup layer of the replay frame: the scenario exactly as the
         // engines will see it — setup SQL, the plan's bit-exact coefficients,
@@ -496,6 +550,52 @@ impl CampaignRunner {
             skipped,
             probe_delta,
             replay,
+        }
+    }
+
+    /// Generates one iteration's scenario — knobs, database, queries and
+    /// transformation plan — exactly as [`CampaignRunner::run_iteration`]
+    /// does, without executing anything. A pure function of
+    /// `(config.seed, iteration)` and the guidance, reusing the runner's
+    /// exact RNG streams; the replay tooling uses it to rebuild the inputs
+    /// of a recorded iteration for reduction.
+    pub fn build_scenario(&self, iteration: usize, guidance: Option<&Guidance>) -> ScenarioParts {
+        let sub_seed = split_seed(self.config.seed, iteration as u64);
+        let generation_start = Instant::now();
+        // Guided iterations draw their scenario knobs first (a pure function
+        // of the snapshot and this iteration's sub-seed), then let the knobs
+        // and biases steer generation; unguided iterations take exactly the
+        // historical path.
+        let knobs = match guidance {
+            Some(g) => g.pick_knobs(sub_seed),
+            None => ScenarioKnobs::baseline(),
+        };
+        let mut generator_config = self.config.generator.clone();
+        knobs.apply_generator(&mut generator_config);
+        let mut generator = GeometryGenerator::new(generator_config, sub_seed);
+        if let Some(g) = guidance {
+            generator = generator.with_edit_bias(g.edit_bias());
+        }
+        let spec = generator.generate_database();
+        let weights = match guidance {
+            Some(g) => g.template_weights(),
+            None => crate::guidance::TemplateWeights::baseline(),
+        };
+        let queries = random_queries_weighted(
+            &spec,
+            self.config.backend.profile(),
+            self.config.queries_per_run,
+            sub_seed ^ 0x5eed,
+            &weights,
+        );
+        let plan = TransformPlan::random(self.config.affine, sub_seed ^ 0xaff1e);
+        ScenarioParts {
+            sub_seed,
+            knobs,
+            spec,
+            queries,
+            plan,
+            generation_time: generation_start.elapsed(),
         }
     }
 
@@ -638,6 +738,30 @@ mod tests {
                 parallel.unique_faults, baseline.unique_faults,
                 "{n_workers} workers"
             );
+        }
+    }
+
+    #[test]
+    fn epoch_guided_campaigns_are_identical_for_any_worker_count() {
+        let epoch_config = |seed, iterations| {
+            let mut cfg = config(seed, iterations);
+            cfg.guidance = GuidanceMode::ColdProbe;
+            cfg.guidance_epoch = Some(4);
+            cfg
+        };
+        let baseline = CampaignRunner::new(epoch_config(3, 12)).run();
+        assert_eq!(baseline.iterations_run, 12);
+        for n_workers in [2, 4] {
+            let parallel = CampaignRunner::new(epoch_config(3, 12))
+                .with_workers(n_workers)
+                .run();
+            assert_eq!(
+                fingerprint(&parallel),
+                fingerprint(&baseline),
+                "{n_workers} workers"
+            );
+            assert_eq!(parallel.unique_faults, baseline.unique_faults);
+            assert_eq!(parallel.probe_coverage, baseline.probe_coverage);
         }
     }
 

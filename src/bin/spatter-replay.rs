@@ -12,29 +12,41 @@
 //! * `bisect <artifact> [flags]` re-runs iterations of the *current* build
 //!   against a recorded artifact, binary-searching the divergence frontier
 //!   in at most ⌈log₂ N⌉ + 1 re-executions.
+//! * `reduce <artifact> --iteration K [flags]` rebuilds iteration `K`'s
+//!   scenario (under the exact guidance the campaign gave it, including
+//!   epoch-barrier campaigns), finds its first logic-bug query, and shrinks
+//!   the database coverage-preservingly
+//!   ([`spatter_repro::core::replay::reduce`]): the reduced witness still
+//!   diverges *and* still hits every probe the full iteration hit.
 //!
 //! Exit codes: 0 — identical / no divergence; 2 — a divergence was found
 //! (printed as a parseable `divergence: iteration=.. layer=.. sub_seed=..`
-//! line); 1 — usage or I/O or decode error.
+//! line) or a reduction was produced; 1 — usage or I/O or decode error.
 
 use spatter_repro::core::campaign::CampaignConfig;
 use spatter_repro::core::guidance::GuidanceMode;
+use spatter_repro::core::oracles::{AeiOracle, Oracle};
 use spatter_repro::core::replay::bisect::{
     bisect_against_live, compare_logs, max_bisect_executions, ReplayExecutor,
 };
+use spatter_repro::core::replay::reduce::reduce_preserving_probes;
 use spatter_repro::core::replay::{ReplayLog, ReplayRecorder, ReplaySink};
 use spatter_repro::core::runner::CampaignRunner;
 use spatter_repro::sdb::EngineProfile;
+use spatter_repro::topo::coverage::local;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage:
   spatter-replay record <out> [--seed N] [--iterations N] [--queries N]
-                       [--guidance off|cold-probe] [--profile NAME]
+                       [--guidance off|cold-probe] [--epoch N] [--profile NAME]
                        [--threads N] [--corrupt-iteration K]
   spatter-replay compare <a> <b>
   spatter-replay bisect <artifact> [--seed N] [--iterations N] [--queries N]
-                       [--guidance off|cold-probe] [--profile NAME]";
+                       [--guidance off|cold-probe] [--epoch N] [--profile NAME]
+  spatter-replay reduce <artifact> --iteration K [--seed N] [--iterations N]
+                       [--queries N] [--guidance off|cold-probe] [--epoch N]
+                       [--profile NAME]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +54,7 @@ fn main() -> ExitCode {
         Some("record") => record(&args[1..]),
         Some("compare") => compare(&args[1..]),
         Some("bisect") => bisect(&args[1..]),
+        Some("reduce") => reduce(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
     match result {
@@ -61,9 +74,11 @@ struct CampaignFlags {
     iterations: usize,
     queries: usize,
     guidance: GuidanceMode,
+    guidance_epoch: Option<usize>,
     profile: EngineProfile,
     threads: usize,
     corrupt_iteration: Option<usize>,
+    iteration: Option<usize>,
 }
 
 impl CampaignFlags {
@@ -73,9 +88,11 @@ impl CampaignFlags {
             iterations: 16,
             queries: 10,
             guidance: GuidanceMode::Off,
+            guidance_epoch: None,
             profile: EngineProfile::PostgisLike,
             threads: 1,
             corrupt_iteration: None,
+            iteration: None,
         };
         let mut args = args.iter();
         while let Some(flag) = args.next() {
@@ -91,6 +108,8 @@ impl CampaignFlags {
                 "--corrupt-iteration" => {
                     flags.corrupt_iteration = Some(parse(value("--corrupt-iteration")?)?)
                 }
+                "--epoch" => flags.guidance_epoch = Some(parse(value("--epoch")?)?),
+                "--iteration" => flags.iteration = Some(parse(value("--iteration")?)?),
                 "--guidance" => {
                     flags.guidance = match value("--guidance")?.as_str() {
                         "off" => GuidanceMode::Off,
@@ -114,6 +133,7 @@ impl CampaignFlags {
             queries_per_run: self.queries,
             iterations: self.iterations,
             guidance: self.guidance,
+            guidance_epoch: self.guidance_epoch,
             seed: self.seed,
             ..CampaignConfig::stock(self.profile)
         }
@@ -203,4 +223,87 @@ fn bisect(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::from(2))
         }
     }
+}
+
+fn reduce(args: &[String]) -> Result<ExitCode, String> {
+    let artifact = args.first().ok_or_else(|| USAGE.to_string())?;
+    let flags = CampaignFlags::parse(&args[1..])?;
+    let victim = flags
+        .iteration
+        .ok_or_else(|| format!("reduce needs --iteration K\n{USAGE}"))?;
+    let reference = load(artifact)?;
+    if reference.seed != flags.seed || reference.guidance != flags.guidance {
+        return Err(format!(
+            "artifact campaign (seed {}, guidance {:?}) does not match the flags \
+             (seed {}, guidance {:?})",
+            reference.seed, reference.guidance, flags.seed, flags.guidance
+        ));
+    }
+    let frame = reference
+        .frames
+        .iter()
+        .find(|frame| frame.iteration == victim)
+        .ok_or_else(|| format!("--iteration {victim}: no such recorded iteration"))?;
+
+    // Rebuild the iteration's exact inputs under the exact guidance the
+    // campaign gave it (epoch-aware: the executor replays the campaign once
+    // to reconstruct every window's snapshot).
+    let executor = ReplayExecutor::new(flags.campaign());
+    let parts = executor.scenario(victim);
+    if parts.sub_seed != frame.sub_seed {
+        return Err(format!(
+            "iteration {victim} rebuilds with sub-seed {:#x}, artifact recorded {:#x} \
+             — the campaigns differ at the generation layer; bisect first",
+            parts.sub_seed, frame.sub_seed
+        ));
+    }
+
+    let backend = executor.config().backend.clone();
+    let oracle = AeiOracle::new(parts.plan.clone()).with_knobs(parts.knobs.clone());
+
+    // One full-batch check measures the reference probe delta and names the
+    // first diverging query — the witness the reduction shrinks around.
+    local::start();
+    let outcomes = oracle.check(backend.as_ref(), &parts.spec, &parts.queries);
+    let reference_delta = local::take();
+    let Some(query) = parts
+        .queries
+        .iter()
+        .zip(outcomes.iter())
+        .find(|(_, outcome)| outcome.is_logic_bug())
+        .map(|(query, _)| query.clone())
+    else {
+        println!("no divergence: iteration {victim} has no AEI logic bug under the current build");
+        return Ok(ExitCode::SUCCESS);
+    };
+
+    let mut diverges = |spec: &spatter_repro::core::DatabaseSpec,
+                        query: &spatter_repro::core::QueryInstance| {
+        oracle
+            .check(backend.as_ref(), spec, std::slice::from_ref(query))
+            .iter()
+            .any(|outcome| outcome.is_logic_bug())
+    };
+    let Some(reduction) =
+        reduce_preserving_probes(&mut diverges, &reference_delta, &parts.spec, &query)
+    else {
+        println!("no divergence: the witness query stopped diverging in isolation");
+        return Ok(ExitCode::SUCCESS);
+    };
+
+    println!(
+        "reduced: iteration={victim} sub_seed={:#x} geometries {} -> {} \
+         statements={} checks={} preserved_probes={}",
+        parts.sub_seed,
+        parts.spec.geometry_count(),
+        reduction.spec.geometry_count(),
+        reduction.statement_count,
+        reduction.checks,
+        reduction.preserved_probes.len(),
+    );
+    for statement in parts.knobs.setup_sql(&reduction.spec) {
+        println!("{statement}");
+    }
+    println!("{}", reduction.query.to_sql());
+    Ok(ExitCode::from(2))
 }

@@ -301,3 +301,86 @@ fn replay_cli_records_compares_and_bisects() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn replay_cli_reduce_shrinks_a_recorded_logic_bug() {
+    use spatter_repro::core::campaign::FindingKind;
+    use std::process::Command;
+
+    // The flags the CLI will be handed, mirrored as a config so the test can
+    // locate an iteration with an AEI logic bug (`CampaignFlags::campaign`
+    // overrides exactly these fields over the stock defaults).
+    let flags = ["--seed", "3", "--iterations", "8", "--queries", "6"];
+    let config = CampaignConfig {
+        queries_per_run: 6,
+        iterations: 8,
+        seed: 3,
+        ..CampaignConfig::stock(EngineProfile::PostgisLike)
+    };
+    let report = CampaignRunner::new(config).run();
+    let victim = report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::Logic)
+        .map(|f| f.iteration)
+        .expect("seed 3 must surface an AEI logic bug on the stock engine");
+    let clean = (0..8)
+        .find(|i| {
+            report
+                .findings
+                .iter()
+                .all(|f| f.iteration != *i || f.kind != FindingKind::Logic)
+        })
+        .expect("some iteration must be bug-free");
+
+    let dir = std::env::temp_dir().join(format!("spatter-reduce-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let artifact = dir.join("campaign.replay");
+    let status = Command::new(replay_path())
+        .arg("record")
+        .arg(&artifact)
+        .args(flags)
+        .status()
+        .expect("spawn spatter-replay");
+    assert!(status.success(), "record failed: {status}");
+
+    // Reducing the diverging iteration exits 2 and prints the reduced
+    // scenario: a parseable stats line followed by runnable SQL.
+    let reduced = Command::new(replay_path())
+        .arg("reduce")
+        .arg(&artifact)
+        .args(["--iteration", &victim.to_string()])
+        .args(flags)
+        .output()
+        .expect("reduce");
+    assert_eq!(reduced.status.code(), Some(2), "{reduced:?}");
+    let stdout = String::from_utf8_lossy(&reduced.stdout);
+    assert!(
+        stdout.contains(&format!("reduced: iteration={victim}")),
+        "{stdout}"
+    );
+    assert!(stdout.contains("CREATE TABLE"), "{stdout}");
+    assert!(stdout.contains("SELECT"), "{stdout}");
+
+    // Reducing a bug-free iteration reports no divergence (exit 0).
+    let no_bug = Command::new(replay_path())
+        .arg("reduce")
+        .arg(&artifact)
+        .args(["--iteration", &clean.to_string()])
+        .args(flags)
+        .output()
+        .expect("reduce clean iteration");
+    assert!(no_bug.status.success(), "{no_bug:?}");
+    assert!(String::from_utf8_lossy(&no_bug.stdout).contains("no divergence"));
+
+    // A missing --iteration is a usage error (exit 1).
+    let usage = Command::new(replay_path())
+        .arg("reduce")
+        .arg(&artifact)
+        .args(flags)
+        .output()
+        .expect("reduce without iteration");
+    assert_eq!(usage.status.code(), Some(1), "{usage:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
