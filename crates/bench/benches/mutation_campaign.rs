@@ -1,0 +1,156 @@
+//! Mutation-workload cost: the same campaign load-once vs with the default
+//! interleaved DML/DDL script, interleaved and median-timed, plus the
+//! incremental-maintenance argument in isolation — delete + reinsert of a
+//! churn batch against rebuilding the R-tree from scratch after the same
+//! batch. Emits `BENCH_mutation_campaign.json` in the workspace root.
+
+use spatter_core::campaign::CampaignConfig;
+use spatter_core::mutation::MutationConfig;
+use spatter_core::runner::CampaignRunner;
+use spatter_geom::envelope::Envelope;
+use spatter_index::RTree;
+use std::time::Instant;
+
+const ITERATIONS: usize = 24;
+const THREADS: usize = 2;
+const REPS: usize = 5;
+
+const TREE_SIZE: usize = 4096;
+const CHURN: usize = 512;
+
+fn campaign(mutations: Option<MutationConfig>) -> CampaignConfig {
+    CampaignConfig {
+        iterations: ITERATIONS,
+        mutations,
+        ..CampaignConfig::default()
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Deterministic envelope cloud (SplitMix64-style scramble, no RNG dep).
+fn envelopes(n: usize) -> Vec<(Envelope, usize)> {
+    (0..n)
+        .map(|i| {
+            let mut z = (i as u64).wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            let x = ((z >> 32) % 10_000) as f64 / 10.0 - 500.0;
+            let y = (z % 10_000) as f64 / 10.0 - 500.0;
+            (Envelope::from_bounds(x, y, x + 1.5, y + 1.5), i)
+        })
+        .collect()
+}
+
+fn main() {
+    println!("== Mutation campaign cost (default campaign config x{ITERATIONS}) ==\n");
+
+    // Interleave the variants so drift hits both equally; compare medians.
+    let mut load_once = Vec::with_capacity(REPS);
+    let mut mutated = Vec::with_capacity(REPS);
+    let mut findings = (0usize, 0usize);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let report = CampaignRunner::new(campaign(None))
+            .with_workers(THREADS)
+            .run();
+        load_once.push(start.elapsed().as_secs_f64());
+        findings.0 = report.findings.len();
+
+        let start = Instant::now();
+        let report = CampaignRunner::new(campaign(Some(MutationConfig::default())))
+            .with_workers(THREADS)
+            .run();
+        mutated.push(start.elapsed().as_secs_f64());
+        findings.1 = report.findings.len();
+    }
+    let load_once_s = median(&mut load_once);
+    let mutated_s = median(&mut mutated);
+    let mutation_overhead_pct = (mutated_s / load_once_s.max(f64::EPSILON) - 1.0) * 100.0;
+
+    let widths = [22, 12, 12, 12];
+    spatter_bench::print_row(
+        &["variant", "median (s)", "iters/sec", "overhead"].map(String::from),
+        &widths,
+    );
+    for (label, seconds) in [("load-once", load_once_s), ("mutation script", mutated_s)] {
+        spatter_bench::print_row(
+            &[
+                label.to_string(),
+                format!("{seconds:.4}"),
+                format!("{:.2}", ITERATIONS as f64 / seconds.max(f64::EPSILON)),
+                if label == "load-once" {
+                    "-".to_string()
+                } else {
+                    format!("{mutation_overhead_pct:+.2}%")
+                },
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "findings: load-once {}, mutated {}\n",
+        findings.0, findings.1
+    );
+
+    // Incremental maintenance vs rebuild: churn CHURN of TREE_SIZE entries
+    // (delete + reinsert at a shifted position) against rebuilding the whole
+    // tree from the post-churn entry set.
+    let base = envelopes(TREE_SIZE);
+    let mut incremental = Vec::with_capacity(REPS);
+    let mut rebuild = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let mut tree: RTree<usize> = RTree::bulk_load(base.iter().cloned());
+        let start = Instant::now();
+        for (envelope, value) in base.iter().take(CHURN) {
+            let moved = Envelope::from_bounds(
+                envelope.min_x() + 3.0,
+                envelope.min_y() - 2.0,
+                envelope.max_x() + 3.0,
+                envelope.max_y() - 2.0,
+            );
+            assert!(tree.reinsert(envelope, moved, *value));
+        }
+        incremental.push(start.elapsed().as_secs_f64());
+        assert_eq!(tree.len(), TREE_SIZE);
+
+        let start = Instant::now();
+        let rebuilt: RTree<usize> = RTree::bulk_load(base.iter().enumerate().map(|(i, (e, v))| {
+            if i < CHURN {
+                (
+                    Envelope::from_bounds(
+                        e.min_x() + 3.0,
+                        e.min_y() - 2.0,
+                        e.max_x() + 3.0,
+                        e.max_y() - 2.0,
+                    ),
+                    *v,
+                )
+            } else {
+                (*e, *v)
+            }
+        }));
+        rebuild.push(start.elapsed().as_secs_f64());
+        assert_eq!(rebuilt.len(), TREE_SIZE);
+    }
+    let incremental_s = median(&mut incremental);
+    let rebuild_s = median(&mut rebuild);
+    let reinsert_vs_rebuild = incremental_s / rebuild_s.max(f64::EPSILON);
+    println!(
+        "index churn ({CHURN} of {TREE_SIZE} entries): reinsert {:.6}s, rebuild {:.6}s, ratio {:.3}x",
+        incremental_s, rebuild_s, reinsert_vs_rebuild
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"mutation_campaign\",\n  \"config\": \"CampaignConfig::default() x{ITERATIONS} iterations, {THREADS} threads, median of {REPS}\",\n  \"load_once_seconds\": {load_once_s:.4},\n  \"mutated_seconds\": {mutated_s:.4},\n  \"mutation_overhead_pct\": {mutation_overhead_pct:.3},\n  \"tree_size\": {TREE_SIZE},\n  \"churned_entries\": {CHURN},\n  \"reinsert_seconds\": {incremental_s:.6},\n  \"rebuild_seconds\": {rebuild_s:.6},\n  \"reinsert_vs_rebuild_ratio\": {reinsert_vs_rebuild:.3}\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_mutation_campaign.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_mutation_campaign.json");
+    println!("wrote {path}");
+}

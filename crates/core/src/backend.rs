@@ -643,7 +643,7 @@ impl EngineSession for StdioSession {
     fn run_rows(&mut self, sql: &str) -> Result<Vec<String>, BackendError> {
         match Self::check(self.request(sql)?)? {
             Response::Rows { rows, .. } => Ok(rows),
-            Response::None => Ok(Vec::new()),
+            Response::None | Response::Effect(_) => Ok(Vec::new()),
             Response::Error { .. } => unreachable!("check() filtered errors"),
         }
     }

@@ -12,6 +12,7 @@
 use crate::backend::{BackendSpec, EngineBackend, InProcessBackend};
 use crate::generator::GeneratorConfig;
 use crate::guidance::{GuidanceMode, ScenarioKnobs};
+use crate::mutation::{MutationConfig, MutationScript};
 use crate::oracles::OracleOutcome;
 use crate::queries::QueryInstance;
 use crate::runner::OracleKind;
@@ -57,6 +58,12 @@ pub struct CampaignConfig {
     /// transport. `None` (the default) keeps the frozen-snapshot behaviour;
     /// ignored when guidance is off.
     pub guidance_epoch: Option<usize>,
+    /// Optional mutation workload: a deterministic per-iteration
+    /// [`MutationScript`] of interleaved UPDATE/DELETE/INSERT/DDL statements,
+    /// applied to both AEI frames between queries
+    /// ([`run_aei_iteration_with_mutations`]). `None` (the default) keeps
+    /// the historical load-once campaigns byte for byte.
+    pub mutations: Option<MutationConfig>,
     /// The oracle suite run on every iteration (AEI alone by default).
     /// Lives in the config — rather than on the runner — so a campaign is
     /// fully described by one value, which is what the distributed
@@ -129,6 +136,7 @@ impl Default for CampaignConfig {
             attribute_findings: true,
             guidance: GuidanceMode::Off,
             guidance_epoch: None,
+            mutations: None,
             oracles: vec![OracleKind::Aei],
             seed: 0,
         }
@@ -312,6 +320,114 @@ pub fn run_aei_iteration_with_knobs(
     }
     engine_time += session1.engine_time();
     engine_time += session2.engine_time();
+    (outcomes, engine_time)
+}
+
+/// [`run_aei_iteration_with_knobs`] with an interleaved mutation workload:
+/// before each query's AEI check, the script's batch for that query index is
+/// applied to both frames — the original statements to `SDB1`, the
+/// affine-transformed statements to `SDB2` — and the oracle's view of the
+/// database ([`DatabaseSpec`]) evolves in lockstep, so the §7
+/// well-definedness screens always see the database the query actually ran
+/// against. With an empty script this is exactly
+/// [`run_aei_iteration_with_knobs`].
+pub fn run_aei_iteration_with_mutations(
+    backend: &dyn EngineBackend,
+    spec: &DatabaseSpec,
+    queries: &[QueryInstance],
+    plan: &TransformPlan,
+    knobs: &ScenarioKnobs,
+    script: &MutationScript,
+) -> (Vec<OracleOutcome>, Duration) {
+    run_mutated_aei(backend, spec, queries, plan, knobs, script, None)
+}
+
+/// Replays the mutation prefix up to and including query `query_index`'s
+/// batch, then checks only that query — the attribution path of mutation
+/// campaigns: a finding is only reproduced faithfully when the re-run
+/// performs the full mutation history that produced the database state the
+/// query observed.
+pub(crate) fn check_mutated_aei_query(
+    backend: &dyn EngineBackend,
+    spec: &DatabaseSpec,
+    queries: &[QueryInstance],
+    plan: &TransformPlan,
+    knobs: &ScenarioKnobs,
+    script: &MutationScript,
+    query_index: usize,
+) -> OracleOutcome {
+    let (outcomes, _) = run_mutated_aei(
+        backend,
+        spec,
+        queries,
+        plan,
+        knobs,
+        script,
+        Some(query_index),
+    );
+    outcomes
+        .into_iter()
+        .next()
+        .unwrap_or(OracleOutcome::Inapplicable)
+}
+
+fn run_mutated_aei(
+    backend: &dyn EngineBackend,
+    spec: &DatabaseSpec,
+    queries: &[QueryInstance],
+    plan: &TransformPlan,
+    knobs: &ScenarioKnobs,
+    script: &MutationScript,
+    only: Option<usize>,
+) -> (Vec<OracleOutcome>, Duration) {
+    let transformed = plan.apply(spec);
+    let expected = match only {
+        Some(_) => 1,
+        None => queries.len().max(1),
+    };
+
+    let mut session1 = match crate::oracles::open_loaded(backend, &knobs.setup_sql(spec)) {
+        Ok(session) => session,
+        Err((outcome, spent)) => return (vec![outcome; expected], spent),
+    };
+    let mut session2 = match crate::oracles::open_loaded(backend, &knobs.setup_sql(&transformed)) {
+        Ok(session) => session,
+        Err((outcome, spent)) => return (vec![outcome; expected], spent),
+    };
+
+    let mut evolved = spec.clone();
+    let mut outcomes = Vec::with_capacity(expected);
+    for (query_index, query) in queries.iter().enumerate() {
+        let batch1 = script.frame1_batch(query_index);
+        let batch2 = script.frame2_batch(query_index, plan);
+        // A failing mutation batch poisons the rest of the run the same way
+        // a failing setup load poisons a whole scenario.
+        let failure = match session1.load(&batch1) {
+            Err(error) => Some(OracleOutcome::from(error)),
+            Ok(()) => session2.load(&batch2).err().map(OracleOutcome::from),
+        };
+        if let Some(outcome) = failure {
+            while outcomes.len() < expected {
+                outcomes.push(outcome.clone());
+            }
+            break;
+        }
+        script.apply_batch_to_spec(query_index, &mut evolved);
+        if only.is_some_and(|target| target != query_index) {
+            continue;
+        }
+        outcomes.push(crate::oracles::check_aei_query(
+            session1.as_mut(),
+            session2.as_mut(),
+            &evolved,
+            query,
+            plan,
+        ));
+        if only == Some(query_index) {
+            break;
+        }
+    }
+    let engine_time = session1.engine_time() + session2.engine_time();
     (outcomes, engine_time)
 }
 

@@ -48,7 +48,9 @@ use std::time::Duration;
 /// frame (four per-iteration state hashes) to every record message.
 /// Version 3 added the epoch-barrier guidance exchange: the campaign's
 /// `guidance_epoch` field and the supervisor's `epoch <snapshot>` broadcast.
-pub const WIRE_VERSION: u32 = 3;
+/// Version 4 added the mutation-workload marker (`no-mutations` /
+/// `mutations <statements_per_run> <index_churn>`) to the campaign layout.
+pub const WIRE_VERSION: u32 = 4;
 
 /// Why a wire message could not be decoded (or a value not encoded).
 /// Structured, so callers can distinguish a harness misconfiguration
@@ -488,6 +490,14 @@ fn write_campaign(writer: &mut TokenWriter, config: &CampaignConfig) -> Result<(
             writer.push_usize(epoch);
         }
     }
+    match &config.mutations {
+        None => writer.push_raw("no-mutations"),
+        Some(mutations) => {
+            writer.push_raw("mutations");
+            writer.push_usize(mutations.statements_per_run);
+            writer.push_bool(mutations.index_churn);
+        }
+    }
     writer.push_usize(config.oracles.len());
     for oracle in &config.oracles {
         write_oracle(writer, oracle);
@@ -558,6 +568,19 @@ fn read_campaign(reader: &mut TokenReader) -> Result<CampaignConfig, WireError> 
             })
         }
     };
+    let mutations = match reader.next()? {
+        "no-mutations" => None,
+        "mutations" => Some(crate::mutation::MutationConfig {
+            statements_per_run: reader.next_usize("mutation statements per run")?,
+            index_churn: reader.next_bool("mutation index churn")?,
+        }),
+        other => {
+            return Err(WireError::Malformed {
+                expected: "mutation marker",
+                got: other.to_string(),
+            })
+        }
+    };
     let n_oracles = reader.next_usize("oracle count")?;
     let mut oracles = Vec::with_capacity(n_oracles.min(64));
     for _ in 0..n_oracles {
@@ -586,6 +609,7 @@ fn read_campaign(reader: &mut TokenReader) -> Result<CampaignConfig, WireError> 
         attribute_findings,
         guidance,
         guidance_epoch,
+        mutations,
         oracles,
         seed,
     })
@@ -1163,6 +1187,14 @@ mod tests {
             } else {
                 None
             },
+            mutations: if rng.random_bool(0.5) {
+                Some(crate::mutation::MutationConfig {
+                    statements_per_run: rng.random_range(1..32usize),
+                    index_churn: rng.random_bool(0.5),
+                })
+            } else {
+                None
+            },
             oracles,
             seed: rng.next_u64(),
         }
@@ -1331,6 +1363,7 @@ mod tests {
             assert_eq!(encode_campaign(&decoded).expect("re-encode"), line);
             assert_eq!(decoded.oracles, config.oracles);
             assert_eq!(decoded.generator, config.generator);
+            assert_eq!(decoded.mutations, config.mutations);
             assert_eq!(decoded.backend.wire_spec(), config.backend.wire_spec());
         }
     }

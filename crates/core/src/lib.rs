@@ -56,6 +56,7 @@ pub mod dist;
 pub mod fabric;
 pub mod generator;
 pub mod guidance;
+pub mod mutation;
 pub mod oracles;
 pub mod queries;
 pub mod reducer;
@@ -74,6 +75,7 @@ pub use dist::{DistConfig, DistError, DistRunner, DistStats, LeasePolicy};
 pub use fabric::{ChannelControl, StdioTransport, TcpTransport, Transport, WorkerChannel};
 pub use generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
 pub use guidance::{EditBias, Guidance, GuidanceMode, ScenarioKnobs, TemplateWeights};
+pub use mutation::{MutationConfig, MutationScript, MutationStatement};
 pub use oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle};
 pub use queries::{QueryInstance, QueryTemplate, RangeFunction};
 pub use replay::{

@@ -1,0 +1,598 @@
+//! Mutation workloads: interleaved DML/DDL scripts for AEI campaigns.
+//!
+//! A load-once campaign builds `SDB1`/`SDB2` and only ever queries them; a
+//! whole class of engine faults — index maintenance on `UPDATE`/`DELETE`,
+//! planner fallback after `DROP INDEX`, row-id stability across deletes —
+//! is structurally unreachable that way. A [`MutationScript`] fixes that:
+//! a deterministic sequence of mutation statements, scheduled between the
+//! iteration's queries, applied to **both** frames of the AEI pair — the
+//! original statements to `SDB1` and the affine-transformed statements to
+//! `SDB2` — so the two databases stay affine-equivalent *statement by
+//! statement* and every query check remains a sound AEI comparison.
+//!
+//! The script is a pure function of `(spec, plan, sub_seed)`: generation
+//! walks the evolving database spec in execution order, so selectors are
+//! guaranteed to address exactly one row in each frame at the moment they
+//! run. Selector uniqueness is screened in *both* frames — canonicalization
+//! can merge two distinct `SDB1` geometries into the same `SDB2` geometry,
+//! and a selector that matches once on one side and twice on the other
+//! would silently desynchronize the frames.
+
+use crate::generator::{GeneratorConfig, GeometryGenerator};
+use crate::rng::{RngExt, SeedableRng, StdRng};
+use crate::spec::DatabaseSpec;
+use crate::transform::TransformPlan;
+use spatter_geom::wkt::write_wkt;
+use spatter_geom::Geometry;
+
+/// Configuration of a campaign's mutation workload. `None` in
+/// [`crate::campaign::CampaignConfig::mutations`] keeps the historical
+/// load-once behaviour byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationConfig {
+    /// Total mutation statements scheduled across one iteration's queries.
+    pub statements_per_run: usize,
+    /// Whether the script also churns spatial indexes: it then opens with
+    /// `CREATE INDEX mut_idx_* … USING GIST` on every table plus
+    /// `SET enable_seqscan = false`, and may drop/recreate those indexes
+    /// mid-run. Required to surface index-maintenance faults.
+    pub index_churn: bool,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        MutationConfig {
+            statements_per_run: 12,
+            index_churn: true,
+        }
+    }
+}
+
+/// One mutation statement, stored as data so it can be rendered into either
+/// frame: [`MutationStatement::sql1`] emits the original statement,
+/// [`MutationStatement::sql2`] the same statement with every geometry
+/// literal pushed through the transformation plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationStatement {
+    /// `INSERT INTO <table> (g) VALUES ('<wkt>')`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// The inserted geometry (frame-1 coordinates).
+        geometry: Geometry,
+    },
+    /// `UPDATE <table> SET g = '<new>'::geometry WHERE g = '<old>'::geometry`.
+    Update {
+        /// Target table.
+        table: String,
+        /// The geometry currently stored in the targeted row.
+        selector: Geometry,
+        /// The replacement geometry (frame-1 coordinates).
+        replacement: Geometry,
+    },
+    /// `DELETE FROM <table> WHERE g = '<old>'::geometry`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// The geometry currently stored in the targeted row.
+        selector: Geometry,
+    },
+    /// `CREATE INDEX <name> ON <table> USING GIST (g)`.
+    CreateIndex {
+        /// Index name (always `mut_idx_*`, disjoint from knob indexes).
+        name: String,
+        /// Indexed table.
+        table: String,
+    },
+    /// `DROP INDEX <name>` — only ever an index this script created.
+    DropIndex {
+        /// Index name.
+        name: String,
+    },
+    /// `CREATE TABLE <name> (g geometry)` — a scratch table outside the
+    /// query universe, created only so `DROP TABLE` has something to drop.
+    CreateTable {
+        /// Scratch table name (`mut_scratch_*`).
+        name: String,
+    },
+    /// `DROP TABLE <name>` — only ever a scratch table this script created.
+    DropTable {
+        /// Scratch table name.
+        name: String,
+    },
+    /// `SET enable_seqscan = false` — emitted once by index-churn scripts so
+    /// queries actually route through the churned indexes.
+    DisableSeqscan,
+}
+
+impl MutationStatement {
+    /// Whether the statement is a mutation in the UPDATE/DELETE/DROP sense
+    /// (the acceptance mix the campaign tests assert on).
+    pub fn is_destructive(&self) -> bool {
+        matches!(
+            self,
+            MutationStatement::Update { .. }
+                | MutationStatement::Delete { .. }
+                | MutationStatement::DropIndex { .. }
+                | MutationStatement::DropTable { .. }
+        )
+    }
+
+    /// Renders the statement for `SDB1`.
+    pub fn sql1(&self) -> String {
+        self.render(|g| g.clone())
+    }
+
+    /// Renders the statement for `SDB2`: identical shape, geometry literals
+    /// mapped through the plan.
+    pub fn sql2(&self, plan: &TransformPlan) -> String {
+        self.render(|g| plan.apply_geometry(g))
+    }
+
+    fn render(&self, map: impl Fn(&Geometry) -> Geometry) -> String {
+        match self {
+            MutationStatement::Insert { table, geometry } => format!(
+                "INSERT INTO {table} (g) VALUES ('{}')",
+                write_wkt(&map(geometry))
+            ),
+            MutationStatement::Update {
+                table,
+                selector,
+                replacement,
+            } => format!(
+                "UPDATE {table} SET g = '{}'::geometry WHERE g = '{}'::geometry",
+                write_wkt(&map(replacement)),
+                write_wkt(&map(selector))
+            ),
+            MutationStatement::Delete { table, selector } => format!(
+                "DELETE FROM {table} WHERE g = '{}'::geometry",
+                write_wkt(&map(selector))
+            ),
+            MutationStatement::CreateIndex { name, table } => {
+                format!("CREATE INDEX {name} ON {table} USING GIST (g)")
+            }
+            MutationStatement::DropIndex { name } => format!("DROP INDEX {name}"),
+            MutationStatement::CreateTable { name } => {
+                format!("CREATE TABLE {name} (g geometry)")
+            }
+            MutationStatement::DropTable { name } => format!("DROP TABLE {name}"),
+            MutationStatement::DisableSeqscan => "SET enable_seqscan = false".to_string(),
+        }
+    }
+
+    /// Applies the statement's effect to the frame-1 database spec, exactly
+    /// mirroring what the engine does to its row set. The evolved spec is
+    /// what the AEI oracle's well-definedness screens (§7) must see.
+    fn apply_to_spec(&self, spec: &mut DatabaseSpec) {
+        match self {
+            MutationStatement::Insert { table, geometry } => {
+                if let Some(t) = spec.tables.iter_mut().find(|t| &t.name == table) {
+                    t.geometries.push(geometry.clone());
+                }
+            }
+            MutationStatement::Update {
+                table,
+                selector,
+                replacement,
+            } => {
+                if let Some(t) = spec.tables.iter_mut().find(|t| &t.name == table) {
+                    if let Some(g) = t.geometries.iter_mut().find(|g| *g == selector) {
+                        *g = replacement.clone();
+                    }
+                }
+            }
+            MutationStatement::Delete { table, selector } => {
+                if let Some(t) = spec.tables.iter_mut().find(|t| &t.name == table) {
+                    if let Some(pos) = t.geometries.iter().position(|g| g == selector) {
+                        t.geometries.remove(pos);
+                    }
+                }
+            }
+            // DDL touches no spec-visible geometry.
+            MutationStatement::CreateIndex { .. }
+            | MutationStatement::DropIndex { .. }
+            | MutationStatement::CreateTable { .. }
+            | MutationStatement::DropTable { .. }
+            | MutationStatement::DisableSeqscan => {}
+        }
+    }
+}
+
+/// A full mutation script: one batch of statements per query index, applied
+/// to both frames immediately before that query's AEI check.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MutationScript {
+    batches: Vec<Vec<MutationStatement>>,
+}
+
+impl MutationScript {
+    /// Generates the script for one iteration — a pure function of the
+    /// arguments. Statements are generated in execution order against the
+    /// evolving spec, so every UPDATE/DELETE selector addresses exactly one
+    /// live row in each frame when it runs; candidates whose selector is
+    /// ambiguous in either frame degrade to an INSERT instead.
+    pub fn generate(
+        spec: &DatabaseSpec,
+        n_queries: usize,
+        plan: &TransformPlan,
+        generator_config: &GeneratorConfig,
+        config: &MutationConfig,
+        seed: u64,
+    ) -> MutationScript {
+        let n_batches = n_queries.max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shapes = GeometryGenerator::new(generator_config.clone(), seed ^ 0x5a5a);
+        let mut batches = vec![Vec::new(); n_batches];
+        let mut evolved = spec.clone();
+        let mut churned_indexes: Vec<(String, String)> = Vec::new();
+        let mut scratch_tables: Vec<String> = Vec::new();
+        let mut scratch_counter = 0usize;
+
+        if config.index_churn {
+            for table in &spec.tables {
+                let statement = MutationStatement::CreateIndex {
+                    name: format!("mut_idx_{}", table.name),
+                    table: table.name.clone(),
+                };
+                churned_indexes.push((format!("mut_idx_{}", table.name), table.name.clone()));
+                batches[0].push(statement);
+            }
+            batches[0].push(MutationStatement::DisableSeqscan);
+        }
+
+        // Schedule first, then generate in schedule order: the spec evolution
+        // seen at generation time is exactly the one at execution time.
+        let mut positions: Vec<usize> = (0..config.statements_per_run)
+            .map(|_| rng.random_range(0..n_batches))
+            .collect();
+        positions.sort_unstable();
+
+        for position in positions {
+            let statement = Self::random_statement(
+                &mut rng,
+                &mut shapes,
+                &evolved,
+                plan,
+                config.index_churn,
+                &mut churned_indexes,
+                &mut scratch_tables,
+                &mut scratch_counter,
+            );
+            statement.apply_to_spec(&mut evolved);
+            batches[position].push(statement);
+        }
+        MutationScript { batches }
+    }
+
+    /// Draws one statement against the current evolved state. UPDATE and
+    /// DELETE dominate the mix (the acceptance criterion wants ≥ 30%
+    /// UPDATE/DELETE/DROP), INSERT keeps tables from draining, and the
+    /// DDL arms churn indexes and scratch tables.
+    #[allow(clippy::too_many_arguments)]
+    fn random_statement(
+        rng: &mut StdRng,
+        shapes: &mut GeometryGenerator,
+        evolved: &DatabaseSpec,
+        plan: &TransformPlan,
+        index_churn: bool,
+        churned_indexes: &mut Vec<(String, String)>,
+        scratch_tables: &mut Vec<String>,
+        scratch_counter: &mut usize,
+    ) -> MutationStatement {
+        let roll = rng.random_range(0..100u32);
+        let table_pick = rng.next_u64();
+        let row_pick = rng.next_u64();
+        // One fixed draw order regardless of the chosen arm keeps each
+        // statement's RNG consumption constant, so the schedule and every
+        // later statement are insensitive to which arm a roll lands on.
+        let geometry = shapes.random_shape();
+
+        let populated: Vec<usize> = evolved
+            .tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.geometries.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let pick_row = |tables: &[usize]| -> Option<(String, Geometry)> {
+            if tables.is_empty() {
+                return None;
+            }
+            let table = &evolved.tables[tables[table_pick as usize % tables.len()]];
+            let selector = table.geometries[row_pick as usize % table.geometries.len()].clone();
+            // Screen in both frames: the selector must address exactly one
+            // row in SDB1 *and* exactly one in SDB2 (canonicalization can
+            // merge distinct SDB1 geometries).
+            let count1 = table.geometries.iter().filter(|g| **g == selector).count();
+            let mapped = plan.apply_geometry(&selector);
+            let count2 = table
+                .geometries
+                .iter()
+                .filter(|g| plan.apply_geometry(g) == mapped)
+                .count();
+            (count1 == 1 && count2 == 1).then(|| (table.name.clone(), selector))
+        };
+        let insert_somewhere = |geometry: Geometry| -> MutationStatement {
+            let tables = &evolved.tables;
+            let table = tables[table_pick as usize % tables.len()].name.clone();
+            MutationStatement::Insert { table, geometry }
+        };
+
+        match roll {
+            // UPDATE: 35%.
+            0..=34 => match pick_row(&populated) {
+                Some((table, selector)) => MutationStatement::Update {
+                    table,
+                    selector,
+                    replacement: geometry,
+                },
+                None => insert_somewhere(geometry),
+            },
+            // DELETE: 20%.
+            35..=54 => match pick_row(&populated) {
+                Some((table, selector)) => MutationStatement::Delete { table, selector },
+                None => insert_somewhere(geometry),
+            },
+            // INSERT: 25%.
+            55..=79 => insert_somewhere(geometry),
+            // Index churn: 10% (degrades to INSERT when churn is off).
+            80..=89 => {
+                if !index_churn {
+                    return insert_somewhere(geometry);
+                }
+                if let Some(pos) = (!churned_indexes.is_empty())
+                    .then(|| table_pick as usize % churned_indexes.len())
+                {
+                    let (name, _) = churned_indexes.remove(pos);
+                    MutationStatement::DropIndex { name }
+                } else {
+                    let table = evolved.tables[table_pick as usize % evolved.tables.len()]
+                        .name
+                        .clone();
+                    let name = format!("mut_idx_{table}");
+                    churned_indexes.push((name.clone(), table.clone()));
+                    MutationStatement::CreateIndex { name, table }
+                }
+            }
+            // Scratch-table create/drop pairs: 10%.
+            _ => {
+                if let Some(name) = scratch_tables.pop() {
+                    MutationStatement::DropTable { name }
+                } else {
+                    *scratch_counter += 1;
+                    let name = format!("mut_scratch_{scratch_counter}");
+                    scratch_tables.push(name.clone());
+                    MutationStatement::CreateTable { name }
+                }
+            }
+        }
+    }
+
+    /// Whether the script schedules no statements at all.
+    pub fn is_empty(&self) -> bool {
+        self.batches.iter().all(|b| b.is_empty())
+    }
+
+    /// Total number of scheduled statements.
+    pub fn statement_count(&self) -> usize {
+        self.batches.iter().map(|b| b.len()).sum()
+    }
+
+    /// Fraction of scheduled statements that are UPDATE/DELETE/DROP.
+    pub fn destructive_fraction(&self) -> f64 {
+        let total = self.statement_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let destructive = self
+            .batches
+            .iter()
+            .flatten()
+            .filter(|s| s.is_destructive())
+            .count();
+        destructive as f64 / total as f64
+    }
+
+    /// The schedule as `(query_index, statement)` pairs, in execution order
+    /// (what the replay setup hash folds in).
+    pub fn schedule(&self) -> impl Iterator<Item = (usize, &MutationStatement)> {
+        self.batches
+            .iter()
+            .enumerate()
+            .flat_map(|(qi, batch)| batch.iter().map(move |s| (qi, s)))
+    }
+
+    /// The batch scheduled before query `query_index`, rendered for `SDB1`.
+    pub fn frame1_batch(&self, query_index: usize) -> Vec<String> {
+        self.batches
+            .get(query_index)
+            .map(|batch| batch.iter().map(|s| s.sql1()).collect())
+            .unwrap_or_default()
+    }
+
+    /// The batch scheduled before query `query_index`, rendered for `SDB2`.
+    pub fn frame2_batch(&self, query_index: usize, plan: &TransformPlan) -> Vec<String> {
+        self.batches
+            .get(query_index)
+            .map(|batch| batch.iter().map(|s| s.sql2(plan)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Applies the batch scheduled before query `query_index` to the evolved
+    /// frame-1 spec (the oracle's view of what `SDB1` now contains).
+    pub fn apply_batch_to_spec(&self, query_index: usize, spec: &mut DatabaseSpec) {
+        if let Some(batch) = self.batches.get(query_index) {
+            for statement in batch {
+                statement.apply_to_spec(spec);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::AffineStrategy;
+    use spatter_geom::wkt::parse_wkt;
+
+    fn small_spec() -> DatabaseSpec {
+        let mut spec = DatabaseSpec::with_tables(2);
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(1 1)").unwrap());
+        spec.tables[0]
+            .geometries
+            .push(parse_wkt("POINT(2 2)").unwrap());
+        spec.tables[1]
+            .geometries
+            .push(parse_wkt("LINESTRING(0 0,3 1)").unwrap());
+        spec
+    }
+
+    fn generate(seed: u64) -> MutationScript {
+        let spec = small_spec();
+        let plan = TransformPlan::random(AffineStrategy::GeneralInteger, seed ^ 0xaff1e);
+        MutationScript::generate(
+            &spec,
+            6,
+            &plan,
+            &GeneratorConfig::default(),
+            &MutationConfig::default(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        assert_eq!(generate(7), generate(7));
+        assert_ne!(generate(7), generate(8));
+    }
+
+    #[test]
+    fn default_mix_is_mutation_heavy() {
+        // Averaged over seeds the UPDATE/DELETE/DROP share clears the ≥ 30%
+        // acceptance bar comfortably; assert per script with a margin.
+        let mut heavy = 0;
+        for seed in 0..20 {
+            let script = generate(seed);
+            assert!(script.statement_count() >= MutationConfig::default().statements_per_run);
+            if script.destructive_fraction() >= 0.3 {
+                heavy += 1;
+            }
+        }
+        assert!(heavy >= 15, "only {heavy}/20 scripts were mutation-heavy");
+    }
+
+    #[test]
+    fn index_churn_scripts_open_with_indexes_and_seqscan_off() {
+        let script = generate(3);
+        let first = script.frame1_batch(0);
+        assert!(first.iter().any(|s| s.starts_with("CREATE INDEX mut_idx_")));
+        assert!(first.contains(&"SET enable_seqscan = false".to_string()));
+        // Frame 2 renders identical DDL (no geometry literals to map).
+        let plan = TransformPlan::random(AffineStrategy::GeneralInteger, 3 ^ 0xaff1e);
+        assert_eq!(script.frame2_batch(0, &plan)[0], first[0]);
+    }
+
+    #[test]
+    fn frame2_statements_map_geometry_literals_through_the_plan() {
+        let statement = MutationStatement::Update {
+            table: "t0".into(),
+            selector: parse_wkt("POINT(1 1)").unwrap(),
+            replacement: parse_wkt("POINT(2 3)").unwrap(),
+        };
+        let plan = TransformPlan::from_matrix(
+            false,
+            spatter_geom::AffineMatrix::new(2.0, 0.0, 0.0, 2.0, 10.0, 0.0),
+        )
+        .unwrap();
+        assert_eq!(
+            statement.sql1(),
+            "UPDATE t0 SET g = 'POINT(2 3)'::geometry WHERE g = 'POINT(1 1)'::geometry"
+        );
+        assert_eq!(
+            statement.sql2(&plan),
+            "UPDATE t0 SET g = 'POINT(14 6)'::geometry WHERE g = 'POINT(12 2)'::geometry"
+        );
+    }
+
+    #[test]
+    fn apply_to_spec_mirrors_the_statement_semantics() {
+        let mut spec = small_spec();
+        MutationStatement::Delete {
+            table: "t0".into(),
+            selector: parse_wkt("POINT(1 1)").unwrap(),
+        }
+        .apply_to_spec(&mut spec);
+        assert_eq!(spec.tables[0].geometries.len(), 1);
+        MutationStatement::Update {
+            table: "t0".into(),
+            selector: parse_wkt("POINT(2 2)").unwrap(),
+            replacement: parse_wkt("POINT(9 9)").unwrap(),
+        }
+        .apply_to_spec(&mut spec);
+        assert_eq!(
+            spec.tables[0].geometries[0],
+            parse_wkt("POINT(9 9)").unwrap()
+        );
+        MutationStatement::Insert {
+            table: "t1".into(),
+            geometry: parse_wkt("POINT(5 5)").unwrap(),
+        }
+        .apply_to_spec(&mut spec);
+        assert_eq!(spec.tables[1].geometries.len(), 2);
+    }
+
+    #[test]
+    fn selectors_address_exactly_one_row_in_both_frames() {
+        // Walk each script batch by batch, mirroring the runner: every
+        // UPDATE/DELETE selector must match exactly one geometry in the
+        // evolved frame-1 spec and exactly one mapped geometry in frame 2.
+        for seed in 0..10u64 {
+            let spec = small_spec();
+            let plan = TransformPlan::random(AffineStrategy::GeneralInteger, seed ^ 0xaff1e);
+            let script = MutationScript::generate(
+                &spec,
+                6,
+                &plan,
+                &GeneratorConfig::default(),
+                &MutationConfig {
+                    statements_per_run: 30,
+                    index_churn: false,
+                },
+                seed,
+            );
+            let mut evolved = spec.clone();
+            for qi in 0..6 {
+                for statement in &script.batches[qi] {
+                    if let MutationStatement::Update {
+                        table, selector, ..
+                    }
+                    | MutationStatement::Delete { table, selector } = statement
+                    {
+                        let t = evolved.tables.iter().find(|t| &t.name == table).unwrap();
+                        let count1 = t.geometries.iter().filter(|g| *g == selector).count();
+                        let mapped = plan.apply_geometry(selector);
+                        let count2 = t
+                            .geometries
+                            .iter()
+                            .filter(|g| plan.apply_geometry(g) == mapped)
+                            .count();
+                        assert_eq!(count1, 1, "seed {seed}: frame-1 selector ambiguous");
+                        assert_eq!(count2, 1, "seed {seed}: frame-2 selector ambiguous");
+                    }
+                    statement.apply_to_spec(&mut evolved);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_script_reports_empty() {
+        let script = MutationScript::default();
+        assert!(script.is_empty());
+        assert_eq!(script.statement_count(), 0);
+        assert_eq!(script.destructive_fraction(), 0.0);
+        assert!(script.frame1_batch(0).is_empty());
+    }
+}

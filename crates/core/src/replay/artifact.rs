@@ -13,6 +13,12 @@
 //! end
 //! ```
 //!
+//! A campaign pinned to a guidance epoch carries an optional `epoch <n>`
+//! header token between the guidance mode and the frame count
+//! (`... guidance cold-probe epoch 7 frames 12`); headers without the token
+//! — every artifact written before the field existed — still decode, with
+//! the epoch absent.
+//!
 //! One header line (version, campaign identity, declared frame count), then
 //! exactly `frames` `frame` lines — iteration index plus the four hash
 //! layers of a [`ReplayFrame`], all as decimal `u64`s — and a closing `end`
@@ -123,6 +129,9 @@ pub struct ReplayLog {
     pub iterations: usize,
     /// The campaign's guidance mode.
     pub guidance: GuidanceMode,
+    /// The guidance epoch the campaign was pinned to, if any. Encoded as an
+    /// optional header token, so pre-epoch artifacts decode with `None`.
+    pub guidance_epoch: Option<usize>,
     /// The recorded frames, strictly increasing by iteration.
     pub frames: Vec<ReplayFrame>,
 }
@@ -132,13 +141,16 @@ impl ReplayLog {
     pub fn encode(&self) -> String {
         let mut out = String::with_capacity(64 + self.frames.len() * 96);
         out.push_str(&format!(
-            "spatter-replay {REPLAY_VERSION} seed {} iterations {} guidance {} frames {}\n",
+            "spatter-replay {REPLAY_VERSION} seed {} iterations {} guidance {}{} frames {}\n",
             self.seed,
             self.iterations,
             match self.guidance {
                 GuidanceMode::Off => "off",
                 GuidanceMode::ColdProbe => "cold-probe",
             },
+            self.guidance_epoch
+                .map(|epoch| format!(" epoch {epoch}"))
+                .unwrap_or_default(),
             self.frames.len(),
         ));
         for frame in &self.frames {
@@ -193,7 +205,16 @@ impl ReplayLog {
                 })
             }
         };
-        expect_keyword(1, "frames", tokens.next())?;
+        // The epoch token is optional so pre-epoch artifacts still decode.
+        let mut next = tokens.next();
+        let guidance_epoch = if next == Some("epoch") {
+            let epoch = parse_usize(1, "guidance epoch", tokens.next())?;
+            next = tokens.next();
+            Some(epoch)
+        } else {
+            None
+        };
+        expect_keyword(1, "frames", next)?;
         let declared = parse_usize(1, "frame count", tokens.next())?;
         if let Some(extra) = tokens.next() {
             return Err(ReplayError::Malformed {
@@ -261,6 +282,7 @@ impl ReplayLog {
             seed,
             iterations,
             guidance,
+            guidance_epoch,
             frames,
         })
     }
@@ -324,6 +346,7 @@ mod tests {
             seed: 3,
             iterations: 4,
             guidance: GuidanceMode::ColdProbe,
+            guidance_epoch: None,
             frames: (0..4)
                 .map(|i| ReplayFrame {
                     iteration: i,
@@ -343,6 +366,36 @@ mod tests {
         assert_eq!(ReplayLog::decode(&text), Ok(log.clone()));
         assert_eq!(log.frame(2).map(|f| f.iteration), Some(2));
         assert_eq!(log.frame(99), None);
+    }
+
+    #[test]
+    fn epoch_header_round_trips_and_stays_optional() {
+        // Forward: an epoch-pinned campaign stamps the header.
+        let mut log = sample_log();
+        log.guidance_epoch = Some(7);
+        let text = log.encode();
+        assert!(
+            text.starts_with(
+                "spatter-replay 1 seed 3 iterations 4 guidance cold-probe epoch 7 frames 4\n"
+            ),
+            "{text:?}"
+        );
+        assert_eq!(ReplayLog::decode(&text), Ok(log.clone()));
+        // Backward: a pre-epoch header (no token at all) still decodes.
+        let old = log.encode().replacen(" epoch 7", "", 1);
+        let decoded = ReplayLog::decode(&old).expect("old header decodes");
+        assert_eq!(decoded.guidance_epoch, None);
+        assert_eq!(decoded.frames, log.frames);
+        // A mangled epoch value is a structured error, not a silent None.
+        let bad = log.encode().replacen("epoch 7", "epoch x", 1);
+        assert_eq!(
+            ReplayLog::decode(&bad),
+            Err(ReplayError::Malformed {
+                line: 1,
+                expected: "guidance epoch",
+                got: "x".to_string()
+            })
+        );
     }
 
     #[test]

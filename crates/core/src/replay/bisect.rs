@@ -351,6 +351,7 @@ mod tests {
             seed: 1,
             iterations: frames.len(),
             guidance: GuidanceMode::Off,
+            guidance_epoch: None,
             frames,
         }
     }

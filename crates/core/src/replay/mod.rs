@@ -134,13 +134,14 @@ impl ReplayRecorder {
     }
 
     /// Packages the recorded frames as a replay artifact, stamped with the
-    /// campaign identity (`seed`, requested iterations, guidance mode) the
-    /// frames were produced under.
+    /// campaign identity (`seed`, requested iterations, guidance mode and
+    /// epoch) the frames were produced under.
     pub fn log(&self, config: &crate::campaign::CampaignConfig) -> ReplayLog {
         ReplayLog {
             seed: config.seed,
             iterations: config.iterations,
             guidance: config.guidance,
+            guidance_epoch: config.guidance_epoch,
             frames: self.frames(),
         }
     }

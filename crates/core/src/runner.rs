@@ -41,11 +41,13 @@
 //! barrier over the wire, byte-identically.
 
 use crate::backend::{BackendSpec, EngineBackend};
+use crate::campaign::{check_mutated_aei_query, run_aei_iteration_with_mutations};
 use crate::campaign::{
     run_aei_iteration_with_knobs, CampaignConfig, CampaignReport, Finding, FindingKind,
 };
 use crate::generator::GeometryGenerator;
 use crate::guidance::{self, Guidance, GuidanceMode, ScenarioKnobs};
+use crate::mutation::MutationScript;
 use crate::oracles::{
     AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle,
 };
@@ -150,6 +152,9 @@ pub struct ScenarioParts {
     pub queries: Vec<QueryInstance>,
     /// The affine transformation plan.
     pub plan: TransformPlan,
+    /// The iteration's mutation script (`None` for load-once campaigns) —
+    /// like everything else here, a pure function of the sub-seed.
+    pub script: Option<MutationScript>,
     /// Wall time spent generating (scheduling-dependent; everything else
     /// here is deterministic).
     pub generation_time: Duration,
@@ -437,6 +442,7 @@ impl CampaignRunner {
             spec,
             queries,
             plan,
+            script,
             generation_time,
         } = self.build_scenario(iteration, guidance);
 
@@ -464,6 +470,15 @@ impl CampaignRunner {
         for query in &queries {
             setup_hasher.write_str(&query.to_sql());
         }
+        // The mutation schedule folds in after the historical block, and an
+        // absent-or-empty script contributes nothing: load-once campaigns
+        // keep their pre-mutation setup hashes byte for byte.
+        if let Some(script) = &script {
+            for (query_index, statement) in script.schedule() {
+                setup_hasher.write_usize(query_index);
+                setup_hasher.write_str(&statement.sql1());
+            }
+        }
 
         // --- Execution + validation --------------------------------------
         let mut engine_time = Duration::ZERO;
@@ -471,9 +486,11 @@ impl CampaignRunner {
         let mut skipped = 0;
         let mut outcome_hasher = ReplayHasher::new();
         for (oracle_index, kind) in self.config.oracles.iter().enumerate() {
-            let (outcomes, oracle_time) = self.run_oracle(kind, &spec, &queries, &plan, &knobs);
+            let (outcomes, oracle_time) =
+                self.run_oracle(kind, &spec, &queries, &plan, &knobs, script.as_ref());
             engine_time += oracle_time;
-            for (query_index, (query, outcome)) in queries.iter().zip(outcomes.iter()).enumerate() {
+            for (query_index, (_query, outcome)) in queries.iter().zip(outcomes.iter()).enumerate()
+            {
                 outcome_hasher.write_usize(oracle_index);
                 outcome_hasher.write_usize(query_index);
                 outcome.absorb_into(&mut outcome_hasher);
@@ -498,7 +515,17 @@ impl CampaignRunner {
                     other => format!("[{}] {description}", other.name()),
                 };
                 let attributed = if self.config.attribute_findings {
-                    attribute(kind, backend, &spec, query, &plan, finding_kind, &knobs)
+                    attribute(
+                        kind,
+                        backend,
+                        &spec,
+                        &queries,
+                        query_index,
+                        &plan,
+                        finding_kind,
+                        &knobs,
+                        script.as_ref(),
+                    )
                 } else {
                     Vec::new()
                 };
@@ -572,7 +599,7 @@ impl CampaignRunner {
         };
         let mut generator_config = self.config.generator.clone();
         knobs.apply_generator(&mut generator_config);
-        let mut generator = GeometryGenerator::new(generator_config, sub_seed);
+        let mut generator = GeometryGenerator::new(generator_config.clone(), sub_seed);
         if let Some(g) = guidance {
             generator = generator.with_edit_bias(g.edit_bias());
         }
@@ -589,12 +616,26 @@ impl CampaignRunner {
             &weights,
         );
         let plan = TransformPlan::random(self.config.affine, sub_seed ^ 0xaff1e);
+        // The mutation stream is independent of every other stream, so
+        // enabling mutations never perturbs the generated database, queries
+        // or plan of an iteration.
+        let script = self.config.mutations.as_ref().map(|mutation_config| {
+            MutationScript::generate(
+                &spec,
+                queries.len(),
+                &plan,
+                &generator_config,
+                mutation_config,
+                sub_seed ^ 0xed17,
+            )
+        });
         ScenarioParts {
             sub_seed,
             knobs,
             spec,
             queries,
             plan,
+            script,
             generation_time: generation_start.elapsed(),
         }
     }
@@ -612,11 +653,21 @@ impl CampaignRunner {
         queries: &[QueryInstance],
         plan: &TransformPlan,
         knobs: &ScenarioKnobs,
+        script: Option<&MutationScript>,
     ) -> (Vec<OracleOutcome>, Duration) {
         let backend = self.config.backend.as_ref();
-        match kind {
-            OracleKind::Aei => run_aei_iteration_with_knobs(backend, spec, queries, plan, knobs),
-            other => {
+        match (kind, script) {
+            (OracleKind::Aei, Some(script)) => {
+                run_aei_iteration_with_mutations(backend, spec, queries, plan, knobs, script)
+            }
+            (OracleKind::Aei, None) => {
+                run_aei_iteration_with_knobs(backend, spec, queries, plan, knobs)
+            }
+            // The baseline oracles define their own scan configurations and
+            // check the load-once database; the mutation workload is an AEI
+            // concern (the frames must stay equivalent statement by
+            // statement, which only the AEI path maintains).
+            (other, _) => {
                 let oracle = build_oracle(other, plan, knobs);
                 let check_start = Instant::now();
                 let outcomes = oracle.check(backend, spec, queries);
@@ -647,28 +698,50 @@ fn build_oracle(kind: &OracleKind, plan: &TransformPlan, knobs: &ScenarioKnobs) 
 /// PostGIS and GEOS to their latest versions", §5.4). The finding is
 /// re-checked with the oracle that produced it, against the backend's
 /// `without_fault` variants; backends with no known fault set (e.g. real
-/// engines) report nothing, which leaves the finding unattributed.
+/// engines) report nothing, which leaves the finding unattributed. AEI
+/// findings of a mutation campaign replay the full mutation prefix up to the
+/// flagged query, so the re-run observes the same evolved database state.
 #[allow(clippy::too_many_arguments)]
 fn attribute(
     oracle_kind: &OracleKind,
     backend: &dyn EngineBackend,
     spec: &DatabaseSpec,
-    query: &QueryInstance,
+    queries: &[QueryInstance],
+    query_index: usize,
     plan: &TransformPlan,
     kind: FindingKind,
     knobs: &ScenarioKnobs,
+    script: Option<&MutationScript>,
 ) -> Vec<FaultId> {
-    let oracle = build_oracle(oracle_kind, plan, knobs);
-    let queries = std::slice::from_ref(query);
+    let still_fails = |outcome: &OracleOutcome| match kind {
+        FindingKind::Logic => outcome.is_logic_bug(),
+        FindingKind::Crash => outcome.is_crash(),
+    };
     let mut attributed = Vec::new();
+    if let (OracleKind::Aei, Some(script)) = (oracle_kind, script) {
+        for fault in backend.fault_ids() {
+            let reduced = backend.without_fault(fault);
+            let outcome = check_mutated_aei_query(
+                reduced.as_ref(),
+                spec,
+                queries,
+                plan,
+                knobs,
+                script,
+                query_index,
+            );
+            if !still_fails(&outcome) {
+                attributed.push(fault);
+            }
+        }
+        return attributed;
+    }
+    let oracle = build_oracle(oracle_kind, plan, knobs);
+    let single = std::slice::from_ref(&queries[query_index]);
     for fault in backend.fault_ids() {
         let reduced = backend.without_fault(fault);
-        let outcomes = oracle.check(reduced.as_ref(), spec, queries);
-        let still_failing = outcomes.iter().any(|o| match kind {
-            FindingKind::Logic => o.is_logic_bug(),
-            FindingKind::Crash => o.is_crash(),
-        });
-        if !still_failing {
+        let outcomes = oracle.check(reduced.as_ref(), spec, single);
+        if !outcomes.iter().any(still_fails) {
             attributed.push(fault);
         }
     }

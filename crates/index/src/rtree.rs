@@ -236,6 +236,68 @@ impl<T> RTree<T> {
         results
     }
 
+    /// Removes one entry whose stored envelope equals `envelope` and whose
+    /// payload equals `value`. Returns `true` if an entry was removed.
+    ///
+    /// Underfull nodes along the removal path are condensed (their surviving
+    /// entries collected and reinserted) and node envelopes are recomputed
+    /// exactly, so a tree after `remove` answers every query identically to a
+    /// freshly built tree over the surviving entries — the property the
+    /// mutation-workload sweep pins.
+    pub fn remove(&mut self, envelope: &Envelope, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        if envelope.is_empty() {
+            if let Some(pos) = self.empty_entries.iter().position(|v| v == value) {
+                self.empty_entries.remove(pos);
+                return true;
+            }
+            return false;
+        }
+        let mut orphans: Vec<(Envelope, T)> = Vec::new();
+        if !remove_recursive(&mut self.root, envelope, value, &mut orphans) {
+            return false;
+        }
+        self.len -= 1;
+        // Shrink the root: a single-child internal root loses a level, an
+        // empty internal root collapses back to an empty leaf.
+        loop {
+            match &mut self.root {
+                Node::Internal { children } if children.len() == 1 => {
+                    let (_, child) = children.pop().expect("one child");
+                    self.root = child;
+                }
+                Node::Internal { children } if children.is_empty() => {
+                    self.root = Node::Leaf {
+                        entries: Vec::new(),
+                    };
+                }
+                _ => break,
+            }
+        }
+        // Reinsert entries orphaned by condensed nodes. They were already
+        // counted in `len` and `insert` counts them again, so settle first.
+        self.len -= orphans.len();
+        for (env, v) in orphans {
+            self.insert(env, v);
+        }
+        true
+    }
+
+    /// Moves an entry: removes it under `old` and reinserts it under `new`.
+    /// Returns `false` (leaving the tree untouched) when no entry matched.
+    pub fn reinsert(&mut self, old: &Envelope, new: Envelope, value: T) -> bool
+    where
+        T: PartialEq,
+    {
+        if !self.remove(old, &value) {
+            return false;
+        }
+        self.insert(new, value);
+        true
+    }
+
     /// Depth of the tree (1 for a single leaf), exposed for testing and
     /// diagnostics.
     pub fn depth(&self) -> usize {
@@ -359,6 +421,65 @@ fn insert_recursive<T>(
                 }
             }
             None
+        }
+    }
+}
+
+/// Removes one matching entry from the subtree, condensing underfull nodes
+/// along the path into `orphans`. Returns `true` when an entry was removed.
+fn remove_recursive<T: PartialEq>(
+    node: &mut Node<T>,
+    envelope: &Envelope,
+    value: &T,
+    orphans: &mut Vec<(Envelope, T)>,
+) -> bool {
+    match node {
+        Node::Leaf { entries } => {
+            if let Some(pos) = entries
+                .iter()
+                .position(|(e, v)| e.same_box(envelope) && v == value)
+            {
+                entries.remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+        Node::Internal { children } => {
+            for idx in 0..children.len() {
+                // Node envelopes contain every entry below them (inserts
+                // union them in, removals recompute them exactly), so this
+                // prune never skips the subtree holding the entry.
+                if !children[idx].0.contains_envelope(envelope) {
+                    continue;
+                }
+                if remove_recursive(&mut children[idx].1, envelope, value, orphans) {
+                    let underfull = match &children[idx].1 {
+                        Node::Leaf { entries } => entries.len() < MIN_ENTRIES,
+                        Node::Internal { children } => children.len() < MIN_ENTRIES,
+                    };
+                    if underfull {
+                        let (_, child) = children.remove(idx);
+                        gather_entries(child, orphans);
+                    } else {
+                        children[idx].0 = node_envelope(&children[idx].1);
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Collects every leaf entry of a condensed subtree for reinsertion.
+fn gather_entries<T>(node: Node<T>, out: &mut Vec<(Envelope, T)>) {
+    match node {
+        Node::Leaf { entries } => out.extend(entries),
+        Node::Internal { children } => {
+            for (_, child) in children {
+                gather_entries(child, out);
+            }
         }
     }
 }
@@ -830,6 +951,169 @@ mod tests {
             assert!(got[pos..].iter().all(|(d, _)| d.is_nan()));
         }
         assert!(!nan.is_empty(), "NaN entries are returned, not dropped");
+    }
+
+    #[test]
+    fn remove_takes_out_exactly_one_entry() {
+        let mut tree = RTree::new();
+        tree.insert(boxed(0.0, 0.0, 1.0, 1.0), 1);
+        tree.insert(boxed(0.0, 0.0, 1.0, 1.0), 2);
+        tree.insert(boxed(5.0, 5.0, 6.0, 6.0), 3);
+        assert!(tree.remove(&boxed(0.0, 0.0, 1.0, 1.0), &1));
+        assert_eq!(tree.len(), 2);
+        // The twin entry with the same envelope survives.
+        let hits: Vec<i32> = tree
+            .query_intersects(&boxed(0.0, 0.0, 1.0, 1.0))
+            .into_iter()
+            .copied()
+            .collect();
+        assert_eq!(hits, vec![2]);
+        // A second removal of the same entry is a no-op.
+        assert!(!tree.remove(&boxed(0.0, 0.0, 1.0, 1.0), &1));
+        assert_eq!(tree.len(), 2);
+        // Wrong envelope for an existing payload does not remove.
+        assert!(!tree.remove(&boxed(9.0, 9.0, 10.0, 10.0), &3));
+    }
+
+    #[test]
+    fn remove_handles_empty_envelope_entries() {
+        let mut tree = RTree::new();
+        tree.insert(Envelope::empty(), 7);
+        tree.insert(boxed(0.0, 0.0, 1.0, 1.0), 8);
+        assert!(tree.remove(&Envelope::empty(), &7));
+        assert!(tree.empty_envelope_entries().is_empty());
+        assert!(!tree.remove(&Envelope::empty(), &7));
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn remove_condenses_down_to_an_empty_tree() {
+        let mut tree = RTree::new();
+        let n = 200usize;
+        let mut envs = Vec::new();
+        for i in 0..n {
+            let x = (i % 20) as f64;
+            let y = (i / 20) as f64;
+            let env = boxed(x, y, x + 0.5, y + 0.5);
+            envs.push(env);
+            tree.insert(env, i);
+        }
+        assert!(tree.depth() > 1);
+        for (i, env) in envs.iter().enumerate() {
+            assert!(tree.remove(env, &i), "entry {i} must be removable");
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.depth(), 1, "root collapses back to a leaf");
+        assert!(tree
+            .query_intersects(&boxed(-10.0, -10.0, 30.0, 30.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn reinsert_moves_an_entry() {
+        let mut tree = RTree::new();
+        tree.insert(boxed(0.0, 0.0, 1.0, 1.0), 4);
+        assert!(tree.reinsert(&boxed(0.0, 0.0, 1.0, 1.0), boxed(8.0, 8.0, 9.0, 9.0), 4));
+        assert!(tree.query_intersects(&boxed(0.0, 0.0, 2.0, 2.0)).is_empty());
+        assert_eq!(tree.query_intersects(&boxed(8.0, 8.0, 9.0, 9.0)), vec![&4]);
+        // A miss leaves the tree untouched.
+        assert!(!tree.reinsert(&boxed(0.0, 0.0, 1.0, 1.0), Envelope::empty(), 99));
+        assert_eq!(tree.len(), 1);
+    }
+
+    /// Satellite sweep: after arbitrary seeded delete/insert interleavings the
+    /// churned tree answers window, same-box and distance queries identically
+    /// to a tree freshly built over the surviving entries — EMPTY envelopes
+    /// included.
+    #[test]
+    fn churned_tree_matches_freshly_built_tree() {
+        for seed in [3u64, 17, 101, 9000] {
+            let mut raw = lcg(seed);
+            let mut tree = RTree::new();
+            let mut live: Vec<(Envelope, usize)> = Vec::new();
+            let mut next_id = 0usize;
+            let spawn = |raw: &mut dyn FnMut() -> u64, id: usize| {
+                if raw().is_multiple_of(10) {
+                    (Envelope::empty(), id)
+                } else {
+                    let x = (raw() % 400) as f64 / 2.0 - 100.0;
+                    let y = (raw() % 400) as f64 / 2.0 - 100.0;
+                    let w = (raw() % 40) as f64 / 10.0;
+                    let h = (raw() % 40) as f64 / 10.0;
+                    (boxed(x, y, x + w, y + h), id)
+                }
+            };
+            for _ in 0..80 {
+                let (env, id) = spawn(&mut raw, next_id);
+                next_id += 1;
+                tree.insert(env, id);
+                live.push((env, id));
+            }
+            // 400 interleaved operations: ~half deletes, ~half inserts.
+            for _ in 0..400 {
+                if raw().is_multiple_of(2) && !live.is_empty() {
+                    let victim = (raw() as usize) % live.len();
+                    let (env, id) = live.remove(victim);
+                    assert!(tree.remove(&env, &id), "live entry {id} must remove");
+                } else {
+                    let (env, id) = spawn(&mut raw, next_id);
+                    next_id += 1;
+                    tree.insert(env, id);
+                    live.push((env, id));
+                }
+            }
+            let fresh = RTree::bulk_load(live.clone());
+            assert_eq!(tree.len(), fresh.len(), "seed {seed}");
+            let sorted = |mut v: Vec<usize>| {
+                v.sort_unstable();
+                v
+            };
+            let mut empties_churned = tree.empty_envelope_entries().to_vec();
+            let mut empties_fresh = fresh.empty_envelope_entries().to_vec();
+            empties_churned.sort_unstable();
+            empties_fresh.sort_unstable();
+            assert_eq!(empties_churned, empties_fresh, "seed {seed}");
+            let windows = [
+                boxed(-100.0, -100.0, 100.0, 100.0),
+                boxed(-10.0, -10.0, 10.0, 10.0),
+                boxed(40.0, -60.0, 80.0, -20.0),
+                boxed(500.0, 500.0, 501.0, 501.0),
+            ];
+            for window in &windows {
+                assert_eq!(
+                    sorted(tree.query_intersects(window).into_iter().copied().collect()),
+                    sorted(
+                        fresh
+                            .query_intersects(window)
+                            .into_iter()
+                            .copied()
+                            .collect()
+                    ),
+                    "seed {seed} window {window:?}"
+                );
+                assert_eq!(
+                    sorted(tree.query_same_box(window).into_iter().copied().collect()),
+                    sorted(fresh.query_same_box(window).into_iter().copied().collect()),
+                    "seed {seed} same-box {window:?}"
+                );
+            }
+            let mut got = Vec::new();
+            let mut want = Vec::new();
+            for (probe, d) in [
+                (boxed(0.0, 0.0, 1.0, 1.0), 25.0),
+                (boxed(-80.0, 60.0, -79.0, 61.0), 0.0),
+                (boxed(30.0, -30.0, 31.0, -29.0), 70.5),
+            ] {
+                let d_sq = d * d;
+                tree.query_within_distance_into(&probe, d_sq, &mut got);
+                fresh.query_within_distance_into(&probe, d_sq, &mut want);
+                assert_eq!(
+                    sorted(got.clone()),
+                    sorted(want.clone()),
+                    "seed {seed} d {d}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub enum Statement {
         /// Table name.
         name: String,
     },
+    /// `DROP INDEX name`
+    DropIndex {
+        /// Index name.
+        name: String,
+    },
     /// `CREATE INDEX idx ON table USING GIST (column)`
     CreateIndex {
         /// Index name.
@@ -37,6 +42,25 @@ pub enum Statement {
         columns: Vec<String>,
         /// One expression list per row.
         rows: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE table SET column = expr [WHERE expr]`
+    Update {
+        /// Table name.
+        table: String,
+        /// Assigned column.
+        column: String,
+        /// The new value expression (row-independent in the generated
+        /// workloads, but arbitrary expressions parse).
+        value: Expr,
+        /// The `WHERE` condition, if any (absent means all rows).
+        where_clause: Option<Expr>,
+    },
+    /// `DELETE FROM table [WHERE expr]`
+    Delete {
+        /// Table name.
+        table: String,
+        /// The `WHERE` condition, if any (absent means all rows).
+        where_clause: Option<Expr>,
     },
     /// `SET name = expr` / `SET @var = expr` (session settings and MySQL-style
     /// user variables, as in Listings 3, 4 and 8).

@@ -32,9 +32,34 @@ impl Table {
             .position(|(c, _)| c.eq_ignore_ascii_case(name))
     }
 
-    /// Number of rows.
+    /// Number of live rows (tombstoned slots excluded).
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.rows.iter().filter(|row| !row.is_empty()).count()
+    }
+
+    /// Whether a row slot holds a live row. Deleted rows leave an empty
+    /// tombstone slot behind so later slots keep their ids — R-tree payloads
+    /// are slot indices and must stay valid across deletes.
+    pub fn is_live(&self, row: usize) -> bool {
+        self.rows.get(row).is_some_and(|r| !r.is_empty())
+    }
+
+    /// Tombstones a row slot, returning the removed values. The slot stays
+    /// allocated (empty) so surrounding row ids are stable.
+    pub fn tombstone(&mut self, row: usize) -> Option<Vec<Value>> {
+        let slot = self.rows.get_mut(row)?;
+        if slot.is_empty() {
+            return None;
+        }
+        Some(std::mem::take(slot))
+    }
+
+    /// Iterates live rows as `(slot, values)` pairs.
+    pub fn live_rows(&self) -> impl Iterator<Item = (usize, &Vec<Value>)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| !row.is_empty())
     }
 }
 
@@ -118,6 +143,15 @@ impl Database {
         Ok(())
     }
 
+    /// Drops an index by name, failing if it does not exist.
+    pub fn drop_index(&mut self, name: &str) -> SdbResult<()> {
+        let key = name.to_lowercase();
+        if self.indexes.remove(&key).is_none() {
+            return Err(SdbError::Semantic(format!("index {name} does not exist")));
+        }
+        Ok(())
+    }
+
     /// Finds an index on a given table/column pair.
     pub fn index_on(&self, table: &str, column: &str) -> Option<&SpatialIndex> {
         self.indexes.values().find(|idx| {
@@ -128,6 +162,16 @@ impl Database {
     /// All registered indexes.
     pub fn indexes(&self) -> impl Iterator<Item = &SpatialIndex> {
         self.indexes.values()
+    }
+
+    /// Mutable access to every index on a table, for incremental maintenance
+    /// after `UPDATE`/`DELETE` (the engine removes and reinserts the touched
+    /// envelopes instead of rebuilding the tree).
+    pub fn indexes_for_mut(&mut self, table: &str) -> impl Iterator<Item = &mut SpatialIndex> + '_ {
+        let table = table.to_lowercase();
+        self.indexes
+            .values_mut()
+            .filter(move |idx| idx.table.eq_ignore_ascii_case(&table))
     }
 
     /// Rebuilds every index on a table (after inserts).

@@ -17,6 +17,9 @@ pub const SDB_PROBES: &[&str] = &[
     "sdb.exec.drop_table",
     "sdb.exec.create_index",
     "sdb.exec.insert",
+    "sdb.exec.update",
+    "sdb.exec.delete",
+    "sdb.exec.drop_index",
     "sdb.exec.set_variable",
     "sdb.exec.set_setting",
     "sdb.exec.scalar_select",

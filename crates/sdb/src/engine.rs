@@ -16,6 +16,27 @@ use spatter_topo::predicates::NamedPredicate;
 use spatter_topo::prepared::PreparedGeometry;
 use std::time::{Duration, Instant};
 
+/// The effect of a mutating statement (the db2 executor shape): how many rows
+/// a DML statement touched, or which DDL object was dropped. Queries and
+/// pure-DDL setup statements (`CREATE ...`, `INSERT`, `SET`) carry no effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionResult {
+    /// `UPDATE` touched this many rows.
+    Update {
+        /// Number of rows updated.
+        rows_updated: usize,
+    },
+    /// `DELETE` removed this many rows.
+    Delete {
+        /// Number of rows deleted.
+        rows_deleted: usize,
+    },
+    /// `DROP INDEX` removed an index.
+    DropIndex,
+    /// `DROP TABLE` removed a table.
+    DropTable,
+}
+
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
@@ -23,6 +44,8 @@ pub struct QueryResult {
     pub columns: Vec<String>,
     /// Result rows.
     pub rows: Vec<Vec<Value>>,
+    /// The mutation effect, for `UPDATE`/`DELETE`/`DROP` statements.
+    pub effect: Option<ExecutionResult>,
 }
 
 impl QueryResult {
@@ -31,6 +54,15 @@ impl QueryResult {
         QueryResult {
             columns: Vec::new(),
             rows: Vec::new(),
+            effect: None,
+        }
+    }
+
+    /// An empty result carrying a mutation effect.
+    pub fn with_effect(effect: ExecutionResult) -> Self {
+        QueryResult {
+            effect: Some(effect),
+            ..QueryResult::none()
         }
     }
 
@@ -223,7 +255,12 @@ impl Engine {
             Statement::DropTable { name } => {
                 coverage::hit("sdb.exec.drop_table");
                 self.database.drop_table(name)?;
-                Ok(QueryResult::none())
+                Ok(QueryResult::with_effect(ExecutionResult::DropTable))
+            }
+            Statement::DropIndex { name } => {
+                coverage::hit("sdb.exec.drop_index");
+                self.database.drop_index(name)?;
+                Ok(QueryResult::with_effect(ExecutionResult::DropIndex))
             }
             Statement::CreateIndex {
                 name,
@@ -241,6 +278,22 @@ impl Engine {
                 coverage::hit("sdb.exec.insert");
                 self.insert(table, columns, rows)
             }
+            Statement::Update {
+                table,
+                column,
+                value,
+                where_clause,
+            } => {
+                coverage::hit("sdb.exec.update");
+                self.update(table, column, value, where_clause.as_ref())
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                coverage::hit("sdb.exec.delete");
+                self.delete(table, where_clause.as_ref())
+            }
             Statement::Set { name, value } => self.set(name, value),
             Statement::Select(select) => self.select(select),
         }
@@ -257,9 +310,8 @@ impl Engine {
             .ok_or_else(|| SdbError::Semantic(format!("column {column} does not exist")))?;
         if self.faults.is_active(FaultId::PostgisCrashIndexAllEmpty) {
             let geometries: Vec<&Geometry> = table_data
-                .rows
-                .iter()
-                .filter_map(|row| row[col_idx].as_geometry())
+                .live_rows()
+                .filter_map(|(_, row)| row[col_idx].as_geometry())
                 .collect();
             if !geometries.is_empty() && geometries.iter().all(|g| g.is_empty()) {
                 coverage::hit("sdb.fault.crash_path");
@@ -322,9 +374,189 @@ impl Engine {
         }
 
         let table_ref = self.database.table_mut(table)?;
+        let base_slot = table_ref.rows.len();
         table_ref.rows.extend(materialized_rows);
-        self.database.refresh_indexes_for(table, build_rtree);
+        // Incremental index maintenance: append the new rows' envelopes
+        // instead of rebuilding every tree (mutation workloads would turn a
+        // rebuild into O(n) work per statement — and a rebuild would also
+        // silently heal any staleness earlier mutations left behind).
+        let new_rows: Vec<(usize, Vec<Value>)> = self
+            .database
+            .table(table)?
+            .rows
+            .iter()
+            .enumerate()
+            .skip(base_slot)
+            .map(|(slot, row)| (slot, row.clone()))
+            .collect();
+        for idx in self.database.indexes_for_mut(table) {
+            let Some(col_idx) = schema
+                .iter()
+                .position(|(name, _)| name.eq_ignore_ascii_case(&idx.column))
+            else {
+                continue;
+            };
+            for (slot, row) in &new_rows {
+                let envelope = row
+                    .get(col_idx)
+                    .map(Database::value_envelope)
+                    .unwrap_or_else(Envelope::empty);
+                idx.tree.insert(envelope, *slot);
+            }
+        }
         Ok(QueryResult::none())
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        column: &str,
+        value_expr: &Expr,
+        where_clause: Option<&Expr>,
+    ) -> SdbResult<QueryResult> {
+        let ctx = FunctionContext {
+            profile: self.profile,
+            faults: &self.faults.clone(),
+        };
+        let table_data = self.database.table(table)?;
+        let col_idx = table_data
+            .column_index(column)
+            .ok_or_else(|| SdbError::Semantic(format!("column {column} does not exist")))?;
+        let column_type = table_data.columns[col_idx].1;
+        // Generated workloads only use row-independent SET expressions; a
+        // row-dependent one would need per-row evaluation, which no template
+        // emits, so it surfaces as a semantic error here.
+        let new_value = evaluate_expr(value_expr, None, &self.database, &ctx)?;
+        let new_value = coerce_for_column(new_value, column_type, &ctx)?;
+        let new_env = Database::value_envelope(&new_value);
+        let targets = self.matching_row_slots(table, where_clause, &ctx)?;
+        // The seeded stale-index fault: maintenance "forgets" the reinsert
+        // when the new geometry reaches into the negative-x half-plane
+        // (mirroring `gist_fault_drops_row`'s quantization criterion), so the
+        // index keeps answering from the pre-update envelope. Only mutation
+        // workloads can reach this path.
+        let stale_fault = self.faults.is_active(FaultId::PostgisGistStaleOnMutation)
+            && !new_env.is_empty()
+            && new_env.min_x() < 0.0;
+        let mut rows_updated = 0usize;
+        for slot in targets {
+            let table_ref = self.database.table_mut(table)?;
+            let old_value =
+                std::mem::replace(&mut table_ref.rows[slot][col_idx], new_value.clone());
+            rows_updated += 1;
+            let old_env = Database::value_envelope(&old_value);
+            if stale_fault {
+                coverage::hit("sdb.fault.logic_path");
+                continue;
+            }
+            for idx in self.database.indexes_for_mut(table) {
+                if !idx.column.eq_ignore_ascii_case(column) {
+                    continue;
+                }
+                if !idx.tree.reinsert(&old_env, new_env, slot) {
+                    // The entry was not under its old envelope (e.g. earlier
+                    // faulty maintenance); insert under the new one so the
+                    // correct path stays self-consistent.
+                    idx.tree.insert(new_env, slot);
+                }
+            }
+        }
+        Ok(QueryResult::with_effect(ExecutionResult::Update {
+            rows_updated,
+        }))
+    }
+
+    fn delete(&mut self, table: &str, where_clause: Option<&Expr>) -> SdbResult<QueryResult> {
+        let ctx = FunctionContext {
+            profile: self.profile,
+            faults: &self.faults.clone(),
+        };
+        let schema = self.database.table(table)?.columns.clone();
+        let targets = self.matching_row_slots(table, where_clause, &ctx)?;
+        let mut rows_deleted = 0usize;
+        for slot in targets {
+            let Some(old_row) = self.database.table_mut(table)?.tombstone(slot) else {
+                continue;
+            };
+            rows_deleted += 1;
+            // Deletes maintain every index incrementally; the slot stays
+            // allocated (tombstoned) so the surviving entries' payloads —
+            // row slots — remain valid.
+            for idx in self.database.indexes_for_mut(table) {
+                let Some(col_idx) = schema
+                    .iter()
+                    .position(|(name, _)| name.eq_ignore_ascii_case(&idx.column))
+                else {
+                    continue;
+                };
+                let envelope = old_row
+                    .get(col_idx)
+                    .map(Database::value_envelope)
+                    .unwrap_or_else(Envelope::empty);
+                idx.tree.remove(&envelope, &slot);
+            }
+        }
+        Ok(QueryResult::with_effect(ExecutionResult::Delete {
+            rows_deleted,
+        }))
+    }
+
+    /// Row slots matched by a mutation's WHERE clause (all live slots when
+    /// absent). The `column = <row-independent expr>` shape is matched
+    /// structurally with the column's coercion applied to the probe, so
+    /// geometry equality selects rows by exact value — `compare_values`
+    /// deliberately has no geometry ordering. Other shapes evaluate through
+    /// the general expression path.
+    fn matching_row_slots(
+        &self,
+        table_name: &str,
+        where_clause: Option<&Expr>,
+        ctx: &FunctionContext,
+    ) -> SdbResult<Vec<usize>> {
+        let table = self.database.table(table_name)?;
+        let Some(condition) = where_clause else {
+            return Ok(table.live_rows().map(|(slot, _)| slot).collect());
+        };
+        if let Expr::Binary {
+            op: BinaryOp::Eq,
+            left,
+            right,
+        } = condition
+        {
+            if let Expr::Column {
+                table: qualifier,
+                column,
+            } = left.as_ref()
+            {
+                let qualifier_matches = qualifier
+                    .as_deref()
+                    .is_none_or(|q| q.eq_ignore_ascii_case(table_name));
+                if qualifier_matches {
+                    if let Some(col_idx) = table.column_index(column) {
+                        if let Ok(probe) = evaluate_expr(right, None, &self.database, ctx) {
+                            let probe = coerce_for_column(probe, table.columns[col_idx].1, ctx)?;
+                            return Ok(table
+                                .live_rows()
+                                .filter(|(_, row)| row[col_idx] == probe)
+                                .map(|(slot, _)| slot)
+                                .collect());
+                        }
+                    }
+                }
+            }
+        }
+        let table_ref = TableRef {
+            table: table_name.to_string(),
+            alias: table_name.to_string(),
+        };
+        let mut slots = Vec::new();
+        for (slot, row) in table.live_rows() {
+            let binding = RowBinding::single(&table_ref, table, row);
+            if evaluate_expr(condition, Some(&binding), &self.database, ctx)?.is_truthy() {
+                slots.push(slot);
+            }
+        }
+        Ok(slots)
     }
 
     fn set(&mut self, name: &str, value_expr: &Expr) -> SdbResult<QueryResult> {
@@ -399,6 +631,7 @@ impl Engine {
                 Ok(QueryResult {
                     columns,
                     rows: vec![row],
+                    effect: None,
                 })
             }
             1 => self.select_single_table(select, &ctx),
@@ -435,12 +668,16 @@ impl Engine {
             if let Some(rows) = self.try_index_filter(table_ref, table, condition.as_ref(), ctx)? {
                 rows
             } else {
-                (0..table.rows.len()).collect()
+                table.live_rows().map(|(slot, _)| slot).collect()
             };
 
         let mut matching = Vec::new();
         for row_idx in candidate_rows {
             let row = &table.rows[row_idx];
+            if row.is_empty() {
+                // Tombstoned slot (or a stale index entry pointing at one).
+                continue;
+            }
             let keep = match &condition {
                 None => true,
                 Some(expr) => {
@@ -532,6 +769,10 @@ impl Engine {
                 return None;
             }
             let row = &table.rows[row_idx];
+            if row.is_empty() {
+                // Stale index entry pointing at a tombstoned slot.
+                return None;
+            }
             let binding = RowBinding::single(table_ref, table, row);
             match evaluate_expr(&order.expr, Some(&binding), &self.database, ctx) {
                 // NaN distances are canonicalized to the positive quiet NaN
@@ -570,7 +811,10 @@ impl Engine {
                 if row_indices.len() == k {
                     break;
                 }
-                if row_indices.contains(&row_idx) || dropped_by_fault(row_idx) {
+                if !table.is_live(row_idx)
+                    || row_indices.contains(&row_idx)
+                    || dropped_by_fault(row_idx)
+                {
                     continue;
                 }
                 let binding = RowBinding::single(table_ref, table, &table.rows[row_idx]);
@@ -728,8 +972,8 @@ impl Engine {
         if !planned {
             // General nested-loop join.
             coverage::hit("sdb.exec.join_nested_loop");
-            for (li, lrow) in left_table.rows.iter().enumerate() {
-                for (ri, rrow) in right_table.rows.iter().enumerate() {
+            for (li, lrow) in left_table.live_rows() {
+                for (ri, rrow) in right_table.live_rows() {
                     let keep = match &condition {
                         None => true,
                         Some(expr) => {
@@ -796,7 +1040,7 @@ impl Engine {
         let ExecScratch {
             candidates, pairs, ..
         } = scratch;
-        for (li, lrow) in left_table.rows.iter().enumerate() {
+        for (li, lrow) in left_table.live_rows() {
             let Some(left_geom) = lrow[join.left_column_idx].as_geometry() else {
                 continue;
             };
@@ -813,7 +1057,10 @@ impl Engine {
             }
             candidates.sort_unstable();
             for &ri in candidates.iter() {
-                let Some(right_geom) = right_table.rows[ri][join.right_column_idx].as_geometry()
+                // `.get` guards stale index entries referencing tombstones.
+                let Some(right_geom) = right_table.rows[ri]
+                    .get(join.right_column_idx)
+                    .and_then(|v| v.as_geometry())
                 else {
                     continue;
                 };
@@ -836,7 +1083,7 @@ impl Engine {
         scratch: &mut ExecScratch,
     ) -> SdbResult<()> {
         let duplicate_fault = self.faults.is_active(FaultId::GeosPreparedDuplicateDropped);
-        for (li, lrow) in left_table.rows.iter().enumerate() {
+        for (li, lrow) in left_table.live_rows() {
             let Some(left_geom) = lrow[join.left_column_idx].as_geometry() else {
                 continue;
             };
@@ -846,7 +1093,7 @@ impl Engine {
             // prepared/non-prepared equivalence.
             let _prepared = PreparedGeometry::new(left_geom.clone());
             let mut matched_shapes: Vec<String> = Vec::new();
-            for (ri, rrow) in right_table.rows.iter().enumerate() {
+            for (ri, rrow) in right_table.live_rows() {
                 let Some(right_geom) = rrow[join.right_column_idx].as_geometry() else {
                     continue;
                 };
@@ -892,7 +1139,7 @@ impl Engine {
         let ExecScratch {
             candidates, pairs, ..
         } = scratch;
-        for (li, lrow) in left_table.rows.iter().enumerate() {
+        for (li, lrow) in left_table.live_rows() {
             let Some(left_geom) = lrow[join.left_column_idx].as_geometry() else {
                 continue;
             };
@@ -912,7 +1159,10 @@ impl Engine {
             }
             candidates.sort_unstable();
             for &ri in candidates.iter() {
-                let Some(right_geom) = right_table.rows[ri][join.right_column_idx].as_geometry()
+                // `.get` guards stale index entries referencing tombstones.
+                let Some(right_geom) = right_table.rows[ri]
+                    .get(join.right_column_idx)
+                    .and_then(|v| v.as_geometry())
                 else {
                     continue;
                 };
@@ -947,13 +1197,15 @@ impl Engine {
             ..
         } = scratch;
         right_envelopes.clear();
+        // Tombstoned rows get an EMPTY envelope (`.get` on the empty row),
+        // which the screen rejects with its infinite distance.
         right_envelopes.extend(right_table.rows.iter().map(|rrow| {
-            rrow[join.right_column_idx]
-                .as_geometry()
+            rrow.get(join.right_column_idx)
+                .and_then(|v| v.as_geometry())
                 .map(|g| g.envelope())
                 .unwrap_or_else(Envelope::empty)
         }));
-        for (li, lrow) in left_table.rows.iter().enumerate() {
+        for (li, lrow) in left_table.live_rows() {
             let Some(left_geom) = lrow[join.left_column_idx].as_geometry() else {
                 continue;
             };
@@ -967,7 +1219,10 @@ impl Engine {
                 if left_env.distance_sq(&right_envelopes[ri]) > d_sq {
                     continue;
                 }
-                let Some(right_geom) = rrow[join.right_column_idx].as_geometry() else {
+                let Some(right_geom) = rrow
+                    .get(join.right_column_idx)
+                    .and_then(|v| v.as_geometry())
+                else {
                     continue;
                 };
                 if join.evaluate(left_geom, right_geom, ctx) {
@@ -1486,6 +1741,7 @@ fn project(
         return Ok(QueryResult {
             columns: vec!["count".into()],
             rows: vec![vec![Value::Int(rows.len() as i64)]],
+            effect: None,
         });
     }
     coverage::hit("sdb.exec.projection");
@@ -1506,6 +1762,7 @@ fn project(
     Ok(QueryResult {
         columns: (0..select.items.len()).map(|i| format!("col{i}")).collect(),
         rows: out_rows,
+        effect: None,
     })
 }
 
@@ -1525,6 +1782,7 @@ fn build_join_result(
         return Ok(QueryResult {
             columns: vec!["count".into()],
             rows: vec![vec![Value::Int(matching.len() as i64)]],
+            effect: None,
         });
     }
     coverage::hit("sdb.exec.projection");
@@ -1552,6 +1810,7 @@ fn build_join_result(
     Ok(QueryResult {
         columns: (0..select.items.len()).map(|i| format!("col{i}")).collect(),
         rows: out_rows,
+        effect: None,
     })
 }
 
@@ -1560,7 +1819,7 @@ fn build_rtree(table: &Table, column: &str) -> RTree<usize> {
         return RTree::new();
     };
     let mut tree = RTree::new();
-    for (row_idx, row) in table.rows.iter().enumerate() {
+    for (row_idx, row) in table.live_rows() {
         let envelope = row
             .get(col_idx)
             .map(Database::value_envelope)
@@ -2354,5 +2613,176 @@ mod tests {
             )
             .unwrap();
         assert_eq!(result.single_value(), Some(&Value::Double(2.0)));
+    }
+
+    const MUTATION_SETUP: &str = "CREATE TABLE t (id int, g geometry);
+        INSERT INTO t (id, g) VALUES
+        (1, 'POINT(1 1)'), (2, 'POINT(2 2)'), (3, 'POINT(3 3)');
+        CREATE INDEX idx ON t USING GIST (g);
+        SET enable_seqscan = false;";
+
+    #[test]
+    fn update_moves_rows_and_maintains_the_index() {
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        engine.execute_script(MUTATION_SETUP).unwrap();
+        let result = engine
+            .execute("UPDATE t SET g = 'POINT(9 9)'::geometry WHERE id = 2;")
+            .unwrap();
+        assert_eq!(
+            result.effect,
+            Some(ExecutionResult::Update { rows_updated: 1 })
+        );
+        // The index answers from the *new* location and forgets the old one.
+        assert_eq!(
+            count(
+                &mut engine,
+                "SELECT COUNT(*) FROM t WHERE g ~= 'POINT(9 9)'::geometry;"
+            ),
+            1
+        );
+        assert_eq!(
+            count(
+                &mut engine,
+                "SELECT COUNT(*) FROM t WHERE g ~= 'POINT(2 2)'::geometry;"
+            ),
+            0
+        );
+        // WHERE by geometry value also targets rows.
+        let by_geom = engine
+            .execute("UPDATE t SET id = 7 WHERE g = 'POINT(9 9)'::geometry;")
+            .unwrap();
+        assert_eq!(
+            by_geom.effect,
+            Some(ExecutionResult::Update { rows_updated: 1 })
+        );
+    }
+
+    #[test]
+    fn delete_tombstones_rows_and_keeps_slot_ids_stable() {
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        engine.execute_script(MUTATION_SETUP).unwrap();
+        let result = engine.execute("DELETE FROM t WHERE id = 1;").unwrap();
+        assert_eq!(
+            result.effect,
+            Some(ExecutionResult::Delete { rows_deleted: 1 })
+        );
+        assert_eq!(count(&mut engine, "SELECT COUNT(*) FROM t;"), 2);
+        // Surviving rows keep answering through the index: their slot ids
+        // did not shift when slot 0 was tombstoned.
+        assert_eq!(
+            count(
+                &mut engine,
+                "SELECT COUNT(*) FROM t WHERE g ~= 'POINT(3 3)'::geometry;"
+            ),
+            1
+        );
+        // Deleting an already-deleted row matches nothing.
+        let again = engine.execute("DELETE FROM t WHERE id = 1;").unwrap();
+        assert_eq!(
+            again.effect,
+            Some(ExecutionResult::Delete { rows_deleted: 0 })
+        );
+        // Unfiltered DELETE empties the table.
+        let rest = engine.execute("DELETE FROM t;").unwrap();
+        assert_eq!(
+            rest.effect,
+            Some(ExecutionResult::Delete { rows_deleted: 2 })
+        );
+        assert_eq!(count(&mut engine, "SELECT COUNT(*) FROM t;"), 0);
+    }
+
+    #[test]
+    fn insert_after_delete_reuses_no_slots_and_stays_indexed() {
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        engine.execute_script(MUTATION_SETUP).unwrap();
+        engine.execute("DELETE FROM t WHERE id = 2;").unwrap();
+        engine
+            .execute("INSERT INTO t (id, g) VALUES (4, 'POINT(4 4)');")
+            .unwrap();
+        assert_eq!(count(&mut engine, "SELECT COUNT(*) FROM t;"), 3);
+        assert_eq!(
+            count(
+                &mut engine,
+                "SELECT COUNT(*) FROM t WHERE g ~= 'POINT(4 4)'::geometry;"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn drop_index_falls_back_to_sequential_scans() {
+        let mut engine = Engine::reference(EngineProfile::PostgisLike);
+        engine.execute_script(MUTATION_SETUP).unwrap();
+        let result = engine.execute("DROP INDEX idx;").unwrap();
+        assert_eq!(result.effect, Some(ExecutionResult::DropIndex));
+        // Even with seqscans "disabled", the planner has no index left and
+        // must fall back — and still answers correctly.
+        assert_eq!(
+            count(
+                &mut engine,
+                "SELECT COUNT(*) FROM t WHERE g ~= 'POINT(2 2)'::geometry;"
+            ),
+            1
+        );
+        assert!(engine.execute("DROP INDEX idx;").is_err());
+    }
+
+    #[test]
+    fn stale_index_fault_only_fires_through_update_maintenance() {
+        let fault = FaultSet::with([FaultId::PostgisGistStaleOnMutation]);
+        let query = "SELECT COUNT(*) FROM t WHERE g ~= 'POINT(-5 1)'::geometry;";
+
+        // Load-once: the same final state built purely by INSERT is correct,
+        // so a load-once campaign can never observe this fault.
+        let mut load_once = Engine::with_faults(EngineProfile::PostgisLike, fault.clone());
+        load_once
+            .execute_script(
+                "CREATE TABLE t (id int, g geometry);
+                 INSERT INTO t (id, g) VALUES (1, 'POINT(-5 1)'), (2, 'POINT(2 2)');
+                 CREATE INDEX idx ON t USING GIST (g);
+                 SET enable_seqscan = false;",
+            )
+            .unwrap();
+        assert_eq!(count(&mut load_once, query), 1);
+
+        // Mutation workload: UPDATE moves a row into the negative-x
+        // half-plane; the faulty maintenance skips the reinsert and the
+        // index keeps answering from the stale envelope.
+        let mut churned = Engine::with_faults(EngineProfile::PostgisLike, fault.clone());
+        churned.execute_script(MUTATION_SETUP).unwrap();
+        churned
+            .execute("UPDATE t SET g = 'POINT(-5 1)'::geometry WHERE id = 2;")
+            .unwrap();
+        assert_eq!(count(&mut churned, query), 0, "index answer is stale");
+        churned.execute("SET enable_seqscan = true;").unwrap();
+        churned.execute("DROP INDEX idx;").unwrap();
+        assert_eq!(count(&mut churned, query), 1, "the table itself is right");
+
+        // The reference engine performs the same churn correctly.
+        let mut fixed = Engine::reference(EngineProfile::PostgisLike);
+        fixed.execute_script(MUTATION_SETUP).unwrap();
+        fixed
+            .execute("UPDATE t SET g = 'POINT(-5 1)'::geometry WHERE id = 2;")
+            .unwrap();
+        assert_eq!(count(&mut fixed, query), 1);
+    }
+
+    #[test]
+    fn update_into_positive_halfplane_is_correct_even_with_the_fault() {
+        let mut engine = Engine::with_faults(
+            EngineProfile::PostgisLike,
+            FaultSet::with([FaultId::PostgisGistStaleOnMutation]),
+        );
+        engine.execute_script(MUTATION_SETUP).unwrap();
+        engine
+            .execute("UPDATE t SET g = 'POINT(8 8)'::geometry WHERE id = 1;")
+            .unwrap();
+        assert_eq!(
+            count(
+                &mut engine,
+                "SELECT COUNT(*) FROM t WHERE g ~= 'POINT(8 8)'::geometry;"
+            ),
+            1
+        );
     }
 }

@@ -151,6 +151,13 @@ pub enum FaultId {
     // --- SQL-Server-like reports (unconfirmed) ------------------------------
     SqlServerUnconfirmedWithinCollection,
     SqlServerUnconfirmedCrashEmptyMultipoint,
+    // --- Extension faults (beyond the paper's 35 reports) -------------------
+    /// GiST maintenance skips the reinsert step of an `UPDATE` when the new
+    /// geometry reaches into the negative-x half-plane, leaving the index
+    /// keyed by the stale pre-update envelope. Only reachable by workloads
+    /// that mutate after indexing — load-once campaigns never execute the
+    /// update maintenance path, so they provably cannot hit it.
+    PostgisGistStaleOnMutation,
 }
 
 impl FaultId {
@@ -165,6 +172,7 @@ impl FaultId {
     pub fn from_name(name: &str) -> Option<FaultId> {
         FaultCatalog::all()
             .into_iter()
+            .chain(FaultCatalog::extensions())
             .map(|info| info.id)
             .find(|id| id.name() == name)
     }
@@ -652,10 +660,33 @@ impl FaultCatalog {
         ]
     }
 
-    /// Looks up a fault's metadata.
+    /// Extension faults seeded beyond the paper's 35 reports. Kept out of
+    /// [`FaultCatalog::all`] so the Table 2/3/4 populations stay pinned to
+    /// the paper's counts; lookups ([`FaultCatalog::info`],
+    /// [`FaultId::from_name`]) cover both lists.
+    pub fn extensions() -> Vec<FaultInfo> {
+        vec![FaultInfo {
+            id: FaultId::PostgisGistStaleOnMutation,
+            description:
+                "GiST index keeps the stale pre-update envelope when an UPDATE moves a geometry into the negative-x half-plane",
+            system: FaultySystem::PostGis,
+            kind: FaultKind::Logic,
+            status: FaultStatus::Confirmed,
+            trigger: TriggerClass::Index,
+            detectable_by: Detectability {
+                aei: true,
+                index: true,
+                ..Detectability::default()
+            },
+            listing: None,
+        }]
+    }
+
+    /// Looks up a fault's metadata (extension faults included).
     pub fn info(id: FaultId) -> FaultInfo {
         Self::all()
             .into_iter()
+            .chain(Self::extensions())
             .find(|f| f.id == id)
             .expect("every FaultId has catalog metadata")
     }

@@ -148,12 +148,24 @@ impl Parser {
             ));
         }
         if self.consume_keyword("DROP") {
-            self.expect_keyword("TABLE")?;
-            let name = self.expect_identifier()?;
-            return Ok(Statement::DropTable { name });
+            if self.consume_keyword("TABLE") {
+                let name = self.expect_identifier()?;
+                return Ok(Statement::DropTable { name });
+            }
+            if self.consume_keyword("INDEX") {
+                let name = self.expect_identifier()?;
+                return Ok(Statement::DropIndex { name });
+            }
+            return Err(SdbError::Parse("expected TABLE or INDEX after DROP".into()));
         }
         if self.consume_keyword("INSERT") {
             return self.parse_insert();
+        }
+        if self.consume_keyword("UPDATE") {
+            return self.parse_update();
+        }
+        if self.consume_keyword("DELETE") {
+            return self.parse_delete();
         }
         if self.consume_keyword("SET") {
             return self.parse_set();
@@ -241,6 +253,39 @@ impl Parser {
             table,
             columns,
             rows,
+        })
+    }
+
+    fn parse_update(&mut self) -> SdbResult<Statement> {
+        let table = self.expect_identifier()?;
+        self.expect_keyword("SET")?;
+        let column = self.expect_identifier()?;
+        self.expect(&Token::Eq)?;
+        let value = self.parse_expr()?;
+        let where_clause = if self.consume_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            column,
+            value,
+            where_clause,
+        })
+    }
+
+    fn parse_delete(&mut self) -> SdbResult<Statement> {
+        self.expect_keyword("FROM")?;
+        let table = self.expect_identifier()?;
+        let where_clause = if self.consume_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
         })
     }
 
@@ -760,6 +805,88 @@ mod tests {
         assert!(parse_statement("SELECT g FROM t LIMIT -1").is_err());
         assert!(parse_statement("SELECT g FROM t LIMIT 1.5").is_err());
         assert!(parse_statement("SELECT g FROM t LIMIT two").is_err());
+    }
+
+    #[test]
+    fn parse_update_with_where() {
+        let stmt =
+            parse_statement("UPDATE t1 SET g = 'POINT(2 3)' WHERE g = 'POINT(1 1)'::geometry;")
+                .unwrap();
+        match stmt {
+            Statement::Update {
+                table,
+                column,
+                value,
+                where_clause,
+            } => {
+                assert_eq!(table, "t1");
+                assert_eq!(column, "g");
+                assert_eq!(value, Expr::text("POINT(2 3)"));
+                assert!(matches!(
+                    where_clause,
+                    Some(Expr::Binary {
+                        op: BinaryOp::Eq,
+                        ..
+                    })
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stmt = parse_statement("UPDATE t SET g = 'POINT(0 0)'").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::Update {
+                where_clause: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_delete_with_and_without_where() {
+        let stmt = parse_statement("DELETE FROM t1 WHERE g = 'POINT(1 1)';").unwrap();
+        match stmt {
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                assert_eq!(table, "t1");
+                assert!(where_clause.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stmt = parse_statement("DELETE FROM t1").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::Delete {
+                where_clause: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_drop_index_and_drop_table() {
+        assert_eq!(
+            parse_statement("DROP INDEX idx_0_t1;").unwrap(),
+            Statement::DropIndex {
+                name: "idx_0_t1".into()
+            }
+        );
+        assert_eq!(
+            parse_statement("DROP TABLE t1").unwrap(),
+            Statement::DropTable { name: "t1".into() }
+        );
+        assert!(parse_statement("DROP VIEW v").is_err());
+    }
+
+    #[test]
+    fn malformed_mutations_error() {
+        assert!(parse_statement("UPDATE t1 g = 'POINT(0 0)'").is_err());
+        assert!(parse_statement("UPDATE t1 SET g 'POINT(0 0)'").is_err());
+        assert!(parse_statement("DELETE t1").is_err());
+        assert!(parse_statement("DELETE FROM").is_err());
+        assert!(parse_statement("DROP INDEX").is_err());
     }
 
     #[test]

@@ -16,12 +16,25 @@
 //!
 //! ```text
 //! READY <profile>          -- handshake, once at startup
-//! OK                       -- statement executed, no result rows (DDL/DML/SET)
+//! OK                       -- statement executed, no rows, no mutation effect
+//! OK UPDATE <n>            -- UPDATE touched n rows
+//! OK DELETE <n>            -- DELETE removed n rows
+//! OK DROP-INDEX            -- DROP INDEX removed an index
+//! OK DROP-TABLE            -- DROP TABLE removed a table
 //! ROWS <n> <count|->       -- result set header, followed by n lines:
 //! ROW <first-column-text>
 //! ERR crash <message>      -- a (simulated) engine crash
 //! ERR error <message>      -- any non-crash engine error
 //! ```
+//!
+//! The `OK <kind> [<n>]` grammar is pinned: `<kind>` is one of the four
+//! tokens above, `<n>` is a decimal row count present exactly for `UPDATE`
+//! and `DELETE`, and setup statements that carry no mutation effect
+//! (`CREATE ...`, `INSERT`, `SET`) keep replying bare `OK`, so pre-mutation
+//! clients and servers interoperate on load-once workloads. Replies are
+//! newline-terminated frames; a frame truncated anywhere before its final
+//! newline decodes as a transport error, never as a shorter valid reply
+//! (`OK UPDATE 3` cut to `OK` must not read as a bare success).
 //!
 //! Only the first column of each row is transmitted: the oracle layer
 //! observes either a `COUNT(*)` scalar or the `ST_AsText` column of a KNN
@@ -36,7 +49,7 @@
 //! backend dying mid-session; the client sees the transport fail and must
 //! reopen.
 
-use crate::engine::{Engine, QueryResult};
+use crate::engine::{Engine, ExecutionResult, QueryResult};
 use crate::error::SdbError;
 use crate::faults::FaultSet;
 use crate::profile::EngineProfile;
@@ -105,6 +118,9 @@ impl ServerConfig {
 pub enum Response {
     /// The statement executed and produced no result rows.
     None,
+    /// The statement executed and reported a mutation effect
+    /// (`OK UPDATE <n>` and friends).
+    Effect(ExecutionResult),
     /// A result set.
     Rows {
         /// The first-column values, in engine row order.
@@ -128,7 +144,12 @@ impl Response {
     /// Builds the response for an engine execution result.
     pub fn from_result(result: &Result<QueryResult, SdbError>) -> Response {
         match result {
-            Ok(result) if result.columns.is_empty() && result.rows.is_empty() => Response::None,
+            Ok(result) if result.columns.is_empty() && result.rows.is_empty() => {
+                match result.effect {
+                    Some(effect) => Response::Effect(effect),
+                    None => Response::None,
+                }
+            }
             Ok(result) => Response::Rows {
                 rows: result
                     .rows
@@ -152,6 +173,16 @@ impl Response {
     pub fn write_to(&self, output: &mut impl Write) -> std::io::Result<()> {
         match self {
             Response::None => writeln!(output, "OK")?,
+            Response::Effect(effect) => match effect {
+                ExecutionResult::Update { rows_updated } => {
+                    writeln!(output, "OK UPDATE {rows_updated}")?
+                }
+                ExecutionResult::Delete { rows_deleted } => {
+                    writeln!(output, "OK DELETE {rows_deleted}")?
+                }
+                ExecutionResult::DropIndex => writeln!(output, "OK DROP-INDEX")?,
+                ExecutionResult::DropTable => writeln!(output, "OK DROP-TABLE")?,
+            },
             Response::Rows { rows, count } => {
                 let count = count.map_or("-".to_string(), |c| c.to_string());
                 writeln!(output, "ROWS {} {count}", rows.len())?;
@@ -173,6 +204,26 @@ impl Response {
         let header = read_line(input)?;
         if header == "OK" {
             return Ok(Response::None);
+        }
+        if let Some(rest) = header.strip_prefix("OK ") {
+            let (kind, count) = rest.split_once(' ').unwrap_or((rest, ""));
+            let rows = || {
+                count
+                    .parse::<usize>()
+                    .map_err(|_| protocol_error(&format!("bad OK row count: {header}")))
+            };
+            let effect = match kind {
+                "UPDATE" => ExecutionResult::Update {
+                    rows_updated: rows()?,
+                },
+                "DELETE" => ExecutionResult::Delete {
+                    rows_deleted: rows()?,
+                },
+                "DROP-INDEX" if count.is_empty() => ExecutionResult::DropIndex,
+                "DROP-TABLE" if count.is_empty() => ExecutionResult::DropTable,
+                _ => return Err(protocol_error(&format!("bad OK reply: {header}"))),
+            };
+            return Ok(Response::Effect(effect));
         }
         if let Some(rest) = header.strip_prefix("ROWS ") {
             let (n, count) = rest
@@ -224,6 +275,14 @@ fn read_line(input: &mut impl BufRead) -> std::io::Result<String> {
         return Err(std::io::Error::new(
             std::io::ErrorKind::UnexpectedEof,
             "server closed the stream",
+        ));
+    }
+    // A frame is newline-terminated; EOF mid-line is a truncated frame, and
+    // accepting it would let `OK UPDATE 3` cut to `OK` read as bare success.
+    if !line.ends_with('\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!("truncated frame: {line}"),
         ));
     }
     while line.ends_with('\n') || line.ends_with('\r') {
@@ -360,9 +419,98 @@ mod tests {
     }
 
     #[test]
+    fn serves_mutation_effects_with_pinned_grammar() {
+        let lines = run(
+            &reference_config(),
+            "CREATE TABLE t (id int, g geometry)\n\
+             INSERT INTO t (id, g) VALUES (1, 'POINT(0 0)'), (2, 'POINT(3 4)')\n\
+             CREATE INDEX idx_t ON t USING GIST (g)\n\
+             UPDATE t SET g = 'POINT(9 9)'::geometry WHERE id = 2\n\
+             DELETE FROM t WHERE id = 1\n\
+             DELETE FROM t WHERE id = 1\n\
+             DROP INDEX idx_t\n\
+             DROP TABLE t\n",
+        );
+        assert_eq!(
+            lines,
+            vec![
+                "READY postgis_like",
+                // Setup statements carry no effect: bare OK, as before.
+                "OK",
+                "OK",
+                "OK",
+                "OK UPDATE 1",
+                "OK DELETE 1",
+                "OK DELETE 0",
+                "OK DROP-INDEX",
+                "OK DROP-TABLE",
+            ]
+        );
+    }
+
+    #[test]
+    fn every_truncated_reply_prefix_is_a_transport_error() {
+        // A reply frame cut anywhere before its final newline must decode as
+        // a transport error — never as a shorter valid reply ("OK UPDATE 3"
+        // cut to "OK" is the dangerous case) and never as a wrong row set.
+        let cases = [
+            Response::None,
+            Response::Effect(ExecutionResult::Update { rows_updated: 3 }),
+            Response::Effect(ExecutionResult::Delete { rows_deleted: 12 }),
+            Response::Effect(ExecutionResult::DropIndex),
+            Response::Effect(ExecutionResult::DropTable),
+            Response::Rows {
+                rows: vec!["POINT(0 0)".into(), "7".into()],
+                count: None,
+            },
+            Response::Error {
+                crash: true,
+                message: "engine crash: boom".into(),
+            },
+        ];
+        for case in &cases {
+            let mut wire = Vec::new();
+            case.write_to(&mut wire).unwrap();
+            for cut in 0..wire.len() {
+                let mut reader = BufReader::new(&wire[..cut]);
+                let decoded = Response::read_from(&mut reader);
+                assert!(
+                    decoded.is_err(),
+                    "prefix {:?} of {case:?} decoded as {decoded:?}",
+                    String::from_utf8_lossy(&wire[..cut]),
+                );
+            }
+            let mut reader = BufReader::new(wire.as_slice());
+            assert_eq!(&Response::read_from(&mut reader).unwrap(), case);
+        }
+    }
+
+    #[test]
+    fn malformed_ok_replies_are_rejected() {
+        for line in [
+            "OK UPDATE\n",
+            "OK UPDATE x\n",
+            "OK UPDATE -1\n",
+            "OK DELETE\n",
+            "OK DROP-INDEX 3\n",
+            "OK DROP-TABLE 0\n",
+            "OK TRUNCATE 5\n",
+            "OK \n",
+        ] {
+            let mut reader = BufReader::new(line.as_bytes());
+            assert!(Response::read_from(&mut reader).is_err(), "{line:?}");
+        }
+    }
+
+    #[test]
     fn responses_round_trip_through_the_wire_form() {
         let cases = [
             Response::None,
+            Response::Effect(ExecutionResult::Update { rows_updated: 0 }),
+            Response::Effect(ExecutionResult::Update { rows_updated: 41 }),
+            Response::Effect(ExecutionResult::Delete { rows_deleted: 1 }),
+            Response::Effect(ExecutionResult::DropIndex),
+            Response::Effect(ExecutionResult::DropTable),
             Response::Rows {
                 rows: vec![],
                 count: None,

@@ -1,0 +1,220 @@
+//! End-to-end tests of mutation workloads: interleaved DML/DDL campaigns
+//! that stay byte-identical across every execution shape, stay sound on the
+//! reference engine, and detect the stale-index-maintenance fault class that
+//! load-once campaigns structurally cannot reach.
+
+use spatter_repro::core::campaign::{CampaignConfig, FindingKind};
+use spatter_repro::core::dist::{DistConfig, DistRunner};
+use spatter_repro::core::generator::{GenerationStrategy, GeneratorConfig};
+use spatter_repro::core::mutation::{MutationConfig, MutationScript};
+use spatter_repro::core::replay::{ReplayLog, ReplayRecorder, ReplaySink};
+use spatter_repro::core::runner::CampaignRunner;
+use spatter_repro::core::transform::{AffineStrategy, TransformPlan};
+use spatter_repro::sdb::faults::{FaultId, FaultSet};
+use spatter_repro::sdb::EngineProfile;
+use std::sync::Arc;
+
+fn worker_path() -> &'static str {
+    env!("CARGO_BIN_EXE_spatter-campaign-worker")
+}
+
+/// The procs × threads splits of the acceptance criteria.
+const SPLITS: [(usize, usize); 3] = [(1, 4), (2, 2), (4, 1)];
+
+fn mutation_campaign(seed: u64, iterations: usize) -> CampaignConfig {
+    CampaignConfig {
+        generator: GeneratorConfig {
+            num_geometries: 8,
+            num_tables: 2,
+            strategy: GenerationStrategy::GeometryAware,
+            coordinate_range: 30,
+            random_shape_probability: 0.5,
+        },
+        queries_per_run: 8,
+        affine: AffineStrategy::GeneralInteger,
+        iterations,
+        mutations: Some(MutationConfig::default()),
+        seed,
+        ..CampaignConfig::stock(EngineProfile::PostgisLike)
+    }
+}
+
+fn record_in_process(config: &CampaignConfig, workers: usize) -> (String, ReplayLog) {
+    let recorder = Arc::new(ReplayRecorder::new());
+    let report = CampaignRunner::new(config.clone())
+        .with_workers(workers)
+        .with_replay_sink(recorder.clone() as Arc<dyn ReplaySink>)
+        .run();
+    (report.determinism_fingerprint(), recorder.log(config))
+}
+
+fn record_distributed(
+    config: &CampaignConfig,
+    processes: usize,
+    threads: usize,
+) -> (String, ReplayLog) {
+    let recorder = Arc::new(ReplayRecorder::new());
+    let dist = DistConfig::new(worker_path())
+        .with_processes(processes)
+        .with_threads_per_worker(threads);
+    let report = DistRunner::new(config.clone(), dist)
+        .with_replay_sink(recorder.clone() as Arc<dyn ReplaySink>)
+        .run()
+        .expect("distributed mutation campaign");
+    (report.determinism_fingerprint(), recorder.log(config))
+}
+
+#[test]
+fn mutation_campaigns_are_byte_identical_across_every_execution_shape() {
+    // The acceptance criterion: with a mutation-heavy script interleaved
+    // into every iteration, both the campaign fingerprint and the encoded
+    // replay artifact are the same byte strings at any worker count and any
+    // procs × threads split.
+    let config = mutation_campaign(3, 12);
+    let (reference_fingerprint, reference_log) = record_in_process(&config, 1);
+    let reference_artifact = reference_log.encode();
+    assert!(!reference_artifact.is_empty());
+    for workers in [2, 4] {
+        let (fingerprint, log) = record_in_process(&config, workers);
+        assert_eq!(fingerprint, reference_fingerprint, "{workers} threads");
+        assert_eq!(log.encode(), reference_artifact, "{workers} threads");
+    }
+    for (processes, threads) in SPLITS {
+        let (fingerprint, log) = record_distributed(&config, processes, threads);
+        assert_eq!(
+            fingerprint, reference_fingerprint,
+            "{processes} procs x {threads} threads"
+        );
+        assert_eq!(
+            log.encode(),
+            reference_artifact,
+            "{processes} procs x {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn mutation_schedules_are_mutation_heavy_and_reach_the_setup_hash() {
+    // The workload qualifies as mutation-heavy: across the campaign's
+    // sub-seeds, the destructive fraction (UPDATE / DELETE / DROP) stays at
+    // or above the 30% acceptance floor on average.
+    let generator = GeneratorConfig {
+        num_geometries: 8,
+        num_tables: 2,
+        strategy: GenerationStrategy::GeometryAware,
+        coordinate_range: 30,
+        random_shape_probability: 0.5,
+    };
+    let config = MutationConfig::default();
+    let mut destructive = 0usize;
+    let mut total = 0usize;
+    for sub_seed in 0..32u64 {
+        let mut gen =
+            spatter_repro::core::generator::GeometryGenerator::new(generator.clone(), sub_seed);
+        let spec = gen.generate_database();
+        let plan = TransformPlan::random(AffineStrategy::GeneralInteger, sub_seed ^ 0xaff1e);
+        let script = MutationScript::generate(&spec, 8, &plan, &generator, &config, sub_seed);
+        destructive += script
+            .schedule()
+            .filter(|(_, statement)| statement.is_destructive())
+            .count();
+        total += script.statement_count();
+    }
+    assert!(total > 0);
+    let fraction = destructive as f64 / total as f64;
+    assert!(fraction >= 0.3, "destructive fraction {fraction} below 30%");
+
+    // And the schedule is not cosmetic: the same seed with and without
+    // mutations must record different setup hashes (the artifact folds the
+    // mutation stream into the setup layer).
+    let with = record_in_process(&mutation_campaign(3, 4), 1).1;
+    let without = record_in_process(
+        &CampaignConfig {
+            mutations: None,
+            ..mutation_campaign(3, 4)
+        },
+        1,
+    )
+    .1;
+    assert_eq!(with.frames.len(), without.frames.len());
+    assert!(
+        with.frames
+            .iter()
+            .zip(&without.frames)
+            .all(|(a, b)| a.setup_hash != b.setup_hash),
+        "mutation schedules must be folded into every setup hash"
+    );
+}
+
+#[test]
+fn reference_engine_mutation_campaigns_are_sound() {
+    // The metamorphic contract extended to mutations: applying the same
+    // edits to SDB1 and the affine-mapped edits to SDB2 must keep AEI
+    // holding statement by statement on the fully patched engine — any
+    // finding here would be an oracle bug, not an engine bug.
+    for seed in 0..4u64 {
+        let config = CampaignConfig {
+            backend: Arc::new(spatter_repro::core::InProcessBackend::reference(
+                EngineProfile::PostgisLike,
+            )),
+            ..mutation_campaign(seed, 8)
+        };
+        let report = CampaignRunner::new(config).run();
+        assert_eq!(report.iterations_run, 8);
+        assert!(
+            report.findings.is_empty(),
+            "seed {seed}: reference engine flagged {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn stale_index_fault_is_detected_by_mutations_and_unreachable_load_once() {
+    // The fault class that motivates mutation workloads: an UPDATE whose
+    // index maintenance silently skips the reinsert. Load-once campaigns
+    // never execute UPDATE maintenance, so the faulty path cannot run at
+    // all — the comparison below is structural, not probabilistic.
+    let faulty = FaultSet::with([FaultId::PostgisGistStaleOnMutation]);
+    let mut detected = false;
+    for seed in 0..6u64 {
+        let mutated = CampaignConfig {
+            backend: Arc::new(spatter_repro::core::InProcessBackend::new(
+                EngineProfile::PostgisLike,
+                faulty.clone(),
+            )),
+            ..mutation_campaign(seed, 10)
+        };
+        let load_once = CampaignConfig {
+            mutations: None,
+            ..mutated.clone()
+        };
+
+        // Load-once: the same faulty engine, the same seeds, zero findings.
+        let baseline = CampaignRunner::new(load_once).run();
+        assert!(
+            baseline.findings.is_empty(),
+            "seed {seed}: load-once campaign reached the mutation-only fault: {:?}",
+            baseline.findings
+        );
+
+        let report = CampaignRunner::new(mutated).run();
+        for finding in &report.findings {
+            assert_eq!(finding.kind, FindingKind::Logic, "{finding:?}");
+            // Attribution re-runs the full mutation prefix on the patched
+            // engine and must name the seeded fault.
+            assert_eq!(
+                finding.attributed_faults,
+                vec![FaultId::PostgisGistStaleOnMutation],
+                "{finding:?}"
+            );
+        }
+        detected |= report
+            .unique_faults
+            .contains(&FaultId::PostgisGistStaleOnMutation);
+    }
+    assert!(
+        detected,
+        "no mutation campaign in the seed sweep detected the stale-index fault"
+    );
+}
