@@ -1,0 +1,255 @@
+//! Differential matrix benchmark: what the N×N grid costs over the single
+//! pair it generalises, and what the generic external-engine adapter costs
+//! over the native stdio backend it wraps.
+//!
+//! Two axes:
+//!
+//! * **grid scaling** — a 2×2 reference/stock matrix (both ordered cells)
+//!   at 1, 2 and 4 workers per cell, against the single reference-vs-stock
+//!   campaign it subsumes. The grid orchestration itself should be free:
+//!   the cost is cells × campaign.
+//! * **adapter overhead** — the same fault-seeded campaign through the
+//!   native `StdioBackend` and through `ExternalBackend` driving the same
+//!   `spatter-sdb-server` binary via its self-test dialect. The adapter
+//!   adds line parsing and ready-handshake logic; this row quantifies it.
+//!
+//! Emits `BENCH_differential_matrix.json` in the workspace root. The
+//! adapter rows require the server binary (built by
+//! `cargo build --workspace`); when it is absent the bench records the
+//! in-process rows and says so.
+
+use spatter_core::backend::BackendSpec;
+use spatter_core::campaign::CampaignConfig;
+use spatter_core::matrix::{DialectSpec, MatrixConfig, MatrixEntry, MatrixRunner};
+use spatter_core::runner::CampaignRunner;
+use spatter_sdb::{EngineProfile, FaultSet};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const ITERATIONS: usize = 10;
+const QUERIES: usize = 12;
+const SEED: u64 = 3;
+
+fn base() -> CampaignConfig {
+    CampaignConfig {
+        queries_per_run: QUERIES,
+        iterations: ITERATIONS,
+        seed: SEED,
+        ..CampaignConfig::default()
+    }
+}
+
+fn reference() -> BackendSpec {
+    BackendSpec::InProcess {
+        profile: EngineProfile::PostgisLike,
+        faults: FaultSet::none(),
+    }
+}
+
+fn stock() -> BackendSpec {
+    BackendSpec::InProcess {
+        profile: EngineProfile::PostgisLike,
+        faults: EngineProfile::PostgisLike.default_faults(),
+    }
+}
+
+struct Sample {
+    kind: &'static str,
+    detail: String,
+    iterations: usize,
+    seconds: f64,
+    iterations_per_sec: f64,
+    findings: usize,
+}
+
+fn sample(
+    kind: &'static str,
+    detail: String,
+    iterations: usize,
+    seconds: f64,
+    findings: usize,
+) -> Sample {
+    Sample {
+        kind,
+        detail,
+        iterations,
+        seconds,
+        iterations_per_sec: iterations as f64 / seconds.max(f64::EPSILON),
+        findings,
+    }
+}
+
+/// The single reference-vs-stock campaign the 2×2 grid generalises: the
+/// per-pair baseline cost.
+fn run_single_pair() -> Sample {
+    let config = CampaignConfig {
+        backend: reference().build(),
+        ..base()
+    };
+    let start = Instant::now();
+    let report = CampaignRunner::new(config).run();
+    sample(
+        "single_pair",
+        "reference campaign, AEI oracle".to_string(),
+        report.iterations_run,
+        start.elapsed().as_secs_f64(),
+        report.findings.len(),
+    )
+}
+
+fn run_grid(workers: usize) -> Sample {
+    let entries = vec![
+        MatrixEntry::new("reference", reference()),
+        MatrixEntry::new("stock", stock()),
+    ];
+    let config = MatrixConfig::new(entries, base()).with_workers(workers);
+    let start = Instant::now();
+    let report = MatrixRunner::new(config).run();
+    let iterations: usize = report.cells.iter().map(|c| c.iterations_run).sum();
+    let findings: usize = report.cells.iter().map(|c| c.buckets.total()).sum();
+    sample(
+        "grid_2x2",
+        format!("{workers} workers/cell"),
+        iterations,
+        start.elapsed().as_secs_f64(),
+        findings,
+    )
+}
+
+fn run_subprocess(kind: &'static str, spec: BackendSpec, detail: String) -> Sample {
+    let config = CampaignConfig {
+        backend: spec.build(),
+        ..base()
+    };
+    let start = Instant::now();
+    let report = CampaignRunner::new(config).run();
+    sample(
+        kind,
+        detail,
+        report.iterations_run,
+        start.elapsed().as_secs_f64(),
+        report.findings.len(),
+    )
+}
+
+/// Locates the server binary next to this bench executable
+/// (`target/<profile>/spatter-sdb-server`), if it has been built.
+fn server_binary() -> Option<PathBuf> {
+    let mut path = std::env::current_exe().ok()?;
+    path.pop(); // the bench executable
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    for name in ["spatter-sdb-server", "spatter-sdb-server.exe"] {
+        let candidate = path.join(name);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+fn main() {
+    println!("== Differential matrix: grid scaling and adapter overhead ==\n");
+
+    let mut samples = vec![run_single_pair(), run_grid(1), run_grid(2), run_grid(4)];
+
+    let server = server_binary();
+    match &server {
+        Some(path) => {
+            let faults = EngineProfile::PostgisLike.default_faults();
+            samples.push(run_subprocess(
+                "stdio",
+                BackendSpec::Stdio {
+                    command: path.clone(),
+                    profile: EngineProfile::PostgisLike,
+                    faults: faults.clone(),
+                    hard_crash: false,
+                },
+                "native stdio backend".to_string(),
+            ));
+            samples.push(run_subprocess(
+                "external_adapter",
+                BackendSpec::External {
+                    dialect: DialectSpec::sdb_server(
+                        path,
+                        EngineProfile::PostgisLike,
+                        faults,
+                        false,
+                    ),
+                },
+                "generic adapter, sdb-server dialect".to_string(),
+            ));
+        }
+        None => println!(
+            "note: spatter-sdb-server binary not found next to the bench \
+             executable; adapter rows skipped (run `cargo build --workspace` first)\n"
+        ),
+    }
+
+    let widths = [17, 36, 11, 10, 15, 9];
+    spatter_bench::print_row(
+        &[
+            "kind",
+            "detail",
+            "iterations",
+            "time (s)",
+            "iterations/sec",
+            "findings",
+        ]
+        .map(String::from),
+        &widths,
+    );
+    for s in &samples {
+        spatter_bench::print_row(
+            &[
+                s.kind.to_string(),
+                s.detail.clone(),
+                s.iterations.to_string(),
+                format!("{:.3}", s.seconds),
+                format!("{:.1}", s.iterations_per_sec),
+                s.findings.to_string(),
+            ],
+            &widths,
+        );
+    }
+
+    // Sanity: the grid's findings are worker-count invariant, and the
+    // adapter flags exactly what the stdio backend flags.
+    let grids: Vec<&Sample> = samples.iter().filter(|s| s.kind == "grid_2x2").collect();
+    for grid in &grids[1..] {
+        assert_eq!(
+            grid.findings, grids[0].findings,
+            "grid findings must not depend on the worker count"
+        );
+    }
+    if server.is_some() {
+        let by_kind = |kind: &str| samples.iter().find(|s| s.kind == kind).unwrap();
+        assert_eq!(
+            by_kind("external_adapter").findings,
+            by_kind("stdio").findings,
+            "the adapter must flag exactly what the stdio backend flags"
+        );
+    }
+
+    let entries: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"kind\": \"{}\", \"detail\": \"{}\", \"iterations\": {}, \"seconds\": {:.4}, \"iterations_per_sec\": {:.2}, \"findings\": {}}}",
+                s.kind, s.detail, s.iterations, s.seconds, s.iterations_per_sec, s.findings
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"differential_matrix\",\n  \"config\": \"{ITERATIONS} iterations x {QUERIES} queries, seed {SEED}, PostgisLike reference/stock\",\n  \"adapter_available\": {},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        server.is_some(),
+        entries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_differential_matrix.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_differential_matrix.json");
+    println!("\nwrote {path}");
+}

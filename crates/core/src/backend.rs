@@ -116,6 +116,13 @@ pub enum BackendSpec {
         /// Whether the server is launched with `--hard-crash`.
         hard_crash: bool,
     },
+    /// An [`crate::matrix::ExternalBackend`] driving an arbitrary
+    /// SQL-speaking subprocess described by a
+    /// [`crate::matrix::DialectSpec`].
+    External {
+        /// The dialect describing how to launch and talk to the engine.
+        dialect: crate::matrix::DialectSpec,
+    },
 }
 
 impl BackendSpec {
@@ -140,6 +147,9 @@ impl BackendSpec {
                 StdioBackend::new(command.clone(), *profile, faults.clone())
                     .with_hard_crash(*hard_crash),
             ),
+            BackendSpec::External { dialect } => {
+                Box::new(crate::matrix::ExternalBackend::new(dialect.clone()))
+            }
         }
     }
 
@@ -147,6 +157,7 @@ impl BackendSpec {
     pub fn profile(&self) -> EngineProfile {
         match self {
             BackendSpec::InProcess { profile, .. } | BackendSpec::Stdio { profile, .. } => *profile,
+            BackendSpec::External { dialect } => dialect.profile,
         }
     }
 }
@@ -550,8 +561,11 @@ impl Drop for ServerHandle {
 /// The canonical transport-failure error. The message is deliberately
 /// constant: it feeds finding descriptions, which must be byte-identical
 /// across worker counts regardless of whether the failure surfaced as a
-/// broken pipe, an EOF, or a half-written frame.
-fn transport_lost() -> BackendError {
+/// broken pipe, an EOF, or a half-written frame. Crate-visible so the
+/// external-engine adapter ([`crate::matrix`]) reports dead subprocesses
+/// with the identical message — kill-mid-cell recovery parity with this
+/// backend is asserted by the matrix tests.
+pub(crate) fn transport_lost() -> BackendError {
     BackendError::Transport("engine process terminated".into())
 }
 

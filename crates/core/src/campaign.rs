@@ -13,7 +13,7 @@ use crate::backend::{BackendSpec, EngineBackend, InProcessBackend};
 use crate::generator::GeneratorConfig;
 use crate::guidance::{GuidanceMode, ScenarioKnobs};
 use crate::mutation::{MutationConfig, MutationScript};
-use crate::oracles::OracleOutcome;
+use crate::oracles::{DivergenceSide, OracleOutcome};
 use crate::queries::QueryInstance;
 use crate::runner::OracleKind;
 use crate::spec::DatabaseSpec;
@@ -157,6 +157,12 @@ pub enum FindingKind {
 pub struct Finding {
     /// Logic or crash.
     pub kind: FindingKind,
+    /// Which side of the oracle's comparison diverged: the engine under test
+    /// ([`DivergenceSide::Left`]), the comparison engine of a differential
+    /// pair ([`DivergenceSide::Right`]), or an unresolved two-engine
+    /// disagreement ([`DivergenceSide::Both`]). The matrix subsystem's
+    /// bucketing consumes this.
+    pub side: DivergenceSide,
     /// Human-readable description from the oracle.
     pub description: String,
     /// The iteration in which it was found.
@@ -230,8 +236,12 @@ impl CampaignReport {
             .iter()
             .map(|f| {
                 format!(
-                    "{:?}|{}|{}|{:?}",
-                    f.kind, f.description, f.iteration, f.attributed_faults
+                    "{:?}|{}|{}|{}|{:?}",
+                    f.kind,
+                    f.side.name(),
+                    f.description,
+                    f.iteration,
+                    f.attributed_faults
                 )
             })
             .collect();

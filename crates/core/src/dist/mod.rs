@@ -662,7 +662,7 @@ impl Supervisor<'_> {
                                     None => cost,
                                 });
                             }
-                            let frame = record.replay;
+                            let frame = record.replay.clone();
                             if self.completed.insert(record.iteration, record).is_some() {
                                 self.stats.duplicate_records += 1;
                             } else {

@@ -50,7 +50,11 @@ use std::time::Duration;
 /// `guidance_epoch` field and the supervisor's `epoch <snapshot>` broadcast.
 /// Version 4 added the mutation-workload marker (`no-mutations` /
 /// `mutations <statements_per_run> <index_churn>`) to the campaign layout.
-pub const WIRE_VERSION: u32 = 4;
+/// Version 5 added the external-adapter backend spec (`external <dialect>`),
+/// the divergence-side token on findings, and the per-query outcome digest
+/// stream on record replay frames — the matrix subsystem's additions, so
+/// matrix cells can ride the fabric.
+pub const WIRE_VERSION: u32 = 5;
 
 /// Why a wire message could not be decoded (or a value not encoded).
 /// Structured, so callers can distinguish a harness misconfiguration
@@ -123,7 +127,9 @@ impl std::error::Error for WireError {}
 /// Escapes a string into a single whitespace-free token: `%` and every
 /// whitespace byte become `%XX`, and the empty string becomes the marker
 /// token `%-` (an empty token would vanish when the line is split).
-fn escape(text: &str) -> String {
+/// Crate-visible: the matrix report artifact ([`crate::matrix`]) reuses the
+/// same escaping for backend labels.
+pub(crate) fn escape(text: &str) -> String {
     if text.is_empty() {
         return "%-".to_string();
     }
@@ -146,7 +152,7 @@ fn escape(text: &str) -> String {
 /// escapes `%` and ASCII whitespace; multi-byte characters pass through as
 /// UTF-8). Accepting them would silently decode `%e9` as U+00E9, a byte
 /// sequence the encoder cannot have produced.
-fn unescape(token: &str) -> Result<String, WireError> {
+pub(crate) fn unescape(token: &str) -> Result<String, WireError> {
     if token == "%-" {
         return Ok(String::new());
     }
@@ -401,7 +407,102 @@ fn write_backend_spec(writer: &mut TokenWriter, spec: &BackendSpec) {
             write_faults(writer, faults);
             writer.push_bool(*hard_crash);
         }
+        BackendSpec::External { dialect } => {
+            writer.push_raw("external");
+            write_dialect(writer, dialect);
+        }
     }
+}
+
+fn write_dialect(writer: &mut TokenWriter, dialect: &crate::matrix::DialectSpec) {
+    writer.push_str(&dialect.name);
+    writer.push_str(&dialect.command.to_string_lossy());
+    writer.push_usize(dialect.args.len());
+    for arg in &dialect.args {
+        writer.push_str(arg);
+    }
+    write_profile(writer, dialect.profile);
+    match &dialect.ready_prefix {
+        None => writer.push_raw("no-ready"),
+        Some(prefix) => {
+            writer.push_raw("ready");
+            writer.push_str(prefix);
+        }
+    }
+    writer.push_str(&dialect.terminator);
+    match &dialect.grammar {
+        crate::matrix::ReplyGrammar::SdbServer => writer.push_raw("sdb-server"),
+        crate::matrix::ReplyGrammar::Sentinel {
+            echo_command,
+            done_marker,
+            error_prefixes,
+        } => {
+            writer.push_raw("sentinel");
+            writer.push_str(echo_command);
+            writer.push_str(done_marker);
+            writer.push_usize(error_prefixes.len());
+            for (prefix, crash) in error_prefixes {
+                writer.push_str(prefix);
+                writer.push_bool(*crash);
+            }
+        }
+    }
+}
+
+fn read_dialect(reader: &mut TokenReader) -> Result<crate::matrix::DialectSpec, WireError> {
+    let name = reader.next_str()?;
+    let command = PathBuf::from(reader.next_str()?);
+    let n_args = reader.next_usize("dialect arg count")?;
+    let mut args = Vec::with_capacity(n_args.min(64));
+    for _ in 0..n_args {
+        args.push(reader.next_str()?);
+    }
+    let profile = read_profile(reader)?;
+    let ready_prefix = match reader.next()? {
+        "no-ready" => None,
+        "ready" => Some(reader.next_str()?),
+        other => {
+            return Err(WireError::Malformed {
+                expected: "dialect ready marker",
+                got: other.to_string(),
+            })
+        }
+    };
+    let terminator = reader.next_str()?;
+    let grammar = match reader.next()? {
+        "sdb-server" => crate::matrix::ReplyGrammar::SdbServer,
+        "sentinel" => {
+            let echo_command = reader.next_str()?;
+            let done_marker = reader.next_str()?;
+            let n_prefixes = reader.next_usize("error prefix count")?;
+            let mut error_prefixes = Vec::with_capacity(n_prefixes.min(64));
+            for _ in 0..n_prefixes {
+                let prefix = reader.next_str()?;
+                let crash = reader.next_bool("error prefix crash flag")?;
+                error_prefixes.push((prefix, crash));
+            }
+            crate::matrix::ReplyGrammar::Sentinel {
+                echo_command,
+                done_marker,
+                error_prefixes,
+            }
+        }
+        other => {
+            return Err(WireError::Malformed {
+                expected: "dialect reply grammar",
+                got: other.to_string(),
+            })
+        }
+    };
+    Ok(crate::matrix::DialectSpec {
+        name,
+        command,
+        args,
+        profile,
+        ready_prefix,
+        terminator,
+        grammar,
+    })
 }
 
 fn read_backend_spec(reader: &mut TokenReader) -> Result<BackendSpec, WireError> {
@@ -415,6 +516,9 @@ fn read_backend_spec(reader: &mut TokenReader) -> Result<BackendSpec, WireError>
             profile: read_profile(reader)?,
             faults: read_faults(reader)?,
             hard_crash: reader.next_bool("hard-crash flag")?,
+        }),
+        "external" => Ok(BackendSpec::External {
+            dialect: read_dialect(reader)?,
         }),
         other => Err(WireError::Malformed {
             expected: "backend spec kind",
@@ -640,6 +744,7 @@ fn write_finding(writer: &mut TokenWriter, finding: &Finding) {
         FindingKind::Logic => "logic",
         FindingKind::Crash => "crash",
     });
+    writer.push_raw(finding.side.name());
     writer.push_str(&finding.description);
     writer.push_usize(finding.iteration);
     writer.push_duration(finding.elapsed);
@@ -660,6 +765,13 @@ fn read_finding(reader: &mut TokenReader) -> Result<Finding, WireError> {
             })
         }
     };
+    let side = {
+        let token = reader.next()?;
+        crate::oracles::DivergenceSide::from_name(token).ok_or_else(|| WireError::Malformed {
+            expected: "divergence side",
+            got: token.to_string(),
+        })?
+    };
     let description = reader.next_str()?;
     let iteration = reader.next_usize("finding iteration")?;
     let elapsed = reader.next_duration("finding elapsed")?;
@@ -673,6 +785,7 @@ fn read_finding(reader: &mut TokenReader) -> Result<Finding, WireError> {
     }
     Ok(Finding {
         kind,
+        side,
         description,
         iteration,
         elapsed,
@@ -690,6 +803,10 @@ fn write_record(writer: &mut TokenWriter, record: &IterationRecord) {
     writer.push_u64(record.replay.setup_hash);
     writer.push_u64(record.replay.outcome_hash);
     writer.push_u64(record.replay.probe_hash);
+    writer.push_usize(record.replay.query_digests.len());
+    for digest in &record.replay.query_digests {
+        writer.push_u64(*digest);
+    }
     writer.push_duration(record.generation_time);
     writer.push_duration(record.engine_time);
     writer.push_duration(record.coverage.0);
@@ -709,12 +826,21 @@ fn write_record(writer: &mut TokenWriter, record: &IterationRecord) {
 
 fn read_record(reader: &mut TokenReader) -> Result<IterationRecord, WireError> {
     let iteration = reader.next_usize("record iteration")?;
-    let replay = crate::replay::ReplayFrame {
-        iteration,
-        sub_seed: reader.next_u64("replay sub-seed")?,
-        setup_hash: reader.next_u64("replay setup hash")?,
-        outcome_hash: reader.next_u64("replay outcome hash")?,
-        probe_hash: reader.next_u64("replay probe hash")?,
+    let replay = {
+        let mut frame = crate::replay::ReplayFrame {
+            iteration,
+            sub_seed: reader.next_u64("replay sub-seed")?,
+            setup_hash: reader.next_u64("replay setup hash")?,
+            outcome_hash: reader.next_u64("replay outcome hash")?,
+            probe_hash: reader.next_u64("replay probe hash")?,
+            query_digests: Vec::new(),
+        };
+        let n_digests = reader.next_usize("query digest count")?;
+        frame.query_digests.reserve(n_digests.min(1 << 20));
+        for _ in 0..n_digests {
+            frame.query_digests.push(reader.next_u64("query digest")?);
+        }
+        frame
     };
     let generation_time = reader.next_duration("generation time")?;
     let engine_time = reader.next_duration("engine time")?;
@@ -1077,6 +1203,13 @@ mod tests {
             } else {
                 FindingKind::Crash
             },
+            side: *[
+                crate::oracles::DivergenceSide::Left,
+                crate::oracles::DivergenceSide::Right,
+                crate::oracles::DivergenceSide::Both,
+            ]
+            .choose(rng)
+            .expect("non-empty"),
             description: random_string(rng),
             iteration: rng.random_range(0..10_000usize),
             elapsed: Duration::from_nanos(rng.next_u64() >> 16),
@@ -1113,6 +1246,9 @@ mod tests {
                 setup_hash: rng.next_u64(),
                 outcome_hash: rng.next_u64(),
                 probe_hash: rng.next_u64(),
+                query_digests: (0..rng.random_range(0..5usize))
+                    .map(|_| rng.next_u64())
+                    .collect(),
             },
         }
     }
@@ -1126,18 +1262,49 @@ mod tests {
         ]
         .choose(rng)
         .expect("non-empty");
-        let backend_spec = if rng.random_bool(0.5) {
-            BackendSpec::InProcess {
+        let backend_spec = match rng.random_range(0..4u32) {
+            0 => BackendSpec::InProcess {
                 profile,
                 faults: profile.default_faults(),
-            }
-        } else {
-            BackendSpec::Stdio {
+            },
+            1 => BackendSpec::Stdio {
                 command: PathBuf::from(format!("/tmp/server dir/bin-{}", rng.next_u64() % 100)),
                 profile,
                 faults: FaultSet::none(),
                 hard_crash: rng.random_bool(0.5),
-            }
+            },
+            2 => BackendSpec::External {
+                dialect: crate::matrix::DialectSpec::sdb_server(
+                    format!("/tmp/server dir/bin-{}", rng.next_u64() % 100),
+                    profile,
+                    FaultSet::none(),
+                    rng.random_bool(0.5),
+                ),
+            },
+            _ => BackendSpec::External {
+                dialect: crate::matrix::DialectSpec {
+                    name: random_string(rng),
+                    command: PathBuf::from("/usr/bin/psql"),
+                    args: (0..rng.random_range(0..4usize))
+                        .map(|_| random_string(rng))
+                        .collect(),
+                    profile,
+                    ready_prefix: if rng.random_bool(0.5) {
+                        Some(random_string(rng))
+                    } else {
+                        None
+                    },
+                    terminator: ";".to_string(),
+                    grammar: crate::matrix::ReplyGrammar::Sentinel {
+                        echo_command: "\\echo SPATTER_DONE".to_string(),
+                        done_marker: "SPATTER_DONE".to_string(),
+                        error_prefixes: vec![
+                            ("ERROR:".to_string(), false),
+                            (random_string(rng), rng.random_bool(0.5)),
+                        ],
+                    },
+                },
+            },
         };
         let n_oracles = rng.random_range(1..4usize);
         let oracles = (0..n_oracles)
@@ -1214,6 +1381,7 @@ mod tests {
         assert_eq!(a.findings.len(), b.findings.len());
         for (fa, fb) in a.findings.iter().zip(&b.findings) {
             assert_eq!(fa.kind, fb.kind);
+            assert_eq!(fa.side, fb.side);
             assert_eq!(fa.description, fb.description);
             assert_eq!(fa.iteration, fb.iteration);
             assert_eq!(fa.elapsed, fb.elapsed);

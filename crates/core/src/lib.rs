@@ -49,6 +49,11 @@
 //!    line-delimited replay artifacts, artifact/live divergence bisection to
 //!    the first diverging iteration, and coverage-preserving guided
 //!    reduction of the diverging scenario.
+//! 8. [`matrix`] — the differential testing matrix: external-engine
+//!    adapters ([`matrix::ExternalBackend`] over a plain-data
+//!    [`matrix::DialectSpec`]) and an N×N campaign grid running the AEI +
+//!    differential suite over every ordered backend pair, merging per-cell
+//!    reports with findings bucketed by which side diverged.
 
 pub mod backend;
 pub mod campaign;
@@ -56,6 +61,7 @@ pub mod dist;
 pub mod fabric;
 pub mod generator;
 pub mod guidance;
+pub mod matrix;
 pub mod mutation;
 pub mod oracles;
 pub mod queries;
@@ -75,8 +81,14 @@ pub use dist::{DistConfig, DistError, DistRunner, DistStats, LeasePolicy};
 pub use fabric::{ChannelControl, StdioTransport, TcpTransport, Transport, WorkerChannel};
 pub use generator::{GenerationStrategy, GeneratorConfig, GeometryGenerator};
 pub use guidance::{EditBias, Guidance, GuidanceMode, ScenarioKnobs, TemplateWeights};
+pub use matrix::{
+    DialectSpec, ExternalBackend, MatrixConfig, MatrixEntry, MatrixReport, MatrixRunner,
+    ReplyGrammar,
+};
 pub use mutation::{MutationConfig, MutationScript, MutationStatement};
-pub use oracles::{AeiOracle, DifferentialOracle, IndexOracle, Oracle, OracleOutcome, TlpOracle};
+pub use oracles::{
+    AeiOracle, DifferentialOracle, DivergenceSide, IndexOracle, Oracle, OracleOutcome, TlpOracle,
+};
 pub use queries::{QueryInstance, QueryTemplate, RangeFunction};
 pub use replay::{
     Divergence, DivergenceLayer, ReplayError, ReplayFrame, ReplayLog, ReplayRecorder, ReplaySink,

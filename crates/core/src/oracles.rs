@@ -23,21 +23,72 @@ use spatter_geom::wkt::{parse_wkt, write_wkt};
 use spatter_sdb::EngineProfile;
 use spatter_topo::distance as topo_distance;
 
+/// Which engine of a comparison a finding implicates. Every oracle compares
+/// two executions; the *left* side is always the engine under test (the
+/// campaign's own backend) and the *right* side is the comparison engine of a
+/// differential pair. Self-comparisons (AEI frames, seqscan vs. index, TLP
+/// partitions) only ever implicate the engine under test, so their findings
+/// are left-sided; a differential value mismatch implicates both sides until
+/// the matrix-level grid refinement assigns blame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DivergenceSide {
+    /// The engine under test diverged (or crashed).
+    Left,
+    /// The comparison engine diverged (or crashed).
+    Right,
+    /// The two sides disagree and neither is locally known to be wrong.
+    Both,
+}
+
+impl DivergenceSide {
+    /// Stable lowercase name, used on the wire and in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DivergenceSide::Left => "left",
+            DivergenceSide::Right => "right",
+            DivergenceSide::Both => "both",
+        }
+    }
+
+    /// Parses the stable name back (wire decode).
+    pub fn from_name(name: &str) -> Option<DivergenceSide> {
+        match name {
+            "left" => Some(DivergenceSide::Left),
+            "right" => Some(DivergenceSide::Right),
+            "both" => Some(DivergenceSide::Both),
+            _ => None,
+        }
+    }
+
+    fn tag(&self) -> u64 {
+        match self {
+            DivergenceSide::Left => 0,
+            DivergenceSide::Right => 1,
+            DivergenceSide::Both => 2,
+        }
+    }
+}
+
 /// The verdict of an oracle for one query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OracleOutcome {
     /// The oracle saw nothing suspicious.
     Pass,
     /// The oracle observed a logic discrepancy; the payload describes the two
-    /// observations that disagree.
+    /// observations that disagree and which side of the comparison they
+    /// implicate.
     LogicBug {
         /// Human-readable description of the disagreement.
         description: String,
+        /// Which side of the comparison diverged.
+        side: DivergenceSide,
     },
     /// A statement crashed the engine.
     Crash {
         /// The crash message.
         message: String,
+        /// Which side's engine crashed.
+        side: DivergenceSide,
     },
     /// The oracle could not apply to this query (e.g. the function does not
     /// exist in the comparison engine, or the statements errored) — not a
@@ -65,20 +116,42 @@ impl OracleOutcome {
         matches!(self, OracleOutcome::Skipped)
     }
 
+    /// The side a finding outcome implicates; `None` for non-findings.
+    pub fn side(&self) -> Option<DivergenceSide> {
+        match self {
+            OracleOutcome::LogicBug { side, .. } | OracleOutcome::Crash { side, .. } => Some(*side),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the implicated side of a finding outcome (non-findings pass
+    /// through unchanged). Used where the caller, not the error taxonomy,
+    /// knows which engine an error came from — e.g. the differential oracle
+    /// re-siding a comparison-engine crash to [`DivergenceSide::Right`].
+    pub fn with_side(mut self, new_side: DivergenceSide) -> OracleOutcome {
+        if let OracleOutcome::LogicBug { side, .. } | OracleOutcome::Crash { side, .. } = &mut self
+        {
+            *side = new_side;
+        }
+        self
+    }
+
     /// Feeds the outcome into a replay hasher: a per-variant tag plus the
     /// exact payload text, so two runs' outcome hashes agree iff every
-    /// outcome (including its description) matches. Part of the
+    /// outcome (including its description and side) matches. Part of the
     /// [`crate::replay`] frame's outcome layer.
     pub fn absorb_into(&self, hasher: &mut crate::replay::ReplayHasher) {
         match self {
             OracleOutcome::Pass => hasher.write_u64(0),
-            OracleOutcome::LogicBug { description } => {
+            OracleOutcome::LogicBug { description, side } => {
                 hasher.write_u64(1);
                 hasher.write_str(description);
+                hasher.write_u64(side.tag());
             }
-            OracleOutcome::Crash { message } => {
+            OracleOutcome::Crash { message, side } => {
                 hasher.write_u64(2);
                 hasher.write_str(message);
+                hasher.write_u64(side.tag());
             }
             OracleOutcome::Inapplicable => hasher.write_u64(3),
             OracleOutcome::Skipped => hasher.write_u64(4),
@@ -89,13 +162,19 @@ impl OracleOutcome {
 /// The one place the [`BackendError`] taxonomy becomes an oracle verdict:
 /// crashes are crash findings, transport failures (the engine process died
 /// mid-query) are treated exactly like crashes, and semantic errors make the
-/// query inapplicable — never a bug, mirroring §4.1.
+/// query inapplicable — never a bug, mirroring §4.1. Errors default to the
+/// *left* side (the engine under test); callers that know the error came from
+/// a comparison engine re-side it with [`OracleOutcome::with_side`].
 impl From<BackendError> for OracleOutcome {
     fn from(error: BackendError) -> OracleOutcome {
         match error {
-            BackendError::Crash(message) => OracleOutcome::Crash { message },
+            BackendError::Crash(message) => OracleOutcome::Crash {
+                message,
+                side: DivergenceSide::Left,
+            },
             BackendError::Transport(message) => OracleOutcome::Crash {
                 message: format!("backend transport failure: {message}"),
+                side: DivergenceSide::Left,
             },
             BackendError::Semantic(_) => OracleOutcome::Inapplicable,
         }
@@ -313,7 +392,12 @@ pub(crate) fn check_aei_query(
                         b.describe()
                     ),
                 };
-                OracleOutcome::LogicBug { description }
+                // Both frames ran on the *same* engine: the inconsistency is
+                // the engine under test disagreeing with itself.
+                OracleOutcome::LogicBug {
+                    description,
+                    side: DivergenceSide::Left,
+                }
             }
         }
         _ => OracleOutcome::Inapplicable,
@@ -454,7 +538,13 @@ impl Oracle for DifferentialOracle {
                     Ok(observed) => observed,
                     Err(outcome) => return outcome,
                 };
-                let observed2 = run_observed(session2.as_mut(), query, &sql).unwrap_or_default();
+                let observed2 = match run_observed(session2.as_mut(), query, &sql) {
+                    Ok(observed) => observed,
+                    // A fatal error of the comparison engine is a finding
+                    // about *it*, not about the engine under test: surface it
+                    // re-sided so matrix bucketing blames the right engine.
+                    Err(outcome) => return outcome.with_side(DivergenceSide::Right),
+                };
                 match (observed1, observed2) {
                     (Some(a), Some(b)) if a != b => OracleOutcome::LogicBug {
                         description: format!(
@@ -465,6 +555,9 @@ impl Oracle for DifferentialOracle {
                             self.other.name(),
                             b.describe()
                         ),
+                        // Two independent engines disagree; neither answer is
+                        // locally known to be wrong.
+                        side: DivergenceSide::Both,
                     },
                     (Some(_), Some(_)) => OracleOutcome::Pass,
                     _ => OracleOutcome::Inapplicable,
@@ -528,6 +621,7 @@ impl Oracle for IndexOracle {
                             a.describe(),
                             b.describe()
                         ),
+                        side: DivergenceSide::Left,
                     },
                     (Some(_), Some(_)) => OracleOutcome::Pass,
                     _ => OracleOutcome::Inapplicable,
@@ -595,6 +689,7 @@ impl Oracle for TlpOracle {
                             "{}: {p} + NOT {n} != |cross product| {expected_total}",
                             query.template.function_name()
                         ),
+                        side: DivergenceSide::Left,
                     },
                     (Some(_), Some(_)) => OracleOutcome::Pass,
                     _ => OracleOutcome::Inapplicable,

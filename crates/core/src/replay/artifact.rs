@@ -21,8 +21,10 @@
 //!
 //! One header line (version, campaign identity, declared frame count), then
 //! exactly `frames` `frame` lines — iteration index plus the four hash
-//! layers of a [`ReplayFrame`], all as decimal `u64`s — and a closing `end`
-//! line. The declared count and the footer make truncation *detectable at
+//! layers of a [`ReplayFrame`], all as decimal `u64`s, optionally followed
+//! by a ` q <n> <digests...>` group carrying the per-query outcome digests
+//! (absent on pre-digest artifacts, which still decode) — and a closing
+//! `end` line. The declared count and the footer make truncation *detectable at
 //! any byte*: an artifact cut short mid-transfer — even inside the last
 //! digit of the last frame, which the count alone cannot catch — decodes
 //! to a structured error, never to a silently different log (which would
@@ -155,13 +157,25 @@ impl ReplayLog {
         ));
         for frame in &self.frames {
             out.push_str(&format!(
-                "frame {} {} {} {} {}\n",
+                "frame {} {} {} {} {}",
                 frame.iteration,
                 frame.sub_seed,
                 frame.setup_hash,
                 frame.outcome_hash,
                 frame.probe_hash,
             ));
+            // The per-query digest stream is an optional trailing token
+            // group (like `epoch` in the header): frames without digests
+            // keep the historical line byte for byte, and pre-digest
+            // decoders would reject the token — which the version field
+            // covers — while pre-digest *artifacts* still decode here.
+            if !frame.query_digests.is_empty() {
+                out.push_str(&format!(" q {}", frame.query_digests.len()));
+                for digest in &frame.query_digests {
+                    out.push_str(&format!(" {digest}"));
+                }
+            }
+            out.push('\n');
         }
         out.push_str("end\n");
         out
@@ -250,14 +264,28 @@ impl ReplayLog {
             let mut tokens = line.split_ascii_whitespace();
             expect_keyword(line_no, "frame", tokens.next())?;
             let iteration = parse_usize(line_no, "frame iteration", tokens.next())?;
-            let frame = ReplayFrame {
+            let mut frame = ReplayFrame {
                 iteration,
                 sub_seed: parse_u64(line_no, "sub-seed", tokens.next())?,
                 setup_hash: parse_u64(line_no, "setup hash", tokens.next())?,
                 outcome_hash: parse_u64(line_no, "outcome hash", tokens.next())?,
                 probe_hash: parse_u64(line_no, "probe hash", tokens.next())?,
+                query_digests: Vec::new(),
             };
-            if let Some(extra) = tokens.next() {
+            // The `q` token group is optional: pre-digest frame lines end
+            // after the probe hash and decode with no digests.
+            let mut next = tokens.next();
+            if next == Some("q") {
+                let count = parse_usize(line_no, "query digest count", tokens.next())?;
+                frame.query_digests.reserve(count.min(1 << 20));
+                for _ in 0..count {
+                    frame
+                        .query_digests
+                        .push(parse_u64(line_no, "query digest", tokens.next())?);
+                }
+                next = tokens.next();
+            }
+            if let Some(extra) = next {
                 return Err(ReplayError::Malformed {
                     line: line_no,
                     expected: "end of frame",
@@ -354,6 +382,7 @@ mod tests {
                     setup_hash: 0x5e70 + i as u64,
                     outcome_hash: 0x07c0 ^ i as u64,
                     probe_hash: (i as u64) << 60,
+                    query_digests: Vec::new(),
                 })
                 .collect(),
         }
@@ -396,6 +425,40 @@ mod tests {
                 got: "x".to_string()
             })
         );
+    }
+
+    #[test]
+    fn query_digest_stream_round_trips_and_stays_optional() {
+        let mut log = sample_log();
+        log.frames[1].query_digests = vec![11, u64::MAX, 0];
+        log.frames[3].query_digests = vec![42];
+        let text = log.encode();
+        // Digest-carrying frames grow a trailing ` q <n> <digests...>` group;
+        // digest-free frames keep the historical five-token line.
+        assert!(text.contains(&format!(
+            "frame 1 {} {} {} {} q 3 11 {} 0\n",
+            log.frames[1].sub_seed,
+            log.frames[1].setup_hash,
+            log.frames[1].outcome_hash,
+            log.frames[1].probe_hash,
+            u64::MAX
+        )));
+        assert_eq!(ReplayLog::decode(&text), Ok(log.clone()));
+        // Backward: a pre-digest artifact (no `q` group anywhere) decodes
+        // with empty digest streams.
+        let mut old = sample_log();
+        old.frames[1].iteration = 1;
+        let decoded = ReplayLog::decode(&old.encode()).expect("pre-digest artifact decodes");
+        assert!(decoded.frames.iter().all(|f| f.query_digests.is_empty()));
+        // A digest count without the digests is a structured error.
+        let bad = text.replacen(" q 3 11", " q 3", 1);
+        assert!(matches!(
+            ReplayLog::decode(&bad),
+            Err(ReplayError::Malformed {
+                expected: "query digest",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -83,13 +83,34 @@ pub struct Divergence {
     pub right: Option<ReplayFrame>,
 }
 
+impl Divergence {
+    /// The first query whose outcome digest differs, for an outcome-layer
+    /// divergence whose frames both carry per-query digests. `None` on other
+    /// layers, on pre-digest frames, or when the per-query streams agree
+    /// (the iteration-wide hash can cover cross-query state the per-query
+    /// streams do not).
+    pub fn diverging_query(&self) -> Option<usize> {
+        if self.layer != DivergenceLayer::Outcome {
+            return None;
+        }
+        match (&self.left, &self.right) {
+            (Some(left), Some(right)) => left.first_diverging_query(right),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "iteration={} layer={} sub_seed={}",
             self.iteration, self.layer, self.sub_seed
-        )
+        )?;
+        if let Some(query) = self.diverging_query() {
+            write!(f, " query={query}")?;
+        }
+        Ok(())
     }
 }
 
@@ -117,8 +138,8 @@ pub fn compare_logs(left: &ReplayLog, right: &ReplayLog) -> Option<Divergence> {
                         iteration: lf.iteration,
                         layer,
                         sub_seed: lf.sub_seed,
-                        left: Some(**lf),
-                        right: Some(**rf),
+                        left: Some((*lf).clone()),
+                        right: Some((*rf).clone()),
                     });
                 }
                 l.next();
@@ -134,8 +155,8 @@ fn missing(frame: &ReplayFrame, frame_is_left: bool) -> Divergence {
         iteration: frame.iteration,
         layer: DivergenceLayer::MissingFrame,
         sub_seed: frame.sub_seed,
-        left: frame_is_left.then_some(*frame),
-        right: (!frame_is_left).then_some(*frame),
+        left: frame_is_left.then(|| frame.clone()),
+        right: (!frame_is_left).then(|| frame.clone()),
     }
 }
 
@@ -186,7 +207,7 @@ pub fn bisect_against_live(
             iteration: frame.iteration,
             layer,
             sub_seed: frame.sub_seed,
-            left: Some(*frame),
+            left: Some(frame.clone()),
             right: Some(live),
         })
     };
@@ -343,6 +364,7 @@ mod tests {
             setup_hash: 7,
             outcome_hash: outcome,
             probe_hash: 9,
+            query_digests: Vec::new(),
         }
     }
 
@@ -366,6 +388,38 @@ mod tests {
         assert_eq!(divergence.layer, DivergenceLayer::Outcome);
         assert_eq!(divergence.sub_seed, a.frames[9].sub_seed);
         assert_eq!(compare_logs(&a, &a), None);
+    }
+
+    #[test]
+    fn outcome_divergence_names_the_query_when_digests_are_recorded() {
+        let a = log((0..4)
+            .map(|i| {
+                let mut f = frame(i, 100);
+                f.query_digests = vec![1, 2, 3];
+                f
+            })
+            .collect());
+        let mut b = a.clone();
+        b.frames[2].outcome_hash ^= 1;
+        b.frames[2].query_digests[1] ^= 1;
+        let divergence = compare_logs(&a, &b).expect("must diverge");
+        assert_eq!(divergence.layer, DivergenceLayer::Outcome);
+        assert_eq!(divergence.diverging_query(), Some(1));
+        assert_eq!(
+            divergence.to_string(),
+            format!(
+                "iteration=2 layer=outcome sub_seed={} query=1",
+                a.frames[2].sub_seed
+            )
+        );
+        // Digest-free frames (pre-digest artifacts) fall back to the
+        // iteration-only report.
+        let a = log((0..4).map(|i| frame(i, 100)).collect());
+        let mut b = a.clone();
+        b.frames[2].outcome_hash ^= 1;
+        let divergence = compare_logs(&a, &b).expect("must diverge");
+        assert_eq!(divergence.diverging_query(), None);
+        assert!(!divergence.to_string().contains("query="));
     }
 
     #[test]

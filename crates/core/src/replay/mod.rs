@@ -50,7 +50,7 @@ use std::sync::Mutex;
 /// The per-iteration state hashes. A pure function of
 /// `(campaign config, iteration index)`: identical no matter which thread,
 /// process or machine executed the iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplayFrame {
     /// The iteration index within the campaign.
     pub iteration: usize,
@@ -67,6 +67,13 @@ pub struct ReplayFrame {
     pub outcome_hash: u64,
     /// Hash of the iteration's probe-coverage delta.
     pub probe_hash: u64,
+    /// Optional per-query refinement of the outcome layer: one digest per
+    /// query index, each hashing that query's (oracle, outcome, attribution)
+    /// stream across the whole suite. Empty on frames decoded from
+    /// pre-digest artifacts (the stream is an optional artifact token), in
+    /// which case a bisection names only the iteration; when both sides
+    /// carry digests, it also names the first diverging query.
+    pub query_digests: Vec<u64>,
 }
 
 impl ReplayFrame {
@@ -86,6 +93,21 @@ impl ReplayFrame {
         } else {
             None
         }
+    }
+
+    /// The first query index whose outcome digest differs between the two
+    /// frames, when both recorded digests. `None` when either side predates
+    /// digest recording (the refinement is unavailable, not a divergence) or
+    /// when the digest streams agree. A length mismatch with both sides
+    /// non-empty points at the first index past the shorter stream.
+    pub fn first_diverging_query(&self, other: &ReplayFrame) -> Option<usize> {
+        if self.query_digests.is_empty() || other.query_digests.is_empty() {
+            return None;
+        }
+        let shared = self.query_digests.len().min(other.query_digests.len());
+        (0..shared)
+            .find(|&i| self.query_digests[i] != other.query_digests[i])
+            .or_else(|| (self.query_digests.len() != other.query_digests.len()).then_some(shared))
     }
 }
 
@@ -129,7 +151,7 @@ impl ReplayRecorder {
             .lock()
             .expect("replay recorder poisoned")
             .values()
-            .copied()
+            .cloned()
             .collect()
     }
 
@@ -153,7 +175,7 @@ impl ReplaySink for ReplayRecorder {
             .lock()
             .expect("replay recorder poisoned")
             .entry(frame.iteration)
-            .or_insert(*frame);
+            .or_insert_with(|| frame.clone());
     }
 }
 
@@ -168,6 +190,7 @@ mod tests {
             setup_hash: 1,
             outcome_hash: 2,
             probe_hash: 3,
+            query_digests: Vec::new(),
         }
     }
 
@@ -190,7 +213,7 @@ mod tests {
     fn diverging_layer_reports_the_outermost_difference() {
         let base = frame(0);
         assert_eq!(base.diverging_layer(&base), None);
-        let mut other = base;
+        let mut other = base.clone();
         other.probe_hash ^= 1;
         assert_eq!(
             base.diverging_layer(&other),
@@ -202,5 +225,23 @@ mod tests {
         assert_eq!(base.diverging_layer(&other), Some(DivergenceLayer::Setup));
         other.sub_seed ^= 1;
         assert_eq!(base.diverging_layer(&other), Some(DivergenceLayer::SubSeed));
+    }
+
+    #[test]
+    fn first_diverging_query_refines_the_outcome_layer() {
+        let mut left = frame(0);
+        let mut right = frame(0);
+        // No digests on either side: the refinement is unavailable.
+        assert_eq!(left.first_diverging_query(&right), None);
+        left.query_digests = vec![10, 20, 30];
+        // One side predates digest recording: still unavailable, never a
+        // spurious divergence.
+        assert_eq!(left.first_diverging_query(&right), None);
+        right.query_digests = vec![10, 20, 30];
+        assert_eq!(left.first_diverging_query(&right), None);
+        right.query_digests[1] ^= 1;
+        assert_eq!(left.first_diverging_query(&right), Some(1));
+        right.query_digests = vec![10, 20];
+        assert_eq!(left.first_diverging_query(&right), Some(2));
     }
 }

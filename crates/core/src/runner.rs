@@ -485,6 +485,12 @@ impl CampaignRunner {
         let mut findings = Vec::new();
         let mut skipped = 0;
         let mut outcome_hasher = ReplayHasher::new();
+        // One hasher per query index, fed the same (oracle, outcome,
+        // attribution) stream as the iteration-wide outcome hasher: the
+        // finished digests let a replay bisection name the *query* whose
+        // outcome diverged, not just the iteration.
+        let mut query_hashers: Vec<ReplayHasher> =
+            queries.iter().map(|_| ReplayHasher::new()).collect();
         for (oracle_index, kind) in self.config.oracles.iter().enumerate() {
             let (outcomes, oracle_time) =
                 self.run_oracle(kind, &spec, &queries, &plan, &knobs, script.as_ref());
@@ -494,6 +500,8 @@ impl CampaignRunner {
                 outcome_hasher.write_usize(oracle_index);
                 outcome_hasher.write_usize(query_index);
                 outcome.absorb_into(&mut outcome_hasher);
+                query_hashers[query_index].write_usize(oracle_index);
+                outcome.absorb_into(&mut query_hashers[query_index]);
                 let finding_kind = match outcome {
                     OracleOutcome::LogicBug { .. } => FindingKind::Logic,
                     OracleOutcome::Crash { .. } => FindingKind::Crash,
@@ -503,9 +511,9 @@ impl CampaignRunner {
                     }
                     _ => continue,
                 };
-                let description = match outcome {
-                    OracleOutcome::LogicBug { description } => description.clone(),
-                    OracleOutcome::Crash { message } => message.clone(),
+                let (description, side) = match outcome {
+                    OracleOutcome::LogicBug { description, side } => (description.clone(), *side),
+                    OracleOutcome::Crash { message, side } => (message.clone(), *side),
                     _ => unreachable!("filtered above"),
                 };
                 // AEI findings keep their historical unprefixed descriptions;
@@ -530,11 +538,14 @@ impl CampaignRunner {
                     Vec::new()
                 };
                 outcome_hasher.write_usize(attributed.len());
+                query_hashers[query_index].write_usize(attributed.len());
                 for fault in &attributed {
                     outcome_hasher.write_str(&fault.name());
+                    query_hashers[query_index].write_str(&fault.name());
                 }
                 findings.push(Finding {
                     kind: finding_kind,
+                    side,
                     description,
                     iteration,
                     elapsed: start.elapsed(),
@@ -558,6 +569,7 @@ impl CampaignRunner {
             setup_hash: setup_hasher.finish(),
             outcome_hash: outcome_hasher.finish(),
             probe_hash: probe_hasher.finish(),
+            query_digests: query_hashers.into_iter().map(|h| h.finish()).collect(),
         };
         if let Some(sink) = &self.replay_sink {
             sink.record_frame(&replay);
@@ -861,6 +873,7 @@ mod tests {
                 setup_hash: 0,
                 outcome_hash: 0,
                 probe_hash: 0,
+                query_digests: Vec::new(),
             },
         };
         let shards = vec![

@@ -1,0 +1,246 @@
+//! `spatter-matrix` — run and inspect differential testing matrices.
+//!
+//! The command-line face of `spatter_core::matrix`:
+//!
+//! * `run --backend SPEC --backend SPEC [...]` builds a backend roster from
+//!   spec strings, runs the AEI + differential oracle suite over every
+//!   ordered pair, prints the bucketed grid, and (with `--out`) writes the
+//!   matrix artifact.
+//! * `report <FILE>` decodes a previously written artifact and renders the
+//!   same grid without re-running anything.
+//!
+//! Backend spec strings:
+//!
+//! * `in-process:<profile>[:stock|reference|<fault,list>]` — the in-process
+//!   engine (default `stock`).
+//! * `stdio:<path>:<profile>[:stock|reference|<fault,list>][:hard-crash]` —
+//!   a `spatter-sdb-server` binary over the native stdio backend.
+//! * `external-sdb:<path>[:<profile>][:stock|reference|<fault,list>]` — the
+//!   same server driven through the generic external-engine adapter (the
+//!   hermetic self-test dialect).
+//! * `postgis` — a real PostGIS behind `psql`, gated on the
+//!   `SPATTER_PG_CMD` environment variable (an error when unset: CI ships
+//!   no PostGIS).
+//!
+//! Exit codes: 0 — every cell clean; 2 — at least one divergent cell;
+//! 1 — usage, spec, I/O or decode error.
+
+use spatter_repro::core::backend::BackendSpec;
+use spatter_repro::core::campaign::CampaignConfig;
+use spatter_repro::core::matrix::{
+    DialectSpec, MatrixConfig, MatrixEntry, MatrixReport, MatrixRunner,
+};
+use spatter_repro::sdb::{EngineProfile, FaultSet};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  spatter-matrix run --backend SPEC --backend SPEC [--backend SPEC ...]
+                     [--seed N] [--iterations N] [--queries N] [--workers N]
+                     [--out FILE]
+  spatter-matrix report <FILE>
+
+backend specs:
+  in-process:<profile>[:stock|reference|<fault,list>]
+  stdio:<path>:<profile>[:stock|reference|<fault,list>][:hard-crash]
+  external-sdb:<path>[:<profile>][:stock|reference|<fault,list>]
+  postgis        (requires SPATTER_PG_CMD)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("report") => report(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("spatter-matrix: {message}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(token: &str) -> Result<T, String> {
+    token
+        .parse()
+        .map_err(|_| format!("invalid number {token:?}"))
+}
+
+fn parse_profile(token: &str) -> Result<EngineProfile, String> {
+    EngineProfile::from_name(token).ok_or_else(|| format!("unknown profile {token:?}"))
+}
+
+/// `stock` / `reference` (or `none`) / a comma-separated fault-name list.
+fn parse_faults(token: &str, profile: EngineProfile) -> Result<FaultSet, String> {
+    match token {
+        "stock" => Ok(profile.default_faults()),
+        "reference" | "none" => Ok(FaultSet::none()),
+        names => FaultSet::parse_names(names).map_err(|_| format!("unknown fault in {names:?}")),
+    }
+}
+
+/// Parses one `--backend` spec string into a roster entry; the spec string
+/// itself is the entry's label.
+fn parse_backend(spec: &str) -> Result<MatrixEntry, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let built = match parts.as_slice() {
+        ["in-process", profile, rest @ ..] => {
+            let profile = parse_profile(profile)?;
+            let faults = match rest {
+                [] => profile.default_faults(),
+                [faults] => parse_faults(faults, profile)?,
+                _ => return Err(format!("too many fields in {spec:?}\n{USAGE}")),
+            };
+            BackendSpec::InProcess { profile, faults }
+        }
+        ["stdio", path, profile, rest @ ..] => {
+            let profile = parse_profile(profile)?;
+            let (faults, hard_crash) = match rest {
+                [] => (profile.default_faults(), false),
+                ["hard-crash"] => (profile.default_faults(), true),
+                [faults] => (parse_faults(faults, profile)?, false),
+                [faults, "hard-crash"] => (parse_faults(faults, profile)?, true),
+                _ => return Err(format!("too many fields in {spec:?}\n{USAGE}")),
+            };
+            BackendSpec::Stdio {
+                command: PathBuf::from(path),
+                profile,
+                faults,
+                hard_crash,
+            }
+        }
+        ["external-sdb", path, rest @ ..] => {
+            let (profile, faults) = match rest {
+                [] => (EngineProfile::PostgisLike, FaultSet::none()),
+                [profile] => (parse_profile(profile)?, FaultSet::none()),
+                [profile, faults] => {
+                    let profile = parse_profile(profile)?;
+                    (profile, parse_faults(faults, profile)?)
+                }
+                _ => return Err(format!("too many fields in {spec:?}\n{USAGE}")),
+            };
+            BackendSpec::External {
+                dialect: DialectSpec::sdb_server(path, profile, faults, false),
+            }
+        }
+        ["postgis"] | ["pg"] => {
+            let dialect = DialectSpec::postgis_from_env().ok_or_else(|| {
+                "backend \"postgis\" needs SPATTER_PG_CMD (a psql command line); \
+                 it is unset or empty"
+                    .to_string()
+            })?;
+            BackendSpec::External { dialect }
+        }
+        _ => return Err(format!("unknown backend spec {spec:?}\n{USAGE}")),
+    };
+    Ok(MatrixEntry::new(spec, built))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut specs: Vec<String> = Vec::new();
+    let mut seed: u64 = 3;
+    let mut iterations: usize = 8;
+    let mut queries: usize = 10;
+    let mut workers: usize = 1;
+    let mut out: Option<String> = None;
+    let mut args = args.iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--backend" => specs.push(value("--backend")?.clone()),
+            "--seed" => seed = parse(value("--seed")?)?,
+            "--iterations" => iterations = parse(value("--iterations")?)?,
+            "--queries" => queries = parse(value("--queries")?)?,
+            "--workers" => workers = parse(value("--workers")?)?,
+            "--out" => out = Some(value("--out")?.clone()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if specs.len() < 2 {
+        return Err(format!("run needs at least two --backend specs\n{USAGE}"));
+    }
+    let entries = specs
+        .iter()
+        .map(|spec| parse_backend(spec))
+        .collect::<Result<Vec<_>, _>>()?;
+    let base = CampaignConfig {
+        queries_per_run: queries,
+        iterations,
+        seed,
+        ..CampaignConfig::default()
+    };
+    let matrix = MatrixRunner::new(MatrixConfig::new(entries, base).with_workers(workers)).run();
+    if let Some(path) = out {
+        std::fs::write(&path, matrix.encode()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("artifact: {path}");
+    }
+    print_report(&matrix);
+    Ok(verdict(&matrix))
+}
+
+fn report(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err(USAGE.to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let matrix = MatrixReport::decode(&text).map_err(|e| format!("decoding {path}: {e}"))?;
+    print_report(&matrix);
+    Ok(verdict(&matrix))
+}
+
+fn print_report(matrix: &MatrixReport) {
+    println!(
+        "matrix: {} backends, {} cells, seed {}",
+        matrix.backends.len(),
+        matrix.cells.len(),
+        matrix.seed
+    );
+    for (index, label) in matrix.backends.iter().enumerate() {
+        println!(
+            "  [{index}] {label} (implicated in {} cells)",
+            matrix.involvement[index]
+        );
+    }
+    for cell in &matrix.cells {
+        let buckets = cell.buckets;
+        if buckets.is_clean() {
+            println!(
+                "cell {}x{}: clean ({} iterations)",
+                cell.left, cell.right, cell.iterations_run
+            );
+        } else {
+            println!(
+                "cell {}x{}: left={} right={} both={} crash={} ({} iterations)",
+                cell.left,
+                cell.right,
+                buckets.left,
+                buckets.right,
+                buckets.both,
+                buckets.crash,
+                cell.iterations_run
+            );
+        }
+    }
+    if matrix.is_clean() {
+        println!("verdict: clean");
+    } else {
+        println!(
+            "verdict: divergent ({} of {} cells)",
+            matrix.divergent_cells().len(),
+            matrix.cells.len()
+        );
+    }
+}
+
+fn verdict(matrix: &MatrixReport) -> ExitCode {
+    if matrix.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

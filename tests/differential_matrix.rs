@@ -1,0 +1,331 @@
+//! End-to-end tests of the differential testing matrix: a hermetic 3×3 grid
+//! mixing in-process engines with the generic external-engine adapter
+//! (driving `spatter-sdb-server` through its self-test dialect), per-side
+//! finding bucketing, byte-identical artifacts at any worker count, adapter
+//! crash-recovery parity with the stdio backend, and the `spatter-matrix`
+//! CLI's exit-code contract.
+//!
+//! Binary paths come from `CARGO_BIN_EXE_*`, which Cargo guarantees are
+//! built before these tests run.
+
+use spatter_repro::core::backend::{BackendError, BackendSpec, EngineBackend, StdioBackend};
+use spatter_repro::core::campaign::CampaignConfig;
+use spatter_repro::core::matrix::{
+    DialectSpec, ExternalBackend, MatrixConfig, MatrixEntry, MatrixReport, MatrixRunner,
+};
+use spatter_repro::sdb::{EngineProfile, FaultId, FaultSet};
+use std::process::Command;
+
+fn server_path() -> &'static str {
+    env!("CARGO_BIN_EXE_spatter-sdb-server")
+}
+
+fn matrix_cli() -> &'static str {
+    env!("CARGO_BIN_EXE_spatter-matrix")
+}
+
+/// The hermetic roster: a fault-free in-process reference, the same
+/// reference engine behind the external adapter (so the pair must agree),
+/// and the stock engine carrying its default seeded faults.
+fn roster() -> Vec<MatrixEntry> {
+    vec![
+        MatrixEntry::new(
+            "reference",
+            BackendSpec::InProcess {
+                profile: EngineProfile::PostgisLike,
+                faults: FaultSet::none(),
+            },
+        ),
+        MatrixEntry::new(
+            "adapter-twin",
+            BackendSpec::External {
+                dialect: DialectSpec::sdb_server(
+                    server_path(),
+                    EngineProfile::PostgisLike,
+                    FaultSet::none(),
+                    false,
+                ),
+            },
+        ),
+        MatrixEntry::new(
+            "stock",
+            BackendSpec::InProcess {
+                profile: EngineProfile::PostgisLike,
+                faults: EngineProfile::PostgisLike.default_faults(),
+            },
+        ),
+    ]
+}
+
+fn grid_base() -> CampaignConfig {
+    CampaignConfig {
+        queries_per_run: 10,
+        iterations: 8,
+        seed: 3,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn the_grid_pins_every_finding_on_the_seeded_fault_backend() {
+    let report = MatrixRunner::new(MatrixConfig::new(roster(), grid_base())).run();
+    assert_eq!(report.backends, vec!["reference", "adapter-twin", "stock"]);
+    assert_eq!(report.cells.len(), 6);
+    assert!(!report.is_clean(), "the stock backend must diverge");
+
+    // The faulty backend is implicated in every cell it touches (4 of 6);
+    // the two clean backends only in their cells against it.
+    assert_eq!(report.involvement[2], 4, "{report:#?}");
+    assert!(report.involvement[0] < report.involvement[2]);
+    assert!(report.involvement[1] < report.involvement[2]);
+
+    for cell in &report.cells {
+        let buckets = cell.buckets;
+        assert_eq!(cell.iterations_run, 8);
+        match (cell.left, cell.right) {
+            // Reference vs adapter twin: semantically the same engine on
+            // both sides of both the AEI pair and the differential pair —
+            // any finding here is a matrix or adapter bug.
+            (0, 1) | (1, 0) => assert!(
+                buckets.is_clean(),
+                "reference/adapter cell must be clean: {report:#?}"
+            ),
+            // The stock engine as comparison twin: the grid re-buckets the
+            // two-sided differential disagreements onto the faulty side.
+            (_, 2) => {
+                assert!(buckets.right > 0, "{report:#?}");
+                assert_eq!((buckets.left, buckets.both), (0, 0), "{report:#?}");
+            }
+            // The stock engine under test: AEI violations and refined
+            // disagreements all land on the left.
+            (2, _) => {
+                assert!(buckets.left > 0, "{report:#?}");
+                assert_eq!((buckets.right, buckets.both), (0, 0), "{report:#?}");
+            }
+            pair => panic!("unexpected cell {pair:?}"),
+        }
+    }
+
+    // The artifact round-trips exactly.
+    let decoded = MatrixReport::decode(&report.encode()).expect("round trip");
+    assert_eq!(decoded, report);
+}
+
+#[test]
+fn matrix_artifacts_are_byte_identical_at_any_worker_count() {
+    // Two backends keep the repetition affordable: the pair that actually
+    // diverges, run at 1, 2 and 4 workers per cell.
+    let entries = || {
+        vec![
+            MatrixEntry::new(
+                "reference",
+                BackendSpec::InProcess {
+                    profile: EngineProfile::PostgisLike,
+                    faults: FaultSet::none(),
+                },
+            ),
+            MatrixEntry::new(
+                "stock",
+                BackendSpec::InProcess {
+                    profile: EngineProfile::PostgisLike,
+                    faults: EngineProfile::PostgisLike.default_faults(),
+                },
+            ),
+        ]
+    };
+    let baseline = MatrixRunner::new(MatrixConfig::new(entries(), grid_base())).run();
+    assert!(!baseline.is_clean(), "seed 3 must produce findings");
+    let encoded = baseline.encode();
+    for workers in [2, 4] {
+        let parallel =
+            MatrixRunner::new(MatrixConfig::new(entries(), grid_base()).with_workers(workers))
+                .run();
+        assert_eq!(parallel.encode(), encoded, "{workers} workers");
+    }
+}
+
+#[test]
+fn external_adapter_recovers_from_a_killed_engine_like_the_stdio_backend() {
+    // The same kill-mid-session scenario the stdio backend is tested with:
+    // --hard-crash terminates the server process at a simulated crash. The
+    // adapter must report the identical canonical transport error and then
+    // transparently respawn + replay its setup, in lockstep with
+    // StdioBackend.
+    let faults = FaultSet::with([FaultId::GeosCrashRelateShortRing]);
+    let external: Box<dyn EngineBackend> = Box::new(ExternalBackend::new(DialectSpec::sdb_server(
+        server_path(),
+        EngineProfile::MysqlLike,
+        faults.clone(),
+        true,
+    )));
+    let stdio: Box<dyn EngineBackend> = Box::new(
+        StdioBackend::new(server_path(), EngineProfile::MysqlLike, faults).with_hard_crash(true),
+    );
+
+    let drive = |backend: &dyn EngineBackend| {
+        let mut session = backend.open_session().expect("open");
+        session
+            .load(&[
+                "CREATE TABLE t (g geometry)".to_string(),
+                "INSERT INTO t (g) VALUES ('POLYGON((0 0,1 1,0 0))'), ('POINT(0 0)')".to_string(),
+            ])
+            .expect("load");
+        let ok_sql = "SELECT COUNT(*) FROM t a JOIN t b ON ST_DWithin(a.g, b.g, 100)";
+        let before = session.run_count(ok_sql);
+        let crash = session
+            .run_count("SELECT COUNT(*) FROM t a JOIN t b ON ST_Intersects(a.g, b.g)")
+            .expect_err("the crash must kill the server");
+        // Recovery: respawn + setup replay answers the next query.
+        let after = session.run_count(ok_sql);
+        (before, crash, after)
+    };
+
+    let external_run = drive(external.as_ref());
+    let stdio_run = drive(stdio.as_ref());
+    assert_eq!(external_run, stdio_run, "adapter/stdio recovery parity");
+    let (before, crash, after) = external_run;
+    assert_eq!(before, Ok(Some(4)));
+    assert_eq!(
+        crash,
+        BackendError::Transport("engine process terminated".to_string()),
+        "dead adapters must surface the canonical transport error"
+    );
+    assert_eq!(after, Ok(Some(4)));
+}
+
+#[test]
+fn external_adapter_campaigns_match_the_stdio_backend_byte_for_byte() {
+    // The adapter's self-test dialect speaks to the very same server binary
+    // the stdio backend drives, so a whole campaign through each must agree
+    // on everything deterministic.
+    let faults = FaultSet::with([FaultId::PostgisDFullyWithinSmallCoords]);
+    let config = |spec: BackendSpec| CampaignConfig {
+        queries_per_run: 10,
+        iterations: 6,
+        seed: 11,
+        backend: spec.build(),
+        ..CampaignConfig::default()
+    };
+    let external =
+        spatter_repro::core::runner::CampaignRunner::new(config(BackendSpec::External {
+            dialect: DialectSpec::sdb_server(
+                server_path(),
+                EngineProfile::PostgisLike,
+                faults.clone(),
+                false,
+            ),
+        }))
+        .run();
+    let stdio = spatter_repro::core::runner::CampaignRunner::new(config(BackendSpec::Stdio {
+        command: server_path().into(),
+        profile: EngineProfile::PostgisLike,
+        faults,
+        hard_crash: false,
+    }))
+    .run();
+    // Attribution differs by design (the adapter reports no fault ids), so
+    // compare the pre-attribution projection: kinds, sides, descriptions
+    // and iterations.
+    let project = |report: &spatter_repro::core::CampaignReport| {
+        report
+            .findings
+            .iter()
+            .map(|f| (f.kind, f.side, f.description.clone(), f.iteration))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(project(&external), project(&stdio));
+    assert_eq!(external.skipped_queries, stdio.skipped_queries);
+}
+
+#[test]
+fn matrix_cli_exit_codes_distinguish_clean_and_divergent_grids() {
+    let dir = std::env::temp_dir().join(format!("spatter-matrix-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let artifact = dir.join("grid.matrix");
+
+    // A divergent grid (reference vs stock) exits 2 and writes an artifact.
+    let divergent = Command::new(matrix_cli())
+        .args([
+            "run",
+            "--backend",
+            "in-process:postgis_like:reference",
+            "--backend",
+            "in-process:postgis_like:stock",
+            "--iterations",
+            "8",
+            "--queries",
+            "10",
+            "--seed",
+            "3",
+            "--out",
+            artifact.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("run spatter-matrix");
+    assert_eq!(
+        divergent.status.code(),
+        Some(2),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&divergent.stdout),
+        String::from_utf8_lossy(&divergent.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&divergent.stdout);
+    assert!(stdout.contains("verdict: divergent"), "{stdout}");
+
+    // `report` re-renders the artifact with the same exit code.
+    let report = Command::new(matrix_cli())
+        .args(["report", artifact.to_str().expect("utf-8 path")])
+        .output()
+        .expect("report spatter-matrix");
+    assert_eq!(report.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&report.stdout).contains("verdict: divergent"),
+        "{}",
+        String::from_utf8_lossy(&report.stdout)
+    );
+
+    // A clean grid — the reference engine against its own external-adapter
+    // twin — exits 0.
+    let clean = Command::new(matrix_cli())
+        .args([
+            "run",
+            "--backend",
+            "in-process:postgis_like:reference",
+            "--backend",
+            &format!("external-sdb:{}:postgis_like:reference", server_path()),
+            "--iterations",
+            "3",
+            "--queries",
+            "6",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("run spatter-matrix");
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&clean.stdout).contains("verdict: clean"),
+        "{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+
+    // Usage and I/O errors exit 1.
+    let usage = Command::new(matrix_cli())
+        .args(["run", "--backend", "in-process:postgis_like"])
+        .output()
+        .expect("run spatter-matrix");
+    assert_eq!(usage.status.code(), Some(1));
+    let missing = Command::new(matrix_cli())
+        .args(["report", "/nonexistent/grid.matrix"])
+        .output()
+        .expect("report spatter-matrix");
+    assert_eq!(missing.status.code(), Some(1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
